@@ -1,0 +1,97 @@
+//! Experiment E1 (second column) — expression complexity.
+//!
+//! The database is held fixed and tiny while the transformation expression
+//! grows: the sentence size (Theorem 4.4 / 4.9) and the number of composed
+//! operators (Theorem 4.6).  The growth is super-polynomial in the sentence
+//! size for quantified sentences (each quantifier multiplies the grounding by
+//! the domain size), which is the shape the paper's co-NEXPTIME / EXPSPACE
+//! bounds allow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kbt_bench::quick_criterion;
+use kbt_core::{Transform, Transformer};
+use kbt_data::{DatabaseBuilder, Knowledgebase, RelId};
+use kbt_logic::builder::*;
+use kbt_logic::{Formula, Sentence};
+use kbt_reductions::propsat::{satisfiable_via_transformation, Prop};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn r(i: u32) -> RelId {
+    RelId::new(i)
+}
+
+/// Growing quantifier prefix over a fixed two-element database.
+fn quantifier_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expression/quantifier_depth");
+    let db = DatabaseBuilder::new()
+        .fact(r(1), [1u32, 2])
+        .fact(r(1), [2u32, 1])
+        .build()
+        .unwrap();
+    let kb = Knowledgebase::singleton(db);
+    let t = Transformer::new();
+    for depth in [2u32, 4, 6, 8] {
+        // ∀x1 ∃x2 ∀x3 … R1(x_{k-1}, x_k) ∨ R2(x_{k-1})
+        let mut body: Formula = or(
+            atom(1, [var(depth - 1), var(depth)]),
+            atom(2, [var(depth - 1)]),
+        );
+        for i in (1..=depth).rev() {
+            body = if i % 2 == 0 {
+                Formula::Exists(kbt_logic::Var::new(i), Box::new(body))
+            } else {
+                Formula::Forall(kbt_logic::Var::new(i), Box::new(body))
+            };
+        }
+        let phi = Sentence::new(body).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| t.insert(&phi, &kb).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// Growing quantifier-free sentences (Theorem 4.9's hardness source).
+fn ground_sentence_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expression/ground_sentence_size");
+    let t = Transformer::new();
+    let mut rng = StdRng::seed_from_u64(5);
+    for connectives in [4usize, 8, 12, 16] {
+        let prop = Prop::random(connectives as u32 / 2 + 2, connectives, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(connectives),
+            &connectives,
+            |b, _| {
+                b.iter(|| satisfiable_via_transformation(&t, &prop).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Growing number of composed operators over a fixed knowledgebase.
+fn operator_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expression/operator_count");
+    let db = DatabaseBuilder::new().fact(r(1), [1u32]).build().unwrap();
+    let kb = Knowledgebase::singleton(db);
+    let t = Transformer::new();
+    for steps in [1usize, 3, 6, 9] {
+        let mut expr = Transform::Identity;
+        for i in 0..steps {
+            let phi = Sentence::new(atom(1, [cst(2 + i as u32)])).unwrap();
+            expr = expr.then(Transform::insert(phi));
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(steps), &steps, |b, _| {
+            b.iter(|| t.apply(&expr, &kb).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = quantifier_depth, ground_sentence_size, operator_count
+}
+criterion_main!(benches);

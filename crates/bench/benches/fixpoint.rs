@@ -1,0 +1,62 @@
+//! Experiment E10 — fixpoint queries through the transformation language.
+//!
+//! Ablation of the design choice DESIGN.md calls out: the same transitive
+//! closure query evaluated (a) by the Datalog least-fixpoint fast path of
+//! Theorem 4.8, (b) by the general SAT-based grounding evaluator on the
+//! paper's original (non-Horn) sentence, and (c) by the Datalog engine called
+//! directly, without the transformation layer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kbt_bench::quick_criterion;
+use kbt_core::examples::transitive_closure;
+use kbt_core::{EvalOptions, Strategy, Transformer};
+use kbt_datalog::{program_from_sentence, semi_naive_eval};
+use kbt_data::RelId;
+use kbt_reductions::workload::chain_graph;
+
+fn r(i: u32) -> RelId {
+    RelId::new(i)
+}
+
+fn datalog_fast_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fixpoint/datalog_fast_path");
+    let t = Transformer::with_options(EvalOptions::with_strategy(Strategy::Datalog));
+    for n in [8u32, 16, 32, 64] {
+        let edges: Vec<(u32, u32)> = (1..n).map(|i| (i, i + 1)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| transitive_closure::transitive_closure_horn(&t, &edges).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn general_grounding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fixpoint/general_grounding");
+    let t = Transformer::with_options(EvalOptions::with_strategy(Strategy::Grounding));
+    for n in [3u32, 4, 5] {
+        let edges: Vec<(u32, u32)> = (1..n).map(|i| (i, i + 1)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| transitive_closure::transitive_closure(&t, &edges).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn datalog_engine_direct(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fixpoint/datalog_engine_direct");
+    let program = program_from_sentence(&transitive_closure::sentence_horn()).unwrap();
+    for n in [8u32, 16, 32, 64] {
+        let edb = chain_graph(r(1), n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| semi_naive_eval(&program, &edb).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = datalog_fast_path, general_grounding, datalog_engine_direct
+}
+criterion_main!(benches);

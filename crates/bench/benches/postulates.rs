@@ -1,0 +1,44 @@
+//! Experiment E2 — the cost of checking the Katsuno–Mendelzon postulates
+//! (Theorem 2.1) on random knowledgebases of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kbt_bench::quick_criterion;
+use kbt_core::{postulates, EvalOptions};
+use kbt_data::RelId;
+use kbt_logic::builder::*;
+use kbt_logic::Sentence;
+use kbt_reductions::workload::random_knowledgebase;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn r(i: u32) -> RelId {
+    RelId::new(i)
+}
+
+fn check_all_postulates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("postulates/check_all");
+    let mut rng = StdRng::seed_from_u64(101);
+    let phi = Sentence::new(or(atom(1, [cst(1)]), atom(1, [cst(2)]))).unwrap();
+    let psi = Sentence::new(not(atom(1, [cst(3)]))).unwrap();
+    for worlds in [1usize, 2, 4] {
+        let kb1 = random_knowledgebase(r(1), 4, worlds, 2, &mut rng);
+        let kb2 = random_knowledgebase(r(1), 4, worlds, 2, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(worlds), &worlds, |b, _| {
+            b.iter(|| {
+                let report =
+                    postulates::check_all(&phi, &psi, &kb1, &kb2, &EvalOptions::default())
+                        .unwrap();
+                assert!(report.all_hold());
+                report
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = check_all_postulates
+}
+criterion_main!(benches);

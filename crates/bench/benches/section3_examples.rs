@@ -1,0 +1,82 @@
+//! Experiment E4 — the seven worked transformations of Section 3, swept over
+//! input size where the general-purpose evaluator allows it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kbt_bench::quick_criterion;
+use kbt_core::examples::{
+    max_clique, monochromatic_triangle, parity, robots, transitive_closure, transitive_reduction,
+};
+use kbt_core::Transformer;
+
+fn example_1_transitive_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("section3/example1_transitive_closure");
+    let t = Transformer::new();
+    for n in [3u32, 4, 5] {
+        let edges: Vec<(u32, u32)> = (1..n).map(|i| (i, i + 1)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| transitive_closure::transitive_closure(&t, &edges).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn example_2_transitive_reductions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("section3/example2_transitive_reductions");
+    let t = Transformer::new();
+    let graphs: Vec<(&str, Vec<(u32, u32)>)> = vec![
+        ("shortcut_triangle", vec![(1, 2), (2, 3), (1, 3)]),
+        ("two_cycle", vec![(1, 2), (2, 1)]),
+    ];
+    for (name, edges) in graphs {
+        group.bench_function(name, |b| {
+            b.iter(|| transitive_reduction::transitive_reductions(&t, &edges).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn example_4_robots(c: &mut Criterion) {
+    let t = Transformer::new();
+    c.bench_function("section3/example4_robots_counterfactual", |b| {
+        b.iter(|| robots::would_w_still_be_orbiting(&t).unwrap());
+    });
+}
+
+fn example_5_monochromatic_triangle(c: &mut Criterion) {
+    let t = Transformer::new();
+    let triangle = vec![(1u32, 2u32), (2, 3), (1, 3)];
+    c.bench_function("section3/example5_triangle_partition", |b| {
+        b.iter(|| {
+            monochromatic_triangle::has_monochromatic_triangle_free_partition(&t, &triangle)
+                .unwrap()
+        });
+    });
+}
+
+fn example_6_parity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("section3/example6_parity");
+    let t = Transformer::new();
+    for n in [2u32, 3] {
+        let set: Vec<u32> = (1..=n).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| parity::is_even(&t, &set).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn example_7_max_clique(c: &mut Criterion) {
+    let t = Transformer::new();
+    let graph = vec![(1u32, 2u32), (2, 3), (1, 3)];
+    c.bench_function("section3/example7_clique_of_size_3", |b| {
+        b.iter(|| max_clique::has_clique_of_size(&t, &graph, 3).unwrap());
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = example_1_transitive_closure, example_2_transitive_reductions, example_4_robots,
+              example_5_monochromatic_triangle, example_6_parity, example_7_max_clique
+}
+criterion_main!(benches);

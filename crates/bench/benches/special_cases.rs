@@ -1,0 +1,75 @@
+//! Experiment E7 — the special cases of Section 4.3: PTIME data complexity
+//! for quantifier-free and Datalog-restricted transformations (Theorems 4.7
+//! and 4.8), and the expression-side hardness of the quantifier-free
+//! fragment (Theorem 4.9).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kbt_bench::quick_criterion;
+use kbt_core::{EvalOptions, Strategy, Transformer};
+use kbt_data::{Knowledgebase, RelId};
+use kbt_logic::builder::*;
+use kbt_logic::Sentence;
+use kbt_reductions::propsat::{satisfiable_via_transformation, Prop};
+use kbt_reductions::workload::{chain_graph, random_set};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn r(i: u32) -> RelId {
+    RelId::new(i)
+}
+
+/// Theorem 4.7: the quantifier-free evaluator scales linearly in the
+/// database, with the 2^k assignment enumeration fixed by the sentence.
+fn thm47_quantifier_free_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("special/thm47_qf_data_scaling");
+    let phi = Sentence::new(and(
+        or(atom(1, [cst(9001)]), atom(1, [cst(9002)])),
+        not(atom(1, [cst(9003)])),
+    ))
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(17);
+    let t = Transformer::with_options(EvalOptions::with_strategy(Strategy::QuantifierFree));
+    for n in [100u32, 400, 1600] {
+        let kb = Knowledgebase::singleton(random_set(r(1), n, (n / 2) as usize, &mut rng));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| t.insert(&phi, &kb).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// Theorem 4.8: the Datalog fast path computes least fixpoints in PTIME.
+fn thm48_datalog_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("special/thm48_datalog_data_scaling");
+    let phi = kbt_core::examples::transitive_closure::sentence_horn();
+    let t = Transformer::with_options(EvalOptions::with_strategy(Strategy::Datalog));
+    for n in [16u32, 32, 64, 128] {
+        let kb = Knowledgebase::singleton(chain_graph(r(1), n));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| t.insert(&phi, &kb).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// Theorem 4.9: expression complexity of the quantifier-free fragment —
+/// random propositional formulas of growing size over a fixed database.
+fn thm49_expression_hardness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("special/thm49_qf_expression_scaling");
+    let t = Transformer::new();
+    let mut rng = StdRng::seed_from_u64(23);
+    for size in [6usize, 10, 14] {
+        let prop = Prop::random(size as u32 / 2 + 1, size, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| satisfiable_via_transformation(&t, &prop).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = thm47_quantifier_free_scaling, thm48_datalog_scaling, thm49_expression_hardness
+}
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Experiment E1 — the data-complexity column of the Section 4 table.
+//!
+//! For each transformation class the sentence is held fixed while the
+//! database grows; the measured growth should be polynomial for the PTIME
+//! fragments (quantifier-free, Datalog-restricted) and markedly steeper for
+//! the general single-`τ` class and for composed Θ expressions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kbt_bench::quick_criterion;
+use kbt_core::{EvalOptions, Strategy, Transform, Transformer};
+use kbt_data::{Knowledgebase, RelId};
+use kbt_logic::builder::*;
+use kbt_logic::Sentence;
+use kbt_reductions::workload::{chain_graph, random_set};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn r(i: u32) -> RelId {
+    RelId::new(i)
+}
+
+/// Row 1: a general (non-Horn, quantified) single insertion, co-NP class.
+fn general_tau(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/general_tau");
+    // "make R1 irreflexive" forces deletions and explores candidate flips
+    let phi = Sentence::new(forall([1], not(atom(1, [var(1), var(1)])))).unwrap();
+    for n in [2u32, 3, 4, 5] {
+        let mut db = chain_graph(r(1), n);
+        for i in 1..=n {
+            db.insert_fact(r(1), kbt_data::tuple![i, i]).unwrap();
+        }
+        let kb = Knowledgebase::singleton(db);
+        let t = Transformer::with_options(EvalOptions::with_strategy(Strategy::Grounding));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| t.insert(&phi, &kb).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// Row 2: a composed Θ expression (τ then ⊔ then τ then π), PSPACE class.
+fn composed_theta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/composed_theta");
+    let copy = Sentence::new(forall(
+        [1, 2],
+        implies(atom(1, [var(1), var(2)]), atom(2, [var(1)])),
+    ))
+    .unwrap();
+    let require = Sentence::new(exists(
+        [1],
+        and(atom(2, [var(1)]), not(atom(1, [var(1), var(1)]))),
+    ))
+    .unwrap();
+    let expr = Transform::insert(copy)
+        .then(Transform::Lub)
+        .then(Transform::insert(require))
+        .then(Transform::project(vec![r(2)]));
+    for n in [2u32, 3, 4] {
+        let kb = Knowledgebase::singleton(chain_graph(r(1), n));
+        let t = Transformer::new();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| t.apply(&expr, &kb).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// Row 3: the quantifier-free fragment Θ₀ (PTIME, Theorem 4.7).
+fn quantifier_free(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/quantifier_free");
+    let phi = Sentence::new(or(
+        and(atom(1, [cst(1001)]), not(atom(1, [cst(1002)]))),
+        atom(1, [cst(1003)]),
+    ))
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(42);
+    for n in [50u32, 200, 800, 3200] {
+        let db = random_set(r(1), n, n as usize / 2, &mut rng);
+        let kb = Knowledgebase::singleton(db);
+        let t = Transformer::with_options(EvalOptions::with_strategy(Strategy::QuantifierFree));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| t.insert(&phi, &kb).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// Row 4: the Datalog-restricted fragment (PTIME, Theorem 4.8).
+fn datalog_restricted(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/datalog_restricted");
+    let phi = kbt_core::examples::transitive_closure::sentence_horn();
+    for n in [10u32, 20, 40, 80] {
+        let kb = Knowledgebase::singleton(chain_graph(r(1), n));
+        let t = Transformer::with_options(EvalOptions::with_strategy(Strategy::Datalog));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| t.insert(&phi, &kb).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = general_tau, composed_theta, quantifier_free, datalog_restricted
+}
+criterion_main!(benches);

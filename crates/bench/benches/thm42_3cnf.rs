@@ -1,0 +1,52 @@
+//! Experiment E5 — Theorem 4.2: 3CNF satisfiability decided by a
+//! transformation expression, against the DPLL baseline.
+//!
+//! The transformation route enumerates one possible world per truth
+//! assignment, so its cost explodes with the number of variables while DPLL
+//! sails through; this asymmetry is the empirical face of the theorem's
+//! "not in NP ∪ co-NP unless NP = co-NP" lower bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kbt_bench::quick_criterion;
+use kbt_core::Transformer;
+use kbt_reductions::threecnf::{
+    satisfiable_via_dpll, satisfiable_via_transformation, ThreeCnf,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn via_transformation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm42/via_transformation");
+    let t = Transformer::new();
+    let mut rng = StdRng::seed_from_u64(2024);
+    for clauses in [2usize, 3] {
+        let instance = ThreeCnf::random(3, clauses, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(clauses),
+            &clauses,
+            |b, _| {
+                b.iter(|| satisfiable_via_transformation(&t, &instance).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn via_dpll(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm42/via_dpll");
+    let mut rng = StdRng::seed_from_u64(2024);
+    for vars in [10u32, 20, 40, 80] {
+        let instance = ThreeCnf::random(vars, (vars as f64 * 4.2) as usize, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(vars), &vars, |b, _| {
+            b.iter(|| satisfiable_via_dpll(&instance));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = via_transformation, via_dpll
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Experiment E6 — Theorem 4.5: the Turing-machine simulation.
+//!
+//! Two measurements: (a) the size of the transformation expression encoding a
+//! machine on inputs of length `n` grows as `O(n²)`, and (b) the cost of
+//! building the encoding.  The nondeterministic-machine simulator substrate
+//! is benchmarked as well, since it provides the experiment's ground truth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kbt_bench::quick_criterion;
+use kbt_reductions::turing::{encode, Machine, Move};
+
+fn scanner() -> Machine {
+    Machine {
+        num_states: 2,
+        num_symbols: 2,
+        transitions: vec![(0, 0, 0, 0, Move::Right), (0, 1, 1, 1, Move::None)],
+        accepting: 1,
+    }
+}
+
+fn encoding_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm45/encoding_construction");
+    let machine = scanner();
+    println!("\nThm 4.5 encoding size (expression nodes) per input length n:");
+    for n in [2usize, 4, 8, 16] {
+        let input = vec![0u8; n];
+        let enc = encode(&machine, &input, n);
+        println!("  n = {n:>2}  →  |θ5| = {}", enc.size);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| encode(&machine, &input, n).size);
+        });
+    }
+    group.finish();
+}
+
+fn simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm45/ntm_simulator");
+    let machine = scanner();
+    for n in [8usize, 16, 32] {
+        let mut input = vec![0u8; n];
+        input[n - 1] = 1;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| machine.accepts(&input, n + 2));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = encoding_construction, simulator
+}
+criterion_main!(benches);

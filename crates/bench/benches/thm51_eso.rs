@@ -1,0 +1,53 @@
+//! Experiment E8 — Theorem 5.1: existential second-order queries through the
+//! ST1 encoding, against the brute-force second-order baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kbt_bench::quick_criterion;
+use kbt_core::Transformer;
+use kbt_data::{DatabaseBuilder, Database, RelId};
+use kbt_reductions::eso::{two_colourable_side_query, SecondOrderBaseline};
+
+fn r(i: u32) -> RelId {
+    RelId::new(i)
+}
+
+fn cycle(n: u32) -> Database {
+    let mut b = DatabaseBuilder::new().relation(r(1), 2);
+    for i in 1..=n {
+        let j = if i == n { 1 } else { i + 1 };
+        b = b.fact(r(1), [i, j]).fact(r(1), [j, i]);
+    }
+    b.build().unwrap()
+}
+
+fn via_st1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm51/via_st1");
+    let query = two_colourable_side_query(r(1), r(7), r(8));
+    let t = Transformer::new();
+    for n in [3u32, 4] {
+        let db = cycle(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| query.evaluate_via_st1(&t, &db).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn via_brute_force(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm51/via_brute_force");
+    let query = two_colourable_side_query(r(1), r(7), r(8));
+    for n in [3u32, 4, 5] {
+        let db = cycle(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| SecondOrderBaseline::evaluate(&query, &db));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = via_st1, via_brute_force
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Experiment E9 — Theorem 5.2: evaluating an ST block through the
+//! transformation engine versus through its second-order translation
+//! (brute-force SO model checking over tiny domains).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kbt_bench::quick_criterion;
+use kbt_core::Transformer;
+use kbt_data::{Database, DatabaseBuilder, RelId};
+use kbt_logic::builder::*;
+use kbt_logic::Sentence;
+use kbt_reductions::so::translate_block;
+
+fn r(i: u32) -> RelId {
+    RelId::new(i)
+}
+
+fn db_with_chain(n: u32) -> Database {
+    let mut b = DatabaseBuilder::new().relation(r(1), 2).relation(r(2), 2);
+    for i in 1..n {
+        b = b.fact(r(1), [i, i + 1]);
+    }
+    b.build().unwrap()
+}
+
+fn symmetric_closure_sentence() -> Sentence {
+    Sentence::new(forall(
+        [1, 2],
+        implies(atom(1, [var(1), var(2)]), atom(2, [var(2), var(1)])),
+    ))
+    .unwrap()
+}
+
+fn via_transformation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm52/via_transformation");
+    let t = Transformer::new();
+    for n in [2u32, 3] {
+        let db = db_with_chain(n);
+        let query = translate_block(symmetric_closure_sentence(), &db, r(2));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| query.evaluate_via_transformation(&t, &db).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn via_second_order(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm52/via_second_order");
+    for n in [2u32, 3] {
+        let db = db_with_chain(n);
+        let query = translate_block(symmetric_closure_sentence(), &db, r(2));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| query.evaluate_brute_force(&db));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = via_transformation, via_second_order
+}
+criterion_main!(benches);

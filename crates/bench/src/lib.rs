@@ -1,0 +1,33 @@
+//! # kbt-bench — shared helpers for the benchmark harness
+//!
+//! Each Criterion bench target under `benches/` regenerates one experiment of
+//! EXPERIMENTS.md (one row-group of the paper's Section 4 complexity table, a
+//! Section 3 example, or a Section 4/5 reduction).  This library crate only
+//! hosts the small helpers the targets share, so that the benchmark code
+//! itself stays focused on the experiment being reproduced.
+
+use std::time::Duration;
+
+use criterion::Criterion;
+
+/// A Criterion configuration tuned for repository-sized runs: small sample
+/// counts and short measurement windows, because the interesting signal here
+/// is asymptotic shape (polynomial versus exponential growth), not
+/// microsecond-level precision.
+pub fn quick_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500))
+        .configure_from_args()
+}
+
+pub use criterion;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn quick_criterion_is_constructible() {
+        let _ = super::quick_criterion();
+    }
+}

@@ -1,0 +1,134 @@
+//! Lemma 2.1 — the update operator does not commute with `⊓` and `⊔`.
+//!
+//! The lemma exhibits two concrete counterexamples; this module reproduces
+//! both knowledgebases and sentences so that the non-commutation can be
+//! demonstrated (and is asserted in the test suites).
+
+use kbt_data::{DatabaseBuilder, Knowledgebase, RelId};
+use kbt_logic::builder::*;
+use kbt_logic::Sentence;
+
+use crate::transform::Transform;
+use crate::transformer::Transformer;
+use crate::Result;
+
+/// Relation `R1` (ternary) of the first counterexample.
+pub const R1: RelId = RelId::new(1);
+/// Relation `R2` (unary), defined by the first counterexample's sentence.
+pub const R2: RelId = RelId::new(2);
+/// Relation `R3` (binary) of the second counterexample.
+pub const R3: RelId = RelId::new(3);
+/// Relation `R4` (binary), defined by the second counterexample's sentence.
+pub const R4: RelId = RelId::new(4);
+
+/// The knowledgebase of the first counterexample:
+/// `kb = {({a1 a2 a3}), ({a1 a2 a4})}` over the ternary relation `R1`.
+pub fn glb_knowledgebase() -> Knowledgebase {
+    Knowledgebase::from_databases([
+        DatabaseBuilder::new().fact(R1, [1u32, 2, 3]).build().unwrap(),
+        DatabaseBuilder::new().fact(R1, [1u32, 2, 4]).build().unwrap(),
+    ])
+    .expect("same schema")
+}
+
+/// The sentence of the first counterexample:
+/// `∀x1 x2 (R1(x1, a2, x2) → R2(x1))`.
+pub fn glb_sentence() -> Sentence {
+    Sentence::new(forall(
+        [1, 2],
+        implies(
+            atom(R1.index(), [var(1), cst(2), var(2)]),
+            atom(R2.index(), [var(1)]),
+        ),
+    ))
+    .expect("closed")
+}
+
+/// The knowledgebase of the second counterexample:
+/// `kb = {({a1 a2}), ({a2 a3})}` over the binary relation `R3`.
+pub fn lub_knowledgebase() -> Knowledgebase {
+    Knowledgebase::from_databases([
+        DatabaseBuilder::new().fact(R3, [1u32, 2]).build().unwrap(),
+        DatabaseBuilder::new().fact(R3, [2u32, 3]).build().unwrap(),
+    ])
+    .expect("same schema")
+}
+
+/// The sentence of the second counterexample:
+/// `∀x1 x2 x3 ((R3(x1,x3) ∨ (R3(x1,x2) ∧ R3(x2,x3))) → R4(x1,x3))`.
+pub fn lub_sentence() -> Sentence {
+    Sentence::new(forall(
+        [1, 2, 3],
+        implies(
+            or(
+                atom(R3.index(), [var(1), var(3)]),
+                and(
+                    atom(R3.index(), [var(1), var(2)]),
+                    atom(R3.index(), [var(2), var(3)]),
+                ),
+            ),
+            atom(R4.index(), [var(1), var(3)]),
+        ),
+    ))
+    .expect("closed")
+}
+
+/// Evaluates both orders of composition for a given sentence, knowledgebase
+/// and lattice operator, returning `(operator ∘ τ, τ ∘ operator)`.
+pub fn both_orders(
+    t: &Transformer,
+    phi: &Sentence,
+    kb: &Knowledgebase,
+    operator: Transform,
+) -> Result<(Knowledgebase, Knowledgebase)> {
+    let op_after_tau = Transform::insert(phi.clone()).then(operator.clone());
+    let tau_after_op = operator.then(Transform::insert(phi.clone()));
+    Ok((
+        t.apply(&op_after_tau, kb)?.kb,
+        t.apply(&tau_after_op, kb)?.kb,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_does_not_commute_with_glb() {
+        let t = Transformer::new();
+        let (glb_of_tau, tau_of_glb) =
+            both_orders(&t, &glb_sentence(), &glb_knowledgebase(), Transform::Glb).unwrap();
+        assert_ne!(glb_of_tau, tau_of_glb, "Lemma 2.1(a) requires inequality");
+
+        // ⊓(τ_φ(kb)) = [(∅, {a1})]: R1 intersects to ∅, both worlds add R2(a1).
+        let db = glb_of_tau.as_singleton().unwrap();
+        assert!(db.relation(R1).unwrap().is_empty());
+        assert_eq!(db.relation(R2).unwrap().len(), 1);
+        assert!(db.holds(R2, &kbt_data::tuple![1]));
+
+        // τ_φ(⊓(kb)) = [(∅, ∅)]: nothing triggers the implication.
+        let db = tau_of_glb.as_singleton().unwrap();
+        assert!(db.relation(R1).unwrap().is_empty());
+        assert!(db.relation(R2).unwrap().is_empty());
+    }
+
+    #[test]
+    fn update_does_not_commute_with_lub() {
+        let t = Transformer::new();
+        let (lub_of_tau, tau_of_lub) =
+            both_orders(&t, &lub_sentence(), &lub_knowledgebase(), Transform::Lub).unwrap();
+        assert_ne!(lub_of_tau, tau_of_lub, "Lemma 2.1(b) requires inequality");
+
+        // ⊔(τ_φ(kb)): each world copies its own edge into R4, so R4 has 2 pairs.
+        let db = lub_of_tau.as_singleton().unwrap();
+        assert_eq!(db.relation(R3).unwrap().len(), 2);
+        assert_eq!(db.relation(R4).unwrap().len(), 2);
+        assert!(!db.holds(R4, &kbt_data::tuple![1, 3]));
+
+        // τ_φ(⊔(kb)): the merged database has the two-step path, so R4 also
+        // contains the composed pair (a1, a3).
+        let db = tau_of_lub.as_singleton().unwrap();
+        assert_eq!(db.relation(R4).unwrap().len(), 3);
+        assert!(db.holds(R4, &kbt_data::tuple![1, 3]));
+    }
+}

@@ -1,0 +1,205 @@
+//! Example 7 — the maximal clique problem.
+//!
+//! Does an undirected graph have a *maximum* clique of exactly size `k`?
+//! The paper's construction stores the graph in `R1`, a reference set of `k`
+//! marker elements in `R2`, and inserts a sentence requiring a fresh relation
+//! `R5` to be a bijection between `R2` and a fresh vertex set `R4` that forms
+//! a clique in `R1`.  If such a clique exists the minimal update leaves `R1`
+//! and `R2` untouched; otherwise it is forced to alter them — so comparing
+//! the inputs against scratch copies taken beforehand answers the "has a
+//! clique of size `k`" question.  Asking the same question for `k+1` (the
+//! paper uses `R3`, `R6`, `R7` for the second round) then settles maximality.
+//!
+//! The runner below performs the before/after comparison directly on the
+//! resulting knowledgebase, which is the check the paper describes in prose
+//! ("by making copies of these relations before the above transformation and
+//! comparing them to the values of r1 and r2 after the transformation").
+
+use kbt_data::{Database, Knowledgebase};
+use kbt_logic::builder::*;
+use kbt_logic::Sentence;
+
+use crate::examples::{rels, undirected_graph_database};
+use crate::transform::Transform;
+use crate::transformer::Transformer;
+use crate::Result;
+
+/// The clique sentence of Example 7 (first block): `R5` is a bijection from
+/// the marker set `R2` onto a set `R4` of vertices that are pairwise adjacent
+/// in `R1`.
+pub fn clique_sentence() -> Sentence {
+    Sentence::new(and_all([
+        // ∀x1 ∃x2 : R2(x1) → R5(x1,x2)
+        forall(
+            [1],
+            exists(
+                [2],
+                implies(
+                    atom(rels::R2.index(), [var(1)]),
+                    atom(rels::R5.index(), [var(1), var(2)]),
+                ),
+            ),
+        ),
+        // ∀x1 ∃x2 : R4(x1) → R5(x2,x1)
+        forall(
+            [1],
+            exists(
+                [2],
+                implies(
+                    atom(rels::R4.index(), [var(1)]),
+                    atom(rels::R5.index(), [var(2), var(1)]),
+                ),
+            ),
+        ),
+        // R5 is injective in both coordinates
+        forall(
+            [1, 2, 3],
+            implies(
+                and(
+                    atom(rels::R5.index(), [var(2), var(1)]),
+                    atom(rels::R5.index(), [var(3), var(1)]),
+                ),
+                eq(var(2), var(3)),
+            ),
+        ),
+        forall(
+            [1, 2, 3],
+            implies(
+                and(
+                    atom(rels::R5.index(), [var(1), var(2)]),
+                    atom(rels::R5.index(), [var(1), var(3)]),
+                ),
+                eq(var(2), var(3)),
+            ),
+        ),
+        // the range of R5 lands in R4, and everything R5 maps from is in R2
+        forall(
+            [1, 2],
+            implies(
+                atom(rels::R5.index(), [var(1), var(2)]),
+                and(atom(rels::R2.index(), [var(1)]), atom(rels::R4.index(), [var(2)])),
+            ),
+        ),
+        // R4 is a clique of R1
+        forall(
+            [1, 2],
+            implies(
+                and_all([
+                    atom(rels::R4.index(), [var(1)]),
+                    atom(rels::R4.index(), [var(2)]),
+                    neq(var(1), var(2)),
+                ]),
+                atom(rels::R1.index(), [var(1), var(2)]),
+            ),
+        ),
+    ]))
+    .expect("closed")
+}
+
+/// The transformation `τ_φ` of Example 7 (the comparison with the scratch
+/// copies is done by the runner, as described in the paper's prose).
+pub fn transform() -> Transform {
+    Transform::insert(clique_sentence())
+}
+
+/// Whether the graph (given as undirected edges over vertices `1..=n`) has a
+/// clique of exactly `k` vertices.
+pub fn has_clique_of_size(t: &Transformer, edges: &[(u32, u32)], k: usize) -> Result<bool> {
+    if k == 0 {
+        return Ok(true);
+    }
+    if k == 1 {
+        // a single vertex is a clique as soon as the graph has any vertex
+        return Ok(!edges.is_empty());
+    }
+    let graph = undirected_graph_database(rels::R1, edges);
+    let max_vertex = graph
+        .constants()
+        .into_iter()
+        .map(|c| c.index())
+        .max()
+        .unwrap_or(0);
+    // marker elements, disjoint from the vertices
+    let mut db: Database = graph;
+    for i in 0..k {
+        db.insert_fact(rels::R2, kbt_data::tuple![max_vertex + 1 + i as u32])?;
+    }
+    let original = db.clone();
+    let kb = Knowledgebase::singleton(db);
+    let result = t.apply(&transform(), &kb)?.kb;
+    // a clique exists iff some minimal world left R1 and R2 untouched
+    let found = result.iter().any(|world| {
+        world.relation(rels::R1) == original.relation(rels::R1)
+            && world.relation(rels::R2) == original.relation(rels::R2)
+    });
+    Ok(found)
+}
+
+/// Whether the maximum clique of the graph has exactly size `k`
+/// (Example 7's overall query: a clique of size `k` exists but none of size
+/// `k + 1`).
+pub fn maximum_clique_is(t: &Transformer, edges: &[(u32, u32)], k: usize) -> Result<bool> {
+    Ok(has_clique_of_size(t, edges, k)? && !has_clique_of_size(t, edges, k + 1)?)
+}
+
+/// Brute-force maximum clique, the baseline for the tests and benchmarks.
+pub fn baseline_max_clique(edges: &[(u32, u32)]) -> usize {
+    use std::collections::BTreeSet;
+    let vertices: Vec<u32> = edges
+        .iter()
+        .flat_map(|&(a, b)| [a, b])
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let adjacent: BTreeSet<(u32, u32)> = edges
+        .iter()
+        .flat_map(|&(a, b)| [(a, b), (b, a)])
+        .collect();
+    let n = vertices.len();
+    let mut best = 0;
+    for bits in 0..(1u32 << n) {
+        let chosen: Vec<u32> = (0..n)
+            .filter(|i| bits & (1 << i) != 0)
+            .map(|i| vertices[i])
+            .collect();
+        let is_clique = chosen
+            .iter()
+            .all(|&a| chosen.iter().all(|&b| a == b || adjacent.contains(&(a, b))));
+        if is_clique {
+            best = best.max(chosen.len());
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clique_detection_on_a_triangle_with_a_pendant() {
+        // vertices 1-2-3 form a triangle, 4 hangs off 3.
+        let edges = vec![(1, 2), (2, 3), (1, 3), (3, 4)];
+        assert_eq!(baseline_max_clique(&edges), 3);
+        let t = Transformer::new();
+        assert!(has_clique_of_size(&t, &edges, 2).unwrap());
+        assert!(has_clique_of_size(&t, &edges, 3).unwrap());
+        assert!(!has_clique_of_size(&t, &edges, 4).unwrap());
+    }
+
+    #[test]
+    fn maximum_clique_query_matches_the_baseline() {
+        let t = Transformer::new();
+        let graphs: Vec<Vec<(u32, u32)>> = vec![
+            vec![(1, 2), (2, 3)], // a path: maximum clique 2
+        ];
+        for edges in graphs {
+            let k = baseline_max_clique(&edges);
+            assert!(
+                maximum_clique_is(&t, &edges, k).unwrap(),
+                "maximum clique of {edges:?} should be {k}"
+            );
+            assert!(!maximum_clique_is(&t, &edges, k + 1).unwrap());
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Example 6 — the parity query.
+//!
+//! Does a unary relation `r1` have an even number of elements?  Parity is the
+//! classical example of a query that is not first-order expressible; the
+//! paper expresses it as a transformation: guess a partition of `r1` into
+//! `r2` and `r3`, build the Cartesian product `r4 = r2 × r3`, prune it to a
+//! maximal one-to-one correspondence (the minimality of `µ` under the
+//! functionality constraints does the pruning), collect the covered elements
+//! in `r5`, and finally flag the uncovered elements `r1 \ r5` in `r6`.  Some
+//! possible world ends with `r6` empty exactly when `r1` can be split into
+//! two equal halves, i.e. when `|r1|` is even.
+
+use kbt_data::Knowledgebase;
+use kbt_logic::builder::*;
+use kbt_logic::Sentence;
+
+use crate::examples::{rels, set_database};
+use crate::transform::Transform;
+use crate::transformer::Transformer;
+use crate::Result;
+
+/// `v'`: every element of `R1` goes to `R2` or `R3`.
+pub fn upsilon_prime() -> Sentence {
+    Sentence::new(forall(
+        [1],
+        implies(
+            atom(rels::R1.index(), [var(1)]),
+            or(atom(rels::R2.index(), [var(1)]), atom(rels::R3.index(), [var(1)])),
+        ),
+    ))
+    .expect("closed")
+}
+
+/// `φ.`: `R4` contains the Cartesian product `R2 × R3`.
+pub fn product() -> Sentence {
+    Sentence::new(forall(
+        [1, 2],
+        implies(
+            and(atom(rels::R2.index(), [var(1)]), atom(rels::R3.index(), [var(2)])),
+            atom(rels::R4.index(), [var(1), var(2)]),
+        ),
+    ))
+    .expect("closed")
+}
+
+/// `κ`: `R4` is one-to-one in both directions.
+pub fn functionality() -> Sentence {
+    Sentence::new(and(
+        forall(
+            [1, 2, 3],
+            implies(
+                and(
+                    atom(rels::R4.index(), [var(1), var(2)]),
+                    atom(rels::R4.index(), [var(1), var(3)]),
+                ),
+                eq(var(2), var(3)),
+            ),
+        ),
+        forall(
+            [1, 2, 3],
+            implies(
+                and(
+                    atom(rels::R4.index(), [var(2), var(1)]),
+                    atom(rels::R4.index(), [var(3), var(1)]),
+                ),
+                eq(var(2), var(3)),
+            ),
+        ),
+    ))
+    .expect("closed")
+}
+
+/// `λ`: `R5` collects every element occurring in `R4`.
+pub fn covered() -> Sentence {
+    Sentence::new(forall(
+        [1, 2],
+        implies(
+            or(
+                atom(rels::R4.index(), [var(1), var(2)]),
+                atom(rels::R4.index(), [var(2), var(1)]),
+            ),
+            atom(rels::R5.index(), [var(1)]),
+        ),
+    ))
+    .expect("closed")
+}
+
+/// `ι`: `R6` receives `R1 \ R5` — the elements left unmatched.
+pub fn uncovered() -> Sentence {
+    Sentence::new(forall(
+        [1],
+        implies(
+            and(
+                atom(rels::R1.index(), [var(1)]),
+                not(atom(rels::R5.index(), [var(1)]))),
+            atom(rels::R6.index(), [var(1)]),
+        ),
+    ))
+    .expect("closed")
+}
+
+/// The full Example 6 expression
+/// `π_6 ∘ τ_ι ∘ π_{1,5} ∘ τ_λ ∘ τ_κ ∘ τ_{φ.} ∘ τ_{v'}`.
+pub fn transform() -> Transform {
+    Transform::insert(upsilon_prime())
+        .then(Transform::insert(product()))
+        .then(Transform::insert(functionality()))
+        .then(Transform::insert(covered()))
+        .then(Transform::project(vec![rels::R1, rels::R5]))
+        .then(Transform::insert(uncovered()))
+        .then(Transform::project(vec![rels::R6]))
+}
+
+/// Runs Example 6: is the number of elements even?
+pub fn is_even(t: &Transformer, elements: &[u32]) -> Result<bool> {
+    let kb = Knowledgebase::singleton(set_database(rels::R1, elements));
+    let result = t.apply(&transform(), &kb)?.kb;
+    // even iff some possible world ends with R6 empty
+    let even = result
+        .iter()
+        .any(|db| db.relation(rels::R6).map_or(true, |r| r.is_empty()));
+    Ok(even)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parity_of_small_sets() {
+        let t = Transformer::new();
+        assert!(is_even(&t, &[]).unwrap(), "the empty set is even");
+        assert!(!is_even(&t, &[1]).unwrap());
+        assert!(is_even(&t, &[1, 2]).unwrap());
+        assert!(!is_even(&t, &[1, 2, 3]).unwrap());
+    }
+
+    #[test]
+    fn parity_does_not_depend_on_which_constants_are_used() {
+        let t = Transformer::new();
+        assert!(is_even(&t, &[7, 11]).unwrap());
+        assert!(!is_even(&t, &[42]).unwrap());
+    }
+}

@@ -1,0 +1,94 @@
+//! The "robot vehicles orbiting Venus" scenario — Example 1.1 and Example 4.
+//!
+//! Two vehicles `V` and `W` orbit Venus.  A garbled message "I have landed"
+//! leaves the knowledgebase in the disjunctive state
+//! `kb = {({v}), ({w})}`: either `V` has landed or `W` has (but not both, as
+//! far as we know).  Learning that `V` has landed is an *update* (the world
+//! changed), not a revision; the KM semantics gives
+//! `τ_{R1(v)}(kb) = {({v}), ({v, w})}` — we now know that `V` has landed and
+//! nothing about `W`, exactly the outcome argued for in Example 1.1.
+
+use kbt_data::{Const, DatabaseBuilder, Knowledgebase, RelId};
+use kbt_logic::builder::*;
+use kbt_logic::Sentence;
+
+use crate::hypothetical::{counterfactual, HypotheticalAnswer};
+use crate::transformer::Transformer;
+use crate::Result;
+
+/// The `landed` relation (`R1` in the paper's Section 2 rendering).
+pub const LANDED: RelId = RelId::new(1);
+/// The constant naming vehicle `V`.
+pub const V: Const = Const::new(1);
+/// The constant naming vehicle `W`.
+pub const W: Const = Const::new(2);
+
+/// The knowledgebase after the garbled message: either `V` landed or `W` did.
+pub fn initial_knowledgebase() -> Knowledgebase {
+    Knowledgebase::from_databases([
+        DatabaseBuilder::new().fact(LANDED, [V.index()]).build().unwrap(),
+        DatabaseBuilder::new().fact(LANDED, [W.index()]).build().unwrap(),
+    ])
+    .expect("same schema")
+}
+
+/// The sentence "V has landed".
+pub fn v_landed() -> Sentence {
+    Sentence::new(atom(LANDED.index(), [cst(V.index())])).expect("closed")
+}
+
+/// The sentence "W has landed".
+pub fn w_landed() -> Sentence {
+    Sentence::new(atom(LANDED.index(), [cst(W.index())])).expect("closed")
+}
+
+/// Performs the update of Example 1.1: learn that `V` has landed.
+pub fn learn_v_landed(t: &Transformer) -> Result<Knowledgebase> {
+    Ok(t.insert(&v_landed(), &initial_knowledgebase())?.kb)
+}
+
+/// The hypothetical query of Example 4: *"if V had landed, would W be
+/// necessarily still orbiting?"*  The paper's answer is **no**.
+pub fn would_w_still_be_orbiting(t: &Transformer) -> Result<bool> {
+    let answer = counterfactual(
+        t,
+        &v_landed(),
+        &Sentence::new(not(atom(LANDED.index(), [cst(W.index())]))).expect("closed"),
+        &initial_knowledgebase(),
+    )?;
+    Ok(answer == HypotheticalAnswer::Necessarily)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_1_1_update_keeps_w_possible() {
+        let t = Transformer::new();
+        let updated = learn_v_landed(&t).unwrap();
+        assert_eq!(updated.len(), 2);
+        // V has certainly landed …
+        assert!(updated.certainly_holds(LANDED, &kbt_data::tuple![1]));
+        // … but W's status is unknown: possible in one world, absent in another.
+        assert!(updated.possibly_holds(LANDED, &kbt_data::tuple![2]));
+        assert!(!updated.certainly_holds(LANDED, &kbt_data::tuple![2]));
+    }
+
+    #[test]
+    fn the_agm_style_answer_would_be_wrong() {
+        // The AGM revision answer would be {({v})} — i.e. "W has certainly
+        // not landed".  The update semantics must NOT produce that.
+        let t = Transformer::new();
+        let updated = learn_v_landed(&t).unwrap();
+        let only_v = DatabaseBuilder::new().fact(LANDED, [1u32]).build().unwrap();
+        assert!(updated.contains(&only_v));
+        assert_ne!(updated, Knowledgebase::singleton(only_v));
+    }
+
+    #[test]
+    fn example_4_hypothetical_query_answers_no() {
+        let t = Transformer::new();
+        assert!(!would_w_still_be_orbiting(&t).unwrap());
+    }
+}

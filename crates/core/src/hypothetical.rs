@@ -1,0 +1,140 @@
+//! Hypothetical and counterfactual queries expressed through updates.
+//!
+//! Example 4 of the paper shows that subjective ("what if") queries are
+//! expressible by transformations: *"if V had landed, would W necessarily
+//! still be orbiting?"* is answered by updating the knowledgebase with the
+//! antecedent and then inspecting the certain consequences.  A counterfactual
+//! `A > B` (with `A` known to be false) is true when, after inserting `A`,
+//! the consequent `B` holds in every resulting world; right-nested
+//! counterfactuals `A > (B > C)` become nested updates `τ_A(τ_B(τ_C))…` — the
+//! note after Example 4.
+
+use kbt_data::Knowledgebase;
+use kbt_logic::{satisfies, Sentence};
+
+use crate::transformer::Transformer;
+use crate::Result;
+
+/// The answer to a hypothetical query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HypotheticalAnswer {
+    /// The consequent holds in every world after the hypothetical update.
+    Necessarily,
+    /// The consequent holds in some but not all worlds.
+    Possibly,
+    /// The consequent holds in no world (or the update is inconsistent).
+    Never,
+}
+
+/// Evaluates the counterfactual / hypothetical query `antecedent > consequent`
+/// on a knowledgebase: update with the antecedent, then classify how the
+/// consequent fares across the resulting worlds.
+pub fn counterfactual(
+    t: &Transformer,
+    antecedent: &Sentence,
+    consequent: &Sentence,
+    kb: &Knowledgebase,
+) -> Result<HypotheticalAnswer> {
+    let updated = t.insert(antecedent, kb)?.kb;
+    classify(&updated, consequent)
+}
+
+/// Evaluates a right-nested counterfactual `a_1 > (a_2 > (… > consequent))`
+/// by nesting the updates, as described in the note after Example 4.
+pub fn nested_counterfactual(
+    t: &Transformer,
+    antecedents: &[Sentence],
+    consequent: &Sentence,
+    kb: &Knowledgebase,
+) -> Result<HypotheticalAnswer> {
+    let mut current = kb.clone();
+    for a in antecedents {
+        current = t.insert(a, &current)?.kb;
+    }
+    classify(&current, consequent)
+}
+
+fn classify(kb: &Knowledgebase, consequent: &Sentence) -> Result<HypotheticalAnswer> {
+    let mut holds = 0usize;
+    let mut total = 0usize;
+    for db in kb.iter() {
+        total += 1;
+        let ok = if consequent.schema().is_subschema_of(&db.schema()) {
+            satisfies(db, consequent)?
+        } else {
+            false
+        };
+        if ok {
+            holds += 1;
+        }
+    }
+    Ok(if total == 0 || holds == 0 {
+        HypotheticalAnswer::Never
+    } else if holds == total {
+        HypotheticalAnswer::Necessarily
+    } else {
+        HypotheticalAnswer::Possibly
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kbt_data::{DatabaseBuilder, RelId};
+    use kbt_logic::builder::*;
+
+    fn r(i: u32) -> RelId {
+        RelId::new(i)
+    }
+
+    /// Example 4: kb = {({v}), ({w})}; query "if V had landed, would W be
+    /// necessarily still orbiting?"  The answer is *no*, because
+    /// ⊔ τ_{R1(v)}(kb) = {({v, w})} contains w.
+    #[test]
+    fn robots_counterfactual_from_example_4() {
+        let v = 1u32;
+        let w = 2u32;
+        let kb = Knowledgebase::from_databases([
+            DatabaseBuilder::new().fact(r(1), [v]).build().unwrap(),
+            DatabaseBuilder::new().fact(r(1), [w]).build().unwrap(),
+        ])
+        .unwrap();
+        let t = Transformer::new();
+        let v_landed = Sentence::new(atom(1, [cst(v)])).unwrap();
+        let w_still_orbiting = Sentence::new(not(atom(1, [cst(w)]))).unwrap();
+        let answer = counterfactual(&t, &v_landed, &w_still_orbiting, &kb).unwrap();
+        // one world keeps W orbiting, the other does not → only "possibly"
+        assert_eq!(answer, HypotheticalAnswer::Possibly);
+
+        // but "has V landed?" is necessarily true after the update
+        let answer = counterfactual(&t, &v_landed, &v_landed, &kb).unwrap();
+        assert_eq!(answer, HypotheticalAnswer::Necessarily);
+    }
+
+    #[test]
+    fn nested_counterfactuals_update_sequentially() {
+        let kb = Knowledgebase::singleton(
+            DatabaseBuilder::new().relation(r(1), 1).build().unwrap(),
+        );
+        let t = Transformer::new();
+        let a = Sentence::new(atom(1, [cst(1)])).unwrap();
+        let b = Sentence::new(atom(1, [cst(2)])).unwrap();
+        let both = Sentence::new(and(atom(1, [cst(1)]), atom(1, [cst(2)]))).unwrap();
+        let answer = nested_counterfactual(&t, &[a, b], &both, &kb).unwrap();
+        assert_eq!(answer, HypotheticalAnswer::Necessarily);
+    }
+
+    #[test]
+    fn inconsistent_antecedent_gives_never() {
+        let kb = Knowledgebase::singleton(
+            DatabaseBuilder::new().fact(r(1), [1u32]).build().unwrap(),
+        );
+        let t = Transformer::new();
+        let contradiction = Sentence::new(and(atom(1, [cst(1)]), not(atom(1, [cst(1)])))).unwrap();
+        let anything = Sentence::new(atom(1, [cst(1)])).unwrap();
+        assert_eq!(
+            counterfactual(&t, &contradiction, &anything, &kb).unwrap(),
+            HypotheticalAnswer::Never
+        );
+    }
+}

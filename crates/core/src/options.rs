@@ -1,0 +1,134 @@
+//! Evaluation options, strategies and statistics.
+
+/// How the insertion operator `τ_φ` is evaluated.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Pick the cheapest applicable strategy per sentence: `Datalog` when the
+    /// sentence is a conjunction of Horn clauses over fresh head relations,
+    /// `QuantifierFree` when it is ground, `Grounding` otherwise.
+    #[default]
+    Auto,
+    /// Enumerate every candidate database over the active domain and keep the
+    /// Winslett-minimal models (the literal form of definition (9)).
+    /// Exponential in the number of candidate facts; used as ground truth in
+    /// tests.
+    Exhaustive,
+    /// Ground the sentence, encode to CNF and enumerate subset-minimal models
+    /// with the SAT substrate, in two stages mirroring the Winslett order.
+    Grounding,
+    /// The PTIME algorithm of Theorem 4.7: only the ground atoms mentioned in
+    /// the sentence may change.
+    QuantifierFree,
+    /// The PTIME least-fixpoint algorithm of Theorem 4.8 for Horn sentences
+    /// defining fresh relations.
+    Datalog,
+}
+
+impl Strategy {
+    /// A short human-readable name (used in error messages and benchmarks).
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Auto => "Auto",
+            Strategy::Exhaustive => "Exhaustive",
+            Strategy::Grounding => "Grounding",
+            Strategy::QuantifierFree => "QuantifierFree",
+            Strategy::Datalog => "Datalog",
+        }
+    }
+}
+
+/// Options controlling transformation evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EvalOptions {
+    /// Strategy used for `τ_φ`.
+    pub strategy: Strategy,
+    /// Ceiling on the number of candidate ground atoms an update may need
+    /// (relations of the result schema × tuples over the active domain).
+    pub max_ground_atoms: usize,
+    /// Ceiling on the number of possible worlds a knowledgebase may grow to.
+    pub max_worlds: usize,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            strategy: Strategy::Auto,
+            max_ground_atoms: 200_000,
+            max_worlds: 100_000,
+        }
+    }
+}
+
+impl EvalOptions {
+    /// Options with the given strategy and default limits.
+    pub fn with_strategy(strategy: Strategy) -> Self {
+        EvalOptions {
+            strategy,
+            ..EvalOptions::default()
+        }
+    }
+}
+
+/// Statistics accumulated while evaluating a transformation expression.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Number of `τ_φ` applications to individual databases (`µ` calls).
+    pub updates: usize,
+    /// Total number of candidate ground atoms considered across updates.
+    pub candidate_atoms: usize,
+    /// Total number of minimal models produced by `µ`.
+    pub minimal_models: usize,
+    /// Number of operator applications (τ, ⊓, ⊔, π) evaluated.
+    pub operators: usize,
+}
+
+impl EvalStats {
+    /// Merges another statistics record into this one.
+    pub fn absorb(&mut self, other: &EvalStats) {
+        self.updates += other.updates;
+        self.candidate_atoms += other.candidate_atoms;
+        self.minimal_models += other.minimal_models;
+        self.operators += other.operators;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let o = EvalOptions::default();
+        assert_eq!(o.strategy, Strategy::Auto);
+        assert!(o.max_ground_atoms > 0);
+        assert!(o.max_worlds > 0);
+        assert_eq!(Strategy::default(), Strategy::Auto);
+    }
+
+    #[test]
+    fn stats_absorb_adds_fields() {
+        let mut a = EvalStats {
+            updates: 1,
+            candidate_atoms: 10,
+            minimal_models: 2,
+            operators: 3,
+        };
+        let b = EvalStats {
+            updates: 2,
+            candidate_atoms: 5,
+            minimal_models: 1,
+            operators: 1,
+        };
+        a.absorb(&b);
+        assert_eq!(a.updates, 3);
+        assert_eq!(a.candidate_atoms, 15);
+        assert_eq!(a.minimal_models, 3);
+        assert_eq!(a.operators, 4);
+    }
+
+    #[test]
+    fn strategy_names() {
+        assert_eq!(Strategy::Grounding.name(), "Grounding");
+        assert_eq!(Strategy::Auto.name(), "Auto");
+    }
+}

@@ -1,0 +1,210 @@
+//! Transformation expressions — the language Θ.
+//!
+//! A transformation expression is a composition of the four operators
+//! `τ_φ`, `⊓`, `⊔` and `π`.  The paper writes compositions right-to-left
+//! (`π_2 τ_φ (kb)` applies `τ_φ` first); the [`Transform::then`] builder
+//! reads left-to-right, which is how pipelines are usually written in Rust.
+
+use std::fmt;
+
+use kbt_data::RelId;
+use kbt_logic::Sentence;
+
+/// A transformation expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Transform {
+    /// The identity transformation (empty composition).
+    Identity,
+    /// `τ_φ` — insert the sentence `φ`.
+    Insert(Sentence),
+    /// `⊓` — replace the knowledgebase by the singleton holding the
+    /// componentwise intersection of its databases.
+    Glb,
+    /// `⊔` — componentwise union.
+    Lub,
+    /// `π_{i1,…,ik}` — project every database onto the listed relations.
+    Project(Vec<RelId>),
+    /// Sequential composition, applied left to right (the first element is
+    /// applied first).
+    Seq(Vec<Transform>),
+}
+
+impl Transform {
+    /// `τ_φ` for a sentence.
+    pub fn insert(phi: Sentence) -> Transform {
+        Transform::Insert(phi)
+    }
+
+    /// `π` onto the given relations.
+    pub fn project(rels: impl Into<Vec<RelId>>) -> Transform {
+        Transform::Project(rels.into())
+    }
+
+    /// Sequential composition `self ; next` (apply `self` first).
+    pub fn then(self, next: Transform) -> Transform {
+        match (self, next) {
+            (Transform::Identity, t) | (t, Transform::Identity) => t,
+            (Transform::Seq(mut a), Transform::Seq(b)) => {
+                a.extend(b);
+                Transform::Seq(a)
+            }
+            (Transform::Seq(mut a), t) => {
+                a.push(t);
+                Transform::Seq(a)
+            }
+            (t, Transform::Seq(b)) => {
+                let mut a = vec![t];
+                a.extend(b);
+                Transform::Seq(a)
+            }
+            (a, b) => Transform::Seq(vec![a, b]),
+        }
+    }
+
+    /// The steps of the expression in application order.
+    pub fn steps(&self) -> Vec<&Transform> {
+        match self {
+            Transform::Seq(parts) => parts.iter().flat_map(|p| p.steps()).collect(),
+            Transform::Identity => Vec::new(),
+            other => vec![other],
+        }
+    }
+
+    /// Number of primitive operators in the expression.
+    pub fn len(&self) -> usize {
+        self.steps().len()
+    }
+
+    /// Whether the expression contains no operators.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of `τ` operators in the expression.
+    pub fn insert_count(&self) -> usize {
+        self.steps()
+            .iter()
+            .filter(|t| matches!(t, Transform::Insert(_)))
+            .count()
+    }
+
+    /// Total size (operators plus sentence sizes), the measure `|θ|` used by
+    /// the expression-complexity experiments.
+    pub fn size(&self) -> usize {
+        self.steps()
+            .iter()
+            .map(|t| match t {
+                Transform::Insert(phi) => 1 + phi.size(),
+                _ => 1,
+            })
+            .sum()
+    }
+
+    /// Whether the expression has the shape `(π ∘ b ∘ τ)*` with `b ∈ {⊓, ⊔}`
+    /// studied in Section 5 (the class `ST` of singleton-to-singleton
+    /// transformations).
+    pub fn is_st_shape(&self) -> bool {
+        let steps = self.steps();
+        if steps.is_empty() || steps.len() % 3 != 0 {
+            return false;
+        }
+        steps.chunks(3).all(|chunk| {
+            matches!(chunk[0], Transform::Insert(_))
+                && matches!(chunk[1], Transform::Glb | Transform::Lub)
+                && matches!(chunk[2], Transform::Project(_))
+        })
+    }
+}
+
+impl Default for Transform {
+    fn default() -> Self {
+        Transform::Identity
+    }
+}
+
+impl fmt::Display for Transform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Transform::Identity => write!(f, "id"),
+            Transform::Insert(phi) => write!(f, "τ[{phi}]"),
+            Transform::Glb => write!(f, "⊓"),
+            Transform::Lub => write!(f, "⊔"),
+            Transform::Project(rels) => {
+                write!(f, "π[")?;
+                for (i, r) in rels.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{r}")?;
+                }
+                write!(f, "]")
+            }
+            Transform::Seq(parts) => {
+                // written right-to-left, as in the paper
+                for (i, p) in parts.iter().rev().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∘ ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kbt_logic::builder::*;
+
+    fn sent() -> Sentence {
+        Sentence::new(atom(1, [cst(1)])).unwrap()
+    }
+
+    #[test]
+    fn then_flattens_compositions() {
+        let t = Transform::insert(sent())
+            .then(Transform::Lub)
+            .then(Transform::project([RelId::new(2)]));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.insert_count(), 1);
+        assert!(t.is_st_shape());
+        let tt = t.clone().then(t.clone());
+        assert_eq!(tt.len(), 6);
+        assert!(tt.is_st_shape());
+    }
+
+    #[test]
+    fn identity_is_a_unit_for_composition() {
+        let t = Transform::insert(sent());
+        assert_eq!(Transform::Identity.then(t.clone()), t);
+        assert_eq!(t.clone().then(Transform::Identity), t);
+        assert!(Transform::Identity.is_empty());
+    }
+
+    #[test]
+    fn st_shape_requires_the_full_pattern() {
+        let only_insert = Transform::insert(sent());
+        assert!(!only_insert.is_st_shape());
+        let wrong_order = Transform::Glb
+            .then(Transform::insert(sent()))
+            .then(Transform::project([RelId::new(1)]));
+        assert!(!wrong_order.is_st_shape());
+    }
+
+    #[test]
+    fn size_accounts_for_sentences() {
+        let t = Transform::insert(sent()).then(Transform::Glb);
+        assert_eq!(t.size(), 1 + sent().size() + 1);
+    }
+
+    #[test]
+    fn display_is_right_to_left() {
+        let t = Transform::insert(sent())
+            .then(Transform::Lub)
+            .then(Transform::project([RelId::new(2)]));
+        let text = t.to_string();
+        assert!(text.starts_with("π[R2] ∘ ⊔ ∘ τ["));
+    }
+}

@@ -1,0 +1,216 @@
+//! The transformation evaluator: applying expressions to knowledgebases.
+//!
+//! Definition (10): `τ_φ(kb) = ⋃_{db ∈ kb} µ(φ, db)`.  The other operators
+//! are the glb/lub/projection functions of `kbt-data`.  The evaluator walks a
+//! [`Transform`] expression step by step, carrying statistics and enforcing
+//! the resource limits of [`EvalOptions`].
+
+use kbt_data::Knowledgebase;
+
+use crate::error::CoreError;
+use crate::options::{EvalOptions, EvalStats};
+use crate::transform::Transform;
+use crate::update::minimal_update;
+use crate::Result;
+
+/// The result of applying a transformation expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TransformResult {
+    /// The resulting knowledgebase.
+    pub kb: Knowledgebase,
+    /// Statistics about the evaluation.
+    pub stats: EvalStats,
+}
+
+/// Evaluates transformation expressions under a fixed set of options.
+#[derive(Clone, Debug, Default)]
+pub struct Transformer {
+    options: EvalOptions,
+}
+
+impl Transformer {
+    /// A transformer with default options (automatic strategy selection).
+    pub fn new() -> Self {
+        Transformer::default()
+    }
+
+    /// A transformer with explicit options.
+    pub fn with_options(options: EvalOptions) -> Self {
+        Transformer { options }
+    }
+
+    /// The options in use.
+    pub fn options(&self) -> &EvalOptions {
+        &self.options
+    }
+
+    /// Applies a transformation expression to a knowledgebase.
+    pub fn apply(&self, transform: &Transform, kb: &Knowledgebase) -> Result<TransformResult> {
+        let mut stats = EvalStats::default();
+        let kb = self.apply_inner(transform, kb.clone(), &mut stats)?;
+        Ok(TransformResult { kb, stats })
+    }
+
+    /// Convenience: apply a single insertion `τ_φ`.
+    pub fn insert(
+        &self,
+        phi: &kbt_logic::Sentence,
+        kb: &Knowledgebase,
+    ) -> Result<TransformResult> {
+        self.apply(&Transform::Insert(phi.clone()), kb)
+    }
+
+    fn apply_inner(
+        &self,
+        transform: &Transform,
+        kb: Knowledgebase,
+        stats: &mut EvalStats,
+    ) -> Result<Knowledgebase> {
+        match transform {
+            Transform::Identity => Ok(kb),
+            Transform::Seq(parts) => {
+                let mut current = kb;
+                for part in parts {
+                    current = self.apply_inner(part, current, stats)?;
+                }
+                Ok(current)
+            }
+            Transform::Insert(phi) => {
+                stats.operators += 1;
+                let mut out = Knowledgebase::empty();
+                for db in kb.iter() {
+                    let outcome = minimal_update(phi, db, &self.options)?;
+                    stats.updates += 1;
+                    stats.candidate_atoms += outcome.candidate_atoms;
+                    stats.minimal_models += outcome.databases.len();
+                    for result in outcome.databases {
+                        out.insert(result)?;
+                        if out.len() > self.options.max_worlds {
+                            return Err(CoreError::TooManyWorlds {
+                                worlds: out.len(),
+                                limit: self.options.max_worlds,
+                            });
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            Transform::Glb => {
+                stats.operators += 1;
+                Ok(kb.glb()?)
+            }
+            Transform::Lub => {
+                stats.operators += 1;
+                Ok(kb.lub()?)
+            }
+            Transform::Project(rels) => {
+                stats.operators += 1;
+                Ok(kb.project(rels))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kbt_data::{DatabaseBuilder, RelId};
+    use kbt_logic::builder::*;
+    use kbt_logic::Sentence;
+
+    fn r(i: u32) -> RelId {
+        RelId::new(i)
+    }
+
+    fn space_kb() -> Knowledgebase {
+        // kb = {({v}), ({w})} with v = a1, w = a2, over schema R1 (unary).
+        let db_v = DatabaseBuilder::new().fact(r(1), [1u32]).build().unwrap();
+        let db_w = DatabaseBuilder::new().fact(r(1), [2u32]).build().unwrap();
+        Knowledgebase::from_databases([db_v, db_w]).unwrap()
+    }
+
+    #[test]
+    fn insertion_unions_the_per_database_results() {
+        // Section 2: τ_{R1(v)}(kb) = {({v}), ({v, w})}.
+        let t = Transformer::new();
+        let phi = Sentence::new(atom(1, [cst(1)])).unwrap();
+        let result = t.insert(&phi, &space_kb()).unwrap();
+        assert_eq!(result.kb.len(), 2);
+        assert_eq!(result.stats.updates, 2);
+        assert_eq!(result.stats.minimal_models, 2);
+        let both = DatabaseBuilder::new()
+            .fact(r(1), [1u32])
+            .fact(r(1), [2u32])
+            .build()
+            .unwrap();
+        assert!(result.kb.contains(&both));
+    }
+
+    #[test]
+    fn glb_lub_and_projection_operators() {
+        let t = Transformer::new();
+        let kb = space_kb();
+        let glb = t.apply(&Transform::Glb, &kb).unwrap().kb;
+        assert!(glb.as_singleton().unwrap().relation(r(1)).unwrap().is_empty());
+        let lub = t.apply(&Transform::Lub, &kb).unwrap().kb;
+        assert_eq!(lub.as_singleton().unwrap().fact_count(), 2);
+
+        let phi = Sentence::new(forall([1], implies(atom(1, [var(1)]), atom(2, [var(1)])))).unwrap();
+        let proj = t
+            .apply(
+                &Transform::insert(phi).then(Transform::project([r(2)])),
+                &kb,
+            )
+            .unwrap()
+            .kb;
+        for db in proj.iter() {
+            assert!(db.relation(r(1)).is_none());
+            assert_eq!(db.relation(r(2)).unwrap().len(), 1);
+        }
+    }
+
+    #[test]
+    fn composition_applies_left_to_right() {
+        // first copy R1 into R2, then ask for the glb — not the same as the
+        // other order (Lemma 2.1 explores this in depth).
+        let t = Transformer::new();
+        let phi = Sentence::new(forall([1], implies(atom(1, [var(1)]), atom(2, [var(1)])))).unwrap();
+        let expr = Transform::insert(phi).then(Transform::Glb);
+        let result = t.apply(&expr, &space_kb()).unwrap();
+        assert!(result.kb.is_singleton());
+        assert_eq!(result.stats.operators, 2);
+        assert_eq!(result.stats.updates, 2);
+    }
+
+    #[test]
+    fn identity_returns_the_input() {
+        let t = Transformer::new();
+        let kb = space_kb();
+        assert_eq!(t.apply(&Transform::Identity, &kb).unwrap().kb, kb);
+    }
+
+    #[test]
+    fn world_limit_is_enforced() {
+        let opts = EvalOptions {
+            max_worlds: 1,
+            ..EvalOptions::default()
+        };
+        let t = Transformer::with_options(opts);
+        // inserting a disjunction into a singleton creates two worlds > limit
+        let db = DatabaseBuilder::new().fact(r(1), [1u32]).build().unwrap();
+        let kb = Knowledgebase::singleton(db);
+        let phi = Sentence::new(or(atom(1, [cst(2)]), atom(1, [cst(3)]))).unwrap();
+        assert!(matches!(
+            t.insert(&phi, &kb),
+            Err(CoreError::TooManyWorlds { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_knowledgebase_stays_empty_under_insertion() {
+        let t = Transformer::new();
+        let phi = Sentence::new(atom(1, [cst(1)])).unwrap();
+        let result = t.insert(&phi, &Knowledgebase::empty()).unwrap();
+        assert!(result.kb.is_empty());
+    }
+}

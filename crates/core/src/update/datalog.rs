@@ -1,0 +1,163 @@
+//! The Datalog fast path — Theorem 4.8.
+//!
+//! When the inserted sentence is a conjunction of function-free Horn clauses
+//! whose head relations are *fresh* (not part of the input database's
+//! schema), the Winslett-minimal update is unique: the input relations stay
+//! untouched (an empty symmetric difference is feasible, so stage one of the
+//! order forces it) and the fresh relations take the least values satisfying
+//! the clauses — i.e. the least fixpoint of the corresponding Datalog
+//! program, computable in polynomial time by semi-naive evaluation.
+
+use kbt_data::Database;
+use kbt_datalog::{program_from_sentence, semi_naive_eval};
+use kbt_logic::{horn_clauses, Sentence};
+
+use crate::error::CoreError;
+use crate::options::EvalOptions;
+use crate::update::UpdateOutcome;
+use crate::Result;
+
+/// Whether the Datalog fast path applies to `φ` and `db`: the sentence is a
+/// conjunction of range-restricted Horn clauses, and every head relation is
+/// absent from `σ(db)`.
+pub fn applicable(phi: &Sentence, db: &Database) -> bool {
+    let Some(clauses) = horn_clauses(phi) else {
+        return false;
+    };
+    let old = db.schema();
+    if clauses.iter().any(|c| old.contains(c.head_relation())) {
+        return false;
+    }
+    // range-restriction (safety) is re-checked by Program construction
+    kbt_datalog::program_from_horn(&clauses).is_ok()
+}
+
+/// Computes `µ(φ, db)` for a Horn sentence defining fresh relations.
+pub fn datalog_update(
+    phi: &Sentence,
+    db: &Database,
+    options: &EvalOptions,
+) -> Result<UpdateOutcome> {
+    if !applicable(phi, db) {
+        return Err(CoreError::StrategyNotApplicable {
+            strategy: "Datalog",
+            reason:
+                "the sentence is not a conjunction of safe Horn clauses over fresh head relations"
+                    .to_string(),
+        });
+    }
+    // No candidate universe is materialised here: the result schema is just
+    // σ(db) ∪ σ(φ) and the fixpoint engine works directly on the database,
+    // which is what makes this path polynomial (Theorem 4.8).
+    let _ = options;
+    let program = program_from_sentence(phi)?;
+    let schema = db.schema().union(&phi.schema())?;
+    let lifted = db.extend_schema(&schema)?;
+    let (fixpoint, _stats) = semi_naive_eval(&program, &lifted)?;
+    Ok(UpdateOutcome {
+        databases: vec![fixpoint],
+        candidate_atoms: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::update::exhaustive::exhaustive_update;
+    use crate::update::grounding::grounding_update;
+    use kbt_data::{DatabaseBuilder, RelId};
+    use kbt_logic::builder::*;
+
+    fn r(i: u32) -> RelId {
+        RelId::new(i)
+    }
+
+    fn tc_sentence() -> Sentence {
+        Sentence::new(and(
+            forall([1, 2], implies(atom(1, [var(1), var(2)]), atom(2, [var(1), var(2)]))),
+            forall(
+                [1, 2, 3],
+                implies(
+                    and(atom(2, [var(1), var(2)]), atom(1, [var(2), var(3)])),
+                    atom(2, [var(1), var(3)]),
+                ),
+            ),
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn applicability_requires_fresh_heads() {
+        let db = DatabaseBuilder::new().fact(r(1), [1u32, 2]).build().unwrap();
+        assert!(applicable(&tc_sentence(), &db));
+
+        // if R2 is already stored, the least-fixpoint shortcut is unsound
+        let db_with_r2 = DatabaseBuilder::new()
+            .fact(r(1), [1u32, 2])
+            .relation(r(2), 2)
+            .build()
+            .unwrap();
+        assert!(!applicable(&tc_sentence(), &db_with_r2));
+
+        // non-Horn sentences never qualify
+        let non_horn = Sentence::new(forall(
+            [1, 2],
+            iff(atom(1, [var(1), var(2)]), atom(2, [var(1), var(2)])),
+        ))
+        .unwrap();
+        assert!(!applicable(&non_horn, &db));
+    }
+
+    #[test]
+    fn computes_the_transitive_closure_least_fixpoint() {
+        let db = DatabaseBuilder::new()
+            .fact(r(1), [1u32, 2])
+            .fact(r(1), [2u32, 3])
+            .fact(r(1), [3u32, 4])
+            .fact(r(1), [4u32, 5])
+            .build()
+            .unwrap();
+        let out = datalog_update(&tc_sentence(), &db, &EvalOptions::default()).unwrap();
+        assert_eq!(out.databases.len(), 1);
+        let result = &out.databases[0];
+        assert_eq!(result.relation(r(1)).unwrap().len(), 4);
+        assert_eq!(result.relation(r(2)).unwrap().len(), 10);
+        assert!(result.holds(r(2), &kbt_data::tuple![1, 5]));
+    }
+
+    #[test]
+    fn agrees_with_grounding_and_exhaustive_on_small_inputs() {
+        let db = DatabaseBuilder::new()
+            .fact(r(1), [1u32, 2])
+            .fact(r(1), [2u32, 1])
+            .build()
+            .unwrap();
+        let phi = Sentence::new(forall(
+            [1, 2],
+            implies(atom(1, [var(1), var(2)]), atom(2, [var(1)])),
+        ))
+        .unwrap();
+        let opts = EvalOptions::default();
+        let mut a = datalog_update(&phi, &db, &opts).unwrap().databases;
+        let mut b = grounding_update(&phi, &db, &opts).unwrap().databases;
+        let mut c = exhaustive_update(&phi, &db, &opts).unwrap().databases;
+        a.sort();
+        b.sort();
+        c.sort();
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn rejects_when_not_applicable() {
+        let db = DatabaseBuilder::new()
+            .fact(r(1), [1u32, 2])
+            .relation(r(2), 2)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            datalog_update(&tc_sentence(), &db, &EvalOptions::default()),
+            Err(CoreError::StrategyNotApplicable { .. })
+        ));
+    }
+}

@@ -1,0 +1,136 @@
+//! The quantifier-free fast path — Theorem 4.7.
+//!
+//! When the inserted sentence is a Boolean combination of *ground* atomic
+//! formulas, only the (fixed number of) ground atoms occurring in the
+//! sentence can usefully change: flipping or adding any other fact would only
+//! enlarge the symmetric difference without affecting the truth of the
+//! sentence.  Enumerating the `2^k` truth assignments of those `k ≤ |φ|`
+//! atoms and keeping the Winslett-minimal models therefore takes polynomial
+//! time in the size of the database (Theorem 4.7).
+
+use kbt_data::{minimal_elements, Database};
+use kbt_logic::{ground_sentence, is_ground, GroundAtom, Sentence};
+
+use crate::error::CoreError;
+use crate::options::EvalOptions;
+use crate::update::universe::UpdateContext;
+use crate::update::UpdateOutcome;
+use crate::Result;
+
+/// Computes `µ(φ, db)` for a ground (quantifier- and variable-free) sentence.
+pub fn quantifier_free_update(
+    phi: &Sentence,
+    db: &Database,
+    options: &EvalOptions,
+) -> Result<UpdateOutcome> {
+    if !is_ground(phi.formula()) {
+        return Err(CoreError::StrategyNotApplicable {
+            strategy: "QuantifierFree",
+            reason: "the sentence contains variables or quantifiers".to_string(),
+        });
+    }
+    let ctx = UpdateContext::new(phi, db, options)?;
+    // Grounding a ground sentence simply rewrites it over ground atoms.
+    let ground = ground_sentence(phi, &ctx.domain);
+    let atoms: Vec<GroundAtom> = ground.atoms().into_iter().collect();
+    let k = atoms.len();
+
+    let base = ctx.lift(db)?;
+    let mut models: Vec<Database> = Vec::new();
+    for bits in 0..(1u64 << k) {
+        let mut candidate = base.clone();
+        for (j, atom) in atoms.iter().enumerate() {
+            let value = bits & (1 << j) != 0;
+            if value {
+                candidate.insert_fact(atom.rel, atom.tuple.clone())?;
+            } else {
+                candidate.remove_fact(atom.rel, &atom.tuple);
+            }
+        }
+        if ground.eval_against(&candidate) {
+            models.push(candidate);
+        }
+    }
+    let minimal = minimal_elements(&models, db)?;
+    Ok(UpdateOutcome {
+        databases: minimal,
+        candidate_atoms: k,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::update::exhaustive::exhaustive_update;
+    use kbt_data::{DatabaseBuilder, RelId};
+    use kbt_logic::builder::*;
+
+    fn r(i: u32) -> RelId {
+        RelId::new(i)
+    }
+
+    #[test]
+    fn agrees_with_exhaustive_on_ground_sentences() {
+        let db = DatabaseBuilder::new()
+            .fact(r(1), [1u32])
+            .fact(r(1), [2u32])
+            .fact(r(2), [1u32, 2])
+            .build()
+            .unwrap();
+        let sentences = [
+            Sentence::new(atom(1, [cst(3)])).unwrap(),
+            Sentence::new(not(atom(2, [cst(1), cst(2)]))).unwrap(),
+            Sentence::new(or(
+                and(atom(1, [cst(1)]), not(atom(1, [cst(2)]))),
+                atom(2, [cst(2), cst(2)]),
+            ))
+            .unwrap(),
+            Sentence::new(implies(atom(1, [cst(1)]), atom(3, [cst(1)]))).unwrap(),
+            Sentence::new(iff(atom(1, [cst(1)]), atom(1, [cst(2)]))).unwrap(),
+        ];
+        let opts = EvalOptions::default();
+        for phi in sentences {
+            let mut expected = exhaustive_update(&phi, &db, &opts).unwrap().databases;
+            let mut got = quantifier_free_update(&phi, &db, &opts).unwrap().databases;
+            expected.sort();
+            got.sort();
+            assert_eq!(expected, got, "mismatch on {phi}");
+        }
+    }
+
+    #[test]
+    fn data_complexity_is_independent_of_database_size() {
+        // the candidate-atom count reported equals the number of atoms in φ,
+        // not the size of the database.
+        let mut b = DatabaseBuilder::new();
+        for i in 0..50u32 {
+            b = b.fact(r(1), [i]);
+        }
+        let db = b.build().unwrap();
+        let phi = Sentence::new(or(atom(1, [cst(100)]), atom(1, [cst(101)]))).unwrap();
+        let out = quantifier_free_update(&phi, &db, &EvalOptions::default()).unwrap();
+        assert_eq!(out.candidate_atoms, 2);
+        assert_eq!(out.databases.len(), 2);
+        for d in &out.databases {
+            assert_eq!(d.fact_count(), 51);
+        }
+    }
+
+    #[test]
+    fn rejects_non_ground_sentences() {
+        let db = DatabaseBuilder::new().fact(r(1), [1u32]).build().unwrap();
+        let phi = Sentence::new(exists([1], atom(1, [var(1)]))).unwrap();
+        assert!(matches!(
+            quantifier_free_update(&phi, &db, &EvalOptions::default()),
+            Err(CoreError::StrategyNotApplicable { .. })
+        ));
+    }
+
+    #[test]
+    fn contradiction_yields_empty_result() {
+        let db = DatabaseBuilder::new().fact(r(1), [1u32]).build().unwrap();
+        let phi = Sentence::new(and(atom(1, [cst(2)]), not(atom(1, [cst(2)])))).unwrap();
+        let out = quantifier_free_update(&phi, &db, &EvalOptions::default()).unwrap();
+        assert!(out.databases.is_empty());
+    }
+}

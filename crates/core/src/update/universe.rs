@@ -1,0 +1,205 @@
+//! The candidate universe of an update: the finite domain `B`, the result
+//! schema `s = σ(db) ∪ σ(φ)`, and the set of ground facts a candidate
+//! database may contain.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use kbt_data::{Const, Database, Schema, Tuple};
+use kbt_logic::{GroundAtom, Sentence};
+
+use crate::error::CoreError;
+use crate::options::EvalOptions;
+use crate::Result;
+
+/// Precomputed context shared by the update evaluators.
+#[derive(Clone, Debug)]
+pub struct UpdateContext {
+    /// The finite domain `B`: constants of the database and of the sentence.
+    pub domain: BTreeSet<Const>,
+    /// The result schema `s = σ(db) ∪ σ(φ)`.
+    pub schema: Schema,
+    /// The schema of the input database, `σ(db)`.
+    pub old_schema: Schema,
+    /// Every candidate ground fact over `schema` and `domain`, in a fixed
+    /// order.
+    pub atoms: Vec<GroundAtom>,
+    /// Index of each atom within [`UpdateContext::atoms`].
+    pub atom_index: BTreeMap<GroundAtom, usize>,
+}
+
+impl UpdateContext {
+    /// Builds the context for `µ(φ, db)`, enforcing the configured ceiling on
+    /// the number of candidate facts.
+    pub fn new(phi: &Sentence, db: &Database, options: &EvalOptions) -> Result<Self> {
+        let mut domain = db.constants();
+        domain.extend(phi.constants());
+        let old_schema = db.schema();
+        let schema = old_schema.union(&phi.schema())?;
+
+        // number of candidate facts = Σ_{R ∈ s} |B|^{arity(R)}
+        let mut expected: usize = 0;
+        for (_, arity) in schema.iter() {
+            let count = domain.len().checked_pow(arity as u32).unwrap_or(usize::MAX);
+            expected = expected.saturating_add(count);
+        }
+        if expected > options.max_ground_atoms {
+            return Err(CoreError::UniverseTooLarge {
+                atoms: expected,
+                limit: options.max_ground_atoms,
+            });
+        }
+
+        let mut atoms = Vec::with_capacity(expected);
+        for (rel, arity) in schema.iter() {
+            for tuple in all_tuples(&domain, arity) {
+                atoms.push(GroundAtom::new(rel, tuple));
+            }
+        }
+        let atom_index = atoms
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.clone(), i))
+            .collect();
+        Ok(UpdateContext {
+            domain,
+            schema,
+            old_schema,
+            atoms,
+            atom_index,
+        })
+    }
+
+    /// Number of candidate facts.
+    pub fn atom_count(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Whether candidate fact `i` belongs to a relation of the input
+    /// database's schema (an "old" fact, subject to stage one of the
+    /// Winslett order).
+    pub fn is_old_atom(&self, i: usize) -> bool {
+        self.old_schema.contains(self.atoms[i].rel)
+    }
+
+    /// Whether candidate fact `i` is currently stored in `db`.
+    pub fn holds_in(&self, i: usize, db: &Database) -> bool {
+        let a = &self.atoms[i];
+        db.holds(a.rel, &a.tuple)
+    }
+
+    /// Materialises a candidate database over the result schema from a
+    /// membership predicate on candidate facts.
+    pub fn database_from(&self, mut member: impl FnMut(usize) -> bool) -> Database {
+        let mut db = Database::empty_over(&self.schema);
+        for (i, a) in self.atoms.iter().enumerate() {
+            if member(i) {
+                db.insert_fact(a.rel, a.tuple.clone())
+                    .expect("atom arity matches schema");
+            }
+        }
+        db
+    }
+
+    /// The input database lifted to the result schema (new relations empty).
+    pub fn lift(&self, db: &Database) -> Result<Database> {
+        Ok(db.extend_schema(&self.schema)?)
+    }
+}
+
+/// All tuples of the given arity over a finite domain, in lexicographic
+/// order.  The zero-ary case yields exactly the empty tuple.
+pub fn all_tuples(domain: &BTreeSet<Const>, arity: usize) -> Vec<Tuple> {
+    let values: Vec<Const> = domain.iter().copied().collect();
+    let mut out = Vec::new();
+    let mut current = vec![0usize; arity];
+    if arity == 0 {
+        return vec![Tuple::empty()];
+    }
+    if values.is_empty() {
+        return out;
+    }
+    loop {
+        out.push(Tuple::new(
+            current.iter().map(|&i| values[i]).collect::<Vec<_>>(),
+        ));
+        // increment the counter
+        let mut pos = arity;
+        loop {
+            if pos == 0 {
+                return out;
+            }
+            pos -= 1;
+            current[pos] += 1;
+            if current[pos] < values.len() {
+                break;
+            }
+            current[pos] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kbt_data::{DatabaseBuilder, RelId};
+    use kbt_logic::builder::*;
+
+    fn r(i: u32) -> RelId {
+        RelId::new(i)
+    }
+
+    #[test]
+    fn all_tuples_counts() {
+        let dom: BTreeSet<Const> = [1u32, 2, 3].into_iter().map(Const::new).collect();
+        assert_eq!(all_tuples(&dom, 0).len(), 1);
+        assert_eq!(all_tuples(&dom, 1).len(), 3);
+        assert_eq!(all_tuples(&dom, 2).len(), 9);
+        let empty: BTreeSet<Const> = BTreeSet::new();
+        assert_eq!(all_tuples(&empty, 2).len(), 0);
+        assert_eq!(all_tuples(&empty, 0).len(), 1);
+    }
+
+    #[test]
+    fn context_collects_domain_schema_and_atoms() {
+        // db: R1 = {(1,2)}, φ mentions R2 (unary) and constant 3.
+        let db = DatabaseBuilder::new().fact(r(1), [1u32, 2]).build().unwrap();
+        let phi = Sentence::new(exists([1], and(atom(2, [var(1)]), eq(var(1), cst(3))))).unwrap();
+        let ctx = UpdateContext::new(&phi, &db, &EvalOptions::default()).unwrap();
+        assert_eq!(ctx.domain.len(), 3); // {1, 2, 3}
+        assert_eq!(ctx.schema.len(), 2);
+        // R1 is binary over 3 constants (9 facts) + R2 unary (3 facts)
+        assert_eq!(ctx.atom_count(), 12);
+        let old_count = (0..ctx.atom_count()).filter(|&i| ctx.is_old_atom(i)).count();
+        assert_eq!(old_count, 9);
+    }
+
+    #[test]
+    fn universe_limit_is_enforced() {
+        let db = DatabaseBuilder::new().fact(r(1), [1u32, 2]).build().unwrap();
+        let phi = Sentence::new(forall([1, 2], atom(1, [var(1), var(2)]))).unwrap();
+        let tight = EvalOptions {
+            max_ground_atoms: 3,
+            ..EvalOptions::default()
+        };
+        assert!(matches!(
+            UpdateContext::new(&phi, &db, &tight),
+            Err(CoreError::UniverseTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn database_from_membership_and_lift() {
+        let db = DatabaseBuilder::new().fact(r(1), [1u32, 2]).build().unwrap();
+        let phi = Sentence::new(forall([1], implies(atom(2, [var(1)]), atom(2, [var(1)])))).unwrap();
+        let ctx = UpdateContext::new(&phi, &db, &EvalOptions::default()).unwrap();
+        let lifted = ctx.lift(&db).unwrap();
+        assert!(lifted.relation(r(2)).unwrap().is_empty());
+        assert!(lifted.holds(r(1), &kbt_data::tuple![1, 2]));
+
+        let all = ctx.database_from(|_| true);
+        assert_eq!(all.fact_count(), ctx.atom_count());
+        let none = ctx.database_from(|_| false);
+        assert_eq!(none.fact_count(), 0);
+        assert_eq!(none.schema(), ctx.schema);
+    }
+}

@@ -1,0 +1,141 @@
+//! Fluent builders for databases and knowledgebases.
+//!
+//! The builders make the examples in `examples/` and the test suites read
+//! close to the paper's notation:
+//!
+//! ```
+//! use kbt_data::{DatabaseBuilder, RelId};
+//!
+//! let db = DatabaseBuilder::new()
+//!     .fact(RelId::new(1), [1, 2])
+//!     .fact(RelId::new(1), [2, 3])
+//!     .relation(RelId::new(2), 1)
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(db.fact_count(), 2);
+//! ```
+
+use crate::database::Database;
+use crate::knowledgebase::Knowledgebase;
+use crate::schema::RelId;
+use crate::tuple::Tuple;
+use crate::Result;
+
+/// Builder for a single [`Database`].
+#[derive(Clone, Debug, Default)]
+pub struct DatabaseBuilder {
+    facts: Vec<(RelId, Tuple)>,
+    empty_relations: Vec<(RelId, usize)>,
+}
+
+impl DatabaseBuilder {
+    /// Starts an empty builder.
+    pub fn new() -> Self {
+        DatabaseBuilder::default()
+    }
+
+    /// Adds a fact `rel(t)`.
+    pub fn fact(mut self, rel: RelId, t: impl Into<Tuple>) -> Self {
+        self.facts.push((rel, t.into()));
+        self
+    }
+
+    /// Adds several facts for the same relation.
+    pub fn facts<T: Into<Tuple>>(mut self, rel: RelId, ts: impl IntoIterator<Item = T>) -> Self {
+        for t in ts {
+            self.facts.push((rel, t.into()));
+        }
+        self
+    }
+
+    /// Declares a relation (possibly empty) with the given arity.
+    pub fn relation(mut self, rel: RelId, arity: usize) -> Self {
+        self.empty_relations.push((rel, arity));
+        self
+    }
+
+    /// Builds the database, checking arity consistency.
+    pub fn build(self) -> Result<Database> {
+        let mut db = Database::new();
+        for (rel, arity) in self.empty_relations {
+            db.ensure_relation(rel, arity)?;
+        }
+        for (rel, t) in self.facts {
+            db.insert_fact(rel, t)?;
+        }
+        Ok(db)
+    }
+}
+
+/// Builder for a [`Knowledgebase`].
+#[derive(Clone, Debug, Default)]
+pub struct KnowledgebaseBuilder {
+    databases: Vec<Database>,
+}
+
+impl KnowledgebaseBuilder {
+    /// Starts an empty builder.
+    pub fn new() -> Self {
+        KnowledgebaseBuilder::default()
+    }
+
+    /// Adds a possible world.
+    pub fn world(mut self, db: Database) -> Self {
+        self.databases.push(db);
+        self
+    }
+
+    /// Builds the knowledgebase, checking schema uniformity.
+    pub fn build(self) -> Result<Knowledgebase> {
+        Knowledgebase::from_databases(self.databases)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u32) -> RelId {
+        RelId::new(i)
+    }
+
+    #[test]
+    fn database_builder_collects_facts_and_empty_relations() {
+        let db = DatabaseBuilder::new()
+            .fact(r(1), [1u32, 2])
+            .facts(r(1), [[2u32, 3], [3, 4]])
+            .relation(r(2), 1)
+            .build()
+            .unwrap();
+        assert_eq!(db.fact_count(), 3);
+        assert!(db.relation(r(2)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn database_builder_detects_arity_conflicts() {
+        let res = DatabaseBuilder::new()
+            .fact(r(1), [1u32, 2])
+            .fact(r(1), [1u32])
+            .build();
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn knowledgebase_builder_enforces_uniform_schema() {
+        let d1 = DatabaseBuilder::new().fact(r(1), [1u32, 2]).build().unwrap();
+        let d2 = DatabaseBuilder::new().fact(r(1), [3u32, 4]).build().unwrap();
+        let kb = KnowledgebaseBuilder::new()
+            .world(d1.clone())
+            .world(d2)
+            .build()
+            .unwrap();
+        assert_eq!(kb.len(), 2);
+
+        let bad = DatabaseBuilder::new().fact(r(2), [1u32]).build().unwrap();
+        assert!(KnowledgebaseBuilder::new()
+            .world(d1)
+            .world(bad)
+            .build()
+            .is_err());
+    }
+}

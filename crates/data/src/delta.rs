@@ -1,0 +1,153 @@
+//! Componentwise symmetric differences between databases.
+//!
+//! The Winslett order of Definition 2.1 compares candidate databases by the
+//! componentwise symmetric difference of their relations with the relations of
+//! the original database.  A [`DatabaseDelta`] materialises that comparison
+//! object: for every relation symbol of a *base* schema, the set of facts on
+//! which a candidate disagrees with the base database.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::database::Database;
+use crate::relation::Relation;
+use crate::schema::RelId;
+use crate::Result;
+
+/// The componentwise symmetric difference `candidate Δ base`, restricted to
+/// the relations of the base database's schema.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DatabaseDelta {
+    per_relation: BTreeMap<RelId, Relation>,
+}
+
+impl DatabaseDelta {
+    /// Computes `candidate Δ base` componentwise over `σ(base)`.
+    ///
+    /// The candidate must dominate the base schema (every relation of the base
+    /// appears in the candidate with the same arity); relations of the
+    /// candidate that do not appear in the base are ignored here — they are
+    /// handled by the second stage of the Winslett order.
+    pub fn between(candidate: &Database, base: &Database) -> Result<DatabaseDelta> {
+        let mut per_relation = BTreeMap::new();
+        for (rel, base_rel) in base.iter() {
+            let cand_rel = match candidate.relation(rel) {
+                Some(r) => r.clone(),
+                None => Relation::empty(base_rel.arity()),
+            };
+            per_relation.insert(rel, cand_rel.symmetric_difference(base_rel)?);
+        }
+        Ok(DatabaseDelta { per_relation })
+    }
+
+    /// Whether the candidate leaves every base relation unchanged.
+    pub fn is_empty(&self) -> bool {
+        self.per_relation.values().all(Relation::is_empty)
+    }
+
+    /// Total number of changed facts.
+    pub fn changed_fact_count(&self) -> usize {
+        self.per_relation.values().map(Relation::len).sum()
+    }
+
+    /// The changed facts of one relation, if it is part of the base schema.
+    pub fn relation(&self, rel: RelId) -> Option<&Relation> {
+        self.per_relation.get(&rel)
+    }
+
+    /// Componentwise inclusion `self ⊆ other` (stage one of the Winslett
+    /// order).  Both deltas must be w.r.t. the same base database.
+    pub fn is_componentwise_subset(&self, other: &DatabaseDelta) -> bool {
+        self.per_relation.iter().all(|(rel, mine)| {
+            other
+                .per_relation
+                .get(rel)
+                .is_some_and(|theirs| mine.is_subset(theirs))
+        })
+    }
+
+    /// Iterates over `(relation, changed facts)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (RelId, &Relation)> + '_ {
+        self.per_relation.iter().map(|(&r, rel)| (r, rel))
+    }
+}
+
+impl fmt::Debug for DatabaseDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Δ⟨")?;
+        for (i, (r, rel)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{r}={rel}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn r(i: u32) -> RelId {
+        RelId::new(i)
+    }
+
+    fn db(facts: &[(u32, crate::Tuple)]) -> Database {
+        let mut d = Database::new();
+        for (rel, t) in facts {
+            d.insert_fact(RelId::new(*rel), t.clone()).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn delta_with_base_itself_is_empty() {
+        let base = db(&[(1, tuple![1, 2]), (1, tuple![2, 3])]);
+        let d = DatabaseDelta::between(&base, &base).unwrap();
+        assert!(d.is_empty());
+        assert_eq!(d.changed_fact_count(), 0);
+    }
+
+    #[test]
+    fn delta_counts_insertions_and_deletions() {
+        let base = db(&[(1, tuple![1, 2]), (1, tuple![2, 3])]);
+        // candidate deletes (2,3) and inserts (1,3)
+        let cand = db(&[(1, tuple![1, 2]), (1, tuple![1, 3])]);
+        let d = DatabaseDelta::between(&cand, &base).unwrap();
+        assert_eq!(d.changed_fact_count(), 2);
+        assert!(d.relation(r(1)).unwrap().contains(&tuple![2, 3]));
+        assert!(d.relation(r(1)).unwrap().contains(&tuple![1, 3]));
+    }
+
+    #[test]
+    fn candidate_may_have_extra_relations_they_are_ignored() {
+        let base = db(&[(1, tuple![1, 2])]);
+        let mut cand = base.clone();
+        cand.insert_fact(r(2), tuple![7]).unwrap();
+        let d = DatabaseDelta::between(&cand, &base).unwrap();
+        assert!(d.is_empty());
+        assert!(d.relation(r(2)).is_none());
+    }
+
+    #[test]
+    fn missing_base_relation_in_candidate_counts_as_all_deleted() {
+        let base = db(&[(1, tuple![1, 2]), (1, tuple![2, 3])]);
+        let cand = Database::new();
+        let d = DatabaseDelta::between(&cand, &base).unwrap();
+        assert_eq!(d.changed_fact_count(), 2);
+    }
+
+    #[test]
+    fn componentwise_subset_mirrors_definition() {
+        let base = db(&[(1, tuple![1, 2])]);
+        let unchanged = base.clone();
+        let changed = db(&[(1, tuple![1, 2]), (1, tuple![9, 9])]);
+        let d_small = DatabaseDelta::between(&unchanged, &base).unwrap();
+        let d_big = DatabaseDelta::between(&changed, &base).unwrap();
+        assert!(d_small.is_componentwise_subset(&d_big));
+        assert!(!d_big.is_componentwise_subset(&d_small));
+        assert!(d_small.is_componentwise_subset(&d_small));
+    }
+}

@@ -1,0 +1,102 @@
+//! Error types for the relational substrate.
+
+use std::fmt;
+
+use crate::schema::{RelId, Schema};
+
+/// Errors produced when constructing or combining relational objects.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DataError {
+    /// A relation symbol was used with two different arities.
+    ArityMismatch {
+        /// The offending relation symbol.
+        rel: RelId,
+        /// The arity already registered for the symbol.
+        expected: usize,
+        /// The conflicting arity.
+        found: usize,
+    },
+    /// A tuple's arity did not match the relation it was inserted into.
+    TupleArityMismatch {
+        /// The relation's arity.
+        expected: usize,
+        /// The tuple's arity.
+        found: usize,
+    },
+    /// Two databases (or knowledgebases) that must share a schema do not.
+    SchemaMismatch {
+        /// Schema of the left operand.
+        left: Schema,
+        /// Schema of the right operand.
+        right: Schema,
+    },
+    /// The candidate schema does not dominate the base schema in a Winslett
+    /// comparison.
+    SchemaNotDominated {
+        /// Schema of the base database.
+        base: Schema,
+        /// Schema of the candidate database.
+        candidate: Schema,
+    },
+    /// A name was registered twice with conflicting meanings in a
+    /// [`crate::Vocabulary`].
+    NameConflict {
+        /// The conflicting name.
+        name: String,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::ArityMismatch {
+                rel,
+                expected,
+                found,
+            } => write!(
+                f,
+                "relation {rel} used with arity {found}, but it has arity {expected}"
+            ),
+            DataError::TupleArityMismatch { expected, found } => write!(
+                f,
+                "tuple of arity {found} inserted into a relation of arity {expected}"
+            ),
+            DataError::SchemaMismatch { left, right } => {
+                write!(f, "schema mismatch: {left} vs {right}")
+            }
+            DataError::SchemaNotDominated { base, candidate } => write!(
+                f,
+                "candidate schema {candidate} does not dominate base schema {base}"
+            ),
+            DataError::NameConflict { name } => {
+                write!(f, "name {name:?} registered with a conflicting meaning")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_usable_messages() {
+        let e = DataError::ArityMismatch {
+            rel: RelId::new(1),
+            expected: 2,
+            found: 3,
+        };
+        assert!(e.to_string().contains("R1"));
+        let e = DataError::TupleArityMismatch {
+            expected: 2,
+            found: 1,
+        };
+        assert!(e.to_string().contains("arity 1"));
+        let e = DataError::NameConflict {
+            name: "flight".into(),
+        };
+        assert!(e.to_string().contains("flight"));
+    }
+}

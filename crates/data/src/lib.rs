@@ -1,0 +1,47 @@
+//! # kbt-data — the relational substrate for knowledgebase transformations
+//!
+//! This crate implements the data model of Section 2 of *Knowledgebase
+//! Transformations* (Grahne, Mendelzon, Revesz; PODS 1992 / JCSS 1997):
+//!
+//! * [`Const`] — domain elements `a_i` (interned, optionally named through a
+//!   [`Vocabulary`]),
+//! * [`Tuple`] — `k`-ary tuples of constants,
+//! * [`Relation`] — finite sets of tuples of a fixed arity,
+//! * [`Database`] — a finite relational structure: a mapping from relation
+//!   symbols ([`RelId`]) to relations, interpreted under the closed world
+//!   assumption,
+//! * [`Knowledgebase`] — a finite set of databases over one [`Schema`],
+//! * [`delta`] / [`order`] — componentwise symmetric differences and the
+//!   Winslett possible-models partial order `≤_db` of Definition 2.1, which
+//!   drives the minimal-change semantics of the update operator `τ_φ`.
+//!
+//! Everything is ordered deterministically (`BTreeMap`/`BTreeSet`) so that
+//! databases and knowledgebases have a canonical form, can be compared, hashed
+//! and printed reproducibly, and so that set-of-databases semantics is exact.
+
+pub mod builder;
+pub mod database;
+pub mod delta;
+pub mod error;
+pub mod knowledgebase;
+pub mod order;
+pub mod relation;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+pub mod vocabulary;
+
+pub use builder::{DatabaseBuilder, KnowledgebaseBuilder};
+pub use database::Database;
+pub use delta::DatabaseDelta;
+pub use error::DataError;
+pub use knowledgebase::Knowledgebase;
+pub use order::{is_minimal, minimal_elements, winslett_leq, winslett_lt};
+pub use relation::Relation;
+pub use schema::{RelId, Schema};
+pub use tuple::Tuple;
+pub use value::Const;
+pub use vocabulary::Vocabulary;
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, DataError>;

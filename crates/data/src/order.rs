@@ -1,0 +1,232 @@
+//! The Winslett possible-models order `≤_db` (Definition 2.1).
+//!
+//! Given a base database `db`, two candidate databases `db1`, `db2` over a
+//! common schema that dominates `σ(db)` are compared in two stages:
+//!
+//! 1. componentwise inclusion of the symmetric differences with `db` on the
+//!    relations of `σ(db)` (smaller changes to the stored relations win), and
+//! 2. only when those differences are **equal**, componentwise inclusion of
+//!    the relations that are new (in the candidates' schema but not in
+//!    `σ(db)`); since the new relations are compared against the empty set,
+//!    smaller new relations win.
+//!
+//! This is exactly the two-stage comparison spelled out below Definition 2.1
+//! in the paper and it makes `≤_db` a partial order, as the paper asserts.
+
+use crate::database::Database;
+use crate::delta::DatabaseDelta;
+use crate::Result;
+
+/// Whether `db1 ≤_db db2` under the Winslett order with base `base`.
+///
+/// Both candidates must be over the same schema, and that schema must
+/// dominate `σ(base)`; violations yield an error rather than a silent
+/// `false`.
+pub fn winslett_leq(db1: &Database, db2: &Database, base: &Database) -> Result<bool> {
+    let s1 = db1.schema();
+    let s2 = db2.schema();
+    if s1 != s2 {
+        return Err(crate::DataError::SchemaMismatch {
+            left: s1,
+            right: s2,
+        });
+    }
+    let base_schema = base.schema();
+    if !base_schema.is_subschema_of(&s1) {
+        return Err(crate::DataError::SchemaNotDominated {
+            base: base_schema,
+            candidate: s1,
+        });
+    }
+
+    let d1 = DatabaseDelta::between(db1, base)?;
+    let d2 = DatabaseDelta::between(db2, base)?;
+
+    // Stage 1: componentwise inclusion of the symmetric differences.
+    if !d1.is_componentwise_subset(&d2) {
+        return Ok(false);
+    }
+    // If the differences are not equal, stage 1 alone decides.
+    if d1 != d2 {
+        return Ok(true);
+    }
+    // Stage 2: ties are broken by the relations outside σ(base), compared by
+    // inclusion (equivalently: by symmetric difference with the empty set).
+    for (rel, rel1) in db1.iter() {
+        if base.relation(rel).is_some() {
+            continue;
+        }
+        let rel2 = db2.relation(rel).expect("same schema");
+        if !rel1.is_subset(rel2) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Whether `db1 <_db db2`, i.e. `db1 ≤_db db2` and `db1 ≠ db2`.
+pub fn winslett_lt(db1: &Database, db2: &Database, base: &Database) -> Result<bool> {
+    Ok(db1 != db2 && winslett_leq(db1, db2, base)?)
+}
+
+/// Whether `candidate` is `≤_base`-minimal within `others` (Definition of
+/// db-minimality in Section 2): no element of `others` is strictly below it.
+pub fn is_minimal<'a>(
+    candidate: &Database,
+    others: impl IntoIterator<Item = &'a Database>,
+    base: &Database,
+) -> Result<bool> {
+    for other in others {
+        if winslett_lt(other, candidate, base)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// The `≤_base`-minimal elements of a set of candidate databases.
+///
+/// This is the reference implementation of the minimisation step inside the
+/// paper's `µ` function (definition (9)); the optimised evaluators in
+/// `kbt-core` must agree with it.
+pub fn minimal_elements(candidates: &[Database], base: &Database) -> Result<Vec<Database>> {
+    let mut out = Vec::new();
+    for (i, cand) in candidates.iter().enumerate() {
+        let mut minimal = true;
+        for (j, other) in candidates.iter().enumerate() {
+            if i != j && winslett_lt(other, cand, base)? {
+                minimal = false;
+                break;
+            }
+        }
+        if minimal && !out.contains(cand) {
+            out.push(cand.clone());
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelId;
+    use crate::tuple;
+
+    fn r(i: u32) -> RelId {
+        RelId::new(i)
+    }
+
+    /// The worked example right after Definition 2.1:
+    /// db1 = ({R(a1,a2), S(a1,a4)}), db2 = ({R(a1,a2), S(a1,a4), S(a2,a3)}),
+    /// db = ({R(a1,a2)}); then db1 ≤_db db2.
+    #[test]
+    fn paper_example_after_definition_21() {
+        let mut base = Database::new();
+        base.insert_fact(r(1), tuple![1, 2]).unwrap();
+
+        let mut db1 = Database::new();
+        db1.insert_fact(r(1), tuple![1, 2]).unwrap();
+        db1.insert_fact(r(2), tuple![1, 4]).unwrap();
+
+        let mut db2 = Database::new();
+        db2.insert_fact(r(1), tuple![1, 2]).unwrap();
+        db2.insert_fact(r(2), tuple![1, 4]).unwrap();
+        db2.insert_fact(r(2), tuple![2, 3]).unwrap();
+
+        assert!(winslett_leq(&db1, &db2, &base).unwrap());
+        assert!(!winslett_leq(&db2, &db1, &base).unwrap());
+        assert!(winslett_lt(&db1, &db2, &base).unwrap());
+    }
+
+    #[test]
+    fn stage_one_changes_to_stored_relations_dominate() {
+        // base has R = {(1,2)}.  A candidate that keeps R unchanged but has a
+        // huge new relation is still strictly closer than a candidate that
+        // touches R, however small its new relation is.
+        let mut base = Database::new();
+        base.insert_fact(r(1), tuple![1, 2]).unwrap();
+
+        let mut keeps_r = Database::new();
+        keeps_r.insert_fact(r(1), tuple![1, 2]).unwrap();
+        keeps_r.insert_fact(r(2), tuple![1, 1]).unwrap();
+        keeps_r.insert_fact(r(2), tuple![2, 2]).unwrap();
+
+        let mut touches_r = Database::new();
+        touches_r.insert_fact(r(1), tuple![1, 2]).unwrap();
+        touches_r.insert_fact(r(1), tuple![9, 9]).unwrap();
+        touches_r.ensure_relation(r(2), 2).unwrap();
+
+        assert!(winslett_lt(&keeps_r, &touches_r, &base).unwrap());
+        assert!(!winslett_leq(&touches_r, &keeps_r, &base).unwrap());
+    }
+
+    #[test]
+    fn stage_two_only_applies_on_equal_deltas() {
+        // Both candidates change R in incomparable ways; neither is below the
+        // other even though one has an empty new relation.
+        let mut base = Database::new();
+        base.insert_fact(r(1), tuple![1, 2]).unwrap();
+
+        let mut c1 = Database::new();
+        c1.insert_fact(r(1), tuple![1, 2]).unwrap();
+        c1.insert_fact(r(1), tuple![3, 3]).unwrap();
+        c1.ensure_relation(r(2), 1).unwrap();
+
+        let mut c2 = Database::new();
+        c2.insert_fact(r(1), tuple![1, 2]).unwrap();
+        c2.insert_fact(r(1), tuple![4, 4]).unwrap();
+        c2.insert_fact(r(2), tuple![5]).unwrap();
+
+        assert!(!winslett_leq(&c1, &c2, &base).unwrap());
+        assert!(!winslett_leq(&c2, &c1, &base).unwrap());
+    }
+
+    #[test]
+    fn order_is_reflexive_and_antisymmetric() {
+        let mut base = Database::new();
+        base.insert_fact(r(1), tuple![1, 2]).unwrap();
+        let mut c1 = base.clone();
+        c1.insert_fact(r(2), tuple![1]).unwrap();
+        let mut c2 = base.clone();
+        c2.insert_fact(r(2), tuple![2]).unwrap();
+
+        assert!(winslett_leq(&c1, &c1, &base).unwrap());
+        // c1 and c2 are incomparable in stage two.
+        assert!(!winslett_leq(&c1, &c2, &base).unwrap());
+        assert!(!winslett_leq(&c2, &c1, &base).unwrap());
+    }
+
+    #[test]
+    fn minimal_elements_of_a_chain() {
+        let mut base = Database::new();
+        base.insert_fact(r(1), tuple![1, 2]).unwrap();
+
+        // candidates over schema {R1, R2}: R1 unchanged, R2 grows.
+        let mk = |extra: &[crate::Tuple]| {
+            let mut d = base.clone();
+            d.ensure_relation(r(2), 1).unwrap();
+            for t in extra {
+                d.insert_fact(r(2), t.clone()).unwrap();
+            }
+            d
+        };
+        let c0 = mk(&[]);
+        let c1 = mk(&[tuple![1]]);
+        let c2 = mk(&[tuple![1], tuple![2]]);
+        let minimal = minimal_elements(&[c2.clone(), c1.clone(), c0.clone()], &base).unwrap();
+        assert_eq!(minimal, vec![c0]);
+    }
+
+    #[test]
+    fn schema_mismatch_is_an_error() {
+        let mut base = Database::new();
+        base.insert_fact(r(1), tuple![1, 2]).unwrap();
+        let mut a = Database::new();
+        a.insert_fact(r(1), tuple![1, 2]).unwrap();
+        let mut b = Database::new();
+        b.insert_fact(r(2), tuple![1, 2]).unwrap();
+        assert!(winslett_leq(&a, &b, &base).is_err());
+        // candidate schema must dominate the base
+        assert!(winslett_leq(&b, &b, &base).is_err());
+    }
+}

@@ -1,0 +1,245 @@
+//! Finite relations: sets of tuples of a fixed arity.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::error::DataError;
+use crate::tuple::Tuple;
+use crate::value::Const;
+use crate::Result;
+
+/// A finite relation `r ⊆ A^k`.
+///
+/// The arity is fixed at construction time so that empty relations still know
+/// their arity (the paper's zero-ary "flag" relations rely on this).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Relation {
+    arity: usize,
+    tuples: BTreeSet<Tuple>,
+}
+
+impl Relation {
+    /// Creates an empty relation of the given arity.
+    pub fn empty(arity: usize) -> Self {
+        Relation {
+            arity,
+            tuples: BTreeSet::new(),
+        }
+    }
+
+    /// Creates a relation of the given arity from an iterator of tuples.
+    ///
+    /// Fails if any tuple has the wrong arity.
+    pub fn from_tuples(arity: usize, tuples: impl IntoIterator<Item = Tuple>) -> Result<Self> {
+        let mut r = Relation::empty(arity);
+        for t in tuples {
+            r.insert(t)?;
+        }
+        Ok(r)
+    }
+
+    /// The arity of the relation.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation contains no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Inserts a tuple; returns `true` if it was not already present.
+    pub fn insert(&mut self, t: Tuple) -> Result<bool> {
+        if t.arity() != self.arity {
+            return Err(DataError::TupleArityMismatch {
+                expected: self.arity,
+                found: t.arity(),
+            });
+        }
+        Ok(self.tuples.insert(t))
+    }
+
+    /// Removes a tuple; returns `true` if it was present.
+    pub fn remove(&mut self, t: &Tuple) -> bool {
+        self.tuples.remove(t)
+    }
+
+    /// Whether the tuple is present.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.tuples.contains(t)
+    }
+
+    /// Iterates over the tuples in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
+        self.tuples.iter()
+    }
+
+    /// All constants occurring in the relation.
+    pub fn constants(&self) -> BTreeSet<Const> {
+        self.tuples.iter().flat_map(|t| t.iter()).collect()
+    }
+
+    /// Set union (same arity assumed; checked).
+    pub fn union(&self, other: &Relation) -> Result<Relation> {
+        self.check_same_arity(other)?;
+        Ok(Relation {
+            arity: self.arity,
+            tuples: self.tuples.union(&other.tuples).cloned().collect(),
+        })
+    }
+
+    /// Set intersection.
+    pub fn intersection(&self, other: &Relation) -> Result<Relation> {
+        self.check_same_arity(other)?;
+        Ok(Relation {
+            arity: self.arity,
+            tuples: self.tuples.intersection(&other.tuples).cloned().collect(),
+        })
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(&self, other: &Relation) -> Result<Relation> {
+        self.check_same_arity(other)?;
+        Ok(Relation {
+            arity: self.arity,
+            tuples: self.tuples.difference(&other.tuples).cloned().collect(),
+        })
+    }
+
+    /// Symmetric difference `self Δ other = (self \ other) ∪ (other \ self)`,
+    /// the building block of the Winslett order (Definition 2.1).
+    pub fn symmetric_difference(&self, other: &Relation) -> Result<Relation> {
+        self.check_same_arity(other)?;
+        Ok(Relation {
+            arity: self.arity,
+            tuples: self
+                .tuples
+                .symmetric_difference(&other.tuples)
+                .cloned()
+                .collect(),
+        })
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset(&self, other: &Relation) -> bool {
+        self.arity == other.arity && self.tuples.is_subset(&other.tuples)
+    }
+
+    /// Whether `self ⊊ other`.
+    pub fn is_proper_subset(&self, other: &Relation) -> bool {
+        self.is_subset(other) && self.tuples.len() < other.tuples.len()
+    }
+
+    fn check_same_arity(&self, other: &Relation) -> Result<()> {
+        if self.arity != other.arity {
+            Err(DataError::TupleArityMismatch {
+                expected: self.arity,
+                found: other.arity,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.tuples.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn rel(arity: usize, ts: &[Tuple]) -> Relation {
+        Relation::from_tuples(arity, ts.iter().cloned()).unwrap()
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut r = Relation::empty(2);
+        assert!(r.insert(tuple![1, 2]).unwrap());
+        assert!(!r.insert(tuple![1, 2]).unwrap());
+        assert!(r.contains(&tuple![1, 2]));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn arity_is_enforced() {
+        let mut r = Relation::empty(2);
+        assert!(r.insert(tuple![1]).is_err());
+        assert!(Relation::from_tuples(1, [tuple![1, 2]]).is_err());
+    }
+
+    #[test]
+    fn zero_ary_relation_holds_at_most_the_empty_tuple() {
+        let mut r = Relation::empty(0);
+        assert!(r.insert(Tuple::empty()).unwrap());
+        assert!(!r.insert(Tuple::empty()).unwrap());
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = rel(2, &[tuple![1, 2], tuple![1, 4]]);
+        let b = rel(2, &[tuple![1, 4], tuple![2, 3]]);
+        assert_eq!(a.union(&b).unwrap().len(), 3);
+        assert_eq!(a.intersection(&b).unwrap().len(), 1);
+        assert_eq!(a.difference(&b).unwrap().len(), 1);
+        let d = a.symmetric_difference(&b).unwrap();
+        assert_eq!(d.len(), 2);
+        assert!(d.contains(&tuple![1, 2]));
+        assert!(d.contains(&tuple![2, 3]));
+    }
+
+    #[test]
+    fn symmetric_difference_with_self_is_empty() {
+        let a = rel(2, &[tuple![1, 2], tuple![1, 4]]);
+        assert!(a.symmetric_difference(&a).unwrap().is_empty());
+    }
+
+    #[test]
+    fn subset_checks() {
+        let small = rel(2, &[tuple![1, 2]]);
+        let big = rel(2, &[tuple![1, 2], tuple![1, 4]]);
+        assert!(small.is_subset(&big));
+        assert!(small.is_proper_subset(&big));
+        assert!(!big.is_subset(&small));
+        assert!(!big.is_proper_subset(&big));
+    }
+
+    #[test]
+    fn constants_are_collected() {
+        let a = rel(2, &[tuple![1, 2], tuple![1, 4]]);
+        let consts: Vec<_> = a.constants().into_iter().collect();
+        assert_eq!(consts, vec![Const::new(1), Const::new(2), Const::new(4)]);
+    }
+
+    #[test]
+    fn mixed_arity_set_operations_fail() {
+        let a = rel(2, &[tuple![1, 2]]);
+        let b = rel(1, &[tuple![1]]);
+        assert!(a.union(&b).is_err());
+        assert!(a.symmetric_difference(&b).is_err());
+    }
+}

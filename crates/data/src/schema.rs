@@ -1,0 +1,244 @@
+//! Relation symbols and schemas.
+//!
+//! The paper associates an arity `α(i)` with every relation symbol `R_i` and
+//! defines the schema of a database (or sentence) as the set of relation
+//! symbols occurring in it.  A [`Schema`] here is a finite map from [`RelId`]
+//! to arity; *domination* (`σ(db1) ⊆ σ(db2)`) is subset inclusion of the maps.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::DataError;
+use crate::Result;
+
+/// A relation symbol `R_i`.
+///
+/// Like [`crate::Const`], relation symbols are plain indices; names live in a
+/// [`crate::Vocabulary`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RelId(pub u32);
+
+impl RelId {
+    /// Creates the relation symbol `R_i`.
+    pub const fn new(i: u32) -> Self {
+        RelId(i)
+    }
+
+    /// The index of this relation symbol.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+impl fmt::Display for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+impl From<u32> for RelId {
+    fn from(i: u32) -> Self {
+        RelId(i)
+    }
+}
+
+/// A schema: a finite set of relation symbols together with their arities.
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Schema {
+    arities: BTreeMap<RelId, usize>,
+}
+
+impl Schema {
+    /// The empty schema.
+    pub fn new() -> Self {
+        Schema::default()
+    }
+
+    /// Builds a schema from `(relation, arity)` pairs.
+    ///
+    /// Returns an error if the same relation symbol is given two different
+    /// arities.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (RelId, usize)>) -> Result<Self> {
+        let mut s = Schema::new();
+        for (r, a) in pairs {
+            s.add(r, a)?;
+        }
+        Ok(s)
+    }
+
+    /// Adds a relation symbol with the given arity.
+    ///
+    /// Adding an already-present symbol with the same arity is a no-op;
+    /// adding it with a different arity is an error.
+    pub fn add(&mut self, rel: RelId, arity: usize) -> Result<()> {
+        match self.arities.get(&rel) {
+            Some(&a) if a != arity => Err(DataError::ArityMismatch {
+                rel,
+                expected: a,
+                found: arity,
+            }),
+            _ => {
+                self.arities.insert(rel, arity);
+                Ok(())
+            }
+        }
+    }
+
+    /// Arity of `rel`, if the symbol is part of the schema.
+    pub fn arity(&self, rel: RelId) -> Option<usize> {
+        self.arities.get(&rel).copied()
+    }
+
+    /// Whether `rel` is part of the schema.
+    pub fn contains(&self, rel: RelId) -> bool {
+        self.arities.contains_key(&rel)
+    }
+
+    /// Number of relation symbols.
+    pub fn len(&self) -> usize {
+        self.arities.len()
+    }
+
+    /// Whether the schema has no relation symbols.
+    pub fn is_empty(&self) -> bool {
+        self.arities.is_empty()
+    }
+
+    /// Iterates over `(relation, arity)` pairs in relation order.
+    pub fn iter(&self) -> impl Iterator<Item = (RelId, usize)> + '_ {
+        self.arities.iter().map(|(&r, &a)| (r, a))
+    }
+
+    /// Iterates over the relation symbols in order.
+    pub fn relations(&self) -> impl Iterator<Item = RelId> + '_ {
+        self.arities.keys().copied()
+    }
+
+    /// Whether `self` is a sub-schema of `other` (the paper's *is dominated
+    /// by*): every symbol of `self` occurs in `other` with the same arity.
+    pub fn is_subschema_of(&self, other: &Schema) -> bool {
+        self.iter().all(|(r, a)| other.arity(r) == Some(a))
+    }
+
+    /// The union `σ(db) ∪ σ(φ)` of two schemas.
+    ///
+    /// Fails if the schemas disagree on the arity of a shared symbol.
+    pub fn union(&self, other: &Schema) -> Result<Schema> {
+        let mut s = self.clone();
+        for (r, a) in other.iter() {
+            s.add(r, a)?;
+        }
+        Ok(s)
+    }
+
+    /// The relation symbols of `self` that are *not* in `other`.
+    pub fn difference(&self, other: &Schema) -> Schema {
+        Schema {
+            arities: self
+                .arities
+                .iter()
+                .filter(|(r, _)| !other.contains(**r))
+                .map(|(&r, &a)| (r, a))
+                .collect(),
+        }
+    }
+
+    /// Restricts the schema to the given relation symbols.
+    pub fn restrict(&self, rels: &[RelId]) -> Schema {
+        Schema {
+            arities: self
+                .arities
+                .iter()
+                .filter(|(r, _)| rels.contains(r))
+                .map(|(&r, &a)| (r, a))
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Debug for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (r, a)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{r}/{a}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_query() {
+        let mut s = Schema::new();
+        s.add(RelId(1), 2).unwrap();
+        s.add(RelId(2), 1).unwrap();
+        assert_eq!(s.arity(RelId(1)), Some(2));
+        assert_eq!(s.arity(RelId(3)), None);
+        assert!(s.contains(RelId(2)));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn arity_conflict_is_rejected() {
+        let mut s = Schema::new();
+        s.add(RelId(1), 2).unwrap();
+        assert!(s.add(RelId(1), 2).is_ok());
+        assert!(matches!(
+            s.add(RelId(1), 3),
+            Err(DataError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn domination_is_subset_inclusion() {
+        let small = Schema::from_pairs([(RelId(1), 2)]).unwrap();
+        let big = Schema::from_pairs([(RelId(1), 2), (RelId(2), 1)]).unwrap();
+        assert!(small.is_subschema_of(&big));
+        assert!(!big.is_subschema_of(&small));
+        assert!(small.is_subschema_of(&small));
+    }
+
+    #[test]
+    fn union_and_difference() {
+        let a = Schema::from_pairs([(RelId(1), 2)]).unwrap();
+        let b = Schema::from_pairs([(RelId(2), 1), (RelId(1), 2)]).unwrap();
+        let u = a.union(&b).unwrap();
+        assert_eq!(u.len(), 2);
+        let d = b.difference(&a);
+        assert_eq!(d.len(), 1);
+        assert!(d.contains(RelId(2)));
+    }
+
+    #[test]
+    fn union_rejects_conflicting_arity() {
+        let a = Schema::from_pairs([(RelId(1), 2)]).unwrap();
+        let b = Schema::from_pairs([(RelId(1), 3)]).unwrap();
+        assert!(a.union(&b).is_err());
+    }
+
+    #[test]
+    fn restrict_keeps_only_requested_relations() {
+        let s = Schema::from_pairs([(RelId(1), 2), (RelId(2), 1), (RelId(3), 0)]).unwrap();
+        let r = s.restrict(&[RelId(2), RelId(3)]);
+        assert_eq!(r.len(), 2);
+        assert!(!r.contains(RelId(1)));
+    }
+}

@@ -1,0 +1,139 @@
+//! Tuples of domain elements.
+
+use crate::value::Const;
+use std::fmt;
+
+/// A `k`-ary tuple of constants — one row of a relation.
+///
+/// Tuples are immutable once constructed; their ordering is lexicographic,
+/// which gives relations, databases and knowledgebases a canonical order.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tuple(Box<[Const]>);
+
+impl Tuple {
+    /// Builds a tuple from the given components.
+    pub fn new(components: impl Into<Vec<Const>>) -> Self {
+        Tuple(components.into().into_boxed_slice())
+    }
+
+    /// The empty (zero-ary) tuple `()`, used by the paper's boolean "flag"
+    /// relations (e.g. `R4` in Example 3).
+    pub fn empty() -> Self {
+        Tuple(Box::new([]))
+    }
+
+    /// Number of components.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The components of the tuple.
+    pub fn components(&self) -> &[Const] {
+        &self.0
+    }
+
+    /// Component at position `i` (0-based).
+    pub fn get(&self, i: usize) -> Option<Const> {
+        self.0.get(i).copied()
+    }
+
+    /// Iterates over the components.
+    pub fn iter(&self) -> impl Iterator<Item = Const> + '_ {
+        self.0.iter().copied()
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Const>> for Tuple {
+    fn from(v: Vec<Const>) -> Self {
+        Tuple::new(v)
+    }
+}
+
+impl From<&[Const]> for Tuple {
+    fn from(v: &[Const]) -> Self {
+        Tuple::new(v.to_vec())
+    }
+}
+
+impl From<&[u32]> for Tuple {
+    fn from(v: &[u32]) -> Self {
+        Tuple::new(v.iter().copied().map(Const).collect::<Vec<_>>())
+    }
+}
+
+impl<const N: usize> From<[u32; N]> for Tuple {
+    fn from(v: [u32; N]) -> Self {
+        Tuple::new(v.iter().copied().map(Const).collect::<Vec<_>>())
+    }
+}
+
+impl<const N: usize> From<[Const; N]> for Tuple {
+    fn from(v: [Const; N]) -> Self {
+        Tuple::new(v.to_vec())
+    }
+}
+
+/// Builds a tuple from a list of constant indices: `tuple![1, 2, 3]`.
+#[macro_export]
+macro_rules! tuple {
+    ($($c:expr),* $(,)?) => {
+        $crate::Tuple::new(vec![$($crate::Const::new($c)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = Tuple::from([1u32, 2, 3]);
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.get(0), Some(Const::new(1)));
+        assert_eq!(t.get(3), None);
+        assert_eq!(t.components(), &[Const::new(1), Const::new(2), Const::new(3)]);
+    }
+
+    #[test]
+    fn empty_tuple_has_arity_zero() {
+        assert_eq!(Tuple::empty().arity(), 0);
+        assert_eq!(Tuple::empty().to_string(), "()");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(Tuple::from([1u32, 2]) < Tuple::from([1u32, 3]));
+        assert!(Tuple::from([1u32, 2]) < Tuple::from([2u32, 0]));
+        assert!(Tuple::from([1u32]) < Tuple::from([1u32, 0]));
+    }
+
+    #[test]
+    fn macro_builds_tuples() {
+        assert_eq!(tuple![4, 5], Tuple::from([4u32, 5]));
+        assert_eq!(tuple![], Tuple::empty());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(tuple![1, 2].to_string(), "(a1,a2)");
+    }
+}

@@ -1,0 +1,65 @@
+//! Domain elements.
+//!
+//! The paper works over a countable set of domain elements `A = {a_i : i ∈ ω}`.
+//! A [`Const`] is simply an index into that set.  Human-readable names (for
+//! examples such as the flight database of Example 1.2) are kept outside the
+//! value itself, in a [`crate::Vocabulary`], so that values stay `Copy` and
+//! comparisons stay cheap.
+
+use std::fmt;
+
+/// A domain element `a_i`.
+///
+/// Constants are plain indices; two constants are equal iff their indices are
+/// equal.  Use [`crate::Vocabulary::constant`] to obtain stable, named
+/// constants when building databases by hand.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Const(pub u32);
+
+impl Const {
+    /// Creates the constant `a_i`.
+    pub const fn new(i: u32) -> Self {
+        Const(i)
+    }
+
+    /// The index `i` of this constant within the domain.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+impl fmt::Display for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+impl From<u32> for Const {
+    fn from(i: u32) -> Self {
+        Const(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_compare_by_index() {
+        assert!(Const::new(1) < Const::new(2));
+        assert_eq!(Const::new(7), Const::from(7));
+        assert_eq!(Const::new(7).index(), 7);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Const::new(3).to_string(), "a3");
+        assert_eq!(format!("{:?}", Const::new(0)), "a0");
+    }
+}

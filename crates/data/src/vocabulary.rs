@@ -1,0 +1,148 @@
+//! Named vocabularies: a bridge between human-readable names and the interned
+//! [`Const`] / [`RelId`] indices used everywhere else.
+//!
+//! Databases, formulas and transformations only carry indices; a
+//! [`Vocabulary`] maps names such as `"Toronto"` or `"flight"` to those
+//! indices, and back again for pretty-printing.  The parser in `kbt-logic`
+//! and the example applications all share this type.
+
+use std::collections::BTreeMap;
+
+use crate::error::DataError;
+use crate::schema::RelId;
+use crate::value::Const;
+use crate::Result;
+
+/// A mutable registry of constant names and relation names (with arities).
+#[derive(Clone, Debug, Default)]
+pub struct Vocabulary {
+    const_names: Vec<String>,
+    const_index: BTreeMap<String, Const>,
+    rel_names: Vec<String>,
+    rel_arities: Vec<usize>,
+    rel_index: BTreeMap<String, RelId>,
+}
+
+impl Vocabulary {
+    /// An empty vocabulary.
+    pub fn new() -> Self {
+        Vocabulary::default()
+    }
+
+    /// Interns a constant name, returning the same [`Const`] on repeated
+    /// calls with the same name.
+    pub fn constant(&mut self, name: &str) -> Const {
+        if let Some(&c) = self.const_index.get(name) {
+            return c;
+        }
+        let c = Const::new(self.const_names.len() as u32);
+        self.const_names.push(name.to_string());
+        self.const_index.insert(name.to_string(), c);
+        c
+    }
+
+    /// Interns a relation name with its arity.
+    ///
+    /// Fails if the name was already registered with a different arity.
+    pub fn relation(&mut self, name: &str, arity: usize) -> Result<RelId> {
+        if let Some(&r) = self.rel_index.get(name) {
+            if self.rel_arities[r.index() as usize] != arity {
+                return Err(DataError::NameConflict {
+                    name: name.to_string(),
+                });
+            }
+            return Ok(r);
+        }
+        let r = RelId::new(self.rel_names.len() as u32);
+        self.rel_names.push(name.to_string());
+        self.rel_arities.push(arity);
+        self.rel_index.insert(name.to_string(), r);
+        Ok(r)
+    }
+
+    /// Looks up an already-registered constant by name.
+    pub fn lookup_constant(&self, name: &str) -> Option<Const> {
+        self.const_index.get(name).copied()
+    }
+
+    /// Looks up an already-registered relation by name.
+    pub fn lookup_relation(&self, name: &str) -> Option<(RelId, usize)> {
+        self.rel_index
+            .get(name)
+            .map(|&r| (r, self.rel_arities[r.index() as usize]))
+    }
+
+    /// The name of a constant, if it was registered through this vocabulary.
+    pub fn constant_name(&self, c: Const) -> Option<&str> {
+        self.const_names.get(c.index() as usize).map(String::as_str)
+    }
+
+    /// The name of a relation, if it was registered through this vocabulary.
+    pub fn relation_name(&self, r: RelId) -> Option<&str> {
+        self.rel_names.get(r.index() as usize).map(String::as_str)
+    }
+
+    /// The arity of a registered relation.
+    pub fn relation_arity(&self, r: RelId) -> Option<usize> {
+        self.rel_arities.get(r.index() as usize).copied()
+    }
+
+    /// Number of registered constants.
+    pub fn constant_count(&self) -> usize {
+        self.const_names.len()
+    }
+
+    /// Number of registered relations.
+    pub fn relation_count(&self) -> usize {
+        self.rel_names.len()
+    }
+
+    /// Renders a constant: its registered name, or the `a_i` fallback.
+    pub fn render_constant(&self, c: Const) -> String {
+        self.constant_name(c)
+            .map(str::to_string)
+            .unwrap_or_else(|| c.to_string())
+    }
+
+    /// Renders a relation symbol: its registered name, or the `R_i` fallback.
+    pub fn render_relation(&self, r: RelId) -> String {
+        self.relation_name(r)
+            .map(str::to_string)
+            .unwrap_or_else(|| r.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_interned() {
+        let mut v = Vocabulary::new();
+        let toronto = v.constant("Toronto");
+        let ottawa = v.constant("Ottawa");
+        assert_ne!(toronto, ottawa);
+        assert_eq!(v.constant("Toronto"), toronto);
+        assert_eq!(v.constant_name(toronto), Some("Toronto"));
+        assert_eq!(v.lookup_constant("Ottawa"), Some(ottawa));
+        assert_eq!(v.constant_count(), 2);
+    }
+
+    #[test]
+    fn relations_carry_arities() {
+        let mut v = Vocabulary::new();
+        let flight = v.relation("flight", 2).unwrap();
+        assert_eq!(v.relation("flight", 2).unwrap(), flight);
+        assert!(v.relation("flight", 3).is_err());
+        assert_eq!(v.relation_arity(flight), Some(2));
+        assert_eq!(v.lookup_relation("flight"), Some((flight, 2)));
+        assert_eq!(v.relation_name(flight), Some("flight"));
+    }
+
+    #[test]
+    fn rendering_falls_back_to_indices() {
+        let v = Vocabulary::new();
+        assert_eq!(v.render_constant(Const::new(7)), "a7");
+        assert_eq!(v.render_relation(RelId::new(3)), "R3");
+    }
+}

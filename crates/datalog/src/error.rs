@@ -1,0 +1,63 @@
+//! Error types for the Datalog substrate.
+
+use std::fmt;
+
+/// Errors produced while building or evaluating Datalog programs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DatalogError {
+    /// A rule is not range-restricted.
+    UnsafeRule {
+        /// Display form of the offending rule.
+        rule: String,
+    },
+    /// The program uses negation through recursion and cannot be stratified.
+    NotStratifiable {
+        /// Display form of a relation on the offending cycle.
+        relation: String,
+    },
+    /// The sentence handed to [`crate::program_from_sentence`] is not a
+    /// conjunction of function-free Horn clauses.
+    NotHorn,
+    /// An error bubbled up from the relational substrate.
+    Data(kbt_data::DataError),
+}
+
+impl fmt::Display for DatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatalogError::UnsafeRule { rule } => {
+                write!(f, "rule is not range-restricted: {rule}")
+            }
+            DatalogError::NotStratifiable { relation } => write!(
+                f,
+                "program recurses through negation (e.g. via {relation}) and cannot be stratified"
+            ),
+            DatalogError::NotHorn => {
+                write!(f, "sentence is not a conjunction of function-free Horn clauses")
+            }
+            DatalogError::Data(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DatalogError {}
+
+impl From<kbt_data::DataError> for DatalogError {
+    fn from(e: kbt_data::DataError) -> Self {
+        DatalogError::Data(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = DatalogError::UnsafeRule {
+            rule: "R2(x1) :- R1(x2).".into(),
+        };
+        assert!(e.to_string().contains("range-restricted"));
+        assert!(DatalogError::NotHorn.to_string().contains("Horn"));
+    }
+}

@@ -1,0 +1,32 @@
+//! # kbt-datalog — the Datalog substrate
+//!
+//! *Knowledgebase Transformations* leans on Datalog in two places:
+//!
+//! * **Theorem 4.8** — transformation expressions whose sentences are
+//!   conjunctions of function-free Horn clauses ("Datalog-restricted"
+//!   transformations) have PTIME data complexity, because inserting a Datalog
+//!   program into an extensional database produces its unique least fixpoint;
+//! * **Section 5 / Section 2.1** — every fixpoint query is expressible in the
+//!   transformation language, and the iterative fixpoint of a *stratified*
+//!   program is obtained by sequentially updating the database with the
+//!   strata of the program.
+//!
+//! This crate implements that substrate from scratch: a rule/program
+//! representation, safety (range-restriction) checking, stratification, and
+//! bottom-up naive and semi-naive least-fixpoint evaluation over the
+//! relational substrate of `kbt-data`.
+
+pub mod ast;
+pub mod error;
+pub mod eval;
+pub mod from_logic;
+pub mod stratify;
+
+pub use ast::{DlAtom, Literal, Program, Rule};
+pub use error::DatalogError;
+pub use eval::{naive_eval, semi_naive_eval, EvalStats};
+pub use from_logic::{program_from_horn, program_from_sentence};
+pub use stratify::stratify;
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, DatalogError>;

@@ -1,0 +1,150 @@
+//! Ergonomic constructors for formulas.
+//!
+//! The paper's example sentences (Section 3) are long conjunctions of
+//! universally quantified implications; these helpers keep their Rust
+//! transcriptions close to the paper's notation:
+//!
+//! ```
+//! use kbt_logic::*;
+//!
+//! // ∀x1 x2 x3 : (R2(x1,x2) ∧ R1(x2,x3)) ∨ R1(x1,x3) → R2(x1,x3)
+//! let tc = forall(
+//!     [1, 2, 3],
+//!     implies(
+//!         or(
+//!             and(atom(2, [var(1), var(2)]), atom(1, [var(2), var(3)])),
+//!             atom(1, [var(1), var(3)]),
+//!         ),
+//!         atom(2, [var(1), var(3)]),
+//!     ),
+//! );
+//! assert_eq!(tc.quantifier_depth(), 3);
+//! ```
+
+use kbt_data::{Const, RelId};
+
+use crate::formula::Formula;
+use crate::term::{Term, Var};
+
+/// A variable term `x_i`.
+pub fn var(i: u32) -> Term {
+    Term::Var(Var::new(i))
+}
+
+/// A constant term `a_i`.
+pub fn cst(i: u32) -> Term {
+    Term::Const(Const::new(i))
+}
+
+/// An atom `R_i(t̄)`.
+pub fn atom(rel: u32, args: impl IntoIterator<Item = Term>) -> Formula {
+    Formula::Atom(RelId::new(rel), args.into_iter().collect())
+}
+
+/// An atom over an explicit [`RelId`].
+pub fn atom_r(rel: RelId, args: impl IntoIterator<Item = Term>) -> Formula {
+    Formula::Atom(rel, args.into_iter().collect())
+}
+
+/// An equality `t1 = t2`.
+pub fn eq(t1: Term, t2: Term) -> Formula {
+    Formula::Eq(t1, t2)
+}
+
+/// A disequality `¬(t1 = t2)`.
+pub fn neq(t1: Term, t2: Term) -> Formula {
+    not(eq(t1, t2))
+}
+
+/// Negation `¬φ`.
+pub fn not(f: Formula) -> Formula {
+    Formula::Not(Box::new(f))
+}
+
+/// Conjunction `φ ∧ ψ`.
+pub fn and(a: Formula, b: Formula) -> Formula {
+    Formula::And(Box::new(a), Box::new(b))
+}
+
+/// Disjunction `φ ∨ ψ`.
+pub fn or(a: Formula, b: Formula) -> Formula {
+    Formula::Or(Box::new(a), Box::new(b))
+}
+
+/// Implication `φ → ψ`.
+pub fn implies(a: Formula, b: Formula) -> Formula {
+    Formula::Implies(Box::new(a), Box::new(b))
+}
+
+/// Biconditional `φ ↔ ψ`.
+pub fn iff(a: Formula, b: Formula) -> Formula {
+    Formula::Iff(Box::new(a), Box::new(b))
+}
+
+/// Conjunction of all formulas (the empty conjunction is `True`).
+pub fn and_all(fs: impl IntoIterator<Item = Formula>) -> Formula {
+    let mut iter = fs.into_iter();
+    match iter.next() {
+        None => Formula::True,
+        Some(first) => iter.fold(first, and),
+    }
+}
+
+/// Disjunction of all formulas (the empty disjunction is `False`).
+pub fn or_all(fs: impl IntoIterator<Item = Formula>) -> Formula {
+    let mut iter = fs.into_iter();
+    match iter.next() {
+        None => Formula::False,
+        Some(first) => iter.fold(first, or),
+    }
+}
+
+/// Existential quantification over a block of variables `∃x_{i1} … x_{ik} φ`.
+pub fn exists(vars: impl IntoIterator<Item = u32>, f: Formula) -> Formula {
+    let vars: Vec<u32> = vars.into_iter().collect();
+    vars.into_iter()
+        .rev()
+        .fold(f, |acc, v| Formula::Exists(Var::new(v), Box::new(acc)))
+}
+
+/// Universal quantification over a block of variables `∀x_{i1} … x_{ik} φ`.
+pub fn forall(vars: impl IntoIterator<Item = u32>, f: Formula) -> Formula {
+    let vars: Vec<u32> = vars.into_iter().collect();
+    vars.into_iter()
+        .rev()
+        .fold(f, |acc, v| Formula::Forall(Var::new(v), Box::new(acc)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_quantifiers_nest_left_to_right() {
+        let f = forall([1, 2], atom(1, [var(1), var(2)]));
+        match f {
+            Formula::Forall(v1, inner) => {
+                assert_eq!(v1, Var::new(1));
+                match *inner {
+                    Formula::Forall(v2, _) => assert_eq!(v2, Var::new(2)),
+                    other => panic!("expected nested forall, got {other:?}"),
+                }
+            }
+            other => panic!("expected forall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn and_all_and_or_all_handle_empty_and_singleton() {
+        assert_eq!(and_all([]), Formula::True);
+        assert_eq!(or_all([]), Formula::False);
+        let a = atom(1, [var(1)]);
+        assert_eq!(and_all([a.clone()]), a.clone());
+        assert_eq!(or_all([a.clone()]), a);
+    }
+
+    #[test]
+    fn neq_is_negated_equality() {
+        assert_eq!(neq(var(1), cst(2)), not(eq(var(1), cst(2))));
+    }
+}

@@ -1,0 +1,136 @@
+//! Syntactic classification of sentences.
+//!
+//! Section 4.3 of the paper singles out two tractable special cases of the
+//! transformation language: *quantifier-free* transformations (boolean
+//! combinations of ground atomic formulas, Theorem 4.7) and
+//! *Datalog-restricted* transformations (conjunctions of function-free Horn
+//! clauses, Theorem 4.8).  The evaluator in `kbt-core` uses this module to
+//! decide which fast path applies.
+
+use crate::formula::Formula;
+use crate::horn::horn_clauses;
+use crate::sentence::Sentence;
+
+/// The evaluation class a sentence falls into, in decreasing order of
+/// tractability.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FormulaClass {
+    /// Conjunction of function-free Horn clauses (Datalog): PTIME data
+    /// complexity via least-fixpoint evaluation (Theorem 4.8).
+    Datalog,
+    /// Boolean combination of ground atoms: PTIME data complexity
+    /// (Theorem 4.7).
+    QuantifierFree,
+    /// Anything else: handled by the general minimal-model search, co-NP
+    /// data complexity for a single insertion (Theorem 4.1).
+    General,
+}
+
+/// Whether the formula contains no quantifiers.
+pub fn is_quantifier_free(f: &Formula) -> bool {
+    match f {
+        Formula::True | Formula::False | Formula::Atom(_, _) | Formula::Eq(_, _) => true,
+        Formula::Not(inner) => is_quantifier_free(inner),
+        Formula::And(a, b) | Formula::Or(a, b) | Formula::Implies(a, b) | Formula::Iff(a, b) => {
+            is_quantifier_free(a) && is_quantifier_free(b)
+        }
+        Formula::Exists(_, _) | Formula::Forall(_, _) => false,
+    }
+}
+
+/// Whether the formula is ground: no quantifiers and no variables at all
+/// (every atom argument is a constant).  This is the "quantifier free"
+/// fragment Θ₀ of Section 4.3.
+pub fn is_ground(f: &Formula) -> bool {
+    if !is_quantifier_free(f) {
+        return false;
+    }
+    let mut ground = true;
+    f.visit_terms(&mut |t| {
+        if !t.is_ground() {
+            ground = false;
+        }
+    });
+    ground
+}
+
+/// Whether the formula is existential: built from atoms, equalities, `∧`,
+/// `∨` and `∃` only (no negation, no `∀`, no implications).  Positive
+/// existential sentences are the updates-with-multiple-results of
+/// [AbG85] mentioned in the introduction.
+pub fn is_existential(f: &Formula) -> bool {
+    match f {
+        Formula::True | Formula::False | Formula::Atom(_, _) | Formula::Eq(_, _) => true,
+        Formula::And(a, b) | Formula::Or(a, b) => is_existential(a) && is_existential(b),
+        Formula::Exists(_, inner) => is_existential(inner),
+        Formula::Not(_) | Formula::Implies(_, _) | Formula::Iff(_, _) | Formula::Forall(_, _) => {
+            false
+        }
+    }
+}
+
+/// Classifies a sentence into its evaluation class.
+pub fn classify(sentence: &Sentence) -> FormulaClass {
+    if horn_clauses(sentence).is_some() {
+        FormulaClass::Datalog
+    } else if is_ground(sentence.formula()) {
+        FormulaClass::QuantifierFree
+    } else {
+        FormulaClass::General
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+
+    #[test]
+    fn ground_and_quantifier_free() {
+        let g = and(atom(1, [cst(1), cst(2)]), not(atom(2, [cst(3)])));
+        assert!(is_quantifier_free(&g));
+        assert!(is_ground(&g));
+
+        let open = atom(1, [var(1), cst(2)]);
+        assert!(is_quantifier_free(&open));
+        assert!(!is_ground(&open));
+
+        let q = exists([1], atom(1, [var(1), cst(2)]));
+        assert!(!is_quantifier_free(&q));
+        assert!(!is_ground(&q));
+    }
+
+    #[test]
+    fn existential_fragment() {
+        let ok = exists([1, 2], or(atom(1, [var(1), var(2)]), eq(var(1), var(2))));
+        assert!(is_existential(&ok));
+        let with_neg = exists([1], not(atom(1, [var(1)])));
+        assert!(!is_existential(&with_neg));
+        let with_forall = forall([1], atom(1, [var(1)]));
+        assert!(!is_existential(&with_forall));
+    }
+
+    #[test]
+    fn classification_prefers_datalog_then_quantifier_free() {
+        // Datalog: ∀x,y,z (R2(x,y) ∧ R1(y,z) → R2(x,z)) ∧ ∀x,y (R1(x,y) → R2(x,y))
+        let datalog = Sentence::new(and(
+            forall(
+                [1, 2, 3],
+                implies(
+                    and(atom(2, [var(1), var(2)]), atom(1, [var(2), var(3)])),
+                    atom(2, [var(1), var(3)]),
+                ),
+            ),
+            forall([1, 2], implies(atom(1, [var(1), var(2)]), atom(2, [var(1), var(2)]))),
+        ))
+        .unwrap();
+        assert_eq!(classify(&datalog), FormulaClass::Datalog);
+
+        let ground = Sentence::new(or(atom(1, [cst(1)]), not(atom(1, [cst(2)])))).unwrap();
+        assert_eq!(classify(&ground), FormulaClass::QuantifierFree);
+
+        let general =
+            Sentence::new(forall([1], exists([2], not(atom(1, [var(1), var(2)]))))).unwrap();
+        assert_eq!(classify(&general), FormulaClass::General);
+    }
+}

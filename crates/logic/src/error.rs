@@ -1,0 +1,99 @@
+//! Error types for the logic substrate.
+
+use std::fmt;
+
+use kbt_data::RelId;
+
+use crate::term::Var;
+
+/// Errors produced while building, parsing or evaluating formulas.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LogicError {
+    /// A formula expected to be a sentence has a free variable.
+    FreeVariable {
+        /// One of the free variables.
+        var: Var,
+    },
+    /// A relation symbol is used with two different arities in one formula.
+    InconsistentArity {
+        /// The offending relation symbol.
+        rel: RelId,
+        /// The arity of the first occurrence.
+        expected: usize,
+        /// The conflicting arity.
+        found: usize,
+    },
+    /// A formula mentions a relation with an arity that conflicts with the
+    /// database it is evaluated against.
+    ArityMismatchWithDatabase {
+        /// The offending relation symbol.
+        rel: RelId,
+        /// Arity in the database.
+        in_database: usize,
+        /// Arity in the formula.
+        in_formula: usize,
+    },
+    /// Parse error with a human-readable message and byte offset.
+    Parse {
+        /// Description of what went wrong.
+        message: String,
+        /// Byte offset into the input where the error was detected.
+        offset: usize,
+    },
+    /// An error bubbled up from the relational substrate.
+    Data(kbt_data::DataError),
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::FreeVariable { var } => {
+                write!(f, "formula is not a sentence: variable {var} occurs free")
+            }
+            LogicError::InconsistentArity {
+                rel,
+                expected,
+                found,
+            } => write!(
+                f,
+                "relation {rel} used with arities {expected} and {found} in the same formula"
+            ),
+            LogicError::ArityMismatchWithDatabase {
+                rel,
+                in_database,
+                in_formula,
+            } => write!(
+                f,
+                "relation {rel} has arity {in_database} in the database but {in_formula} in the formula"
+            ),
+            LogicError::Parse { message, offset } => {
+                write!(f, "parse error at offset {offset}: {message}")
+            }
+            LogicError::Data(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for LogicError {}
+
+impl From<kbt_data::DataError> for LogicError {
+    fn from(e: kbt_data::DataError) -> Self {
+        LogicError::Data(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_the_culprit() {
+        let e = LogicError::FreeVariable { var: Var::new(4) };
+        assert!(e.to_string().contains("x4"));
+        let e = LogicError::Parse {
+            message: "expected ')'".into(),
+            offset: 12,
+        };
+        assert!(e.to_string().contains("12"));
+    }
+}

@@ -1,0 +1,255 @@
+//! Active-domain model checking — definitions (4)–(8) of the paper.
+//!
+//! The interpretation `db ⊨ φ` is defined when `σ(db)` dominates `σ(φ)`.
+//! Quantifiers range over a finite domain `B`; following the proof of
+//! Theorem 4.1 ("for the domain of variables B we have to take the constants
+//! that appear in either the database or the formula") the default domain is
+//! the *active domain* — every constant of the database plus every constant
+//! of the formula.  The `µ` function of `kbt-core` evaluates many candidate
+//! databases against one fixed domain, so a variant with an explicit domain
+//! is provided as well.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use kbt_data::{Const, Database, Tuple};
+
+use crate::error::LogicError;
+use crate::formula::Formula;
+use crate::sentence::Sentence;
+use crate::term::{Term, Var};
+use crate::Result;
+
+/// A variable assignment used during evaluation.
+pub type Interpretation = BTreeMap<Var, Const>;
+
+/// Whether `db ⊨ φ` with quantifiers ranging over the active domain of `db`
+/// and `φ`.
+pub fn satisfies(db: &Database, sentence: &Sentence) -> Result<bool> {
+    let mut domain = db.constants();
+    domain.extend(sentence.constants());
+    satisfies_with_domain(db, sentence, &domain)
+}
+
+/// Whether `db ⊨ φ` with quantifiers ranging over the given finite domain.
+///
+/// The formula's schema must be dominated by the database's schema (every
+/// relation of `φ` must exist in `db`, with the same arity); this mirrors
+/// the definedness condition of the paper's interpretation relation.
+pub fn satisfies_with_domain(
+    db: &Database,
+    sentence: &Sentence,
+    domain: &BTreeSet<Const>,
+) -> Result<bool> {
+    // definedness check: σ(db) dominates σ(φ)
+    for (rel, arity) in sentence.schema().iter() {
+        match db.relation(rel) {
+            None => {
+                return Err(LogicError::Data(kbt_data::DataError::SchemaNotDominated {
+                    base: sentence.schema(),
+                    candidate: db.schema(),
+                }))
+            }
+            Some(r) if r.arity() != arity => {
+                return Err(LogicError::ArityMismatchWithDatabase {
+                    rel,
+                    in_database: r.arity(),
+                    in_formula: arity,
+                })
+            }
+            Some(_) => {}
+        }
+    }
+    let mut env = Interpretation::new();
+    Ok(eval(db, sentence.formula(), domain, &mut env))
+}
+
+/// Evaluates an (possibly open) formula under an assignment.  Unassigned free
+/// variables cause a panic; callers must bind every free variable.
+pub fn eval_formula(
+    db: &Database,
+    formula: &Formula,
+    domain: &BTreeSet<Const>,
+    env: &Interpretation,
+) -> bool {
+    let mut env = env.clone();
+    eval(db, formula, domain, &mut env)
+}
+
+fn term_value(t: &Term, env: &Interpretation) -> Const {
+    match t {
+        Term::Const(c) => *c,
+        Term::Var(v) => *env
+            .get(v)
+            .unwrap_or_else(|| panic!("unbound variable {v} during evaluation")),
+    }
+}
+
+fn eval(db: &Database, f: &Formula, domain: &BTreeSet<Const>, env: &mut Interpretation) -> bool {
+    match f {
+        Formula::True => true,
+        Formula::False => false,
+        // (4): db ⊨ a_i = a_j iff i = j
+        Formula::Eq(a, b) => term_value(a, env) == term_value(b, env),
+        // (5): db ⊨ R_i(x̄) iff x̄ ∈ r_i
+        Formula::Atom(rel, args) => {
+            let t = Tuple::new(args.iter().map(|a| term_value(a, env)).collect::<Vec<_>>());
+            db.holds(*rel, &t)
+        }
+        // (6): conjunction
+        Formula::And(a, b) => eval(db, a, domain, env) && eval(db, b, domain, env),
+        Formula::Or(a, b) => eval(db, a, domain, env) || eval(db, b, domain, env),
+        Formula::Implies(a, b) => !eval(db, a, domain, env) || eval(db, b, domain, env),
+        Formula::Iff(a, b) => eval(db, a, domain, env) == eval(db, b, domain, env),
+        // (7): negation
+        Formula::Not(inner) => !eval(db, inner, domain, env),
+        // (8): existential quantification over the finite domain
+        Formula::Exists(v, inner) => {
+            let saved = env.get(v).copied();
+            let mut holds = false;
+            for &c in domain {
+                env.insert(*v, c);
+                if eval(db, inner, domain, env) {
+                    holds = true;
+                    break;
+                }
+            }
+            restore(env, *v, saved);
+            holds
+        }
+        Formula::Forall(v, inner) => {
+            let saved = env.get(v).copied();
+            let mut holds = true;
+            for &c in domain {
+                env.insert(*v, c);
+                if !eval(db, inner, domain, env) {
+                    holds = false;
+                    break;
+                }
+            }
+            restore(env, *v, saved);
+            holds
+        }
+    }
+}
+
+fn restore(env: &mut Interpretation, v: Var, saved: Option<Const>) {
+    match saved {
+        Some(c) => {
+            env.insert(v, c);
+        }
+        None => {
+            env.remove(&v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use kbt_data::{DatabaseBuilder, RelId};
+
+    fn r(i: u32) -> RelId {
+        RelId::new(i)
+    }
+
+    fn edge_db(edges: &[(u32, u32)]) -> Database {
+        let mut b = DatabaseBuilder::new().relation(r(1), 2);
+        for &(x, y) in edges {
+            b = b.fact(r(1), [x, y]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn atoms_follow_closed_world() {
+        let db = edge_db(&[(1, 2)]);
+        let holds = Sentence::new(atom(1, [cst(1), cst(2)])).unwrap();
+        let missing = Sentence::new(atom(1, [cst(2), cst(1)])).unwrap();
+        assert!(satisfies(&db, &holds).unwrap());
+        assert!(!satisfies(&db, &missing).unwrap());
+    }
+
+    #[test]
+    fn equality_is_identity_of_constants() {
+        let db = edge_db(&[(1, 2)]);
+        assert!(satisfies(&db, &Sentence::new(eq(cst(3), cst(3))).unwrap()).unwrap());
+        assert!(!satisfies(&db, &Sentence::new(eq(cst(3), cst(4))).unwrap()).unwrap());
+    }
+
+    #[test]
+    fn quantifiers_range_over_active_domain() {
+        let db = edge_db(&[(1, 2), (2, 3)]);
+        // ∃x ∃y R(x,y) ∧ R(y, ?) — there is a path of length 2
+        let two_path = Sentence::new(exists(
+            [1, 2, 3],
+            and(atom(1, [var(1), var(2)]), atom(1, [var(2), var(3)])),
+        ))
+        .unwrap();
+        assert!(satisfies(&db, &two_path).unwrap());
+
+        // ∀x ∃y R(x,y) — fails because 3 has no successor
+        let total = Sentence::new(forall([1], exists([2], atom(1, [var(1), var(2)])))).unwrap();
+        assert!(!satisfies(&db, &total).unwrap());
+    }
+
+    #[test]
+    fn formula_constants_extend_the_domain() {
+        // db = {R(1,1)}; ∃x (x = a9) is true because a9 appears in the formula.
+        let db = edge_db(&[(1, 1)]);
+        let s = Sentence::new(exists([1], eq(var(1), cst(9)))).unwrap();
+        assert!(satisfies(&db, &s).unwrap());
+    }
+
+    #[test]
+    fn explicit_domain_is_respected() {
+        let db = edge_db(&[(1, 2)]);
+        let s = Sentence::new(exists([1], eq(var(1), cst(7)))).unwrap();
+        let small: BTreeSet<Const> = [Const::new(1), Const::new(2)].into_iter().collect();
+        let big: BTreeSet<Const> = [Const::new(1), Const::new(2), Const::new(7)]
+            .into_iter()
+            .collect();
+        assert!(!satisfies_with_domain(&db, &s, &small).unwrap());
+        assert!(satisfies_with_domain(&db, &s, &big).unwrap());
+    }
+
+    #[test]
+    fn undefined_when_schema_not_dominated() {
+        let db = edge_db(&[(1, 2)]);
+        let s = Sentence::new(atom(9, [cst(1)])).unwrap();
+        assert!(satisfies(&db, &s).is_err());
+        // arity clash between formula and database
+        let s = Sentence::new(atom(1, [cst(1)])).unwrap();
+        assert!(satisfies(&db, &s).is_err());
+    }
+
+    #[test]
+    fn transitive_closure_sentence_holds_exactly_when_r2_is_closed() {
+        // φ = ∀x1x2x3 : (R2(x1,x2) ∧ R1(x2,x3)) ∨ R1(x1,x3) → R2(x1,x3)
+        let phi = Sentence::new(forall(
+            [1, 2, 3],
+            implies(
+                or(
+                    and(atom(2, [var(1), var(2)]), atom(1, [var(2), var(3)])),
+                    atom(1, [var(1), var(3)]),
+                ),
+                atom(2, [var(1), var(3)]),
+            ),
+        ))
+        .unwrap();
+
+        // R1 = {(1,2),(2,3)}; R2 = transitive closure => satisfied
+        let mut good = edge_db(&[(1, 2), (2, 3)]);
+        good.insert_fact(r(2), kbt_data::tuple![1, 2]).unwrap();
+        good.insert_fact(r(2), kbt_data::tuple![2, 3]).unwrap();
+        good.insert_fact(r(2), kbt_data::tuple![1, 3]).unwrap();
+        assert!(satisfies(&good, &phi).unwrap());
+
+        // R2 missing (1,3) => not satisfied
+        let mut bad = edge_db(&[(1, 2), (2, 3)]);
+        bad.insert_fact(r(2), kbt_data::tuple![1, 2]).unwrap();
+        bad.insert_fact(r(2), kbt_data::tuple![2, 3]).unwrap();
+        assert!(!satisfies(&bad, &phi).unwrap());
+    }
+}

@@ -1,0 +1,236 @@
+//! Well-formed formulas of the language `L`.
+
+use kbt_data::{RelId, Schema};
+use std::fmt;
+
+use crate::term::{Term, Var};
+
+/// A well-formed formula (the set `Φ'` of the paper).
+///
+/// The paper's primitive connectives are `∧`, `¬`, `∃` and `=`; the other
+/// connectives and the universal quantifier are provided as first-class
+/// constructors for readability and are treated by every algorithm in this
+/// workspace either directly or through [`Formula::desugar`].
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Formula {
+    /// The always-true formula (empty conjunction).
+    True,
+    /// The always-false formula (empty disjunction).
+    False,
+    /// An atomic formula `R_i(t_1, …, t_k)`.
+    Atom(RelId, Vec<Term>),
+    /// An equality `t_1 = t_2`.
+    Eq(Term, Term),
+    /// Negation `¬φ`.
+    Not(Box<Formula>),
+    /// Conjunction `φ ∧ ψ`.
+    And(Box<Formula>, Box<Formula>),
+    /// Disjunction `φ ∨ ψ`.
+    Or(Box<Formula>, Box<Formula>),
+    /// Implication `φ → ψ`.
+    Implies(Box<Formula>, Box<Formula>),
+    /// Biconditional `φ ↔ ψ`.
+    Iff(Box<Formula>, Box<Formula>),
+    /// Existential quantification `∃x φ`.
+    Exists(Var, Box<Formula>),
+    /// Universal quantification `∀x φ`.
+    Forall(Var, Box<Formula>),
+}
+
+impl Formula {
+    /// The schema `σ(φ)`: every relation symbol occurring in the formula,
+    /// with its arity as used.
+    ///
+    /// If a relation symbol is used with two different arities the first
+    /// occurrence wins; [`crate::vars::check_arities`] reports such clashes.
+    pub fn schema(&self) -> Schema {
+        let mut s = Schema::new();
+        self.visit_atoms(&mut |rel, args| {
+            let _ = s.add(rel, args.len());
+        });
+        s
+    }
+
+    /// Calls `f` on every atom `R(t̄)` of the formula.
+    pub fn visit_atoms(&self, f: &mut impl FnMut(RelId, &[Term])) {
+        match self {
+            Formula::True | Formula::False | Formula::Eq(_, _) => {}
+            Formula::Atom(rel, args) => f(*rel, args),
+            Formula::Not(inner) => inner.visit_atoms(f),
+            Formula::And(a, b)
+            | Formula::Or(a, b)
+            | Formula::Implies(a, b)
+            | Formula::Iff(a, b) => {
+                a.visit_atoms(f);
+                b.visit_atoms(f);
+            }
+            Formula::Exists(_, inner) | Formula::Forall(_, inner) => inner.visit_atoms(f),
+        }
+    }
+
+    /// Calls `f` on every term occurrence of the formula.
+    pub fn visit_terms(&self, f: &mut impl FnMut(&Term)) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Atom(_, args) => args.iter().for_each(&mut *f),
+            Formula::Eq(a, b) => {
+                f(a);
+                f(b);
+            }
+            Formula::Not(inner) => inner.visit_terms(f),
+            Formula::And(a, b)
+            | Formula::Or(a, b)
+            | Formula::Implies(a, b)
+            | Formula::Iff(a, b) => {
+                a.visit_terms(f);
+                b.visit_terms(f);
+            }
+            Formula::Exists(_, inner) | Formula::Forall(_, inner) => inner.visit_terms(f),
+        }
+    }
+
+    /// All constants occurring in the formula.
+    pub fn constants(&self) -> std::collections::BTreeSet<kbt_data::Const> {
+        let mut out = std::collections::BTreeSet::new();
+        self.visit_terms(&mut |t| {
+            if let Term::Const(c) = t {
+                out.insert(*c);
+            }
+        });
+        out
+    }
+
+    /// Rewrites the derived connectives (`∨`, `→`, `↔`, `∀`, `True`,
+    /// `False`) into the paper's primitive ones (`∧`, `¬`, `∃`, `=`).
+    ///
+    /// `True` becomes `¬∃x (¬ x = x)`-free: we use `x0 = x0`-style identities
+    /// only when a variable-free encoding is impossible, so `True` maps to
+    /// `¬(False)` with `False` encoded as `¬(c = c)` over a fresh constant
+    /// `a_0`; since equality of a constant with itself is always true this is
+    /// faithful.
+    pub fn desugar(&self) -> Formula {
+        use Formula::*;
+        match self {
+            True => Not(Box::new(False.desugar())),
+            False => {
+                let c = Term::Const(kbt_data::Const::new(0));
+                Not(Box::new(Eq(c, c)))
+            }
+            Atom(r, args) => Atom(*r, args.clone()),
+            Eq(a, b) => Eq(*a, *b),
+            Not(inner) => Not(Box::new(inner.desugar())),
+            And(a, b) => And(Box::new(a.desugar()), Box::new(b.desugar())),
+            Or(a, b) => Not(Box::new(And(
+                Box::new(Not(Box::new(a.desugar()))),
+                Box::new(Not(Box::new(b.desugar()))),
+            ))),
+            Implies(a, b) => Not(Box::new(And(
+                Box::new(a.desugar()),
+                Box::new(Not(Box::new(b.desugar()))),
+            ))),
+            Iff(a, b) => {
+                let fwd = Implies(a.clone(), b.clone()).desugar();
+                let bwd = Implies(b.clone(), a.clone()).desugar();
+                And(Box::new(fwd), Box::new(bwd))
+            }
+            Exists(v, inner) => Exists(*v, Box::new(inner.desugar())),
+            Forall(v, inner) => Not(Box::new(Exists(*v, Box::new(Not(Box::new(inner.desugar())))))),
+        }
+    }
+
+    /// Number of connective/quantifier/atom nodes — the formula length `|φ|`
+    /// used by the expression-complexity experiments.
+    pub fn size(&self) -> usize {
+        use Formula::*;
+        match self {
+            True | False | Atom(_, _) | Eq(_, _) => 1,
+            Not(inner) => 1 + inner.size(),
+            And(a, b) | Or(a, b) | Implies(a, b) | Iff(a, b) => 1 + a.size() + b.size(),
+            Exists(_, inner) | Forall(_, inner) => 1 + inner.size(),
+        }
+    }
+
+    /// Maximum quantifier nesting depth.
+    pub fn quantifier_depth(&self) -> usize {
+        use Formula::*;
+        match self {
+            True | False | Atom(_, _) | Eq(_, _) => 0,
+            Not(inner) => inner.quantifier_depth(),
+            And(a, b) | Or(a, b) | Implies(a, b) | Iff(a, b) => {
+                a.quantifier_depth().max(b.quantifier_depth())
+            }
+            Exists(_, inner) | Forall(_, inner) => 1 + inner.quantifier_depth(),
+        }
+    }
+}
+
+impl fmt::Debug for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", crate::pretty::render(self, None))
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+
+    #[test]
+    fn schema_collects_relations_and_arities() {
+        // ∀x1 x2 x3: (R2(x1,x2) ∧ R1(x2,x3)) ∨ R1(x1,x3) → R2(x1,x3)
+        let f = crate::builder::forall(
+            [1, 2, 3],
+            implies(
+                or(
+                    and(atom(2, [var(1), var(2)]), atom(1, [var(2), var(3)])),
+                    atom(1, [var(1), var(3)]),
+                ),
+                atom(2, [var(1), var(3)]),
+            ),
+        );
+        let s = f.schema();
+        assert_eq!(s.arity(RelId::new(1)), Some(2));
+        assert_eq!(s.arity(RelId::new(2)), Some(2));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn constants_are_collected() {
+        let f = and(atom(1, [cst(3), var(1)]), eq(cst(5), var(1)));
+        let cs: Vec<_> = f.constants().into_iter().collect();
+        assert_eq!(cs, vec![kbt_data::Const::new(3), kbt_data::Const::new(5)]);
+    }
+
+    #[test]
+    fn size_and_depth() {
+        let f = forall([1], exists([2], atom(1, [var(1), var(2)])));
+        assert_eq!(f.size(), 3);
+        assert_eq!(f.quantifier_depth(), 2);
+    }
+
+    #[test]
+    fn desugar_removes_derived_connectives() {
+        fn only_primitive(f: &Formula) -> bool {
+            use Formula::*;
+            match f {
+                True | False => false,
+                Atom(_, _) | Eq(_, _) => true,
+                Not(i) => only_primitive(i),
+                And(a, b) => only_primitive(a) && only_primitive(b),
+                Or(_, _) | Implies(_, _) | Iff(_, _) | Forall(_, _) => false,
+                Exists(_, i) => only_primitive(i),
+            }
+        }
+        let f = iff(
+            or(atom(1, [var(1)]), Formula::True),
+            forall([2], implies(atom(2, [var(2)]), Formula::False)),
+        );
+        assert!(only_primitive(&f.desugar()));
+    }
+}

@@ -1,0 +1,370 @@
+//! Grounding: expanding a sentence over a finite domain into a propositional
+//! formula over ground atoms.
+//!
+//! The `µ` function of the paper (definition (9)) only looks at databases
+//! whose values come from the finite set `B` of constants appearing in the
+//! input database or the inserted sentence.  Over such a finite domain a
+//! first-order sentence is equivalent to a propositional combination of
+//! *ground atoms* `R(ā)`; the SAT-based update evaluator in `kbt-core`
+//! operates on that propositional form.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use kbt_data::{Const, Database, RelId, Tuple};
+
+use crate::formula::Formula;
+use crate::sentence::Sentence;
+use crate::term::{Term, Var};
+use crate::Interpretation;
+
+/// A ground atom `R(ā)`: a relation symbol applied to constants only.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroundAtom {
+    /// The relation symbol.
+    pub rel: RelId,
+    /// The argument tuple (all constants).
+    pub tuple: Tuple,
+}
+
+impl GroundAtom {
+    /// Builds a ground atom.
+    pub fn new(rel: RelId, tuple: Tuple) -> Self {
+        GroundAtom { rel, tuple }
+    }
+}
+
+impl fmt::Debug for GroundAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.rel, self.tuple)
+    }
+}
+
+impl fmt::Display for GroundAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A propositional formula over ground atoms.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum GroundFormula {
+    /// Constant true.
+    True,
+    /// Constant false.
+    False,
+    /// A ground atom.
+    Atom(GroundAtom),
+    /// Negation.
+    Not(Box<GroundFormula>),
+    /// N-ary conjunction.
+    And(Vec<GroundFormula>),
+    /// N-ary disjunction.
+    Or(Vec<GroundFormula>),
+}
+
+impl GroundFormula {
+    /// Smart conjunction with constant folding and flattening.
+    pub fn and(parts: Vec<GroundFormula>) -> GroundFormula {
+        let mut flat = Vec::new();
+        for p in parts {
+            match p {
+                GroundFormula::True => {}
+                GroundFormula::False => return GroundFormula::False,
+                GroundFormula::And(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => GroundFormula::True,
+            1 => flat.pop().expect("len checked"),
+            _ => GroundFormula::And(flat),
+        }
+    }
+
+    /// Smart disjunction with constant folding and flattening.
+    pub fn or(parts: Vec<GroundFormula>) -> GroundFormula {
+        let mut flat = Vec::new();
+        for p in parts {
+            match p {
+                GroundFormula::False => {}
+                GroundFormula::True => return GroundFormula::True,
+                GroundFormula::Or(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => GroundFormula::False,
+            1 => flat.pop().expect("len checked"),
+            _ => GroundFormula::Or(flat),
+        }
+    }
+
+    /// Smart negation with constant folding and double-negation elimination.
+    pub fn negate(self) -> GroundFormula {
+        match self {
+            GroundFormula::True => GroundFormula::False,
+            GroundFormula::False => GroundFormula::True,
+            GroundFormula::Not(inner) => *inner,
+            other => GroundFormula::Not(Box::new(other)),
+        }
+    }
+
+    /// All ground atoms occurring in the formula.
+    pub fn atoms(&self) -> BTreeSet<GroundAtom> {
+        let mut out = BTreeSet::new();
+        self.collect_atoms(&mut out);
+        out
+    }
+
+    fn collect_atoms(&self, out: &mut BTreeSet<GroundAtom>) {
+        match self {
+            GroundFormula::True | GroundFormula::False => {}
+            GroundFormula::Atom(a) => {
+                out.insert(a.clone());
+            }
+            GroundFormula::Not(inner) => inner.collect_atoms(out),
+            GroundFormula::And(parts) | GroundFormula::Or(parts) => {
+                for p in parts {
+                    p.collect_atoms(out);
+                }
+            }
+        }
+    }
+
+    /// Number of nodes of the ground formula.
+    pub fn size(&self) -> usize {
+        match self {
+            GroundFormula::True | GroundFormula::False | GroundFormula::Atom(_) => 1,
+            GroundFormula::Not(inner) => 1 + inner.size(),
+            GroundFormula::And(parts) | GroundFormula::Or(parts) => {
+                1 + parts.iter().map(GroundFormula::size).sum::<usize>()
+            }
+        }
+    }
+
+    /// Evaluates the ground formula against a set of true atoms (closed
+    /// world: atoms not in the set are false).
+    pub fn eval(&self, true_atoms: &BTreeSet<GroundAtom>) -> bool {
+        match self {
+            GroundFormula::True => true,
+            GroundFormula::False => false,
+            GroundFormula::Atom(a) => true_atoms.contains(a),
+            GroundFormula::Not(inner) => !inner.eval(true_atoms),
+            GroundFormula::And(parts) => parts.iter().all(|p| p.eval(true_atoms)),
+            GroundFormula::Or(parts) => parts.iter().any(|p| p.eval(true_atoms)),
+        }
+    }
+
+    /// Evaluates the ground formula against a database (an atom is true iff
+    /// the corresponding fact is stored).
+    pub fn eval_against(&self, db: &Database) -> bool {
+        match self {
+            GroundFormula::True => true,
+            GroundFormula::False => false,
+            GroundFormula::Atom(a) => db.holds(a.rel, &a.tuple),
+            GroundFormula::Not(inner) => !inner.eval_against(db),
+            GroundFormula::And(parts) => parts.iter().all(|p| p.eval_against(db)),
+            GroundFormula::Or(parts) => parts.iter().any(|p| p.eval_against(db)),
+        }
+    }
+}
+
+impl fmt::Debug for GroundFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroundFormula::True => write!(f, "⊤"),
+            GroundFormula::False => write!(f, "⊥"),
+            GroundFormula::Atom(a) => write!(f, "{a}"),
+            GroundFormula::Not(inner) => write!(f, "¬{inner:?}"),
+            GroundFormula::And(parts) => {
+                write!(f, "(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{p:?}")?;
+                }
+                write!(f, ")")
+            }
+            GroundFormula::Or(parts) => {
+                write!(f, "(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "{p:?}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// Grounds a sentence over the given finite domain.
+pub fn ground_sentence(sentence: &Sentence, domain: &BTreeSet<Const>) -> GroundFormula {
+    let mut env = Interpretation::new();
+    ground(sentence.formula(), domain, &mut env)
+}
+
+/// Grounds an arbitrary formula under a (partial) assignment; free variables
+/// not bound by `env` must not occur.
+pub fn ground(f: &Formula, domain: &BTreeSet<Const>, env: &mut Interpretation) -> GroundFormula {
+    match f {
+        Formula::True => GroundFormula::True,
+        Formula::False => GroundFormula::False,
+        Formula::Eq(a, b) => {
+            if term_value(a, env) == term_value(b, env) {
+                GroundFormula::True
+            } else {
+                GroundFormula::False
+            }
+        }
+        Formula::Atom(rel, args) => {
+            let tuple = Tuple::new(
+                args.iter()
+                    .map(|t| term_value(t, env))
+                    .collect::<Vec<_>>(),
+            );
+            GroundFormula::Atom(GroundAtom::new(*rel, tuple))
+        }
+        Formula::Not(inner) => ground(inner, domain, env).negate(),
+        Formula::And(a, b) => {
+            GroundFormula::and(vec![ground(a, domain, env), ground(b, domain, env)])
+        }
+        Formula::Or(a, b) => {
+            GroundFormula::or(vec![ground(a, domain, env), ground(b, domain, env)])
+        }
+        Formula::Implies(a, b) => GroundFormula::or(vec![
+            ground(a, domain, env).negate(),
+            ground(b, domain, env),
+        ]),
+        Formula::Iff(a, b) => {
+            let ga = ground(a, domain, env);
+            let gb = ground(b, domain, env);
+            GroundFormula::and(vec![
+                GroundFormula::or(vec![ga.clone().negate(), gb.clone()]),
+                GroundFormula::or(vec![gb.negate(), ga]),
+            ])
+        }
+        Formula::Exists(v, inner) => {
+            GroundFormula::or(expand_quantifier(*v, inner, domain, env))
+        }
+        Formula::Forall(v, inner) => {
+            GroundFormula::and(expand_quantifier(*v, inner, domain, env))
+        }
+    }
+}
+
+fn expand_quantifier(
+    v: Var,
+    inner: &Formula,
+    domain: &BTreeSet<Const>,
+    env: &mut Interpretation,
+) -> Vec<GroundFormula> {
+    let saved = env.get(&v).copied();
+    let mut parts = Vec::with_capacity(domain.len());
+    for &c in domain {
+        env.insert(v, c);
+        parts.push(ground(inner, domain, env));
+    }
+    match saved {
+        Some(c) => {
+            env.insert(v, c);
+        }
+        None => {
+            env.remove(&v);
+        }
+    }
+    parts
+}
+
+fn term_value(t: &Term, env: &Interpretation) -> Const {
+    match t {
+        Term::Const(c) => *c,
+        Term::Var(v) => *env
+            .get(v)
+            .unwrap_or_else(|| panic!("unbound variable {v} during grounding")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::eval::satisfies_with_domain;
+    use kbt_data::DatabaseBuilder;
+
+    fn dom(cs: &[u32]) -> BTreeSet<Const> {
+        cs.iter().map(|&c| Const::new(c)).collect()
+    }
+
+    #[test]
+    fn grounding_expands_quantifiers_over_the_domain() {
+        // ∃x R(x) over {1,2} ≡ R(1) ∨ R(2)
+        let s = Sentence::new(exists([1], atom(1, [var(1)]))).unwrap();
+        let g = ground_sentence(&s, &dom(&[1, 2]));
+        assert_eq!(g.atoms().len(), 2);
+        match g {
+            GroundFormula::Or(parts) => assert_eq!(parts.len(), 2),
+            other => panic!("expected Or, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_folds_to_constants() {
+        let s = Sentence::new(forall([1], or(eq(var(1), cst(1)), eq(var(1), cst(2))))).unwrap();
+        // over domain {1,2} every disjunct chain is true, so the whole thing folds to ⊤
+        assert_eq!(ground_sentence(&s, &dom(&[1, 2])), GroundFormula::True);
+        // over {1,2,3} the x=3 instance is ⊥ ∨ ⊥ = ⊥, so the conjunction is ⊥
+        assert_eq!(ground_sentence(&s, &dom(&[1, 2, 3])), GroundFormula::False);
+    }
+
+    #[test]
+    fn grounding_agrees_with_direct_model_checking() {
+        // φ = ∀x∃y R(x,y) on several small databases
+        let phi = Sentence::new(forall([1], exists([2], atom(1, [var(1), var(2)])))).unwrap();
+        let cases: Vec<Vec<(u32, u32)>> = vec![
+            vec![(1, 2), (2, 1)],
+            vec![(1, 2), (2, 3)],
+            vec![(1, 1)],
+        ];
+        for edges in cases {
+            let mut b = DatabaseBuilder::new().relation(RelId::new(1), 2);
+            for &(x, y) in &edges {
+                b = b.fact(RelId::new(1), [x, y]);
+            }
+            let db = b.build().unwrap();
+            let domain = db.constants();
+            let direct = satisfies_with_domain(&db, &phi, &domain).unwrap();
+            let grounded = ground_sentence(&phi, &domain).eval_against(&db);
+            assert_eq!(direct, grounded, "disagreement on {edges:?}");
+        }
+    }
+
+    #[test]
+    fn size_and_atom_collection() {
+        let s = Sentence::new(forall(
+            [1, 2],
+            implies(atom(1, [var(1), var(2)]), atom(2, [var(1), var(2)])),
+        ))
+        .unwrap();
+        let g = ground_sentence(&s, &dom(&[1, 2]));
+        // 4 instantiations, each ¬R1(x,y) ∨ R2(x,y)
+        assert_eq!(g.atoms().len(), 8);
+        assert!(g.size() > 8);
+    }
+
+    #[test]
+    fn eval_against_atom_set() {
+        let a = GroundAtom::new(RelId::new(1), kbt_data::tuple![1]);
+        let g = GroundFormula::or(vec![
+            GroundFormula::Atom(a.clone()),
+            GroundFormula::False,
+        ]);
+        let mut set = BTreeSet::new();
+        assert!(!g.eval(&set));
+        set.insert(a);
+        assert!(g.eval(&set));
+    }
+}

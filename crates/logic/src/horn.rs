@@ -1,0 +1,166 @@
+//! Extraction of function-free Horn clauses (Datalog rules) from sentences.
+//!
+//! A sentence is *Datalog-restricted* in the sense of Theorem 4.8 if it is a
+//! conjunction of universally quantified function-free Horn clauses
+//! `∀x̄ (B₁ ∧ … ∧ Bₙ → H)` with positive atomic body literals and a positive
+//! atomic head.  Inserting such a sentence into a database yields its unique
+//! least fixpoint, which the Datalog engine in `kbt-datalog` computes in
+//! polynomial time.
+
+use kbt_data::RelId;
+
+use crate::formula::Formula;
+use crate::sentence::Sentence;
+use crate::term::Term;
+
+/// One Horn clause `body → head` (an empty body encodes a fact).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HornClause {
+    /// Head atom: relation symbol and argument terms.
+    pub head: (RelId, Vec<Term>),
+    /// Body atoms (all positive).
+    pub body: Vec<(RelId, Vec<Term>)>,
+}
+
+impl HornClause {
+    /// Relation symbols occurring in the body.
+    pub fn body_relations(&self) -> impl Iterator<Item = RelId> + '_ {
+        self.body.iter().map(|(r, _)| *r)
+    }
+
+    /// The head relation symbol.
+    pub fn head_relation(&self) -> RelId {
+        self.head.0
+    }
+}
+
+/// If the sentence is a conjunction of universally quantified Horn clauses,
+/// returns them; otherwise returns `None`.
+pub fn horn_clauses(sentence: &Sentence) -> Option<Vec<HornClause>> {
+    let mut clauses = Vec::new();
+    if collect_conjuncts(sentence.formula(), &mut clauses) {
+        Some(clauses)
+    } else {
+        None
+    }
+}
+
+fn collect_conjuncts(f: &Formula, out: &mut Vec<HornClause>) -> bool {
+    match f {
+        Formula::And(a, b) => collect_conjuncts(a, out) && collect_conjuncts(b, out),
+        Formula::True => true,
+        other => match as_clause(other) {
+            Some(c) => {
+                out.push(c);
+                true
+            }
+            None => false,
+        },
+    }
+}
+
+/// Strips the leading block of universal quantifiers and parses the matrix as
+/// `body → head` or a bare head atom.
+fn as_clause(f: &Formula) -> Option<HornClause> {
+    let mut inner = f;
+    while let Formula::Forall(_, next) = inner {
+        inner = next;
+    }
+    match inner {
+        Formula::Atom(rel, args) => Some(HornClause {
+            head: (*rel, args.clone()),
+            body: Vec::new(),
+        }),
+        Formula::Implies(body, head) => {
+            let head = match head.as_ref() {
+                Formula::Atom(rel, args) => (*rel, args.clone()),
+                _ => return None,
+            };
+            let mut body_atoms = Vec::new();
+            if !collect_body(body, &mut body_atoms) {
+                return None;
+            }
+            Some(HornClause {
+                head,
+                body: body_atoms,
+            })
+        }
+        _ => None,
+    }
+}
+
+fn collect_body(f: &Formula, out: &mut Vec<(RelId, Vec<Term>)>) -> bool {
+    match f {
+        Formula::And(a, b) => collect_body(a, out) && collect_body(b, out),
+        Formula::Atom(rel, args) => {
+            out.push((*rel, args.clone()));
+            true
+        }
+        Formula::True => true,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+
+    #[test]
+    fn transitive_closure_program_is_horn() {
+        // ∀x,y (R1(x,y) → R2(x,y)) ∧ ∀x,y,z (R2(x,y) ∧ R1(y,z) → R2(x,z))
+        let s = Sentence::new(and(
+            forall([1, 2], implies(atom(1, [var(1), var(2)]), atom(2, [var(1), var(2)]))),
+            forall(
+                [1, 2, 3],
+                implies(
+                    and(atom(2, [var(1), var(2)]), atom(1, [var(2), var(3)])),
+                    atom(2, [var(1), var(3)]),
+                ),
+            ),
+        ))
+        .unwrap();
+        let clauses = horn_clauses(&s).expect("is Horn");
+        assert_eq!(clauses.len(), 2);
+        assert_eq!(clauses[0].body.len(), 1);
+        assert_eq!(clauses[1].body.len(), 2);
+        assert_eq!(clauses[1].head_relation(), RelId::new(2));
+    }
+
+    #[test]
+    fn facts_and_empty_bodies_are_allowed() {
+        let s = Sentence::new(and(
+            atom(1, [cst(1), cst(2)]),
+            forall([1], implies(Formula::True, atom(2, [var(1), var(1)]))),
+        ))
+        .unwrap();
+        let clauses = horn_clauses(&s).expect("is Horn");
+        assert_eq!(clauses.len(), 2);
+        assert!(clauses[0].body.is_empty());
+        assert!(clauses[1].body.is_empty());
+    }
+
+    #[test]
+    fn negation_disjunction_and_iff_are_rejected() {
+        let neg = Sentence::new(forall(
+            [1, 2],
+            implies(not(atom(1, [var(1), var(2)])), atom(2, [var(1), var(2)])),
+        ))
+        .unwrap();
+        assert!(horn_clauses(&neg).is_none());
+
+        let disj_head = Sentence::new(forall(
+            [1],
+            implies(atom(1, [var(1)]), or(atom(2, [var(1)]), atom(3, [var(1)]))),
+        ))
+        .unwrap();
+        assert!(horn_clauses(&disj_head).is_none());
+
+        let bidir = Sentence::new(forall(
+            [1, 2],
+            iff(atom(1, [var(1), var(2)]), atom(2, [var(1), var(2)])),
+        ))
+        .unwrap();
+        assert!(horn_clauses(&bidir).is_none());
+    }
+}

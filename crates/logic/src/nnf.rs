@@ -1,0 +1,204 @@
+//! Negation normal form.
+//!
+//! Pushing negations down to the atoms is used by the monotonicity check of
+//! the update evaluator and keeps the grounded formulas passed to the SAT
+//! substrate small and regular.
+
+use crate::formula::Formula;
+
+/// Rewrites a formula into negation normal form: negation applies only to
+/// atoms and equalities, and the derived connectives `→` and `↔` are
+/// eliminated.
+pub fn to_nnf(f: &Formula) -> Formula {
+    nnf(f, false)
+}
+
+fn nnf(f: &Formula, negated: bool) -> Formula {
+    use Formula::*;
+    match f {
+        True => {
+            if negated {
+                False
+            } else {
+                True
+            }
+        }
+        False => {
+            if negated {
+                True
+            } else {
+                False
+            }
+        }
+        Atom(_, _) | Eq(_, _) => {
+            if negated {
+                Not(Box::new(f.clone()))
+            } else {
+                f.clone()
+            }
+        }
+        Not(inner) => nnf(inner, !negated),
+        And(a, b) => {
+            let (la, lb) = (nnf(a, negated), nnf(b, negated));
+            if negated {
+                Or(Box::new(la), Box::new(lb))
+            } else {
+                And(Box::new(la), Box::new(lb))
+            }
+        }
+        Or(a, b) => {
+            let (la, lb) = (nnf(a, negated), nnf(b, negated));
+            if negated {
+                And(Box::new(la), Box::new(lb))
+            } else {
+                Or(Box::new(la), Box::new(lb))
+            }
+        }
+        Implies(a, b) => {
+            // a → b ≡ ¬a ∨ b
+            let rewritten = Or(Box::new(Not(a.clone())), b.clone());
+            nnf(&rewritten, negated)
+        }
+        Iff(a, b) => {
+            // a ↔ b ≡ (a ∧ b) ∨ (¬a ∧ ¬b)
+            let rewritten = Or(
+                Box::new(And(a.clone(), b.clone())),
+                Box::new(And(Box::new(Not(a.clone())), Box::new(Not(b.clone())))),
+            );
+            nnf(&rewritten, negated)
+        }
+        Exists(v, inner) => {
+            let body = nnf(inner, negated);
+            if negated {
+                Forall(*v, Box::new(body))
+            } else {
+                Exists(*v, Box::new(body))
+            }
+        }
+        Forall(v, inner) => {
+            let body = nnf(inner, negated);
+            if negated {
+                Exists(*v, Box::new(body))
+            } else {
+                Forall(*v, Box::new(body))
+            }
+        }
+    }
+}
+
+/// Whether a formula is in negation normal form.
+pub fn is_nnf(f: &Formula) -> bool {
+    use Formula::*;
+    match f {
+        True | False | Atom(_, _) | Eq(_, _) => true,
+        Not(inner) => matches!(inner.as_ref(), Atom(_, _) | Eq(_, _)),
+        And(a, b) | Or(a, b) => is_nnf(a) && is_nnf(b),
+        Implies(_, _) | Iff(_, _) => false,
+        Exists(_, inner) | Forall(_, inner) => is_nnf(inner),
+    }
+}
+
+/// Whether every atom of the given relation occurs only positively in the NNF
+/// of the formula — a sufficient condition for the insertion of the formula
+/// to behave monotonically on that relation (cf. the least-fixpoint remark in
+/// the introduction of the paper).
+pub fn relation_occurs_only_positively(f: &Formula, rel: kbt_data::RelId) -> bool {
+    fn check(f: &Formula, rel: kbt_data::RelId) -> bool {
+        use Formula::*;
+        match f {
+            True | False | Eq(_, _) | Atom(_, _) => true,
+            Not(inner) => match inner.as_ref() {
+                Atom(r, _) => *r != rel,
+                Eq(_, _) => true,
+                _ => unreachable!("formula must be in NNF"),
+            },
+            And(a, b) | Or(a, b) => check(a, rel) && check(b, rel),
+            Implies(_, _) | Iff(_, _) => unreachable!("formula must be in NNF"),
+            Exists(_, inner) | Forall(_, inner) => check(inner, rel),
+        }
+    }
+    check(&to_nnf(f), rel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::eval::satisfies;
+    use crate::sentence::Sentence;
+    use kbt_data::{DatabaseBuilder, RelId};
+
+    #[test]
+    fn nnf_pushes_negation_to_atoms() {
+        let f = not(and(
+            atom(1, [var(1)]),
+            or(atom(2, [var(1)]), not(atom(3, [var(1)]))),
+        ));
+        let g = to_nnf(&f);
+        assert!(is_nnf(&g));
+        assert_eq!(
+            g,
+            or(
+                not(atom(1, [var(1)])),
+                and(not(atom(2, [var(1)])), atom(3, [var(1)]))
+            )
+        );
+    }
+
+    #[test]
+    fn nnf_dualises_quantifiers() {
+        let f = not(forall([1], exists([2], atom(1, [var(1), var(2)]))));
+        let g = to_nnf(&f);
+        assert!(is_nnf(&g));
+        assert_eq!(
+            g,
+            exists([1], forall([2], not(atom(1, [var(1), var(2)]))))
+        );
+    }
+
+    #[test]
+    fn nnf_preserves_satisfaction() {
+        let phi = forall(
+            [1],
+            implies(
+                atom(1, [var(1), var(1)]),
+                not(exists([2], and(atom(1, [var(1), var(2)]), not(eq(var(1), var(2)))))),
+            ),
+        );
+        let s = Sentence::new(phi.clone()).unwrap();
+        let s_nnf = Sentence::new(to_nnf(&phi)).unwrap();
+        for edges in [vec![(1u32, 1u32)], vec![(1, 1), (1, 2)], vec![(1, 2), (2, 2)]] {
+            let mut b = DatabaseBuilder::new().relation(RelId::new(1), 2);
+            for &(x, y) in &edges {
+                b = b.fact(RelId::new(1), [x, y]);
+            }
+            let db = b.build().unwrap();
+            assert_eq!(
+                satisfies(&db, &s).unwrap(),
+                satisfies(&db, &s_nnf).unwrap(),
+                "NNF changed the meaning on {edges:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn positive_occurrence_check() {
+        // R2 occurs only positively in the transitive-closure sentence.
+        let tc = forall(
+            [1, 2, 3],
+            implies(
+                or(
+                    and(atom(2, [var(1), var(2)]), atom(1, [var(2), var(3)])),
+                    atom(1, [var(1), var(3)]),
+                ),
+                atom(2, [var(1), var(3)]),
+            ),
+        );
+        // in ¬body ∨ head, R2 occurs negatively (in the body) and positively.
+        assert!(!relation_occurs_only_positively(&tc, RelId::new(2)));
+        // but R1 only occurs in the body, i.e. only negatively — and R3 not at all.
+        assert!(relation_occurs_only_positively(&tc, RelId::new(3)));
+        let simple = forall([1, 2], implies(atom(1, [var(1), var(2)]), atom(2, [var(1), var(2)])));
+        assert!(relation_occurs_only_positively(&simple, RelId::new(2)));
+    }
+}

@@ -1,0 +1,584 @@
+//! A small recursive-descent parser for a readable formula surface syntax.
+//!
+//! Grammar (precedence from loosest to tightest):
+//!
+//! ```text
+//! formula  := quantified
+//! quantified := ("forall" | "exists") var+ "." quantified | iff
+//! iff      := implies ( "<->" implies )*
+//! implies  := or ( "->" implies )?                -- right associative
+//! or       := and ( ("|" | "or") and )*
+//! and      := unary ( ("&" | "and") unary )*
+//! unary    := ("~" | "!" | "not") unary | primary
+//! primary  := "(" formula ")" | "true" | "false"
+//!           | IDENT "(" terms? ")"                -- relation atom
+//!           | term ("=" | "!=") term
+//! term     := IDENT            -- variable (e.g. x, y, x3)
+//!           | NUMBER           -- constant a_NUMBER
+//!           | "'" chars "'"    -- named constant, interned in the vocabulary
+//! ```
+//!
+//! Relation names are interned in the supplied [`Vocabulary`] with the arity
+//! observed at the call site; named constants likewise.  Variables are scoped
+//! per call to [`parse_formula`]; their indices are assigned in order of first
+//! appearance, unless the variable name has the form `x<digits>`, in which
+//! case the digits give the index (so round-tripping through
+//! [`crate::pretty::render`] is exact).
+
+use std::collections::BTreeMap;
+
+use kbt_data::Vocabulary;
+
+use crate::builder::{and, atom_r, eq, iff, implies, not, or};
+use crate::error::LogicError;
+use crate::formula::Formula;
+use crate::sentence::Sentence;
+use crate::term::{Term, Var};
+use crate::Result;
+
+/// Parses a formula, interning relation and constant names into `vocab`.
+pub fn parse_formula(input: &str, vocab: &mut Vocabulary) -> Result<Formula> {
+    let tokens = lex(input)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        vocab,
+        vars: BTreeMap::new(),
+        next_var: 0,
+        input_len: input.len(),
+    };
+    let f = p.formula()?;
+    p.expect_end()?;
+    Ok(f)
+}
+
+/// Parses a sentence (a closed formula).
+pub fn parse_sentence(input: &str, vocab: &mut Vocabulary) -> Result<Sentence> {
+    Sentence::new(parse_formula(input, vocab)?)
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Token {
+    Ident(String),
+    Number(u32),
+    Quoted(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Amp,
+    Pipe,
+    Tilde,
+    Arrow,
+    DoubleArrow,
+    Eq,
+    Neq,
+}
+
+fn lex(input: &str) -> Result<Vec<(Token, usize)>> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                out.push((Token::LParen, i));
+                i += 1;
+            }
+            ')' => {
+                out.push((Token::RParen, i));
+                i += 1;
+            }
+            ',' => {
+                out.push((Token::Comma, i));
+                i += 1;
+            }
+            '.' => {
+                out.push((Token::Dot, i));
+                i += 1;
+            }
+            '&' => {
+                out.push((Token::Amp, i));
+                i += 1;
+            }
+            '|' => {
+                out.push((Token::Pipe, i));
+                i += 1;
+            }
+            '~' | '!' => {
+                if c == '!' && bytes.get(i + 1) == Some(&b'=') {
+                    out.push((Token::Neq, i));
+                    i += 2;
+                } else {
+                    out.push((Token::Tilde, i));
+                    i += 1;
+                }
+            }
+            '=' => {
+                out.push((Token::Eq, i));
+                i += 1;
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    out.push((Token::Arrow, i));
+                    i += 2;
+                } else {
+                    return Err(LogicError::Parse {
+                        message: "expected '->'".into(),
+                        offset: i,
+                    });
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'-') && bytes.get(i + 2) == Some(&b'>') {
+                    out.push((Token::DoubleArrow, i));
+                    i += 3;
+                } else {
+                    return Err(LogicError::Parse {
+                        message: "expected '<->'".into(),
+                        offset: i,
+                    });
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] as char != '\'' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(LogicError::Parse {
+                        message: "unterminated quoted constant".into(),
+                        offset: i,
+                    });
+                }
+                out.push((Token::Quoted(input[start..j].to_string()), i));
+                i = j + 1;
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let n: u32 = input[start..i].parse().map_err(|_| LogicError::Parse {
+                    message: "number too large".into(),
+                    offset: start,
+                })?;
+                out.push((Token::Number(n), start));
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push((Token::Ident(input[start..i].to_string()), start));
+            }
+            _ => {
+                return Err(LogicError::Parse {
+                    message: format!("unexpected character {c:?}"),
+                    offset: i,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+    vocab: &'a mut Vocabulary,
+    vars: BTreeMap<String, Var>,
+    next_var: u32,
+    input_len: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|&(_, o)| o)
+            .unwrap_or(self.input_len)
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, expected: &Token) -> Result<()> {
+        let offset = self.offset();
+        match self.advance() {
+            Some(ref t) if t == expected => Ok(()),
+            other => Err(LogicError::Parse {
+                message: format!("expected {expected:?}, found {other:?}"),
+                offset,
+            }),
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<()> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(LogicError::Parse {
+                message: format!("unexpected trailing input: {:?}", self.peek()),
+                offset: self.offset(),
+            })
+        }
+    }
+
+    fn variable(&mut self, name: &str) -> Var {
+        if let Some(&v) = self.vars.get(name) {
+            return v;
+        }
+        // names of the form x<digits> keep their numeric index for exact
+        // round-tripping with the pretty-printer.
+        let v = if let Some(rest) = name.strip_prefix('x') {
+            if let Ok(i) = rest.parse::<u32>() {
+                Var::new(i)
+            } else {
+                self.fresh_var()
+            }
+        } else {
+            self.fresh_var()
+        };
+        self.vars.insert(name.to_string(), v);
+        if v.index() >= self.next_var {
+            self.next_var = v.index() + 1;
+        }
+        v
+    }
+
+    fn fresh_var(&mut self) -> Var {
+        // skip indices already taken by explicit x<digit> names
+        loop {
+            let v = Var::new(self.next_var);
+            self.next_var += 1;
+            if !self.vars.values().any(|&w| w == v) {
+                return v;
+            }
+        }
+    }
+
+    fn formula(&mut self) -> Result<Formula> {
+        match self.peek() {
+            Some(Token::Ident(name)) if name == "forall" || name == "exists" => {
+                let is_forall = name == "forall";
+                self.advance();
+                let mut vars = Vec::new();
+                loop {
+                    match self.peek() {
+                        Some(Token::Ident(n)) if n != "forall" && n != "exists" => {
+                            let n = n.clone();
+                            self.advance();
+                            vars.push(self.variable(&n));
+                        }
+                        Some(Token::Dot) => break,
+                        other => {
+                            return Err(LogicError::Parse {
+                                message: format!("expected variable or '.', found {other:?}"),
+                                offset: self.offset(),
+                            })
+                        }
+                    }
+                }
+                self.expect(&Token::Dot)?;
+                if vars.is_empty() {
+                    return Err(LogicError::Parse {
+                        message: "quantifier binds no variables".into(),
+                        offset: self.offset(),
+                    });
+                }
+                let body = self.formula()?;
+                Ok(vars.into_iter().rev().fold(body, |acc, v| {
+                    if is_forall {
+                        Formula::Forall(v, Box::new(acc))
+                    } else {
+                        Formula::Exists(v, Box::new(acc))
+                    }
+                }))
+            }
+            _ => self.iff(),
+        }
+    }
+
+    fn iff(&mut self) -> Result<Formula> {
+        let mut left = self.implies()?;
+        while self.peek() == Some(&Token::DoubleArrow) {
+            self.advance();
+            let right = self.implies()?;
+            left = iff(left, right);
+        }
+        Ok(left)
+    }
+
+    fn implies(&mut self) -> Result<Formula> {
+        let left = self.or()?;
+        if self.peek() == Some(&Token::Arrow) {
+            self.advance();
+            let right = self.implies()?;
+            Ok(implies(left, right))
+        } else {
+            Ok(left)
+        }
+    }
+
+    fn or(&mut self) -> Result<Formula> {
+        let mut left = self.and()?;
+        loop {
+            match self.peek() {
+                Some(Token::Pipe) => {
+                    self.advance();
+                }
+                Some(Token::Ident(n)) if n == "or" => {
+                    self.advance();
+                }
+                _ => break,
+            }
+            let right = self.and()?;
+            left = or(left, right);
+        }
+        Ok(left)
+    }
+
+    fn and(&mut self) -> Result<Formula> {
+        let mut left = self.unary()?;
+        loop {
+            match self.peek() {
+                Some(Token::Amp) => {
+                    self.advance();
+                }
+                Some(Token::Ident(n)) if n == "and" => {
+                    self.advance();
+                }
+                _ => break,
+            }
+            let right = self.unary()?;
+            left = and(left, right);
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Formula> {
+        match self.peek() {
+            Some(Token::Tilde) => {
+                self.advance();
+                Ok(not(self.unary()?))
+            }
+            Some(Token::Ident(n)) if n == "not" => {
+                self.advance();
+                Ok(not(self.unary()?))
+            }
+            Some(Token::Ident(n)) if n == "forall" || n == "exists" => self.formula(),
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Formula> {
+        let offset = self.offset();
+        match self.advance() {
+            Some(Token::LParen) => {
+                let f = self.formula()?;
+                self.expect(&Token::RParen)?;
+                Ok(f)
+            }
+            Some(Token::Ident(name)) if name == "true" => Ok(Formula::True),
+            Some(Token::Ident(name)) if name == "false" => Ok(Formula::False),
+            Some(Token::Ident(name)) => {
+                if self.peek() == Some(&Token::LParen) {
+                    // relation atom
+                    self.advance();
+                    let mut args = Vec::new();
+                    if self.peek() != Some(&Token::RParen) {
+                        loop {
+                            args.push(self.term()?);
+                            if self.peek() == Some(&Token::Comma) {
+                                self.advance();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Token::RParen)?;
+                    let rel = self.vocab.relation(&name, args.len())?;
+                    Ok(atom_r(rel, args))
+                } else {
+                    // bare identifier in formula position: variable in an
+                    // (in)equality such as `x = y`.
+                    let left = Term::Var(self.variable(&name));
+                    self.equality_tail(left, offset)
+                }
+            }
+            Some(Token::Number(n)) => {
+                let left = Term::Const(kbt_data::Const::new(n));
+                self.equality_tail(left, offset)
+            }
+            Some(Token::Quoted(name)) => {
+                let left = Term::Const(self.vocab.constant(&name));
+                self.equality_tail(left, offset)
+            }
+            other => Err(LogicError::Parse {
+                message: format!("expected a formula, found {other:?}"),
+                offset,
+            }),
+        }
+    }
+
+    fn equality_tail(&mut self, left: Term, offset: usize) -> Result<Formula> {
+        match self.advance() {
+            Some(Token::Eq) => Ok(eq(left, self.term()?)),
+            Some(Token::Neq) => Ok(not(eq(left, self.term()?))),
+            other => Err(LogicError::Parse {
+                message: format!("expected '=' or '!=' after a term, found {other:?}"),
+                offset,
+            }),
+        }
+    }
+
+    fn term(&mut self) -> Result<Term> {
+        let offset = self.offset();
+        match self.advance() {
+            Some(Token::Ident(name)) => Ok(Term::Var(self.variable(&name))),
+            Some(Token::Number(n)) => Ok(Term::Const(kbt_data::Const::new(n))),
+            Some(Token::Quoted(name)) => Ok(Term::Const(self.vocab.constant(&name))),
+            other => Err(LogicError::Parse {
+                message: format!("expected a term, found {other:?}"),
+                offset,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::pretty::render;
+
+    fn parse(input: &str) -> Formula {
+        let mut v = Vocabulary::new();
+        parse_formula(input, &mut v).unwrap()
+    }
+
+    #[test]
+    fn parses_transitive_closure_sentence() {
+        let mut v = Vocabulary::new();
+        let f = parse_formula(
+            "forall x1 x2 x3. (R2(x1, x2) & R1(x2, x3)) | R1(x1, x3) -> R2(x1, x3)",
+            &mut v,
+        )
+        .unwrap();
+        // R2 was seen first, so it gets RelId 0; R1 gets RelId 1.
+        let (r2, _) = v.lookup_relation("R2").unwrap();
+        let (r1, _) = v.lookup_relation("R1").unwrap();
+        let expected = forall(
+            [1, 2, 3],
+            implies(
+                or(
+                    and(
+                        atom_r(r2, [var(1), var(2)]),
+                        atom_r(r1, [var(2), var(3)]),
+                    ),
+                    atom_r(r1, [var(1), var(3)]),
+                ),
+                atom_r(r2, [var(1), var(3)]),
+            ),
+        );
+        assert_eq!(f, expected);
+    }
+
+    #[test]
+    fn precedence_and_associativity() {
+        // a & b | c  ==  (a & b) | c
+        let f = parse("R1() & R2() | R3()");
+        assert!(matches!(f, Formula::Or(_, _)));
+        // a -> b -> c  ==  a -> (b -> c)
+        let f = parse("R1() -> R2() -> R3()");
+        match f {
+            Formula::Implies(_, rhs) => assert!(matches!(*rhs, Formula::Implies(_, _))),
+            other => panic!("expected implication, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_disequality_and_constants() {
+        let mut v = Vocabulary::new();
+        let f = parse_formula("forall x. x != 3 -> R(x, 'Toronto')", &mut v).unwrap();
+        let toronto = v.lookup_constant("Toronto").unwrap();
+        let (r, arity) = v.lookup_relation("R").unwrap();
+        assert_eq!(arity, 2);
+        let expected = forall(
+            [0],
+            implies(
+                not(eq(Term::Var(Var::new(0)), cst(3))),
+                atom_r(r, [Term::Var(Var::new(0)), Term::Const(toronto)]),
+            ),
+        );
+        assert_eq!(f, expected);
+    }
+
+    #[test]
+    fn keyword_connectives_and_not() {
+        let f = parse("not R1() and R2() or R3()");
+        // not binds tightest: ((~R1 & R2) | R3)
+        assert!(matches!(f, Formula::Or(_, _)));
+        let g = parse("~(R1() & R2())");
+        assert!(matches!(g, Formula::Not(_)));
+    }
+
+    #[test]
+    fn quantifier_scopes_to_the_right() {
+        let f = parse("exists x. R1(x) & R2(x)");
+        match f {
+            Formula::Exists(_, body) => assert!(matches!(*body, Formula::And(_, _))),
+            other => panic!("expected exists, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let mut v = Vocabulary::new();
+        let err = parse_formula("forall x. R1(x", &mut v).unwrap_err();
+        assert!(matches!(err, LogicError::Parse { .. }));
+        let err = parse_formula("R1() R2()", &mut v).unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+        assert!(parse_formula("R1(x) @", &mut v).is_err());
+        assert!(parse_formula("'unterminated", &mut v).is_err());
+    }
+
+    #[test]
+    fn arity_is_registered_per_relation_name() {
+        let mut v = Vocabulary::new();
+        assert!(parse_formula("R(1, 2) & R(3)", &mut v).is_err());
+    }
+
+    #[test]
+    fn pretty_printed_formulas_reparse_to_the_same_ast() {
+        let cases = [
+            "forall x1 x2 x3. (R2(x1, x2) & R1(x2, x3)) | R1(x1, x3) -> R2(x1, x3)",
+            "exists x1. R1(x1) & ~R2(x1, x1)",
+            "R1(1) <-> (R2(2) | x1 = 3)",
+        ];
+        for input in cases {
+            let mut v1 = Vocabulary::new();
+            let f1 = parse_formula(input, &mut v1).unwrap();
+            let printed = render(&f1, None);
+            let mut v2 = Vocabulary::new();
+            let f2 = parse_formula(&printed, &mut v2).unwrap();
+            // rendering uses R<i> names which re-intern to the same indices
+            assert_eq!(render(&f2, None), printed, "round-trip failed for {input}");
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Pretty-printing of formulas, optionally through a named vocabulary.
+
+use kbt_data::Vocabulary;
+
+use crate::formula::Formula;
+use crate::term::Term;
+
+/// Renders a formula as text.  When a vocabulary is supplied, relation and
+/// constant names registered there are used; otherwise the `R_i` / `a_i`
+/// fallback notation of the paper is used.  The output is re-parseable by
+/// [`crate::parser::parse_formula`] when a vocabulary is used consistently.
+pub fn render(f: &Formula, vocab: Option<&Vocabulary>) -> String {
+    let mut out = String::new();
+    write_formula(f, vocab, 0, &mut out);
+    out
+}
+
+fn render_term(t: &Term, vocab: Option<&Vocabulary>) -> String {
+    match t {
+        Term::Var(v) => format!("x{}", v.index()),
+        Term::Const(c) => match vocab.and_then(|v| v.constant_name(*c)) {
+            Some(name) => format!("'{name}'"),
+            None => format!("{}", c.index()),
+        },
+    }
+}
+
+fn render_rel(r: kbt_data::RelId, vocab: Option<&Vocabulary>) -> String {
+    match vocab.and_then(|v| v.relation_name(r)) {
+        Some(name) => name.to_string(),
+        None => format!("R{}", r.index()),
+    }
+}
+
+/// Precedence levels: 0 = iff, 1 = implies, 2 = or, 3 = and, 4 = unary.
+fn write_formula(f: &Formula, vocab: Option<&Vocabulary>, prec: u8, out: &mut String) {
+    let own = precedence(f);
+    let need_parens = own < prec;
+    if need_parens {
+        out.push('(');
+    }
+    match f {
+        Formula::True => out.push_str("true"),
+        Formula::False => out.push_str("false"),
+        Formula::Atom(r, args) => {
+            out.push_str(&render_rel(*r, vocab));
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&render_term(a, vocab));
+            }
+            out.push(')');
+        }
+        Formula::Eq(a, b) => {
+            out.push_str(&render_term(a, vocab));
+            out.push_str(" = ");
+            out.push_str(&render_term(b, vocab));
+        }
+        Formula::Not(inner) => {
+            out.push('~');
+            write_formula(inner, vocab, 5, out);
+        }
+        Formula::And(a, b) => {
+            write_formula(a, vocab, 3, out);
+            out.push_str(" & ");
+            write_formula(b, vocab, 4, out);
+        }
+        Formula::Or(a, b) => {
+            write_formula(a, vocab, 2, out);
+            out.push_str(" | ");
+            write_formula(b, vocab, 3, out);
+        }
+        Formula::Implies(a, b) => {
+            write_formula(a, vocab, 2, out);
+            out.push_str(" -> ");
+            write_formula(b, vocab, 1, out);
+        }
+        Formula::Iff(a, b) => {
+            write_formula(a, vocab, 1, out);
+            out.push_str(" <-> ");
+            write_formula(b, vocab, 1, out);
+        }
+        Formula::Exists(v, inner) => {
+            out.push_str(&format!("exists x{}", v.index()));
+            let mut body = inner.as_ref();
+            while let Formula::Exists(v2, next) = body {
+                out.push_str(&format!(" x{}", v2.index()));
+                body = next;
+            }
+            out.push_str(". ");
+            write_formula(body, vocab, 0, out);
+        }
+        Formula::Forall(v, inner) => {
+            out.push_str(&format!("forall x{}", v.index()));
+            let mut body = inner.as_ref();
+            while let Formula::Forall(v2, next) = body {
+                out.push_str(&format!(" x{}", v2.index()));
+                body = next;
+            }
+            out.push_str(". ");
+            write_formula(body, vocab, 0, out);
+        }
+    }
+    if need_parens {
+        out.push(')');
+    }
+}
+
+fn precedence(f: &Formula) -> u8 {
+    match f {
+        Formula::Iff(_, _) => 0,
+        Formula::Implies(_, _) => 1,
+        Formula::Or(_, _) => 2,
+        Formula::And(_, _) => 3,
+        Formula::Exists(_, _) | Formula::Forall(_, _) => 0,
+        _ => 5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+
+    #[test]
+    fn renders_quantifier_blocks_compactly() {
+        let f = forall(
+            [1, 2, 3],
+            implies(
+                and(atom(2, [var(1), var(2)]), atom(1, [var(2), var(3)])),
+                atom(2, [var(1), var(3)]),
+            ),
+        );
+        let s = render(&f, None);
+        assert!(s.starts_with("forall x1 x2 x3. "));
+        assert!(s.contains("R2(x1, x2) & R1(x2, x3) -> R2(x1, x3)"));
+    }
+
+    #[test]
+    fn uses_vocabulary_names_when_present() {
+        let mut v = Vocabulary::new();
+        let flight = v.relation("flight", 2).unwrap();
+        let toronto = v.constant("Toronto");
+        let f = atom_r(flight, [Term::Const(toronto), var(1)]);
+        assert_eq!(render(&f, Some(&v)), "flight('Toronto', x1)");
+    }
+
+    #[test]
+    fn parenthesises_by_precedence() {
+        let f = and(or(atom(1, [cst(1)]), atom(2, [cst(2)])), atom(3, [cst(3)]));
+        assert_eq!(render(&f, None), "(R1(1) | R2(2)) & R3(3)");
+        let g = or(and(atom(1, [cst(1)]), atom(2, [cst(2)])), atom(3, [cst(3)]));
+        assert_eq!(render(&g, None), "R1(1) & R2(2) | R3(3)");
+    }
+}

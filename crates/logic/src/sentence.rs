@@ -1,0 +1,123 @@
+//! Sentences: closed formulas, the set `Φ` of the paper.
+
+use std::fmt;
+
+use kbt_data::Schema;
+
+use crate::error::LogicError;
+use crate::formula::Formula;
+use crate::vars::{check_arities, free_variables};
+use crate::Result;
+
+/// A sentence: a well-formed formula with no free variables and consistent
+/// relation arities.  Only sentences may be inserted into a knowledgebase by
+/// the `τ` operator.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sentence {
+    formula: Formula,
+}
+
+impl Sentence {
+    /// Wraps a formula, checking closedness and arity consistency.
+    pub fn new(formula: Formula) -> Result<Self> {
+        let free = free_variables(&formula);
+        if let Some(&v) = free.iter().next() {
+            return Err(LogicError::FreeVariable { var: v });
+        }
+        check_arities(&formula)?;
+        Ok(Sentence { formula })
+    }
+
+    /// The underlying formula.
+    pub fn formula(&self) -> &Formula {
+        &self.formula
+    }
+
+    /// Consumes the sentence, returning the formula.
+    pub fn into_formula(self) -> Formula {
+        self.formula
+    }
+
+    /// The schema `σ(φ)` of the sentence.
+    pub fn schema(&self) -> Schema {
+        self.formula.schema()
+    }
+
+    /// All constants mentioned in the sentence.
+    pub fn constants(&self) -> std::collections::BTreeSet<kbt_data::Const> {
+        self.formula.constants()
+    }
+
+    /// Formula length `|φ|`.
+    pub fn size(&self) -> usize {
+        self.formula.size()
+    }
+
+    /// The conjunction of two sentences (used for inserting a *group* of
+    /// sentences at once, cf. the discussion of flock semantics in
+    /// Section 2.1).
+    pub fn and(self, other: Sentence) -> Sentence {
+        Sentence {
+            formula: Formula::And(Box::new(self.formula), Box::new(other.formula)),
+        }
+    }
+
+    /// The conjunction of several sentences.
+    pub fn conjoin(sentences: impl IntoIterator<Item = Sentence>) -> Sentence {
+        let mut iter = sentences.into_iter();
+        match iter.next() {
+            None => Sentence {
+                formula: Formula::True,
+            },
+            Some(first) => iter.fold(first, Sentence::and),
+        }
+    }
+}
+
+impl fmt::Debug for Sentence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.formula)
+    }
+}
+
+impl fmt::Display for Sentence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl TryFrom<Formula> for Sentence {
+    type Error = LogicError;
+
+    fn try_from(f: Formula) -> Result<Self> {
+        Sentence::new(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+
+    #[test]
+    fn open_formulas_are_rejected() {
+        assert!(Sentence::new(atom(1, [var(1)])).is_err());
+        assert!(Sentence::new(forall([1], atom(1, [var(1)]))).is_ok());
+    }
+
+    #[test]
+    fn inconsistent_arities_are_rejected() {
+        let f = forall([1], and(atom(1, [var(1)]), atom(1, [var(1), var(1)])));
+        assert!(Sentence::new(f).is_err());
+    }
+
+    #[test]
+    fn conjoin_groups_of_sentences() {
+        let s1 = Sentence::new(forall([1], implies(atom(1, [var(1)]), atom(2, [var(1)])))).unwrap();
+        let s2 = Sentence::new(atom(3, [cst(1)])).unwrap();
+        let c = Sentence::conjoin([s1.clone(), s2.clone()]);
+        assert_eq!(c.schema().len(), 3);
+        assert_eq!(Sentence::conjoin([]).formula(), &Formula::True);
+        assert_eq!(Sentence::conjoin([s2.clone()]), s2);
+    }
+}

@@ -1,0 +1,120 @@
+//! Variables and terms.
+
+use kbt_data::Const;
+use std::fmt;
+
+/// A first-order variable `x_i`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// Creates the variable `x_i`.
+    pub const fn new(i: u32) -> Self {
+        Var(i)
+    }
+
+    /// The index of the variable.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl From<u32> for Var {
+    fn from(i: u32) -> Self {
+        Var(i)
+    }
+}
+
+/// A term: either a variable or a domain constant (the language is
+/// function-free).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    /// A variable occurrence.
+    Var(Var),
+    /// A constant occurrence.
+    Const(Const),
+}
+
+impl Term {
+    /// The variable inside, if this term is a variable.
+    pub fn as_var(self) -> Option<Var> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// The constant inside, if this term is a constant.
+    pub fn as_const(self) -> Option<Const> {
+        match self {
+            Term::Const(c) => Some(c),
+            Term::Var(_) => None,
+        }
+    }
+
+    /// Whether the term is a constant (i.e. ground).
+    pub fn is_ground(self) -> bool {
+        matches!(self, Term::Const(_))
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<Var> for Term {
+    fn from(v: Var) -> Self {
+        Term::Var(v)
+    }
+}
+
+impl From<Const> for Term {
+    fn from(c: Const) -> Self {
+        Term::Const(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn term_accessors() {
+        let v = Term::Var(Var::new(1));
+        let c = Term::Const(Const::new(2));
+        assert_eq!(v.as_var(), Some(Var::new(1)));
+        assert_eq!(v.as_const(), None);
+        assert_eq!(c.as_const(), Some(Const::new(2)));
+        assert!(!v.is_ground());
+        assert!(c.is_ground());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Term::Var(Var::new(3)).to_string(), "x3");
+        assert_eq!(Term::Const(Const::new(3)).to_string(), "a3");
+    }
+}

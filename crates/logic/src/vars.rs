@@ -1,0 +1,170 @@
+//! Free variables, substitution and arity checking.
+
+use std::collections::BTreeSet;
+
+use kbt_data::Const;
+
+use crate::error::LogicError;
+use crate::formula::Formula;
+use crate::term::{Term, Var};
+use crate::Result;
+
+/// The free variables of a formula.
+pub fn free_variables(f: &Formula) -> BTreeSet<Var> {
+    let mut out = BTreeSet::new();
+    collect_free(f, &mut BTreeSet::new(), &mut out);
+    out
+}
+
+fn collect_free(f: &Formula, bound: &mut BTreeSet<Var>, out: &mut BTreeSet<Var>) {
+    match f {
+        Formula::True | Formula::False => {}
+        Formula::Atom(_, args) => {
+            for t in args {
+                if let Term::Var(v) = t {
+                    if !bound.contains(v) {
+                        out.insert(*v);
+                    }
+                }
+            }
+        }
+        Formula::Eq(a, b) => {
+            for t in [a, b] {
+                if let Term::Var(v) = t {
+                    if !bound.contains(v) {
+                        out.insert(*v);
+                    }
+                }
+            }
+        }
+        Formula::Not(inner) => collect_free(inner, bound, out),
+        Formula::And(a, b) | Formula::Or(a, b) | Formula::Implies(a, b) | Formula::Iff(a, b) => {
+            collect_free(a, bound, out);
+            collect_free(b, bound, out);
+        }
+        Formula::Exists(v, inner) | Formula::Forall(v, inner) => {
+            let fresh = bound.insert(*v);
+            collect_free(inner, bound, out);
+            if fresh {
+                bound.remove(v);
+            }
+        }
+    }
+}
+
+/// Whether the formula is a sentence (no free variables).
+pub fn is_sentence(f: &Formula) -> bool {
+    free_variables(f).is_empty()
+}
+
+/// `φ(x_i / a_j)`: substitutes the constant `value` for every *free*
+/// occurrence of `v` (the substitution used in definition (8) of the paper).
+pub fn substitute(f: &Formula, v: Var, value: Const) -> Formula {
+    let subst_term = |t: &Term| -> Term {
+        match t {
+            Term::Var(w) if *w == v => Term::Const(value),
+            other => *other,
+        }
+    };
+    match f {
+        Formula::True => Formula::True,
+        Formula::False => Formula::False,
+        Formula::Atom(r, args) => Formula::Atom(*r, args.iter().map(subst_term).collect()),
+        Formula::Eq(a, b) => Formula::Eq(subst_term(a), subst_term(b)),
+        Formula::Not(inner) => Formula::Not(Box::new(substitute(inner, v, value))),
+        Formula::And(a, b) => Formula::And(
+            Box::new(substitute(a, v, value)),
+            Box::new(substitute(b, v, value)),
+        ),
+        Formula::Or(a, b) => Formula::Or(
+            Box::new(substitute(a, v, value)),
+            Box::new(substitute(b, v, value)),
+        ),
+        Formula::Implies(a, b) => Formula::Implies(
+            Box::new(substitute(a, v, value)),
+            Box::new(substitute(b, v, value)),
+        ),
+        Formula::Iff(a, b) => Formula::Iff(
+            Box::new(substitute(a, v, value)),
+            Box::new(substitute(b, v, value)),
+        ),
+        Formula::Exists(w, inner) if *w == v => Formula::Exists(*w, inner.clone()),
+        Formula::Forall(w, inner) if *w == v => Formula::Forall(*w, inner.clone()),
+        Formula::Exists(w, inner) => Formula::Exists(*w, Box::new(substitute(inner, v, value))),
+        Formula::Forall(w, inner) => Formula::Forall(*w, Box::new(substitute(inner, v, value))),
+    }
+}
+
+/// Checks that every relation symbol is used with a single arity throughout
+/// the formula, returning the offending symbol otherwise.
+pub fn check_arities(f: &Formula) -> Result<()> {
+    let mut seen: std::collections::BTreeMap<kbt_data::RelId, usize> =
+        std::collections::BTreeMap::new();
+    let mut conflict = None;
+    f.visit_atoms(&mut |rel, args| {
+        match seen.get(&rel) {
+            Some(&a) if a != args.len() && conflict.is_none() => {
+                conflict = Some((rel, a, args.len()));
+            }
+            _ => {
+                seen.entry(rel).or_insert(args.len());
+            }
+        };
+    });
+    match conflict {
+        Some((rel, expected, found)) => Err(LogicError::InconsistentArity {
+            rel,
+            expected,
+            found,
+        }),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+
+    #[test]
+    fn free_variables_respect_binders() {
+        // ∃x1 R(x1, x2) — only x2 is free.
+        let f = exists([1], atom(1, [var(1), var(2)]));
+        let fv: Vec<_> = free_variables(&f).into_iter().collect();
+        assert_eq!(fv, vec![Var::new(2)]);
+        assert!(!is_sentence(&f));
+        assert!(is_sentence(&forall([2], f)));
+    }
+
+    #[test]
+    fn shadowing_binder_keeps_outer_occurrences_free() {
+        // R(x1) ∧ ∃x1 S(x1): the first occurrence of x1 is free.
+        let f = and(atom(1, [var(1)]), exists([1], atom(2, [var(1)])));
+        assert_eq!(free_variables(&f).len(), 1);
+    }
+
+    #[test]
+    fn substitution_only_touches_free_occurrences() {
+        let f = and(atom(1, [var(1)]), exists([1], atom(2, [var(1)])));
+        let g = substitute(&f, Var::new(1), Const::new(9));
+        assert_eq!(
+            g,
+            and(atom(1, [cst(9)]), exists([1], atom(2, [var(1)])))
+        );
+    }
+
+    #[test]
+    fn substitution_under_other_binders() {
+        let f = forall([2], atom(1, [var(1), var(2)]));
+        let g = substitute(&f, Var::new(1), Const::new(5));
+        assert_eq!(g, forall([2], atom(1, [cst(5), var(2)])));
+    }
+
+    #[test]
+    fn arity_check_detects_conflicts() {
+        let ok = and(atom(1, [var(1), var(2)]), atom(1, [cst(1), cst(2)]));
+        assert!(check_arities(&ok).is_ok());
+        let bad = and(atom(1, [var(1), var(2)]), atom(1, [cst(1)]));
+        assert!(check_arities(&bad).is_err());
+    }
+}

@@ -1,0 +1,201 @@
+//! Theorem 5.1 — existential second-order queries are expressible in `ST1`.
+//!
+//! An ESO query `x̄ . ∃R_{n+1} φ(x̄)` is evaluated on a database by guessing a
+//! value for the relation `R_{n+1}` and collecting the tuples satisfying the
+//! matrix.  The paper's construction builds the knowledgebase containing one
+//! database per possible value of `R_{n+1}` (over the active domain), inserts
+//! `∀x̄ (φ(x̄) → R_out(x̄))` — whose minimal models write exactly the
+//! satisfying tuples into the fresh output relation — and takes `π_out ∘ ⊔`
+//! to union the answers over all guesses.
+
+use kbt_core::{Transform, Transformer};
+use kbt_data::{Database, Knowledgebase, Relation, RelId};
+use kbt_logic::builder::forall;
+use kbt_logic::{eval::eval_formula, Formula, Interpretation, Sentence, Term, Var};
+
+/// An existential second-order query `x̄ . ∃G φ(x̄, G)` with one guessed
+/// relation `G` and an output arity equal to the number of free variables.
+#[derive(Clone, Debug)]
+pub struct EsoQuery {
+    /// The guessed (existentially quantified) relation symbol.
+    pub guessed: RelId,
+    /// Arity of the guessed relation.
+    pub guessed_arity: usize,
+    /// The free variables `x̄` of the matrix, in output order.
+    pub free_vars: Vec<Var>,
+    /// The first-order matrix `φ(x̄, G, …)`.
+    pub matrix: Formula,
+    /// The fresh output relation used by the ST1 encoding.
+    pub output: RelId,
+}
+
+/// The brute-force ESO evaluator used as the experiment's baseline.
+pub struct SecondOrderBaseline;
+
+impl SecondOrderBaseline {
+    /// Evaluates the query on a database by enumerating every value of the
+    /// guessed relation over the active domain.
+    pub fn evaluate(query: &EsoQuery, db: &Database) -> Relation {
+        let domain = db.constants();
+        let tuples = kbt_core::update::universe::all_tuples(&domain, query.guessed_arity);
+        let out_tuples = kbt_core::update::universe::all_tuples(&domain, query.free_vars.len());
+        let mut answers = Relation::empty(query.free_vars.len());
+        for bits in 0..(1u64 << tuples.len()) {
+            let mut extended = db.clone();
+            extended
+                .ensure_relation(query.guessed, query.guessed_arity)
+                .expect("fresh relation");
+            for (i, t) in tuples.iter().enumerate() {
+                if bits & (1 << i) != 0 {
+                    extended
+                        .insert_fact(query.guessed, t.clone())
+                        .expect("arity checked");
+                }
+            }
+            for out in &out_tuples {
+                let mut env = Interpretation::new();
+                for (v, c) in query.free_vars.iter().zip(out.iter()) {
+                    env.insert(*v, c);
+                }
+                if eval_formula(&extended, &query.matrix, &domain, &env) {
+                    answers.insert(out.clone()).expect("arity checked");
+                }
+            }
+        }
+        answers
+    }
+}
+
+impl EsoQuery {
+    /// Builds the knowledgebase of the Theorem 5.1 construction: one possible
+    /// world per value of the guessed relation over the active domain of the
+    /// input database.
+    pub fn guess_knowledgebase(&self, db: &Database) -> Knowledgebase {
+        let domain = db.constants();
+        let tuples = kbt_core::update::universe::all_tuples(&domain, self.guessed_arity);
+        let mut worlds = Vec::new();
+        for bits in 0..(1u64 << tuples.len()) {
+            let mut world = db.clone();
+            world
+                .ensure_relation(self.guessed, self.guessed_arity)
+                .expect("fresh relation");
+            for (i, t) in tuples.iter().enumerate() {
+                if bits & (1 << i) != 0 {
+                    world
+                        .insert_fact(self.guessed, t.clone())
+                        .expect("arity checked");
+                }
+            }
+            worlds.push(world);
+        }
+        Knowledgebase::from_databases(worlds).expect("uniform schema")
+    }
+
+    /// The ST1 transformation `π_out ∘ ⊔ ∘ τ_{∀x̄ (φ → R_out(x̄))}`.
+    pub fn st1_transform(&self) -> Transform {
+        let head = Formula::Atom(
+            self.output,
+            self.free_vars.iter().map(|&v| Term::Var(v)).collect(),
+        );
+        let sentence = Sentence::new(forall(
+            self.free_vars.iter().map(|v| v.index()),
+            kbt_logic::builder::implies(self.matrix.clone(), head),
+        ))
+        .expect("the matrix' free variables are exactly x̄");
+        Transform::insert(sentence)
+            .then(Transform::Lub)
+            .then(Transform::project(vec![self.output]))
+    }
+
+    /// Evaluates the query through the ST1 encoding.
+    pub fn evaluate_via_st1(
+        &self,
+        t: &Transformer,
+        db: &Database,
+    ) -> kbt_core::Result<Relation> {
+        let kb = self.guess_knowledgebase(db);
+        let result = t.apply(&self.st1_transform(), &kb)?.kb;
+        let answer = result
+            .as_singleton()
+            .and_then(|d| d.relation(self.output).cloned())
+            .unwrap_or_else(|| Relation::empty(self.free_vars.len()));
+        Ok(answer)
+    }
+}
+
+/// The 2-colourability query used by the experiments: `Q(x)` holds when the
+/// graph in `edge_rel` admits a proper 2-colouring in which `x` is on the
+/// "selected" side.
+pub fn two_colourable_side_query(edge_rel: RelId, guessed: RelId, output: RelId) -> EsoQuery {
+    use kbt_logic::builder::*;
+    let x = Var::new(1);
+    // ∀y,z (E(y,z) → (S(y) ↔ ¬S(z))) ∧ S(x)
+    let matrix = and(
+        forall(
+            [2, 3],
+            implies(
+                atom(edge_rel.index(), [var(2), var(3)]),
+                iff(atom(guessed.index(), [var(2)]), not(atom(guessed.index(), [var(3)]))),
+            ),
+        ),
+        atom(guessed.index(), [var(1)]),
+    );
+    EsoQuery {
+        guessed,
+        guessed_arity: 1,
+        free_vars: vec![x],
+        matrix,
+        output,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kbt_data::DatabaseBuilder;
+
+    fn r(i: u32) -> RelId {
+        RelId::new(i)
+    }
+
+    fn graph(edges: &[(u32, u32)]) -> Database {
+        let mut b = DatabaseBuilder::new().relation(r(1), 2);
+        for &(x, y) in edges {
+            b = b.fact(r(1), [x, y]).fact(r(1), [y, x]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn st1_encoding_agrees_with_the_brute_force_baseline() {
+        let query = two_colourable_side_query(r(1), r(7), r(8));
+        let t = Transformer::new();
+        // a path (bipartite): every vertex can be on the selected side
+        let bipartite = graph(&[(1, 2), (2, 3)]);
+        let expected = SecondOrderBaseline::evaluate(&query, &bipartite);
+        let got = query.evaluate_via_st1(&t, &bipartite).unwrap();
+        assert_eq!(expected, got);
+        assert_eq!(got.len(), 3);
+
+        // an odd cycle (not 2-colourable): no vertex qualifies
+        let odd = graph(&[(1, 2), (2, 3), (1, 3)]);
+        let expected = SecondOrderBaseline::evaluate(&query, &odd);
+        let got = query.evaluate_via_st1(&t, &odd).unwrap();
+        assert_eq!(expected, got);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn the_encoding_has_the_st_shape_of_section_5() {
+        let query = two_colourable_side_query(r(1), r(7), r(8));
+        assert!(query.st1_transform().is_st_shape());
+    }
+
+    #[test]
+    fn guess_knowledgebase_enumerates_all_relation_values() {
+        let query = two_colourable_side_query(r(1), r(7), r(8));
+        let db = graph(&[(1, 2)]);
+        // 2 constants → 2^2 possible unary relations
+        assert_eq!(query.guess_knowledgebase(&db).len(), 4);
+    }
+}

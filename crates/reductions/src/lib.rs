@@ -1,0 +1,32 @@
+//! # kbt-reductions — executable reductions, encodings and workloads
+//!
+//! The complexity and expressiveness results of *Knowledgebase
+//! Transformations* are proved by explicit constructions.  This crate makes
+//! every one of them executable so the benchmark harness can regenerate the
+//! paper's evaluation:
+//!
+//! * [`threecnf`] — Theorem 4.2: a yes/no reduction from 3CNF satisfiability
+//!   to a `π ∘ τ ∘ ⊔`-shaped transformation expression (plus a random 3CNF
+//!   workload generator and the DPLL baseline from `kbt-solver`),
+//! * [`propsat`] — Theorem 4.9: propositional satisfiability via a
+//!   quantifier-free transformation,
+//! * [`turing`] — Theorem 4.5: a nondeterministic Turing machine substrate
+//!   and the `O(n²)`-sized transformation expression that simulates an
+//!   exponential-time bounded machine,
+//! * [`eso`] — Theorem 5.1: existential second-order queries and their
+//!   encoding as `ST1` transformation expressions,
+//! * [`so`] — Theorem 5.2: second-order formulas, a brute-force checker over
+//!   tiny domains, and the translation of `π ∘ b ∘ τ` expressions into SO,
+//! * [`workload`] — random graphs, sets and databases used by the
+//!   experiments.
+
+pub mod eso;
+pub mod propsat;
+pub mod so;
+pub mod threecnf;
+pub mod turing;
+pub mod workload;
+
+pub use eso::{EsoQuery, SecondOrderBaseline};
+pub use threecnf::{Clause3, ThreeCnf};
+pub use turing::{Machine, Tape};

@@ -1,0 +1,155 @@
+//! Theorem 4.9 — propositional satisfiability via a quantifier-free
+//! transformation.
+//!
+//! The expression complexity of even the quantifier-free fragment Θ₀ is hard:
+//! any propositional formula `φ'` over fresh zero-ary relation symbols can be
+//! decided by inserting the sentence `R0 → φ'` into the database whose only
+//! relation is the zero-ary `R0 = {()}`.  The input relation `R0` is only
+//! changed when strictly necessary, which happens exactly when `φ'` has no
+//! model; so `φ'` is satisfiable iff `R0` still holds after the update.
+
+use kbt_core::{Transform, Transformer};
+use kbt_data::{Database, Knowledgebase, RelId, Tuple};
+use kbt_logic::builder::*;
+use kbt_logic::{Formula, Sentence};
+use rand::{Rng, RngExt};
+
+/// The zero-ary input relation `R0`.
+pub const R0: RelId = RelId::new(0);
+/// Zero-ary relation symbols used as propositional variables start here.
+pub const FIRST_PROP: u32 = 10;
+
+/// A propositional formula over variables `0..num_vars` in a tiny NNF-free
+/// syntax; it is translated into a quantifier-free first-order sentence over
+/// zero-ary relations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Prop {
+    /// A propositional variable.
+    Var(u32),
+    /// Negation.
+    Not(Box<Prop>),
+    /// Conjunction.
+    And(Box<Prop>, Box<Prop>),
+    /// Disjunction.
+    Or(Box<Prop>, Box<Prop>),
+}
+
+impl Prop {
+    /// Generates a random formula with the given number of variables and
+    /// approximate number of connectives.
+    pub fn random(num_vars: u32, connectives: usize, rng: &mut impl Rng) -> Prop {
+        if connectives == 0 || num_vars == 0 {
+            return Prop::Var(rng.random_range(0..num_vars.max(1)));
+        }
+        let left_budget = rng.random_range(0..connectives);
+        let right_budget = connectives - 1 - left_budget;
+        let left = Box::new(Prop::random(num_vars, left_budget, rng));
+        match rng.random_range(0..3) {
+            0 => Prop::Not(left),
+            1 => Prop::And(left, Box::new(Prop::random(num_vars, right_budget, rng))),
+            _ => Prop::Or(left, Box::new(Prop::random(num_vars, right_budget, rng))),
+        }
+    }
+
+    /// Number of variables mentioned (upper bound by maximum index + 1).
+    pub fn num_vars(&self) -> u32 {
+        match self {
+            Prop::Var(v) => v + 1,
+            Prop::Not(a) => a.num_vars(),
+            Prop::And(a, b) | Prop::Or(a, b) => a.num_vars().max(b.num_vars()),
+        }
+    }
+
+    /// Evaluates under an assignment.
+    pub fn evaluate(&self, assignment: &[bool]) -> bool {
+        match self {
+            Prop::Var(v) => assignment[*v as usize],
+            Prop::Not(a) => !a.evaluate(assignment),
+            Prop::And(a, b) => a.evaluate(assignment) && b.evaluate(assignment),
+            Prop::Or(a, b) => a.evaluate(assignment) || b.evaluate(assignment),
+        }
+    }
+
+    /// Brute-force satisfiability.
+    pub fn brute_force_satisfiable(&self) -> bool {
+        let n = self.num_vars() as usize;
+        (0..(1u64 << n)).any(|bits| {
+            let assignment: Vec<bool> = (0..n).map(|i| bits & (1 << i) != 0).collect();
+            self.evaluate(&assignment)
+        })
+    }
+
+    /// Translates the propositional formula into a first-order formula over
+    /// zero-ary relation symbols.
+    pub fn to_formula(&self) -> Formula {
+        match self {
+            Prop::Var(v) => atom(FIRST_PROP + v, []),
+            Prop::Not(a) => not(a.to_formula()),
+            Prop::And(a, b) => and(a.to_formula(), b.to_formula()),
+            Prop::Or(a, b) => or(a.to_formula(), b.to_formula()),
+        }
+    }
+}
+
+/// The database `db = (r0)` with `r0 = {()}` of Theorem 4.9.
+pub fn flag_database() -> Database {
+    let mut db = Database::new();
+    db.insert_fact(R0, Tuple::empty()).expect("zero-ary");
+    db
+}
+
+/// The transformation `π_0 ∘ τ_{R0 → φ'}` of Theorem 4.9.
+pub fn reduction_transform(prop: &Prop) -> Transform {
+    let sentence =
+        Sentence::new(implies(atom(R0.index(), []), prop.to_formula())).expect("closed");
+    Transform::insert(sentence).then(Transform::project(vec![R0]))
+}
+
+/// Decides propositional satisfiability by evaluating the Theorem 4.9
+/// transformation.
+pub fn satisfiable_via_transformation(t: &Transformer, prop: &Prop) -> kbt_core::Result<bool> {
+    let kb = Knowledgebase::singleton(flag_database());
+    let result = t.apply(&reduction_transform(prop), &kb)?.kb;
+    Ok(result.possibly_holds(R0, &Tuple::empty()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn satisfiable_and_unsatisfiable_formulas() {
+        let t = Transformer::new();
+        let p = Prop::Var(0);
+        assert!(satisfiable_via_transformation(&t, &p).unwrap());
+
+        let contradiction = Prop::And(Box::new(Prop::Var(0)), Box::new(Prop::Not(Box::new(Prop::Var(0)))));
+        assert!(!contradiction.brute_force_satisfiable());
+        assert!(!satisfiable_via_transformation(&t, &contradiction).unwrap());
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_formulas() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Transformer::new();
+        for _ in 0..10 {
+            let p = Prop::random(4, 8, &mut rng);
+            assert_eq!(
+                satisfiable_via_transformation(&t, &p).unwrap(),
+                p.brute_force_satisfiable(),
+                "mismatch on {p:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn the_transformation_is_quantifier_free() {
+        let p = Prop::random(3, 6, &mut StdRng::seed_from_u64(1));
+        match reduction_transform(&p).steps()[0] {
+            Transform::Insert(s) => assert!(kbt_logic::is_ground(s.formula())),
+            other => panic!("expected insertion, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Random workload generators shared by the benchmark harness.
+
+use kbt_data::{Database, DatabaseBuilder, Knowledgebase, RelId};
+use rand::prelude::IteratorRandom;
+use rand::{Rng, RngExt};
+
+/// Generates a random directed graph over `n` vertices where each ordered
+/// pair is an edge with probability `p`, stored in the binary relation `rel`.
+pub fn random_directed_graph(rel: RelId, n: u32, p: f64, rng: &mut impl Rng) -> Database {
+    let mut b = DatabaseBuilder::new().relation(rel, 2);
+    for x in 1..=n {
+        for y in 1..=n {
+            if x != y && rng.random_bool(p) {
+                b = b.fact(rel, [x, y]);
+            }
+        }
+    }
+    b.build().expect("well-formed graph")
+}
+
+/// Generates a random undirected graph (both orientations stored).
+pub fn random_undirected_graph(rel: RelId, n: u32, p: f64, rng: &mut impl Rng) -> Database {
+    let mut b = DatabaseBuilder::new().relation(rel, 2);
+    for x in 1..=n {
+        for y in (x + 1)..=n {
+            if rng.random_bool(p) {
+                b = b.fact(rel, [x, y]).fact(rel, [y, x]);
+            }
+        }
+    }
+    b.build().expect("well-formed graph")
+}
+
+/// A directed chain `1 → 2 → … → n` (worst case for transitive closure).
+pub fn chain_graph(rel: RelId, n: u32) -> Database {
+    let mut b = DatabaseBuilder::new().relation(rel, 2);
+    for i in 1..n {
+        b = b.fact(rel, [i, i + 1]);
+    }
+    b.build().expect("well-formed chain")
+}
+
+/// A random subset of `{1, …, universe}` of the given size, stored in a
+/// unary relation.
+pub fn random_set(rel: RelId, universe: u32, size: usize, rng: &mut impl Rng) -> Database {
+    let mut b = DatabaseBuilder::new().relation(rel, 1);
+    for x in (1..=universe).sample(rng, size) {
+        b = b.fact(rel, [x]);
+    }
+    b.build().expect("well-formed set")
+}
+
+/// A knowledgebase with `worlds` random unary databases over the given
+/// universe — a quick way to get disjunctive knowledgebases for the
+/// postulate experiments.
+pub fn random_knowledgebase(
+    rel: RelId,
+    universe: u32,
+    worlds: usize,
+    size: usize,
+    rng: &mut impl Rng,
+) -> Knowledgebase {
+    Knowledgebase::from_databases((0..worlds).map(|_| random_set(rel, universe, size, rng)))
+        .expect("all worlds share the schema")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn r(i: u32) -> RelId {
+        RelId::new(i)
+    }
+
+    #[test]
+    fn graph_generators_respect_their_parameters() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = random_directed_graph(r(1), 6, 1.0, &mut rng);
+        assert_eq!(g.fact_count(), 6 * 5);
+        let g = random_directed_graph(r(1), 6, 0.0, &mut rng);
+        assert_eq!(g.fact_count(), 0);
+        let u = random_undirected_graph(r(1), 5, 1.0, &mut rng);
+        assert_eq!(u.fact_count(), 5 * 4);
+        let c = chain_graph(r(1), 5);
+        assert_eq!(c.fact_count(), 4);
+    }
+
+    #[test]
+    fn set_and_knowledgebase_generators() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let s = random_set(r(1), 20, 7, &mut rng);
+        assert_eq!(s.fact_count(), 7);
+        let kb = random_knowledgebase(r(1), 10, 4, 3, &mut rng);
+        assert!(kb.len() <= 4 && !kb.is_empty());
+        for db in kb.iter() {
+            assert_eq!(db.fact_count(), 3);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Boolean circuits: the intermediate form between grounded first-order
+//! sentences and CNF.
+
+use crate::cnf::BoolVar;
+
+/// A Boolean circuit over propositional variables.
+///
+/// Grounding a first-order sentence over a finite domain (see
+/// `kbt_logic::ground`) produces exactly this shape; [`crate::tseitin`]
+/// turns it into CNF without exponential blow-up.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Bool {
+    /// Constant true.
+    True,
+    /// Constant false.
+    False,
+    /// A variable.
+    Var(BoolVar),
+    /// Negation.
+    Not(Box<Bool>),
+    /// N-ary conjunction.
+    And(Vec<Bool>),
+    /// N-ary disjunction.
+    Or(Vec<Bool>),
+}
+
+impl Bool {
+    /// Smart conjunction with constant folding.
+    pub fn and(parts: Vec<Bool>) -> Bool {
+        let mut flat = Vec::new();
+        for p in parts {
+            match p {
+                Bool::True => {}
+                Bool::False => return Bool::False,
+                Bool::And(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Bool::True,
+            1 => flat.pop().expect("len checked"),
+            _ => Bool::And(flat),
+        }
+    }
+
+    /// Smart disjunction with constant folding.
+    pub fn or(parts: Vec<Bool>) -> Bool {
+        let mut flat = Vec::new();
+        for p in parts {
+            match p {
+                Bool::False => {}
+                Bool::True => return Bool::True,
+                Bool::Or(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Bool::False,
+            1 => flat.pop().expect("len checked"),
+            _ => Bool::Or(flat),
+        }
+    }
+
+    /// Smart negation.
+    pub fn negate(self) -> Bool {
+        match self {
+            Bool::True => Bool::False,
+            Bool::False => Bool::True,
+            Bool::Not(inner) => *inner,
+            other => Bool::Not(Box::new(other)),
+        }
+    }
+
+    /// Evaluates the circuit under a total assignment.
+    pub fn evaluate(&self, assignment: &[bool]) -> bool {
+        match self {
+            Bool::True => true,
+            Bool::False => false,
+            Bool::Var(v) => assignment[v.index()],
+            Bool::Not(inner) => !inner.evaluate(assignment),
+            Bool::And(parts) => parts.iter().all(|p| p.evaluate(assignment)),
+            Bool::Or(parts) => parts.iter().any(|p| p.evaluate(assignment)),
+        }
+    }
+
+    /// The largest variable index occurring in the circuit, if any.
+    pub fn max_var(&self) -> Option<BoolVar> {
+        match self {
+            Bool::True | Bool::False => None,
+            Bool::Var(v) => Some(*v),
+            Bool::Not(inner) => inner.max_var(),
+            Bool::And(parts) | Bool::Or(parts) => {
+                parts.iter().filter_map(Bool::max_var).max()
+            }
+        }
+    }
+
+    /// Number of nodes in the circuit.
+    pub fn size(&self) -> usize {
+        match self {
+            Bool::True | Bool::False | Bool::Var(_) => 1,
+            Bool::Not(inner) => 1 + inner.size(),
+            Bool::And(parts) | Bool::Or(parts) => {
+                1 + parts.iter().map(Bool::size).sum::<usize>()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> Bool {
+        Bool::Var(BoolVar::new(i))
+    }
+
+    #[test]
+    fn smart_constructors_fold_constants() {
+        assert_eq!(Bool::and(vec![Bool::True, v(0)]), v(0));
+        assert_eq!(Bool::and(vec![Bool::False, v(0)]), Bool::False);
+        assert_eq!(Bool::or(vec![Bool::False, v(0)]), v(0));
+        assert_eq!(Bool::or(vec![Bool::True, v(0)]), Bool::True);
+        assert_eq!(Bool::and(vec![]), Bool::True);
+        assert_eq!(Bool::or(vec![]), Bool::False);
+        assert_eq!(v(0).negate().negate(), v(0));
+    }
+
+    #[test]
+    fn evaluation_and_max_var() {
+        let c = Bool::or(vec![Bool::and(vec![v(0), v(1)]), v(2).negate()]);
+        assert!(c.evaluate(&[true, true, true]));
+        assert!(c.evaluate(&[false, false, false]));
+        assert!(!c.evaluate(&[true, false, true]));
+        assert_eq!(c.max_var(), Some(BoolVar::new(2)));
+        assert!(c.size() >= 5);
+    }
+}

@@ -1,0 +1,219 @@
+//! Propositional variables, literals, clauses and CNF formulas.
+
+use std::fmt;
+
+/// A propositional variable, identified by a dense index.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BoolVar(pub u32);
+
+impl BoolVar {
+    /// Creates the variable with the given index.
+    pub const fn new(i: u32) -> Self {
+        BoolVar(i)
+    }
+
+    /// The index of the variable.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The positive literal of this variable.
+    pub const fn positive(self) -> Lit {
+        Lit {
+            var: self,
+            positive: true,
+        }
+    }
+
+    /// The negative literal of this variable.
+    pub const fn negative(self) -> Lit {
+        Lit {
+            var: self,
+            positive: false,
+        }
+    }
+}
+
+impl fmt::Debug for BoolVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit {
+    /// The underlying variable.
+    pub var: BoolVar,
+    /// `true` for the positive literal, `false` for the negated one.
+    pub positive: bool,
+}
+
+impl Lit {
+    /// Builds a literal.
+    pub const fn new(var: BoolVar, positive: bool) -> Self {
+        Lit { var, positive }
+    }
+
+    /// The complementary literal.
+    pub const fn negated(self) -> Lit {
+        Lit {
+            var: self.var,
+            positive: !self.positive,
+        }
+    }
+
+    /// Whether this literal is satisfied by the given value of its variable.
+    pub const fn satisfied_by(self, value: bool) -> bool {
+        self.positive == value
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.positive {
+            write!(f, "{:?}", self.var)
+        } else {
+            write!(f, "¬{:?}", self.var)
+        }
+    }
+}
+
+/// A clause: a disjunction of literals.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Clause(pub Vec<Lit>);
+
+impl Clause {
+    /// Builds a clause from literals.
+    pub fn new(lits: impl Into<Vec<Lit>>) -> Self {
+        Clause(lits.into())
+    }
+
+    /// The literals of the clause.
+    pub fn literals(&self) -> &[Lit] {
+        &self.0
+    }
+
+    /// Whether the clause is empty (unsatisfiable).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Whether the clause is a tautology (contains `l` and `¬l`).
+    pub fn is_tautology(&self) -> bool {
+        self.0
+            .iter()
+            .any(|&l| self.0.contains(&l.negated()))
+    }
+}
+
+/// A CNF formula: a conjunction of clauses over a fixed number of variables.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Cnf {
+    num_vars: u32,
+    clauses: Vec<Clause>,
+}
+
+impl Cnf {
+    /// An empty formula over `num_vars` variables (trivially satisfiable).
+    pub fn new(num_vars: u32) -> Self {
+        Cnf {
+            num_vars,
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Allocates a fresh variable.
+    pub fn fresh_var(&mut self) -> BoolVar {
+        let v = BoolVar::new(self.num_vars);
+        self.num_vars += 1;
+        v
+    }
+
+    /// Makes sure the formula knows about variables up to `v`.
+    pub fn ensure_var(&mut self, v: BoolVar) {
+        if v.0 >= self.num_vars {
+            self.num_vars = v.0 + 1;
+        }
+    }
+
+    /// Adds a clause, growing the variable count if needed.
+    pub fn add_clause(&mut self, clause: Clause) {
+        for lit in clause.literals() {
+            self.ensure_var(lit.var);
+        }
+        self.clauses.push(clause);
+    }
+
+    /// The clauses of the formula.
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// Evaluates the formula under a total assignment.
+    pub fn evaluate(&self, assignment: &[bool]) -> bool {
+        self.clauses.iter().all(|c| {
+            c.literals()
+                .iter()
+                .any(|l| l.satisfied_by(assignment[l.var.index()]))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: u32, pos: bool) -> Lit {
+        Lit::new(BoolVar::new(v), pos)
+    }
+
+    #[test]
+    fn literal_negation_and_satisfaction() {
+        let l = lit(3, true);
+        assert_eq!(l.negated(), lit(3, false));
+        assert_eq!(l.negated().negated(), l);
+        assert!(l.satisfied_by(true));
+        assert!(!l.satisfied_by(false));
+        assert!(l.negated().satisfied_by(false));
+    }
+
+    #[test]
+    fn tautology_detection() {
+        assert!(Clause::new(vec![lit(1, true), lit(1, false)]).is_tautology());
+        assert!(!Clause::new(vec![lit(1, true), lit(2, false)]).is_tautology());
+        assert!(Clause::new(vec![]).is_empty());
+    }
+
+    #[test]
+    fn cnf_bookkeeping_and_evaluation() {
+        let mut cnf = Cnf::new(0);
+        let a = cnf.fresh_var();
+        let b = cnf.fresh_var();
+        cnf.add_clause(Clause::new(vec![a.positive(), b.positive()]));
+        cnf.add_clause(Clause::new(vec![a.negative(), b.negative()]));
+        assert_eq!(cnf.num_vars(), 2);
+        assert_eq!(cnf.num_clauses(), 2);
+        assert!(cnf.evaluate(&[true, false]));
+        assert!(cnf.evaluate(&[false, true]));
+        assert!(!cnf.evaluate(&[true, true]));
+        assert!(!cnf.evaluate(&[false, false]));
+    }
+
+    #[test]
+    fn add_clause_grows_variable_count() {
+        let mut cnf = Cnf::new(0);
+        cnf.add_clause(Clause::new(vec![lit(9, true)]));
+        assert_eq!(cnf.num_vars(), 10);
+    }
+}

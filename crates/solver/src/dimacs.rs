@@ -1,0 +1,105 @@
+//! DIMACS CNF import and export.
+//!
+//! Useful for debugging grounded update instances with external tools and for
+//! loading standard benchmark formulas into the Theorem 4.2 experiments.
+
+use crate::cnf::{BoolVar, Clause, Cnf, Lit};
+
+/// Renders a CNF formula in DIMACS format.
+pub fn to_dimacs(cnf: &Cnf) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "p cnf {} {}\n",
+        cnf.num_vars(),
+        cnf.num_clauses()
+    ));
+    for clause in cnf.clauses() {
+        for lit in clause.literals() {
+            let v = lit.var.index() as i64 + 1;
+            out.push_str(&format!("{} ", if lit.positive { v } else { -v }));
+        }
+        out.push_str("0\n");
+    }
+    out
+}
+
+/// Parses a DIMACS CNF file.
+///
+/// Comment lines (`c …`) are skipped; the `p cnf` header is optional but, if
+/// present, the declared variable count is respected as a lower bound.
+pub fn from_dimacs(input: &str) -> Result<Cnf, String> {
+    let mut cnf = Cnf::new(0);
+    let mut current: Vec<Lit> = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if line.starts_with('p') {
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            if parts.len() != 4 || parts[1] != "cnf" {
+                return Err(format!("line {}: malformed problem line", lineno + 1));
+            }
+            let declared: u32 = parts[2]
+                .parse()
+                .map_err(|_| format!("line {}: bad variable count", lineno + 1))?;
+            if declared > 0 {
+                cnf.ensure_var(BoolVar::new(declared - 1));
+            }
+            continue;
+        }
+        for tok in line.split_whitespace() {
+            let n: i64 = tok
+                .parse()
+                .map_err(|_| format!("line {}: bad literal {tok:?}", lineno + 1))?;
+            if n == 0 {
+                cnf.add_clause(Clause::new(std::mem::take(&mut current)));
+            } else {
+                let var = BoolVar::new((n.unsigned_abs() - 1) as u32);
+                current.push(Lit::new(var, n > 0));
+            }
+        }
+    }
+    if !current.is_empty() {
+        cnf.add_clause(Clause::new(current));
+    }
+    Ok(cnf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dpll::Solver;
+
+    #[test]
+    fn round_trips_a_small_formula() {
+        let mut cnf = Cnf::new(3);
+        cnf.add_clause(Clause::new(vec![
+            BoolVar::new(0).positive(),
+            BoolVar::new(1).negative(),
+        ]));
+        cnf.add_clause(Clause::new(vec![BoolVar::new(2).positive()]));
+        let text = to_dimacs(&cnf);
+        assert!(text.starts_with("p cnf 3 2"));
+        let parsed = from_dimacs(&text).unwrap();
+        assert_eq!(parsed.num_vars(), 3);
+        assert_eq!(parsed.num_clauses(), 2);
+        assert_eq!(parsed.clauses(), cnf.clauses());
+    }
+
+    #[test]
+    fn parses_comments_and_multiline_clauses() {
+        let text = "c a comment\np cnf 2 2\n1 -2 0\n2\n1 0\n";
+        let cnf = from_dimacs(text).unwrap();
+        assert_eq!(cnf.num_clauses(), 2);
+        assert_eq!(cnf.clauses()[1].literals().len(), 2);
+        assert!(Solver::from_cnf(&cnf).is_satisfiable());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_dimacs("p cnf x 2\n").is_err());
+        assert!(from_dimacs("1 two 0\n").is_err());
+        assert!(from_dimacs("p dnf 2 2\n").is_err());
+    }
+}

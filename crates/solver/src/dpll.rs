@@ -1,0 +1,361 @@
+//! A DPLL satisfiability solver with unit propagation and assumptions.
+//!
+//! The solver is deliberately straightforward — no clause learning, no
+//! restarts — because the instances produced by grounding transformation
+//! updates over realistic active domains are small, and the minimal-model
+//! enumeration loop in [`crate::minimal`] needs nothing more than a correct,
+//! incremental `solve(assumptions)` primitive.
+
+use crate::cnf::{BoolVar, Clause, Cnf, Lit};
+
+/// A total assignment: `model[v.index()]` is the value of variable `v`.
+pub type Model = Vec<bool>;
+
+/// Outcome of a satisfiability call.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolveResult {
+    /// Satisfiable, with a witnessing total assignment.
+    Sat(Model),
+    /// Unsatisfiable under the given assumptions.
+    Unsat,
+}
+
+impl SolveResult {
+    /// The model, if satisfiable.
+    pub fn model(&self) -> Option<&Model> {
+        match self {
+            SolveResult::Sat(m) => Some(m),
+            SolveResult::Unsat => None,
+        }
+    }
+
+    /// Whether the result is satisfiable.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SolveResult::Sat(_))
+    }
+}
+
+/// An incremental DPLL solver.
+#[derive(Clone, Debug, Default)]
+pub struct Solver {
+    num_vars: usize,
+    clauses: Vec<Vec<Lit>>,
+    has_empty_clause: bool,
+}
+
+impl Solver {
+    /// A solver over `num_vars` variables with no clauses.
+    pub fn new(num_vars: usize) -> Self {
+        Solver {
+            num_vars,
+            clauses: Vec::new(),
+            has_empty_clause: false,
+        }
+    }
+
+    /// Builds a solver from a CNF formula.
+    pub fn from_cnf(cnf: &Cnf) -> Self {
+        let mut s = Solver::new(cnf.num_vars() as usize);
+        for c in cnf.clauses() {
+            s.add_clause_from(c);
+        }
+        s
+    }
+
+    /// Number of variables currently known to the solver.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> BoolVar {
+        let v = BoolVar::new(self.num_vars as u32);
+        self.num_vars += 1;
+        v
+    }
+
+    /// Adds a clause given as a slice of literals.  Tautological clauses are
+    /// dropped; the empty clause marks the solver permanently unsatisfiable.
+    pub fn add_clause(&mut self, lits: &[Lit]) {
+        let clause = Clause::new(lits.to_vec());
+        self.add_clause_from(&clause);
+    }
+
+    /// Adds an existing [`Clause`].
+    pub fn add_clause_from(&mut self, clause: &Clause) {
+        if clause.is_tautology() {
+            return;
+        }
+        if clause.is_empty() {
+            self.has_empty_clause = true;
+            return;
+        }
+        let mut lits = clause.literals().to_vec();
+        lits.sort();
+        lits.dedup();
+        for l in &lits {
+            if l.var.index() >= self.num_vars {
+                self.num_vars = l.var.index() + 1;
+            }
+        }
+        self.clauses.push(lits);
+    }
+
+    /// Decides satisfiability under the given assumptions (literals forced
+    /// true before the search starts).
+    pub fn solve(&self, assumptions: &[Lit]) -> SolveResult {
+        if self.has_empty_clause {
+            return SolveResult::Unsat;
+        }
+        let mut assignment: Vec<Option<bool>> = vec![None; self.num_vars];
+        for a in assumptions {
+            if a.var.index() >= assignment.len() {
+                assignment.resize(a.var.index() + 1, None);
+            }
+            match assignment[a.var.index()] {
+                Some(v) if v != a.positive => return SolveResult::Unsat,
+                _ => assignment[a.var.index()] = Some(a.positive),
+            }
+        }
+        if self.search(&mut assignment) {
+            SolveResult::Sat(
+                assignment
+                    .into_iter()
+                    .map(|v| v.unwrap_or(false))
+                    .collect(),
+            )
+        } else {
+            SolveResult::Unsat
+        }
+    }
+
+    /// Convenience wrapper: satisfiability with no assumptions.
+    pub fn is_satisfiable(&self) -> bool {
+        self.solve(&[]).is_sat()
+    }
+
+    /// Recursive DPLL search with unit propagation.
+    fn search(&self, assignment: &mut Vec<Option<bool>>) -> bool {
+        // Unit propagation to fixpoint.
+        let mut trail: Vec<BoolVar> = Vec::new();
+        loop {
+            let mut progress = false;
+            for clause in &self.clauses {
+                let mut satisfied = false;
+                let mut unassigned: Option<Lit> = None;
+                let mut unassigned_count = 0;
+                for &l in clause {
+                    match assignment[l.var.index()] {
+                        Some(v) if l.satisfied_by(v) => {
+                            satisfied = true;
+                            break;
+                        }
+                        Some(_) => {}
+                        None => {
+                            unassigned_count += 1;
+                            unassigned = Some(l);
+                        }
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match unassigned_count {
+                    0 => {
+                        // conflict: undo propagation before returning
+                        for v in trail {
+                            assignment[v.index()] = None;
+                        }
+                        return false;
+                    }
+                    1 => {
+                        let l = unassigned.expect("counted one unassigned literal");
+                        assignment[l.var.index()] = Some(l.positive);
+                        trail.push(l.var);
+                        progress = true;
+                    }
+                    _ => {}
+                }
+            }
+            if !progress {
+                break;
+            }
+        }
+
+        // Pick a branching variable: the first unassigned variable of the
+        // first not-yet-satisfied clause (cheap, and it keeps the stack
+        // frames small — minimal-model enumeration prefers a lean solver
+        // over a clever heuristic).
+        let mut branch: Option<usize> = None;
+        'clauses: for clause in &self.clauses {
+            let satisfied = clause
+                .iter()
+                .any(|l| assignment[l.var.index()].is_some_and(|v| l.satisfied_by(v)));
+            if satisfied {
+                continue;
+            }
+            for &l in clause {
+                if assignment[l.var.index()].is_none() {
+                    branch = Some(l.var.index());
+                    break 'clauses;
+                }
+            }
+        }
+        let Some(branch) = branch else {
+            // Every clause is satisfied (a conflict would have been caught
+            // during propagation).  Unconstrained variables default to false.
+            return true;
+        };
+
+        // Try `false` first: the callers minimise sets of positive variables,
+        // so models found this way are already close to subset-minimal.
+        for value in [false, true] {
+            assignment[branch] = Some(value);
+            if self.search(assignment) {
+                return true;
+            }
+            assignment[branch] = None;
+        }
+
+        // undo propagation assignments made at this level
+        for v in trail {
+            assignment[v.index()] = None;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> BoolVar {
+        BoolVar::new(i)
+    }
+
+    #[test]
+    fn trivial_cases() {
+        let s = Solver::new(0);
+        assert!(s.is_satisfiable());
+        let mut s = Solver::new(1);
+        s.add_clause(&[]);
+        assert!(!s.is_satisfiable());
+    }
+
+    #[test]
+    fn simple_sat_and_unsat() {
+        // (a ∨ b) ∧ (¬a ∨ b) ∧ (a ∨ ¬b) is satisfied only by a=b=true
+        let mut s = Solver::new(2);
+        s.add_clause(&[v(0).positive(), v(1).positive()]);
+        s.add_clause(&[v(0).negative(), v(1).positive()]);
+        s.add_clause(&[v(0).positive(), v(1).negative()]);
+        match s.solve(&[]) {
+            SolveResult::Sat(m) => assert_eq!(m, vec![true, true]),
+            SolveResult::Unsat => panic!("expected SAT"),
+        }
+        // adding (¬a ∨ ¬b) makes it unsatisfiable
+        s.add_clause(&[v(0).negative(), v(1).negative()]);
+        assert!(!s.is_satisfiable());
+    }
+
+    #[test]
+    fn assumptions_restrict_the_search() {
+        let mut s = Solver::new(2);
+        s.add_clause(&[v(0).positive(), v(1).positive()]);
+        assert!(s.solve(&[v(0).negative()]).is_sat());
+        assert!(s.solve(&[v(0).negative(), v(1).negative()]) == SolveResult::Unsat);
+        // contradictory assumptions
+        assert!(s.solve(&[v(0).positive(), v(0).negative()]) == SolveResult::Unsat);
+    }
+
+    #[test]
+    fn models_satisfy_all_clauses() {
+        // pigeonhole-ish satisfiable instance
+        let mut s = Solver::new(6);
+        let clauses: Vec<Vec<Lit>> = vec![
+            vec![v(0).positive(), v(1).positive(), v(2).positive()],
+            vec![v(3).positive(), v(4).positive(), v(5).positive()],
+            vec![v(0).negative(), v(3).negative()],
+            vec![v(1).negative(), v(4).negative()],
+            vec![v(2).negative(), v(5).negative()],
+            vec![v(0).negative(), v(1).negative()],
+        ];
+        for c in &clauses {
+            s.add_clause(c);
+        }
+        match s.solve(&[]) {
+            SolveResult::Sat(m) => {
+                for c in &clauses {
+                    assert!(c.iter().any(|l| l.satisfied_by(m[l.var.index()])));
+                }
+            }
+            SolveResult::Unsat => panic!("expected SAT"),
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_pigeonhole_three_pigeons_two_holes() {
+        // p_{i,j}: pigeon i in hole j; i ∈ {0,1,2}, j ∈ {0,1}
+        let var = |i: u32, j: u32| BoolVar::new(i * 2 + j);
+        let mut s = Solver::new(6);
+        for i in 0..3 {
+            s.add_clause(&[var(i, 0).positive(), var(i, 1).positive()]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause(&[var(i1, j).negative(), var(i2, j).negative()]);
+                }
+            }
+        }
+        assert!(!s.is_satisfiable());
+    }
+
+    #[test]
+    fn tautological_clauses_are_ignored() {
+        let mut s = Solver::new(1);
+        s.add_clause(&[v(0).positive(), v(0).negative()]);
+        assert_eq!(s.num_clauses(), 0);
+        assert!(s.is_satisfiable());
+    }
+
+    #[test]
+    fn exhaustive_cross_check_on_random_3cnf() {
+        // Deterministic pseudo-random small instances, checked against brute force.
+        let mut seed = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..30 {
+            let num_vars = 6;
+            let num_clauses = 20;
+            let mut s = Solver::new(num_vars);
+            let mut clauses = Vec::new();
+            for _ in 0..num_clauses {
+                let mut lits = Vec::new();
+                for _ in 0..3 {
+                    let var = (next() % num_vars as u64) as u32;
+                    let pos = next() % 2 == 0;
+                    lits.push(Lit::new(BoolVar::new(var), pos));
+                }
+                clauses.push(lits.clone());
+                s.add_clause(&lits);
+            }
+            let brute = (0..(1u32 << num_vars)).any(|bits| {
+                clauses.iter().all(|c| {
+                    c.iter()
+                        .any(|l| l.satisfied_by(bits & (1 << l.var.index()) != 0))
+                })
+            });
+            assert_eq!(s.is_satisfiable(), brute);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # kbt-solver — the propositional SAT substrate
+//!
+//! The update operator `τ_φ` of *Knowledgebase Transformations* asks for the
+//! models of a sentence that are *closest* to a given database under the
+//! Winslett order.  After grounding (see `kbt-logic::ground`) this becomes a
+//! propositional problem: enumerate the truth assignments that satisfy a
+//! Boolean formula and are subset-minimal over a designated set of variables.
+//! This crate provides everything needed for that, built from scratch:
+//!
+//! * [`Lit`], [`Clause`], [`Cnf`] — CNF representation,
+//! * [`circuit::Bool`] — Boolean circuits (the shape produced by grounding),
+//! * [`tseitin`] — the Tseitin transformation from circuits to CNF,
+//! * [`Solver`] — an incremental DPLL solver with unit propagation and
+//!   assumption support,
+//! * [`minimal`] — enumeration of subset-minimal models projected onto a
+//!   chosen set of variables (the engine behind the two-stage minimisation of
+//!   the Winslett order),
+//! * [`dimacs`] — DIMACS CNF import/export, handy for debugging and
+//!   cross-checking against external solvers.
+//!
+//! The solver is deliberately simple (no clause learning): the grounded
+//! instances produced by the transformation language over active domains of
+//! realistic size are small, and simplicity keeps the minimal-model
+//! enumeration loop easy to reason about.  It also serves as the *independent
+//! baseline* for the Theorem 4.2 experiment (3CNF satisfiability via a
+//! transformation expression versus direct DPLL).
+
+pub mod circuit;
+pub mod cnf;
+pub mod dimacs;
+pub mod dpll;
+pub mod minimal;
+pub mod tseitin;
+
+pub use circuit::Bool;
+pub use cnf::{BoolVar, Clause, Cnf, Lit};
+pub use dpll::{Model, SolveResult, Solver};
+pub use minimal::{enumerate_minimal_models, shrink_to_minimal};
+pub use tseitin::encode_circuit;

@@ -1,0 +1,232 @@
+//! Enumeration of subset-minimal models.
+//!
+//! The Winslett order minimises, per relation, the set of facts on which a
+//! candidate database differs from the original database — i.e. a *set of
+//! propositional variables* once the update has been grounded.  This module
+//! provides the two primitives the update evaluator needs:
+//!
+//! * [`shrink_to_minimal`] — given one satisfying assignment, walk down to a
+//!   model whose projection onto the chosen variables is subset-minimal, and
+//! * [`enumerate_minimal_models`] — enumerate *all* minimal projections using
+//!   the classical blocking-clause loop (each found minimal set `M` is
+//!   excluded by the clause `⋁_{v ∈ M} ¬v`, which removes exactly the models
+//!   whose projection contains `M` and therefore no other minimal set).
+
+use std::collections::BTreeSet;
+
+use crate::cnf::{BoolVar, Lit};
+use crate::dpll::{Model, SolveResult, Solver};
+
+/// Given a model of `solver ∧ assumptions`, returns a set `S` of
+/// `minimize_vars` that is subset-minimal among the projections of models of
+/// `solver ∧ assumptions` onto `minimize_vars`, with `S` contained in the
+/// projection of the starting model.
+pub fn shrink_to_minimal(
+    solver: &Solver,
+    minimize_vars: &[BoolVar],
+    assumptions: &[Lit],
+    start: &Model,
+) -> BTreeSet<BoolVar> {
+    let value = |m: &Model, v: BoolVar| m.get(v.index()).copied().unwrap_or(false);
+    let mut current: BTreeSet<BoolVar> = minimize_vars
+        .iter()
+        .copied()
+        .filter(|&v| value(start, v))
+        .collect();
+
+    'outer: loop {
+        for &candidate in current.clone().iter() {
+            // Try to find a model where everything outside `current` stays
+            // false and `candidate` becomes false as well.
+            let mut assump: Vec<Lit> = assumptions.to_vec();
+            for &v in minimize_vars {
+                if !current.contains(&v) {
+                    assump.push(v.negative());
+                }
+            }
+            assump.push(candidate.negative());
+            if let SolveResult::Sat(m) = solver.solve(&assump) {
+                current = minimize_vars
+                    .iter()
+                    .copied()
+                    .filter(|&v| value(&m, v))
+                    .collect();
+                continue 'outer;
+            }
+        }
+        return current;
+    }
+}
+
+/// Enumerates every subset-minimal projection of the models of
+/// `solver ∧ assumptions` onto `minimize_vars`.
+///
+/// The solver is cloned internally, so the caller's solver is left untouched
+/// (blocking clauses are local to the enumeration).  `limit` bounds the
+/// number of minimal sets returned (`None` for all of them).
+pub fn enumerate_minimal_models(
+    solver: &Solver,
+    minimize_vars: &[BoolVar],
+    assumptions: &[Lit],
+    limit: Option<usize>,
+) -> Vec<BTreeSet<BoolVar>> {
+    let mut work = solver.clone();
+    let mut results: Vec<BTreeSet<BoolVar>> = Vec::new();
+    loop {
+        if let Some(l) = limit {
+            if results.len() >= l {
+                return results;
+            }
+        }
+        match work.solve(assumptions) {
+            SolveResult::Unsat => return results,
+            SolveResult::Sat(m) => {
+                let minimal = shrink_to_minimal(&work, minimize_vars, assumptions, &m);
+                let blocking: Vec<Lit> = minimal.iter().map(|v| v.negative()).collect();
+                results.push(minimal);
+                if blocking.is_empty() {
+                    // The empty projection is the unique minimal one.
+                    return results;
+                }
+                work.add_clause(&blocking);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> BoolVar {
+        BoolVar::new(i)
+    }
+
+    fn set(vars: &[u32]) -> BTreeSet<BoolVar> {
+        vars.iter().map(|&i| v(i)).collect()
+    }
+
+    #[test]
+    fn single_minimal_model_of_a_positive_clause_set() {
+        // (a) ∧ (¬a ∨ b): unique minimal model over {a,b} is {a,b}.
+        let mut s = Solver::new(2);
+        s.add_clause(&[v(0).positive()]);
+        s.add_clause(&[v(0).negative(), v(1).positive()]);
+        let minimal = enumerate_minimal_models(&s, &[v(0), v(1)], &[], None);
+        assert_eq!(minimal, vec![set(&[0, 1])]);
+    }
+
+    #[test]
+    fn disjunction_yields_two_incomparable_minimal_models() {
+        // (a ∨ b): minimal models over {a,b} are {a} and {b}.
+        let mut s = Solver::new(2);
+        s.add_clause(&[v(0).positive(), v(1).positive()]);
+        let mut minimal = enumerate_minimal_models(&s, &[v(0), v(1)], &[], None);
+        minimal.sort();
+        assert_eq!(minimal, vec![set(&[0]), set(&[1])]);
+    }
+
+    #[test]
+    fn empty_set_is_the_unique_minimal_model_when_feasible() {
+        // (a ∨ ¬b): the all-false assignment works, so {} is the only minimal set.
+        let mut s = Solver::new(2);
+        s.add_clause(&[v(0).positive(), v(1).negative()]);
+        let minimal = enumerate_minimal_models(&s, &[v(0), v(1)], &[], None);
+        assert_eq!(minimal, vec![set(&[])]);
+    }
+
+    #[test]
+    fn minimisation_is_projected_other_variables_are_existential() {
+        // (a ∨ x) ∧ (¬x ∨ b) with minimisation over {a, b} only.
+        // Models: x=true requires b; x=false requires a.  Minimal projections
+        // over {a,b}: {} is impossible (x true forces b, x false forces a);
+        // {a} (x=false) and {b} (x=true) are both minimal.
+        let mut s = Solver::new(3);
+        let (a, b, x) = (v(0), v(1), v(2));
+        s.add_clause(&[a.positive(), x.positive()]);
+        s.add_clause(&[x.negative(), b.positive()]);
+        let mut minimal = enumerate_minimal_models(&s, &[a, b], &[], None);
+        minimal.sort();
+        assert_eq!(minimal, vec![set(&[0]), set(&[1])]);
+    }
+
+    #[test]
+    fn assumptions_are_respected() {
+        // (a ∨ b), assuming ¬a: only minimal model is {b}.
+        let mut s = Solver::new(2);
+        s.add_clause(&[v(0).positive(), v(1).positive()]);
+        let minimal = enumerate_minimal_models(&s, &[v(0), v(1)], &[v(0).negative()], None);
+        assert_eq!(minimal, vec![set(&[1])]);
+    }
+
+    #[test]
+    fn unsatisfiable_formula_has_no_minimal_models() {
+        let mut s = Solver::new(1);
+        s.add_clause(&[v(0).positive()]);
+        s.add_clause(&[v(0).negative()]);
+        assert!(enumerate_minimal_models(&s, &[v(0)], &[], None).is_empty());
+    }
+
+    #[test]
+    fn limit_truncates_enumeration() {
+        // (a ∨ b ∨ c) has three minimal models; ask for at most two.
+        let mut s = Solver::new(3);
+        s.add_clause(&[v(0).positive(), v(1).positive(), v(2).positive()]);
+        let minimal = enumerate_minimal_models(&s, &[v(0), v(1), v(2)], &[], Some(2));
+        assert_eq!(minimal.len(), 2);
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_instances() {
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..20 {
+            let num_vars = 5usize;
+            let mut s = Solver::new(num_vars);
+            let mut clauses = Vec::new();
+            for _ in 0..8 {
+                let mut lits = Vec::new();
+                for _ in 0..3 {
+                    let var = (next() % num_vars as u64) as u32;
+                    let pos = next() % 2 == 0;
+                    lits.push(Lit::new(BoolVar::new(var), pos));
+                }
+                clauses.push(lits.clone());
+                s.add_clause(&lits);
+            }
+            let all_vars: Vec<BoolVar> = (0..num_vars as u32).map(BoolVar::new).collect();
+
+            // brute force: all models, then filter the subset-minimal ones
+            let models: Vec<BTreeSet<BoolVar>> = (0..(1u32 << num_vars))
+                .filter(|bits| {
+                    clauses.iter().all(|c| {
+                        c.iter()
+                            .any(|l| l.satisfied_by(bits & (1 << l.var.index()) != 0))
+                    })
+                })
+                .map(|bits| {
+                    (0..num_vars as u32)
+                        .filter(|i| bits & (1 << i) != 0)
+                        .map(BoolVar::new)
+                        .collect::<BTreeSet<_>>()
+                })
+                .collect();
+            let mut expected: Vec<BTreeSet<BoolVar>> = models
+                .iter()
+                .filter(|m| !models.iter().any(|o| o != *m && o.is_subset(m)))
+                .cloned()
+                .collect();
+            expected.sort();
+            expected.dedup();
+
+            let mut found = enumerate_minimal_models(&s, &all_vars, &[], None);
+            found.sort();
+            assert_eq!(found, expected);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! The Tseitin transformation: Boolean circuits to equisatisfiable CNF.
+//!
+//! Each internal gate of the circuit gets a fresh definition variable and a
+//! constant number of clauses, so the CNF stays linear in the circuit size —
+//! important because grounding a universally quantified sentence over a
+//! domain of size `|B|` already multiplies the formula by `|B|^k`.
+
+use crate::circuit::Bool;
+use crate::cnf::{Clause, Cnf, Lit};
+
+/// The result of encoding a sub-circuit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Encoded {
+    /// The sub-circuit is constantly true or false.
+    Const(bool),
+    /// The sub-circuit's value is carried by this literal.
+    Literal(Lit),
+}
+
+/// Encodes a circuit into `cnf`, returning a literal (or constant) equivalent
+/// to the circuit's output under the added definitional clauses.
+pub fn encode_circuit(circuit: &Bool, cnf: &mut Cnf) -> Encoded {
+    match circuit {
+        Bool::True => Encoded::Const(true),
+        Bool::False => Encoded::Const(false),
+        Bool::Var(v) => {
+            cnf.ensure_var(*v);
+            Encoded::Literal(v.positive())
+        }
+        Bool::Not(inner) => match encode_circuit(inner, cnf) {
+            Encoded::Const(b) => Encoded::Const(!b),
+            Encoded::Literal(l) => Encoded::Literal(l.negated()),
+        },
+        Bool::And(parts) => {
+            let mut lits = Vec::with_capacity(parts.len());
+            for p in parts {
+                match encode_circuit(p, cnf) {
+                    Encoded::Const(false) => return Encoded::Const(false),
+                    Encoded::Const(true) => {}
+                    Encoded::Literal(l) => lits.push(l),
+                }
+            }
+            match lits.len() {
+                0 => Encoded::Const(true),
+                1 => Encoded::Literal(lits[0]),
+                _ => {
+                    let g = cnf.fresh_var();
+                    // (¬g ∨ l_i) for every conjunct
+                    for &l in &lits {
+                        cnf.add_clause(Clause::new(vec![g.negative(), l]));
+                    }
+                    // (g ∨ ¬l_1 ∨ … ∨ ¬l_n)
+                    let mut big: Vec<Lit> = lits.iter().map(|l| l.negated()).collect();
+                    big.push(g.positive());
+                    cnf.add_clause(Clause::new(big));
+                    Encoded::Literal(g.positive())
+                }
+            }
+        }
+        Bool::Or(parts) => {
+            let mut lits = Vec::with_capacity(parts.len());
+            for p in parts {
+                match encode_circuit(p, cnf) {
+                    Encoded::Const(true) => return Encoded::Const(true),
+                    Encoded::Const(false) => {}
+                    Encoded::Literal(l) => lits.push(l),
+                }
+            }
+            match lits.len() {
+                0 => Encoded::Const(false),
+                1 => Encoded::Literal(lits[0]),
+                _ => {
+                    let g = cnf.fresh_var();
+                    // (g ∨ ¬l_i) for every disjunct
+                    for &l in &lits {
+                        cnf.add_clause(Clause::new(vec![g.positive(), l.negated()]));
+                    }
+                    // (¬g ∨ l_1 ∨ … ∨ l_n)
+                    let mut big: Vec<Lit> = lits.clone();
+                    big.push(g.negative());
+                    cnf.add_clause(Clause::new(big));
+                    Encoded::Literal(g.positive())
+                }
+            }
+        }
+    }
+}
+
+/// Adds clauses to `cnf` asserting that the circuit is true.
+pub fn assert_circuit(circuit: &Bool, cnf: &mut Cnf) {
+    match encode_circuit(circuit, cnf) {
+        Encoded::Const(true) => {}
+        Encoded::Const(false) => cnf.add_clause(Clause::new(vec![])),
+        Encoded::Literal(l) => cnf.add_clause(Clause::new(vec![l])),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::BoolVar;
+    use crate::dpll::{SolveResult, Solver};
+
+    fn v(i: u32) -> Bool {
+        Bool::Var(BoolVar::new(i))
+    }
+
+    /// Exhaustively checks that the Tseitin encoding preserves the models of
+    /// the circuit when projected onto the original variables.
+    fn check_equivalence(circuit: &Bool, num_original_vars: u32) {
+        let mut cnf = Cnf::new(num_original_vars);
+        assert_circuit(circuit, &mut cnf);
+        for bits in 0..(1u32 << num_original_vars) {
+            let assignment: Vec<bool> =
+                (0..num_original_vars).map(|i| bits & (1 << i) != 0).collect();
+            let direct = circuit.evaluate(&assignment);
+            // solve with the original variables fixed by assumptions
+            let solver = Solver::from_cnf(&cnf);
+            let assumptions: Vec<Lit> = (0..num_original_vars)
+                .map(|i| Lit::new(BoolVar::new(i), assignment[i as usize]))
+                .collect();
+            let encoded = matches!(solver.solve(&assumptions), SolveResult::Sat(_));
+            assert_eq!(direct, encoded, "mismatch for assignment {assignment:?}");
+        }
+    }
+
+    #[test]
+    fn encodes_and_or_not_faithfully() {
+        let c = Bool::or(vec![
+            Bool::and(vec![v(0), v(1)]),
+            Bool::and(vec![v(2).negate(), v(0)]),
+        ]);
+        check_equivalence(&c, 3);
+    }
+
+    #[test]
+    fn encodes_nested_negations() {
+        let c = Bool::and(vec![
+            Bool::or(vec![v(0), v(1), v(2)]).negate(),
+            Bool::or(vec![v(0).negate(), v(1)]),
+        ]);
+        check_equivalence(&c, 3);
+    }
+
+    #[test]
+    fn constants_short_circuit() {
+        let mut cnf = Cnf::new(2);
+        assert_eq!(
+            encode_circuit(&Bool::and(vec![Bool::True, Bool::True]), &mut cnf),
+            Encoded::Const(true)
+        );
+        assert_eq!(
+            encode_circuit(&Bool::and(vec![v(0), Bool::False]), &mut cnf),
+            Encoded::Const(false)
+        );
+        assert_eq!(cnf.num_clauses(), 0);
+
+        assert_circuit(&Bool::False, &mut cnf);
+        assert_eq!(cnf.num_clauses(), 1);
+        assert!(cnf.clauses()[0].is_empty());
+    }
+
+    #[test]
+    fn encoding_is_linear_in_circuit_size() {
+        // a long conjunction of disjunctions
+        let parts: Vec<Bool> = (0..20)
+            .map(|i| Bool::or(vec![v(2 * i), v(2 * i + 1).negate()]))
+            .collect();
+        let c = Bool::and(parts);
+        let mut cnf = Cnf::new(40);
+        assert_circuit(&c, &mut cnf);
+        assert!(cnf.num_clauses() <= 3 * c.size());
+    }
+}

@@ -1,0 +1,69 @@
+//! Example 1.2 / Example 1: reachability over a flight network.
+//!
+//! "Which cities are reachable directly or indirectly from Toronto via
+//! Air Canada?"  The query is expressed by inserting the transitive-closure
+//! sentence into the knowledgebase and projecting the freshly defined
+//! relation — no recursion operator needed, the minimal-change semantics of
+//! the insertion does the fixpoint computation.
+//!
+//! Run with `cargo run --example flight_reachability`.
+
+use kbt::core::examples::{rels, transitive_closure};
+use kbt::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Name the cities through a vocabulary so the output is readable.
+    let mut vocab = Vocabulary::new();
+    let cities = ["Toronto", "Ottawa", "Montreal", "Halifax", "Winnipeg"];
+    let ids: Vec<Const> = cities.iter().map(|c| vocab.constant(c)).collect();
+
+    // Direct flights (a chain plus one isolated city).
+    let direct: Vec<(u32, u32)> = vec![
+        (ids[0].index(), ids[1].index()),
+        (ids[1].index(), ids[2].index()),
+        (ids[2].index(), ids[3].index()),
+    ];
+
+    println!("direct flights:");
+    for &(a, b) in &direct {
+        println!(
+            "  {} → {}",
+            vocab.render_constant(Const::new(a)),
+            vocab.render_constant(Const::new(b))
+        );
+    }
+
+    // Example 1: π_2 τ_φ([(r)]) is the transitive closure of the flight
+    // relation.  Two formulations are provided; both give the same answer.
+    let transformer = Transformer::new();
+    let closure = transitive_closure::transitive_closure(&transformer, &direct)?;
+    let closure_horn = transitive_closure::transitive_closure_horn(&transformer, &direct)?;
+    assert_eq!(closure, closure_horn);
+
+    let toronto = ids[0];
+    println!("\nreachable from {}:", vocab.render_constant(toronto));
+    for tuple in closure.iter() {
+        if tuple.get(0) == Some(toronto) {
+            println!("  {}", vocab.render_constant(tuple.get(1).unwrap()));
+        }
+    }
+
+    // The deletion of Example 1.2 ("delete flight AC902") is just the
+    // insertion of a negated fact.
+    let delete = Sentence::new(kbt::logic::builder::not(kbt::logic::builder::atom(
+        rels::R1.index(),
+        [
+            kbt::logic::builder::cst(ids[1].index()),
+            kbt::logic::builder::cst(ids[2].index()),
+        ],
+    )))?;
+    let kb = Knowledgebase::singleton(kbt::core::examples::graph_database(rels::R1, &direct));
+    let after = transformer.insert(&delete, &kb)?.kb;
+    println!(
+        "\nafter deleting the {} → {} flight the network has {} direct flights",
+        vocab.render_constant(ids[1]),
+        vocab.render_constant(ids[2]),
+        after.as_singleton().unwrap().relation(rels::R1).unwrap().len()
+    );
+    Ok(())
+}

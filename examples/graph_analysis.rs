@@ -1,0 +1,45 @@
+//! Examples 2 and 3: transitive reductions of a dependency graph, and the
+//! edges that appear in every reduction.
+//!
+//! A realistic reading: the graph is a set of observed "must run before"
+//! constraints between build steps; the transitive reductions are the minimal
+//! schedules that preserve all orderings, and the edges common to every
+//! reduction are the truly indispensable direct dependencies.
+//!
+//! Run with `cargo run --example graph_analysis`.
+
+use kbt::core::examples::transitive_reduction;
+use kbt::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // build steps: 1 = parse, 2 = typecheck, 3 = codegen; (1,3) is a
+    // redundant observed constraint implied by the other two.
+    let constraints: Vec<(u32, u32)> = vec![(1, 2), (2, 3), (1, 3)];
+    let transformer = Transformer::new();
+
+    println!("observed constraints: {constraints:?}");
+    let reductions = transitive_reduction::transitive_reductions(&transformer, &constraints)?;
+    println!("\ntransitive reductions (Example 2): {} found", reductions.len());
+    for (i, r) in reductions.iter().enumerate() {
+        println!("  reduction {}: {r}", i + 1);
+    }
+
+    // Example 3: is a given set of edges contained in every reduction?
+    for query in [vec![(1u32, 2u32)], vec![(1, 3)], vec![(1, 2), (2, 3)]] {
+        let essential = transitive_reduction::edges_in_every_reduction(
+            &transformer,
+            &constraints,
+            &query,
+        )?;
+        println!(
+            "edges {query:?} are {} every transitive reduction",
+            if essential { "in" } else { "NOT in" }
+        );
+    }
+
+    // cross-check with the brute-force baseline
+    let baseline = transitive_reduction::baseline_transitive_reductions(&constraints);
+    assert_eq!(baseline.len(), reductions.len());
+    println!("\nbrute-force baseline agrees: {} reduction(s)", baseline.len());
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Quickstart: the "robot vehicles orbiting Venus" knowledgebase.
+//!
+//! Reproduces Example 1.1 and Example 4 of *Knowledgebase Transformations*:
+//! a disjunctive knowledgebase, a Katsuno–Mendelzon update, and a
+//! hypothetical (counterfactual) query — all through the public API.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use kbt::core::examples::robots;
+use kbt::core::hypothetical::{counterfactual, HypotheticalAnswer};
+use kbt::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The knowledgebase after the garbled "I have landed" message:
+    // either V has landed or W has.
+    let kb = robots::initial_knowledgebase();
+    println!("initial knowledgebase ({} possible worlds):", kb.len());
+    for world in kb.iter() {
+        println!("  {world}");
+    }
+
+    // Update: V reports that it has landed.  Under the KM update semantics
+    // this tells us nothing about W.
+    let transformer = Transformer::new();
+    let updated = transformer.insert(&robots::v_landed(), &kb)?.kb;
+    println!("\nafter inserting \"V has landed\" ({} worlds):", updated.len());
+    for world in updated.iter() {
+        println!("  {world}");
+    }
+    println!(
+        "V certainly landed: {}",
+        updated.certainly_holds(robots::LANDED, &kbt::data::tuple![1])
+    );
+    println!(
+        "W certainly landed: {}",
+        updated.certainly_holds(robots::LANDED, &kbt::data::tuple![2])
+    );
+
+    // The hypothetical query of Example 4: "if V had landed, would W be
+    // necessarily still orbiting?"  The paper's answer is no.
+    let w_orbiting = Sentence::new(kbt::logic::builder::not(kbt::logic::builder::atom(
+        robots::LANDED.index(),
+        [kbt::logic::builder::cst(robots::W.index())],
+    )))?;
+    let answer = counterfactual(&transformer, &robots::v_landed(), &w_orbiting, &kb)?;
+    println!(
+        "\n\"if V had landed, would W necessarily still be orbiting?\" → {}",
+        match answer {
+            HypotheticalAnswer::Necessarily => "yes",
+            HypotheticalAnswer::Possibly => "not necessarily (it is merely possible)",
+            HypotheticalAnswer::Never => "certainly not",
+        }
+    );
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Theorem 4.2 in action: deciding 3CNF satisfiability by evaluating a
+//! transformation expression, cross-checked against a DPLL solver.
+//!
+//! This is the executable form of the paper's co-NP-hardness argument: the
+//! knowledgebase stores the clauses, the inserted sentence makes the possible
+//! worlds range over the truth assignments, and the answer is read off a
+//! zero-ary flag relation.
+//!
+//! Run with `cargo run --example sat_via_updates`.
+
+use kbt::prelude::*;
+use kbt::reductions::threecnf::{
+    satisfiable_via_dpll, satisfiable_via_transformation, Clause3, ThreeCnf,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let transformer = Transformer::new();
+
+    // A satisfiable instance: (x1 ∨ x2 ∨ x3) ∧ (¬x1 ∨ ¬x2 ∨ x3) ∧ (¬x3 ∨ x1 ∨ x2)
+    let satisfiable = ThreeCnf {
+        num_vars: 3,
+        clauses: vec![
+            Clause3 { literals: [(1, true), (2, true), (3, true)] },
+            Clause3 { literals: [(1, false), (2, false), (3, true)] },
+            Clause3 { literals: [(3, false), (1, true), (2, true)] },
+        ],
+    };
+
+    // An unsatisfiable instance: every sign pattern over {x1, x2, x3}.
+    let mut clauses = Vec::new();
+    for bits in 0..8u32 {
+        clauses.push(Clause3 {
+            literals: [(1, bits & 1 != 0), (2, bits & 2 != 0), (3, bits & 4 != 0)],
+        });
+    }
+    let unsatisfiable = ThreeCnf { num_vars: 3, clauses };
+
+    for (name, instance) in [("satisfiable", satisfiable), ("unsatisfiable", unsatisfiable)] {
+        let via_transform = satisfiable_via_transformation(&transformer, &instance)?;
+        let via_dpll = satisfiable_via_dpll(&instance);
+        println!(
+            "{name} instance ({} clauses): transformation says {}, DPLL says {}",
+            instance.clauses.len(),
+            via_transform,
+            via_dpll
+        );
+        assert_eq!(via_transform, via_dpll);
+    }
+    println!("\nboth deciders agree — Theorem 4.2's reduction is faithful");
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! # kbt — Knowledgebase Transformations
+//!
+//! A faithful, executable reproduction of *Knowledgebase Transformations*
+//! (Grahne, Mendelzon, Revesz; PODS 1992 / JCSS 54(1), 1997): a uniform
+//! first-order query/update language over knowledgebases — finite sets of
+//! relational databases — whose insertion operator `τ_φ` follows Winslett's
+//! possible-models minimal-change semantics and satisfies the
+//! Katsuno–Mendelzon update postulates.
+//!
+//! This facade crate re-exports the public API of the workspace crates:
+//!
+//! * [`data`] — constants, relations, databases, knowledgebases, the Winslett
+//!   order (crate `kbt-data`),
+//! * [`logic`] — function-free first-order logic with a parser, model
+//!   checking and grounding (crate `kbt-logic`),
+//! * [`solver`] — the propositional SAT substrate used for minimal-model
+//!   enumeration (crate `kbt-solver`),
+//! * [`datalog`] — the Datalog substrate used by the PTIME fast path and the
+//!   fixpoint expressiveness results (crate `kbt-datalog`),
+//! * [`core`] — the transformation language itself: `τ`, `⊓`, `⊔`, `π`,
+//!   transformation expressions, evaluation strategies, the KM postulates,
+//!   and the paper's seven worked examples (crate `kbt-core`),
+//! * [`reductions`] — executable versions of the paper's complexity
+//!   reductions and expressiveness encodings (crate `kbt-reductions`).
+//!
+//! ## Quickstart
+//!
+//! The "robot vehicles orbiting Venus" example (Example 1.1 / Example 4 of
+//! the paper): see `examples/quickstart.rs`, or the
+//! [`core::examples`](kbt_core::examples) module.
+
+pub use kbt_core as core;
+pub use kbt_data as data;
+pub use kbt_datalog as datalog;
+pub use kbt_logic as logic;
+pub use kbt_reductions as reductions;
+pub use kbt_solver as solver;
+
+/// The most commonly used items, for glob import in examples and tests.
+pub mod prelude {
+    pub use kbt_core::{
+        EvalOptions, Strategy, Transform, TransformResult, Transformer,
+    };
+    pub use kbt_data::{
+        Const, Database, DatabaseBuilder, Knowledgebase, KnowledgebaseBuilder, RelId, Relation,
+        Schema, Tuple, Vocabulary,
+    };
+    pub use kbt_logic::{Formula, Sentence, Term, Var};
+}

@@ -1,0 +1,127 @@
+//! Cross-crate integration tests for the Section 2 framework: the worked
+//! knowledgebase computations of the paper, the Lemma 2.1 counterexamples,
+//! and agreement between the evaluation strategies on composed expressions.
+
+use kbt::core::examples::lemma21;
+use kbt::core::{EvalOptions, Strategy, Transform, Transformer};
+use kbt::prelude::*;
+
+fn r(i: u32) -> RelId {
+    RelId::new(i)
+}
+
+#[test]
+fn section_2_space_example_end_to_end() {
+    // kb = {({v}), ({w})}; τ_{R1(v)}(kb) = {({v}), ({v,w})}.
+    let kb = Knowledgebase::from_databases([
+        DatabaseBuilder::new().fact(r(1), [1u32]).build().unwrap(),
+        DatabaseBuilder::new().fact(r(1), [2u32]).build().unwrap(),
+    ])
+    .unwrap();
+    let phi = Sentence::new(kbt::logic::builder::atom(1, [kbt::logic::builder::cst(1)])).unwrap();
+    for strategy in [Strategy::Auto, Strategy::Grounding, Strategy::Exhaustive] {
+        let t = Transformer::with_options(EvalOptions::with_strategy(strategy));
+        let result = t.insert(&phi, &kb).unwrap().kb;
+        assert_eq!(result.len(), 2, "strategy {strategy:?}");
+        assert!(result.certainly_holds(r(1), &kbt::data::tuple![1]));
+        assert!(result.possibly_holds(r(1), &kbt::data::tuple![2]));
+        assert!(!result.certainly_holds(r(1), &kbt::data::tuple![2]));
+    }
+}
+
+#[test]
+fn glb_lub_projection_compose_with_insertion() {
+    // copy R1 into R2, take the lub, then project: a single world holding
+    // the union of the copies.
+    let kb = Knowledgebase::from_databases([
+        DatabaseBuilder::new().fact(r(1), [1u32]).build().unwrap(),
+        DatabaseBuilder::new().fact(r(1), [2u32]).build().unwrap(),
+    ])
+    .unwrap();
+    let copy = Sentence::new(kbt::logic::builder::forall(
+        [1],
+        kbt::logic::builder::implies(
+            kbt::logic::builder::atom(1, [kbt::logic::builder::var(1)]),
+            kbt::logic::builder::atom(2, [kbt::logic::builder::var(1)]),
+        ),
+    ))
+    .unwrap();
+    let expr = Transform::insert(copy)
+        .then(Transform::Lub)
+        .then(Transform::project(vec![r(2)]));
+    let result = Transformer::new().apply(&expr, &kb).unwrap().kb;
+    let db = result.as_singleton().expect("lub yields a singleton");
+    assert!(db.relation(r(1)).is_none());
+    assert_eq!(db.relation(r(2)).unwrap().len(), 2);
+}
+
+#[test]
+fn lemma_2_1_non_commutation_holds_in_both_directions() {
+    let t = Transformer::new();
+    let (a, b) = lemma21::both_orders(
+        &t,
+        &lemma21::glb_sentence(),
+        &lemma21::glb_knowledgebase(),
+        Transform::Glb,
+    )
+    .unwrap();
+    assert_ne!(a, b);
+    let (a, b) = lemma21::both_orders(
+        &t,
+        &lemma21::lub_sentence(),
+        &lemma21::lub_knowledgebase(),
+        Transform::Lub,
+    )
+    .unwrap();
+    assert_ne!(a, b);
+}
+
+#[test]
+fn strategies_agree_on_composed_expressions() {
+    // τ (copy sources) ∘ τ (delete a fact) ∘ ⊔, evaluated under different
+    // strategies, must coincide.
+    let kb = Knowledgebase::from_databases([
+        DatabaseBuilder::new()
+            .fact(r(1), [1u32, 2])
+            .fact(r(1), [2u32, 3])
+            .build()
+            .unwrap(),
+        DatabaseBuilder::new().fact(r(1), [2u32, 3]).build().unwrap(),
+    ])
+    .unwrap();
+    use kbt::logic::builder::*;
+    let copy_sources = Sentence::new(forall(
+        [1, 2],
+        implies(atom(1, [var(1), var(2)]), atom(2, [var(1)])),
+    ))
+    .unwrap();
+    let delete = Sentence::new(not(atom(1, [cst(2), cst(3)]))).unwrap();
+    let expr = Transform::insert(copy_sources)
+        .then(Transform::insert(delete))
+        .then(Transform::Lub);
+
+    let reference = Transformer::with_options(EvalOptions::with_strategy(Strategy::Exhaustive))
+        .apply(&expr, &kb)
+        .unwrap()
+        .kb;
+    for strategy in [Strategy::Auto, Strategy::Grounding] {
+        let got = Transformer::with_options(EvalOptions::with_strategy(strategy))
+            .apply(&expr, &kb)
+            .unwrap()
+            .kb;
+        assert_eq!(reference, got, "strategy {strategy:?} disagrees");
+    }
+}
+
+#[test]
+fn facade_prelude_exposes_the_working_set() {
+    // compile-time check that the prelude's types interoperate.
+    let db: Database = DatabaseBuilder::new().fact(RelId::new(1), [1u32]).build().unwrap();
+    let kb: Knowledgebase = Knowledgebase::singleton(db);
+    let t: Transformer = Transformer::with_options(EvalOptions::default());
+    let phi: Sentence =
+        Sentence::new(kbt::logic::builder::atom(1, [kbt::logic::builder::cst(2)])).unwrap();
+    let out: TransformResult = t.insert(&phi, &kb).unwrap();
+    assert_eq!(out.kb.len(), 1);
+    assert_eq!(out.stats.updates, 1);
+}
