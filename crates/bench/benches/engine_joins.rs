@@ -1,0 +1,131 @@
+//! Engine ablation — naive vs semi-naive vs indexed fixpoint evaluation.
+//!
+//! Transitive closure over "braid" graphs (disjoint chains of length 10, so
+//! the closure grows linearly with the edge count and the interesting signal
+//! is join cost, not output size) at 100 / 1 000 / 10 000 edges:
+//!
+//! * `reference_naive` — the seed's nested-loop naive evaluator (oracle);
+//! * `reference_semi_naive` — the seed's nested-loop semi-naive evaluator,
+//!   the baseline the indexed engine is measured against;
+//! * `engine_naive` — engine rounds with index probes but full recompute;
+//! * `engine_indexed` — the production path: delta-driven semi-naive rounds
+//!   over hash-indexed storage.
+//!
+//! The slower configurations are capped at the sizes where a sample still
+//! finishes in seconds; the indexed path runs everywhere.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kbt_bench::quick_criterion;
+use kbt_data::{Database, DatabaseBuilder, RelId};
+use kbt_datalog::{
+    naive_eval, reference_naive_eval, reference_semi_naive_eval, semi_naive_eval, DlAtom, Literal,
+    Program, Rule,
+};
+use kbt_logic::builder::var;
+
+fn r(i: u32) -> RelId {
+    RelId::new(i)
+}
+
+/// path(x,y) :- edge(x,y).  path(x,z) :- path(x,y), edge(y,z).
+fn tc_program() -> Program {
+    let edge = |a, b| DlAtom::new(r(1), vec![a, b]);
+    let path = |a, b| DlAtom::new(r(2), vec![a, b]);
+    Program::new(vec![
+        Rule::new(
+            path(var(1), var(2)),
+            vec![Literal::positive(edge(var(1), var(2)))],
+        ),
+        Rule::new(
+            path(var(1), var(3)),
+            vec![
+                Literal::positive(path(var(1), var(2))),
+                Literal::positive(edge(var(2), var(3))),
+            ],
+        ),
+    ])
+    .unwrap()
+}
+
+/// `chains` disjoint chains of 10 edges each: `10 * chains` edges total,
+/// closure of size `55 * chains`.
+fn braid(chains: u32) -> Database {
+    let mut b = DatabaseBuilder::new().relation(r(1), 2);
+    for c in 0..chains {
+        let base = c * 11 + 1;
+        for i in 0..10 {
+            b = b.fact(r(1), [base + i, base + i + 1]);
+        }
+    }
+    b.build().unwrap()
+}
+
+fn edge_counts() -> [(u32, u32); 3] {
+    // (chains, edges)
+    [(10, 100), (100, 1_000), (1_000, 10_000)]
+}
+
+fn bench_reference_naive(c: &mut Criterion) {
+    let program = tc_program();
+    let mut group = c.benchmark_group("engine_joins/reference_naive");
+    for (chains, edges) in edge_counts() {
+        if edges > 100 {
+            continue; // quadratic rescans per round: a single sample takes minutes
+        }
+        let edb = braid(chains);
+        group.bench_with_input(BenchmarkId::from_parameter(edges), &edges, |b, _| {
+            b.iter(|| reference_naive_eval(&program, &edb).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_reference_semi_naive(c: &mut Criterion) {
+    let program = tc_program();
+    let mut group = c.benchmark_group("engine_joins/reference_semi_naive");
+    for (chains, edges) in edge_counts() {
+        let edb = braid(chains);
+        group.bench_with_input(BenchmarkId::from_parameter(edges), &edges, |b, _| {
+            b.iter(|| reference_semi_naive_eval(&program, &edb).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_naive(c: &mut Criterion) {
+    let program = tc_program();
+    let mut group = c.benchmark_group("engine_joins/engine_naive");
+    for (chains, edges) in edge_counts() {
+        if edges > 1_000 {
+            continue; // full recompute per round is the point of this baseline
+        }
+        let edb = braid(chains);
+        group.bench_with_input(BenchmarkId::from_parameter(edges), &edges, |b, _| {
+            b.iter(|| naive_eval(&program, &edb).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_indexed(c: &mut Criterion) {
+    let program = tc_program();
+    let mut group = c.benchmark_group("engine_joins/engine_indexed");
+    for (chains, edges) in edge_counts() {
+        let edb = braid(chains);
+        group.bench_with_input(BenchmarkId::from_parameter(edges), &edges, |b, _| {
+            b.iter(|| semi_naive_eval(&program, &edb).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets =
+        bench_reference_naive,
+        bench_reference_semi_naive,
+        bench_engine_naive,
+        bench_engine_indexed,
+}
+criterion_main!(benches);

@@ -10,8 +10,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kbt_bench::quick_criterion;
 use kbt_core::examples::transitive_closure;
 use kbt_core::{EvalOptions, Strategy, Transformer};
-use kbt_datalog::{program_from_sentence, semi_naive_eval};
 use kbt_data::RelId;
+use kbt_datalog::{program_from_sentence, semi_naive_eval};
 use kbt_reductions::workload::chain_graph;
 
 fn r(i: u32) -> RelId {

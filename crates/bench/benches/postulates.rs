@@ -26,8 +26,7 @@ fn check_all_postulates(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(worlds), &worlds, |b, _| {
             b.iter(|| {
                 let report =
-                    postulates::check_all(&phi, &psi, &kb1, &kb2, &EvalOptions::default())
-                        .unwrap();
+                    postulates::check_all(&phi, &psi, &kb1, &kb2, &EvalOptions::default()).unwrap();
                 assert!(report.all_hold());
                 report
             });

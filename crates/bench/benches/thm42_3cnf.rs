@@ -9,9 +9,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kbt_bench::quick_criterion;
 use kbt_core::Transformer;
-use kbt_reductions::threecnf::{
-    satisfiable_via_dpll, satisfiable_via_transformation, ThreeCnf,
-};
+use kbt_reductions::threecnf::{satisfiable_via_dpll, satisfiable_via_transformation, ThreeCnf};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -21,13 +19,9 @@ fn via_transformation(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2024);
     for clauses in [2usize, 3] {
         let instance = ThreeCnf::random(3, clauses, &mut rng);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(clauses),
-            &clauses,
-            |b, _| {
-                b.iter(|| satisfiable_via_transformation(&t, &instance).unwrap());
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(clauses), &clauses, |b, _| {
+            b.iter(|| satisfiable_via_transformation(&t, &instance).unwrap());
+        });
     }
     group.finish();
 }

@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kbt_bench::quick_criterion;
 use kbt_core::Transformer;
-use kbt_data::{DatabaseBuilder, Database, RelId};
+use kbt_data::{Database, DatabaseBuilder, RelId};
 use kbt_reductions::eso::{two_colourable_side_query, SecondOrderBaseline};
 
 fn r(i: u32) -> RelId {

@@ -25,8 +25,14 @@ pub const R4: RelId = RelId::new(4);
 /// `kb = {({a1 a2 a3}), ({a1 a2 a4})}` over the ternary relation `R1`.
 pub fn glb_knowledgebase() -> Knowledgebase {
     Knowledgebase::from_databases([
-        DatabaseBuilder::new().fact(R1, [1u32, 2, 3]).build().unwrap(),
-        DatabaseBuilder::new().fact(R1, [1u32, 2, 4]).build().unwrap(),
+        DatabaseBuilder::new()
+            .fact(R1, [1u32, 2, 3])
+            .build()
+            .unwrap(),
+        DatabaseBuilder::new()
+            .fact(R1, [1u32, 2, 4])
+            .build()
+            .unwrap(),
     ])
     .expect("same schema")
 }

@@ -77,7 +77,10 @@ pub fn clique_sentence() -> Sentence {
             [1, 2],
             implies(
                 atom(rels::R5.index(), [var(1), var(2)]),
-                and(atom(rels::R2.index(), [var(1)]), atom(rels::R4.index(), [var(2)])),
+                and(
+                    atom(rels::R2.index(), [var(1)]),
+                    atom(rels::R4.index(), [var(2)]),
+                ),
             ),
         ),
         // R4 is a clique of R1
@@ -151,10 +154,8 @@ pub fn baseline_max_clique(edges: &[(u32, u32)]) -> usize {
         .collect::<BTreeSet<_>>()
         .into_iter()
         .collect();
-    let adjacent: BTreeSet<(u32, u32)> = edges
-        .iter()
-        .flat_map(|&(a, b)| [(a, b), (b, a)])
-        .collect();
+    let adjacent: BTreeSet<(u32, u32)> =
+        edges.iter().flat_map(|&(a, b)| [(a, b), (b, a)]).collect();
     let n = vertices.len();
     let mut best = 0;
     for bits in 0..(1u32 << n) {

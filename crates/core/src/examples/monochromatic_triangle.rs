@@ -80,7 +80,8 @@ pub fn epsilon() -> Sentence {
         implies(
             and(
                 atom(rels::R4.index(), [var(1), var(2)]),
-                not(atom(rels::R1.index(), [var(1), var(2)]))),
+                not(atom(rels::R1.index(), [var(1), var(2)])),
+            ),
             atom(rels::R5.index(), [var(1), var(2)]),
         ),
     ))
@@ -146,10 +147,8 @@ pub fn baseline_partition_exists(edges: &[(u32, u32)]) -> bool {
 }
 
 fn has_triangle(edges: &[(u32, u32)]) -> bool {
-    let set: std::collections::BTreeSet<(u32, u32)> = edges
-        .iter()
-        .flat_map(|&(a, b)| [(a, b), (b, a)])
-        .collect();
+    let set: std::collections::BTreeSet<(u32, u32)> =
+        edges.iter().flat_map(|&(a, b)| [(a, b), (b, a)]).collect();
     for &(a, b) in &set {
         for &(c, d) in &set {
             if b == c && set.contains(&(d, a)) && a != b && b != d && a != d {
@@ -171,9 +170,9 @@ mod tests {
         // and the transformation must agree with the brute-force baseline.
         let t = Transformer::new();
         let graphs: Vec<Vec<(u32, u32)>> = vec![
-            vec![(1, 2), (2, 3), (1, 3)],          // a triangle
-            vec![(1, 2), (2, 3), (3, 4)],          // a path
-            vec![(1, 2), (2, 3), (1, 3), (3, 4)],  // triangle with a pendant
+            vec![(1, 2), (2, 3), (1, 3)],         // a triangle
+            vec![(1, 2), (2, 3), (3, 4)],         // a path
+            vec![(1, 2), (2, 3), (1, 3), (3, 4)], // triangle with a pendant
         ];
         for edges in graphs {
             let expected = baseline_partition_exists(&edges);

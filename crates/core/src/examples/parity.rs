@@ -25,7 +25,10 @@ pub fn upsilon_prime() -> Sentence {
         [1],
         implies(
             atom(rels::R1.index(), [var(1)]),
-            or(atom(rels::R2.index(), [var(1)]), atom(rels::R3.index(), [var(1)])),
+            or(
+                atom(rels::R2.index(), [var(1)]),
+                atom(rels::R3.index(), [var(1)]),
+            ),
         ),
     ))
     .expect("closed")
@@ -36,7 +39,10 @@ pub fn product() -> Sentence {
     Sentence::new(forall(
         [1, 2],
         implies(
-            and(atom(rels::R2.index(), [var(1)]), atom(rels::R3.index(), [var(2)])),
+            and(
+                atom(rels::R2.index(), [var(1)]),
+                atom(rels::R3.index(), [var(2)]),
+            ),
             atom(rels::R4.index(), [var(1), var(2)]),
         ),
     ))
@@ -92,7 +98,8 @@ pub fn uncovered() -> Sentence {
         implies(
             and(
                 atom(rels::R1.index(), [var(1)]),
-                not(atom(rels::R5.index(), [var(1)]))),
+                not(atom(rels::R5.index(), [var(1)])),
+            ),
             atom(rels::R6.index(), [var(1)]),
         ),
     ))
@@ -118,7 +125,7 @@ pub fn is_even(t: &Transformer, elements: &[u32]) -> Result<bool> {
     // even iff some possible world ends with R6 empty
     let even = result
         .iter()
-        .any(|db| db.relation(rels::R6).map_or(true, |r| r.is_empty()));
+        .any(|db| db.relation(rels::R6).is_none_or(|r| r.is_empty()));
     Ok(even)
 }
 

@@ -26,8 +26,14 @@ pub const W: Const = Const::new(2);
 /// The knowledgebase after the garbled message: either `V` landed or `W` did.
 pub fn initial_knowledgebase() -> Knowledgebase {
     Knowledgebase::from_databases([
-        DatabaseBuilder::new().fact(LANDED, [V.index()]).build().unwrap(),
-        DatabaseBuilder::new().fact(LANDED, [W.index()]).build().unwrap(),
+        DatabaseBuilder::new()
+            .fact(LANDED, [V.index()])
+            .build()
+            .unwrap(),
+        DatabaseBuilder::new()
+            .fact(LANDED, [W.index()])
+            .build()
+            .unwrap(),
     ])
     .expect("same schema")
 }

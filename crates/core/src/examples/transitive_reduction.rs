@@ -65,8 +65,11 @@ pub fn chi() -> Sentence {
             ),
         )
     };
-    Sentence::new(and(closure_of(rels::R1.index()), closure_of(rels::R2.index())))
-        .expect("closed")
+    Sentence::new(and(
+        closure_of(rels::R1.index()),
+        closure_of(rels::R2.index()),
+    ))
+    .expect("closed")
 }
 
 /// Sentence `ζ` of Example 3:
@@ -168,7 +171,9 @@ pub fn baseline_transitive_reductions(edges: &[(u32, u32)]) -> Vec<Relation> {
         .collect()
 }
 
-fn closure_of(edges: &std::collections::BTreeSet<(u32, u32)>) -> std::collections::BTreeSet<(u32, u32)> {
+fn closure_of(
+    edges: &std::collections::BTreeSet<(u32, u32)>,
+) -> std::collections::BTreeSet<(u32, u32)> {
     let mut closure = edges.clone();
     loop {
         let mut added = Vec::new();

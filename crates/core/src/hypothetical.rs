@@ -113,9 +113,8 @@ mod tests {
 
     #[test]
     fn nested_counterfactuals_update_sequentially() {
-        let kb = Knowledgebase::singleton(
-            DatabaseBuilder::new().relation(r(1), 1).build().unwrap(),
-        );
+        let kb =
+            Knowledgebase::singleton(DatabaseBuilder::new().relation(r(1), 1).build().unwrap());
         let t = Transformer::new();
         let a = Sentence::new(atom(1, [cst(1)])).unwrap();
         let b = Sentence::new(atom(1, [cst(2)])).unwrap();
@@ -126,9 +125,8 @@ mod tests {
 
     #[test]
     fn inconsistent_antecedent_gives_never() {
-        let kb = Knowledgebase::singleton(
-            DatabaseBuilder::new().fact(r(1), [1u32]).build().unwrap(),
-        );
+        let kb =
+            Knowledgebase::singleton(DatabaseBuilder::new().fact(r(1), [1u32]).build().unwrap());
         let t = Transformer::new();
         let contradiction = Sentence::new(and(atom(1, [cst(1)]), not(atom(1, [cst(1)])))).unwrap();
         let anything = Sentence::new(atom(1, [cst(1)])).unwrap();

@@ -80,6 +80,12 @@ pub struct EvalStats {
     pub minimal_models: usize,
     /// Number of operator applications (τ, ⊓, ⊔, π) evaluated.
     pub operators: usize,
+    /// Fixpoint rounds performed by the Datalog fast path (all µ calls).
+    pub fixpoint_iterations: usize,
+    /// Hash-index probes performed by the evaluation engine.
+    pub index_probes: usize,
+    /// Tuples inspected by the evaluation engine's scans and probes.
+    pub tuples_scanned: usize,
 }
 
 impl EvalStats {
@@ -89,6 +95,16 @@ impl EvalStats {
         self.candidate_atoms += other.candidate_atoms;
         self.minimal_models += other.minimal_models;
         self.operators += other.operators;
+        self.fixpoint_iterations += other.fixpoint_iterations;
+        self.index_probes += other.index_probes;
+        self.tuples_scanned += other.tuples_scanned;
+    }
+
+    /// Folds the engine statistics of one `µ` evaluation into this record.
+    pub fn absorb_fixpoint(&mut self, fixpoint: &kbt_datalog::EvalStats) {
+        self.fixpoint_iterations += fixpoint.iterations;
+        self.index_probes += fixpoint.index_probes;
+        self.tuples_scanned += fixpoint.tuples_scanned;
     }
 }
 
@@ -112,18 +128,35 @@ mod tests {
             candidate_atoms: 10,
             minimal_models: 2,
             operators: 3,
+            ..EvalStats::default()
         };
         let b = EvalStats {
             updates: 2,
             candidate_atoms: 5,
             minimal_models: 1,
             operators: 1,
+            ..EvalStats::default()
         };
         a.absorb(&b);
         assert_eq!(a.updates, 3);
         assert_eq!(a.candidate_atoms, 15);
         assert_eq!(a.minimal_models, 3);
         assert_eq!(a.operators, 4);
+    }
+
+    #[test]
+    fn stats_absorb_fixpoint_maps_engine_counters() {
+        let mut a = EvalStats::default();
+        a.absorb_fixpoint(&kbt_datalog::EvalStats {
+            iterations: 5,
+            derived_facts: 100,
+            strata: 1,
+            index_probes: 42,
+            tuples_scanned: 77,
+        });
+        assert_eq!(a.fixpoint_iterations, 5);
+        assert_eq!(a.index_probes, 42);
+        assert_eq!(a.tuples_scanned, 77);
     }
 
     #[test]

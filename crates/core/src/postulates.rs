@@ -148,12 +148,7 @@ pub fn postulate_6(
 }
 
 /// (vii) `τ_φ([db]) ∩ τ_ψ([db]) ⊆ τ_{φ∨ψ}([db])`.
-pub fn postulate_7(
-    t: &Transformer,
-    phi: &Sentence,
-    psi: &Sentence,
-    db: &Database,
-) -> Result<bool> {
+pub fn postulate_7(t: &Transformer, phi: &Sentence, psi: &Sentence, db: &Database) -> Result<bool> {
     let kb = Knowledgebase::singleton(db.clone());
     let tau_phi = t.insert(phi, &kb)?.kb;
     let tau_psi = t.insert(psi, &kb)?.kb;

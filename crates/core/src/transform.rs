@@ -11,9 +11,10 @@ use kbt_data::RelId;
 use kbt_logic::Sentence;
 
 /// A transformation expression.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub enum Transform {
     /// The identity transformation (empty composition).
+    #[default]
     Identity,
     /// `τ_φ` — insert the sentence `φ`.
     Insert(Sentence),
@@ -105,7 +106,7 @@ impl Transform {
     /// transformations).
     pub fn is_st_shape(&self) -> bool {
         let steps = self.steps();
-        if steps.is_empty() || steps.len() % 3 != 0 {
+        if steps.is_empty() || !steps.len().is_multiple_of(3) {
             return false;
         }
         steps.chunks(3).all(|chunk| {
@@ -113,12 +114,6 @@ impl Transform {
                 && matches!(chunk[1], Transform::Glb | Transform::Lub)
                 && matches!(chunk[2], Transform::Project(_))
         })
-    }
-}
-
-impl Default for Transform {
-    fn default() -> Self {
-        Transform::Identity
     }
 }
 

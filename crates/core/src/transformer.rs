@@ -52,11 +52,7 @@ impl Transformer {
     }
 
     /// Convenience: apply a single insertion `τ_φ`.
-    pub fn insert(
-        &self,
-        phi: &kbt_logic::Sentence,
-        kb: &Knowledgebase,
-    ) -> Result<TransformResult> {
+    pub fn insert(&self, phi: &kbt_logic::Sentence, kb: &Knowledgebase) -> Result<TransformResult> {
         self.apply(&Transform::Insert(phi.clone()), kb)
     }
 
@@ -83,6 +79,9 @@ impl Transformer {
                     stats.updates += 1;
                     stats.candidate_atoms += outcome.candidate_atoms;
                     stats.minimal_models += outcome.databases.len();
+                    if let Some(fixpoint) = &outcome.fixpoint {
+                        stats.absorb_fixpoint(fixpoint);
+                    }
                     for result in outcome.databases {
                         out.insert(result)?;
                         if out.len() > self.options.max_worlds {
@@ -151,11 +150,17 @@ mod tests {
         let t = Transformer::new();
         let kb = space_kb();
         let glb = t.apply(&Transform::Glb, &kb).unwrap().kb;
-        assert!(glb.as_singleton().unwrap().relation(r(1)).unwrap().is_empty());
+        assert!(glb
+            .as_singleton()
+            .unwrap()
+            .relation(r(1))
+            .unwrap()
+            .is_empty());
         let lub = t.apply(&Transform::Lub, &kb).unwrap().kb;
         assert_eq!(lub.as_singleton().unwrap().fact_count(), 2);
 
-        let phi = Sentence::new(forall([1], implies(atom(1, [var(1)]), atom(2, [var(1)])))).unwrap();
+        let phi =
+            Sentence::new(forall([1], implies(atom(1, [var(1)]), atom(2, [var(1)])))).unwrap();
         let proj = t
             .apply(
                 &Transform::insert(phi).then(Transform::project([r(2)])),
@@ -174,7 +179,8 @@ mod tests {
         // first copy R1 into R2, then ask for the glb — not the same as the
         // other order (Lemma 2.1 explores this in depth).
         let t = Transformer::new();
-        let phi = Sentence::new(forall([1], implies(atom(1, [var(1)]), atom(2, [var(1)])))).unwrap();
+        let phi =
+            Sentence::new(forall([1], implies(atom(1, [var(1)]), atom(2, [var(1)])))).unwrap();
         let expr = Transform::insert(phi).then(Transform::Glb);
         let result = t.apply(&expr, &space_kb()).unwrap();
         assert!(result.kb.is_singleton());

@@ -53,10 +53,11 @@ pub fn datalog_update(
     let program = program_from_sentence(phi)?;
     let schema = db.schema().union(&phi.schema())?;
     let lifted = db.extend_schema(&schema)?;
-    let (fixpoint, _stats) = semi_naive_eval(&program, &lifted)?;
+    let (fixpoint, stats) = semi_naive_eval(&program, &lifted)?;
     Ok(UpdateOutcome {
         databases: vec![fixpoint],
         candidate_atoms: 0,
+        fixpoint: Some(stats),
     })
 }
 
@@ -74,7 +75,10 @@ mod tests {
 
     fn tc_sentence() -> Sentence {
         Sentence::new(and(
-            forall([1, 2], implies(atom(1, [var(1), var(2)]), atom(2, [var(1), var(2)]))),
+            forall(
+                [1, 2],
+                implies(atom(1, [var(1), var(2)]), atom(2, [var(1), var(2)])),
+            ),
             forall(
                 [1, 2, 3],
                 implies(
@@ -88,7 +92,10 @@ mod tests {
 
     #[test]
     fn applicability_requires_fresh_heads() {
-        let db = DatabaseBuilder::new().fact(r(1), [1u32, 2]).build().unwrap();
+        let db = DatabaseBuilder::new()
+            .fact(r(1), [1u32, 2])
+            .build()
+            .unwrap();
         assert!(applicable(&tc_sentence(), &db));
 
         // if R2 is already stored, the least-fixpoint shortcut is unsound

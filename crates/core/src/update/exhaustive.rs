@@ -47,6 +47,7 @@ pub fn exhaustive_update(
     Ok(UpdateOutcome {
         databases: minimal,
         candidate_atoms: n,
+        fixpoint: None,
     })
 }
 

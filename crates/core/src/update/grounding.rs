@@ -56,7 +56,7 @@ pub fn grounding_update(
     for &i in &old_atoms {
         let flip = solver.new_var();
         let fact = BoolVar::new(i as u32);
-        if ctx.holds_in(i, db) {
+        if ctx.holds_in_input(i) {
             // stored: flip ↔ ¬fact
             solver.add_clause(&[flip.positive(), fact.positive()]);
             solver.add_clause(&[flip.negative(), fact.negative()]);
@@ -83,7 +83,7 @@ pub fn grounding_update(
         for (&atom_idx, &fv) in old_atoms.iter().zip(&flip_vars) {
             let flipped = flips.contains(&fv);
             // value of the old fact = stored XOR flipped
-            let value = ctx.holds_in(atom_idx, db) ^ flipped;
+            let value = ctx.holds_in_input(atom_idx) ^ flipped;
             assumptions.push(Lit::new(BoolVar::new(atom_idx as u32), value));
         }
         let minimal_new = enumerate_minimal_models(&solver, &new_vars, &assumptions, None);
@@ -97,7 +97,7 @@ pub fn grounding_update(
             let database = ctx.database_from(|i| {
                 if ctx.is_old_atom(i) {
                     let fv = flip_var_of[i].expect("old atoms have flip vars");
-                    ctx.holds_in(i, db) ^ flips.contains(&fv)
+                    ctx.holds_in_input(i) ^ flips.contains(&fv)
                 } else {
                     new_set.contains(&BoolVar::new(i as u32))
                 }
@@ -110,6 +110,7 @@ pub fn grounding_update(
     Ok(UpdateOutcome {
         databases: result,
         candidate_atoms: n,
+        fixpoint: None,
     })
 }
 
@@ -127,12 +128,8 @@ fn to_circuit(g: &GroundFormula, ctx: &UpdateContext) -> Bool {
             Bool::Var(BoolVar::new(idx as u32))
         }
         GroundFormula::Not(inner) => to_circuit(inner, ctx).negate(),
-        GroundFormula::And(parts) => {
-            Bool::and(parts.iter().map(|p| to_circuit(p, ctx)).collect())
-        }
-        GroundFormula::Or(parts) => {
-            Bool::or(parts.iter().map(|p| to_circuit(p, ctx)).collect())
-        }
+        GroundFormula::And(parts) => Bool::and(parts.iter().map(|p| to_circuit(p, ctx)).collect()),
+        GroundFormula::Or(parts) => Bool::or(parts.iter().map(|p| to_circuit(p, ctx)).collect()),
     }
 }
 
@@ -153,7 +150,10 @@ mod tests {
         let mut got = grounding_update(phi, db, &opts).unwrap().databases;
         expected.sort();
         got.sort();
-        assert_eq!(expected, got, "grounding disagrees with exhaustive for {phi}");
+        assert_eq!(
+            expected, got,
+            "grounding disagrees with exhaustive for {phi}"
+        );
     }
 
     #[test]

@@ -35,6 +35,9 @@ pub struct UpdateOutcome {
     /// Size of the candidate-fact universe that was considered (0 when a
     /// fast path avoided materialising it).
     pub candidate_atoms: usize,
+    /// Engine statistics of the least-fixpoint computation, when the Datalog
+    /// fast path ran.
+    pub fixpoint: Option<kbt_datalog::EvalStats>,
 }
 
 /// Computes `µ(φ, db)` with the strategy selected in `options`.
@@ -76,7 +79,10 @@ mod tests {
     fn all_strategies_agree_on_small_instances() {
         // db over R1 = {(1,2)}; φ inserts a fresh unary relation R2 that must
         // contain every endpoint of R1: ∀x,y (R1(x,y) → R2(x) ∧ R2(y)).
-        let db = DatabaseBuilder::new().fact(r(1), [1u32, 2]).build().unwrap();
+        let db = DatabaseBuilder::new()
+            .fact(r(1), [1u32, 2])
+            .build()
+            .unwrap();
         let phi = Sentence::new(forall(
             [1, 2],
             implies(

@@ -8,7 +8,10 @@
 //! atoms and keeping the Winslett-minimal models therefore takes polynomial
 //! time in the size of the database (Theorem 4.7).
 
+use std::collections::BTreeSet;
+
 use kbt_data::{minimal_elements, Database};
+use kbt_engine::FactSet;
 use kbt_logic::{ground_sentence, is_ground, GroundAtom, Sentence};
 
 use crate::error::CoreError;
@@ -18,6 +21,13 @@ use crate::update::UpdateOutcome;
 use crate::Result;
 
 /// Computes `µ(φ, db)` for a ground (quantifier- and variable-free) sentence.
+///
+/// A candidate differs from the input database only on the `k` ground atoms
+/// of `φ`, and `φ` mentions no other facts — so the truth of `φ` in a
+/// candidate depends only on the chosen bit assignment.  The `2^k`
+/// assignments are therefore evaluated symbolically (one engine-backed
+/// [`FactSet`] lookup per atom fixes the base truth values); a candidate
+/// database is only materialised for the assignments that satisfy `φ`.
 pub fn quantifier_free_update(
     phi: &Sentence,
     db: &Database,
@@ -35,26 +45,39 @@ pub fn quantifier_free_update(
     let atoms: Vec<GroundAtom> = ground.atoms().into_iter().collect();
     let k = atoms.len();
 
+    let stored = FactSet::from_database(db);
     let base = ctx.lift(db)?;
     let mut models: Vec<Database> = Vec::new();
     for bits in 0..(1u64 << k) {
+        let mut true_atoms: BTreeSet<GroundAtom> = BTreeSet::new();
+        for (j, atom) in atoms.iter().enumerate() {
+            if bits & (1 << j) != 0 {
+                true_atoms.insert(atom.clone());
+            }
+        }
+        if !ground.eval(&true_atoms) {
+            continue;
+        }
+        // Only satisfying assignments pay for a database: start from the
+        // lifted base and apply the bit vector as a patch.
         let mut candidate = base.clone();
         for (j, atom) in atoms.iter().enumerate() {
             let value = bits & (1 << j) != 0;
             if value {
-                candidate.insert_fact(atom.rel, atom.tuple.clone())?;
-            } else {
+                if !stored.holds(atom.rel, &atom.tuple) {
+                    candidate.insert_fact(atom.rel, atom.tuple.clone())?;
+                }
+            } else if stored.holds(atom.rel, &atom.tuple) {
                 candidate.remove_fact(atom.rel, &atom.tuple);
             }
         }
-        if ground.eval_against(&candidate) {
-            models.push(candidate);
-        }
+        models.push(candidate);
     }
     let minimal = minimal_elements(&models, db)?;
     Ok(UpdateOutcome {
         databases: minimal,
         candidate_atoms: k,
+        fixpoint: None,
     })
 }
 

@@ -5,6 +5,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use kbt_data::{Const, Database, Schema, Tuple};
+use kbt_engine::FactSet;
 use kbt_logic::{GroundAtom, Sentence};
 
 use crate::error::CoreError;
@@ -25,6 +26,9 @@ pub struct UpdateContext {
     pub atoms: Vec<GroundAtom>,
     /// Index of each atom within [`UpdateContext::atoms`].
     pub atom_index: BTreeMap<GroundAtom, usize>,
+    /// Engine-backed hashed snapshot of the input database, for O(1)
+    /// candidate-fact membership checks.
+    stored: FactSet,
 }
 
 impl UpdateContext {
@@ -66,6 +70,7 @@ impl UpdateContext {
             old_schema,
             atoms,
             atom_index,
+            stored: FactSet::from_database(db),
         })
     }
 
@@ -79,6 +84,13 @@ impl UpdateContext {
     /// Winslett order).
     pub fn is_old_atom(&self, i: usize) -> bool {
         self.old_schema.contains(self.atoms[i].rel)
+    }
+
+    /// Whether candidate fact `i` is stored in the input database the
+    /// context was built from (one hash lookup in the engine snapshot).
+    pub fn holds_in_input(&self, i: usize) -> bool {
+        let a = &self.atoms[i];
+        self.stored.holds(a.rel, &a.tuple)
     }
 
     /// Whether candidate fact `i` is currently stored in `db`.
@@ -162,20 +174,28 @@ mod tests {
     #[test]
     fn context_collects_domain_schema_and_atoms() {
         // db: R1 = {(1,2)}, φ mentions R2 (unary) and constant 3.
-        let db = DatabaseBuilder::new().fact(r(1), [1u32, 2]).build().unwrap();
+        let db = DatabaseBuilder::new()
+            .fact(r(1), [1u32, 2])
+            .build()
+            .unwrap();
         let phi = Sentence::new(exists([1], and(atom(2, [var(1)]), eq(var(1), cst(3))))).unwrap();
         let ctx = UpdateContext::new(&phi, &db, &EvalOptions::default()).unwrap();
         assert_eq!(ctx.domain.len(), 3); // {1, 2, 3}
         assert_eq!(ctx.schema.len(), 2);
         // R1 is binary over 3 constants (9 facts) + R2 unary (3 facts)
         assert_eq!(ctx.atom_count(), 12);
-        let old_count = (0..ctx.atom_count()).filter(|&i| ctx.is_old_atom(i)).count();
+        let old_count = (0..ctx.atom_count())
+            .filter(|&i| ctx.is_old_atom(i))
+            .count();
         assert_eq!(old_count, 9);
     }
 
     #[test]
     fn universe_limit_is_enforced() {
-        let db = DatabaseBuilder::new().fact(r(1), [1u32, 2]).build().unwrap();
+        let db = DatabaseBuilder::new()
+            .fact(r(1), [1u32, 2])
+            .build()
+            .unwrap();
         let phi = Sentence::new(forall([1, 2], atom(1, [var(1), var(2)]))).unwrap();
         let tight = EvalOptions {
             max_ground_atoms: 3,
@@ -189,8 +209,12 @@ mod tests {
 
     #[test]
     fn database_from_membership_and_lift() {
-        let db = DatabaseBuilder::new().fact(r(1), [1u32, 2]).build().unwrap();
-        let phi = Sentence::new(forall([1], implies(atom(2, [var(1)]), atom(2, [var(1)])))).unwrap();
+        let db = DatabaseBuilder::new()
+            .fact(r(1), [1u32, 2])
+            .build()
+            .unwrap();
+        let phi =
+            Sentence::new(forall([1], implies(atom(2, [var(1)]), atom(2, [var(1)])))).unwrap();
         let ctx = UpdateContext::new(&phi, &db, &EvalOptions::default()).unwrap();
         let lifted = ctx.lift(&db).unwrap();
         assert!(lifted.relation(r(2)).unwrap().is_empty());

@@ -122,8 +122,14 @@ mod tests {
 
     #[test]
     fn knowledgebase_builder_enforces_uniform_schema() {
-        let d1 = DatabaseBuilder::new().fact(r(1), [1u32, 2]).build().unwrap();
-        let d2 = DatabaseBuilder::new().fact(r(1), [3u32, 4]).build().unwrap();
+        let d1 = DatabaseBuilder::new()
+            .fact(r(1), [1u32, 2])
+            .build()
+            .unwrap();
+        let d2 = DatabaseBuilder::new()
+            .fact(r(1), [3u32, 4])
+            .build()
+            .unwrap();
         let kb = KnowledgebaseBuilder::new()
             .world(d1.clone())
             .world(d2)

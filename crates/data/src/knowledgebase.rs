@@ -254,11 +254,9 @@ mod tests {
 
     #[test]
     fn duplicate_databases_collapse() {
-        let kb = Knowledgebase::from_databases([
-            db_with(&[tuple![1, 2]]),
-            db_with(&[tuple![1, 2]]),
-        ])
-        .unwrap();
+        let kb =
+            Knowledgebase::from_databases([db_with(&[tuple![1, 2]]), db_with(&[tuple![1, 2]])])
+                .unwrap();
         assert_eq!(kb.len(), 1);
         assert!(kb.is_singleton());
     }

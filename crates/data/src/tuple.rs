@@ -37,9 +37,33 @@ impl Tuple {
         self.0.get(i).copied()
     }
 
+    /// Component at position `i`, panicking on an out-of-range column.
+    ///
+    /// The evaluation engine uses this in its join inner loops, where the
+    /// column is known to be within the arity by construction and an
+    /// `Option` would only add a branch.
+    #[inline]
+    pub fn col(&self, i: usize) -> Const {
+        self.0[i]
+    }
+
     /// Iterates over the components.
     pub fn iter(&self) -> impl Iterator<Item = Const> + '_ {
         self.0.iter().copied()
+    }
+
+    /// Projects the tuple onto the given columns (in the order listed);
+    /// panics if a column is out of range.
+    pub fn project(&self, cols: &[usize]) -> Tuple {
+        Tuple::new(cols.iter().map(|&i| self.0[i]).collect::<Vec<_>>())
+    }
+}
+
+impl std::ops::Index<usize> for Tuple {
+    type Output = Const;
+
+    fn index(&self, i: usize) -> &Const {
+        &self.0[i]
     }
 }
 
@@ -110,7 +134,20 @@ mod tests {
         assert_eq!(t.arity(), 3);
         assert_eq!(t.get(0), Some(Const::new(1)));
         assert_eq!(t.get(3), None);
-        assert_eq!(t.components(), &[Const::new(1), Const::new(2), Const::new(3)]);
+        assert_eq!(
+            t.components(),
+            &[Const::new(1), Const::new(2), Const::new(3)]
+        );
+        assert_eq!(t.col(1), Const::new(2));
+        assert_eq!(t[2], Const::new(3));
+    }
+
+    #[test]
+    fn projection_reorders_and_repeats_columns() {
+        let t = Tuple::from([1u32, 2, 3]);
+        assert_eq!(t.project(&[2, 0]), Tuple::from([3u32, 1]));
+        assert_eq!(t.project(&[1, 1]), Tuple::from([2u32, 2]));
+        assert_eq!(t.project(&[]), Tuple::empty());
     }
 
     #[test]

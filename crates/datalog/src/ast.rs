@@ -29,10 +29,7 @@ impl DlAtom {
 
     /// The variables occurring in the atom.
     pub fn variables(&self) -> BTreeSet<Var> {
-        self.terms
-            .iter()
-            .filter_map(|t| t.as_var())
-            .collect()
+        self.terms.iter().filter_map(|t| t.as_var()).collect()
     }
 
     /// Whether every argument is a constant.
@@ -263,7 +260,10 @@ mod tests {
         let edge = |a, b| DlAtom::new(r(1), vec![a, b]);
         let path = |a, b| DlAtom::new(r(2), vec![a, b]);
         Program::new(vec![
-            Rule::new(path(var(1), var(2)), vec![Literal::positive(edge(var(1), var(2)))]),
+            Rule::new(
+                path(var(1), var(2)),
+                vec![Literal::positive(edge(var(1), var(2)))],
+            ),
             Rule::new(
                 path(var(1), var(3)),
                 vec![
@@ -280,8 +280,14 @@ mod tests {
         let p = tc_program();
         assert_eq!(p.len(), 2);
         assert!(p.is_positive());
-        assert_eq!(p.idb_relations().into_iter().collect::<Vec<_>>(), vec![r(2)]);
-        assert_eq!(p.edb_relations().into_iter().collect::<Vec<_>>(), vec![r(1)]);
+        assert_eq!(
+            p.idb_relations().into_iter().collect::<Vec<_>>(),
+            vec![r(2)]
+        );
+        assert_eq!(
+            p.edb_relations().into_iter().collect::<Vec<_>>(),
+            vec![r(1)]
+        );
         assert_eq!(p.schema().len(), 2);
     }
 

@@ -20,6 +20,12 @@ pub enum DatalogError {
     NotHorn,
     /// An error bubbled up from the relational substrate.
     Data(kbt_data::DataError),
+    /// A limit of the evaluation engine was exceeded (e.g. a relation wider
+    /// than a binding mask can express).
+    Engine {
+        /// Human-readable description of the limit.
+        message: String,
+    },
 }
 
 impl fmt::Display for DatalogError {
@@ -33,9 +39,13 @@ impl fmt::Display for DatalogError {
                 "program recurses through negation (e.g. via {relation}) and cannot be stratified"
             ),
             DatalogError::NotHorn => {
-                write!(f, "sentence is not a conjunction of function-free Horn clauses")
+                write!(
+                    f,
+                    "sentence is not a conjunction of function-free Horn clauses"
+                )
             }
             DatalogError::Data(e) => write!(f, "{e}"),
+            DatalogError::Engine { message } => write!(f, "engine limit: {message}"),
         }
     }
 }
@@ -45,6 +55,18 @@ impl std::error::Error for DatalogError {}
 impl From<kbt_data::DataError> for DatalogError {
     fn from(e: kbt_data::DataError) -> Self {
         DatalogError::Data(e)
+    }
+}
+
+impl From<kbt_engine::EngineError> for DatalogError {
+    fn from(e: kbt_engine::EngineError) -> Self {
+        match e {
+            kbt_engine::EngineError::UnsafeRule { rule } => DatalogError::UnsafeRule { rule },
+            kbt_engine::EngineError::Data(e) => DatalogError::Data(e),
+            other => DatalogError::Engine {
+                message: other.to_string(),
+            },
+        }
     }
 }
 

@@ -51,7 +51,10 @@ mod tests {
         // Example 1 of the paper, rewritten as two Horn clauses:
         // ∀x,y (R1(x,y) → R2(x,y)) ∧ ∀x,y,z (R2(x,y) ∧ R1(y,z) → R2(x,z))
         let phi = Sentence::new(and(
-            forall([1, 2], implies(atom(1, [var(1), var(2)]), atom(2, [var(1), var(2)]))),
+            forall(
+                [1, 2],
+                implies(atom(1, [var(1), var(2)]), atom(2, [var(1), var(2)])),
+            ),
             forall(
                 [1, 2, 3],
                 implies(

@@ -13,19 +13,29 @@
 //!
 //! This crate implements that substrate from scratch: a rule/program
 //! representation, safety (range-restriction) checking, stratification, and
-//! bottom-up naive and semi-naive least-fixpoint evaluation over the
-//! relational substrate of `kbt-data`.
+//! bottom-up least-fixpoint evaluation over the relational substrate of
+//! `kbt-data`.
+//!
+//! Evaluation is delegated to `kbt-engine` ([`lower`] maps the AST onto the
+//! engine's slot-based IR): [`semi_naive_eval`] runs delta-indexed
+//! semi-naive rounds over hash-indexed storage, [`naive_eval`] recomputes
+//! every round.  The original nested-loop evaluators survive unchanged in
+//! [`reference`] as an independent cross-check oracle.
 
 pub mod ast;
 pub mod error;
 pub mod eval;
 pub mod from_logic;
+pub mod lower;
+pub mod reference;
 pub mod stratify;
 
 pub use ast::{DlAtom, Literal, Program, Rule};
 pub use error::DatalogError;
-pub use eval::{naive_eval, semi_naive_eval, EvalStats};
+pub use eval::{idb_only, naive_eval, semi_naive_eval, EvalStats};
 pub use from_logic::{program_from_horn, program_from_sentence};
+pub use lower::{lower_program, lower_rule};
+pub use reference::{reference_naive_eval, reference_semi_naive_eval};
 pub use stratify::stratify;
 
 /// Convenience result alias used throughout the crate.

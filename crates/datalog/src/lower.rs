@@ -1,0 +1,126 @@
+//! Lowering of the Datalog AST into the engine IR.
+//!
+//! The engine ([`kbt_engine`]) works on rules whose variables are dense
+//! register slots.  This module maps each rule's variables to slots in order
+//! of first occurrence and hands the result to the engine, which re-checks
+//! range restriction as a defence in depth (the `Program` constructor
+//! already guarantees it).
+
+use std::collections::BTreeMap;
+
+use kbt_engine::ir;
+use kbt_logic::{Term, Var};
+
+use crate::ast::{Program, Rule};
+use crate::Result;
+
+/// Lowers a single rule, assigning slots by first occurrence.
+pub fn lower_rule(rule: &Rule) -> Result<ir::Rule> {
+    let mut slots: BTreeMap<Var, usize> = BTreeMap::new();
+    let mut slot_of = |v: Var| {
+        let next = slots.len();
+        *slots.entry(v).or_insert(next)
+    };
+    let lower_terms = |terms: &[Term], slot_of: &mut dyn FnMut(Var) -> usize| {
+        terms
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => ir::Term::Const(*c),
+                Term::Var(v) => ir::Term::Slot(slot_of(*v)),
+            })
+            .collect::<Vec<_>>()
+    };
+
+    // Body first so positive literals claim the early slots; the head can
+    // only mention variables the body binds (range restriction).
+    let body: Vec<ir::Literal> = rule
+        .body
+        .iter()
+        .map(|l| {
+            let atom = ir::Atom::new(l.atom.rel, lower_terms(&l.atom.terms, &mut slot_of));
+            if l.positive {
+                ir::Literal::positive(atom)
+            } else {
+                ir::Literal::negative(atom)
+            }
+        })
+        .collect();
+    let head = ir::Atom::new(rule.head.rel, lower_terms(&rule.head.terms, &mut slot_of));
+    ir::Rule::new(head, body).map_err(Into::into)
+}
+
+/// Lowers a whole program (typically one stratum).
+pub fn lower_program(program: &Program) -> Result<ir::Program> {
+    Ok(ir::Program::new(
+        program
+            .rules()
+            .iter()
+            .map(lower_rule)
+            .collect::<Result<Vec<_>>>()?,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{DlAtom, Literal};
+    use kbt_data::RelId;
+    use kbt_logic::builder::{cst, var};
+
+    fn r(i: u32) -> RelId {
+        RelId::new(i)
+    }
+
+    #[test]
+    fn variables_become_dense_slots_in_first_occurrence_order() {
+        // path(x7, x3) :- path(x7, x5), edge(x5, x3): slots 0, 1, 2.
+        let rule = Rule::new(
+            DlAtom::new(r(2), vec![var(7), var(3)]),
+            vec![
+                Literal::positive(DlAtom::new(r(2), vec![var(7), var(5)])),
+                Literal::positive(DlAtom::new(r(1), vec![var(5), var(3)])),
+            ],
+        );
+        let lowered = lower_rule(&rule).unwrap();
+        assert_eq!(lowered.slots, 3);
+        assert_eq!(
+            lowered.body[0].atom.terms,
+            vec![ir::Term::Slot(0), ir::Term::Slot(1)]
+        );
+        assert_eq!(
+            lowered.body[1].atom.terms,
+            vec![ir::Term::Slot(1), ir::Term::Slot(2)]
+        );
+        assert_eq!(
+            lowered.head.terms,
+            vec![ir::Term::Slot(0), ir::Term::Slot(2)]
+        );
+    }
+
+    #[test]
+    fn constants_survive_lowering() {
+        let rule = Rule::new(
+            DlAtom::new(r(3), vec![var(1)]),
+            vec![Literal::positive(DlAtom::new(r(1), vec![cst(1), var(1)]))],
+        );
+        let lowered = lower_rule(&rule).unwrap();
+        assert_eq!(
+            lowered.body[0].atom.terms,
+            vec![ir::Term::Const(kbt_data::Const::new(1)), ir::Term::Slot(0)]
+        );
+    }
+
+    #[test]
+    fn negation_polarity_is_preserved() {
+        let rule = Rule::new(
+            DlAtom::new(r(4), vec![var(1)]),
+            vec![
+                Literal::positive(DlAtom::new(r(3), vec![var(1)])),
+                Literal::negative(DlAtom::new(r(2), vec![var(1)])),
+            ],
+        );
+        let lowered = lower_rule(&rule).unwrap();
+        assert!(lowered.body[0].positive);
+        assert!(!lowered.body[1].positive);
+    }
+}

@@ -1,0 +1,320 @@
+//! The reference (oracle) evaluators: substitution-based nested-loop joins.
+//!
+//! These are the original naive and semi-naive evaluators of this crate,
+//! kept verbatim as a cross-check oracle for the indexed engine: they share
+//! no code with `kbt-engine`, so agreement between the two is strong
+//! evidence of correctness.  The differential tests and the benchmark
+//! baselines call them; production paths go through [`crate::eval`].
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use kbt_data::{Const, Database, Tuple};
+use kbt_logic::{Term, Var};
+
+use crate::ast::{DlAtom, Program, Rule};
+use crate::eval::EvalStats;
+use crate::stratify::stratify;
+use crate::Result;
+
+type Subst = BTreeMap<Var, Const>;
+
+/// Computes the least fixpoint of `program` over `edb` by naive nested-loop
+/// evaluation (recompute everything each round).
+///
+/// Supports stratified negation: the program is stratified first and the
+/// strata are evaluated in order.
+pub fn reference_naive_eval(program: &Program, edb: &Database) -> Result<(Database, EvalStats)> {
+    eval_with(program, edb, false)
+}
+
+/// Computes the least fixpoint of `program` over `edb` by semi-naive
+/// nested-loop evaluation (only facts new in the previous round re-join),
+/// without any indexing.
+pub fn reference_semi_naive_eval(
+    program: &Program,
+    edb: &Database,
+) -> Result<(Database, EvalStats)> {
+    eval_with(program, edb, true)
+}
+
+fn eval_with(program: &Program, edb: &Database, semi_naive: bool) -> Result<(Database, EvalStats)> {
+    let strata = stratify(program)?;
+    let mut db = edb.clone();
+    // make sure every relation of the program exists in the working database
+    for (rel, arity) in program.schema().iter() {
+        db.ensure_relation(rel, arity)
+            .map_err(crate::DatalogError::Data)?;
+    }
+    let mut stats = EvalStats::default();
+    for stratum in &strata {
+        stats.strata += 1;
+        if semi_naive {
+            eval_stratum_semi_naive(stratum, &mut db, &mut stats);
+        } else {
+            eval_stratum_naive(stratum, &mut db, &mut stats);
+        }
+    }
+    Ok((db, stats))
+}
+
+fn eval_stratum_naive(stratum: &Program, db: &mut Database, stats: &mut EvalStats) {
+    loop {
+        stats.iterations += 1;
+        let mut new_facts: Vec<(kbt_data::RelId, Tuple)> = Vec::new();
+        for rule in stratum.rules() {
+            for fact in derive(rule, db, None, stats) {
+                if !db.holds(rule.head.rel, &fact) {
+                    new_facts.push((rule.head.rel, fact));
+                }
+            }
+        }
+        if new_facts.is_empty() {
+            break;
+        }
+        for (rel, fact) in new_facts {
+            if db.insert_fact(rel, fact).expect("arity checked by Program") {
+                stats.derived_facts += 1;
+            }
+        }
+    }
+}
+
+fn eval_stratum_semi_naive(stratum: &Program, db: &mut Database, stats: &mut EvalStats) {
+    // round 0: plain naive round to seed the deltas
+    let mut delta: BTreeMap<kbt_data::RelId, BTreeSet<Tuple>> = BTreeMap::new();
+    stats.iterations += 1;
+    for rule in stratum.rules() {
+        for fact in derive(rule, db, None, stats) {
+            if !db.holds(rule.head.rel, &fact) {
+                delta.entry(rule.head.rel).or_default().insert(fact);
+            }
+        }
+    }
+    commit(db, &delta, stats);
+
+    let idb = stratum.idb_relations();
+    while !delta.is_empty() {
+        stats.iterations += 1;
+        let mut next_delta: BTreeMap<kbt_data::RelId, BTreeSet<Tuple>> = BTreeMap::new();
+        for rule in stratum.rules() {
+            // for each body position holding an IDB relation with a delta,
+            // evaluate the rule with that position restricted to the delta.
+            for (pos, lit) in rule.body.iter().enumerate() {
+                if !lit.positive || !idb.contains(&lit.atom.rel) {
+                    continue;
+                }
+                let Some(d) = delta.get(&lit.atom.rel) else {
+                    continue;
+                };
+                if d.is_empty() {
+                    continue;
+                }
+                for fact in derive(rule, db, Some((pos, d)), stats) {
+                    if !db.holds(rule.head.rel, &fact) {
+                        next_delta.entry(rule.head.rel).or_default().insert(fact);
+                    }
+                }
+            }
+        }
+        commit(db, &next_delta, stats);
+        delta = next_delta;
+    }
+}
+
+fn commit(
+    db: &mut Database,
+    delta: &BTreeMap<kbt_data::RelId, BTreeSet<Tuple>>,
+    stats: &mut EvalStats,
+) {
+    for (&rel, facts) in delta {
+        for fact in facts {
+            if db
+                .insert_fact(rel, fact.clone())
+                .expect("arity checked by Program")
+            {
+                stats.derived_facts += 1;
+            }
+        }
+    }
+}
+
+/// Derives all head facts of `rule` against `db`.  When `delta_pos` is given,
+/// the body literal at that position only ranges over the supplied delta
+/// tuples (semi-naive evaluation).
+fn derive(
+    rule: &Rule,
+    db: &Database,
+    delta_pos: Option<(usize, &BTreeSet<Tuple>)>,
+    stats: &mut EvalStats,
+) -> BTreeSet<Tuple> {
+    // evaluate positive literals first (they bind variables), negatives last
+    let mut order: Vec<usize> = (0..rule.body.len())
+        .filter(|&i| rule.body[i].positive)
+        .collect();
+    order.extend((0..rule.body.len()).filter(|&i| !rule.body[i].positive));
+
+    let mut out = BTreeSet::new();
+    let mut subst = Subst::new();
+    search(rule, db, delta_pos, &order, 0, &mut subst, &mut out, stats);
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search(
+    rule: &Rule,
+    db: &Database,
+    delta_pos: Option<(usize, &BTreeSet<Tuple>)>,
+    order: &[usize],
+    depth: usize,
+    subst: &mut Subst,
+    out: &mut BTreeSet<Tuple>,
+    stats: &mut EvalStats,
+) {
+    if depth == order.len() {
+        if let Some(fact) = instantiate(&rule.head, subst) {
+            out.insert(fact);
+        }
+        return;
+    }
+    let idx = order[depth];
+    let lit = &rule.body[idx];
+    if lit.positive {
+        // candidate tuples: either the delta (for the designated position) or
+        // the full relation.
+        let full = db.relation(lit.atom.rel);
+        let use_delta = matches!(delta_pos, Some((p, _)) if p == idx);
+        let iter: Box<dyn Iterator<Item = &Tuple>> = if use_delta {
+            let (_, d) = delta_pos.expect("checked");
+            Box::new(d.iter())
+        } else {
+            match full {
+                Some(rel) => Box::new(rel.iter()),
+                None => return,
+            }
+        };
+        for tuple in iter {
+            stats.tuples_scanned += 1;
+            let mut bound: Vec<Var> = Vec::new();
+            if unify(&lit.atom, tuple, subst, &mut bound) {
+                search(rule, db, delta_pos, order, depth + 1, subst, out, stats);
+            }
+            for v in bound {
+                subst.remove(&v);
+            }
+        }
+    } else {
+        // negated literal: safety guarantees all its variables are bound
+        let Some(fact) = instantiate(&lit.atom, subst) else {
+            return;
+        };
+        if !db.holds(lit.atom.rel, &fact) {
+            search(rule, db, delta_pos, order, depth + 1, subst, out, stats);
+        }
+    }
+}
+
+/// Extends `subst` so that `atom` matches `tuple`; records newly bound
+/// variables in `bound`.  Returns `false` (and leaves `subst` extended with
+/// whatever was bound so far — caller unbinds) on mismatch.
+fn unify(atom: &DlAtom, tuple: &Tuple, subst: &mut Subst, bound: &mut Vec<Var>) -> bool {
+    if atom.arity() != tuple.arity() {
+        return false;
+    }
+    for (term, value) in atom.terms.iter().zip(tuple.iter()) {
+        match term {
+            Term::Const(c) => {
+                if *c != value {
+                    return false;
+                }
+            }
+            Term::Var(v) => match subst.get(v) {
+                Some(&existing) => {
+                    if existing != value {
+                        return false;
+                    }
+                }
+                None => {
+                    subst.insert(*v, value);
+                    bound.push(*v);
+                }
+            },
+        }
+    }
+    true
+}
+
+fn instantiate(atom: &DlAtom, subst: &Subst) -> Option<Tuple> {
+    let mut values = Vec::with_capacity(atom.arity());
+    for term in &atom.terms {
+        match term {
+            Term::Const(c) => values.push(*c),
+            Term::Var(v) => values.push(*subst.get(v)?),
+        }
+    }
+    Some(Tuple::new(values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Literal;
+    use kbt_data::{DatabaseBuilder, RelId};
+    use kbt_logic::builder::var;
+
+    fn r(i: u32) -> RelId {
+        RelId::new(i)
+    }
+
+    fn tc_program() -> Program {
+        let edge = |a, b| DlAtom::new(r(1), vec![a, b]);
+        let path = |a, b| DlAtom::new(r(2), vec![a, b]);
+        Program::new(vec![
+            Rule::new(
+                path(var(1), var(2)),
+                vec![Literal::positive(edge(var(1), var(2)))],
+            ),
+            Rule::new(
+                path(var(1), var(3)),
+                vec![
+                    Literal::positive(path(var(1), var(2))),
+                    Literal::positive(edge(var(2), var(3))),
+                ],
+            ),
+        ])
+        .unwrap()
+    }
+
+    fn chain_db(n: u32) -> Database {
+        let mut b = DatabaseBuilder::new().relation(r(1), 2);
+        for i in 1..n {
+            b = b.fact(r(1), [i, i + 1]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn reference_evaluators_agree_with_each_other() {
+        for n in 2..7 {
+            let edb = chain_db(n);
+            let (naive, _) = reference_naive_eval(&tc_program(), &edb).unwrap();
+            let (semi, _) = reference_semi_naive_eval(&tc_program(), &edb).unwrap();
+            assert_eq!(naive, semi, "disagreement on chain of length {n}");
+        }
+    }
+
+    #[test]
+    fn reference_counts_scanned_tuples() {
+        let edb = chain_db(8);
+        let (_, naive_stats) = reference_naive_eval(&tc_program(), &edb).unwrap();
+        let (_, semi_stats) = reference_semi_naive_eval(&tc_program(), &edb).unwrap();
+        assert!(naive_stats.tuples_scanned > 0);
+        assert!(semi_stats.tuples_scanned > 0);
+        assert!(
+            semi_stats.tuples_scanned < naive_stats.tuples_scanned,
+            "semi-naive must re-join less than naive"
+        );
+        // the reference evaluator performs no index probes by construction
+        assert_eq!(naive_stats.index_probes, 0);
+        assert_eq!(semi_stats.index_probes, 0);
+    }
+}

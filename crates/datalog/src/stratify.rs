@@ -119,7 +119,10 @@ mod tests {
         let node = |a| DlAtom::new(r(3), vec![a]);
         let unreach = |a, b| DlAtom::new(r(4), vec![a, b]);
         let p = Program::new(vec![
-            Rule::new(reach(var(1), var(2)), vec![Literal::positive(edge(var(1), var(2)))]),
+            Rule::new(
+                reach(var(1), var(2)),
+                vec![Literal::positive(edge(var(1), var(2)))],
+            ),
             Rule::new(
                 reach(var(1), var(3)),
                 vec![

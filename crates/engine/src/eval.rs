@@ -1,0 +1,462 @@
+//! The fixpoint driver: naive and delta-aware semi-naive evaluation over
+//! indexed storage.
+//!
+//! The caller supplies pre-stratified programs (`kbt-datalog` stratifies and
+//! lowers); each stratum is run to its least fixpoint before the next one
+//! starts, so negated literals — which stratification confines to relations
+//! of earlier strata or the EDB — always read fully computed relations.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use kbt_data::{Const, Database, RelId, Tuple};
+
+use crate::index::IndexedRelation;
+use crate::ir::{Program, Term};
+use crate::plan::{JoinPlan, PlannedRule, Source, Step};
+use crate::stats::EngineStats;
+use crate::storage::IndexStorage;
+use crate::Result;
+
+/// How the fixpoint is computed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EvalMode {
+    /// Recompute every rule against the full storage each round.  Still uses
+    /// index probes within a round; used as a cross-check and for measuring
+    /// what semi-naive evaluation saves.
+    Naive,
+    /// Delta-aware semi-naive: after the seeding round, only rule variants
+    /// driven by the previous round's delta run.
+    #[default]
+    SemiNaive,
+}
+
+/// Computes the least fixpoint of the stratified program over `edb`.
+///
+/// Every relation mentioned by any stratum is materialised (empty if absent
+/// from `edb`); the result contains the EDB unchanged plus the derived
+/// facts.
+pub fn evaluate(
+    strata: &[Program],
+    edb: &Database,
+    mode: EvalMode,
+) -> Result<(Database, EngineStats)> {
+    let mut storage = IndexStorage::from_database(edb);
+    for program in strata {
+        for (rel, arity) in program.relation_arities() {
+            storage.ensure_relation(rel, arity)?;
+        }
+    }
+
+    let mut stats = EngineStats::default();
+    for program in strata {
+        stats.strata += 1;
+        let idb = program.idb_relations();
+        let planned: Vec<PlannedRule> = program
+            .rules
+            .iter()
+            .map(|r| PlannedRule::plan(r, &idb))
+            .collect();
+        for rule in &planned {
+            for (rel, mask) in rule.demanded_indexes() {
+                storage.ensure_index(rel, mask);
+            }
+        }
+        match mode {
+            EvalMode::Naive => eval_stratum_naive(&planned, &mut storage, &mut stats),
+            EvalMode::SemiNaive => eval_stratum_semi_naive(&planned, &mut storage, &mut stats),
+        }
+    }
+    Ok((storage.to_database(), stats))
+}
+
+type Pending = BTreeMap<RelId, BTreeSet<Tuple>>;
+type Deltas = BTreeMap<RelId, IndexedRelation>;
+
+fn eval_stratum_naive(rules: &[PlannedRule], storage: &mut IndexStorage, stats: &mut EngineStats) {
+    let no_deltas = Deltas::new();
+    loop {
+        stats.iterations += 1;
+        let mut pending = Pending::new();
+        for rule in rules {
+            derive(rule, &rule.full, storage, &no_deltas, &mut pending, stats);
+        }
+        if pending.is_empty() {
+            break;
+        }
+        commit(storage, pending, stats);
+    }
+}
+
+fn eval_stratum_semi_naive(
+    rules: &[PlannedRule],
+    storage: &mut IndexStorage,
+    stats: &mut EngineStats,
+) {
+    // Seeding round: one full evaluation populates the first delta.
+    stats.iterations += 1;
+    let no_deltas = Deltas::new();
+    let mut pending = Pending::new();
+    for rule in rules {
+        derive(rule, &rule.full, storage, &no_deltas, &mut pending, stats);
+    }
+    let mut delta = commit(storage, pending, stats);
+
+    while !delta.is_empty() {
+        stats.iterations += 1;
+        let mut pending = Pending::new();
+        for rule in rules {
+            for (driver, plan) in &rule.deltas {
+                if delta.get(driver).is_some_and(|d| !d.is_empty()) {
+                    derive(rule, plan, storage, &delta, &mut pending, stats);
+                }
+            }
+        }
+        delta = commit(storage, pending, stats);
+    }
+}
+
+/// Inserts the pending facts, returning the ones that were actually new as
+/// the next delta (in indexed form, ready to be scanned as drivers).
+fn commit(storage: &mut IndexStorage, pending: Pending, stats: &mut EngineStats) -> Deltas {
+    let mut delta = Deltas::new();
+    for (rel, facts) in pending {
+        for fact in facts {
+            let arity = fact.arity();
+            if storage.insert_fact(rel, fact.clone()) {
+                stats.derived_facts += 1;
+                delta
+                    .entry(rel)
+                    .or_insert_with(|| IndexedRelation::new(arity))
+                    .insert(fact);
+            }
+        }
+    }
+    delta
+}
+
+/// Runs one join plan, adding derived head facts (not yet in storage) to
+/// `pending`.
+fn derive(
+    rule: &PlannedRule,
+    plan: &JoinPlan,
+    storage: &IndexStorage,
+    deltas: &Deltas,
+    pending: &mut Pending,
+    stats: &mut EngineStats,
+) {
+    let mut regs: Vec<Option<Const>> = vec![None; rule.slots];
+    run_steps(
+        rule,
+        &plan.steps,
+        storage,
+        deltas,
+        &mut regs,
+        pending,
+        stats,
+    );
+}
+
+fn resolve(term: Term, regs: &[Option<Const>]) -> Const {
+    match term {
+        Term::Const(c) => c,
+        Term::Slot(s) => regs[s].expect("slot bound by an earlier step (range restriction)"),
+    }
+}
+
+fn instantiate(terms: &[Term], regs: &[Option<Const>]) -> Tuple {
+    Tuple::new(terms.iter().map(|&t| resolve(t, regs)).collect::<Vec<_>>())
+}
+
+/// Matches `tuple` against per-column actions, binding unbound slots.
+/// Returns `false` (after recording partial bindings in `undo`) on mismatch.
+fn match_cols(
+    tuple: &Tuple,
+    cols: &[(usize, Term)],
+    regs: &mut [Option<Const>],
+    undo: &mut Vec<usize>,
+) -> bool {
+    for &(col, term) in cols {
+        let value = tuple.col(col);
+        match term {
+            Term::Const(c) => {
+                if c != value {
+                    return false;
+                }
+            }
+            Term::Slot(s) => match regs[s] {
+                Some(existing) => {
+                    if existing != value {
+                        return false;
+                    }
+                }
+                None => {
+                    regs[s] = Some(value);
+                    undo.push(s);
+                }
+            },
+        }
+    }
+    true
+}
+
+fn run_steps(
+    rule: &PlannedRule,
+    steps: &[Step],
+    storage: &IndexStorage,
+    deltas: &Deltas,
+    regs: &mut Vec<Option<Const>>,
+    pending: &mut Pending,
+    stats: &mut EngineStats,
+) {
+    let Some((step, rest)) = steps.split_first() else {
+        let fact = instantiate(&rule.head.terms, regs);
+        if !storage.holds(rule.head.rel, &fact) {
+            pending.entry(rule.head.rel).or_default().insert(fact);
+        }
+        return;
+    };
+    match step {
+        Step::Scan { rel, source, cols } => {
+            let relation = match source {
+                Source::Full => storage.relation(*rel),
+                Source::Delta => deltas.get(rel),
+            };
+            let Some(relation) = relation else {
+                return;
+            };
+            let mut undo = Vec::new();
+            for tuple in relation.iter() {
+                stats.tuples_scanned += 1;
+                if match_cols(tuple, cols, regs, &mut undo) {
+                    run_steps(rule, rest, storage, deltas, regs, pending, stats);
+                }
+                for s in undo.drain(..) {
+                    regs[s] = None;
+                }
+            }
+        }
+        Step::Probe {
+            rel,
+            mask,
+            key,
+            cols,
+        } => {
+            let Some(relation) = storage.relation(*rel) else {
+                return;
+            };
+            let key: Vec<Const> = key.iter().map(|&t| resolve(t, regs)).collect();
+            stats.index_probes += 1;
+            let mut undo = Vec::new();
+            for &id in relation.probe(*mask, &key) {
+                stats.tuples_scanned += 1;
+                if match_cols(relation.tuple(id), cols, regs, &mut undo) {
+                    run_steps(rule, rest, storage, deltas, regs, pending, stats);
+                }
+                for s in undo.drain(..) {
+                    regs[s] = None;
+                }
+            }
+        }
+        Step::Member { rel, terms } => {
+            stats.index_probes += 1;
+            let fact = instantiate(terms, regs);
+            if storage.holds(*rel, &fact) {
+                run_steps(rule, rest, storage, deltas, regs, pending, stats);
+            }
+        }
+        Step::NegCheck { rel, terms } => {
+            stats.index_probes += 1;
+            let fact = instantiate(terms, regs);
+            if !storage.holds(*rel, &fact) {
+                run_steps(rule, rest, storage, deltas, regs, pending, stats);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Atom, Literal, Rule};
+    use kbt_data::{tuple, DatabaseBuilder};
+
+    fn r(i: u32) -> RelId {
+        RelId::new(i)
+    }
+
+    fn s(i: usize) -> Term {
+        Term::Slot(i)
+    }
+
+    /// path(x,y) :- edge(x,y).  path(x,z) :- path(x,y), edge(y,z).
+    fn tc_program() -> Program {
+        Program::new(vec![
+            Rule::new(
+                Atom::new(r(2), vec![s(0), s(1)]),
+                vec![Literal::positive(Atom::new(r(1), vec![s(0), s(1)]))],
+            )
+            .unwrap(),
+            Rule::new(
+                Atom::new(r(2), vec![s(0), s(2)]),
+                vec![
+                    Literal::positive(Atom::new(r(2), vec![s(0), s(1)])),
+                    Literal::positive(Atom::new(r(1), vec![s(1), s(2)])),
+                ],
+            )
+            .unwrap(),
+        ])
+    }
+
+    fn chain_db(n: u32) -> Database {
+        let mut b = DatabaseBuilder::new().relation(r(1), 2);
+        for i in 1..n {
+            b = b.fact(r(1), [i, i + 1]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn transitive_closure_both_modes() {
+        let edb = chain_db(6);
+        for mode in [EvalMode::Naive, EvalMode::SemiNaive] {
+            let (fix, stats) = evaluate(&[tc_program()], &edb, mode).unwrap();
+            assert_eq!(fix.relation(r(2)).unwrap().len(), 15, "mode {mode:?}");
+            assert!(fix.holds(r(2), &tuple![1, 6]));
+            assert!(!fix.holds(r(2), &tuple![6, 1]));
+            assert_eq!(stats.derived_facts, 15);
+            assert_eq!(stats.strata, 1);
+            assert!(stats.index_probes > 0);
+        }
+    }
+
+    #[test]
+    fn modes_agree_and_semi_naive_scans_less() {
+        let edb = chain_db(14);
+        let (naive, naive_stats) = evaluate(&[tc_program()], &edb, EvalMode::Naive).unwrap();
+        let (semi, semi_stats) = evaluate(&[tc_program()], &edb, EvalMode::SemiNaive).unwrap();
+        assert_eq!(naive, semi);
+        assert_eq!(naive_stats.derived_facts, semi_stats.derived_facts);
+        assert!(
+            semi_stats.tuples_scanned < naive_stats.tuples_scanned,
+            "semi-naive ({}) must scan fewer tuples than naive ({})",
+            semi_stats.tuples_scanned,
+            naive_stats.tuples_scanned
+        );
+    }
+
+    #[test]
+    fn stratified_negation_runs_after_the_lower_stratum() {
+        // Stratum 0: reach = TC(edge).  Stratum 1: unreach(x,y) :- node(x),
+        // node(y), ~reach(x,y).
+        let stratum0 = Program::new(vec![
+            Rule::new(
+                Atom::new(r(2), vec![s(0), s(1)]),
+                vec![Literal::positive(Atom::new(r(1), vec![s(0), s(1)]))],
+            )
+            .unwrap(),
+            Rule::new(
+                Atom::new(r(2), vec![s(0), s(2)]),
+                vec![
+                    Literal::positive(Atom::new(r(2), vec![s(0), s(1)])),
+                    Literal::positive(Atom::new(r(1), vec![s(1), s(2)])),
+                ],
+            )
+            .unwrap(),
+        ]);
+        let stratum1 = Program::new(vec![Rule::new(
+            Atom::new(r(4), vec![s(0), s(1)]),
+            vec![
+                Literal::positive(Atom::new(r(3), vec![s(0)])),
+                Literal::positive(Atom::new(r(3), vec![s(1)])),
+                Literal::negative(Atom::new(r(2), vec![s(0), s(1)])),
+            ],
+        )
+        .unwrap()]);
+
+        let mut b = DatabaseBuilder::new().relation(r(1), 2).relation(r(3), 1);
+        for i in 1..=3u32 {
+            b = b.fact(r(3), [i]);
+        }
+        b = b.fact(r(1), [1u32, 2]).fact(r(1), [2u32, 3]);
+        let edb = b.build().unwrap();
+
+        for mode in [EvalMode::Naive, EvalMode::SemiNaive] {
+            let (fix, stats) = evaluate(&[stratum0.clone(), stratum1.clone()], &edb, mode).unwrap();
+            assert_eq!(fix.relation(r(4)).unwrap().len(), 6, "mode {mode:?}");
+            assert!(fix.holds(r(4), &tuple![3, 1]));
+            assert!(!fix.holds(r(4), &tuple![1, 3]));
+            assert_eq!(stats.strata, 2);
+        }
+    }
+
+    #[test]
+    fn fact_rules_and_constants() {
+        // p(x) :- edge(1, x).   q(7).
+        let program = Program::new(vec![
+            Rule::new(
+                Atom::new(r(3), vec![s(0)]),
+                vec![Literal::positive(Atom::new(
+                    r(1),
+                    vec![Term::Const(Const::new(1)), s(0)],
+                ))],
+            )
+            .unwrap(),
+            Rule::new(Atom::new(r(4), vec![Term::Const(Const::new(7))]), vec![]).unwrap(),
+        ]);
+        let edb = chain_db(4);
+        let (fix, _) = evaluate(&[program], &edb, EvalMode::SemiNaive).unwrap();
+        assert!(fix.holds(r(3), &tuple![2]));
+        assert!(!fix.holds(r(3), &tuple![3]));
+        assert!(fix.holds(r(4), &tuple![7]));
+    }
+
+    #[test]
+    fn repeated_variables_within_an_atom() {
+        // loops(x) :- edge(x, x).
+        let program = Program::new(vec![Rule::new(
+            Atom::new(r(3), vec![s(0)]),
+            vec![Literal::positive(Atom::new(r(1), vec![s(0), s(0)]))],
+        )
+        .unwrap()]);
+        let mut b = DatabaseBuilder::new().relation(r(1), 2);
+        b = b
+            .fact(r(1), [1u32, 2])
+            .fact(r(1), [2u32, 2])
+            .fact(r(1), [3u32, 3]);
+        let edb = b.build().unwrap();
+        let (fix, _) = evaluate(&[program], &edb, EvalMode::SemiNaive).unwrap();
+        assert_eq!(fix.relation(r(3)).unwrap().len(), 2);
+        assert!(fix.holds(r(3), &tuple![2]));
+        assert!(fix.holds(r(3), &tuple![3]));
+    }
+
+    #[test]
+    fn empty_edb_yields_empty_idb() {
+        let edb = DatabaseBuilder::new().relation(r(1), 2).build().unwrap();
+        let (fix, stats) = evaluate(&[tc_program()], &edb, EvalMode::SemiNaive).unwrap();
+        assert!(fix.relation(r(2)).unwrap().is_empty());
+        assert_eq!(stats.derived_facts, 0);
+    }
+
+    #[test]
+    fn cross_product_rules_still_work() {
+        // pair(x,y) :- a(x), b(y) — no shared variables, pure product.
+        let program = Program::new(vec![Rule::new(
+            Atom::new(r(3), vec![s(0), s(1)]),
+            vec![
+                Literal::positive(Atom::new(r(1), vec![s(0)])),
+                Literal::positive(Atom::new(r(2), vec![s(1)])),
+            ],
+        )
+        .unwrap()]);
+        let edb = DatabaseBuilder::new()
+            .fact(r(1), [1u32])
+            .fact(r(1), [2u32])
+            .fact(r(2), [8u32])
+            .build()
+            .unwrap();
+        let (fix, _) = evaluate(&[program], &edb, EvalMode::SemiNaive).unwrap();
+        assert_eq!(fix.relation(r(3)).unwrap().len(), 2);
+        assert!(fix.holds(r(3), &tuple![2, 8]));
+    }
+}

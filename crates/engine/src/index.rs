@@ -1,0 +1,216 @@
+//! Indexed relations: tuple stores with lazily built hash indexes keyed by
+//! bound-column masks.
+//!
+//! A *binding pattern* for a `k`-ary relation is the set of argument
+//! positions that are bound when a rule body reaches the corresponding atom;
+//! it is represented as a bitmask ([`Mask`], bit `i` = column `i` bound).
+//! For every pattern a rule body demands, the relation keeps a hash map from
+//! the projection of a tuple onto the bound columns to the matching tuple
+//! ids, so a join step is one hash probe plus a walk over exactly the
+//! matching tuples — never a scan of the whole relation.
+//!
+//! Indexes are built lazily (first demand pays the build) and maintained
+//! incrementally on insertion, so the semi-naive driver can keep appending
+//! derived facts without invalidating anything.
+
+use std::collections::{HashMap, HashSet};
+
+use kbt_data::{Const, Relation, Tuple};
+
+/// A set of bound columns: bit `i` set ⇔ column `i` is bound.
+pub type Mask = u32;
+
+/// Projects `tuple` onto the columns of `mask`, in ascending column order.
+fn key_of(tuple: &Tuple, mask: Mask) -> Box<[Const]> {
+    tuple
+        .components()
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| mask >> i & 1 == 1)
+        .map(|(_, &c)| c)
+        .collect()
+}
+
+/// A relation with hash indexes per demanded binding pattern.
+#[derive(Clone, Debug, Default)]
+pub struct IndexedRelation {
+    arity: usize,
+    /// Tuples in insertion order; indexes store positions into this vector.
+    tuples: Vec<Tuple>,
+    /// Membership set (doubles as the full-binding-pattern index).
+    set: HashSet<Tuple>,
+    /// One hash index per demanded mask.
+    indexes: HashMap<Mask, HashMap<Box<[Const]>, Vec<u32>>>,
+}
+
+impl IndexedRelation {
+    /// An empty indexed relation of the given arity.
+    pub fn new(arity: usize) -> Self {
+        IndexedRelation {
+            arity,
+            ..IndexedRelation::default()
+        }
+    }
+
+    /// Copies a plain relation into indexed form.
+    pub fn from_relation(relation: &Relation) -> Self {
+        let mut out = IndexedRelation::new(relation.arity());
+        for t in relation.iter() {
+            out.insert(t.clone());
+        }
+        out
+    }
+
+    /// The arity of the relation.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Whether the tuple is present (one hash lookup).
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.set.contains(t)
+    }
+
+    /// Iterates over the tuples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
+        self.tuples.iter()
+    }
+
+    /// The tuple with the given id (a position returned by [`Self::probe`]).
+    pub fn tuple(&self, id: u32) -> &Tuple {
+        &self.tuples[id as usize]
+    }
+
+    /// Inserts a tuple, updating every existing index; returns `true` if it
+    /// was not already present.  The tuple's arity must match.
+    pub fn insert(&mut self, t: Tuple) -> bool {
+        debug_assert_eq!(t.arity(), self.arity, "arity checked by the caller");
+        if !self.set.insert(t.clone()) {
+            return false;
+        }
+        let id = self.tuples.len() as u32;
+        for (&mask, index) in &mut self.indexes {
+            index.entry(key_of(&t, mask)).or_default().push(id);
+        }
+        self.tuples.push(t);
+        true
+    }
+
+    /// Builds the index for `mask` if it does not exist yet.
+    pub fn ensure_index(&mut self, mask: Mask) {
+        if mask == 0 || self.indexes.contains_key(&mask) {
+            return;
+        }
+        let mut index: HashMap<Box<[Const]>, Vec<u32>> = HashMap::new();
+        for (id, t) in self.tuples.iter().enumerate() {
+            index.entry(key_of(t, mask)).or_default().push(id as u32);
+        }
+        self.indexes.insert(mask, index);
+    }
+
+    /// The ids of the tuples whose projection onto `mask` equals `key`.
+    ///
+    /// The index for `mask` must have been demanded with
+    /// [`Self::ensure_index`] beforehand — the planner collects every mask a
+    /// plan needs, so a missing index is an engine bug, not a user error.
+    pub fn probe(&self, mask: Mask, key: &[Const]) -> &[u32] {
+        const EMPTY: &[u32] = &[];
+        self.indexes
+            .get(&mask)
+            .expect("index demanded by the planner before evaluation")
+            .get(key)
+            .map_or(EMPTY, Vec::as_slice)
+    }
+
+    /// Number of materialised indexes (for tests and diagnostics).
+    pub fn index_count(&self) -> usize {
+        self.indexes.len()
+    }
+
+    /// Copies the contents back into a plain relation.
+    pub fn to_relation(&self) -> Relation {
+        Relation::from_tuples(self.arity, self.tuples.iter().cloned())
+            .expect("arities are uniform by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kbt_data::tuple;
+
+    fn sample() -> IndexedRelation {
+        let mut r = IndexedRelation::new(2);
+        r.insert(tuple![1, 2]);
+        r.insert(tuple![1, 3]);
+        r.insert(tuple![2, 3]);
+        r
+    }
+
+    #[test]
+    fn insert_deduplicates_and_tracks_membership() {
+        let mut r = sample();
+        assert!(!r.insert(tuple![1, 2]));
+        assert_eq!(r.len(), 3);
+        assert!(r.contains(&tuple![2, 3]));
+        assert!(!r.contains(&tuple![3, 2]));
+    }
+
+    #[test]
+    fn probe_by_first_column() {
+        let mut r = sample();
+        r.ensure_index(0b01);
+        let hits = r.probe(0b01, &[Const::new(1)]);
+        assert_eq!(hits.len(), 2);
+        assert!(hits
+            .iter()
+            .all(|&id| r.tuple(id).get(0) == Some(Const::new(1))));
+        assert!(r.probe(0b01, &[Const::new(9)]).is_empty());
+    }
+
+    #[test]
+    fn probe_by_second_column() {
+        let mut r = sample();
+        r.ensure_index(0b10);
+        assert_eq!(r.probe(0b10, &[Const::new(3)]).len(), 2);
+        assert_eq!(r.probe(0b10, &[Const::new(2)]).len(), 1);
+    }
+
+    #[test]
+    fn indexes_are_maintained_across_inserts() {
+        let mut r = sample();
+        r.ensure_index(0b01);
+        r.insert(tuple![1, 9]);
+        assert_eq!(r.probe(0b01, &[Const::new(1)]).len(), 3);
+    }
+
+    #[test]
+    fn ensure_index_is_lazy_and_idempotent() {
+        let mut r = sample();
+        assert_eq!(r.index_count(), 0);
+        r.ensure_index(0b01);
+        r.ensure_index(0b01);
+        r.ensure_index(0); // the empty mask is a scan, never an index
+        assert_eq!(r.index_count(), 1);
+    }
+
+    #[test]
+    fn round_trips_through_plain_relations() {
+        let r = sample();
+        let plain = r.to_relation();
+        assert_eq!(plain.len(), 3);
+        let back = IndexedRelation::from_relation(&plain);
+        assert_eq!(back.len(), 3);
+        assert_eq!(back.arity(), 2);
+    }
+}

@@ -1,0 +1,319 @@
+//! The engine's rule IR: variables resolved to dense register slots.
+//!
+//! Frontends (today `kbt-datalog`, potentially others) lower their surface
+//! syntax into this IR before evaluation.  The only difference from a
+//! surface AST is that variables are *slots* — consecutive indices `0..n`
+//! local to one rule — so the runtime can keep bindings in a flat register
+//! file instead of a map keyed by variable names.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use kbt_data::RelId;
+
+use crate::error::EngineError;
+use crate::Result;
+
+/// Maximum relation arity the engine supports (bound-column masks are `u32`).
+pub const MAX_ARITY: usize = 32;
+
+/// One argument position of an atom.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Term {
+    /// A register slot (a rule-local variable).
+    Slot(usize),
+    /// A constant.
+    Const(kbt_data::Const),
+}
+
+impl Term {
+    /// The slot index, if this term is a slot.
+    pub fn slot(self) -> Option<usize> {
+        match self {
+            Term::Slot(s) => Some(s),
+            Term::Const(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Slot(s) => write!(f, "s{s}"),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// An atom `R(t̄)` over slots and constants.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Atom {
+    /// The relation symbol.
+    pub rel: RelId,
+    /// The argument terms.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Builds an atom.
+    pub fn new(rel: RelId, terms: impl Into<Vec<Term>>) -> Self {
+        Atom {
+            rel,
+            terms: terms.into(),
+        }
+    }
+
+    /// The arity of the atom.
+    pub fn arity(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// The slots occurring in the atom.
+    pub fn slots(&self) -> BTreeSet<usize> {
+        self.terms.iter().filter_map(|t| t.slot()).collect()
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.rel)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A possibly negated atom.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Literal {
+    /// The underlying atom.
+    pub atom: Atom,
+    /// `true` for a positive occurrence.
+    pub positive: bool,
+}
+
+impl Literal {
+    /// A positive literal.
+    pub fn positive(atom: Atom) -> Self {
+        Literal {
+            atom,
+            positive: true,
+        }
+    }
+
+    /// A negated literal.
+    pub fn negative(atom: Atom) -> Self {
+        Literal {
+            atom,
+            positive: false,
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.positive {
+            write!(f, "~")?;
+        }
+        write!(f, "{}", self.atom)
+    }
+}
+
+/// A rule `head :- body` with `slots` registers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rule {
+    /// The head atom.
+    pub head: Atom,
+    /// The body literals.
+    pub body: Vec<Literal>,
+    /// Number of register slots the rule uses (`0..slots` all occur).
+    pub slots: usize,
+}
+
+impl Rule {
+    /// Builds a rule, checking range restriction (every head slot and every
+    /// slot of a negated literal occurs in some positive body literal) and
+    /// the engine's arity ceiling.
+    pub fn new(head: Atom, body: impl Into<Vec<Literal>>) -> Result<Self> {
+        let body = body.into();
+        for atom in std::iter::once(&head).chain(body.iter().map(|l| &l.atom)) {
+            if atom.arity() > MAX_ARITY {
+                return Err(EngineError::ArityTooLarge {
+                    rel: atom.rel,
+                    arity: atom.arity(),
+                });
+            }
+        }
+        let positive: BTreeSet<usize> = body
+            .iter()
+            .filter(|l| l.positive)
+            .flat_map(|l| l.atom.slots())
+            .collect();
+        let mut needed = head.slots();
+        for l in &body {
+            if !l.positive {
+                needed.extend(l.atom.slots());
+            }
+        }
+        if !needed.is_subset(&positive) {
+            let rule = Rule {
+                head,
+                body,
+                slots: 0,
+            };
+            return Err(EngineError::UnsafeRule {
+                rule: rule.to_string(),
+            });
+        }
+        let slots = positive
+            .iter()
+            .chain(needed.iter())
+            .max()
+            .map_or(0, |&m| m + 1);
+        Ok(Rule { head, body, slots })
+    }
+
+    /// The positive body literals with their body positions.
+    pub fn positive_atoms(&self) -> impl Iterator<Item = (usize, &Atom)> + '_ {
+        self.body
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.positive)
+            .map(|(i, l)| (i, &l.atom))
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.head)?;
+        if !self.body.is_empty() {
+            write!(f, " :- ")?;
+            for (i, l) in self.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{l}")?;
+            }
+        }
+        write!(f, ".")
+    }
+}
+
+/// A set of rules evaluated together (one stratum, typically).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Program {
+    /// The rules.
+    pub rules: Vec<Rule>,
+}
+
+impl Program {
+    /// Builds a program from rules.
+    pub fn new(rules: impl Into<Vec<Rule>>) -> Self {
+        Program {
+            rules: rules.into(),
+        }
+    }
+
+    /// The intensional relations: those occurring in some rule head.
+    pub fn idb_relations(&self) -> BTreeSet<RelId> {
+        self.rules.iter().map(|r| r.head.rel).collect()
+    }
+
+    /// Every relation mentioned, with its arity.
+    pub fn relation_arities(&self) -> BTreeMap<RelId, usize> {
+        let mut out = BTreeMap::new();
+        for rule in &self.rules {
+            out.insert(rule.head.rel, rule.head.arity());
+            for l in &rule.body {
+                out.insert(l.atom.rel, l.atom.arity());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kbt_data::Const;
+
+    fn r(i: u32) -> RelId {
+        RelId::new(i)
+    }
+
+    fn s(i: usize) -> Term {
+        Term::Slot(i)
+    }
+
+    #[test]
+    fn safe_rules_compute_their_slot_count() {
+        // head uses slots 0 and 2; body binds 0, 1, 2.
+        let rule = Rule::new(
+            Atom::new(r(2), vec![s(0), s(2)]),
+            vec![
+                Literal::positive(Atom::new(r(1), vec![s(0), s(1)])),
+                Literal::positive(Atom::new(r(1), vec![s(1), s(2)])),
+            ],
+        )
+        .unwrap();
+        assert_eq!(rule.slots, 3);
+        assert_eq!(rule.positive_atoms().count(), 2);
+    }
+
+    #[test]
+    fn unsafe_rules_are_rejected() {
+        let bad = Rule::new(
+            Atom::new(r(2), vec![s(0), s(1)]),
+            vec![Literal::positive(Atom::new(r(1), vec![s(0)]))],
+        );
+        assert!(matches!(bad, Err(EngineError::UnsafeRule { .. })));
+
+        let bad_neg = Rule::new(
+            Atom::new(r(2), vec![s(0)]),
+            vec![
+                Literal::positive(Atom::new(r(1), vec![s(0)])),
+                Literal::negative(Atom::new(r(3), vec![s(1)])),
+            ],
+        );
+        assert!(matches!(bad_neg, Err(EngineError::UnsafeRule { .. })));
+    }
+
+    #[test]
+    fn ground_facts_are_safe_and_slotless() {
+        let fact = Rule::new(
+            Atom::new(r(1), vec![Term::Const(Const::new(7))]),
+            Vec::new(),
+        )
+        .unwrap();
+        assert_eq!(fact.slots, 0);
+    }
+
+    #[test]
+    fn oversized_arities_are_rejected() {
+        let wide = Atom::new(r(1), vec![Term::Const(Const::new(1)); 33]);
+        assert!(matches!(
+            Rule::new(wide, Vec::new()),
+            Err(EngineError::ArityTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn program_classification() {
+        let p = Program::new(vec![Rule::new(
+            Atom::new(r(2), vec![s(0)]),
+            vec![Literal::positive(Atom::new(r(1), vec![s(0)]))],
+        )
+        .unwrap()]);
+        assert_eq!(
+            p.idb_relations().into_iter().collect::<Vec<_>>(),
+            vec![r(2)]
+        );
+        let arities = p.relation_arities();
+        assert_eq!(arities[&r(1)], 1);
+        assert_eq!(arities[&r(2)], 1);
+    }
+}

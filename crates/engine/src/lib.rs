@@ -1,0 +1,42 @@
+//! # kbt-engine — indexed relation storage and join-planned fixpoint evaluation
+//!
+//! The PTIME results of *Knowledgebase Transformations* (Theorem 4.7 /
+//! Theorem 4.8) hinge on least-fixpoint evaluation being cheap.  The naive
+//! nested-loop evaluator in `kbt-datalog` is asymptotically polynomial but
+//! scans whole relations per body atom; this crate supplies the substrate
+//! that makes the fast path actually fast:
+//!
+//! * [`index::IndexedRelation`] / [`storage::IndexStorage`] — relations with
+//!   hash indexes keyed by *bound-column masks*, built lazily for exactly the
+//!   `(relation, binding pattern)` pairs a rule body demands;
+//! * [`plan`] — a join planner that orders body atoms by bound-variable
+//!   count and compiles every rule into a sequence of index probes instead
+//!   of full scans;
+//! * [`eval`] — a delta-aware semi-naive driver (stratified negation
+//!   preserved) maintaining `full`/`delta` relation pairs, plus a naive
+//!   recompute-everything mode used as a cross-check;
+//! * [`EngineStats`] — iterations, derived facts, index probes and tuples
+//!   scanned, so callers and benchmarks can see the work performed.
+//!
+//! The engine has its own minimal rule IR ([`ir`]) with variables resolved
+//! to dense register slots; `kbt-datalog` lowers its AST into it, which keeps
+//! this crate free of any dependency on the surface syntax (and free of
+//! dependency cycles: `kbt-datalog` depends on `kbt-engine`, not the other
+//! way round).
+
+pub mod error;
+pub mod eval;
+pub mod index;
+pub mod ir;
+pub mod plan;
+pub mod stats;
+pub mod storage;
+
+pub use error::EngineError;
+pub use eval::{evaluate, EvalMode};
+pub use index::{IndexedRelation, Mask};
+pub use stats::EngineStats;
+pub use storage::{FactSet, IndexStorage};
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, EngineError>;

@@ -1,0 +1,414 @@
+//! The join planner: compiles rule bodies into sequences of index probes.
+//!
+//! For each rule the planner orders the body greedily — at every step it
+//! picks the positive atom with the most bound argument positions (constants
+//! count as bound), interleaving negated literals as soon as all their slots
+//! are bound so they prune as early as possible.  Each chosen atom becomes
+//! one [`Step`]:
+//!
+//! * every position bound at that point contributes to the atom's *binding
+//!   mask*, and the step becomes an index [`Step::Probe`] keyed by the bound
+//!   columns;
+//! * a fully bound atom degenerates to a membership test ([`Step::Member`]);
+//! * an atom with no bound positions is a [`Step::Scan`] (this only happens
+//!   for the first atom of a plan, or for genuinely cross-product rules).
+//!
+//! For semi-naive evaluation the planner additionally produces one *delta
+//! variant* per positive occurrence of an intensional relation: that
+//! occurrence is forced to the front as a scan of the delta relation, and
+//! the rest of the body is re-planned greedily around the slots it binds.
+
+use std::collections::BTreeSet;
+
+use kbt_data::RelId;
+
+use crate::index::Mask;
+use crate::ir::{Atom, Rule, Term};
+
+/// Where a scan step reads its tuples from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Source {
+    /// The full relation.
+    Full,
+    /// The delta of the current semi-naive round.
+    Delta,
+}
+
+/// One compiled join step.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Step {
+    /// Iterate over every tuple of `rel` (from `source`), matching each
+    /// column against `cols` (constants filter, unbound slots bind, bound
+    /// slots — possible when scanning a delta driver — compare).
+    Scan {
+        /// The scanned relation.
+        rel: RelId,
+        /// Full relation or current delta.
+        source: Source,
+        /// `(column, term)` for every column.
+        cols: Vec<(usize, Term)>,
+    },
+    /// Probe the hash index of `rel` for `mask` with a key assembled from
+    /// `key`, then bind the remaining columns per `cols`.
+    Probe {
+        /// The probed relation.
+        rel: RelId,
+        /// The binding pattern of the probe.
+        mask: Mask,
+        /// Key parts in ascending column order (slots are bound).
+        key: Vec<Term>,
+        /// `(column, term)` for the unbound columns (always slots — bound
+        /// terms are part of the key).
+        cols: Vec<(usize, Term)>,
+    },
+    /// All columns bound: a single membership check.
+    Member {
+        /// The checked relation.
+        rel: RelId,
+        /// The fully bound argument terms.
+        terms: Vec<Term>,
+    },
+    /// A negated literal with all slots bound: succeed iff absent.
+    NegCheck {
+        /// The negated relation.
+        rel: RelId,
+        /// The fully bound argument terms.
+        terms: Vec<Term>,
+    },
+}
+
+/// A fully ordered compilation of one rule body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JoinPlan {
+    /// For delta variants, the body position driven by the delta.
+    pub delta_pos: Option<usize>,
+    /// The steps, in execution order.
+    pub steps: Vec<Step>,
+}
+
+/// A rule with its full plan and one delta variant per IDB occurrence.
+#[derive(Clone, Debug)]
+pub struct PlannedRule {
+    /// The head atom (slots are bound by the body plans).
+    pub head: Atom,
+    /// Number of register slots.
+    pub slots: usize,
+    /// The plan used by naive rounds and the semi-naive seeding round.
+    pub full: JoinPlan,
+    /// One variant per positive body occurrence of an IDB relation, with
+    /// that occurrence scanning the delta.
+    pub deltas: Vec<(RelId, JoinPlan)>,
+}
+
+impl PlannedRule {
+    /// Plans `rule`, producing delta variants for positive occurrences of
+    /// the relations in `idb`.
+    pub fn plan(rule: &Rule, idb: &BTreeSet<RelId>) -> Self {
+        let full = plan_body(rule, None);
+        let deltas = rule
+            .positive_atoms()
+            .filter(|(_, atom)| idb.contains(&atom.rel))
+            .map(|(pos, atom)| (atom.rel, plan_body(rule, Some(pos))))
+            .collect();
+        PlannedRule {
+            head: rule.head.clone(),
+            slots: rule.slots,
+            full,
+            deltas,
+        }
+    }
+
+    /// Every `(relation, mask)` index the plans demand.
+    pub fn demanded_indexes(&self) -> BTreeSet<(RelId, Mask)> {
+        let mut out = BTreeSet::new();
+        for plan in std::iter::once(&self.full).chain(self.deltas.iter().map(|(_, p)| p)) {
+            for step in &plan.steps {
+                if let Step::Probe { rel, mask, .. } = step {
+                    out.insert((*rel, *mask));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Compiles one atom into a step given the currently bound slots.
+fn compile_atom(atom: &Atom, bound: &[bool], source: Source) -> Step {
+    if source == Source::Delta {
+        // Delta drivers are always scans of the (small) delta relation;
+        // constants and already-bound slots are checked per tuple.
+        return Step::Scan {
+            rel: atom.rel,
+            source,
+            cols: atom.terms.iter().copied().enumerate().collect(),
+        };
+    }
+    let mut mask: Mask = 0;
+    for (i, term) in atom.terms.iter().enumerate() {
+        let is_bound = match term {
+            Term::Const(_) => true,
+            Term::Slot(s) => bound[*s],
+        };
+        if is_bound {
+            mask |= 1 << i;
+        }
+    }
+    let arity = atom.arity();
+    if arity > 0 && mask == (Mask::MAX >> (Mask::BITS - arity as u32)) {
+        return Step::Member {
+            rel: atom.rel,
+            terms: atom.terms.clone(),
+        };
+    }
+    if arity == 0 {
+        return Step::Member {
+            rel: atom.rel,
+            terms: Vec::new(),
+        };
+    }
+    if mask == 0 {
+        return Step::Scan {
+            rel: atom.rel,
+            source: Source::Full,
+            cols: atom.terms.iter().copied().enumerate().collect(),
+        };
+    }
+    let key = atom
+        .terms
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| mask >> i & 1 == 1)
+        .map(|(_, &t)| t)
+        .collect();
+    let cols = atom
+        .terms
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| mask >> i & 1 == 0)
+        .map(|(i, &t)| {
+            debug_assert!(matches!(t, Term::Slot(_)), "constants are always bound");
+            (i, t)
+        })
+        .collect();
+    Step::Probe {
+        rel: atom.rel,
+        mask,
+        key,
+        cols,
+    }
+}
+
+/// Number of bound argument positions of `atom` under `bound`.
+fn bound_positions(atom: &Atom, bound: &[bool]) -> usize {
+    atom.terms
+        .iter()
+        .filter(|t| match t {
+            Term::Const(_) => true,
+            Term::Slot(s) => bound[*s],
+        })
+        .count()
+}
+
+fn mark_bound(atom: &Atom, bound: &mut [bool]) {
+    for s in atom.slots() {
+        bound[s] = true;
+    }
+}
+
+/// Plans the body of `rule`; `forced_first` names a body position scanned
+/// from the delta and moved to the front.
+fn plan_body(rule: &Rule, forced_first: Option<usize>) -> JoinPlan {
+    let mut bound = vec![false; rule.slots];
+    let mut steps = Vec::with_capacity(rule.body.len());
+    let mut scheduled = vec![false; rule.body.len()];
+
+    if let Some(pos) = forced_first {
+        let atom = &rule.body[pos].atom;
+        debug_assert!(rule.body[pos].positive, "delta drivers are positive");
+        steps.push(compile_atom(atom, &bound, Source::Delta));
+        mark_bound(atom, &mut bound);
+        scheduled[pos] = true;
+    }
+
+    loop {
+        // Negated literals prune as soon as they are fully bound.
+        let ready_negative = rule.body.iter().enumerate().position(|(i, l)| {
+            !scheduled[i] && !l.positive && l.atom.slots().iter().all(|&s| bound[s])
+        });
+        if let Some(i) = ready_negative {
+            steps.push(Step::NegCheck {
+                rel: rule.body[i].atom.rel,
+                terms: rule.body[i].atom.terms.clone(),
+            });
+            scheduled[i] = true;
+            continue;
+        }
+        // Greedy: the positive atom with the most bound positions next.
+        let best = rule
+            .body
+            .iter()
+            .enumerate()
+            .filter(|(i, l)| !scheduled[*i] && l.positive)
+            .max_by_key(|(i, l)| {
+                (
+                    bound_positions(&l.atom, &bound),
+                    std::cmp::Reverse(l.atom.arity()),
+                    std::cmp::Reverse(*i),
+                )
+            });
+        let Some((i, lit)) = best else {
+            break;
+        };
+        steps.push(compile_atom(&lit.atom, &bound, Source::Full));
+        mark_bound(&lit.atom, &mut bound);
+        scheduled[i] = true;
+    }
+
+    debug_assert!(
+        scheduled.iter().all(|&s| s),
+        "range restriction guarantees every literal is schedulable"
+    );
+    JoinPlan {
+        delta_pos: forced_first,
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Literal, Rule};
+    use kbt_data::Const;
+
+    fn r(i: u32) -> RelId {
+        RelId::new(i)
+    }
+
+    fn s(i: usize) -> Term {
+        Term::Slot(i)
+    }
+
+    /// path(x,z) :- path(x,y), edge(y,z).
+    fn tc_recursive_rule() -> Rule {
+        Rule::new(
+            Atom::new(r(2), vec![s(0), s(2)]),
+            vec![
+                Literal::positive(Atom::new(r(2), vec![s(0), s(1)])),
+                Literal::positive(Atom::new(r(1), vec![s(1), s(2)])),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn full_plan_scans_once_then_probes() {
+        let idb = [r(2)].into_iter().collect();
+        let planned = PlannedRule::plan(&tc_recursive_rule(), &idb);
+        assert_eq!(planned.full.steps.len(), 2);
+        assert!(matches!(
+            planned.full.steps[0],
+            Step::Scan {
+                source: Source::Full,
+                ..
+            }
+        ));
+        // The second atom has its first column bound → probe with mask 0b01.
+        assert!(matches!(
+            planned.full.steps[1],
+            Step::Probe { mask: 0b01, .. }
+        ));
+    }
+
+    #[test]
+    fn one_delta_variant_per_idb_occurrence() {
+        let idb = [r(2)].into_iter().collect();
+        let planned = PlannedRule::plan(&tc_recursive_rule(), &idb);
+        assert_eq!(planned.deltas.len(), 1);
+        let (drel, dplan) = &planned.deltas[0];
+        assert_eq!(*drel, r(2));
+        assert_eq!(dplan.delta_pos, Some(0));
+        assert!(matches!(
+            dplan.steps[0],
+            Step::Scan {
+                source: Source::Delta,
+                ..
+            }
+        ));
+        assert!(matches!(dplan.steps[1], Step::Probe { mask: 0b01, .. }));
+    }
+
+    #[test]
+    fn constants_are_bound_positions() {
+        // p(x) :- edge(1, x): the constant makes column 0 bound → probe.
+        let rule = Rule::new(
+            Atom::new(r(3), vec![s(0)]),
+            vec![Literal::positive(Atom::new(
+                r(1),
+                vec![Term::Const(Const::new(1)), s(0)],
+            ))],
+        )
+        .unwrap();
+        let planned = PlannedRule::plan(&rule, &BTreeSet::new());
+        assert!(matches!(
+            planned.full.steps[0],
+            Step::Probe { mask: 0b01, .. }
+        ));
+    }
+
+    #[test]
+    fn fully_bound_atoms_become_membership_checks() {
+        // triangle(x,y,z) :- e(x,y), e(y,z), e(z,x): the closing edge is a
+        // membership test, not a scan.
+        let e = |a, b| Atom::new(r(1), vec![a, b]);
+        let rule = Rule::new(
+            Atom::new(r(2), vec![s(0), s(1), s(2)]),
+            vec![
+                Literal::positive(e(s(0), s(1))),
+                Literal::positive(e(s(1), s(2))),
+                Literal::positive(e(s(2), s(0))),
+            ],
+        )
+        .unwrap();
+        let planned = PlannedRule::plan(&rule, &BTreeSet::new());
+        assert!(matches!(planned.full.steps[0], Step::Scan { .. }));
+        assert!(matches!(planned.full.steps[1], Step::Probe { .. }));
+        assert!(matches!(planned.full.steps[2], Step::Member { .. }));
+    }
+
+    #[test]
+    fn negations_run_as_soon_as_bound() {
+        // unreach(x,y) :- node(x), node(y), ~reach(x,y): the negation must
+        // be scheduled after both nodes but before nothing else.
+        let rule = Rule::new(
+            Atom::new(r(4), vec![s(0), s(1)]),
+            vec![
+                Literal::positive(Atom::new(r(3), vec![s(0)])),
+                Literal::positive(Atom::new(r(3), vec![s(1)])),
+                Literal::negative(Atom::new(r(2), vec![s(0), s(1)])),
+            ],
+        )
+        .unwrap();
+        let planned = PlannedRule::plan(&rule, &BTreeSet::new());
+        assert_eq!(planned.full.steps.len(), 3);
+        assert!(matches!(planned.full.steps[2], Step::NegCheck { .. }));
+    }
+
+    #[test]
+    fn demanded_indexes_cover_all_variants() {
+        let idb = [r(2)].into_iter().collect();
+        let planned = PlannedRule::plan(&tc_recursive_rule(), &idb);
+        let demanded = planned.demanded_indexes();
+        assert!(demanded.contains(&(r(1), 0b01)));
+    }
+
+    #[test]
+    fn zero_ary_atoms_are_membership_checks() {
+        let rule = Rule::new(
+            Atom::new(r(2), vec![]),
+            vec![Literal::positive(Atom::new(r(1), vec![]))],
+        )
+        .unwrap();
+        let planned = PlannedRule::plan(&rule, &BTreeSet::new());
+        assert!(matches!(planned.full.steps[0], Step::Member { .. }));
+    }
+}

@@ -1,0 +1,22 @@
+//! Work counters reported by the engine.
+
+/// Statistics accumulated over one [`crate::eval::evaluate`] call.
+///
+/// The counters make the asymptotic claims of the paper observable: a
+/// well-indexed semi-naive run touches a number of tuples proportional to
+/// the output, while the naive oracle rescans whole relations each round.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Number of fixpoint rounds, summed over all strata (each stratum
+    /// contributes at least one round, including the final empty one).
+    pub iterations: usize,
+    /// Number of facts newly derived for intensional relations.
+    pub derived_facts: usize,
+    /// Number of hash-index probes (including full-tuple membership checks
+    /// and negated-literal lookups).
+    pub index_probes: usize,
+    /// Number of candidate tuples iterated by scans and probe buckets.
+    pub tuples_scanned: usize,
+    /// Number of strata evaluated.
+    pub strata: usize,
+}

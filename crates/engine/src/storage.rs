@@ -1,0 +1,180 @@
+//! Storage of whole databases in indexed form.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use kbt_data::{DataError, Database, RelId, Tuple};
+
+use crate::index::{IndexedRelation, Mask};
+
+/// A database whose relations are [`IndexedRelation`]s: the engine's working
+/// set during fixpoint evaluation.
+#[derive(Clone, Debug, Default)]
+pub struct IndexStorage {
+    relations: BTreeMap<RelId, IndexedRelation>,
+}
+
+impl IndexStorage {
+    /// Empty storage.
+    pub fn new() -> Self {
+        IndexStorage::default()
+    }
+
+    /// Copies a database into indexed form.
+    pub fn from_database(db: &Database) -> Self {
+        IndexStorage {
+            relations: db
+                .iter()
+                .map(|(rel, r)| (rel, IndexedRelation::from_relation(r)))
+                .collect(),
+        }
+    }
+
+    /// Ensures `rel` exists with the given arity (empty if absent); fails on
+    /// an arity conflict.
+    pub fn ensure_relation(&mut self, rel: RelId, arity: usize) -> Result<(), DataError> {
+        match self.relations.get(&rel) {
+            Some(existing) if existing.arity() != arity => Err(DataError::ArityMismatch {
+                rel,
+                expected: existing.arity(),
+                found: arity,
+            }),
+            Some(_) => Ok(()),
+            None => {
+                self.relations.insert(rel, IndexedRelation::new(arity));
+                Ok(())
+            }
+        }
+    }
+
+    /// The indexed relation stored under `rel`, if any.
+    pub fn relation(&self, rel: RelId) -> Option<&IndexedRelation> {
+        self.relations.get(&rel)
+    }
+
+    /// Whether the fact `rel(t)` is stored.
+    pub fn holds(&self, rel: RelId, t: &Tuple) -> bool {
+        self.relations.get(&rel).is_some_and(|r| r.contains(t))
+    }
+
+    /// Inserts a fact into an existing relation; returns `true` if new.
+    pub fn insert_fact(&mut self, rel: RelId, t: Tuple) -> bool {
+        self.relations
+            .get_mut(&rel)
+            .expect("relation ensured before evaluation")
+            .insert(t)
+    }
+
+    /// Demands the index for `(rel, mask)`; a no-op for unknown relations.
+    pub fn ensure_index(&mut self, rel: RelId, mask: Mask) {
+        if let Some(r) = self.relations.get_mut(&rel) {
+            r.ensure_index(mask);
+        }
+    }
+
+    /// Total number of stored facts.
+    pub fn fact_count(&self) -> usize {
+        self.relations.values().map(IndexedRelation::len).sum()
+    }
+
+    /// Copies the storage back into a plain database.
+    pub fn to_database(&self) -> Database {
+        let mut db = Database::new();
+        for (&rel, r) in &self.relations {
+            db.set_relation(rel, r.to_relation());
+        }
+        db
+    }
+}
+
+/// A flat hashed snapshot of a database: O(1) `holds` checks without the
+/// ordering overhead of `BTreeSet` relations.
+///
+/// `kbt-core`'s update strategies use this when they need many membership
+/// tests against a fixed database (candidate filtering during grounding and
+/// the quantifier-free fast path).
+#[derive(Clone, Debug, Default)]
+pub struct FactSet {
+    facts: HashMap<RelId, HashSet<Tuple>>,
+}
+
+impl FactSet {
+    /// Snapshots a database.
+    pub fn from_database(db: &Database) -> Self {
+        FactSet {
+            facts: db
+                .iter()
+                .map(|(rel, r)| (rel, r.iter().cloned().collect()))
+                .collect(),
+        }
+    }
+
+    /// Whether the fact `rel(t)` is in the snapshot.
+    pub fn holds(&self, rel: RelId, t: &Tuple) -> bool {
+        self.facts.get(&rel).is_some_and(|s| s.contains(t))
+    }
+
+    /// Number of facts in the snapshot.
+    pub fn len(&self) -> usize {
+        self.facts.values().map(HashSet::len).sum()
+    }
+
+    /// Whether the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kbt_data::{tuple, DatabaseBuilder};
+
+    fn r(i: u32) -> RelId {
+        RelId::new(i)
+    }
+
+    fn db() -> Database {
+        DatabaseBuilder::new()
+            .fact(r(1), [1u32, 2])
+            .fact(r(1), [2u32, 3])
+            .fact(r(2), [7u32])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn database_round_trip() {
+        let storage = IndexStorage::from_database(&db());
+        assert_eq!(storage.fact_count(), 3);
+        assert!(storage.holds(r(1), &tuple![1, 2]));
+        assert!(!storage.holds(r(1), &tuple![2, 1]));
+        assert_eq!(storage.to_database(), db());
+    }
+
+    #[test]
+    fn ensure_relation_enforces_arity() {
+        let mut storage = IndexStorage::from_database(&db());
+        assert!(storage.ensure_relation(r(1), 2).is_ok());
+        assert!(storage.ensure_relation(r(1), 3).is_err());
+        assert!(storage.ensure_relation(r(9), 1).is_ok());
+        assert!(storage.relation(r(9)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn insert_fact_reports_novelty() {
+        let mut storage = IndexStorage::from_database(&db());
+        assert!(storage.insert_fact(r(2), tuple![8]));
+        assert!(!storage.insert_fact(r(2), tuple![8]));
+        assert_eq!(storage.fact_count(), 4);
+    }
+
+    #[test]
+    fn fact_set_snapshot() {
+        let facts = FactSet::from_database(&db());
+        assert_eq!(facts.len(), 3);
+        assert!(!facts.is_empty());
+        assert!(facts.holds(r(2), &tuple![7]));
+        assert!(!facts.holds(r(2), &tuple![8]));
+        assert!(!facts.holds(r(9), &tuple![7]));
+    }
+}

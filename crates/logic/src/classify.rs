@@ -121,7 +121,10 @@ mod tests {
                     atom(2, [var(1), var(3)]),
                 ),
             ),
-            forall([1, 2], implies(atom(1, [var(1), var(2)]), atom(2, [var(1), var(2)]))),
+            forall(
+                [1, 2],
+                implies(atom(1, [var(1), var(2)]), atom(2, [var(1), var(2)])),
+            ),
         ))
         .unwrap();
         assert_eq!(classify(&datalog), FormulaClass::Datalog);

@@ -134,7 +134,10 @@ impl Formula {
                 And(Box::new(fwd), Box::new(bwd))
             }
             Exists(v, inner) => Exists(*v, Box::new(inner.desugar())),
-            Forall(v, inner) => Not(Box::new(Exists(*v, Box::new(Not(Box::new(inner.desugar())))))),
+            Forall(v, inner) => Not(Box::new(Exists(
+                *v,
+                Box::new(Not(Box::new(inner.desugar()))),
+            ))),
         }
     }
 

@@ -221,11 +221,7 @@ pub fn ground(f: &Formula, domain: &BTreeSet<Const>, env: &mut Interpretation) -
             }
         }
         Formula::Atom(rel, args) => {
-            let tuple = Tuple::new(
-                args.iter()
-                    .map(|t| term_value(t, env))
-                    .collect::<Vec<_>>(),
-            );
+            let tuple = Tuple::new(args.iter().map(|t| term_value(t, env)).collect::<Vec<_>>());
             GroundFormula::Atom(GroundAtom::new(*rel, tuple))
         }
         Formula::Not(inner) => ground(inner, domain, env).negate(),
@@ -247,12 +243,8 @@ pub fn ground(f: &Formula, domain: &BTreeSet<Const>, env: &mut Interpretation) -
                 GroundFormula::or(vec![gb.negate(), ga]),
             ])
         }
-        Formula::Exists(v, inner) => {
-            GroundFormula::or(expand_quantifier(*v, inner, domain, env))
-        }
-        Formula::Forall(v, inner) => {
-            GroundFormula::and(expand_quantifier(*v, inner, domain, env))
-        }
+        Formula::Exists(v, inner) => GroundFormula::or(expand_quantifier(*v, inner, domain, env)),
+        Formula::Forall(v, inner) => GroundFormula::and(expand_quantifier(*v, inner, domain, env)),
     }
 }
 
@@ -324,11 +316,8 @@ mod tests {
     fn grounding_agrees_with_direct_model_checking() {
         // φ = ∀x∃y R(x,y) on several small databases
         let phi = Sentence::new(forall([1], exists([2], atom(1, [var(1), var(2)])))).unwrap();
-        let cases: Vec<Vec<(u32, u32)>> = vec![
-            vec![(1, 2), (2, 1)],
-            vec![(1, 2), (2, 3)],
-            vec![(1, 1)],
-        ];
+        let cases: Vec<Vec<(u32, u32)>> =
+            vec![vec![(1, 2), (2, 1)], vec![(1, 2), (2, 3)], vec![(1, 1)]];
         for edges in cases {
             let mut b = DatabaseBuilder::new().relation(RelId::new(1), 2);
             for &(x, y) in &edges {
@@ -358,10 +347,7 @@ mod tests {
     #[test]
     fn eval_against_atom_set() {
         let a = GroundAtom::new(RelId::new(1), kbt_data::tuple![1]);
-        let g = GroundFormula::or(vec![
-            GroundFormula::Atom(a.clone()),
-            GroundFormula::False,
-        ]);
+        let g = GroundFormula::or(vec![GroundFormula::Atom(a.clone()), GroundFormula::False]);
         let mut set = BTreeSet::new();
         assert!(!g.eval(&set));
         set.insert(a);

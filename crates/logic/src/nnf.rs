@@ -150,10 +150,7 @@ mod tests {
         let f = not(forall([1], exists([2], atom(1, [var(1), var(2)]))));
         let g = to_nnf(&f);
         assert!(is_nnf(&g));
-        assert_eq!(
-            g,
-            exists([1], forall([2], not(atom(1, [var(1), var(2)]))))
-        );
+        assert_eq!(g, exists([1], forall([2], not(atom(1, [var(1), var(2)])))));
     }
 
     #[test]
@@ -162,12 +159,19 @@ mod tests {
             [1],
             implies(
                 atom(1, [var(1), var(1)]),
-                not(exists([2], and(atom(1, [var(1), var(2)]), not(eq(var(1), var(2)))))),
+                not(exists(
+                    [2],
+                    and(atom(1, [var(1), var(2)]), not(eq(var(1), var(2)))),
+                )),
             ),
         );
         let s = Sentence::new(phi.clone()).unwrap();
         let s_nnf = Sentence::new(to_nnf(&phi)).unwrap();
-        for edges in [vec![(1u32, 1u32)], vec![(1, 1), (1, 2)], vec![(1, 2), (2, 2)]] {
+        for edges in [
+            vec![(1u32, 1u32)],
+            vec![(1, 1), (1, 2)],
+            vec![(1, 2), (2, 2)],
+        ] {
             let mut b = DatabaseBuilder::new().relation(RelId::new(1), 2);
             for &(x, y) in &edges {
                 b = b.fact(RelId::new(1), [x, y]);
@@ -198,7 +202,10 @@ mod tests {
         assert!(!relation_occurs_only_positively(&tc, RelId::new(2)));
         // but R1 only occurs in the body, i.e. only negatively — and R3 not at all.
         assert!(relation_occurs_only_positively(&tc, RelId::new(3)));
-        let simple = forall([1, 2], implies(atom(1, [var(1), var(2)]), atom(2, [var(1), var(2)])));
+        let simple = forall(
+            [1, 2],
+            implies(atom(1, [var(1), var(2)]), atom(2, [var(1), var(2)])),
+        );
         assert!(relation_occurs_only_positively(&simple, RelId::new(2)));
     }
 }

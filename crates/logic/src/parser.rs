@@ -487,10 +487,7 @@ mod tests {
             [1, 2, 3],
             implies(
                 or(
-                    and(
-                        atom_r(r2, [var(1), var(2)]),
-                        atom_r(r1, [var(2), var(3)]),
-                    ),
+                    and(atom_r(r2, [var(1), var(2)]), atom_r(r1, [var(2), var(3)])),
                     atom_r(r1, [var(1), var(3)]),
                 ),
                 atom_r(r2, [var(1), var(3)]),

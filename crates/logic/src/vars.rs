@@ -147,10 +147,7 @@ mod tests {
     fn substitution_only_touches_free_occurrences() {
         let f = and(atom(1, [var(1)]), exists([1], atom(2, [var(1)])));
         let g = substitute(&f, Var::new(1), Const::new(9));
-        assert_eq!(
-            g,
-            and(atom(1, [cst(9)]), exists([1], atom(2, [var(1)])))
-        );
+        assert_eq!(g, and(atom(1, [cst(9)]), exists([1], atom(2, [var(1)]))));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! to union the answers over all guesses.
 
 use kbt_core::{Transform, Transformer};
-use kbt_data::{Database, Knowledgebase, Relation, RelId};
+use kbt_data::{Database, Knowledgebase, RelId, Relation};
 use kbt_logic::builder::forall;
 use kbt_logic::{eval::eval_formula, Formula, Interpretation, Sentence, Term, Var};
 
@@ -108,11 +108,7 @@ impl EsoQuery {
     }
 
     /// Evaluates the query through the ST1 encoding.
-    pub fn evaluate_via_st1(
-        &self,
-        t: &Transformer,
-        db: &Database,
-    ) -> kbt_core::Result<Relation> {
+    pub fn evaluate_via_st1(&self, t: &Transformer, db: &Database) -> kbt_core::Result<Relation> {
         let kb = self.guess_knowledgebase(db);
         let result = t.apply(&self.st1_transform(), &kb)?.kb;
         let answer = result
@@ -135,7 +131,10 @@ pub fn two_colourable_side_query(edge_rel: RelId, guessed: RelId, output: RelId)
             [2, 3],
             implies(
                 atom(edge_rel.index(), [var(2), var(3)]),
-                iff(atom(guessed.index(), [var(2)]), not(atom(guessed.index(), [var(3)]))),
+                iff(
+                    atom(guessed.index(), [var(2)]),
+                    not(atom(guessed.index(), [var(3)])),
+                ),
             ),
         ),
         atom(guessed.index(), [var(1)]),

@@ -100,8 +100,7 @@ pub fn flag_database() -> Database {
 
 /// The transformation `π_0 ∘ τ_{R0 → φ'}` of Theorem 4.9.
 pub fn reduction_transform(prop: &Prop) -> Transform {
-    let sentence =
-        Sentence::new(implies(atom(R0.index(), []), prop.to_formula())).expect("closed");
+    let sentence = Sentence::new(implies(atom(R0.index(), []), prop.to_formula())).expect("closed");
     Transform::insert(sentence).then(Transform::project(vec![R0]))
 }
 
@@ -125,7 +124,10 @@ mod tests {
         let p = Prop::Var(0);
         assert!(satisfiable_via_transformation(&t, &p).unwrap());
 
-        let contradiction = Prop::And(Box::new(Prop::Var(0)), Box::new(Prop::Not(Box::new(Prop::Var(0)))));
+        let contradiction = Prop::And(
+            Box::new(Prop::Var(0)),
+            Box::new(Prop::Not(Box::new(Prop::Var(0)))),
+        );
         assert!(!contradiction.brute_force_satisfiable());
         assert!(!satisfiable_via_transformation(&t, &contradiction).unwrap());
     }

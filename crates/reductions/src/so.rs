@@ -16,7 +16,7 @@ use std::collections::BTreeSet;
 
 use kbt_core::update::universe::all_tuples;
 use kbt_core::{Transform, Transformer};
-use kbt_data::{Const, Database, Knowledgebase, Relation, RelId};
+use kbt_data::{Const, Database, Knowledgebase, RelId, Relation};
 use kbt_logic::{eval::eval_formula, Formula, Interpretation, Sentence, Var};
 
 /// A second-order query of the restricted shape produced by the Theorem 5.2
@@ -39,7 +39,11 @@ impl SoQuery {
     /// domain, keep the Winslett-minimal models of `φ`, and union the
     /// projected component (the `⊔` of the translated block).
     pub fn evaluate_brute_force(&self, db: &Database) -> Relation {
-        let domain: BTreeSet<Const> = db.constants().union(&self.phi.constants()).copied().collect();
+        let domain: BTreeSet<Const> = db
+            .constants()
+            .union(&self.phi.constants())
+            .copied()
+            .collect();
         // enumerate all assignments to the base relations
         let mut assignments: Vec<Database> = vec![Database::new()];
         for &(rel, arity) in &self.base {
@@ -145,11 +149,8 @@ mod tests {
             .relation(r(2), 1)
             .build()
             .unwrap();
-        let phi = Sentence::new(forall(
-            [1],
-            implies(atom(1, [var(1)]), atom(2, [var(1)])),
-        ))
-        .unwrap();
+        let phi =
+            Sentence::new(forall([1], implies(atom(1, [var(1)]), atom(2, [var(1)])))).unwrap();
         let query = translate_block(phi, &db, r(2));
         let t = Transformer::new();
         let via_transform = query.evaluate_via_transformation(&t, &db).unwrap();

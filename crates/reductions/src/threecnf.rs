@@ -149,6 +149,17 @@ pub fn reduction_sentence() -> Sentence {
             ),
         ),
     );
+    // Without this conjunct a variable may receive *both* truth values,
+    // which "satisfies" every clause mentioning it and lets unsatisfiable
+    // instances end with the violation flag empty — the possible worlds must
+    // range over genuine assignments, not over multivalued ones.
+    let assign_functionally = forall(
+        [1],
+        not(and(
+            atom(ASSIGN.index(), [var(1), cst(FALSE_VALUE)]),
+            atom(ASSIGN.index(), [var(1), cst(TRUE_VALUE)]),
+        )),
+    );
     let flag_unsatisfied = forall(
         [1],
         implies(
@@ -165,7 +176,12 @@ pub fn reduction_sentence() -> Sentence {
             atom(VIOLATED.index(), []),
         ),
     );
-    Sentence::new(and(assign_something, flag_unsatisfied)).expect("closed")
+    Sentence::new(and_all([
+        assign_something,
+        assign_functionally,
+        flag_unsatisfied,
+    ]))
+    .expect("closed")
 }
 
 /// The transformation expression `π_{R3} ∘ τ_ψ` of Theorem 4.2.
@@ -181,7 +197,7 @@ pub fn satisfiable_via_transformation(t: &Transformer, cnf: &ThreeCnf) -> kbt_co
     let result = t.apply(&reduction_transform(), &kb)?.kb;
     let sat = result
         .iter()
-        .any(|db| db.relation(VIOLATED).map_or(true, |r| r.is_empty()));
+        .any(|db| db.relation(VIOLATED).is_none_or(|r| r.is_empty()));
     Ok(sat)
 }
 
@@ -209,7 +225,10 @@ mod tests {
     fn cnf(clauses: &[[(u32, bool); 3]], num_vars: u32) -> ThreeCnf {
         ThreeCnf {
             num_vars,
-            clauses: clauses.iter().map(|&literals| Clause3 { literals }).collect(),
+            clauses: clauses
+                .iter()
+                .map(|&literals| Clause3 { literals })
+                .collect(),
         }
     }
 
@@ -245,11 +264,7 @@ mod tests {
         // all eight sign patterns over three variables: unsatisfiable.
         let mut clauses = Vec::new();
         for bits in 0..8u32 {
-            clauses.push([
-                (1, bits & 1 != 0),
-                (2, bits & 2 != 0),
-                (3, bits & 4 != 0),
-            ]);
+            clauses.push([(1, bits & 1 != 0), (2, bits & 2 != 0), (3, bits & 4 != 0)]);
         }
         let instance = cnf(&clauses, 3);
         assert!(!instance.brute_force_satisfiable());

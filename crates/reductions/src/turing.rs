@@ -61,7 +61,11 @@ impl Tape {
     /// A tape initialised with the given input, head on the first cell.
     pub fn new(input: &[u8]) -> Self {
         Tape {
-            cells: if input.is_empty() { vec![0] } else { input.to_vec() },
+            cells: if input.is_empty() {
+                vec![0]
+            } else {
+                input.to_vec()
+            },
             head: 0,
         }
     }
@@ -266,10 +270,7 @@ pub fn encode(machine: &Machine, input: &[u8], n: usize) -> TmEncoding {
         // there, all lower bits flip from 1 to 0, and all higher bits agree.
         let mut per_position: Vec<Formula> = Vec::new();
         for k in 0..n {
-            let mut parts = vec![
-                eq(i_block[k], cst(0)),
-                eq(j_block[k], cst(1)),
-            ];
+            let mut parts = vec![eq(i_block[k], cst(0)), eq(j_block[k], cst(1))];
             for lower in (k + 1)..n {
                 parts.push(eq(i_block[lower], cst(1)));
                 parts.push(eq(j_block[lower], cst(0)));
@@ -297,7 +298,10 @@ pub fn encode(machine: &Machine, input: &[u8], n: usize) -> TmEncoding {
             let mut args = var_block(1, n);
             args.extend(var_block(30, n));
             args.push(cst(302));
-            let s_args: Vec<Term> = var_block(1, n).into_iter().chain(var_block(30, n)).collect();
+            let s_args: Vec<Term> = var_block(1, n)
+                .into_iter()
+                .chain(var_block(30, n))
+                .collect();
             forall(
                 (1..=n as u32).chain(30..30 + n as u32).collect::<Vec<_>>(),
                 implies(rel_atom(S, s_args), rel_atom(M, args)),
@@ -307,7 +311,10 @@ pub fn encode(machine: &Machine, input: &[u8], n: usize) -> TmEncoding {
             let mut args = var_block(30, n);
             args.extend(var_block(1, n));
             args.push(cst(301));
-            let s_args: Vec<Term> = var_block(1, n).into_iter().chain(var_block(30, n)).collect();
+            let s_args: Vec<Term> = var_block(1, n)
+                .into_iter()
+                .chain(var_block(30, n))
+                .collect();
             forall(
                 (1..=n as u32).chain(30..30 + n as u32).collect::<Vec<_>>(),
                 implies(rel_atom(S, s_args), rel_atom(M, args)),
@@ -371,8 +378,7 @@ pub fn encode(machine: &Machine, input: &[u8], n: usize) -> TmEncoding {
     };
 
     let theta1 = Transform::insert(
-        Sentence::new(and_all([phi1, phi2, phi3, phi4, phi5]))
-            .expect("setup sentences are closed"),
+        Sentence::new(and_all([phi1, phi2, phi3, phi4, phi5])).expect("setup sentences are closed"),
     );
     // θ3: copy the fixed relations (here: re-assert them over copies; the
     // benchmark only measures sizes, so a projection stands in for the copy).
@@ -450,9 +456,7 @@ mod tests {
     #[test]
     fn encoding_size_grows_quadratically_in_the_input_length() {
         let m = scanner();
-        let sizes: Vec<usize> = (1..=6)
-            .map(|n| encode(&m, &vec![0; n], n).size)
-            .collect();
+        let sizes: Vec<usize> = (1..=6).map(|n| encode(&m, &vec![0; n], n).size).collect();
         // strictly growing …
         assert!(sizes.windows(2).all(|w| w[0] < w[1]));
         // … and sub-cubically: size(2n) ≤ ~4·size(n) with slack.

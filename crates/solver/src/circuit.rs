@@ -89,9 +89,7 @@ impl Bool {
             Bool::True | Bool::False => None,
             Bool::Var(v) => Some(*v),
             Bool::Not(inner) => inner.max_var(),
-            Bool::And(parts) | Bool::Or(parts) => {
-                parts.iter().filter_map(Bool::max_var).max()
-            }
+            Bool::And(parts) | Bool::Or(parts) => parts.iter().filter_map(Bool::max_var).max(),
         }
     }
 
@@ -100,9 +98,7 @@ impl Bool {
         match self {
             Bool::True | Bool::False | Bool::Var(_) => 1,
             Bool::Not(inner) => 1 + inner.size(),
-            Bool::And(parts) | Bool::Or(parts) => {
-                1 + parts.iter().map(Bool::size).sum::<usize>()
-            }
+            Bool::And(parts) | Bool::Or(parts) => 1 + parts.iter().map(Bool::size).sum::<usize>(),
         }
     }
 }

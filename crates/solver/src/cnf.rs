@@ -101,9 +101,7 @@ impl Clause {
 
     /// Whether the clause is a tautology (contains `l` and `¬l`).
     pub fn is_tautology(&self) -> bool {
-        self.0
-            .iter()
-            .any(|&l| self.0.contains(&l.negated()))
+        self.0.iter().any(|&l| self.0.contains(&l.negated()))
     }
 }
 

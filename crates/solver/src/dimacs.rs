@@ -8,11 +8,7 @@ use crate::cnf::{BoolVar, Clause, Cnf, Lit};
 /// Renders a CNF formula in DIMACS format.
 pub fn to_dimacs(cnf: &Cnf) -> String {
     let mut out = String::new();
-    out.push_str(&format!(
-        "p cnf {} {}\n",
-        cnf.num_vars(),
-        cnf.num_clauses()
-    ));
+    out.push_str(&format!("p cnf {} {}\n", cnf.num_vars(), cnf.num_clauses()));
     for clause in cnf.clauses() {
         for lit in clause.literals() {
             let v = lit.var.index() as i64 + 1;

@@ -123,12 +123,7 @@ impl Solver {
             }
         }
         if self.search(&mut assignment) {
-            SolveResult::Sat(
-                assignment
-                    .into_iter()
-                    .map(|v| v.unwrap_or(false))
-                    .collect(),
-            )
+            SolveResult::Sat(assignment.into_iter().map(|v| v.unwrap_or(false)).collect())
         } else {
             SolveResult::Unsat
         }
@@ -139,10 +134,10 @@ impl Solver {
         self.solve(&[]).is_sat()
     }
 
-    /// Recursive DPLL search with unit propagation.
-    fn search(&self, assignment: &mut Vec<Option<bool>>) -> bool {
-        // Unit propagation to fixpoint.
-        let mut trail: Vec<BoolVar> = Vec::new();
+    /// Unit propagation to fixpoint; newly assigned variables are pushed
+    /// onto `trail`.  Returns `false` on conflict (without undoing — the
+    /// caller owns the trail).
+    fn propagate(&self, assignment: &mut [Option<bool>], trail: &mut Vec<BoolVar>) -> bool {
         loop {
             let mut progress = false;
             for clause in &self.clauses {
@@ -166,13 +161,7 @@ impl Solver {
                     continue;
                 }
                 match unassigned_count {
-                    0 => {
-                        // conflict: undo propagation before returning
-                        for v in trail {
-                            assignment[v.index()] = None;
-                        }
-                        return false;
-                    }
+                    0 => return false,
                     1 => {
                         let l = unassigned.expect("counted one unassigned literal");
                         assignment[l.var.index()] = Some(l.positive);
@@ -183,16 +172,17 @@ impl Solver {
                 }
             }
             if !progress {
-                break;
+                return true;
             }
         }
+    }
 
-        // Pick a branching variable: the first unassigned variable of the
-        // first not-yet-satisfied clause (cheap, and it keeps the stack
-        // frames small — minimal-model enumeration prefers a lean solver
-        // over a clever heuristic).
-        let mut branch: Option<usize> = None;
-        'clauses: for clause in &self.clauses {
+    /// Picks a branching variable: the first unassigned variable of the
+    /// first not-yet-satisfied clause (cheap, and good enough — the
+    /// minimal-model enumeration loop prefers a lean solver over a clever
+    /// heuristic).  `None` means every clause is satisfied.
+    fn pick_branch(&self, assignment: &[Option<bool>]) -> Option<usize> {
+        for clause in &self.clauses {
             let satisfied = clause
                 .iter()
                 .any(|l| assignment[l.var.index()].is_some_and(|v| l.satisfied_by(v)));
@@ -201,32 +191,77 @@ impl Solver {
             }
             for &l in clause {
                 if assignment[l.var.index()].is_none() {
-                    branch = Some(l.var.index());
-                    break 'clauses;
+                    return Some(l.var.index());
                 }
             }
         }
-        let Some(branch) = branch else {
-            // Every clause is satisfied (a conflict would have been caught
-            // during propagation).  Unconstrained variables default to false.
-            return true;
-        };
+        None
+    }
 
-        // Try `false` first: the callers minimise sets of positive variables,
-        // so models found this way are already close to subset-minimal.
-        for value in [false, true] {
-            assignment[branch] = Some(value);
-            if self.search(assignment) {
-                return true;
+    /// Iterative DPLL search with unit propagation.
+    ///
+    /// The decision stack lives on the heap: grounded update instances can
+    /// carry thousands of candidate-fact variables, and the recursive
+    /// formulation overflowed the default thread stack at that depth (the
+    /// Theorem 4.2 experiment was the first to hit it).
+    fn search(&self, assignment: &mut [Option<bool>]) -> bool {
+        struct Decision {
+            /// The decision variable.
+            branch: usize,
+            /// Whether the second value (`true`) has been tried yet.
+            tried_true: bool,
+            /// Variables assigned by propagation under this decision.
+            trail: Vec<BoolVar>,
+        }
+
+        // Decision level 0: propagation forced by the clauses alone.  On
+        // UNSAT the caller discards the assignment, so nothing to undo.
+        let mut root_trail = Vec::new();
+        if !self.propagate(assignment, &mut root_trail) {
+            return false;
+        }
+
+        let mut decisions: Vec<Decision> = Vec::new();
+        loop {
+            // Try `false` first: the callers minimise sets of positive
+            // variables, so models found this way are already close to
+            // subset-minimal.
+            let Some(branch) = self.pick_branch(assignment) else {
+                return true; // every clause satisfied
+            };
+            assignment[branch] = Some(false);
+            decisions.push(Decision {
+                branch,
+                tried_true: false,
+                trail: Vec::new(),
+            });
+
+            // Propagate under the newest decision; on conflict, flip the
+            // deepest un-flipped decision (undoing everything below it) and
+            // propagate again.
+            loop {
+                let top = decisions.last_mut().expect("pushed above");
+                if self.propagate(assignment, &mut top.trail) {
+                    break;
+                }
+                loop {
+                    let Some(top) = decisions.last_mut() else {
+                        return false; // both values exhausted everywhere
+                    };
+                    for v in top.trail.drain(..) {
+                        assignment[v.index()] = None;
+                    }
+                    if top.tried_true {
+                        assignment[top.branch] = None;
+                        decisions.pop();
+                    } else {
+                        top.tried_true = true;
+                        assignment[top.branch] = Some(true);
+                        break;
+                    }
+                }
             }
-            assignment[branch] = None;
         }
-
-        // undo propagation assignments made at this level
-        for v in trail {
-            assignment[v.index()] = None;
-        }
-        false
     }
 }
 

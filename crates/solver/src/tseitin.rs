@@ -111,8 +111,9 @@ mod tests {
         let mut cnf = Cnf::new(num_original_vars);
         assert_circuit(circuit, &mut cnf);
         for bits in 0..(1u32 << num_original_vars) {
-            let assignment: Vec<bool> =
-                (0..num_original_vars).map(|i| bits & (1 << i) != 0).collect();
+            let assignment: Vec<bool> = (0..num_original_vars)
+                .map(|i| bits & (1 << i) != 0)
+                .collect();
             let direct = circuit.evaluate(&assignment);
             // solve with the original variables fixed by assumptions
             let solver = Solver::from_cnf(&cnf);

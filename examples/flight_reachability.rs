@@ -63,7 +63,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nafter deleting the {} → {} flight the network has {} direct flights",
         vocab.render_constant(ids[1]),
         vocab.render_constant(ids[2]),
-        after.as_singleton().unwrap().relation(rels::R1).unwrap().len()
+        after
+            .as_singleton()
+            .unwrap()
+            .relation(rels::R1)
+            .unwrap()
+            .len()
     );
     Ok(())
 }

@@ -19,18 +19,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("observed constraints: {constraints:?}");
     let reductions = transitive_reduction::transitive_reductions(&transformer, &constraints)?;
-    println!("\ntransitive reductions (Example 2): {} found", reductions.len());
+    println!(
+        "\ntransitive reductions (Example 2): {} found",
+        reductions.len()
+    );
     for (i, r) in reductions.iter().enumerate() {
         println!("  reduction {}: {r}", i + 1);
     }
 
     // Example 3: is a given set of edges contained in every reduction?
     for query in [vec![(1u32, 2u32)], vec![(1, 3)], vec![(1, 2), (2, 3)]] {
-        let essential = transitive_reduction::edges_in_every_reduction(
-            &transformer,
-            &constraints,
-            &query,
-        )?;
+        let essential =
+            transitive_reduction::edges_in_every_reduction(&transformer, &constraints, &query)?;
         println!(
             "edges {query:?} are {} every transitive reduction",
             if essential { "in" } else { "NOT in" }
@@ -40,6 +40,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // cross-check with the brute-force baseline
     let baseline = transitive_reduction::baseline_transitive_reductions(&constraints);
     assert_eq!(baseline.len(), reductions.len());
-    println!("\nbrute-force baseline agrees: {} reduction(s)", baseline.len());
+    println!(
+        "\nbrute-force baseline agrees: {} reduction(s)",
+        baseline.len()
+    );
     Ok(())
 }

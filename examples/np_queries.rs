@@ -30,7 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         monochromatic_triangle::has_monochromatic_triangle_free_partition(&transformer, &triangle)?;
     println!(
         "Example 5 — the triangle graph {} a triangle-free 2-partition",
-        if partitionable { "has" } else { "does not have" }
+        if partitionable {
+            "has"
+        } else {
+            "does not have"
+        }
     );
 
     // Example 7: maximum clique of a small graph.

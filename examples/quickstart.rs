@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // this tells us nothing about W.
     let transformer = Transformer::new();
     let updated = transformer.insert(&robots::v_landed(), &kb)?.kb;
-    println!("\nafter inserting \"V has landed\" ({} worlds):", updated.len());
+    println!(
+        "\nafter inserting \"V has landed\" ({} worlds):",
+        updated.len()
+    );
     for world in updated.iter() {
         println!("  {world}");
     }

@@ -20,9 +20,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let satisfiable = ThreeCnf {
         num_vars: 3,
         clauses: vec![
-            Clause3 { literals: [(1, true), (2, true), (3, true)] },
-            Clause3 { literals: [(1, false), (2, false), (3, true)] },
-            Clause3 { literals: [(3, false), (1, true), (2, true)] },
+            Clause3 {
+                literals: [(1, true), (2, true), (3, true)],
+            },
+            Clause3 {
+                literals: [(1, false), (2, false), (3, true)],
+            },
+            Clause3 {
+                literals: [(3, false), (1, true), (2, true)],
+            },
         ],
     };
 
@@ -33,9 +39,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             literals: [(1, bits & 1 != 0), (2, bits & 2 != 0), (3, bits & 4 != 0)],
         });
     }
-    let unsatisfiable = ThreeCnf { num_vars: 3, clauses };
+    let unsatisfiable = ThreeCnf {
+        num_vars: 3,
+        clauses,
+    };
 
-    for (name, instance) in [("satisfiable", satisfiable), ("unsatisfiable", unsatisfiable)] {
+    for (name, instance) in [
+        ("satisfiable", satisfiable),
+        ("unsatisfiable", unsatisfiable),
+    ] {
         let via_transform = satisfiable_via_transformation(&transformer, &instance)?;
         let via_dpll = satisfiable_via_dpll(&instance);
         println!(

@@ -15,8 +15,14 @@
 //!   checking and grounding (crate `kbt-logic`),
 //! * [`solver`] — the propositional SAT substrate used for minimal-model
 //!   enumeration (crate `kbt-solver`),
+//! * [`engine`] — the fast-evaluation substrate: indexed relation storage
+//!   (hash indexes per bound-column mask, built lazily), a join planner that
+//!   compiles rule bodies into index-probe sequences, and a delta-aware
+//!   semi-naive fixpoint driver with work counters (crate `kbt-engine`),
 //! * [`datalog`] — the Datalog substrate used by the PTIME fast path and the
-//!   fixpoint expressiveness results (crate `kbt-datalog`),
+//!   fixpoint expressiveness results; its evaluators lower onto the engine,
+//!   with the original nested-loop evaluators preserved as a cross-check
+//!   oracle in `datalog::reference` (crate `kbt-datalog`),
 //! * [`core`] — the transformation language itself: `τ`, `⊓`, `⊔`, `π`,
 //!   transformation expressions, evaluation strategies, the KM postulates,
 //!   and the paper's seven worked examples (crate `kbt-core`),
@@ -28,22 +34,33 @@
 //! The "robot vehicles orbiting Venus" example (Example 1.1 / Example 4 of
 //! the paper): see `examples/quickstart.rs`, or the
 //! [`core::examples`](kbt_core::examples) module.
+//!
+//! ## Performance
+//!
+//! The Theorem 4.8 fast path (`Strategy::Datalog`, picked automatically for
+//! Horn sentences over fresh head relations) runs on `kbt-engine`: the
+//! least fixpoint is computed by semi-naive rounds whose joins are hash
+//! index probes keyed by the binding patterns each rule body demands.  The
+//! `engine_joins` benchmark compares the engine against the preserved
+//! nested-loop oracle; [`core::EvalStats`](kbt_core::EvalStats) and
+//! [`datalog::EvalStats`](kbt_datalog::EvalStats) expose iterations, index
+//! probes and tuples scanned so regressions are observable.
 
 pub use kbt_core as core;
 pub use kbt_data as data;
 pub use kbt_datalog as datalog;
+pub use kbt_engine as engine;
 pub use kbt_logic as logic;
 pub use kbt_reductions as reductions;
 pub use kbt_solver as solver;
 
 /// The most commonly used items, for glob import in examples and tests.
 pub mod prelude {
-    pub use kbt_core::{
-        EvalOptions, Strategy, Transform, TransformResult, Transformer,
-    };
+    pub use kbt_core::{EvalOptions, Strategy, Transform, TransformResult, Transformer};
     pub use kbt_data::{
         Const, Database, DatabaseBuilder, Knowledgebase, KnowledgebaseBuilder, RelId, Relation,
         Schema, Tuple, Vocabulary,
     };
+    pub use kbt_engine::{EngineStats, EvalMode};
     pub use kbt_logic::{Formula, Sentence, Term, Var};
 }

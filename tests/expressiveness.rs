@@ -43,7 +43,11 @@ fn theorem_5_2_translation_agrees_on_random_small_databases() {
     ))
     .unwrap();
     let t = Transformer::new();
-    for edges in [vec![(1u32, 2u32)], vec![(1, 2), (2, 1)], vec![(1, 1), (1, 2)]] {
+    for edges in [
+        vec![(1u32, 2u32)],
+        vec![(1, 2), (2, 1)],
+        vec![(1, 1), (1, 2)],
+    ] {
         let mut b = DatabaseBuilder::new().relation(r(1), 2).relation(r(2), 2);
         for &(x, y) in &edges {
             b = b.fact(r(1), [x, y]);
@@ -72,10 +76,7 @@ fn fixpoint_queries_are_expressible_and_match_the_datalog_substrate() {
 
     let (fixpoint, _) = semi_naive_eval(&program, &db).unwrap();
     let t = Transformer::with_options(EvalOptions::with_strategy(Strategy::Datalog));
-    let via_update = t
-        .insert(&phi, &Knowledgebase::singleton(db))
-        .unwrap()
-        .kb;
+    let via_update = t.insert(&phi, &Knowledgebase::singleton(db)).unwrap().kb;
     assert_eq!(via_update.len(), 1);
     assert_eq!(
         via_update.as_singleton().unwrap().relation(r(2)),

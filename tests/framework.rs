@@ -86,7 +86,10 @@ fn strategies_agree_on_composed_expressions() {
             .fact(r(1), [2u32, 3])
             .build()
             .unwrap(),
-        DatabaseBuilder::new().fact(r(1), [2u32, 3]).build().unwrap(),
+        DatabaseBuilder::new()
+            .fact(r(1), [2u32, 3])
+            .build()
+            .unwrap(),
     ])
     .unwrap();
     use kbt::logic::builder::*;
@@ -116,7 +119,10 @@ fn strategies_agree_on_composed_expressions() {
 #[test]
 fn facade_prelude_exposes_the_working_set() {
     // compile-time check that the prelude's types interoperate.
-    let db: Database = DatabaseBuilder::new().fact(RelId::new(1), [1u32]).build().unwrap();
+    let db: Database = DatabaseBuilder::new()
+        .fact(RelId::new(1), [1u32])
+        .build()
+        .unwrap();
     let kb: Knowledgebase = Knowledgebase::singleton(db);
     let t: Transformer = Transformer::with_options(EvalOptions::default());
     let phi: Sentence =

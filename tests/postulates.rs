@@ -121,12 +121,24 @@ fn postulate_4_irrelevance_of_syntax_on_equivalent_formulations() {
     let pairs = vec![
         (and(a.clone(), b.clone()), and(b.clone(), a.clone())),
         (a.clone(), not(not(a.clone()))),
-        (implies(a.clone(), b.clone()), implies(not(b.clone()), not(a.clone()))),
+        (
+            implies(a.clone(), b.clone()),
+            implies(not(b.clone()), not(a.clone())),
+        ),
         (or(a.clone(), b.clone()), or(b, a)),
     ];
     for (f, g) in pairs {
-        let left = t.insert(&Sentence::new(f.clone()).unwrap(), &kb).unwrap().kb;
-        let right = t.insert(&Sentence::new(g.clone()).unwrap(), &kb).unwrap().kb;
-        assert_eq!(left, right, "τ distinguished equivalent sentences {f} and {g}");
+        let left = t
+            .insert(&Sentence::new(f.clone()).unwrap(), &kb)
+            .unwrap()
+            .kb;
+        let right = t
+            .insert(&Sentence::new(g.clone()).unwrap(), &kb)
+            .unwrap()
+            .kb;
+        assert_eq!(
+            left, right,
+            "τ distinguished equivalent sentences {f} and {g}"
+        );
     }
 }

@@ -33,9 +33,7 @@ fn example_2_and_3_reductions_of_a_diamond() {
     for r in &reductions {
         assert!(!r.contains(&kbt::data::tuple![1, 4]));
     }
-    assert!(
-        transitive_reduction::edges_in_every_reduction(&t, &edges, &[(1, 2), (3, 4)]).unwrap()
-    );
+    assert!(transitive_reduction::edges_in_every_reduction(&t, &edges, &[(1, 2), (3, 4)]).unwrap());
     assert!(!transitive_reduction::edges_in_every_reduction(&t, &edges, &[(1, 4)]).unwrap());
 }
 

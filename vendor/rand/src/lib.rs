@@ -1,0 +1,222 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment of this repository has no network access, so the
+//! real `rand` crate cannot be fetched from crates.io.  This shim implements
+//! exactly the subset of the `rand` 0.9 API surface the workspace uses —
+//! [`Rng`], [`RngExt`], [`SeedableRng`], [`rngs::StdRng`], and the
+//! [`prelude::IndexedRandom`] / [`prelude::IteratorRandom`] helpers — on top
+//! of the xoshiro256** generator seeded through splitmix64.  All generators
+//! are deterministic given their seed, which is what the workload generators
+//! and benchmarks rely on.
+
+/// A source of randomness: the core trait every generator implements.
+pub trait Rng {
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a half-open range by [`RngExt`].
+pub trait SampleUniform: Copy {
+    /// Samples uniformly from `[low, high)`; panics if the range is empty.
+    fn sample_range(rng: &mut dyn FnMut() -> u64, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(rng: &mut dyn FnMut() -> u64, low: Self, high: Self) -> Self {
+                assert!(low < high, "cannot sample from an empty range");
+                let span = (high as u128).wrapping_sub(low as u128) as u64;
+                // multiply-shift uniform mapping; bias is negligible for the
+                // small spans used by the workload generators.
+                let x = ((rng() as u128 * span as u128) >> 64) as u64;
+                (low as u128 + x as u128) as Self
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i32, i64);
+
+/// Convenience sampling methods, mirroring `rand::Rng`'s extension surface.
+pub trait RngExt: Rng {
+    /// Samples uniformly from the half-open range `low..high`.
+    fn random_range<T: SampleUniform>(&mut self, range: core::ops::Range<T>) -> T {
+        let mut f = || self.next_u64();
+        T::sample_range(&mut f, range.start, range.end)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        // 53 uniform mantissa bits → uniform float in [0, 1)
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The standard generator: xoshiro256** seeded via splitmix64.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut s = seed;
+            StdRng {
+                state: [
+                    splitmix64(&mut s),
+                    splitmix64(&mut s),
+                    splitmix64(&mut s),
+                    splitmix64(&mut s),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256**
+            let result = self.state[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.state[1] << 17;
+            self.state[2] ^= self.state[0];
+            self.state[3] ^= self.state[1];
+            self.state[1] ^= self.state[2];
+            self.state[0] ^= self.state[3];
+            self.state[2] ^= t;
+            self.state[3] = self.state[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Slice and iterator sampling helpers.
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::{Rng, RngExt, SeedableRng};
+
+    /// Random selection from slices.
+    pub trait IndexedRandom<T> {
+        /// A uniformly random element, or `None` if the slice is empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T>;
+    }
+
+    impl<T> IndexedRandom<T> for [T] {
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.random_range(0..self.len())])
+            }
+        }
+    }
+
+    /// Random sampling from iterators.
+    pub trait IteratorRandom: Iterator + Sized {
+        /// Reservoir-samples `amount` elements without replacement; returns
+        /// fewer if the iterator is shorter than `amount`.
+        fn sample<R: Rng + ?Sized>(self, rng: &mut R, amount: usize) -> Vec<Self::Item> {
+            let mut reservoir: Vec<Self::Item> = Vec::with_capacity(amount);
+            for (i, item) in self.enumerate() {
+                if reservoir.len() < amount {
+                    reservoir.push(item);
+                } else {
+                    let j = rng.random_range(0..i + 1);
+                    if j < amount {
+                        reservoir[j] = item;
+                    }
+                }
+            }
+            reservoir
+        }
+    }
+
+    impl<I: Iterator> IteratorRandom for I {}
+}
+
+pub use prelude::{IndexedRandom, IteratorRandom};
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn std_rng_is_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: u32 = rng.random_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: usize = rng.random_range(0..1);
+            assert_eq!(y, 0);
+        }
+    }
+
+    #[test]
+    fn random_bool_respects_extremes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert!(!rng.random_bool(0.0));
+            assert!(rng.random_bool(1.0));
+        }
+    }
+
+    #[test]
+    fn choose_and_sample() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let xs = [10, 20, 30];
+        for _ in 0..50 {
+            assert!(xs.contains(xs.choose(&mut rng).unwrap()));
+        }
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+
+        let sampled = (1..=100u32).sample(&mut rng, 10);
+        assert_eq!(sampled.len(), 10);
+        let mut unique = sampled.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 10, "sampling without replacement");
+
+        let short = (1..=3u32).sample(&mut rng, 10);
+        assert_eq!(short.len(), 3);
+    }
+}
