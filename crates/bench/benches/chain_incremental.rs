@@ -1,0 +1,113 @@
+//! Incremental `τ_φ`-chain evaluation vs from-scratch re-derivation.
+//!
+//! The workload is the chain shape the incremental session exists for: a
+//! braid graph (disjoint 10-edge chains) of 100 / 1 000 / 10 000 edges, then
+//! a 20-step `(π ∘ τ_TC ∘ τ_fact)*` expression — each step inserts one new
+//! ground edge, re-derives the transitive closure into a fresh relation, and
+//! projects back onto the edge relation.
+//!
+//! * `chain_incremental/from_scratch` — `EvalOptions::incremental = false`:
+//!   every `τ_TC` step rebuilds the engine storage and re-derives the whole
+//!   fixpoint.
+//! * `chain_incremental/incremental` — the default path: one persistent
+//!   `IncrementalSession` per chain; each step feeds the one-edge diff into
+//!   the live fixpoint.
+//!
+//! Acceptance floor for this PR: ≥ 3× at 20 steps × 10 000 base facts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kbt_bench::quick_criterion;
+use kbt_core::{EvalOptions, Transform, Transformer};
+use kbt_data::{DatabaseBuilder, Knowledgebase, RelId};
+use kbt_logic::builder::*;
+use kbt_logic::Sentence;
+
+fn r(i: u32) -> RelId {
+    RelId::new(i)
+}
+
+/// R2 := transitive closure of R1, as a Horn sentence (Theorem 4.8 shape).
+fn tc_sentence() -> Sentence {
+    Sentence::new(and(
+        forall(
+            [1, 2],
+            implies(atom(1, [var(1), var(2)]), atom(2, [var(1), var(2)])),
+        ),
+        forall(
+            [1, 2, 3],
+            implies(
+                and(atom(2, [var(1), var(2)]), atom(1, [var(2), var(3)])),
+                atom(2, [var(1), var(3)]),
+            ),
+        ),
+    ))
+    .unwrap()
+}
+
+/// `chains` disjoint chains of 10 edges each: `10 * chains` edges total.
+fn braid(chains: u32) -> Knowledgebase {
+    let mut b = DatabaseBuilder::new().relation(r(1), 2);
+    for c in 0..chains {
+        let base = c * 11 + 1;
+        for i in 0..10 {
+            b = b.fact(r(1), [base + i, base + i + 1]);
+        }
+    }
+    Knowledgebase::singleton(b.build().unwrap())
+}
+
+/// The 20-step chain: grow one edge, close transitively, project back.
+fn chain_expression(steps: u32) -> Transform {
+    let mut expr = Transform::Identity;
+    for i in 0..steps {
+        let grow = Sentence::new(atom(1, [cst(1_000_000 + i), cst(1_000_001 + i)])).unwrap();
+        expr = expr
+            .then(Transform::insert(grow))
+            .then(Transform::insert(tc_sentence()))
+            .then(Transform::project([r(1)]));
+    }
+    expr
+}
+
+fn edge_counts() -> [(u32, u32); 3] {
+    // (chains, edges)
+    [(10, 100), (100, 1_000), (1_000, 10_000)]
+}
+
+const STEPS: u32 = 20;
+
+fn bench_from_scratch(c: &mut Criterion) {
+    let expr = chain_expression(STEPS);
+    let transformer = Transformer::with_options(EvalOptions {
+        incremental: false,
+        ..EvalOptions::default()
+    });
+    let mut group = c.benchmark_group("chain_incremental/from_scratch");
+    for (chains, edges) in edge_counts() {
+        let kb = braid(chains);
+        group.bench_with_input(BenchmarkId::from_parameter(edges), &edges, |b, _| {
+            b.iter(|| transformer.apply(&expr, &kb).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let expr = chain_expression(STEPS);
+    let transformer = Transformer::new();
+    let mut group = c.benchmark_group("chain_incremental/incremental");
+    for (chains, edges) in edge_counts() {
+        let kb = braid(chains);
+        group.bench_with_input(BenchmarkId::from_parameter(edges), &edges, |b, _| {
+            b.iter(|| transformer.apply(&expr, &kb).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_from_scratch, bench_incremental,
+}
+criterion_main!(benches);

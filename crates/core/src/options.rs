@@ -47,6 +47,13 @@ pub struct EvalOptions {
     pub max_ground_atoms: usize,
     /// Ceiling on the number of possible worlds a knowledgebase may grow to.
     pub max_worlds: usize,
+    /// Whether repeated Datalog-fast-path `τ_φ` steps inside one `Seq` may
+    /// share a persistent incremental engine session: consecutive
+    /// applications of the same Horn sentence to closely related singleton
+    /// knowledgebases are then evaluated by feeding the databases' diff into
+    /// the live fixpoint instead of re-deriving it from scratch.  Results
+    /// are byte-identical either way; disable to benchmark the difference.
+    pub incremental: bool,
 }
 
 impl Default for EvalOptions {
@@ -55,6 +62,7 @@ impl Default for EvalOptions {
             strategy: Strategy::Auto,
             max_ground_atoms: 200_000,
             max_worlds: 100_000,
+            incremental: true,
         }
     }
 }
@@ -86,6 +94,12 @@ pub struct EvalStats {
     pub index_probes: usize,
     /// Tuples inspected by the evaluation engine's scans and probes.
     pub tuples_scanned: usize,
+    /// Facts the incremental chain sessions carried over between `τ_φ`
+    /// steps without recomputation (zero when evaluation ran from scratch).
+    pub reused_facts: usize,
+    /// Facts the incremental chain sessions restored through DRed
+    /// rederivation or a fallback stratum recomputation.
+    pub rederived_facts: usize,
 }
 
 impl EvalStats {
@@ -98,6 +112,8 @@ impl EvalStats {
         self.fixpoint_iterations += other.fixpoint_iterations;
         self.index_probes += other.index_probes;
         self.tuples_scanned += other.tuples_scanned;
+        self.reused_facts += other.reused_facts;
+        self.rederived_facts += other.rederived_facts;
     }
 
     /// Folds the engine statistics of one `µ` evaluation into this record.
@@ -105,6 +121,8 @@ impl EvalStats {
         self.fixpoint_iterations += fixpoint.iterations;
         self.index_probes += fixpoint.index_probes;
         self.tuples_scanned += fixpoint.tuples_scanned;
+        self.reused_facts += fixpoint.reused_facts;
+        self.rederived_facts += fixpoint.rederived_facts;
     }
 }
 
@@ -118,6 +136,7 @@ mod tests {
         assert_eq!(o.strategy, Strategy::Auto);
         assert!(o.max_ground_atoms > 0);
         assert!(o.max_worlds > 0);
+        assert!(o.incremental);
         assert_eq!(Strategy::default(), Strategy::Auto);
     }
 
@@ -153,10 +172,14 @@ mod tests {
             strata: 1,
             index_probes: 42,
             tuples_scanned: 77,
+            reused_facts: 9,
+            rederived_facts: 2,
         });
         assert_eq!(a.fixpoint_iterations, 5);
         assert_eq!(a.index_probes, 42);
         assert_eq!(a.tuples_scanned, 77);
+        assert_eq!(a.reused_facts, 9);
+        assert_eq!(a.rederived_facts, 2);
     }
 
     #[test]

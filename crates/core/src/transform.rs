@@ -41,9 +41,36 @@ impl Transform {
         Transform::Project(rels.into())
     }
 
+    /// Sequential composition from parts, canonicalized: an empty sequence
+    /// is [`Transform::Identity`] and a singleton is its only element
+    /// (recursively, so `Seq([Seq([])])` is `Identity` too) — the
+    /// degenerate `Seq` forms that behave as units under evaluation also
+    /// *compare* as units.
+    pub fn seq(parts: impl Into<Vec<Transform>>) -> Transform {
+        let mut parts = parts.into();
+        match parts.len() {
+            0 => Transform::Identity,
+            1 => parts.pop().expect("length checked").canonical(),
+            _ => Transform::Seq(parts),
+        }
+    }
+
+    /// Collapses the degenerate `Seq` forms (`Seq([])` → `Identity`,
+    /// `Seq([t])` → `t`, recursively) so composition laws hold
+    /// structurally.
+    fn canonical(self) -> Transform {
+        match self {
+            Transform::Seq(parts) => Transform::seq(parts),
+            other => other,
+        }
+    }
+
     /// Sequential composition `self ; next` (apply `self` first).
+    ///
+    /// Degenerate sequences are canonicalized first, so `Seq([])` acts as
+    /// the unit exactly like `Identity` and `Seq([t])` composes as `t`.
     pub fn then(self, next: Transform) -> Transform {
-        match (self, next) {
+        match (self.canonical(), next.canonical()) {
             (Transform::Identity, t) | (t, Transform::Identity) => t,
             (Transform::Seq(mut a), Transform::Seq(b)) => {
                 a.extend(b);
@@ -176,6 +203,57 @@ mod tests {
         assert_eq!(Transform::Identity.then(t.clone()), t);
         assert_eq!(t.clone().then(Transform::Identity), t);
         assert!(Transform::Identity.is_empty());
+    }
+
+    #[test]
+    fn empty_and_singleton_seqs_compose_as_units() {
+        // regression: Seq([]) behaves as identity under steps() but used to
+        // compare unequal to Identity after composition, breaking the unit
+        // laws for the degenerate forms.
+        let t = Transform::insert(sent());
+        assert_eq!(t.clone().then(Transform::Seq(vec![])), t);
+        assert_eq!(Transform::Seq(vec![]).then(t.clone()), t);
+        assert_eq!(
+            Transform::Seq(vec![]).then(Transform::Seq(vec![])),
+            Transform::Identity
+        );
+        // singleton sequences compose like their only element
+        assert_eq!(
+            Transform::Seq(vec![t.clone()]).then(Transform::Glb),
+            t.clone().then(Transform::Glb)
+        );
+        assert_eq!(
+            Transform::Glb.then(Transform::Seq(vec![t.clone()])),
+            Transform::Glb.then(t.clone())
+        );
+        assert_eq!(
+            Transform::Seq(vec![t.clone()]).then(Transform::Seq(vec![])),
+            t
+        );
+    }
+
+    #[test]
+    fn seq_constructor_canonicalizes() {
+        let t = Transform::insert(sent());
+        assert_eq!(Transform::seq(vec![]), Transform::Identity);
+        assert_eq!(Transform::seq(vec![t.clone()]), t);
+        assert_eq!(
+            Transform::seq(vec![t.clone(), Transform::Glb]),
+            Transform::Seq(vec![t.clone(), Transform::Glb])
+        );
+        // degenerate forms collapse through arbitrary nesting depth
+        assert_eq!(
+            Transform::seq(vec![Transform::Seq(vec![])]),
+            Transform::Identity
+        );
+        assert_eq!(
+            Transform::seq(vec![Transform::Seq(vec![Transform::Seq(vec![t.clone()])])]),
+            t
+        );
+        assert_eq!(
+            t.clone().then(Transform::Seq(vec![Transform::Seq(vec![])])),
+            t
+        );
     }
 
     #[test]

@@ -4,13 +4,24 @@
 //! are the glb/lub/projection functions of `kbt-data`.  The evaluator walks a
 //! [`Transform`] expression step by step, carrying statistics and enforcing
 //! the resource limits of [`EvalOptions`].
+//!
+//! `Seq` compositions get the *incremental chain* optimisation (when
+//! [`EvalOptions::incremental`] is on): while walking the flattened steps,
+//! the evaluator keeps at most one live [`ChainSession`] — a persistent
+//! engine fixpoint for the most recent Datalog-fast-path sentence.  A later
+//! `τ_φ` step with the same Horn sentence applied to a singleton
+//! knowledgebase is then evaluated by feeding the diff of the two input
+//! databases into the session instead of re-deriving the fixpoint from
+//! scratch.  Results are byte-identical; `EvalStats::reused_facts` shows
+//! the saving.
 
 use kbt_data::Knowledgebase;
 
 use crate::error::CoreError;
-use crate::options::{EvalOptions, EvalStats};
+use crate::options::{EvalOptions, EvalStats, Strategy};
 use crate::transform::Transform;
-use crate::update::minimal_update;
+use crate::update::datalog::{self, ChainSession};
+use crate::update::{minimal_update, UpdateOutcome};
 use crate::Result;
 
 /// The result of applying a transformation expression.
@@ -64,33 +75,57 @@ impl Transformer {
     ) -> Result<Knowledgebase> {
         match transform {
             Transform::Identity => Ok(kb),
-            Transform::Seq(parts) => {
+            Transform::Seq(_) => {
+                // Walk the flattened steps with a persistent chain session,
+                // so consecutive Datalog-fast-path insertions of the same
+                // sentence share one live engine fixpoint.  Building a
+                // session only pays off when a later insertion can reuse
+                // it, so chains with fewer than two `τ` steps skip it.
+                let steps = transform.steps();
+                let mut chain: Option<ChainSession> = None;
+                let enable_chain = steps
+                    .iter()
+                    .filter(|s| matches!(s, Transform::Insert(_)))
+                    .count()
+                    >= 2;
                 let mut current = kb;
-                for part in parts {
-                    current = self.apply_inner(part, current, stats)?;
+                for part in steps {
+                    let chain = enable_chain.then_some(&mut chain);
+                    current = self.apply_step(part, current, stats, chain)?;
                 }
                 Ok(current)
             }
+            other => self.apply_step(other, kb, stats, None),
+        }
+    }
+
+    /// Applies one primitive operator (`steps()` has flattened away `Seq`
+    /// and `Identity`).  `chain` is the `Seq` walk's persistent session
+    /// slot; `None` disables chain reuse (single-step expressions).
+    fn apply_step(
+        &self,
+        step: &Transform,
+        kb: Knowledgebase,
+        stats: &mut EvalStats,
+        chain: Option<&mut Option<ChainSession>>,
+    ) -> Result<Knowledgebase> {
+        match step {
+            Transform::Identity => Ok(kb),
+            Transform::Seq(_) => self.apply_inner(step, kb, stats),
             Transform::Insert(phi) => {
                 stats.operators += 1;
                 let mut out = Knowledgebase::empty();
+                if let Some(chain) = chain {
+                    if let Some(outcome) = self.chain_update(phi, &kb, chain)? {
+                        self.absorb_outcome(&outcome, stats);
+                        self.collect_worlds(outcome, &mut out)?;
+                        return Ok(out);
+                    }
+                }
                 for db in kb.iter() {
                     let outcome = minimal_update(phi, db, &self.options)?;
-                    stats.updates += 1;
-                    stats.candidate_atoms += outcome.candidate_atoms;
-                    stats.minimal_models += outcome.databases.len();
-                    if let Some(fixpoint) = &outcome.fixpoint {
-                        stats.absorb_fixpoint(fixpoint);
-                    }
-                    for result in outcome.databases {
-                        out.insert(result)?;
-                        if out.len() > self.options.max_worlds {
-                            return Err(CoreError::TooManyWorlds {
-                                worlds: out.len(),
-                                limit: self.options.max_worlds,
-                            });
-                        }
-                    }
+                    self.absorb_outcome(&outcome, stats);
+                    self.collect_worlds(outcome, &mut out)?;
                 }
                 Ok(out)
             }
@@ -107,6 +142,62 @@ impl Transformer {
                 Ok(kb.project(rels))
             }
         }
+    }
+
+    /// Tries the incremental chain path for `τ_φ(kb)`: engaged for
+    /// singleton knowledgebases under the `Auto`/`Datalog` strategies when
+    /// the Datalog fast path applies.  Returns `None` when the regular
+    /// per-database path should run instead.
+    fn chain_update(
+        &self,
+        phi: &kbt_logic::Sentence,
+        kb: &Knowledgebase,
+        chain: &mut Option<ChainSession>,
+    ) -> Result<Option<UpdateOutcome>> {
+        if !self.options.incremental
+            || !matches!(self.options.strategy, Strategy::Auto | Strategy::Datalog)
+        {
+            return Ok(None);
+        }
+        let Some(db) = kb.as_singleton() else {
+            return Ok(None);
+        };
+        if !datalog::applicable(phi, db) {
+            return Ok(None);
+        }
+        if let Some(session) = chain.as_mut() {
+            if session.matches(phi) {
+                return session.advance(db).map(Some);
+            }
+        }
+        let (session, outcome) = ChainSession::start(phi, db)?;
+        *chain = Some(session);
+        Ok(Some(outcome))
+    }
+
+    /// Folds one `µ` outcome's counters into the running statistics.
+    fn absorb_outcome(&self, outcome: &UpdateOutcome, stats: &mut EvalStats) {
+        stats.updates += 1;
+        stats.candidate_atoms += outcome.candidate_atoms;
+        stats.minimal_models += outcome.databases.len();
+        if let Some(fixpoint) = &outcome.fixpoint {
+            stats.absorb_fixpoint(fixpoint);
+        }
+    }
+
+    /// Adds an outcome's databases to the output knowledgebase, enforcing
+    /// the world limit.
+    fn collect_worlds(&self, outcome: UpdateOutcome, out: &mut Knowledgebase) -> Result<()> {
+        for result in outcome.databases {
+            out.insert(result)?;
+            if out.len() > self.options.max_worlds {
+                return Err(CoreError::TooManyWorlds {
+                    worlds: out.len(),
+                    limit: self.options.max_worlds,
+                });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -210,6 +301,65 @@ mod tests {
             t.insert(&phi, &kb),
             Err(CoreError::TooManyWorlds { .. })
         ));
+    }
+
+    #[test]
+    fn incremental_chain_matches_from_scratch_and_reuses_facts() {
+        // TC sentence into R2, interleaved with ground edge insertions and
+        // projections back onto R1 — the ST-style chain shape the
+        // incremental session exists for.
+        let tc = Sentence::new(and(
+            forall(
+                [1, 2],
+                implies(atom(1, [var(1), var(2)]), atom(2, [var(1), var(2)])),
+            ),
+            forall(
+                [1, 2, 3],
+                implies(
+                    and(atom(2, [var(1), var(2)]), atom(1, [var(2), var(3)])),
+                    atom(2, [var(1), var(3)]),
+                ),
+            ),
+        ))
+        .unwrap();
+        let mut expr = Transform::Identity;
+        for i in 0..5u32 {
+            let grow = Sentence::new(atom(1, [cst(10 + i), cst(11 + i)])).unwrap();
+            expr = expr
+                .then(Transform::insert(grow))
+                .then(Transform::insert(tc.clone()))
+                .then(Transform::project([r(1)]));
+        }
+        let kb = Knowledgebase::singleton(
+            DatabaseBuilder::new()
+                .fact(r(1), [1u32, 2])
+                .fact(r(1), [2u32, 3])
+                .build()
+                .unwrap(),
+        );
+
+        let incremental = Transformer::new().apply(&expr, &kb).unwrap();
+        let from_scratch = Transformer::with_options(EvalOptions {
+            incremental: false,
+            ..EvalOptions::default()
+        })
+        .apply(&expr, &kb)
+        .unwrap();
+
+        assert_eq!(incremental.kb, from_scratch.kb);
+        assert_eq!(incremental.stats.updates, from_scratch.stats.updates);
+        assert!(
+            incremental.stats.reused_facts > 0,
+            "the chain must reuse engine facts, stats: {:?}",
+            incremental.stats
+        );
+        assert_eq!(from_scratch.stats.reused_facts, 0);
+        assert!(
+            incremental.stats.tuples_scanned < from_scratch.stats.tuples_scanned,
+            "incremental ({}) must scan fewer tuples than from-scratch ({})",
+            incremental.stats.tuples_scanned,
+            from_scratch.stats.tuples_scanned
+        );
     }
 
     #[test]

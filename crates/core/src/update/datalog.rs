@@ -7,9 +7,17 @@
 //! order forces it) and the fresh relations take the least values satisfying
 //! the clauses — i.e. the least fixpoint of the corresponding Datalog
 //! program, computable in polynomial time by semi-naive evaluation.
+//!
+//! [`ChainSession`] adds the incremental variant used for `τ_φ` *chains*: a
+//! `Seq` applying the same Horn sentence to a series of closely related
+//! singleton knowledgebases keeps one engine session alive and feeds it the
+//! diff between consecutive databases instead of re-deriving every fixpoint
+//! from scratch.
 
-use kbt_data::Database;
-use kbt_datalog::{program_from_sentence, semi_naive_eval};
+use std::collections::BTreeSet;
+
+use kbt_data::{Database, RelId, Relation, Schema, Tuple};
+use kbt_datalog::{program_from_sentence, semi_naive_eval, IncrementalEval};
 use kbt_logic::{horn_clauses, Sentence};
 
 use crate::error::CoreError;
@@ -59,6 +67,138 @@ pub fn datalog_update(
         candidate_atoms: 0,
         fixpoint: Some(stats),
     })
+}
+
+/// A persistent incremental evaluation of one Horn sentence across a chain
+/// of closely related databases.
+///
+/// The transformer keeps at most one of these per `Seq` walk: the first
+/// applicable `τ_φ` step builds it (paying one full fixpoint), and every
+/// later `τ_φ` step with the *same* sentence advances it by diffing the new
+/// input database against the one the session last saw.  The produced
+/// outcome is byte-identical to [`datalog_update`]; if the engine rejects a
+/// delta (e.g. a relation reappeared with a different arity), the session
+/// transparently rebuilds itself from scratch.
+#[derive(Clone, Debug)]
+pub struct ChainSession {
+    phi: Sentence,
+    /// The schema of `φ`, cached (the per-step result assembly needs it).
+    phi_schema: Schema,
+    /// The input database the session is currently synced to.
+    base: Database,
+    eval: IncrementalEval,
+}
+
+impl ChainSession {
+    /// Builds a session for `φ` over `db` (the caller must have checked
+    /// [`applicable`]) and returns the first update outcome.
+    pub fn start(phi: &Sentence, db: &Database) -> Result<(Self, UpdateOutcome)> {
+        let program = program_from_sentence(phi)?;
+        let phi_schema = phi.schema();
+        let schema = db.schema().union(&phi_schema)?;
+        let lifted = db.extend_schema(&schema)?;
+        let eval = IncrementalEval::new(&program, &lifted)?;
+        let stats = eval.total_stats();
+        let session = ChainSession {
+            phi: phi.clone(),
+            phi_schema,
+            base: db.clone(),
+            eval,
+        };
+        let outcome = UpdateOutcome {
+            databases: vec![session.eval.current()],
+            candidate_atoms: 0,
+            fixpoint: Some(stats),
+        };
+        Ok((session, outcome))
+    }
+
+    /// Whether the session evaluates this sentence.
+    pub fn matches(&self, phi: &Sentence) -> bool {
+        self.phi == *phi
+    }
+
+    /// Advances the session to `db` (the caller must have checked
+    /// [`applicable`] for `db`): the diff against the previously seen
+    /// database is fed to the engine as a delta, and the maintained fixpoint
+    /// is returned restricted to the schema `σ(db) ∪ σ(φ)` — exactly what
+    /// [`datalog_update`] would produce from scratch.
+    pub fn advance(&mut self, db: &Database) -> Result<UpdateOutcome> {
+        // The from-scratch path fails here on a σ(db)/σ(φ) arity conflict;
+        // the incremental path must fail identically (a tuple-level diff
+        // alone would miss conflicts on *empty* relations).
+        db.schema().union(&self.phi_schema)?;
+        let (insertions, deletions) = diff(db, &self.base);
+        let stats = match self.eval.apply_delta(&insertions, &deletions) {
+            Ok(stats) => stats,
+            Err(_) => {
+                // e.g. a relation came back with a different arity: fall
+                // back to rebuilding the whole session on the new input.
+                let (rebuilt, outcome) = ChainSession::start(&self.phi, db)?;
+                *self = rebuilt;
+                return Ok(outcome);
+            }
+        };
+        self.base = db.clone();
+
+        // Assemble the result the way the from-scratch path would have:
+        // the input database's relations verbatim (the engine mirrors them,
+        // but `db` already holds them materialised), plus the relations of
+        // σ(φ) absent from σ(db) — the fresh head relations at their
+        // maintained fixpoint and φ's body-only relations (empty).  This
+        // copies only the intensional output instead of the whole engine
+        // storage, and implicitly drops relations earlier chain inputs left
+        // behind in the engine.
+        let mut result = db.clone();
+        for (rel, arity) in self.phi_schema.iter() {
+            if result.relation(rel).is_none() {
+                let relation = self
+                    .eval
+                    .relation(rel)
+                    .unwrap_or_else(|| Relation::empty(arity));
+                result.set_relation(rel, relation);
+            }
+        }
+        Ok(UpdateOutcome {
+            databases: vec![result],
+            candidate_atoms: 0,
+            fixpoint: Some(stats),
+        })
+    }
+}
+
+/// A list of facts, as the engine's delta entry points accept them.
+type FactList = Vec<(RelId, Tuple)>;
+
+/// The componentwise diff `new − old` / `old − new` over both schemas,
+/// grouped as insertion and deletion fact lists for the engine.
+fn diff(new: &Database, old: &Database) -> (FactList, FactList) {
+    let rels: BTreeSet<RelId> = new
+        .schema()
+        .relations()
+        .chain(old.schema().relations())
+        .collect();
+    let mut insertions = Vec::new();
+    let mut deletions = Vec::new();
+    for rel in rels {
+        let new_rel = new.relation(rel);
+        let old_rel = old.relation(rel);
+        if let Some(nr) = new_rel {
+            for t in nr.iter() {
+                if !old_rel.is_some_and(|o| o.contains(t)) {
+                    insertions.push((rel, t.clone()));
+                }
+            }
+        }
+        if let Some(or) = old_rel {
+            for t in or.iter() {
+                if !new_rel.is_some_and(|n| n.contains(t)) {
+                    deletions.push((rel, t.clone()));
+                }
+            }
+        }
+    }
+    (insertions, deletions)
 }
 
 #[cfg(test)]
@@ -153,6 +293,103 @@ mod tests {
         c.sort();
         assert_eq!(a, b);
         assert_eq!(a, c);
+    }
+
+    #[test]
+    fn chain_session_tracks_datalog_update_across_diffs() {
+        let phi = tc_sentence();
+        let mut db = DatabaseBuilder::new()
+            .fact(r(1), [1u32, 2])
+            .fact(r(1), [2u32, 3])
+            .build()
+            .unwrap();
+        let opts = EvalOptions::default();
+        let (mut session, first) = ChainSession::start(&phi, &db).unwrap();
+        assert_eq!(first, datalog_update(&phi, &db, &opts).unwrap());
+        assert!(session.matches(&phi));
+
+        // grow the chain, shrink it, and then change an unrelated relation
+        let edits: Vec<(bool, (u32, u32))> = vec![
+            (true, (3, 4)),
+            (true, (4, 5)),
+            (false, (2, 3)),
+            (true, (2, 3)),
+        ];
+        for (insert, (x, y)) in edits {
+            if insert {
+                db.insert_fact(r(1), kbt_data::tuple![x, y]).unwrap();
+            } else {
+                db.remove_fact(r(1), &kbt_data::tuple![x, y]);
+            }
+            let got = session.advance(&db).unwrap();
+            let want = datalog_update(&phi, &db, &opts).unwrap();
+            assert_eq!(got.databases, want.databases);
+        }
+    }
+
+    #[test]
+    fn chain_session_restricts_to_the_current_schema() {
+        // the second input drops relation R3 entirely; the session result
+        // must not leak it back in.
+        let phi = tc_sentence();
+        let db1 = DatabaseBuilder::new()
+            .fact(r(1), [1u32, 2])
+            .fact(r(3), [7u32])
+            .build()
+            .unwrap();
+        let db2 = DatabaseBuilder::new()
+            .fact(r(1), [1u32, 2])
+            .fact(r(1), [2u32, 3])
+            .build()
+            .unwrap();
+        let (mut session, _) = ChainSession::start(&phi, &db1).unwrap();
+        let got = session.advance(&db2).unwrap();
+        let want = datalog_update(&phi, &db2, &EvalOptions::default()).unwrap();
+        assert_eq!(got.databases, want.databases);
+        assert!(got.databases[0].relation(r(3)).is_none());
+    }
+
+    #[test]
+    fn chain_session_rebuilds_on_arity_conflicts() {
+        // R3 disappears and returns with a different arity: the in-place
+        // delta is impossible, so the session must rebuild transparently.
+        let phi = tc_sentence();
+        let db1 = DatabaseBuilder::new()
+            .fact(r(1), [1u32, 2])
+            .fact(r(3), [7u32])
+            .build()
+            .unwrap();
+        let db2 = DatabaseBuilder::new()
+            .fact(r(1), [1u32, 2])
+            .fact(r(3), [7u32, 8])
+            .build()
+            .unwrap();
+        let (mut session, _) = ChainSession::start(&phi, &db1).unwrap();
+        let got = session.advance(&db2).unwrap();
+        let want = datalog_update(&phi, &db2, &EvalOptions::default()).unwrap();
+        assert_eq!(got.databases, want.databases);
+        // and the rebuilt session keeps advancing correctly
+        let mut db3 = db2.clone();
+        db3.insert_fact(r(1), kbt_data::tuple![2, 3]).unwrap();
+        let got = session.advance(&db3).unwrap();
+        let want = datalog_update(&phi, &db3, &EvalOptions::default()).unwrap();
+        assert_eq!(got.databases, want.databases);
+    }
+
+    #[test]
+    fn chain_session_rejects_schema_conflicts_with_phi() {
+        // R1 returns empty with arity 3: the tuple-level diff is deletions
+        // only, but σ(db) ∪ σ(φ) is contradictory — advance must fail just
+        // like the from-scratch path does.
+        let phi = tc_sentence();
+        let db1 = DatabaseBuilder::new()
+            .fact(r(1), [1u32, 2])
+            .build()
+            .unwrap();
+        let db2 = DatabaseBuilder::new().relation(r(1), 3).build().unwrap();
+        let (mut session, _) = ChainSession::start(&phi, &db1).unwrap();
+        assert!(session.advance(&db2).is_err());
+        assert!(datalog_update(&phi, &db2, &EvalOptions::default()).is_err());
     }
 
     #[test]

@@ -76,8 +76,11 @@ pub fn grounding_update(
     // Stage 1: minimal flip-sets.
     let minimal_flip_sets = enumerate_minimal_models(&solver, &flip_vars, &[], None);
 
-    // Stage 2: per flip-set, minimal new-relation contents.
-    let mut result: Vec<Database> = Vec::new();
+    // Stage 2: per flip-set, minimal new-relation contents.  The world
+    // limit is enforced against the *deduplicated* set: duplicate databases
+    // (however they arise) must not count toward `max_worlds`, and the
+    // error reports the number of distinct worlds actually found.
+    let mut result: std::collections::BTreeSet<Database> = std::collections::BTreeSet::new();
     for flips in &minimal_flip_sets {
         let mut assumptions: Vec<Lit> = Vec::with_capacity(flip_vars.len());
         for (&atom_idx, &fv) in old_atoms.iter().zip(&flip_vars) {
@@ -88,12 +91,6 @@ pub fn grounding_update(
         }
         let minimal_new = enumerate_minimal_models(&solver, &new_vars, &assumptions, None);
         for new_set in &minimal_new {
-            if result.len() >= options.max_worlds {
-                return Err(CoreError::TooManyWorlds {
-                    worlds: result.len(),
-                    limit: options.max_worlds,
-                });
-            }
             let database = ctx.database_from(|i| {
                 if ctx.is_old_atom(i) {
                     let fv = flip_var_of[i].expect("old atoms have flip vars");
@@ -102,13 +99,16 @@ pub fn grounding_update(
                     new_set.contains(&BoolVar::new(i as u32))
                 }
             });
-            result.push(database);
+            if result.insert(database) && result.len() > options.max_worlds {
+                return Err(CoreError::TooManyWorlds {
+                    worlds: result.len(),
+                    limit: options.max_worlds,
+                });
+            }
         }
     }
-    result.sort();
-    result.dedup();
     Ok(UpdateOutcome {
-        databases: result,
+        databases: result.into_iter().collect(),
         candidate_atoms: n,
         fixpoint: None,
     })
@@ -230,6 +230,41 @@ mod tests {
         assert_same_as_exhaustive(&taut, &db);
         let force = Sentence::new(atom(3, [])).unwrap();
         assert_same_as_exhaustive(&force, &db);
+    }
+
+    #[test]
+    fn world_limit_counts_distinct_worlds_only() {
+        // (R1(3) ∨ R1(4)) into {R1(1)} has exactly two distinct minimal
+        // models; a limit of exactly 2 must succeed (regression: the limit
+        // used to be checked against the pre-dedup result vector, so any
+        // duplicate database produced along the way counted toward it), and
+        // a limit of 1 must fail reporting the true distinct count found.
+        let db = DatabaseBuilder::new().fact(r(1), [1u32]).build().unwrap();
+        let phi = Sentence::new(or(atom(1, [cst(3)]), atom(1, [cst(4)]))).unwrap();
+
+        let fits = EvalOptions {
+            max_worlds: 2,
+            ..EvalOptions::default()
+        };
+        let out = grounding_update(&phi, &db, &fits).unwrap();
+        assert_eq!(out.databases.len(), 2);
+        // results stay sorted and duplicate-free
+        let mut sorted = out.databases.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted, out.databases);
+
+        let too_small = EvalOptions {
+            max_worlds: 1,
+            ..EvalOptions::default()
+        };
+        match grounding_update(&phi, &db, &too_small) {
+            Err(crate::error::CoreError::TooManyWorlds { worlds, limit }) => {
+                assert_eq!(limit, 1);
+                assert_eq!(worlds, 2, "the error must report distinct worlds");
+            }
+            other => panic!("expected TooManyWorlds, got {other:?}"),
+        }
     }
 
     #[test]

@@ -7,16 +7,20 @@
 //! sentence.  Enumerating the `2^k` truth assignments of those `k ≤ |φ|`
 //! atoms and keeping the Winslett-minimal models therefore takes polynomial
 //! time in the size of the database (Theorem 4.7).
+//!
+//! Unlike the grounding evaluator this path never materialises the
+//! candidate-atom universe (`Σ_R |B|^arity(R)` facts): it only needs the
+//! result schema and the `k` atoms of the sentence, so it stays cheap on
+//! arbitrarily large databases — which is what lets ground `τ_φ` steps ride
+//! inside long incremental chains over 10k+ fact databases.
 
 use std::collections::BTreeSet;
 
 use kbt_data::{minimal_elements, Database};
-use kbt_engine::FactSet;
 use kbt_logic::{ground_sentence, is_ground, GroundAtom, Sentence};
 
 use crate::error::CoreError;
 use crate::options::EvalOptions;
-use crate::update::universe::UpdateContext;
 use crate::update::UpdateOutcome;
 use crate::Result;
 
@@ -25,9 +29,9 @@ use crate::Result;
 /// A candidate differs from the input database only on the `k` ground atoms
 /// of `φ`, and `φ` mentions no other facts — so the truth of `φ` in a
 /// candidate depends only on the chosen bit assignment.  The `2^k`
-/// assignments are therefore evaluated symbolically (one engine-backed
-/// [`FactSet`] lookup per atom fixes the base truth values); a candidate
-/// database is only materialised for the assignments that satisfy `φ`.
+/// assignments are therefore evaluated symbolically (one membership lookup
+/// per atom fixes the base truth values); a candidate database is only
+/// materialised for the assignments that satisfy `φ`.
 pub fn quantifier_free_update(
     phi: &Sentence,
     db: &Database,
@@ -39,14 +43,29 @@ pub fn quantifier_free_update(
             reason: "the sentence contains variables or quantifiers".to_string(),
         });
     }
-    let ctx = UpdateContext::new(phi, db, options)?;
+    let mut domain = db.constants();
+    domain.extend(phi.constants());
+    let schema = db.schema().union(&phi.schema())?;
     // Grounding a ground sentence simply rewrites it over ground atoms.
-    let ground = ground_sentence(phi, &ctx.domain);
+    let ground = ground_sentence(phi, &domain);
     let atoms: Vec<GroundAtom> = ground.atoms().into_iter().collect();
     let k = atoms.len();
+    // The enumeration below is 2^k in the *sentence* size (fine for data
+    // complexity, Theorem 4.7), but an adversarially wide sentence must not
+    // hang the evaluator or overflow the shift: reuse the ground-atom
+    // ceiling as the budget for the assignment space.
+    let assignments = 1u64
+        .checked_shl(k as u32)
+        .map(|n| usize::try_from(n).unwrap_or(usize::MAX))
+        .unwrap_or(usize::MAX);
+    if assignments > options.max_ground_atoms {
+        return Err(CoreError::UniverseTooLarge {
+            atoms: assignments,
+            limit: options.max_ground_atoms,
+        });
+    }
 
-    let stored = FactSet::from_database(db);
-    let base = ctx.lift(db)?;
+    let base = db.extend_schema(&schema)?;
     let mut models: Vec<Database> = Vec::new();
     for bits in 0..(1u64 << k) {
         let mut true_atoms: BTreeSet<GroundAtom> = BTreeSet::new();
@@ -64,10 +83,10 @@ pub fn quantifier_free_update(
         for (j, atom) in atoms.iter().enumerate() {
             let value = bits & (1 << j) != 0;
             if value {
-                if !stored.holds(atom.rel, &atom.tuple) {
+                if !db.holds(atom.rel, &atom.tuple) {
                     candidate.insert_fact(atom.rel, atom.tuple.clone())?;
                 }
-            } else if stored.holds(atom.rel, &atom.tuple) {
+            } else if db.holds(atom.rel, &atom.tuple) {
                 candidate.remove_fact(atom.rel, &atom.tuple);
             }
         }
@@ -137,6 +156,37 @@ mod tests {
         for d in &out.databases {
             assert_eq!(d.fact_count(), 51);
         }
+    }
+
+    #[test]
+    fn large_databases_do_not_hit_the_universe_ceiling() {
+        // 600 constants over a binary relation would be a 360k-atom
+        // universe; the quantifier-free path must not materialise it.
+        let mut b = DatabaseBuilder::new();
+        for i in 0..300u32 {
+            b = b.fact(r(1), [2 * i, 2 * i + 1]);
+        }
+        let db = b.build().unwrap();
+        let phi = Sentence::new(atom(1, [cst(5000), cst(5001)])).unwrap();
+        let out = quantifier_free_update(&phi, &db, &EvalOptions::default()).unwrap();
+        assert_eq!(out.databases.len(), 1);
+        assert_eq!(out.databases[0].fact_count(), 301);
+    }
+
+    #[test]
+    fn adversarially_wide_sentences_hit_the_assignment_budget() {
+        // 2^k assignments for a k-atom sentence must be bounded by the
+        // ground-atom ceiling instead of hanging (or overflowing the shift).
+        let db = DatabaseBuilder::new().fact(r(1), [1u32]).build().unwrap();
+        let mut wide = atom(1, [cst(0)]);
+        for i in 1..40u32 {
+            wide = or(wide, atom(1, [cst(i)]));
+        }
+        let phi = Sentence::new(wide).unwrap();
+        assert!(matches!(
+            quantifier_free_update(&phi, &db, &EvalOptions::default()),
+            Err(CoreError::UniverseTooLarge { .. })
+        ));
     }
 
     #[test]

@@ -45,6 +45,12 @@ pub struct EvalStats {
     pub index_probes: usize,
     /// Number of candidate tuples inspected by scans and probe buckets.
     pub tuples_scanned: usize,
+    /// Incremental only: facts of the previous fixpoint reused untouched by
+    /// a delta application (zero for from-scratch evaluations).
+    pub reused_facts: usize,
+    /// Incremental only: facts restored by DRed rederivation or re-derived
+    /// by the stratified-negation fallback recomputation.
+    pub rederived_facts: usize,
 }
 
 impl From<EngineStats> for EvalStats {
@@ -55,6 +61,8 @@ impl From<EngineStats> for EvalStats {
             strata: s.strata,
             index_probes: s.index_probes,
             tuples_scanned: s.tuples_scanned,
+            reused_facts: s.reused_facts,
+            rederived_facts: s.rederived_facts,
         }
     }
 }
@@ -83,6 +91,80 @@ fn eval_with(program: &Program, edb: &Database, mode: EvalMode) -> Result<(Datab
         .collect::<Result<Vec<_>>>()?;
     let (db, stats) = kbt_engine::evaluate(&lowered, edb, mode)?;
     Ok((db, stats.into()))
+}
+
+/// A persistent incremental evaluation of one Datalog program: the
+/// AST-level face of [`kbt_engine::IncrementalSession`].
+///
+/// Built once from a program and an extensional database (paying one full
+/// fixpoint), it then accepts fact deltas and keeps the engine's indexed
+/// storage — tuples and hash indexes — alive across them.
+/// [`IncrementalEval::current`] is always byte-identical to
+/// [`semi_naive_eval`] over the mutated database.  See the engine crate
+/// docs for the lifecycle and the stratified-negation caveats.
+#[derive(Clone, Debug)]
+pub struct IncrementalEval {
+    session: kbt_engine::IncrementalSession,
+}
+
+impl IncrementalEval {
+    /// Stratifies and lowers `program`, then evaluates it over `edb` to
+    /// seed the session.
+    pub fn new(program: &Program, edb: &Database) -> Result<Self> {
+        let lowered = crate::lower::lower_strata(program)?;
+        Ok(IncrementalEval {
+            session: kbt_engine::IncrementalSession::new(&lowered, edb)?,
+        })
+    }
+
+    /// Statistics of the initial from-scratch evaluation plus every delta
+    /// applied since.
+    pub fn total_stats(&self) -> EvalStats {
+        (*self.session.stats()).into()
+    }
+
+    /// Applies one delta (deletions retracted before insertions are added)
+    /// and restores the least fixpoint; returns this call's statistics.
+    ///
+    /// Deltas may only touch extensional relations.  On error the session
+    /// may be partially mutated — rebuild it instead of continuing.
+    pub fn apply_delta(
+        &mut self,
+        insertions: &[(kbt_data::RelId, kbt_data::Tuple)],
+        deletions: &[(kbt_data::RelId, kbt_data::Tuple)],
+    ) -> Result<EvalStats> {
+        Ok(self.session.apply_delta(insertions, deletions)?.into())
+    }
+
+    /// Inserts extensional facts and propagates them.
+    pub fn insert_facts(
+        &mut self,
+        facts: &[(kbt_data::RelId, kbt_data::Tuple)],
+    ) -> Result<EvalStats> {
+        self.apply_delta(facts, &[])
+    }
+
+    /// Removes extensional facts, retracting dependent derivations.
+    pub fn remove_facts(
+        &mut self,
+        facts: &[(kbt_data::RelId, kbt_data::Tuple)],
+    ) -> Result<EvalStats> {
+        self.apply_delta(&[], facts)
+    }
+
+    /// The maintained fixpoint as a plain database.
+    pub fn current(&self) -> Database {
+        self.session.current()
+    }
+
+    /// Materialises one maintained relation (`None` if the session has never
+    /// seen it) — cheaper than [`Self::current`] when the caller assembles
+    /// its result from a known schema.
+    pub fn relation(&self, rel: kbt_data::RelId) -> Option<kbt_data::Relation> {
+        self.session
+            .relation(rel)
+            .map(kbt_engine::IndexedRelation::to_relation)
+    }
 }
 
 /// Returns only the intensional part of the fixpoint as a database (useful
@@ -300,6 +382,25 @@ mod tests {
         assert_eq!(fix.relation(r(4)).unwrap().len(), 6);
         assert!(fix.holds(r(4), &kbt_data::tuple![3, 1]));
         assert!(!fix.holds(r(4), &kbt_data::tuple![1, 3]));
+    }
+
+    #[test]
+    fn incremental_eval_tracks_semi_naive_across_deltas() {
+        let program = tc_program();
+        let mut edb = chain_db(8);
+        let mut inc = IncrementalEval::new(&program, &edb).unwrap();
+        assert_eq!(inc.current(), semi_naive_eval(&program, &edb).unwrap().0);
+
+        let stats = inc.insert_facts(&[(r(1), kbt_data::tuple![8, 9])]).unwrap();
+        edb.insert_fact(r(1), kbt_data::tuple![8, 9]).unwrap();
+        assert_eq!(inc.current(), semi_naive_eval(&program, &edb).unwrap().0);
+        assert!(stats.reused_facts > 0);
+
+        let stats = inc.remove_facts(&[(r(1), kbt_data::tuple![4, 5])]).unwrap();
+        edb.remove_fact(r(1), &kbt_data::tuple![4, 5]);
+        assert_eq!(inc.current(), semi_naive_eval(&program, &edb).unwrap().0);
+        assert!(stats.reused_facts > 0);
+        assert!(inc.total_stats().derived_facts > 0);
     }
 
     #[test]

@@ -32,9 +32,9 @@ pub mod stratify;
 
 pub use ast::{DlAtom, Literal, Program, Rule};
 pub use error::DatalogError;
-pub use eval::{idb_only, naive_eval, semi_naive_eval, EvalStats};
+pub use eval::{idb_only, naive_eval, semi_naive_eval, EvalStats, IncrementalEval};
 pub use from_logic::{program_from_horn, program_from_sentence};
-pub use lower::{lower_program, lower_rule};
+pub use lower::{lower_program, lower_rule, lower_strata};
 pub use reference::{reference_naive_eval, reference_semi_naive_eval};
 pub use stratify::stratify;
 

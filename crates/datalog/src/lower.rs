@@ -60,6 +60,17 @@ pub fn lower_program(program: &Program) -> Result<ir::Program> {
     ))
 }
 
+/// Stratifies `program` and lowers every stratum: the entry point shared by
+/// the one-shot evaluators and the delta-driven
+/// [`IncrementalEval`](crate::eval::IncrementalEval) session, which hands
+/// the result straight to [`kbt_engine::IncrementalSession`].
+pub fn lower_strata(program: &Program) -> Result<Vec<ir::Program>> {
+    crate::stratify::stratify(program)?
+        .iter()
+        .map(lower_program)
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

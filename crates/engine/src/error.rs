@@ -20,6 +20,13 @@ pub enum EngineError {
         /// Its arity.
         arity: usize,
     },
+    /// An incremental delta tried to insert or remove facts of a relation
+    /// that some stratum derives; the session only accepts extensional
+    /// mutations (intensional relations are maintained by the fixpoint).
+    IntensionalUpdate {
+        /// The offending relation.
+        rel: kbt_data::RelId,
+    },
     /// An error from the relational substrate (arity mismatches, …).
     Data(DataError),
 }
@@ -34,6 +41,13 @@ impl fmt::Display for EngineError {
                 write!(
                     f,
                     "relation {rel} has arity {arity}, above the engine maximum of 32"
+                )
+            }
+            EngineError::IntensionalUpdate { rel } => {
+                write!(
+                    f,
+                    "relation {rel} is intensional: incremental deltas may only touch \
+                     extensional relations"
                 )
             }
             EngineError::Data(e) => write!(f, "data error: {e}"),

@@ -50,17 +50,7 @@ pub fn evaluate(
     let mut stats = EngineStats::default();
     for program in strata {
         stats.strata += 1;
-        let idb = program.idb_relations();
-        let planned: Vec<PlannedRule> = program
-            .rules
-            .iter()
-            .map(|r| PlannedRule::plan(r, &idb))
-            .collect();
-        for rule in &planned {
-            for (rel, mask) in rule.demanded_indexes() {
-                storage.ensure_index(rel, mask);
-            }
-        }
+        let planned = plan_stratum(program, &mut storage, &program.idb_relations());
         match mode {
             EvalMode::Naive => eval_stratum_naive(&planned, &mut storage, &mut stats),
             EvalMode::SemiNaive => eval_stratum_semi_naive(&planned, &mut storage, &mut stats),
@@ -69,10 +59,43 @@ pub fn evaluate(
     Ok((storage.to_database(), stats))
 }
 
-type Pending = BTreeMap<RelId, BTreeSet<Tuple>>;
-type Deltas = BTreeMap<RelId, IndexedRelation>;
+/// Plans one stratum against the current storage and demands the indexes
+/// the plans need: the planner is fed the relation cardinalities known at
+/// this point so greedy ties are broken towards smaller relations, and
+/// `eligible` names the relations that get delta-scan variants (the
+/// stratum's IDB for one-shot evaluation; every positive body relation for
+/// the incremental session, whose extensional relations change too).
+pub(crate) fn plan_stratum(
+    program: &Program,
+    storage: &mut IndexStorage,
+    eligible: &BTreeSet<RelId>,
+) -> Vec<PlannedRule> {
+    let sizes: BTreeMap<RelId, usize> = program
+        .relation_arities()
+        .keys()
+        .map(|&rel| (rel, storage.relation_len(rel)))
+        .collect();
+    let planned: Vec<PlannedRule> = program
+        .rules
+        .iter()
+        .map(|r| PlannedRule::plan_sized(r, eligible, &sizes))
+        .collect();
+    for rule in &planned {
+        for (rel, mask) in rule.demanded_indexes() {
+            storage.ensure_index(rel, mask);
+        }
+    }
+    planned
+}
 
-fn eval_stratum_naive(rules: &[PlannedRule], storage: &mut IndexStorage, stats: &mut EngineStats) {
+pub(crate) type Pending = BTreeMap<RelId, BTreeSet<Tuple>>;
+pub(crate) type Deltas = BTreeMap<RelId, IndexedRelation>;
+
+pub(crate) fn eval_stratum_naive(
+    rules: &[PlannedRule],
+    storage: &mut IndexStorage,
+    stats: &mut EngineStats,
+) {
     let no_deltas = Deltas::new();
     loop {
         stats.iterations += 1;
@@ -87,7 +110,7 @@ fn eval_stratum_naive(rules: &[PlannedRule], storage: &mut IndexStorage, stats: 
     }
 }
 
-fn eval_stratum_semi_naive(
+pub(crate) fn eval_stratum_semi_naive(
     rules: &[PlannedRule],
     storage: &mut IndexStorage,
     stats: &mut EngineStats,
@@ -117,7 +140,11 @@ fn eval_stratum_semi_naive(
 
 /// Inserts the pending facts, returning the ones that were actually new as
 /// the next delta (in indexed form, ready to be scanned as drivers).
-fn commit(storage: &mut IndexStorage, pending: Pending, stats: &mut EngineStats) -> Deltas {
+pub(crate) fn commit(
+    storage: &mut IndexStorage,
+    pending: Pending,
+    stats: &mut EngineStats,
+) -> Deltas {
     let mut delta = Deltas::new();
     for (rel, facts) in pending {
         for fact in facts {
@@ -136,7 +163,7 @@ fn commit(storage: &mut IndexStorage, pending: Pending, stats: &mut EngineStats)
 
 /// Runs one join plan, adding derived head facts (not yet in storage) to
 /// `pending`.
-fn derive(
+pub(crate) fn derive(
     rule: &PlannedRule,
     plan: &JoinPlan,
     storage: &IndexStorage,
@@ -144,32 +171,44 @@ fn derive(
     pending: &mut Pending,
     stats: &mut EngineStats,
 ) {
-    let mut regs: Vec<Option<Const>> = vec![None; rule.slots];
-    run_steps(
-        rule,
-        &plan.steps,
-        storage,
-        deltas,
-        &mut regs,
-        pending,
-        stats,
-    );
+    run_plan(rule, plan, storage, deltas, stats, &mut |fact| {
+        if !storage.holds(rule.head.rel, &fact) {
+            pending.entry(rule.head.rel).or_default().insert(fact);
+        }
+    });
 }
 
-fn resolve(term: Term, regs: &[Option<Const>]) -> Const {
+/// Runs one join plan, feeding every instantiated head fact to `sink`
+/// (besides [`derive`], the incremental session's overdeletion phase
+/// supplies its own sink; its *rederivation* check needs pre-bound
+/// registers and early exit, which its dedicated `satisfiable` walker
+/// handles).
+pub(crate) fn run_plan(
+    rule: &PlannedRule,
+    plan: &JoinPlan,
+    storage: &IndexStorage,
+    deltas: &Deltas,
+    stats: &mut EngineStats,
+    sink: &mut dyn FnMut(Tuple),
+) {
+    let mut regs: Vec<Option<Const>> = vec![None; rule.slots];
+    run_steps(rule, &plan.steps, storage, deltas, &mut regs, stats, sink);
+}
+
+pub(crate) fn resolve(term: Term, regs: &[Option<Const>]) -> Const {
     match term {
         Term::Const(c) => c,
         Term::Slot(s) => regs[s].expect("slot bound by an earlier step (range restriction)"),
     }
 }
 
-fn instantiate(terms: &[Term], regs: &[Option<Const>]) -> Tuple {
+pub(crate) fn instantiate(terms: &[Term], regs: &[Option<Const>]) -> Tuple {
     Tuple::new(terms.iter().map(|&t| resolve(t, regs)).collect::<Vec<_>>())
 }
 
 /// Matches `tuple` against per-column actions, binding unbound slots.
 /// Returns `false` (after recording partial bindings in `undo`) on mismatch.
-fn match_cols(
+pub(crate) fn match_cols(
     tuple: &Tuple,
     cols: &[(usize, Term)],
     regs: &mut [Option<Const>],
@@ -199,20 +238,18 @@ fn match_cols(
     true
 }
 
+/// Recursive step interpreter behind [`run_plan`].
 fn run_steps(
     rule: &PlannedRule,
     steps: &[Step],
     storage: &IndexStorage,
     deltas: &Deltas,
     regs: &mut Vec<Option<Const>>,
-    pending: &mut Pending,
     stats: &mut EngineStats,
+    sink: &mut dyn FnMut(Tuple),
 ) {
     let Some((step, rest)) = steps.split_first() else {
-        let fact = instantiate(&rule.head.terms, regs);
-        if !storage.holds(rule.head.rel, &fact) {
-            pending.entry(rule.head.rel).or_default().insert(fact);
-        }
+        sink(instantiate(&rule.head.terms, regs));
         return;
     };
     match step {
@@ -228,7 +265,7 @@ fn run_steps(
             for tuple in relation.iter() {
                 stats.tuples_scanned += 1;
                 if match_cols(tuple, cols, regs, &mut undo) {
-                    run_steps(rule, rest, storage, deltas, regs, pending, stats);
+                    run_steps(rule, rest, storage, deltas, regs, stats, sink);
                 }
                 for s in undo.drain(..) {
                     regs[s] = None;
@@ -248,9 +285,12 @@ fn run_steps(
             stats.index_probes += 1;
             let mut undo = Vec::new();
             for &id in relation.probe(*mask, &key) {
+                if !relation.is_live(id) {
+                    continue; // tombstone from an incremental removal
+                }
                 stats.tuples_scanned += 1;
                 if match_cols(relation.tuple(id), cols, regs, &mut undo) {
-                    run_steps(rule, rest, storage, deltas, regs, pending, stats);
+                    run_steps(rule, rest, storage, deltas, regs, stats, sink);
                 }
                 for s in undo.drain(..) {
                     regs[s] = None;
@@ -261,14 +301,14 @@ fn run_steps(
             stats.index_probes += 1;
             let fact = instantiate(terms, regs);
             if storage.holds(*rel, &fact) {
-                run_steps(rule, rest, storage, deltas, regs, pending, stats);
+                run_steps(rule, rest, storage, deltas, regs, stats, sink);
             }
         }
         Step::NegCheck { rel, terms } => {
             stats.index_probes += 1;
             let fact = instantiate(terms, regs);
             if !storage.holds(*rel, &fact) {
-                run_steps(rule, rest, storage, deltas, regs, pending, stats);
+                run_steps(rule, rest, storage, deltas, regs, stats, sink);
             }
         }
     }

@@ -1,0 +1,802 @@
+//! Incremental fixpoint maintenance: a persistent evaluation session that
+//! carries its [`IndexStorage`] (tuples, hash indexes, join plans) across
+//! fact deltas instead of re-deriving every fixpoint from a cold start.
+//!
+//! A transformation expression of the paper applies many sentences to
+//! closely related databases: each `τ_φ` step of a `π ∘ ⊔ ∘ τ_φ` chain sees
+//! the previous step's output with a small diff.  [`IncrementalSession`]
+//! exploits that:
+//!
+//! * **Insertions** run as a continuation of semi-naive evaluation — the new
+//!   extensional facts seed a delta round per stratum and only derivations
+//!   touching the delta are recomputed.
+//! * **Deletions** use DRed-style *overdeletion / rederivation* (the shape
+//!   of micro-datalog's `dred.rs`): first every fact transitively supported
+//!   by a deleted fact is overdeleted against the *old* state, then the
+//!   overdeleted facts with surviving alternative derivations are restored
+//!   by a head-bound satisfiability probe and a final insertion-propagation
+//!   sweep.
+//! * **Stratified negation** is handled by a conservative fallback: a
+//!   stratum whose negated relations may have changed — and every stratum
+//!   above it — is recomputed from scratch (its intensional relations are
+//!   cleared and re-derived with the usual semi-naive rounds).  Purely
+//!   positive programs, which is what the Horn fast path of `kbt-core`
+//!   produces, never hit the fallback.
+//!
+//! Deltas may only touch *extensional* relations; mutating a relation any
+//! stratum derives returns [`EngineError::IntensionalUpdate`] — intensional
+//! content is owned by the fixpoint.
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+use kbt_data::{Const, Database, RelId, Tuple};
+
+use crate::eval::{
+    commit, derive, eval_stratum_semi_naive, instantiate, match_cols, resolve, Deltas, Pending,
+};
+use crate::index::IndexedRelation;
+use crate::ir::{Program, Term};
+use crate::plan::{PlannedRule, Source, Step};
+use crate::stats::EngineStats;
+use crate::storage::IndexStorage;
+use crate::{EngineError, Result};
+
+/// One planned stratum with the relation sets the delta dispatcher needs.
+#[derive(Clone, Debug)]
+struct Stratum {
+    /// The planned rules (with delta variants for *every* positive body
+    /// occurrence, since between calls the extensional relations change
+    /// too, not just the intensional ones).
+    rules: Vec<PlannedRule>,
+    /// The stratum's head relations.
+    heads: BTreeSet<RelId>,
+    /// Relations occurring under negation in this stratum.
+    neg_rels: BTreeSet<RelId>,
+    /// Every relation the stratum's rule bodies read.
+    read_rels: BTreeSet<RelId>,
+}
+
+/// A live fixpoint over indexed storage that accepts fact deltas.
+///
+/// See the [module docs](self) for the algorithm; see `kbt-engine`'s crate
+/// docs for the lifecycle contract.
+#[derive(Clone, Debug)]
+pub struct IncrementalSession {
+    strata: Vec<Stratum>,
+    /// Union of all head relations — the relations deltas must not touch.
+    idb: BTreeSet<RelId>,
+    /// Extensional facts the initial EDB stored *in head relations*.  They
+    /// hold without needing a rule derivation, so DRed must never retract
+    /// them and fallback recomputations must re-seed them.
+    protected: BTreeMap<RelId, HashSet<Tuple>>,
+    storage: IndexStorage,
+    totals: EngineStats,
+}
+
+impl IncrementalSession {
+    /// Builds a session by fully evaluating the pre-stratified `strata` over
+    /// `edb` (the same computation as [`crate::evaluate`] in semi-naive
+    /// mode).  The statistics of this initial evaluation are available
+    /// through [`Self::stats`].
+    pub fn new(strata: &[Program], edb: &Database) -> Result<Self> {
+        let mut storage = IndexStorage::from_database(edb);
+        for program in strata {
+            for (rel, arity) in program.relation_arities() {
+                storage.ensure_relation(rel, arity)?;
+            }
+        }
+
+        let mut stats = EngineStats::default();
+        let mut planned = Vec::with_capacity(strata.len());
+        let mut idb = BTreeSet::new();
+        let mut protected: BTreeMap<RelId, HashSet<Tuple>> = BTreeMap::new();
+        for program in strata {
+            stats.strata += 1;
+            let heads = program.idb_relations();
+            // facts the EDB itself stored in this stratum's head relations
+            // (before any rule has fired) hold unconditionally
+            for &rel in &heads {
+                let base = storage
+                    .relation(rel)
+                    .map(IndexedRelation::to_set)
+                    .unwrap_or_default();
+                if !base.is_empty() {
+                    protected.insert(rel, base);
+                }
+            }
+            let mut eligible = heads.clone();
+            for rule in &program.rules {
+                for (_, atom) in rule.positive_atoms() {
+                    eligible.insert(atom.rel);
+                }
+            }
+            let rules = crate::eval::plan_stratum(program, &mut storage, &eligible);
+            eval_stratum_semi_naive(&rules, &mut storage, &mut stats);
+
+            let neg_rels = program
+                .rules
+                .iter()
+                .flat_map(|r| r.body.iter().filter(|l| !l.positive).map(|l| l.atom.rel))
+                .collect();
+            let read_rels = program
+                .rules
+                .iter()
+                .flat_map(|r| r.body.iter().map(|l| l.atom.rel))
+                .collect();
+            idb.extend(heads.iter().copied());
+            planned.push(Stratum {
+                rules,
+                heads,
+                neg_rels,
+                read_rels,
+            });
+        }
+        Ok(IncrementalSession {
+            strata: planned,
+            idb,
+            protected,
+            storage,
+            totals: stats,
+        })
+    }
+
+    /// Inserts extensional facts and propagates them through the fixpoint.
+    pub fn insert_facts(&mut self, facts: &[(RelId, Tuple)]) -> Result<EngineStats> {
+        self.apply_delta(facts, &[])
+    }
+
+    /// Removes extensional facts, retracting everything that loses its last
+    /// derivation (DRed overdelete / rederive).
+    pub fn remove_facts(&mut self, facts: &[(RelId, Tuple)]) -> Result<EngineStats> {
+        self.apply_delta(&[], facts)
+    }
+
+    /// Applies one combined delta: `deletions` are retracted first, then
+    /// `insertions` are added, and the stored fixpoint is maintained so that
+    /// [`Self::current`] equals a from-scratch evaluation over the mutated
+    /// extensional database.  Returns the statistics of this application
+    /// only (lifetime totals accumulate in [`Self::stats`]).
+    ///
+    /// On error (an intensional relation touched, or an arity conflict) the
+    /// storage may hold a partially applied delta; callers should rebuild
+    /// the session rather than continue with it.
+    pub fn apply_delta(
+        &mut self,
+        insertions: &[(RelId, Tuple)],
+        deletions: &[(RelId, Tuple)],
+    ) -> Result<EngineStats> {
+        for (rel, _) in insertions.iter().chain(deletions) {
+            if self.idb.contains(rel) {
+                return Err(EngineError::IntensionalUpdate { rel: *rel });
+            }
+        }
+
+        let mut stats = EngineStats::default();
+        let count_before = self.storage.fact_count();
+
+        // The deletions actually present, grouped and deduplicated.
+        let mut del_actual = Deltas::new();
+        for (rel, t) in deletions {
+            if self.storage.holds(*rel, t) {
+                delta_insert(&mut del_actual, *rel, t.clone());
+            }
+        }
+        // Relations whose content this call may change, from the input's
+        // point of view (cascaded intensional changes are added per stratum
+        // below while picking the negation-fallback cutoff).
+        let mut possibly_changed: BTreeSet<RelId> = del_actual.keys().copied().collect();
+        for (rel, t) in insertions {
+            if !self.storage.holds(*rel, t) || del_actual.get(rel).is_some_and(|d| d.contains(t)) {
+                possibly_changed.insert(*rel);
+            }
+        }
+
+        // The lowest stratum whose negated relations may change; it and
+        // everything above it fall back to a from-scratch recomputation.
+        let mut fallback_from = self.strata.len();
+        for (k, stratum) in self.strata.iter().enumerate() {
+            if stratum
+                .neg_rels
+                .iter()
+                .any(|r| possibly_changed.contains(r))
+            {
+                fallback_from = k;
+                break;
+            }
+            if stratum
+                .read_rels
+                .iter()
+                .any(|r| possibly_changed.contains(r))
+            {
+                possibly_changed.extend(stratum.heads.iter().copied());
+            }
+        }
+
+        // Phase A — overdeletion, against the *old* storage (nothing has
+        // been removed yet, so joins still see every deleted fact and no
+        // joint deletion across body atoms can be missed).
+        let mut over = del_actual.clone();
+        let mut round = del_actual;
+        while !round.is_empty() {
+            stats.iterations += 1;
+            let mut pending = Pending::new();
+            for stratum in &self.strata[..fallback_from] {
+                for rule in &stratum.rules {
+                    let head_rel = rule.head.rel;
+                    for (driver, plan) in &rule.deltas {
+                        if round.get(driver).is_none_or(IndexedRelation::is_empty) {
+                            continue;
+                        }
+                        let storage = &self.storage;
+                        let over_ref = &over;
+                        let protected = &self.protected;
+                        crate::eval::run_plan(rule, plan, storage, &round, &mut stats, &mut |f| {
+                            if storage.holds(head_rel, &f)
+                                && !over_ref.get(&head_rel).is_some_and(|o| o.contains(&f))
+                                && !protected.get(&head_rel).is_some_and(|p| p.contains(&f))
+                            {
+                                pending.entry(head_rel).or_default().insert(f);
+                            }
+                        });
+                    }
+                }
+            }
+            round = Deltas::new();
+            for (rel, facts) in pending {
+                for fact in facts {
+                    if delta_insert(&mut over, rel, fact.clone()) {
+                        delta_insert(&mut round, rel, fact);
+                    }
+                }
+            }
+        }
+
+        // Phase B — retract the deleted facts and everything overdeleted.
+        let mut removed = 0usize;
+        for (rel, facts) in &over {
+            for t in facts.iter() {
+                if self.storage.remove_fact(*rel, t) {
+                    removed += 1;
+                }
+            }
+        }
+
+        // Phase C — apply the extensional insertions; `added` accumulates
+        // every fact added during this call and seeds the per-stratum
+        // propagation deltas.
+        let mut added = Deltas::new();
+        for (rel, t) in insertions {
+            self.storage.ensure_relation(*rel, t.arity())?;
+            if self.storage.insert_fact(*rel, t.clone()) {
+                delta_insert(&mut added, *rel, t.clone());
+            }
+        }
+
+        // Phase D — per stratum (bottom-up): rederive overdeleted facts
+        // with a surviving alternative derivation, then run semi-naive
+        // insertion rounds seeded with everything added so far.
+        for k in 0..fallback_from {
+            let stratum = &self.strata[k];
+            for rel in &stratum.heads {
+                let Some(over_rel) = over.get(rel) else {
+                    continue;
+                };
+                for fact in over_rel.iter() {
+                    if self.storage.holds(*rel, fact) {
+                        continue; // restored by an earlier rederivation
+                    }
+                    let derivable = stratum
+                        .rules
+                        .iter()
+                        .filter(|r| r.head.rel == *rel)
+                        .any(|r| rederivable(r, fact, &self.storage, &mut stats));
+                    if derivable {
+                        self.storage.insert_fact(*rel, fact.clone());
+                        stats.rederived_facts += 1;
+                        delta_insert(&mut added, *rel, fact.clone());
+                    }
+                }
+            }
+
+            let mut delta = added.clone();
+            while !delta.is_empty() {
+                stats.iterations += 1;
+                let mut pending = Pending::new();
+                let stratum = &self.strata[k];
+                for rule in &stratum.rules {
+                    for (driver, plan) in &rule.deltas {
+                        if delta.get(driver).is_some_and(|d| !d.is_empty()) {
+                            derive(rule, plan, &self.storage, &delta, &mut pending, &mut stats);
+                        }
+                    }
+                }
+                if pending.is_empty() {
+                    break;
+                }
+                delta = commit(&mut self.storage, pending, &mut stats);
+                for (rel, facts) in &delta {
+                    for fact in facts.iter() {
+                        delta_insert(&mut added, *rel, fact.clone());
+                    }
+                }
+            }
+        }
+
+        // Phase E — stratified-negation fallback: recompute the cut-off
+        // stratum and everything above it from scratch (re-seeding the
+        // protected extensional facts the initial EDB stored in the cleared
+        // head relations).
+        let mut cleared = 0usize;
+        for k in fallback_from..self.strata.len() {
+            stats.strata += 1;
+            let mut olds: BTreeMap<RelId, HashSet<Tuple>> = BTreeMap::new();
+            for rel in &self.strata[k].heads {
+                let old = self
+                    .storage
+                    .relation(*rel)
+                    .map(IndexedRelation::to_set)
+                    .unwrap_or_default();
+                cleared += old.len();
+                olds.insert(*rel, old);
+                self.storage.clear_relation(*rel);
+                if let Some(base) = self.protected.get(rel) {
+                    cleared -= base.len();
+                    for t in base {
+                        self.storage.insert_fact(*rel, t.clone());
+                    }
+                }
+            }
+            let stratum = &self.strata[k];
+            eval_stratum_semi_naive(&stratum.rules, &mut self.storage, &mut stats);
+            for (rel, old) in olds {
+                let new = self.storage.relation(rel).expect("relation ensured");
+                stats.rederived_facts += old.iter().filter(|t| new.contains(t)).count();
+            }
+        }
+
+        stats.reused_facts = count_before.saturating_sub(removed + cleared);
+        self.totals.absorb(&stats);
+        Ok(stats)
+    }
+
+    /// Materialises the maintained fixpoint as a plain database (extensional
+    /// facts unchanged, intensional relations at their least fixpoint).
+    pub fn current(&self) -> Database {
+        self.storage.to_database()
+    }
+
+    /// Direct access to one maintained relation (`None` if the session has
+    /// never seen it), letting callers materialise only the relations they
+    /// need instead of paying for [`Self::current`].
+    pub fn relation(&self, rel: RelId) -> Option<&IndexedRelation> {
+        self.storage.relation(rel)
+    }
+
+    /// Whether the fact is in the maintained fixpoint.
+    pub fn holds(&self, rel: RelId, t: &Tuple) -> bool {
+        self.storage.holds(rel, t)
+    }
+
+    /// Total number of facts in the maintained fixpoint.
+    pub fn fact_count(&self) -> usize {
+        self.storage.fact_count()
+    }
+
+    /// Lifetime statistics: the initial evaluation plus every delta applied.
+    pub fn stats(&self) -> &EngineStats {
+        &self.totals
+    }
+}
+
+/// Inserts into a delta map, creating the indexed relation on first use;
+/// returns whether the fact was new.
+fn delta_insert(deltas: &mut Deltas, rel: RelId, fact: Tuple) -> bool {
+    let arity = fact.arity();
+    deltas
+        .entry(rel)
+        .or_insert_with(|| IndexedRelation::new(arity))
+        .insert(fact)
+}
+
+/// Whether `fact` can be derived for `rule`'s head from the current storage:
+/// binds the head against the fact and searches the rule's full plan for one
+/// witness (DRed's `rederive_p(x̄) :- overdel_p(x̄), body` with the
+/// overdeleted atom pre-bound).
+fn rederivable(
+    rule: &PlannedRule,
+    fact: &Tuple,
+    storage: &IndexStorage,
+    stats: &mut EngineStats,
+) -> bool {
+    let mut regs: Vec<Option<Const>> = vec![None; rule.slots];
+    for (term, &value) in rule.head.terms.iter().zip(fact.components()) {
+        match *term {
+            Term::Const(c) => {
+                if c != value {
+                    return false;
+                }
+            }
+            Term::Slot(s) => match regs[s] {
+                Some(existing) if existing != value => return false,
+                _ => regs[s] = Some(value),
+            },
+        }
+    }
+    satisfiable(&rule.full.steps, storage, &mut regs, stats)
+}
+
+/// Depth-first search for one satisfying binding of the remaining steps,
+/// honouring slots pre-bound by the caller (which full plans did not expect,
+/// so scans whose columns are all determined degrade to membership checks).
+fn satisfiable(
+    steps: &[Step],
+    storage: &IndexStorage,
+    regs: &mut Vec<Option<Const>>,
+    stats: &mut EngineStats,
+) -> bool {
+    let Some((step, rest)) = steps.split_first() else {
+        return true;
+    };
+    match step {
+        Step::Scan { rel, source, cols } => {
+            debug_assert_eq!(*source, Source::Full, "full plans never scan deltas");
+            let Some(relation) = storage.relation(*rel) else {
+                return false;
+            };
+            let determined = cols.iter().all(|&(_, t)| match t {
+                Term::Const(_) => true,
+                Term::Slot(s) => regs[s].is_some(),
+            });
+            if determined {
+                stats.index_probes += 1;
+                let fact = instantiate(&cols.iter().map(|&(_, t)| t).collect::<Vec<_>>(), regs);
+                return relation.contains(&fact) && satisfiable(rest, storage, regs, stats);
+            }
+            let mut undo = Vec::new();
+            for tuple in relation.iter() {
+                stats.tuples_scanned += 1;
+                let hit = match_cols(tuple, cols, regs, &mut undo)
+                    && satisfiable(rest, storage, regs, stats);
+                for s in undo.drain(..) {
+                    regs[s] = None;
+                }
+                if hit {
+                    return true;
+                }
+            }
+            false
+        }
+        Step::Probe {
+            rel,
+            mask,
+            key,
+            cols,
+        } => {
+            let Some(relation) = storage.relation(*rel) else {
+                return false;
+            };
+            let key: Vec<Const> = key.iter().map(|&t| resolve(t, regs)).collect();
+            stats.index_probes += 1;
+            let mut undo = Vec::new();
+            for &id in relation.probe(*mask, &key) {
+                if !relation.is_live(id) {
+                    continue;
+                }
+                stats.tuples_scanned += 1;
+                let hit = match_cols(relation.tuple(id), cols, regs, &mut undo)
+                    && satisfiable(rest, storage, regs, stats);
+                for s in undo.drain(..) {
+                    regs[s] = None;
+                }
+                if hit {
+                    return true;
+                }
+            }
+            false
+        }
+        Step::Member { rel, terms } => {
+            stats.index_probes += 1;
+            storage.holds(*rel, &instantiate(terms, regs))
+                && satisfiable(rest, storage, regs, stats)
+        }
+        Step::NegCheck { rel, terms } => {
+            stats.index_probes += 1;
+            !storage.holds(*rel, &instantiate(terms, regs))
+                && satisfiable(rest, storage, regs, stats)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{evaluate, EvalMode};
+    use crate::ir::{Atom, Literal, Rule};
+    use kbt_data::{tuple, DatabaseBuilder};
+
+    fn r(i: u32) -> RelId {
+        RelId::new(i)
+    }
+
+    fn s(i: usize) -> Term {
+        Term::Slot(i)
+    }
+
+    /// path(x,y) :- edge(x,y).  path(x,z) :- path(x,y), edge(y,z).
+    fn tc_program() -> Program {
+        Program::new(vec![
+            Rule::new(
+                Atom::new(r(2), vec![s(0), s(1)]),
+                vec![Literal::positive(Atom::new(r(1), vec![s(0), s(1)]))],
+            )
+            .unwrap(),
+            Rule::new(
+                Atom::new(r(2), vec![s(0), s(2)]),
+                vec![
+                    Literal::positive(Atom::new(r(2), vec![s(0), s(1)])),
+                    Literal::positive(Atom::new(r(1), vec![s(1), s(2)])),
+                ],
+            )
+            .unwrap(),
+        ])
+    }
+
+    fn chain_db(n: u32) -> Database {
+        let mut b = DatabaseBuilder::new().relation(r(1), 2);
+        for i in 1..n {
+            b = b.fact(r(1), [i, i + 1]);
+        }
+        b.build().unwrap()
+    }
+
+    /// The from-scratch fixpoint the session must stay byte-identical to.
+    fn from_scratch(strata: &[Program], edb: &Database) -> Database {
+        evaluate(strata, edb, EvalMode::SemiNaive).unwrap().0
+    }
+
+    #[test]
+    fn initial_session_matches_from_scratch() {
+        let strata = [tc_program()];
+        let edb = chain_db(8);
+        let session = IncrementalSession::new(&strata, &edb).unwrap();
+        assert_eq!(session.current(), from_scratch(&strata, &edb));
+        assert!(session.stats().derived_facts > 0);
+    }
+
+    #[test]
+    fn insertions_propagate_like_semi_naive() {
+        let strata = [tc_program()];
+        let mut edb = chain_db(6);
+        let mut session = IncrementalSession::new(&strata, &edb).unwrap();
+
+        let stats = session
+            .insert_facts(&[(r(1), tuple![6, 7]), (r(1), tuple![7, 8])])
+            .unwrap();
+        edb.insert_fact(r(1), tuple![6, 7]).unwrap();
+        edb.insert_fact(r(1), tuple![7, 8]).unwrap();
+        assert_eq!(session.current(), from_scratch(&strata, &edb));
+        assert!(stats.derived_facts > 0);
+        assert!(stats.reused_facts > 0, "old closure facts must be reused");
+        assert_eq!(stats.rederived_facts, 0);
+    }
+
+    #[test]
+    fn deletions_run_overdeletion_and_rederivation() {
+        // Diamond: 1→2→4 and 1→3→4, plus a tail 4→5.  Deleting edge (2,4)
+        // overdeletes path(1,4)/path(2,4)/path(1,5)/path(2,5)…, and
+        // rederivation must restore path(1,4) and path(1,5) via 3.
+        let strata = [tc_program()];
+        let mut b = DatabaseBuilder::new().relation(r(1), 2);
+        for (x, y) in [(1u32, 2u32), (2, 4), (1, 3), (3, 4), (4, 5)] {
+            b = b.fact(r(1), [x, y]);
+        }
+        let mut edb = b.build().unwrap();
+        let mut session = IncrementalSession::new(&strata, &edb).unwrap();
+
+        let stats = session.remove_facts(&[(r(1), tuple![2, 4])]).unwrap();
+        edb.remove_fact(r(1), &tuple![2, 4]);
+        assert_eq!(session.current(), from_scratch(&strata, &edb));
+        assert!(session.holds(r(2), &tuple![1, 4]), "alternative path via 3");
+        assert!(!session.holds(r(2), &tuple![2, 4]));
+        assert!(stats.rederived_facts > 0, "the diamond must rederive");
+        assert!(stats.reused_facts > 0);
+    }
+
+    #[test]
+    fn mixed_deltas_and_repeated_calls_stay_exact() {
+        let strata = [tc_program()];
+        let mut edb = chain_db(10);
+        let mut session = IncrementalSession::new(&strata, &edb).unwrap();
+
+        type Edges = Vec<(u32, u32)>;
+        let steps: Vec<(Edges, Edges)> = vec![
+            (vec![(10, 11)], vec![(3, 4)]),
+            (vec![(3, 4), (11, 12)], vec![(1, 2)]),
+            (vec![], vec![(5, 6), (6, 7)]),
+            (vec![(20, 21), (21, 22)], vec![(20, 21)]),
+        ];
+        for (ins, del) in steps {
+            let ins: Vec<_> = ins.into_iter().map(|(x, y)| (r(1), tuple![x, y])).collect();
+            let del: Vec<_> = del.into_iter().map(|(x, y)| (r(1), tuple![x, y])).collect();
+            session.apply_delta(&ins, &del).unwrap();
+            for (rel, t) in &del {
+                edb.remove_fact(*rel, t);
+            }
+            for (rel, t) in &ins {
+                edb.insert_fact(*rel, t.clone()).unwrap();
+            }
+            assert_eq!(session.current(), from_scratch(&strata, &edb));
+        }
+    }
+
+    #[test]
+    fn negation_fallback_recomputes_upper_strata() {
+        // Stratum 0: reach = TC(edge).  Stratum 1: unreach(x,y) :- node(x),
+        // node(y), ~reach(x,y).
+        let stratum1 = Program::new(vec![Rule::new(
+            Atom::new(r(4), vec![s(0), s(1)]),
+            vec![
+                Literal::positive(Atom::new(r(3), vec![s(0)])),
+                Literal::positive(Atom::new(r(3), vec![s(1)])),
+                Literal::negative(Atom::new(r(2), vec![s(0), s(1)])),
+            ],
+        )
+        .unwrap()]);
+        let strata = [tc_program(), stratum1];
+
+        let mut b = DatabaseBuilder::new().relation(r(1), 2).relation(r(3), 1);
+        for i in 1..=4u32 {
+            b = b.fact(r(3), [i]);
+        }
+        b = b.fact(r(1), [1u32, 2]).fact(r(1), [2u32, 3]);
+        let mut edb = b.build().unwrap();
+        let mut session = IncrementalSession::new(&strata, &edb).unwrap();
+        assert_eq!(session.current(), from_scratch(&strata, &edb));
+
+        // inserting an edge makes (3,4) reachable → unreach(3,4) must go
+        session.insert_facts(&[(r(1), tuple![3, 4])]).unwrap();
+        edb.insert_fact(r(1), tuple![3, 4]).unwrap();
+        assert_eq!(session.current(), from_scratch(&strata, &edb));
+        assert!(!session.holds(r(4), &tuple![3, 4]));
+
+        // deleting it makes (3,4) unreachable again → unreach(3,4) returns
+        session.remove_facts(&[(r(1), tuple![3, 4])]).unwrap();
+        edb.remove_fact(r(1), &tuple![3, 4]);
+        assert_eq!(session.current(), from_scratch(&strata, &edb));
+        assert!(session.holds(r(4), &tuple![3, 4]));
+    }
+
+    #[test]
+    fn negation_on_untouched_relations_stays_incremental() {
+        // unreach negates reach; mutating only the node relation r3 (which
+        // never appears under negation) must not trigger the fallback, and
+        // the result must still be exact.
+        let stratum1 = Program::new(vec![Rule::new(
+            Atom::new(r(4), vec![s(0), s(1)]),
+            vec![
+                Literal::positive(Atom::new(r(3), vec![s(0)])),
+                Literal::positive(Atom::new(r(3), vec![s(1)])),
+                Literal::negative(Atom::new(r(2), vec![s(0), s(1)])),
+            ],
+        )
+        .unwrap()]);
+        let strata = [tc_program(), stratum1];
+        let mut b = DatabaseBuilder::new().relation(r(1), 2).relation(r(3), 1);
+        for i in 1..=3u32 {
+            b = b.fact(r(3), [i]);
+        }
+        b = b.fact(r(1), [1u32, 2]);
+        let mut edb = b.build().unwrap();
+        let mut session = IncrementalSession::new(&strata, &edb).unwrap();
+
+        let stats = session.insert_facts(&[(r(3), tuple![4])]).unwrap();
+        edb.insert_fact(r(3), tuple![4]).unwrap();
+        assert_eq!(session.current(), from_scratch(&strata, &edb));
+        // no stratum was recomputed from scratch
+        assert_eq!(stats.strata, 0);
+    }
+
+    #[test]
+    fn intensional_mutations_are_rejected() {
+        let strata = [tc_program()];
+        let mut session = IncrementalSession::new(&strata, &chain_db(4)).unwrap();
+        assert!(matches!(
+            session.insert_facts(&[(r(2), tuple![1, 9])]),
+            Err(EngineError::IntensionalUpdate { rel }) if rel == r(2)
+        ));
+        assert!(matches!(
+            session.remove_facts(&[(r(2), tuple![1, 2])]),
+            Err(EngineError::IntensionalUpdate { .. })
+        ));
+    }
+
+    #[test]
+    fn deleting_and_reinserting_everything_round_trips() {
+        let strata = [tc_program()];
+        let edb = chain_db(5);
+        let mut session = IncrementalSession::new(&strata, &edb).unwrap();
+        let all_edges: Vec<(RelId, Tuple)> = (1..5u32).map(|i| (r(1), tuple![i, i + 1])).collect();
+
+        session.remove_facts(&all_edges).unwrap();
+        let empty = DatabaseBuilder::new().relation(r(1), 2).build().unwrap();
+        assert_eq!(session.current(), from_scratch(&strata, &empty));
+        assert_eq!(session.fact_count(), 0);
+
+        session.insert_facts(&all_edges).unwrap();
+        assert_eq!(session.current(), from_scratch(&strata, &edb));
+    }
+
+    #[test]
+    fn brand_new_relations_are_absorbed() {
+        let strata = [tc_program()];
+        let mut session = IncrementalSession::new(&strata, &chain_db(3)).unwrap();
+        session.insert_facts(&[(r(9), tuple![7])]).unwrap();
+        assert!(session.holds(r(9), &tuple![7]));
+        // arity conflicts surface as errors
+        assert!(session.insert_facts(&[(r(9), tuple![1, 2])]).is_err());
+    }
+
+    #[test]
+    fn edb_facts_in_head_relations_survive_dred() {
+        // path(1,3) is stored extensionally (no rule derives it once
+        // edge(2,3) is gone); deleting edge(2,3) must not retract it —
+        // from-scratch evaluation keeps EDB facts of IDB relations.
+        let strata = [tc_program()];
+        let mut edb = chain_db(4);
+        edb.insert_fact(r(2), tuple![1, 3]).unwrap();
+        let mut session = IncrementalSession::new(&strata, &edb).unwrap();
+        assert_eq!(session.current(), from_scratch(&strata, &edb));
+
+        session.remove_facts(&[(r(1), tuple![2, 3])]).unwrap();
+        edb.remove_fact(r(1), &tuple![2, 3]);
+        assert_eq!(session.current(), from_scratch(&strata, &edb));
+        assert!(session.holds(r(2), &tuple![1, 3]), "EDB fact must survive");
+    }
+
+    #[test]
+    fn edb_facts_in_head_relations_survive_the_negation_fallback() {
+        // unreach(2,1) stored extensionally; the fallback recomputation of
+        // the negation stratum must re-seed it after clearing.
+        let stratum1 = Program::new(vec![Rule::new(
+            Atom::new(r(4), vec![s(0), s(1)]),
+            vec![
+                Literal::positive(Atom::new(r(3), vec![s(0)])),
+                Literal::positive(Atom::new(r(3), vec![s(1)])),
+                Literal::negative(Atom::new(r(2), vec![s(0), s(1)])),
+            ],
+        )
+        .unwrap()]);
+        let strata = [tc_program(), stratum1];
+        let mut b = DatabaseBuilder::new().relation(r(1), 2).relation(r(3), 1);
+        for i in 1..=3u32 {
+            b = b.fact(r(3), [i]);
+        }
+        // unreach(9,9) cannot be derived (9 is not a node): EDB-only fact
+        b = b.fact(r(1), [1u32, 2]).fact(r(4), [9u32, 9]);
+        let mut edb = b.build().unwrap();
+        let mut session = IncrementalSession::new(&strata, &edb).unwrap();
+
+        // mutating an edge forces the fallback for the negation stratum
+        session.insert_facts(&[(r(1), tuple![2, 3])]).unwrap();
+        edb.insert_fact(r(1), tuple![2, 3]).unwrap();
+        assert_eq!(session.current(), from_scratch(&strata, &edb));
+        assert!(session.holds(r(4), &tuple![9, 9]));
+    }
+
+    #[test]
+    fn program_facts_survive_unrelated_deletions() {
+        // q(7). plus TC; deleting an edge must not disturb the fact rule.
+        let mut program = tc_program();
+        program
+            .rules
+            .push(Rule::new(Atom::new(r(4), vec![Term::Const(Const::new(7))]), vec![]).unwrap());
+        let strata = [program];
+        let mut edb = chain_db(4);
+        let mut session = IncrementalSession::new(&strata, &edb).unwrap();
+
+        session.remove_facts(&[(r(1), tuple![2, 3])]).unwrap();
+        edb.remove_fact(r(1), &tuple![2, 3]);
+        assert_eq!(session.current(), from_scratch(&strata, &edb));
+        assert!(session.holds(r(4), &tuple![7]));
+    }
+}

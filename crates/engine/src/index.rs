@@ -11,7 +11,11 @@
 //!
 //! Indexes are built lazily (first demand pays the build) and maintained
 //! incrementally on insertion, so the semi-naive driver can keep appending
-//! derived facts without invalidating anything.
+//! derived facts without invalidating anything.  Removal — needed by the
+//! incremental session's DRed deletion path — is tombstone-based: the tuple
+//! slot is marked dead and left in the index buckets, and readers filter by
+//! [`IndexedRelation::is_live`]; once more than half the slots are dead the
+//! relation compacts itself, rebuilding its indexes without the garbage.
 
 use std::collections::{HashMap, HashSet};
 
@@ -36,9 +40,15 @@ fn key_of(tuple: &Tuple, mask: Mask) -> Box<[Const]> {
 pub struct IndexedRelation {
     arity: usize,
     /// Tuples in insertion order; indexes store positions into this vector.
+    /// Removed tuples stay as tombstones until the next compaction.
     tuples: Vec<Tuple>,
-    /// Membership set (doubles as the full-binding-pattern index).
-    set: HashSet<Tuple>,
+    /// Liveness per tuple id (`false` = tombstone).
+    live: Vec<bool>,
+    /// Number of tombstones in `tuples`.
+    dead: usize,
+    /// Membership map from live tuples to their ids (doubles as the
+    /// full-binding-pattern index).
+    ids: HashMap<Tuple, u32>,
     /// One hash index per demanded mask.
     indexes: HashMap<Mask, HashMap<Box<[Const]>, Vec<u32>>>,
 }
@@ -66,24 +76,28 @@ impl IndexedRelation {
         self.arity
     }
 
-    /// Number of tuples.
+    /// Number of (live) tuples.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.ids.len()
     }
 
     /// Whether the relation is empty.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.ids.is_empty()
     }
 
     /// Whether the tuple is present (one hash lookup).
     pub fn contains(&self, t: &Tuple) -> bool {
-        self.set.contains(t)
+        self.ids.contains_key(t)
     }
 
-    /// Iterates over the tuples in insertion order.
+    /// Iterates over the live tuples in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
-        self.tuples.iter()
+        self.tuples
+            .iter()
+            .zip(&self.live)
+            .filter(|&(_, &l)| l)
+            .map(|(t, _)| t)
     }
 
     /// The tuple with the given id (a position returned by [`Self::probe`]).
@@ -91,19 +105,79 @@ impl IndexedRelation {
         &self.tuples[id as usize]
     }
 
+    /// Whether the tuple with the given id is still live.  Probe buckets may
+    /// contain tombstoned ids until the next compaction, so every consumer of
+    /// [`Self::probe`] must filter through this.
+    pub fn is_live(&self, id: u32) -> bool {
+        self.live[id as usize]
+    }
+
     /// Inserts a tuple, updating every existing index; returns `true` if it
     /// was not already present.  The tuple's arity must match.
     pub fn insert(&mut self, t: Tuple) -> bool {
         debug_assert_eq!(t.arity(), self.arity, "arity checked by the caller");
-        if !self.set.insert(t.clone()) {
+        if self.ids.contains_key(&t) {
             return false;
         }
         let id = self.tuples.len() as u32;
+        self.ids.insert(t.clone(), id);
         for (&mask, index) in &mut self.indexes {
             index.entry(key_of(&t, mask)).or_default().push(id);
         }
         self.tuples.push(t);
+        self.live.push(true);
         true
+    }
+
+    /// Removes a tuple, returning `true` if it was present.  The slot becomes
+    /// a tombstone; index buckets are cleaned up lazily by compaction, which
+    /// runs automatically once tombstones outnumber live tuples.
+    pub fn remove(&mut self, t: &Tuple) -> bool {
+        let Some(id) = self.ids.remove(t) else {
+            return false;
+        };
+        self.live[id as usize] = false;
+        self.dead += 1;
+        if self.dead * 2 > self.tuples.len() {
+            self.compact();
+        }
+        true
+    }
+
+    /// Drops every tuple while keeping the demanded index masks alive (with
+    /// empty buckets), so existing plans can still probe after a reset.
+    pub fn clear(&mut self) {
+        self.tuples.clear();
+        self.live.clear();
+        self.dead = 0;
+        self.ids.clear();
+        for index in self.indexes.values_mut() {
+            index.clear();
+        }
+    }
+
+    /// Rebuilds the tuple store and all indexes without tombstones.
+    fn compact(&mut self) {
+        let tuples: Vec<Tuple> = self
+            .tuples
+            .drain(..)
+            .zip(std::mem::take(&mut self.live))
+            .filter(|&(_, l)| l)
+            .map(|(t, _)| t)
+            .collect();
+        self.dead = 0;
+        self.ids.clear();
+        for index in self.indexes.values_mut() {
+            index.clear();
+        }
+        for (id, t) in tuples.iter().enumerate() {
+            self.ids.insert(t.clone(), id as u32);
+            for (&mask, index) in &mut self.indexes {
+                index.entry(key_of(t, mask)).or_default().push(id as u32);
+            }
+        }
+        self.tuples = tuples;
+        self.live = vec![true; self.tuples.len()];
     }
 
     /// Builds the index for `mask` if it does not exist yet.
@@ -113,14 +187,17 @@ impl IndexedRelation {
         }
         let mut index: HashMap<Box<[Const]>, Vec<u32>> = HashMap::new();
         for (id, t) in self.tuples.iter().enumerate() {
-            index.entry(key_of(t, mask)).or_default().push(id as u32);
+            if self.live[id] {
+                index.entry(key_of(t, mask)).or_default().push(id as u32);
+            }
         }
         self.indexes.insert(mask, index);
     }
 
     /// The ids of the tuples whose projection onto `mask` equals `key`.
     ///
-    /// The index for `mask` must have been demanded with
+    /// The returned slice may contain tombstoned ids — filter with
+    /// [`Self::is_live`].  The index for `mask` must have been demanded with
     /// [`Self::ensure_index`] beforehand — the planner collects every mask a
     /// plan needs, so a missing index is an engine bug, not a user error.
     pub fn probe(&self, mask: Mask, key: &[Const]) -> &[u32] {
@@ -137,10 +214,21 @@ impl IndexedRelation {
         self.indexes.len()
     }
 
-    /// Copies the contents back into a plain relation.
+    /// Number of tombstoned slots (for tests and diagnostics).
+    pub fn tombstone_count(&self) -> usize {
+        self.dead
+    }
+
+    /// Copies the live contents back into a plain relation.
     pub fn to_relation(&self) -> Relation {
-        Relation::from_tuples(self.arity, self.tuples.iter().cloned())
+        Relation::from_tuples(self.arity, self.iter().cloned())
             .expect("arities are uniform by construction")
+    }
+
+    /// The live tuples as a hash set (used by the incremental session to
+    /// snapshot a relation before a fallback recomputation).
+    pub fn to_set(&self) -> HashSet<Tuple> {
+        self.iter().cloned().collect()
     }
 }
 
@@ -157,6 +245,15 @@ mod tests {
         r
     }
 
+    /// The live tuple ids matching a probe.
+    fn live_hits(r: &IndexedRelation, mask: Mask, key: &[Const]) -> Vec<u32> {
+        r.probe(mask, key)
+            .iter()
+            .copied()
+            .filter(|&id| r.is_live(id))
+            .collect()
+    }
+
     #[test]
     fn insert_deduplicates_and_tracks_membership() {
         let mut r = sample();
@@ -170,7 +267,7 @@ mod tests {
     fn probe_by_first_column() {
         let mut r = sample();
         r.ensure_index(0b01);
-        let hits = r.probe(0b01, &[Const::new(1)]);
+        let hits = live_hits(&r, 0b01, &[Const::new(1)]);
         assert_eq!(hits.len(), 2);
         assert!(hits
             .iter()
@@ -182,8 +279,8 @@ mod tests {
     fn probe_by_second_column() {
         let mut r = sample();
         r.ensure_index(0b10);
-        assert_eq!(r.probe(0b10, &[Const::new(3)]).len(), 2);
-        assert_eq!(r.probe(0b10, &[Const::new(2)]).len(), 1);
+        assert_eq!(live_hits(&r, 0b10, &[Const::new(3)]).len(), 2);
+        assert_eq!(live_hits(&r, 0b10, &[Const::new(2)]).len(), 1);
     }
 
     #[test]
@@ -191,7 +288,7 @@ mod tests {
         let mut r = sample();
         r.ensure_index(0b01);
         r.insert(tuple![1, 9]);
-        assert_eq!(r.probe(0b01, &[Const::new(1)]).len(), 3);
+        assert_eq!(live_hits(&r, 0b01, &[Const::new(1)]).len(), 3);
     }
 
     #[test]
@@ -212,5 +309,53 @@ mod tests {
         let back = IndexedRelation::from_relation(&plain);
         assert_eq!(back.len(), 3);
         assert_eq!(back.arity(), 2);
+    }
+
+    #[test]
+    fn remove_tombstones_and_reports_presence() {
+        let mut r = sample();
+        r.ensure_index(0b01);
+        assert!(r.remove(&tuple![1, 2]));
+        assert!(!r.remove(&tuple![1, 2]));
+        assert!(!r.contains(&tuple![1, 2]));
+        assert_eq!(r.len(), 2);
+        assert_eq!(live_hits(&r, 0b01, &[Const::new(1)]), vec![1]);
+        assert_eq!(r.iter().count(), 2);
+        assert_eq!(r.to_relation().len(), 2);
+    }
+
+    #[test]
+    fn removed_tuples_can_be_reinserted() {
+        let mut r = sample();
+        r.ensure_index(0b01);
+        r.remove(&tuple![1, 2]);
+        assert!(r.insert(tuple![1, 2]));
+        assert!(r.contains(&tuple![1, 2]));
+        assert_eq!(r.len(), 3);
+        assert_eq!(live_hits(&r, 0b01, &[Const::new(1)]).len(), 2);
+    }
+
+    #[test]
+    fn compaction_rebuilds_indexes_when_tombstones_dominate() {
+        let mut r = sample();
+        r.ensure_index(0b01);
+        r.remove(&tuple![1, 2]);
+        r.remove(&tuple![1, 3]); // 2 dead of 3 slots → compaction
+        assert_eq!(r.tombstone_count(), 0);
+        assert_eq!(r.len(), 1);
+        assert_eq!(live_hits(&r, 0b01, &[Const::new(2)]).len(), 1);
+        assert!(r.probe(0b01, &[Const::new(1)]).is_empty());
+        assert!(r.contains(&tuple![2, 3]));
+    }
+
+    #[test]
+    fn clear_keeps_demanded_indexes_probe_ready() {
+        let mut r = sample();
+        r.ensure_index(0b01);
+        r.clear();
+        assert!(r.is_empty());
+        assert!(r.probe(0b01, &[Const::new(1)]).is_empty());
+        r.insert(tuple![1, 7]);
+        assert_eq!(live_hits(&r, 0b01, &[Const::new(1)]).len(), 1);
     }
 }

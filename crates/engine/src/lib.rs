@@ -24,8 +24,41 @@
 //! dependency cycles: `kbt-datalog` depends on `kbt-engine`, not the other
 //! way round).
 
+//! ## Incremental evaluation
+//!
+//! [`IncrementalSession`] keeps the indexed storage (tuples *and* built
+//! indexes) alive across a chain of closely related databases and accepts
+//! fact deltas instead of re-deriving every fixpoint from scratch:
+//! insertions continue semi-naive propagation, deletions run DRed-style
+//! overdeletion/rederivation.  Lifecycle:
+//!
+//! 1. [`IncrementalSession::new`] evaluates the stratified program once and
+//!    becomes the owner of the fixpoint ([`IncrementalSession::stats`]
+//!    reports that initial evaluation).
+//! 2. Each [`IncrementalSession::insert_facts`] /
+//!    [`IncrementalSession::remove_facts`] /
+//!    [`IncrementalSession::apply_delta`] call mutates the *extensional*
+//!    relations and restores the least fixpoint, returning per-call
+//!    statistics (`reused_facts` / `rederived_facts` make the saved work
+//!    observable).
+//! 3. [`IncrementalSession::current`] materialises the maintained fixpoint;
+//!    it is guaranteed byte-identical to a from-scratch [`evaluate`] over
+//!    the mutated extensional database.
+//!
+//! Caveats under stratified negation: a delta that may change a relation
+//! some stratum negates makes that stratum — and every stratum above it —
+//! fall back to a from-scratch recomputation (cleared and re-derived inside
+//! the session), because DRed's overdelete/rederive phases are only sound
+//! when negated relations are stable.  Purely positive programs (all Horn
+//! fast-path programs of `kbt-core`) never hit the fallback.  Deltas may
+//! only touch extensional relations; mutating a derived relation returns
+//! [`EngineError::IntensionalUpdate`].  After any error the session's
+//! storage may hold a partially applied delta — rebuild the session instead
+//! of continuing.
+
 pub mod error;
 pub mod eval;
+pub mod incremental;
 pub mod index;
 pub mod ir;
 pub mod plan;
@@ -34,6 +67,7 @@ pub mod storage;
 
 pub use error::EngineError;
 pub use eval::{evaluate, EvalMode};
+pub use incremental::IncrementalSession;
 pub use index::{IndexedRelation, Mask};
 pub use stats::EngineStats;
 pub use storage::{FactSet, IndexStorage};

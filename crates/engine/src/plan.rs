@@ -2,9 +2,11 @@
 //!
 //! For each rule the planner orders the body greedily — at every step it
 //! picks the positive atom with the most bound argument positions (constants
-//! count as bound), interleaving negated literals as soon as all their slots
-//! are bound so they prune as early as possible.  Each chosen atom becomes
-//! one [`Step`]:
+//! count as bound), breaking ties by preferring the relation with the
+//! smallest cardinality at planning time (when the caller supplies sizes via
+//! [`PlannedRule::plan_sized`]), interleaving negated literals as soon as
+//! all their slots are bound so they prune as early as possible.  Each
+//! chosen atom becomes one [`Step`]:
 //!
 //! * every position bound at that point contributes to the atom's *binding
 //!   mask*, and the step becomes an index [`Step::Probe`] keyed by the bound
@@ -18,7 +20,7 @@
 //! occurrence is forced to the front as a scan of the delta relation, and
 //! the rest of the body is re-planned greedily around the slots it binds.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use kbt_data::RelId;
 
@@ -104,11 +106,18 @@ impl PlannedRule {
     /// Plans `rule`, producing delta variants for positive occurrences of
     /// the relations in `idb`.
     pub fn plan(rule: &Rule, idb: &BTreeSet<RelId>) -> Self {
-        let full = plan_body(rule, None);
+        PlannedRule::plan_sized(rule, idb, &BTreeMap::new())
+    }
+
+    /// Like [`Self::plan`], but with relation cardinalities known at
+    /// planning time: ties on bound-position counts are broken towards the
+    /// smaller relation (relations absent from `sizes` count as empty).
+    pub fn plan_sized(rule: &Rule, idb: &BTreeSet<RelId>, sizes: &BTreeMap<RelId, usize>) -> Self {
+        let full = plan_body(rule, None, sizes);
         let deltas = rule
             .positive_atoms()
             .filter(|(_, atom)| idb.contains(&atom.rel))
-            .map(|(pos, atom)| (atom.rel, plan_body(rule, Some(pos))))
+            .map(|(pos, atom)| (atom.rel, plan_body(rule, Some(pos), sizes)))
             .collect();
         PlannedRule {
             head: rule.head.clone(),
@@ -216,8 +225,9 @@ fn mark_bound(atom: &Atom, bound: &mut [bool]) {
 }
 
 /// Plans the body of `rule`; `forced_first` names a body position scanned
-/// from the delta and moved to the front.
-fn plan_body(rule: &Rule, forced_first: Option<usize>) -> JoinPlan {
+/// from the delta and moved to the front; `sizes` supplies the relation
+/// cardinalities used to break greedy ties.
+fn plan_body(rule: &Rule, forced_first: Option<usize>, sizes: &BTreeMap<RelId, usize>) -> JoinPlan {
     let mut bound = vec![false; rule.slots];
     let mut steps = Vec::with_capacity(rule.body.len());
     let mut scheduled = vec![false; rule.body.len()];
@@ -243,7 +253,10 @@ fn plan_body(rule: &Rule, forced_first: Option<usize>) -> JoinPlan {
             scheduled[i] = true;
             continue;
         }
-        // Greedy: the positive atom with the most bound positions next.
+        // Greedy: the positive atom with the most bound positions next;
+        // ties go to the smallest relation (ROADMAP "join-order
+        // statistics" — probing into fewer tuples first shrinks every
+        // intermediate binding set downstream).
         let best = rule
             .body
             .iter()
@@ -252,6 +265,7 @@ fn plan_body(rule: &Rule, forced_first: Option<usize>) -> JoinPlan {
             .max_by_key(|(i, l)| {
                 (
                     bound_positions(&l.atom, &bound),
+                    std::cmp::Reverse(sizes.get(&l.atom.rel).copied().unwrap_or(0)),
                     std::cmp::Reverse(l.atom.arity()),
                     std::cmp::Reverse(*i),
                 )
@@ -399,6 +413,43 @@ mod tests {
         let planned = PlannedRule::plan(&tc_recursive_rule(), &idb);
         let demanded = planned.demanded_indexes();
         assert!(demanded.contains(&(r(1), 0b01)));
+    }
+
+    #[test]
+    fn cardinality_breaks_greedy_ties_towards_the_smaller_relation() {
+        // both(x,y,z) :- big(x,y), small(y,z): neither atom has a bound
+        // position at the start, so the planner's bound-position greedy is
+        // tied — the cardinality tie-break must scan the smaller relation
+        // first and probe the bigger one.
+        let rule = Rule::new(
+            Atom::new(r(3), vec![s(0), s(1), s(2)]),
+            vec![
+                Literal::positive(Atom::new(r(1), vec![s(0), s(1)])),
+                Literal::positive(Atom::new(r(2), vec![s(1), s(2)])),
+            ],
+        )
+        .unwrap();
+        let sizes: BTreeMap<RelId, usize> = [(r(1), 10_000), (r(2), 3)].into_iter().collect();
+        let planned = PlannedRule::plan_sized(&rule, &BTreeSet::new(), &sizes);
+        assert!(
+            matches!(planned.full.steps[0], Step::Scan { rel, .. } if rel == r(2)),
+            "the small relation must be scanned first, got {:?}",
+            planned.full.steps[0]
+        );
+        assert!(
+            matches!(planned.full.steps[1], Step::Probe { rel, mask: 0b10, .. } if rel == r(1)),
+            "the big relation must be probed on the shared column, got {:?}",
+            planned.full.steps[1]
+        );
+
+        // with the sizes swapped, the order flips
+        let sizes: BTreeMap<RelId, usize> = [(r(1), 3), (r(2), 10_000)].into_iter().collect();
+        let planned = PlannedRule::plan_sized(&rule, &BTreeSet::new(), &sizes);
+        assert!(matches!(planned.full.steps[0], Step::Scan { rel, .. } if rel == r(1)));
+
+        // without sizes the old positional tie-break is preserved
+        let planned = PlannedRule::plan(&rule, &BTreeSet::new());
+        assert!(matches!(planned.full.steps[0], Step::Scan { rel, .. } if rel == r(1)));
     }
 
     #[test]

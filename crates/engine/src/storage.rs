@@ -64,11 +64,32 @@ impl IndexStorage {
             .insert(t)
     }
 
+    /// Removes a fact, returning `true` if it was present.  Unknown
+    /// relations simply report `false`.
+    pub fn remove_fact(&mut self, rel: RelId, t: &Tuple) -> bool {
+        self.relations.get_mut(&rel).is_some_and(|r| r.remove(t))
+    }
+
+    /// Empties a relation while keeping its demanded indexes probe-ready
+    /// (used by the incremental session to recompute a stratum from
+    /// scratch).  A no-op for unknown relations.
+    pub fn clear_relation(&mut self, rel: RelId) {
+        if let Some(r) = self.relations.get_mut(&rel) {
+            r.clear();
+        }
+    }
+
     /// Demands the index for `(rel, mask)`; a no-op for unknown relations.
     pub fn ensure_index(&mut self, rel: RelId, mask: Mask) {
         if let Some(r) = self.relations.get_mut(&rel) {
             r.ensure_index(mask);
         }
+    }
+
+    /// The number of facts stored under `rel` (0 when absent); the
+    /// cardinality source for the join planner's tie-breaking.
+    pub fn relation_len(&self, rel: RelId) -> usize {
+        self.relations.get(&rel).map_or(0, IndexedRelation::len)
     }
 
     /// Total number of stored facts.
@@ -166,6 +187,27 @@ mod tests {
         assert!(storage.insert_fact(r(2), tuple![8]));
         assert!(!storage.insert_fact(r(2), tuple![8]));
         assert_eq!(storage.fact_count(), 4);
+    }
+
+    #[test]
+    fn remove_fact_reports_presence() {
+        let mut storage = IndexStorage::from_database(&db());
+        assert!(storage.remove_fact(r(1), &tuple![1, 2]));
+        assert!(!storage.remove_fact(r(1), &tuple![1, 2]));
+        assert!(!storage.remove_fact(r(9), &tuple![1]));
+        assert_eq!(storage.fact_count(), 2);
+        assert!(!storage.holds(r(1), &tuple![1, 2]));
+        assert_eq!(storage.relation_len(r(1)), 1);
+        assert_eq!(storage.relation_len(r(9)), 0);
+    }
+
+    #[test]
+    fn clear_relation_empties_without_dropping() {
+        let mut storage = IndexStorage::from_database(&db());
+        storage.clear_relation(r(1));
+        assert!(storage.relation(r(1)).unwrap().is_empty());
+        assert_eq!(storage.fact_count(), 1);
+        storage.clear_relation(r(9)); // unknown relations are a no-op
     }
 
     #[test]

@@ -45,6 +45,15 @@
 //! nested-loop oracle; [`core::EvalStats`](kbt_core::EvalStats) and
 //! [`datalog::EvalStats`](kbt_datalog::EvalStats) expose iterations, index
 //! probes and tuples scanned so regressions are observable.
+//!
+//! Composition chains get a second layer: repeated Horn `τ_φ` steps inside
+//! one `Seq` share a persistent
+//! [`engine::IncrementalSession`](kbt_engine::IncrementalSession) — the
+//! diff between consecutive databases is fed into the live fixpoint
+//! (semi-naive propagation for insertions, DRed overdelete/rederive for
+//! deletions) instead of re-deriving it from scratch.  The
+//! `chain_incremental` benchmark measures the win; `reused_facts` /
+//! `rederived_facts` in the stats records make it observable per run.
 
 pub use kbt_core as core;
 pub use kbt_data as data;

@@ -1,0 +1,351 @@
+//! Differential tests for incremental `τ_φ`-chain evaluation.
+//!
+//! Three layers:
+//!
+//! 1. **Transformation-level property** (vendored proptest): randomized
+//!    `Seq` expressions mixing `τ_φ` (Horn fast-path sentences, ground
+//!    insertions, ground *deletions*, world-splitting disjunctions) with
+//!    `⊓` / `⊔` / `π` over random databases must evaluate byte-identically
+//!    with the incremental chain sessions on and off.
+//! 2. **Engine-level differential**: `IncrementalEval` under random
+//!    insert/delete batches — including delete-heavy ones that exercise the
+//!    DRed overdelete/rederive path — must match from-scratch
+//!    `semi_naive_eval` after every batch, for both purely positive and
+//!    stratified-negation programs.
+//! 3. **Chain shape**: a long `(π ∘ τ_φ ∘ τ_fact)*` chain must produce the
+//!    same knowledgebase incrementally and from scratch while reusing most
+//!    of the engine's facts.
+
+use kbt::core::{EvalOptions, Transform, Transformer};
+use kbt::data::{DatabaseBuilder, Knowledgebase, RelId, Tuple};
+use kbt::datalog::{semi_naive_eval, IncrementalEval};
+use kbt::logic::builder::*;
+use kbt::logic::Sentence;
+use proptest::prelude::*;
+use rand::prelude::*;
+
+fn r(i: u32) -> RelId {
+    RelId::new(i)
+}
+
+/// The Horn fast-path sentence: R2 := transitive closure of R1.
+fn tc_sentence() -> Sentence {
+    Sentence::new(and(
+        forall(
+            [1, 2],
+            implies(atom(1, [var(1), var(2)]), atom(2, [var(1), var(2)])),
+        ),
+        forall(
+            [1, 2, 3],
+            implies(
+                and(atom(2, [var(1), var(2)]), atom(1, [var(2), var(3)])),
+                atom(2, [var(1), var(3)]),
+            ),
+        ),
+    ))
+    .unwrap()
+}
+
+/// One random chain element; `a`, `b` are drawn from the constant domain.
+fn chain_element(code: u8, a: u32, b: u32) -> Vec<Transform> {
+    match code % 9 {
+        // τ_TC then π: compute the closure, use it, drop it — keeps the
+        // next τ_TC on the Horn fast path.
+        0 => vec![
+            Transform::insert(tc_sentence()),
+            Transform::project([r(1), r(3)]),
+        ],
+        1 => vec![
+            Transform::insert(tc_sentence()),
+            Transform::Lub,
+            Transform::project([r(1), r(3)]),
+        ],
+        // ground edge insertion / deletion (deletions feed the DRed path of
+        // the next incremental τ_TC step)
+        2 => vec![Transform::insert(
+            Sentence::new(atom(1, [cst(a), cst(b)])).unwrap(),
+        )],
+        3 => vec![Transform::insert(
+            Sentence::new(not(atom(1, [cst(a), cst(b)]))).unwrap(),
+        )],
+        // a world-splitting disjunction over the unary relation R3: the
+        // knowledgebase stops being a singleton, so chain reuse must
+        // correctly disengage and re-engage.
+        4 => vec![Transform::insert(
+            Sentence::new(or(atom(3, [cst(a)]), atom(3, [cst(b)]))).unwrap(),
+        )],
+        5 => vec![Transform::Glb],
+        6 => vec![Transform::Lub],
+        7 => vec![Transform::project([r(1), r(3)])],
+        // ground node deletion
+        _ => vec![Transform::insert(
+            Sentence::new(not(atom(3, [cst(a)]))).unwrap(),
+        )],
+    }
+}
+
+fn arb_expression() -> impl proptest::strategy::Strategy<Value = Transform> {
+    proptest::collection::vec((0u8..9, 1u32..6, 1u32..6), 1..10).prop_map(|codes| {
+        let mut expr = Transform::Identity;
+        for (code, a, b) in codes {
+            for part in chain_element(code, a, b) {
+                expr = expr.then(part);
+            }
+        }
+        expr
+    })
+}
+
+fn arb_knowledgebase() -> impl proptest::strategy::Strategy<Value = Knowledgebase> {
+    (
+        proptest::collection::btree_set((1u32..6, 1u32..6), 0..7),
+        proptest::collection::btree_set(1u32..6, 0..3),
+    )
+        .prop_map(|(edges, nodes)| {
+            let mut b = DatabaseBuilder::new().relation(r(1), 2).relation(r(3), 1);
+            for (x, y) in edges {
+                b = b.fact(r(1), [x, y]);
+            }
+            for n in nodes {
+                b = b.fact(r(3), [n]);
+            }
+            Knowledgebase::singleton(b.build().unwrap())
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    #[test]
+    fn incremental_chains_are_byte_identical_to_from_scratch(
+        expr in arb_expression(),
+        kb in arb_knowledgebase(),
+    ) {
+        let incremental = Transformer::new().apply(&expr, &kb);
+        let from_scratch = Transformer::with_options(EvalOptions {
+            incremental: false,
+            ..EvalOptions::default()
+        })
+        .apply(&expr, &kb);
+        match (incremental, from_scratch) {
+            (Ok(inc), Ok(fs)) => {
+                prop_assert!(
+                    inc.kb == fs.kb,
+                    "kb diverges for {}: {:?} != {:?}",
+                    expr,
+                    inc.kb,
+                    fs.kb
+                );
+                prop_assert_eq!(inc.stats.updates, fs.stats.updates);
+                prop_assert_eq!(inc.stats.operators, fs.stats.operators);
+                prop_assert_eq!(inc.stats.minimal_models, fs.stats.minimal_models);
+            }
+            (inc, fs) => {
+                prop_assert!(
+                    inc.is_err() && fs.is_err(),
+                    "only one path failed for {}: incremental={:?} scratch={:?}",
+                    expr, inc.is_err(), fs.is_err()
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level: IncrementalEval vs from-scratch semi-naive under random
+// insert/delete batches.
+// ---------------------------------------------------------------------------
+
+fn tc_program() -> kbt::datalog::Program {
+    kbt::datalog::program_from_sentence(&tc_sentence()).unwrap()
+}
+
+/// reach = TC(edge); unreach(x,y) :- node(x), node(y), ~reach(x,y).
+fn negation_program() -> kbt::datalog::Program {
+    use kbt::datalog::{DlAtom, Literal, Program, Rule};
+    let edge = |a, b| DlAtom::new(r(1), vec![a, b]);
+    let reach = |a, b| DlAtom::new(r(2), vec![a, b]);
+    let node = |a| DlAtom::new(r(3), vec![a]);
+    let unreach = |a, b| DlAtom::new(r(4), vec![a, b]);
+    Program::new(vec![
+        Rule::new(
+            reach(var(1), var(2)),
+            vec![Literal::positive(edge(var(1), var(2)))],
+        ),
+        Rule::new(
+            reach(var(1), var(3)),
+            vec![
+                Literal::positive(reach(var(1), var(2))),
+                Literal::positive(edge(var(2), var(3))),
+            ],
+        ),
+        Rule::new(
+            unreach(var(1), var(2)),
+            vec![
+                Literal::positive(node(var(1))),
+                Literal::positive(node(var(2))),
+                Literal::negative(reach(var(1), var(2))),
+            ],
+        ),
+    ])
+    .unwrap()
+}
+
+fn random_edge(rng: &mut impl Rng) -> (u32, u32) {
+    (rng.random_range(1..7u32), rng.random_range(1..7u32))
+}
+
+/// Random delta batches over the edge relation; `delete_bias` skews towards
+/// deletions of currently stored edges so DRed gets real work.
+fn run_random_deltas(
+    program: &kbt::datalog::Program,
+    base_nodes: bool,
+    delete_bias: bool,
+    rng: &mut impl Rng,
+) -> (usize, usize) {
+    let mut b = DatabaseBuilder::new().relation(r(1), 2);
+    if base_nodes {
+        b = b.relation(r(3), 1);
+        for n in 1..7u32 {
+            b = b.fact(r(3), [n]);
+        }
+    }
+    for _ in 0..rng.random_range(3..10usize) {
+        let (x, y) = random_edge(rng);
+        b = b.fact(r(1), [x, y]);
+    }
+    let mut edb = b.build().unwrap();
+
+    let mut inc = IncrementalEval::new(program, &edb).unwrap();
+    let (mut reused, mut rederived) = (0usize, 0usize);
+    for _ in 0..6 {
+        let mut ins: Vec<(RelId, Tuple)> = Vec::new();
+        let mut del: Vec<(RelId, Tuple)> = Vec::new();
+        let stored: Vec<Tuple> = edb.relation(r(1)).unwrap().iter().cloned().collect();
+        for _ in 0..rng.random_range(1..4usize) {
+            let delete = !stored.is_empty() && (delete_bias || rng.random_range(0..2u32) == 0);
+            if delete {
+                let t = stored[rng.random_range(0..stored.len())].clone();
+                del.push((r(1), t));
+            } else {
+                let (x, y) = random_edge(rng);
+                ins.push((r(1), kbt::data::tuple![x, y]));
+            }
+        }
+        for (rel, t) in &del {
+            edb.remove_fact(*rel, t);
+        }
+        for (rel, t) in &ins {
+            edb.insert_fact(*rel, t.clone()).unwrap();
+        }
+        let stats = inc.apply_delta(&ins, &del).unwrap();
+        reused += stats.reused_facts;
+        rederived += stats.rederived_facts;
+
+        let (want, _) = semi_naive_eval(program, &edb).unwrap();
+        assert_eq!(
+            inc.current(),
+            want,
+            "incremental diverges after ins={ins:?} del={del:?}"
+        );
+    }
+    (reused, rederived)
+}
+
+#[test]
+fn engine_incremental_matches_from_scratch_on_random_positive_deltas() {
+    let mut rng = StdRng::seed_from_u64(0x17C1);
+    let program = tc_program();
+    let mut total_reused = 0;
+    for _ in 0..20 {
+        let (reused, _) = run_random_deltas(&program, false, false, &mut rng);
+        total_reused += reused;
+    }
+    assert!(total_reused > 0, "chains must reuse facts");
+}
+
+#[test]
+fn engine_incremental_survives_delete_heavy_workloads() {
+    let mut rng = StdRng::seed_from_u64(0xD3ED);
+    let program = tc_program();
+    let mut total_rederived = 0;
+    for _ in 0..20 {
+        let (_, rederived) = run_random_deltas(&program, false, true, &mut rng);
+        total_rederived += rederived;
+    }
+    assert!(
+        total_rederived > 0,
+        "delete-heavy graphs must hit the DRed rederivation path"
+    );
+}
+
+#[test]
+fn engine_incremental_handles_stratified_negation_deltas() {
+    let mut rng = StdRng::seed_from_u64(0x5E6A);
+    let program = negation_program();
+    for _ in 0..12 {
+        run_random_deltas(&program, true, false, &mut rng);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chain shape: long (π ∘ τ_TC ∘ τ_fact)* chains.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn long_chain_reuses_most_of_the_engine_state() {
+    let mut b = DatabaseBuilder::new().relation(r(1), 2);
+    for c in 0..40u32 {
+        let base = c * 11 + 1;
+        for i in 0..10 {
+            b = b.fact(r(1), [base + i, base + i + 1]);
+        }
+    }
+    let kb = Knowledgebase::singleton(b.build().unwrap());
+
+    let mut expr = Transform::Identity;
+    for i in 0..12u32 {
+        let grow = Sentence::new(atom(1, [cst(1000 + i), cst(1001 + i)])).unwrap();
+        expr = expr
+            .then(Transform::insert(grow))
+            .then(Transform::insert(tc_sentence()))
+            .then(Transform::project([r(1)]));
+    }
+
+    let incremental = Transformer::new().apply(&expr, &kb).unwrap();
+    let from_scratch = Transformer::with_options(EvalOptions {
+        incremental: false,
+        ..EvalOptions::default()
+    })
+    .apply(&expr, &kb)
+    .unwrap();
+
+    assert_eq!(incremental.kb, from_scratch.kb);
+    assert!(incremental.stats.reused_facts > 0);
+    assert!(
+        incremental.stats.tuples_scanned * 4 < from_scratch.stats.tuples_scanned,
+        "incremental ({}) must scan far fewer tuples than from-scratch ({})",
+        incremental.stats.tuples_scanned,
+        from_scratch.stats.tuples_scanned
+    );
+}
+
+/// The projected-away relation must not leak back into later steps when the
+/// chain session keeps it alive internally.
+#[test]
+fn chain_results_respect_projection_schemas() {
+    let db = DatabaseBuilder::new()
+        .fact(r(1), [1u32, 2])
+        .fact(r(1), [2u32, 3])
+        .build()
+        .unwrap();
+    let kb = Knowledgebase::singleton(db);
+    let expr = Transform::insert(tc_sentence())
+        .then(Transform::project([r(1)]))
+        .then(Transform::insert(tc_sentence()))
+        .then(Transform::project([r(2)]));
+    let result = Transformer::new().apply(&expr, &kb).unwrap();
+    let world = result.kb.as_singleton().unwrap();
+    assert!(world.relation(r(1)).is_none());
+    assert_eq!(world.relation(r(2)).unwrap().len(), 3);
+}
