@@ -1,0 +1,135 @@
+//! Parallel semi-naive evaluation — 1 / 2 / 4-thread scaling.
+//!
+//! Two workloads, both at 10 000 base edges over braid graphs (disjoint
+//! 10-edge chains — the closure grows linearly with the edge count, so the
+//! signal is join and round cost, not output blow-up):
+//!
+//! * `engine_parallel/tc10k` — one-shot transitive closure through the
+//!   engine's semi-naive evaluator at widths 1, 2 and 4.  Width 1 is the
+//!   exact sequential code path (the baseline every other width must match
+//!   byte-for-byte); wider runs fan each round's chunked driving scans out
+//!   over the `kbt-par` pool.
+//! * `engine_parallel/chain10k` — the 20-step incremental
+//!   `(π ∘ τ_TC ∘ τ_fact)*` chain of `chain_incremental`, with the engine
+//!   width set through `EvalOptions::threads`.
+//!
+//! Set `KBT_BENCH_JSON=BENCH_parallel.json` to record the medians
+//! machine-readably (CI does).  Note that scaling requires physical cores:
+//! on a single-core host the >1-thread numbers only measure coordination
+//! overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kbt_bench::quick_criterion;
+use kbt_core::{EvalOptions, Transform, Transformer};
+use kbt_data::{Database, DatabaseBuilder, Knowledgebase, RelId};
+use kbt_datalog::{semi_naive_eval_threads, DlAtom, Literal, Program, Rule};
+use kbt_logic::builder::*;
+use kbt_logic::Sentence;
+
+fn r(i: u32) -> RelId {
+    RelId::new(i)
+}
+
+/// path(x,y) :- edge(x,y).  path(x,z) :- path(x,y), edge(y,z).
+fn tc_program() -> Program {
+    let edge = |a, b| DlAtom::new(r(1), vec![a, b]);
+    let path = |a, b| DlAtom::new(r(2), vec![a, b]);
+    Program::new(vec![
+        Rule::new(
+            path(var(1), var(2)),
+            vec![Literal::positive(edge(var(1), var(2)))],
+        ),
+        Rule::new(
+            path(var(1), var(3)),
+            vec![
+                Literal::positive(path(var(1), var(2))),
+                Literal::positive(edge(var(2), var(3))),
+            ],
+        ),
+    ])
+    .unwrap()
+}
+
+/// `chains` disjoint chains of 10 edges each: `10 * chains` edges total.
+fn braid(chains: u32) -> Database {
+    let mut b = DatabaseBuilder::new().relation(r(1), 2);
+    for c in 0..chains {
+        let base = c * 11 + 1;
+        for i in 0..10 {
+            b = b.fact(r(1), [base + i, base + i + 1]);
+        }
+    }
+    b.build().unwrap()
+}
+
+/// R2 := transitive closure of R1, as a Horn sentence (Theorem 4.8 shape).
+fn tc_sentence() -> Sentence {
+    Sentence::new(and(
+        forall(
+            [1, 2],
+            implies(atom(1, [var(1), var(2)]), atom(2, [var(1), var(2)])),
+        ),
+        forall(
+            [1, 2, 3],
+            implies(
+                and(atom(2, [var(1), var(2)]), atom(1, [var(2), var(3)])),
+                atom(2, [var(1), var(3)]),
+            ),
+        ),
+    ))
+    .unwrap()
+}
+
+/// The 20-step chain: grow one edge, close transitively, project back.
+fn chain_expression(steps: u32) -> Transform {
+    let mut expr = Transform::Identity;
+    for i in 0..steps {
+        let grow = Sentence::new(atom(1, [cst(1_000_000 + i), cst(1_000_001 + i)])).unwrap();
+        expr = expr
+            .then(Transform::insert(grow))
+            .then(Transform::insert(tc_sentence()))
+            .then(Transform::project([r(1)]));
+    }
+    expr
+}
+
+const WIDTHS: [usize; 3] = [1, 2, 4];
+
+fn bench_tc_widths(c: &mut Criterion) {
+    let program = tc_program();
+    let edb = braid(1_000); // 10 000 edges
+    let mut group = c.benchmark_group("engine_parallel/tc10k");
+    for threads in WIDTHS {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| semi_naive_eval_threads(&program, &edb, threads).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_chain_widths(c: &mut Criterion) {
+    let expr = chain_expression(20);
+    let kb = Knowledgebase::singleton(braid(1_000));
+    let mut group = c.benchmark_group("engine_parallel/chain10k");
+    for threads in WIDTHS {
+        let transformer = Transformer::with_options(EvalOptions {
+            threads,
+            ..EvalOptions::default()
+        });
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, _| {
+            b.iter(|| transformer.apply(&expr, &kb).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_tc_widths, bench_chain_widths,
+}
+criterion_main!(benches);

@@ -54,6 +54,15 @@ pub struct EvalOptions {
     /// the live fixpoint instead of re-deriving it from scratch.  Results
     /// are byte-identical either way; disable to benchmark the difference.
     pub incremental: bool,
+    /// Evaluation width of the Datalog fast path's fixpoint engine: `0`
+    /// (the default) uses the process default — the `KBT_THREADS`
+    /// environment variable when set, else the machine's available
+    /// parallelism; `1` is the exact sequential path; larger values fan the
+    /// engine's semi-naive rounds out over that many threads.  Fixpoints
+    /// and statistics are byte-identical at every width (the engine merges
+    /// private worker buffers deterministically), so this is purely a
+    /// performance knob.
+    pub threads: usize,
 }
 
 impl Default for EvalOptions {
@@ -63,6 +72,7 @@ impl Default for EvalOptions {
             max_ground_atoms: 200_000,
             max_worlds: 100_000,
             incremental: true,
+            threads: 0,
         }
     }
 }
@@ -72,6 +82,14 @@ impl EvalOptions {
     pub fn with_strategy(strategy: Strategy) -> Self {
         EvalOptions {
             strategy,
+            ..EvalOptions::default()
+        }
+    }
+
+    /// Options with the given evaluation width and defaults otherwise.
+    pub fn with_threads(threads: usize) -> Self {
+        EvalOptions {
+            threads,
             ..EvalOptions::default()
         }
     }

@@ -170,7 +170,7 @@ impl Transformer {
                 return session.advance(db).map(Some);
             }
         }
-        let (session, outcome) = ChainSession::start(phi, db)?;
+        let (session, outcome) = ChainSession::start(phi, db, self.options.threads)?;
         *chain = Some(session);
         Ok(Some(outcome))
     }

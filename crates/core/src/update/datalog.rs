@@ -17,7 +17,7 @@
 use std::collections::BTreeSet;
 
 use kbt_data::{Database, RelId, Relation, Schema, Tuple};
-use kbt_datalog::{program_from_sentence, semi_naive_eval, IncrementalEval};
+use kbt_datalog::{program_from_sentence, semi_naive_eval_threads, IncrementalEval};
 use kbt_logic::{horn_clauses, Sentence};
 
 use crate::error::CoreError;
@@ -57,11 +57,10 @@ pub fn datalog_update(
     // No candidate universe is materialised here: the result schema is just
     // σ(db) ∪ σ(φ) and the fixpoint engine works directly on the database,
     // which is what makes this path polynomial (Theorem 4.8).
-    let _ = options;
     let program = program_from_sentence(phi)?;
     let schema = db.schema().union(&phi.schema())?;
     let lifted = db.extend_schema(&schema)?;
-    let (fixpoint, stats) = semi_naive_eval(&program, &lifted)?;
+    let (fixpoint, stats) = semi_naive_eval_threads(&program, &lifted, options.threads)?;
     Ok(UpdateOutcome {
         databases: vec![fixpoint],
         candidate_atoms: 0,
@@ -86,23 +85,27 @@ pub struct ChainSession {
     phi_schema: Schema,
     /// The input database the session is currently synced to.
     base: Database,
+    /// Engine evaluation width, kept so transparent rebuilds preserve it.
+    threads: usize,
     eval: IncrementalEval,
 }
 
 impl ChainSession {
     /// Builds a session for `φ` over `db` (the caller must have checked
-    /// [`applicable`]) and returns the first update outcome.
-    pub fn start(phi: &Sentence, db: &Database) -> Result<(Self, UpdateOutcome)> {
+    /// [`applicable`]) at the given engine evaluation width (`0` = process
+    /// default), and returns the first update outcome.
+    pub fn start(phi: &Sentence, db: &Database, threads: usize) -> Result<(Self, UpdateOutcome)> {
         let program = program_from_sentence(phi)?;
         let phi_schema = phi.schema();
         let schema = db.schema().union(&phi_schema)?;
         let lifted = db.extend_schema(&schema)?;
-        let eval = IncrementalEval::new(&program, &lifted)?;
+        let eval = IncrementalEval::with_threads(&program, &lifted, threads)?;
         let stats = eval.total_stats();
         let session = ChainSession {
             phi: phi.clone(),
             phi_schema,
             base: db.clone(),
+            threads,
             eval,
         };
         let outcome = UpdateOutcome {
@@ -134,7 +137,7 @@ impl ChainSession {
             Err(_) => {
                 // e.g. a relation came back with a different arity: fall
                 // back to rebuilding the whole session on the new input.
-                let (rebuilt, outcome) = ChainSession::start(&self.phi, db)?;
+                let (rebuilt, outcome) = ChainSession::start(&self.phi, db, self.threads)?;
                 *self = rebuilt;
                 return Ok(outcome);
             }
@@ -148,7 +151,10 @@ impl ChainSession {
         // maintained fixpoint and φ's body-only relations (empty).  This
         // copies only the intensional output instead of the whole engine
         // storage, and implicitly drops relations earlier chain inputs left
-        // behind in the engine.
+        // behind in the engine.  The engine hands the intensional relations
+        // out as copy-on-write snapshots, so a step pays for the tuples its
+        // delta changed, not for re-collecting the whole (large) fixpoint
+        // relation.
         let mut result = db.clone();
         for (rel, arity) in self.phi_schema.iter() {
             if result.relation(rel).is_none() {
@@ -304,7 +310,7 @@ mod tests {
             .build()
             .unwrap();
         let opts = EvalOptions::default();
-        let (mut session, first) = ChainSession::start(&phi, &db).unwrap();
+        let (mut session, first) = ChainSession::start(&phi, &db, 0).unwrap();
         assert_eq!(first, datalog_update(&phi, &db, &opts).unwrap());
         assert!(session.matches(&phi));
 
@@ -342,7 +348,7 @@ mod tests {
             .fact(r(1), [2u32, 3])
             .build()
             .unwrap();
-        let (mut session, _) = ChainSession::start(&phi, &db1).unwrap();
+        let (mut session, _) = ChainSession::start(&phi, &db1, 0).unwrap();
         let got = session.advance(&db2).unwrap();
         let want = datalog_update(&phi, &db2, &EvalOptions::default()).unwrap();
         assert_eq!(got.databases, want.databases);
@@ -364,7 +370,7 @@ mod tests {
             .fact(r(3), [7u32, 8])
             .build()
             .unwrap();
-        let (mut session, _) = ChainSession::start(&phi, &db1).unwrap();
+        let (mut session, _) = ChainSession::start(&phi, &db1, 0).unwrap();
         let got = session.advance(&db2).unwrap();
         let want = datalog_update(&phi, &db2, &EvalOptions::default()).unwrap();
         assert_eq!(got.databases, want.databases);
@@ -387,7 +393,7 @@ mod tests {
             .build()
             .unwrap();
         let db2 = DatabaseBuilder::new().relation(r(1), 3).build().unwrap();
-        let (mut session, _) = ChainSession::start(&phi, &db1).unwrap();
+        let (mut session, _) = ChainSession::start(&phi, &db1, 0).unwrap();
         assert!(session.advance(&db2).is_err());
         assert!(datalog_update(&phi, &db2, &EvalOptions::default()).is_err());
     }

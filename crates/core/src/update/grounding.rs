@@ -18,7 +18,7 @@
 //! model, and every Winslett-minimal model arises this way.
 
 use kbt_data::Database;
-use kbt_logic::{ground_sentence, GroundFormula, Sentence};
+use kbt_logic::{GroundFormula, Sentence};
 use kbt_solver::{enumerate_minimal_models, Bool, BoolVar, Cnf, Lit, Solver};
 
 use crate::error::CoreError;
@@ -33,11 +33,16 @@ pub fn grounding_update(
     db: &Database,
     options: &EvalOptions,
 ) -> Result<UpdateOutcome> {
-    let ctx = UpdateContext::new(phi, db, options)?;
+    // The lazy universe: only atoms `ground(φ)` mentions become SAT
+    // variables — unmentioned facts cannot change in a Winslett-minimal
+    // model and carry over from the input database (through the engine's
+    // hashed snapshot) when results are materialised.  Large databases with
+    // small-footprint sentences thus stop paying the `Σ_R |B|^arity`
+    // ceiling; see `universe` for the soundness argument.
+    let (ctx, ground) = UpdateContext::grounded(phi, db, options)?;
     let n = ctx.atom_count();
 
     // Variables 0..n are the candidate facts; flip variables follow.
-    let ground = ground_sentence(phi, &ctx.domain);
     let circuit = to_circuit(&ground, &ctx);
 
     let mut cnf = Cnf::new(n as u32);
@@ -264,6 +269,105 @@ mod tests {
                 assert_eq!(worlds, 2, "the error must report distinct worlds");
             }
             other => panic!("expected TooManyWorlds, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn large_databases_no_longer_pay_the_eager_universe_ceiling() {
+        // 600 constants over a binary relation: the eager universe would be
+        // 600² + … ≈ 360 000 candidate facts > the default 200 000 ceiling
+        // (UpdateContext::new refuses).  The lazy SAT path only sees the two
+        // atoms φ mentions and must agree with the quantifier-free fast
+        // path on the result.
+        let mut b = DatabaseBuilder::new();
+        for i in 1..=300u32 {
+            b = b.fact(r(1), [2 * i - 1, 2 * i]);
+        }
+        let db = b.build().unwrap();
+        let phi = Sentence::new(or(
+            atom(1, [cst(1), cst(4)]),
+            not(atom(1, [cst(1), cst(2)])),
+        ))
+        .unwrap();
+        let opts = EvalOptions::default();
+        assert!(matches!(
+            UpdateContext::new(&phi, &db, &opts),
+            Err(crate::error::CoreError::UniverseTooLarge { .. })
+        ));
+
+        let out = grounding_update(&phi, &db, &opts).unwrap();
+        assert_eq!(out.candidate_atoms, 2, "only mentioned atoms are variables");
+        let mut got = out.databases;
+        let mut want = crate::update::quantifier_free::quantifier_free_update(&phi, &db, &opts)
+            .unwrap()
+            .databases;
+        got.sort();
+        want.sort();
+        assert_eq!(got, want);
+        // unmentioned stored facts carry over verbatim in every world
+        for world in &got {
+            assert!(world.holds(r(1), &kbt_data::tuple![599, 600]));
+        }
+    }
+
+    #[test]
+    fn deep_quantification_over_large_domains_refuses_before_grounding() {
+        // ∀x,y,z over 600 constants would materialise ~600³ grounded nodes;
+        // the arithmetic pre-grounding budget must refuse immediately (the
+        // eager path refused too — via the universe bound), not OOM.
+        let mut b = DatabaseBuilder::new();
+        for i in 1..=300u32 {
+            b = b.fact(r(1), [2 * i - 1, 2 * i]);
+        }
+        let db = b.build().unwrap();
+        let phi = Sentence::new(forall(
+            [1, 2, 3],
+            implies(
+                and(atom(1, [var(1), var(2)]), atom(1, [var(2), var(3)])),
+                atom(1, [var(1), var(3)]),
+            ),
+        ))
+        .unwrap();
+        assert!(matches!(
+            grounding_update(&phi, &db, &EvalOptions::default()),
+            Err(crate::error::CoreError::UniverseTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn lazy_ceiling_bounds_mentioned_atoms() {
+        // ∀x,y R1(x,y) over 40 constants mentions 1 600 atoms; a ceiling of
+        // 1 000 passes the (8×) pre-grounding budget but must be rejected by
+        // the mentioned-atom check, reporting the mentioned-atom count.
+        let mut b = DatabaseBuilder::new();
+        for i in 1..=20u32 {
+            b = b.fact(r(1), [2 * i - 1, 2 * i]);
+        }
+        let db = b.build().unwrap();
+        let phi = Sentence::new(forall([1, 2], atom(1, [var(1), var(2)]))).unwrap();
+        let tight = EvalOptions {
+            max_ground_atoms: 1_000,
+            ..EvalOptions::default()
+        };
+        match grounding_update(&phi, &db, &tight) {
+            Err(crate::error::CoreError::UniverseTooLarge { atoms, limit }) => {
+                assert_eq!(limit, 1_000);
+                assert_eq!(atoms, 40 * 40);
+            }
+            other => panic!("expected UniverseTooLarge, got {other:?}"),
+        }
+
+        // a still-tighter ceiling is caught arithmetically before grounding
+        let tighter = EvalOptions {
+            max_ground_atoms: 100,
+            ..EvalOptions::default()
+        };
+        match grounding_update(&phi, &db, &tighter) {
+            Err(crate::error::CoreError::UniverseTooLarge { atoms, limit }) => {
+                assert_eq!(limit, 800, "8× the ceiling guards grounding itself");
+                assert!(atoms >= 40 * 40);
+            }
+            other => panic!("expected UniverseTooLarge, got {other:?}"),
         }
     }
 

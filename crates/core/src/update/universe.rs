@@ -1,12 +1,32 @@
 //! The candidate universe of an update: the finite domain `B`, the result
 //! schema `s = σ(db) ∪ σ(φ)`, and the set of ground facts a candidate
 //! database may contain.
+//!
+//! Two constructions exist:
+//!
+//! * [`UpdateContext::new`] — the **eager** universe of definition (9):
+//!   every ground fact over `schema` and `domain`.  The exhaustive oracle
+//!   needs exactly this set (it enumerates candidate databases literally).
+//! * [`UpdateContext::grounded`] — the **lazy** universe used by the SAT
+//!   path: only the atoms the grounded sentence actually mentions become
+//!   candidates, and the output database is assembled from the *input
+//!   database* (via the engine's hashed snapshot) plus the per-atom model
+//!   values.  This is sound for Winslett minimisation because an atom
+//!   `ground(φ)` never mentions cannot change in any minimal model: flipping
+//!   a stored old fact (or asserting an absent one, old or new) that `φ`
+//!   does not constrain only grows the symmetric difference / the new-part,
+//!   and reverting it to its input value preserves `φ` — so stage one
+//!   (respectively stage two) of the order always prefers the reverted
+//!   model.  The `max_ground_atoms` ceiling then bounds the *mentioned*
+//!   atoms instead of `Σ_R |B|^arity(R)`, which frees ground or
+//!   small-footprint sentences from paying for the database's whole
+//!   active-domain universe.
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use kbt_data::{Const, Database, Schema, Tuple};
 use kbt_engine::FactSet;
-use kbt_logic::{GroundAtom, Sentence};
+use kbt_logic::{ground_sentence, GroundAtom, GroundFormula, Sentence};
 
 use crate::error::CoreError;
 use crate::options::EvalOptions;
@@ -21,19 +41,23 @@ pub struct UpdateContext {
     pub schema: Schema,
     /// The schema of the input database, `σ(db)`.
     pub old_schema: Schema,
-    /// Every candidate ground fact over `schema` and `domain`, in a fixed
-    /// order.
+    /// The candidate ground facts, in a fixed order: the full universe for
+    /// [`Self::new`], the mentioned atoms for [`Self::grounded`].
     pub atoms: Vec<GroundAtom>,
     /// Index of each atom within [`UpdateContext::atoms`].
     pub atom_index: BTreeMap<GroundAtom, usize>,
     /// Engine-backed hashed snapshot of the input database, for O(1)
     /// candidate-fact membership checks.
     stored: FactSet,
+    /// For lazy contexts: the input database lifted to `schema`, the base
+    /// every output database starts from (facts outside [`Self::atoms`]
+    /// carry over verbatim).  `None` for the eager universe.
+    base: Option<Database>,
 }
 
 impl UpdateContext {
-    /// Builds the context for `µ(φ, db)`, enforcing the configured ceiling on
-    /// the number of candidate facts.
+    /// Builds the eager context for `µ(φ, db)`, enforcing the configured
+    /// ceiling on the number of candidate facts.
     pub fn new(phi: &Sentence, db: &Database, options: &EvalOptions) -> Result<Self> {
         let mut domain = db.constants();
         domain.extend(phi.constants());
@@ -71,7 +95,69 @@ impl UpdateContext {
             atoms,
             atom_index,
             stored: FactSet::from_database(db),
+            base: None,
         })
+    }
+
+    /// Builds the lazy context for `µ(φ, db)`: grounds `φ` over the domain
+    /// and admits only the mentioned atoms as candidates (see the module
+    /// docs for why that is sound).  Returns the grounded sentence alongside
+    /// so the caller does not ground twice.
+    ///
+    /// Grounding itself is budgeted *before* it runs: every quantifier
+    /// multiplies the grounded formula's size by `|B|`, so
+    /// [`grounding_cost`] — an exact upper bound on the node count,
+    /// computed arithmetically — is checked against a generous multiple of
+    /// `max_ground_atoms` first.  Without this, a deeply quantified
+    /// sentence over a large database would materialise the blown-up
+    /// formula in memory before the mentioned-atom ceiling could fire.
+    pub fn grounded(
+        phi: &Sentence,
+        db: &Database,
+        options: &EvalOptions,
+    ) -> Result<(Self, GroundFormula)> {
+        let mut domain = db.constants();
+        domain.extend(phi.constants());
+        let old_schema = db.schema();
+        let schema = old_schema.union(&phi.schema())?;
+
+        // The grounded node count can never exceed the mentioned-atom
+        // ceiling by more than constant folding can shrink; allow 8× for
+        // connectives and folded subtrees before refusing to ground at all.
+        let cost_ceiling = options.max_ground_atoms.saturating_mul(8);
+        let cost = grounding_cost(phi.formula(), domain.len().max(1));
+        if cost > cost_ceiling {
+            return Err(CoreError::UniverseTooLarge {
+                atoms: cost,
+                limit: cost_ceiling,
+            });
+        }
+
+        let ground = ground_sentence(phi, &domain);
+        let mentioned = ground.atoms();
+        if mentioned.len() > options.max_ground_atoms {
+            return Err(CoreError::UniverseTooLarge {
+                atoms: mentioned.len(),
+                limit: options.max_ground_atoms,
+            });
+        }
+        let atoms: Vec<GroundAtom> = mentioned.into_iter().collect();
+        let atom_index = atoms
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.clone(), i))
+            .collect();
+        let base = db.extend_schema(&schema)?;
+        let ctx = UpdateContext {
+            domain,
+            schema,
+            old_schema,
+            atoms,
+            atom_index,
+            stored: FactSet::from_database(db),
+            base: Some(base),
+        };
+        Ok((ctx, ground))
     }
 
     /// Number of candidate facts.
@@ -101,12 +187,23 @@ impl UpdateContext {
 
     /// Materialises a candidate database over the result schema from a
     /// membership predicate on candidate facts.
+    ///
+    /// For the eager universe the database is built from scratch; for the
+    /// lazy one it starts as the (lifted) input database, and only the
+    /// mentioned atoms are set to their model values — every unmentioned
+    /// stored fact carries over, matching definition (9) restricted to the
+    /// atoms that can actually change.
     pub fn database_from(&self, mut member: impl FnMut(usize) -> bool) -> Database {
-        let mut db = Database::empty_over(&self.schema);
+        let mut db = match &self.base {
+            Some(base) => base.clone(),
+            None => Database::empty_over(&self.schema),
+        };
         for (i, a) in self.atoms.iter().enumerate() {
             if member(i) {
                 db.insert_fact(a.rel, a.tuple.clone())
                     .expect("atom arity matches schema");
+            } else if self.base.is_some() {
+                db.remove_fact(a.rel, &a.tuple);
             }
         }
         db
@@ -115,6 +212,26 @@ impl UpdateContext {
     /// The input database lifted to the result schema (new relations empty).
     pub fn lift(&self, db: &Database) -> Result<Database> {
         Ok(db.extend_schema(&self.schema)?)
+    }
+}
+
+/// An upper bound on the number of nodes `ground(f)` materialises over a
+/// domain of `domain_size` constants: each quantifier multiplies its body by
+/// the domain size, everything else is structural.  Saturating, so
+/// pathological nesting reports `usize::MAX` instead of overflowing.
+fn grounding_cost(f: &kbt_logic::Formula, domain_size: usize) -> usize {
+    use kbt_logic::Formula;
+    match f {
+        Formula::True | Formula::False | Formula::Atom(..) | Formula::Eq(..) => 1,
+        Formula::Not(inner) => grounding_cost(inner, domain_size).saturating_add(1),
+        Formula::And(a, b) | Formula::Or(a, b) | Formula::Implies(a, b) | Formula::Iff(a, b) => {
+            grounding_cost(a, domain_size)
+                .saturating_add(grounding_cost(b, domain_size))
+                .saturating_add(1)
+        }
+        Formula::Exists(_, inner) | Formula::Forall(_, inner) => {
+            grounding_cost(inner, domain_size).saturating_mul(domain_size)
+        }
     }
 }
 
@@ -188,6 +305,34 @@ mod tests {
             .filter(|&i| ctx.is_old_atom(i))
             .count();
         assert_eq!(old_count, 9);
+    }
+
+    #[test]
+    fn grounded_context_only_admits_mentioned_atoms() {
+        // db: R1 = {(1,2)}, φ = R1(1,3) ∨ ¬R1(1,2): two mentioned atoms out
+        // of an eager universe of 9 (+ nothing new).
+        let db = DatabaseBuilder::new()
+            .fact(r(1), [1u32, 2])
+            .build()
+            .unwrap();
+        let phi = Sentence::new(or(
+            atom(1, [cst(1), cst(3)]),
+            not(atom(1, [cst(1), cst(2)])),
+        ))
+        .unwrap();
+        let (ctx, ground) = UpdateContext::grounded(&phi, &db, &EvalOptions::default()).unwrap();
+        assert_eq!(ctx.atom_count(), 2);
+        assert_eq!(ground.atoms().len(), 2);
+        assert!((0..2).all(|i| ctx.is_old_atom(i)));
+
+        // database_from starts from the input: unmentioned facts carry over
+        let all = ctx.database_from(|_| true);
+        assert!(all.holds(r(1), &kbt_data::tuple![1, 2]));
+        assert!(all.holds(r(1), &kbt_data::tuple![1, 3]));
+        let none = ctx.database_from(|_| false);
+        assert!(!none.holds(r(1), &kbt_data::tuple![1, 2]));
+        assert!(!none.holds(r(1), &kbt_data::tuple![1, 3]));
+        assert_eq!(none.schema(), ctx.schema);
     }
 
     #[test]

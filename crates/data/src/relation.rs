@@ -2,6 +2,7 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::error::DataError;
 use crate::tuple::Tuple;
@@ -12,10 +13,18 @@ use crate::Result;
 ///
 /// The arity is fixed at construction time so that empty relations still know
 /// their arity (the paper's zero-ary "flag" relations rely on this).
+///
+/// The tuple set is **copy-on-write**: cloning a relation only bumps a
+/// reference count, and a mutation copies the underlying set only when it is
+/// actually shared.  Databases are cloned pervasively (every transformation
+/// step produces new ones), and the engine's incremental sessions hand out
+/// snapshots of maintained relations — both get `O(1)` clones this way,
+/// while equality, ordering and hashing still compare *contents* exactly as
+/// before (the `Arc` is transparent).
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Relation {
     arity: usize,
-    tuples: BTreeSet<Tuple>,
+    tuples: Arc<BTreeSet<Tuple>>,
 }
 
 impl Relation {
@@ -23,7 +32,7 @@ impl Relation {
     pub fn empty(arity: usize) -> Self {
         Relation {
             arity,
-            tuples: BTreeSet::new(),
+            tuples: Arc::new(BTreeSet::new()),
         }
     }
 
@@ -54,6 +63,10 @@ impl Relation {
     }
 
     /// Inserts a tuple; returns `true` if it was not already present.
+    ///
+    /// Copy-on-write: if the tuple set is shared with other clones *and*
+    /// the tuple is new, the set is copied first; redundant insertions
+    /// never copy.
     pub fn insert(&mut self, t: Tuple) -> Result<bool> {
         if t.arity() != self.arity {
             return Err(DataError::TupleArityMismatch {
@@ -61,12 +74,19 @@ impl Relation {
                 found: t.arity(),
             });
         }
-        Ok(self.tuples.insert(t))
+        if self.tuples.contains(&t) {
+            return Ok(false);
+        }
+        Ok(Arc::make_mut(&mut self.tuples).insert(t))
     }
 
-    /// Removes a tuple; returns `true` if it was present.
+    /// Removes a tuple; returns `true` if it was present.  Copy-on-write
+    /// like [`Self::insert`]: removing an absent tuple never copies.
     pub fn remove(&mut self, t: &Tuple) -> bool {
-        self.tuples.remove(t)
+        if !self.tuples.contains(t) {
+            return false;
+        }
+        Arc::make_mut(&mut self.tuples).remove(t)
     }
 
     /// Whether the tuple is present.
@@ -89,7 +109,7 @@ impl Relation {
         self.check_same_arity(other)?;
         Ok(Relation {
             arity: self.arity,
-            tuples: self.tuples.union(&other.tuples).cloned().collect(),
+            tuples: Arc::new(self.tuples.union(&other.tuples).cloned().collect()),
         })
     }
 
@@ -98,7 +118,7 @@ impl Relation {
         self.check_same_arity(other)?;
         Ok(Relation {
             arity: self.arity,
-            tuples: self.tuples.intersection(&other.tuples).cloned().collect(),
+            tuples: Arc::new(self.tuples.intersection(&other.tuples).cloned().collect()),
         })
     }
 
@@ -107,7 +127,7 @@ impl Relation {
         self.check_same_arity(other)?;
         Ok(Relation {
             arity: self.arity,
-            tuples: self.tuples.difference(&other.tuples).cloned().collect(),
+            tuples: Arc::new(self.tuples.difference(&other.tuples).cloned().collect()),
         })
     }
 
@@ -117,11 +137,12 @@ impl Relation {
         self.check_same_arity(other)?;
         Ok(Relation {
             arity: self.arity,
-            tuples: self
-                .tuples
-                .symmetric_difference(&other.tuples)
-                .cloned()
-                .collect(),
+            tuples: Arc::new(
+                self.tuples
+                    .symmetric_difference(&other.tuples)
+                    .cloned()
+                    .collect(),
+            ),
         })
     }
 
@@ -210,6 +231,23 @@ mod tests {
         assert_eq!(d.len(), 2);
         assert!(d.contains(&tuple![1, 2]));
         assert!(d.contains(&tuple![2, 3]));
+    }
+
+    #[test]
+    fn clones_share_storage_until_mutated() {
+        let mut a = rel(2, &[tuple![1, 2], tuple![3, 4]]);
+        let b = a.clone();
+        assert!(Arc::ptr_eq(&a.tuples, &b.tuples), "clone must share");
+        // no-op mutations keep sharing
+        assert!(!a.insert(tuple![1, 2]).unwrap());
+        assert!(!a.remove(&tuple![9, 9]));
+        assert!(Arc::ptr_eq(&a.tuples, &b.tuples));
+        // a real mutation unshares and leaves the clone untouched
+        assert!(a.insert(tuple![5, 6]).unwrap());
+        assert!(!Arc::ptr_eq(&a.tuples, &b.tuples));
+        assert_eq!(a.len(), 3);
+        assert_eq!(b.len(), 2);
+        assert!(!b.contains(&tuple![5, 6]));
     }
 
     #[test]

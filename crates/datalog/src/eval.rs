@@ -16,7 +16,7 @@
 //! assert byte-identical fixpoints between all four paths.
 
 use kbt_data::Database;
-use kbt_engine::{EngineStats, EvalMode};
+use kbt_engine::{EngineOptions, EngineStats, EvalMode};
 
 use crate::ast::Program;
 use crate::lower::lower_program;
@@ -73,23 +73,64 @@ impl From<EngineStats> for EvalStats {
 /// Supports stratified negation: the program is stratified first and the
 /// strata are evaluated in order.
 pub fn naive_eval(program: &Program, edb: &Database) -> Result<(Database, EvalStats)> {
-    eval_with(program, edb, EvalMode::Naive)
+    naive_eval_threads(program, edb, 0)
+}
+
+/// [`naive_eval`] at an explicit evaluation width (`0` = process default,
+/// `1` = exact sequential path; results and statistics are identical at
+/// every width).
+pub fn naive_eval_threads(
+    program: &Program,
+    edb: &Database,
+    threads: usize,
+) -> Result<(Database, EvalStats)> {
+    eval_with(
+        program,
+        edb,
+        EngineOptions {
+            mode: EvalMode::Naive,
+            threads,
+        },
+    )
 }
 
 /// Computes the least fixpoint of `program` over `edb` using delta-indexed
 /// semi-naive evaluation (only facts that are new in the previous round are
 /// re-joined, through hash-index probes).
 pub fn semi_naive_eval(program: &Program, edb: &Database) -> Result<(Database, EvalStats)> {
-    eval_with(program, edb, EvalMode::SemiNaive)
+    semi_naive_eval_threads(program, edb, 0)
 }
 
-fn eval_with(program: &Program, edb: &Database, mode: EvalMode) -> Result<(Database, EvalStats)> {
+/// [`semi_naive_eval`] at an explicit evaluation width (`0` = process
+/// default, `1` = exact sequential path; results and statistics are
+/// identical at every width — the engine's parallel rounds merge private
+/// worker buffers deterministically).
+pub fn semi_naive_eval_threads(
+    program: &Program,
+    edb: &Database,
+    threads: usize,
+) -> Result<(Database, EvalStats)> {
+    eval_with(
+        program,
+        edb,
+        EngineOptions {
+            mode: EvalMode::SemiNaive,
+            threads,
+        },
+    )
+}
+
+fn eval_with(
+    program: &Program,
+    edb: &Database,
+    options: EngineOptions,
+) -> Result<(Database, EvalStats)> {
     let strata = stratify(program)?;
     let lowered = strata
         .iter()
         .map(lower_program)
         .collect::<Result<Vec<_>>>()?;
-    let (db, stats) = kbt_engine::evaluate(&lowered, edb, mode)?;
+    let (db, stats) = kbt_engine::evaluate_with(&lowered, edb, options)?;
     Ok((db, stats.into()))
 }
 
@@ -109,11 +150,18 @@ pub struct IncrementalEval {
 
 impl IncrementalEval {
     /// Stratifies and lowers `program`, then evaluates it over `edb` to
-    /// seed the session.
+    /// seed the session (at the process-default evaluation width).
     pub fn new(program: &Program, edb: &Database) -> Result<Self> {
+        IncrementalEval::with_threads(program, edb, 0)
+    }
+
+    /// [`Self::new`] at an explicit evaluation width (`0` = process
+    /// default, `1` = exact sequential path).  Fixpoints and statistics are
+    /// identical at every width.
+    pub fn with_threads(program: &Program, edb: &Database, threads: usize) -> Result<Self> {
         let lowered = crate::lower::lower_strata(program)?;
         Ok(IncrementalEval {
-            session: kbt_engine::IncrementalSession::new(&lowered, edb)?,
+            session: kbt_engine::IncrementalSession::with_threads(&lowered, edb, threads)?,
         })
     }
 
@@ -159,11 +207,12 @@ impl IncrementalEval {
 
     /// Materialises one maintained relation (`None` if the session has never
     /// seen it) — cheaper than [`Self::current`] when the caller assembles
-    /// its result from a known schema.
-    pub fn relation(&self, rel: kbt_data::RelId) -> Option<kbt_data::Relation> {
-        self.session
-            .relation(rel)
-            .map(kbt_engine::IndexedRelation::to_relation)
+    /// its result from a known schema.  The returned relation is a
+    /// copy-on-write snapshot: after the first call per relation this is an
+    /// `O(1)` `Arc` clone, and later deltas only pay for the tuples they
+    /// actually change.
+    pub fn relation(&mut self, rel: kbt_data::RelId) -> Option<kbt_data::Relation> {
+        self.session.snapshot_relation(rel)
     }
 }
 

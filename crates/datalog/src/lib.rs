@@ -32,7 +32,10 @@ pub mod stratify;
 
 pub use ast::{DlAtom, Literal, Program, Rule};
 pub use error::DatalogError;
-pub use eval::{idb_only, naive_eval, semi_naive_eval, EvalStats, IncrementalEval};
+pub use eval::{
+    idb_only, naive_eval, naive_eval_threads, semi_naive_eval, semi_naive_eval_threads, EvalStats,
+    IncrementalEval,
+};
 pub use from_logic::{program_from_horn, program_from_sentence};
 pub use lower::{lower_program, lower_rule, lower_strata};
 pub use reference::{reference_naive_eval, reference_semi_naive_eval};

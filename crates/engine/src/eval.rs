@@ -1,14 +1,41 @@
 //! The fixpoint driver: naive and delta-aware semi-naive evaluation over
-//! indexed storage.
+//! indexed storage, sequential or parallel.
 //!
 //! The caller supplies pre-stratified programs (`kbt-datalog` stratifies and
 //! lowers); each stratum is run to its least fixpoint before the next one
 //! starts, so negated literals — which stratification confines to relations
 //! of earlier strata or the EDB — always read fully computed relations.
+//!
+//! ## Parallel rounds
+//!
+//! Within one fixpoint round every (rule, plan) pair reads the storage and
+//! writes only to a pending-facts buffer, so rounds are embarrassingly
+//! parallel.  [`EngineOptions::threads`] > 1 fans a round out over the
+//! `kbt-par` pool:
+//!
+//! 1. the round's plans are decomposed into [`RoundTask`]s — a plan led by a
+//!    scan contributes one task per *chunk* of the scanned relation's tuple
+//!    range, any other plan is a single task;
+//! 2. every task derives into a **private** [`Pending`] buffer with private
+//!    [`EngineStats`] counters — workers share nothing mutable;
+//! 3. the buffers are merged **in stable task order** (rule index first,
+//!    chunk offset second) into one sorted pending set, and the per-worker
+//!    counters are summed.
+//!
+//! Because the merged pending set is an order-insensitive union and commit
+//! inserts it in sorted order, the storage contents, the resulting
+//! [`Database`] *and every statistics counter* are byte-identical to the
+//! sequential path — `threads = 1` runs the exact sequential code, and the
+//! differential tests hold the two paths equal.  Rounds whose driving
+//! relations are small run sequentially even at higher widths (fan-out
+//! overhead would dominate); that cutoff cannot be observed in the results
+//! either.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
 
 use kbt_data::{Const, Database, RelId, Tuple};
+use kbt_par::ThreadPool;
 
 use crate::index::IndexedRelation;
 use crate::ir::{Program, Term};
@@ -30,16 +57,50 @@ pub enum EvalMode {
     SemiNaive,
 }
 
+/// Options for one [`evaluate_with`] call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// How the fixpoint is computed.
+    pub mode: EvalMode,
+    /// Evaluation width: `0` uses the process default
+    /// ([`kbt_par::default_threads`] — the `KBT_THREADS` environment
+    /// variable, else the machine's available parallelism), `1` is the exact
+    /// sequential path, anything larger fans the rounds out over the
+    /// `kbt-par` pool.  Results and statistics are identical at every width.
+    pub threads: usize,
+}
+
+impl EngineOptions {
+    /// Options with the given width and the default (semi-naive) mode.
+    pub fn threads(threads: usize) -> Self {
+        EngineOptions {
+            threads,
+            ..EngineOptions::default()
+        }
+    }
+}
+
 /// Computes the least fixpoint of the stratified program over `edb`.
 ///
 /// Every relation mentioned by any stratum is materialised (empty if absent
 /// from `edb`); the result contains the EDB unchanged plus the derived
-/// facts.
+/// facts.  Runs at the process-default width (see [`EngineOptions::threads`];
+/// use [`evaluate_with`] for explicit control).
 pub fn evaluate(
     strata: &[Program],
     edb: &Database,
     mode: EvalMode,
 ) -> Result<(Database, EngineStats)> {
+    evaluate_with(strata, edb, EngineOptions { mode, threads: 0 })
+}
+
+/// [`evaluate`] with explicit [`EngineOptions`].
+pub fn evaluate_with(
+    strata: &[Program],
+    edb: &Database,
+    options: EngineOptions,
+) -> Result<(Database, EngineStats)> {
+    let width = kbt_par::resolve_threads(options.threads);
     let mut storage = IndexStorage::from_database(edb);
     for program in strata {
         for (rel, arity) in program.relation_arities() {
@@ -51,9 +112,11 @@ pub fn evaluate(
     for program in strata {
         stats.strata += 1;
         let planned = plan_stratum(program, &mut storage, &program.idb_relations());
-        match mode {
-            EvalMode::Naive => eval_stratum_naive(&planned, &mut storage, &mut stats),
-            EvalMode::SemiNaive => eval_stratum_semi_naive(&planned, &mut storage, &mut stats),
+        match options.mode {
+            EvalMode::Naive => eval_stratum_naive(&planned, &mut storage, &mut stats, width),
+            EvalMode::SemiNaive => {
+                eval_stratum_semi_naive(&planned, &mut storage, &mut stats, width)
+            }
         }
     }
     Ok((storage.to_database(), stats))
@@ -91,18 +154,193 @@ pub(crate) fn plan_stratum(
 pub(crate) type Pending = BTreeMap<RelId, BTreeSet<Tuple>>;
 pub(crate) type Deltas = BTreeMap<RelId, IndexedRelation>;
 
+/// Minimum number of driving tuples in a round before it is fanned out;
+/// below this, coordination overhead dominates and the round runs
+/// sequentially (with identical results and counters — see module docs).
+const PAR_ROUND_THRESHOLD: usize = 256;
+
+/// Minimum tuples per chunk of a driving scan (fed to
+/// [`kbt_par::chunk_size`], which supplies the chunks-per-worker policy).
+const PAR_MIN_CHUNK: usize = 64;
+
+/// One unit of parallel work within a round: a plan, optionally restricted
+/// to a slice of its driving scan.
+struct RoundTask<'a> {
+    rule: &'a PlannedRule,
+    plan: &'a JoinPlan,
+    /// Tuple-slot range of the driving scan; `None` runs the whole plan.
+    range: Option<Range<u32>>,
+}
+
+/// Decomposes a round's plans into tasks; the second component is the total
+/// number of live driving tuples (the fan-out worthwhileness measure).
+fn round_tasks<'a>(
+    plans: &[(&'a PlannedRule, &'a JoinPlan)],
+    storage: &IndexStorage,
+    deltas: &Deltas,
+    width: usize,
+) -> (Vec<RoundTask<'a>>, usize) {
+    let mut tasks = Vec::new();
+    let mut driving = 0usize;
+    for &(rule, plan) in plans {
+        let Some((Step::Scan { rel, source, .. }, _)) = plan.split_driving_scan() else {
+            driving += 1;
+            tasks.push(RoundTask {
+                rule,
+                plan,
+                range: None,
+            });
+            continue;
+        };
+        let relation = match source {
+            Source::Full => storage.relation(*rel),
+            Source::Delta => deltas.get(rel),
+        };
+        let Some(relation) = relation else {
+            continue; // nothing to scan: the plan derives nothing
+        };
+        let slots = relation.slot_count();
+        if slots == 0 {
+            continue;
+        }
+        driving += relation.len();
+        let chunk = kbt_par::chunk_size(slots as usize, width, PAR_MIN_CHUNK) as u32;
+        let mut start = 0u32;
+        while start < slots {
+            let end = slots.min(start + chunk);
+            tasks.push(RoundTask {
+                rule,
+                plan,
+                range: Some(start..end),
+            });
+            start = end;
+        }
+    }
+    (tasks, driving)
+}
+
+/// Runs one task, feeding instantiated head facts to `sink`.
+fn run_task(
+    task: &RoundTask<'_>,
+    storage: &IndexStorage,
+    deltas: &Deltas,
+    stats: &mut EngineStats,
+    sink: &mut dyn FnMut(Tuple),
+) {
+    let Some(range) = task.range.clone() else {
+        run_plan(task.rule, task.plan, storage, deltas, stats, sink);
+        return;
+    };
+    let Some((Step::Scan { rel, source, cols }, rest)) = task.plan.split_driving_scan() else {
+        unreachable!("ranged tasks are built from scan-driven plans only");
+    };
+    let relation = match source {
+        Source::Full => storage.relation(*rel),
+        Source::Delta => deltas.get(rel),
+    };
+    let Some(relation) = relation else {
+        return;
+    };
+    let mut regs: Vec<Option<Const>> = vec![None; task.rule.slots];
+    let mut undo = Vec::new();
+    for id in range {
+        if !relation.is_live(id) {
+            continue; // tombstone from an incremental removal
+        }
+        stats.tuples_scanned += 1;
+        if match_cols(relation.tuple(id), cols, &mut regs, &mut undo) {
+            run_steps(task.rule, rest, storage, deltas, &mut regs, stats, sink);
+        }
+        for s in undo.drain(..) {
+            regs[s] = None;
+        }
+    }
+}
+
+/// Runs one round — every listed plan — and returns the pending head facts
+/// that pass `keep` (called with the head relation and the candidate fact).
+///
+/// `width > 1` distributes the round's tasks over the global pool; private
+/// per-task buffers are merged in task order, so the result and the counters
+/// added to `stats` are identical at every width.
+pub(crate) fn run_round_with<K>(
+    plans: &[(&PlannedRule, &JoinPlan)],
+    storage: &IndexStorage,
+    deltas: &Deltas,
+    stats: &mut EngineStats,
+    width: usize,
+    keep: &K,
+) -> Pending
+where
+    K: Fn(RelId, &Tuple) -> bool + Sync,
+{
+    let sequential = |stats: &mut EngineStats| {
+        let mut pending = Pending::new();
+        for &(rule, plan) in plans {
+            let head_rel = rule.head.rel;
+            run_plan(rule, plan, storage, deltas, stats, &mut |fact| {
+                if keep(head_rel, &fact) {
+                    pending.entry(head_rel).or_default().insert(fact);
+                }
+            });
+        }
+        pending
+    };
+    if width <= 1 {
+        return sequential(stats);
+    }
+    let (tasks, driving) = round_tasks(plans, storage, deltas, width);
+    if driving < PAR_ROUND_THRESHOLD {
+        return sequential(stats);
+    }
+    let results = ThreadPool::global().map(width, &tasks, |_, task| {
+        let mut pending = Pending::new();
+        let mut local = EngineStats::default();
+        let head_rel = task.rule.head.rel;
+        run_task(task, storage, deltas, &mut local, &mut |fact| {
+            if keep(head_rel, &fact) {
+                pending.entry(head_rel).or_default().insert(fact);
+            }
+        });
+        (pending, local)
+    });
+    // Deterministic merge: task order is rule order then chunk offset, and
+    // the per-relation sets union into one sorted pending set.
+    let mut pending = Pending::new();
+    for (part, local) in results {
+        stats.absorb(&local);
+        for (rel, facts) in part {
+            pending.entry(rel).or_default().extend(facts);
+        }
+    }
+    pending
+}
+
+/// [`run_round_with`] specialised to the fixpoint filter: keep facts not yet
+/// in storage.
+fn run_round(
+    plans: &[(&PlannedRule, &JoinPlan)],
+    storage: &IndexStorage,
+    deltas: &Deltas,
+    stats: &mut EngineStats,
+    width: usize,
+) -> Pending {
+    run_round_with(plans, storage, deltas, stats, width, &|rel, fact| {
+        !storage.holds(rel, fact)
+    })
+}
+
 pub(crate) fn eval_stratum_naive(
     rules: &[PlannedRule],
     storage: &mut IndexStorage,
     stats: &mut EngineStats,
+    width: usize,
 ) {
     let no_deltas = Deltas::new();
+    let plans: Vec<(&PlannedRule, &JoinPlan)> = rules.iter().map(|r| (r, &r.full)).collect();
     loop {
         stats.iterations += 1;
-        let mut pending = Pending::new();
-        for rule in rules {
-            derive(rule, &rule.full, storage, &no_deltas, &mut pending, stats);
-        }
+        let pending = run_round(&plans, storage, &no_deltas, stats, width);
         if pending.is_empty() {
             break;
         }
@@ -110,30 +348,39 @@ pub(crate) fn eval_stratum_naive(
     }
 }
 
+/// The delta-variant plans whose driving delta is non-empty this round.
+pub(crate) fn delta_plans<'a>(
+    rules: &'a [PlannedRule],
+    delta: &Deltas,
+) -> Vec<(&'a PlannedRule, &'a JoinPlan)> {
+    rules
+        .iter()
+        .flat_map(|rule| {
+            rule.deltas
+                .iter()
+                .filter(|(driver, _)| delta.get(driver).is_some_and(|d| !d.is_empty()))
+                .map(move |(_, plan)| (rule, plan))
+        })
+        .collect()
+}
+
 pub(crate) fn eval_stratum_semi_naive(
     rules: &[PlannedRule],
     storage: &mut IndexStorage,
     stats: &mut EngineStats,
+    width: usize,
 ) {
     // Seeding round: one full evaluation populates the first delta.
     stats.iterations += 1;
     let no_deltas = Deltas::new();
-    let mut pending = Pending::new();
-    for rule in rules {
-        derive(rule, &rule.full, storage, &no_deltas, &mut pending, stats);
-    }
+    let plans: Vec<(&PlannedRule, &JoinPlan)> = rules.iter().map(|r| (r, &r.full)).collect();
+    let pending = run_round(&plans, storage, &no_deltas, stats, width);
     let mut delta = commit(storage, pending, stats);
 
     while !delta.is_empty() {
         stats.iterations += 1;
-        let mut pending = Pending::new();
-        for rule in rules {
-            for (driver, plan) in &rule.deltas {
-                if delta.get(driver).is_some_and(|d| !d.is_empty()) {
-                    derive(rule, plan, storage, &delta, &mut pending, stats);
-                }
-            }
-        }
+        let plans = delta_plans(rules, &delta);
+        let pending = run_round(&plans, storage, &delta, stats, width);
         delta = commit(storage, pending, stats);
     }
 }
@@ -161,28 +408,10 @@ pub(crate) fn commit(
     delta
 }
 
-/// Runs one join plan, adding derived head facts (not yet in storage) to
-/// `pending`.
-pub(crate) fn derive(
-    rule: &PlannedRule,
-    plan: &JoinPlan,
-    storage: &IndexStorage,
-    deltas: &Deltas,
-    pending: &mut Pending,
-    stats: &mut EngineStats,
-) {
-    run_plan(rule, plan, storage, deltas, stats, &mut |fact| {
-        if !storage.holds(rule.head.rel, &fact) {
-            pending.entry(rule.head.rel).or_default().insert(fact);
-        }
-    });
-}
-
 /// Runs one join plan, feeding every instantiated head fact to `sink`
-/// (besides [`derive`], the incremental session's overdeletion phase
-/// supplies its own sink; its *rederivation* check needs pre-bound
-/// registers and early exit, which its dedicated `satisfiable` walker
-/// handles).
+/// (the incremental session's *rederivation* check needs pre-bound
+/// registers and early exit instead, which its dedicated `satisfiable`
+/// walker handles).
 pub(crate) fn run_plan(
     rule: &PlannedRule,
     plan: &JoinPlan,
@@ -468,6 +697,63 @@ mod tests {
         assert_eq!(fix.relation(r(3)).unwrap().len(), 2);
         assert!(fix.holds(r(3), &tuple![2]));
         assert!(fix.holds(r(3), &tuple![3]));
+    }
+
+    /// `chains` disjoint chains of `len` edges each — enough driving tuples
+    /// per round to clear the parallel fan-out threshold.
+    fn braid_db(chains: u32, len: u32) -> Database {
+        let mut b = DatabaseBuilder::new().relation(r(1), 2);
+        for c in 0..chains {
+            let base = c * (len + 2) + 1;
+            for i in 0..len {
+                b = b.fact(r(1), [base + i, base + i + 1]);
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn parallel_widths_match_sequential_bytes_and_stats() {
+        let edb = braid_db(40, 16);
+        for mode in [EvalMode::Naive, EvalMode::SemiNaive] {
+            let (seq, seq_stats) =
+                evaluate_with(&[tc_program()], &edb, EngineOptions { mode, threads: 1 }).unwrap();
+            for threads in [2, 4] {
+                let (par, par_stats) =
+                    evaluate_with(&[tc_program()], &edb, EngineOptions { mode, threads }).unwrap();
+                assert_eq!(seq, par, "fixpoint diverges at width {threads} ({mode:?})");
+                assert_eq!(
+                    seq_stats, par_stats,
+                    "stats diverge at width {threads} ({mode:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn small_rounds_stay_sequential_but_identical() {
+        // far below the fan-out threshold: the cutoff must not be observable
+        let edb = chain_db(8);
+        let (seq, seq_stats) = evaluate_with(
+            &[tc_program()],
+            &edb,
+            EngineOptions {
+                mode: EvalMode::SemiNaive,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        let (par, par_stats) = evaluate_with(
+            &[tc_program()],
+            &edb,
+            EngineOptions {
+                mode: EvalMode::SemiNaive,
+                threads: 4,
+            },
+        )
+        .unwrap();
+        assert_eq!(seq, par);
+        assert_eq!(seq_stats, par_stats);
     }
 
     #[test]

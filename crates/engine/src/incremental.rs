@@ -32,11 +32,12 @@ use std::collections::{BTreeMap, BTreeSet, HashSet};
 use kbt_data::{Const, Database, RelId, Tuple};
 
 use crate::eval::{
-    commit, derive, eval_stratum_semi_naive, instantiate, match_cols, resolve, Deltas, Pending,
+    commit, delta_plans, eval_stratum_semi_naive, instantiate, match_cols, resolve, run_round_with,
+    Deltas,
 };
 use crate::index::IndexedRelation;
 use crate::ir::{Program, Term};
-use crate::plan::{PlannedRule, Source, Step};
+use crate::plan::{JoinPlan, PlannedRule, Source, Step};
 use crate::stats::EngineStats;
 use crate::storage::IndexStorage;
 use crate::{EngineError, Result};
@@ -71,14 +72,26 @@ pub struct IncrementalSession {
     protected: BTreeMap<RelId, HashSet<Tuple>>,
     storage: IndexStorage,
     totals: EngineStats,
+    /// Resolved evaluation width (see [`crate::EngineOptions::threads`]);
+    /// every maintenance call — initial evaluation, propagation rounds,
+    /// overdeletion, fallback recomputation — runs at this width.
+    width: usize,
 }
 
 impl IncrementalSession {
     /// Builds a session by fully evaluating the pre-stratified `strata` over
     /// `edb` (the same computation as [`crate::evaluate`] in semi-naive
-    /// mode).  The statistics of this initial evaluation are available
-    /// through [`Self::stats`].
+    /// mode), at the process-default width.  The statistics of this initial
+    /// evaluation are available through [`Self::stats`].
     pub fn new(strata: &[Program], edb: &Database) -> Result<Self> {
+        IncrementalSession::with_threads(strata, edb, 0)
+    }
+
+    /// [`Self::new`] with an explicit thread count (`0` = process default,
+    /// `1` = exact sequential path).  The maintained fixpoint and all
+    /// statistics are identical at every width.
+    pub fn with_threads(strata: &[Program], edb: &Database, threads: usize) -> Result<Self> {
+        let width = kbt_par::resolve_threads(threads);
         let mut storage = IndexStorage::from_database(edb);
         for program in strata {
             for (rel, arity) in program.relation_arities() {
@@ -111,7 +124,7 @@ impl IncrementalSession {
                 }
             }
             let rules = crate::eval::plan_stratum(program, &mut storage, &eligible);
-            eval_stratum_semi_naive(&rules, &mut storage, &mut stats);
+            eval_stratum_semi_naive(&rules, &mut storage, &mut stats, width);
 
             let neg_rels = program
                 .rules
@@ -137,6 +150,7 @@ impl IncrementalSession {
             protected,
             storage,
             totals: stats,
+            width,
         })
     }
 
@@ -214,33 +228,32 @@ impl IncrementalSession {
 
         // Phase A — overdeletion, against the *old* storage (nothing has
         // been removed yet, so joins still see every deleted fact and no
-        // joint deletion across body atoms can be missed).
+        // joint deletion across body atoms can be missed).  Rounds fan out
+        // over the pool exactly like fixpoint rounds: private buffers per
+        // task, merged in stable order (see `eval` module docs).
         let mut over = del_actual.clone();
         let mut round = del_actual;
         while !round.is_empty() {
             stats.iterations += 1;
-            let mut pending = Pending::new();
+            let mut plans: Vec<(&PlannedRule, &JoinPlan)> = Vec::new();
             for stratum in &self.strata[..fallback_from] {
-                for rule in &stratum.rules {
-                    let head_rel = rule.head.rel;
-                    for (driver, plan) in &rule.deltas {
-                        if round.get(driver).is_none_or(IndexedRelation::is_empty) {
-                            continue;
-                        }
-                        let storage = &self.storage;
-                        let over_ref = &over;
-                        let protected = &self.protected;
-                        crate::eval::run_plan(rule, plan, storage, &round, &mut stats, &mut |f| {
-                            if storage.holds(head_rel, &f)
-                                && !over_ref.get(&head_rel).is_some_and(|o| o.contains(&f))
-                                && !protected.get(&head_rel).is_some_and(|p| p.contains(&f))
-                            {
-                                pending.entry(head_rel).or_default().insert(f);
-                            }
-                        });
-                    }
-                }
+                plans.extend(delta_plans(&stratum.rules, &round));
             }
+            let storage = &self.storage;
+            let over_ref = &over;
+            let protected = &self.protected;
+            let pending = run_round_with(
+                &plans,
+                storage,
+                &round,
+                &mut stats,
+                self.width,
+                &|rel, f: &Tuple| {
+                    storage.holds(rel, f)
+                        && !over_ref.get(&rel).is_some_and(|o| o.contains(f))
+                        && !protected.get(&rel).is_some_and(|p| p.contains(f))
+                },
+            );
             round = Deltas::new();
             for (rel, facts) in pending {
                 for fact in facts {
@@ -301,15 +314,17 @@ impl IncrementalSession {
             let mut delta = added.clone();
             while !delta.is_empty() {
                 stats.iterations += 1;
-                let mut pending = Pending::new();
                 let stratum = &self.strata[k];
-                for rule in &stratum.rules {
-                    for (driver, plan) in &rule.deltas {
-                        if delta.get(driver).is_some_and(|d| !d.is_empty()) {
-                            derive(rule, plan, &self.storage, &delta, &mut pending, &mut stats);
-                        }
-                    }
-                }
+                let plans = delta_plans(&stratum.rules, &delta);
+                let storage = &self.storage;
+                let pending = run_round_with(
+                    &plans,
+                    storage,
+                    &delta,
+                    &mut stats,
+                    self.width,
+                    &|rel, f: &Tuple| !storage.holds(rel, f),
+                );
                 if pending.is_empty() {
                     break;
                 }
@@ -347,7 +362,7 @@ impl IncrementalSession {
                 }
             }
             let stratum = &self.strata[k];
-            eval_stratum_semi_naive(&stratum.rules, &mut self.storage, &mut stats);
+            eval_stratum_semi_naive(&stratum.rules, &mut self.storage, &mut stats, self.width);
             for (rel, old) in olds {
                 let new = self.storage.relation(rel).expect("relation ensured");
                 stats.rederived_facts += old.iter().filter(|t| new.contains(t)).count();
@@ -370,6 +385,15 @@ impl IncrementalSession {
     /// need instead of paying for [`Self::current`].
     pub fn relation(&self, rel: RelId) -> Option<&IndexedRelation> {
         self.storage.relation(rel)
+    }
+
+    /// A copy-on-write snapshot of one maintained relation: after the first
+    /// call per relation this is an `O(1)` `Arc` clone, and later deltas
+    /// touch the snapshot holder only through copy-on-write.  The chain
+    /// evaluator uses this to assemble each step's output without
+    /// re-collecting the (large) intensional relations.
+    pub fn snapshot_relation(&mut self, rel: RelId) -> Option<kbt_data::Relation> {
+        self.storage.snapshot_relation(rel)
     }
 
     /// Whether the fact is in the maintained fixpoint.
@@ -694,6 +718,41 @@ mod tests {
         assert_eq!(session.current(), from_scratch(&strata, &edb));
         // no stratum was recomputed from scratch
         assert_eq!(stats.strata, 0);
+    }
+
+    #[test]
+    fn parallel_sessions_track_sequential_ones_exactly() {
+        // a braid wide enough that propagation and overdeletion rounds clear
+        // the fan-out threshold
+        let mut b = DatabaseBuilder::new().relation(r(1), 2);
+        for c in 0..40u32 {
+            let base = c * 18 + 1;
+            for i in 0..16 {
+                b = b.fact(r(1), [base + i, base + i + 1]);
+            }
+        }
+        let edb = b.build().unwrap();
+        let strata = [tc_program()];
+        let mut seq = IncrementalSession::with_threads(&strata, &edb, 1).unwrap();
+        let mut par = IncrementalSession::with_threads(&strata, &edb, 4).unwrap();
+        assert_eq!(seq.current(), par.current());
+        assert_eq!(seq.stats(), par.stats());
+
+        type Edges = Vec<(u32, u32)>;
+        let steps: Vec<(Edges, Edges)> = vec![
+            (vec![(17, 19), (36, 38)], vec![]),
+            (vec![], vec![(5, 6), (23, 24)]),
+            (vec![(5, 6)], vec![(17, 19)]),
+        ];
+        for (ins, del) in steps {
+            let ins: Vec<_> = ins.into_iter().map(|(x, y)| (r(1), tuple![x, y])).collect();
+            let del: Vec<_> = del.into_iter().map(|(x, y)| (r(1), tuple![x, y])).collect();
+            let s = seq.apply_delta(&ins, &del).unwrap();
+            let p = par.apply_delta(&ins, &del).unwrap();
+            assert_eq!(seq.current(), par.current(), "fixpoints diverge");
+            assert_eq!(s, p, "per-delta stats diverge");
+        }
+        assert_eq!(seq.stats(), par.stats());
     }
 
     #[test]

@@ -16,6 +16,19 @@
 //! slot is marked dead and left in the index buckets, and readers filter by
 //! [`IndexedRelation::is_live`]; once more than half the slots are dead the
 //! relation compacts itself, rebuilding its indexes without the garbage.
+//!
+//! Relations additionally keep an optional **mirror** — a copy-on-write
+//! [`Relation`] maintained alongside the indexed store — so that
+//! materialising the relation ([`IndexedRelation::to_relation`] /
+//! [`IndexedRelation::snapshot`]) is an `O(1)` `Arc` clone instead of an
+//! `O(n log n)` rebuild.  The mirror exists for relations built from a plain
+//! [`Relation`] and for relations that have been snapshotted at least once;
+//! from then on every insert/remove updates it in place (the `Relation` is
+//! itself copy-on-write, so an outstanding snapshot is never disturbed —
+//! the first mutation after handing one out unshares).  The incremental
+//! chain evaluator leans on this: each `τ_φ` step snapshots the intensional
+//! output relation instead of re-collecting ~10⁴–10⁵ tuples into a fresh
+//! set per step.
 
 use std::collections::{HashMap, HashSet};
 
@@ -51,6 +64,9 @@ pub struct IndexedRelation {
     ids: HashMap<Tuple, u32>,
     /// One hash index per demanded mask.
     indexes: HashMap<Mask, HashMap<Box<[Const]>, Vec<u32>>>,
+    /// Copy-on-write materialised view, kept exactly in sync with the live
+    /// tuples once it exists (see the module docs).
+    mirror: Option<Relation>,
 }
 
 impl IndexedRelation {
@@ -62,12 +78,16 @@ impl IndexedRelation {
         }
     }
 
-    /// Copies a plain relation into indexed form.
+    /// Copies a plain relation into indexed form.  The source relation
+    /// becomes the mirror (an `Arc` clone), so materialising the relation
+    /// back out stays `O(1)` as long as the contents are maintained through
+    /// [`Self::insert`] / [`Self::remove`].
     pub fn from_relation(relation: &Relation) -> Self {
         let mut out = IndexedRelation::new(relation.arity());
         for t in relation.iter() {
             out.insert(t.clone());
         }
+        out.mirror = Some(relation.clone());
         out
     }
 
@@ -105,6 +125,15 @@ impl IndexedRelation {
         &self.tuples[id as usize]
     }
 
+    /// Number of tuple slots, live and tombstoned (the valid id range is
+    /// `0..slot_count()`).  The parallel evaluator chunks a driving scan by
+    /// splitting this range; iterating a subrange with [`Self::is_live`]
+    /// filtering visits exactly the tuples [`Self::iter`] would, in the same
+    /// order.
+    pub fn slot_count(&self) -> u32 {
+        self.tuples.len() as u32
+    }
+
     /// Whether the tuple with the given id is still live.  Probe buckets may
     /// contain tombstoned ids until the next compaction, so every consumer of
     /// [`Self::probe`] must filter through this.
@@ -124,6 +153,9 @@ impl IndexedRelation {
         for (&mask, index) in &mut self.indexes {
             index.entry(key_of(&t, mask)).or_default().push(id);
         }
+        if let Some(mirror) = &mut self.mirror {
+            mirror.insert(t.clone()).expect("mirror arity matches");
+        }
         self.tuples.push(t);
         self.live.push(true);
         true
@@ -138,6 +170,9 @@ impl IndexedRelation {
         };
         self.live[id as usize] = false;
         self.dead += 1;
+        if let Some(mirror) = &mut self.mirror {
+            mirror.remove(t);
+        }
         if self.dead * 2 > self.tuples.len() {
             self.compact();
         }
@@ -153,6 +188,9 @@ impl IndexedRelation {
         self.ids.clear();
         for index in self.indexes.values_mut() {
             index.clear();
+        }
+        if let Some(mirror) = &mut self.mirror {
+            *mirror = Relation::empty(self.arity);
         }
     }
 
@@ -219,10 +257,29 @@ impl IndexedRelation {
         self.dead
     }
 
-    /// Copies the live contents back into a plain relation.
+    /// The live contents as a plain relation: an `O(1)` clone of the mirror
+    /// when one is maintained, otherwise a rebuild.
     pub fn to_relation(&self) -> Relation {
+        if let Some(mirror) = &self.mirror {
+            debug_assert_eq!(mirror.len(), self.ids.len(), "mirror out of sync");
+            return mirror.clone();
+        }
         Relation::from_tuples(self.arity, self.iter().cloned())
             .expect("arities are uniform by construction")
+    }
+
+    /// Like [`Self::to_relation`], but enables the mirror first, so *every*
+    /// later snapshot of this relation (until its contents are rebuilt
+    /// wholesale) is an `O(1)` clone and only the tuples actually touched by
+    /// subsequent mutations pay copy-on-write costs.
+    pub fn snapshot(&mut self) -> Relation {
+        if self.mirror.is_none() {
+            self.mirror = Some(
+                Relation::from_tuples(self.arity, self.iter().cloned())
+                    .expect("arities are uniform by construction"),
+            );
+        }
+        self.to_relation()
     }
 
     /// The live tuples as a hash set (used by the incremental session to
@@ -346,6 +403,49 @@ mod tests {
         assert_eq!(live_hits(&r, 0b01, &[Const::new(2)]).len(), 1);
         assert!(r.probe(0b01, &[Const::new(1)]).is_empty());
         assert!(r.contains(&tuple![2, 3]));
+    }
+
+    #[test]
+    fn snapshots_stay_in_sync_across_mutations() {
+        let mut r = sample();
+        let snap1 = r.snapshot();
+        assert_eq!(snap1.len(), 3);
+        // mutations after a snapshot: the snapshot is frozen, the next one
+        // reflects them — and both come from the maintained mirror.
+        r.insert(tuple![9, 9]);
+        r.remove(&tuple![1, 2]);
+        assert_eq!(snap1.len(), 3, "outstanding snapshot must be frozen");
+        let snap2 = r.snapshot();
+        assert_eq!(snap2.len(), 3);
+        assert!(snap2.contains(&tuple![9, 9]));
+        assert!(!snap2.contains(&tuple![1, 2]));
+        assert_eq!(snap2, r.to_relation());
+        // and the mirror agrees with a from-scratch rebuild
+        let rebuilt = kbt_data::Relation::from_tuples(r.arity(), r.iter().cloned()).unwrap();
+        assert_eq!(snap2, rebuilt);
+    }
+
+    #[test]
+    fn from_relation_keeps_the_source_as_mirror() {
+        let plain = sample().to_relation();
+        let mut r = IndexedRelation::from_relation(&plain);
+        assert_eq!(r.to_relation(), plain);
+        r.clear();
+        assert!(r.to_relation().is_empty());
+        r.insert(tuple![4, 4]);
+        assert_eq!(r.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn compaction_preserves_the_mirror() {
+        let mut r = sample();
+        r.ensure_index(0b01);
+        let _ = r.snapshot();
+        r.remove(&tuple![1, 2]);
+        r.remove(&tuple![1, 3]); // triggers compaction
+        assert_eq!(r.tombstone_count(), 0);
+        assert_eq!(r.snapshot().len(), 1);
+        assert!(r.snapshot().contains(&tuple![2, 3]));
     }
 
     #[test]

@@ -18,6 +18,14 @@
 //! * [`EngineStats`] — iterations, derived facts, index probes and tuples
 //!   scanned, so callers and benchmarks can see the work performed.
 //!
+//! Rounds can run **in parallel**: [`EngineOptions::threads`] fans the
+//! independent (rule, plan) derivations of a round — chunked over each
+//! plan's driving scan — out over the vendored `kbt-par` work-sharing pool.
+//! Each worker derives into a private buffer merged in stable task order, so
+//! fixpoints *and statistics* are byte-identical at every width; `threads =
+//! 1` runs the exact sequential path.  See the [`eval`] module docs for the
+//! determinism argument.
+//!
 //! The engine has its own minimal rule IR ([`ir`]) with variables resolved
 //! to dense register slots; `kbt-datalog` lowers its AST into it, which keeps
 //! this crate free of any dependency on the surface syntax (and free of
@@ -66,7 +74,7 @@ pub mod stats;
 pub mod storage;
 
 pub use error::EngineError;
-pub use eval::{evaluate, EvalMode};
+pub use eval::{evaluate, evaluate_with, EngineOptions, EvalMode};
 pub use incremental::IncrementalSession;
 pub use index::{IndexedRelation, Mask};
 pub use stats::EngineStats;

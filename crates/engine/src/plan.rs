@@ -88,6 +88,21 @@ pub struct JoinPlan {
     pub steps: Vec<Step>,
 }
 
+impl JoinPlan {
+    /// The leading scan step and the remaining steps, when this plan is
+    /// driven by a scan.  This is the decomposition the parallel evaluator
+    /// chunks: the driving scan's tuple range is split across workers and
+    /// the remaining steps run per worker.  Plans not led by a scan (first
+    /// atom constant-bound, or a fact rule with no body) return `None` and
+    /// run as a single unit of work.
+    pub fn split_driving_scan(&self) -> Option<(&Step, &[Step])> {
+        match self.steps.split_first() {
+            Some((step @ Step::Scan { .. }, rest)) => Some((step, rest)),
+            _ => None,
+        }
+    }
+}
+
 /// A rule with its full plan and one delta variant per IDB occurrence.
 #[derive(Clone, Debug)]
 pub struct PlannedRule {

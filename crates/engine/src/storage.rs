@@ -51,6 +51,13 @@ impl IndexStorage {
         self.relations.get(&rel)
     }
 
+    /// A copy-on-write snapshot of the relation stored under `rel` (see
+    /// [`IndexedRelation::snapshot`]): `O(1)` after the first call, and
+    /// never disturbed by later mutations of the storage.
+    pub fn snapshot_relation(&mut self, rel: RelId) -> Option<kbt_data::Relation> {
+        self.relations.get_mut(&rel).map(IndexedRelation::snapshot)
+    }
+
     /// Whether the fact `rel(t)` is stored.
     pub fn holds(&self, rel: RelId, t: &Tuple) -> bool {
         self.relations.get(&rel).is_some_and(|r| r.contains(t))

@@ -1,0 +1,104 @@
+//! # kbt-par — a dependency-free scoped thread pool
+//!
+//! The fixpoint engine wants to fan the independent derivations of a
+//! semi-naive round out across cores.  The usual answer is `rayon`, but this
+//! repository builds offline (no crates.io), so — like `vendor/rand` and
+//! `vendor/criterion` — the thread pool is vendored in-workspace.  It is
+//! deliberately small: fixed OS worker threads, one shared FIFO of jobs per
+//! [`scope`](ThreadPool::scope), and nothing speculative (no work *stealing*,
+//! no per-worker deques, no latency tricks).  Callers split their work into
+//! chunks; idle workers *share* the chunk queue and pull the next one.
+//!
+//! ## Design
+//!
+//! * **Pool** — [`ThreadPool`] owns helper threads that sleep on a condvar
+//!   until a scope is installed.  [`ThreadPool::global`] is the process-wide
+//!   instance the engine uses; it grows its worker set on demand so an
+//!   explicit `threads = 4` request is honoured even when
+//!   `available_parallelism` reports fewer cores (the OS timeslices — the
+//!   callers' *determinism* never depends on the physical core count).
+//! * **Scope** — [`ThreadPool::scope`] mirrors `std::thread::scope`: jobs
+//!   spawned inside may borrow from the caller's stack, because `scope` does
+//!   not return until every job has finished and every helper has detached.
+//!   The scope body runs on the calling thread, which also participates in
+//!   draining the job queue (a `width` of `n` means the caller plus at most
+//!   `n - 1` helpers).
+//! * **Work sharing** — [`Scope::spawn`] pushes one job; helpers and the
+//!   caller pop jobs FIFO.  [`ThreadPool::map`] / [`ThreadPool::for_each_chunk`]
+//!   build the common shapes on top: per-item results collected *in item
+//!   order* (so reductions over them are deterministic regardless of which
+//!   worker ran what), and chunked iteration over a slice.
+//! * **Panic propagation** — a job that panics does not tear down the pool:
+//!   the first payload is captured, the remaining jobs still run, and the
+//!   payload is re-raised on the calling thread when the scope closes (after
+//!   all helpers have detached, so no job ever outlives borrowed data).  A
+//!   panic in the scope *body* likewise waits for in-flight jobs, drops the
+//!   not-yet-started ones, and then resumes unwinding.
+//!
+//! ## Determinism contract
+//!
+//! The pool itself guarantees only that `map` returns results in item order
+//! and that `scope` joins everything.  The engine builds byte-identical
+//! fixpoints on top by giving every worker a *private* derivation buffer and
+//! merging the buffers in stable task order — worker interleaving can then
+//! never reach the output.  See `kbt_engine::eval` for that merge.
+//!
+//! ## Thread-count configuration
+//!
+//! [`default_threads`] is the process-wide default width: the
+//! `KBT_THREADS` environment variable when set (the CI matrix pins it to
+//! `1` and `4`), otherwise [`std::thread::available_parallelism`].  A width
+//! of `1` never touches the pool at all — callers run their exact
+//! sequential path.
+
+mod pool;
+
+pub use pool::{chunk_size, Scope, ThreadPool};
+
+use std::sync::OnceLock;
+
+/// The process-wide default evaluation width: `KBT_THREADS` when set to a
+/// positive integer, otherwise [`std::thread::available_parallelism`] (and
+/// `1` if even that is unavailable).  Read once and cached.
+pub fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        if let Ok(v) = std::env::var("KBT_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    })
+}
+
+/// Resolves a caller-supplied thread count: `0` means "use the default"
+/// ([`default_threads`]), anything else is taken literally.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        default_threads()
+    } else {
+        threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_threads_is_positive_and_stable() {
+        let d = default_threads();
+        assert!(d >= 1);
+        assert_eq!(d, default_threads());
+    }
+
+    #[test]
+    fn resolve_threads_maps_zero_to_default() {
+        assert_eq!(resolve_threads(0), default_threads());
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(7), 7);
+    }
+}

@@ -54,12 +54,22 @@
 //! deletions) instead of re-deriving it from scratch.  The
 //! `chain_incremental` benchmark measures the win; `reused_facts` /
 //! `rederived_facts` in the stats records make it observable per run.
+//!
+//! The engine's fixpoint rounds can also run **in parallel**:
+//! [`core::EvalOptions::threads`](kbt_core::EvalOptions) sets the
+//! evaluation width (`0` = the process default — `KBT_THREADS` or the
+//! machine's available parallelism; `1` = the exact sequential path).  The
+//! rounds fan out over the vendored `kbt-par` work-sharing pool with
+//! private per-worker buffers merged deterministically, so fixpoints *and*
+//! statistics are byte-identical at every width — the `engine_parallel`
+//! benchmark records the 1/2/4-thread scaling.
 
 pub use kbt_core as core;
 pub use kbt_data as data;
 pub use kbt_datalog as datalog;
 pub use kbt_engine as engine;
 pub use kbt_logic as logic;
+pub use kbt_par as par;
 pub use kbt_reductions as reductions;
 pub use kbt_solver as solver;
 

@@ -6,11 +6,28 @@
 //! criterion 0.5 API the `kbt-bench` targets use ([`Criterion`],
 //! [`BenchmarkId`], benchmark groups, [`criterion_group!`] /
 //! [`criterion_main!`]) and implements honest wall-clock measurement — a
-//! warm-up phase followed by `sample_size` timed samples, reporting the mean,
-//! minimum and maximum time per iteration.  There is no statistical analysis
-//! or HTML report, but the numbers are real and the CLI filter argument
-//! (`cargo bench -- <substring>`) works.
+//! warm-up phase followed by `sample_size` timed samples, reporting the
+//! minimum, median and maximum time per iteration.  There is no statistical
+//! analysis or HTML report, but the numbers are real and the CLI filter
+//! argument (`cargo bench -- <substring>`) works.
+//!
+//! ## Machine-readable output
+//!
+//! When the `KBT_BENCH_JSON` environment variable names a file, every
+//! benchmark merges its record into that file as it finishes:
+//!
+//! ```json
+//! {
+//!   "group/name/param": { "median_ns": 1.0, "mean_ns": 1.1, "min_ns": 0.9, "max_ns": 1.3 }
+//! }
+//! ```
+//!
+//! Records are keyed by the full benchmark name and overwritten on re-runs,
+//! so successive `cargo bench` invocations (even from different bench
+//! binaries) accumulate into one file — CI uses this to track the
+//! performance trajectory (`BENCH_parallel.json`).
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -213,6 +230,19 @@ impl Bencher {
     }
 }
 
+/// One benchmark's summary statistics, in nanoseconds per iteration.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BenchRecord {
+    /// Median over the timed samples.
+    pub median_ns: f64,
+    /// Mean over the timed samples.
+    pub mean_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+}
+
 fn run_one(name: &str, config: &Criterion, routine: &mut dyn FnMut(&mut Bencher)) {
     let mut bencher = Bencher {
         warm_up_time: config.warm_up_time,
@@ -225,23 +255,81 @@ fn run_one(name: &str, config: &Criterion, routine: &mut dyn FnMut(&mut Bencher)
         println!("{name:<60} (no samples)");
         return;
     }
-    let mean = bencher.samples_ns.iter().sum::<f64>() / bencher.samples_ns.len() as f64;
-    let min = bencher
-        .samples_ns
-        .iter()
-        .cloned()
-        .fold(f64::INFINITY, f64::min);
-    let max = bencher
-        .samples_ns
-        .iter()
-        .cloned()
-        .fold(f64::NEG_INFINITY, f64::max);
+    let mut sorted = bencher.samples_ns.clone();
+    sorted.sort_by(f64::total_cmp);
+    let record = BenchRecord {
+        median_ns: sorted[sorted.len() / 2],
+        mean_ns: sorted.iter().sum::<f64>() / sorted.len() as f64,
+        min_ns: sorted[0],
+        max_ns: sorted[sorted.len() - 1],
+    };
     println!(
         "{name:<60} time: [{} {} {}]",
-        format_ns(min),
-        format_ns(mean),
-        format_ns(max)
+        format_ns(record.min_ns),
+        format_ns(record.median_ns),
+        format_ns(record.max_ns)
     );
+    if let Ok(path) = std::env::var("KBT_BENCH_JSON") {
+        if !path.is_empty() {
+            merge_json_record(std::path::Path::new(&path), name, record);
+        }
+    }
+}
+
+/// Merges one record into the JSON report file (best effort: I/O errors are
+/// reported to stderr, never fail the benchmark run).
+fn merge_json_record(path: &std::path::Path, name: &str, record: BenchRecord) {
+    let mut records = std::fs::read_to_string(path)
+        .map(|text| parse_bench_json(&text))
+        .unwrap_or_default();
+    records.insert(name.to_string(), record);
+    let mut out = String::from("{\n");
+    for (i, (name, r)) in records.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "  \"{name}\": {{ \"median_ns\": {}, \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {} }}",
+            r.median_ns, r.mean_ns, r.min_ns, r.max_ns
+        ));
+    }
+    out.push_str("\n}\n");
+    if let Err(e) = std::fs::write(path, out) {
+        eprintln!("KBT_BENCH_JSON: cannot write {}: {e}", path.display());
+    }
+}
+
+/// Parses the flat two-level JSON this shim writes (one record per line);
+/// anything unrecognised is skipped.
+fn parse_bench_json(text: &str) -> BTreeMap<String, BenchRecord> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else {
+            continue;
+        };
+        let Some((name, fields)) = rest.split_once("\": {") else {
+            continue;
+        };
+        let mut record = BenchRecord::default();
+        for field in fields.trim_end_matches([' ', '}']).split(',') {
+            let Some((key, value)) = field.split_once(':') else {
+                continue;
+            };
+            let Ok(value) = value.trim().parse::<f64>() else {
+                continue;
+            };
+            match key.trim().trim_matches('"') {
+                "median_ns" => record.median_ns = value,
+                "mean_ns" => record.mean_ns = value,
+                "min_ns" => record.min_ns = value,
+                "max_ns" => record.max_ns = value,
+                _ => {}
+            }
+        }
+        out.insert(name.to_string(), record);
+    }
+    out
 }
 
 fn format_ns(ns: f64) -> String {
@@ -298,6 +386,44 @@ mod tests {
         let mut ran = 0u64;
         c.bench_function("shim/self_test", |b| b.iter(|| ran += 1));
         assert!(ran > 0, "the routine must actually run");
+    }
+
+    #[test]
+    fn json_records_round_trip_and_merge() {
+        let dir = std::env::temp_dir().join(format!("kbt-bench-json-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        let _ = std::fs::remove_file(&path);
+        let a = BenchRecord {
+            median_ns: 1.5,
+            mean_ns: 2.25,
+            min_ns: 1.0,
+            max_ns: 4.0,
+        };
+        merge_json_record(&path, "g/one", a);
+        merge_json_record(
+            &path,
+            "g/two",
+            BenchRecord {
+                median_ns: 10.0,
+                ..a
+            },
+        );
+        // re-recording overwrites in place
+        merge_json_record(
+            &path,
+            "g/one",
+            BenchRecord {
+                median_ns: 9.0,
+                ..a
+            },
+        );
+        let parsed = parse_bench_json(&std::fs::read_to_string(&path).unwrap());
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed["g/one"].median_ns, 9.0);
+        assert_eq!(parsed["g/one"].max_ns, 4.0);
+        assert_eq!(parsed["g/two"].median_ns, 10.0);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]
