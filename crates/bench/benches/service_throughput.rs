@@ -1,0 +1,173 @@
+//! `service_throughput` — the MVCC serving benchmark: concurrent readers
+//! against a committing writer.
+//!
+//! The read-path benches (`snapshot`, `certain_reach`,
+//! `query_hypothetical`) run **while a background writer keeps
+//! committing** — asserting/retracting edges and incrementally re-applying
+//! the registered closure refresh — so the numbers measure what a reader
+//! actually pays mid-commit-stream, not on an idle service.  The
+//! write-path benches (`commit_assert_retract`, `apply_refresh`) measure
+//! the serialized commit pipeline itself, including the persistent
+//! chain-session reuse across `APPLY`s.
+//!
+//! Run with `KBT_BENCH_JSON=BENCH_service.json` to record the medians
+//! (CI uploads them with the bench-trajectory artifact).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use kbt_bench::criterion::{black_box, criterion_group, criterion_main, Criterion};
+use kbt_bench::quick_criterion;
+use kbt_service::{Service, ServiceConfig};
+
+/// Seed chain length (the closure then holds ~EDGES²/2 reach facts).
+const EDGES: u32 = 100;
+
+const DEFINE: &str = "DEFINE refresh := project[edge]; \
+     tau[(forall x0 x1. edge(x0, x1) -> reach(x0, x1)) & \
+         (forall x0 x1 x2. reach(x0, x1) & edge(x1, x2) -> reach(x0, x2))]";
+
+/// A service holding a chain graph and its committed closure.
+fn seeded_service() -> Arc<Service> {
+    let service = Service::new(ServiceConfig::default());
+    service.execute(DEFINE).expect("define");
+    for i in 0..EDGES {
+        service
+            .execute(&format!("ASSERT edge({i}, {})", i + 1))
+            .expect("assert");
+    }
+    service.execute("APPLY refresh").expect("apply");
+    Arc::new(service)
+}
+
+/// Spawns the committing writer: toggle one edge and re-apply the refresh,
+/// over and over, until finished.
+struct Churn {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<u64>>,
+}
+
+impl Churn {
+    fn start(service: Arc<Service>) -> Churn {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = stop.clone();
+        let handle = std::thread::spawn(move || {
+            let mut commits = 0u64;
+            while !flag.load(Ordering::Relaxed) {
+                service
+                    .execute(&format!("ASSERT edge({EDGES}, {})", EDGES + 1))
+                    .expect("churn assert");
+                service.execute("APPLY refresh").expect("churn apply");
+                service
+                    .execute(&format!("RETRACT edge({EDGES}, {})", EDGES + 1))
+                    .expect("churn retract");
+                service.execute("APPLY refresh").expect("churn apply");
+                commits += 4;
+            }
+            commits
+        });
+        Churn {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the writer and returns how many commits it made — the read
+    /// benches assert this is non-zero, so "measured under a live writer"
+    /// is a checked claim, not a hope.
+    fn finish(mut self) -> u64 {
+        self.stop.store(true, Ordering::Relaxed);
+        self.handle
+            .take()
+            .expect("finish is called once")
+            .join()
+            .expect("churn writer must not panic")
+    }
+}
+
+impl Drop for Churn {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn bench_read_path(c: &mut Criterion) {
+    let service = seeded_service();
+    let mut group = c.benchmark_group("service_throughput");
+
+    {
+        let churn = Churn::start(service.clone());
+        group.bench_function("snapshot", |b| {
+            b.iter(|| black_box(service.snapshot().epoch()))
+        });
+        group.bench_function("certain_reach", |b| {
+            b.iter(|| {
+                let snap = service.snapshot();
+                let (rel, _) = snap.vocab().lookup_relation("reach").expect("committed");
+                black_box(service.certain(&snap, rel).len())
+            })
+        });
+        group.bench_function("query_hypothetical", |b| {
+            b.iter(|| {
+                black_box(
+                    service
+                        .execute("QUERY tau[edge(500, 501)]; lub; project[edge]")
+                        .expect("query"),
+                )
+            })
+        });
+        let commits = churn.finish();
+        assert!(commits > 0, "the writer must have been committing");
+    }
+
+    group.finish();
+}
+
+fn bench_write_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_throughput");
+
+    {
+        let service = seeded_service();
+        let mut i = 0u32;
+        group.bench_function("commit_assert_retract", |b| {
+            b.iter(|| {
+                i += 1;
+                service
+                    .execute(&format!("ASSERT probe({i})"))
+                    .expect("assert");
+                service
+                    .execute(&format!("RETRACT probe({i})"))
+                    .expect("retract");
+            })
+        });
+    }
+
+    {
+        let service = seeded_service();
+        let mut on = false;
+        group.bench_function("apply_refresh", |b| {
+            b.iter(|| {
+                // toggle one edge so every APPLY advances a real delta
+                on = !on;
+                let cmd = if on { "ASSERT" } else { "RETRACT" };
+                service
+                    .execute(&format!("{cmd} edge({EDGES}, {})", EDGES + 1))
+                    .expect("toggle");
+                service.execute("APPLY refresh").expect("apply");
+            })
+        });
+    }
+
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_read_path(c);
+    bench_write_path(c);
+}
+
+criterion_group!(name = service; config = quick_criterion(); targets = benches);
+criterion_main!(service);

@@ -61,6 +61,7 @@ pub use error::CoreError;
 pub use options::{EvalOptions, EvalStats, Strategy};
 pub use transform::Transform;
 pub use transformer::{TransformResult, Transformer};
+pub use update::datalog::ChainSession;
 pub use update::minimal_update;
 
 /// Convenience result alias used throughout the crate.

@@ -58,7 +58,31 @@ impl Transformer {
     /// Applies a transformation expression to a knowledgebase.
     pub fn apply(&self, transform: &Transform, kb: &Knowledgebase) -> Result<TransformResult> {
         let mut stats = EvalStats::default();
-        let kb = self.apply_inner(transform, kb.clone(), &mut stats)?;
+        let kb = self.apply_inner(transform, kb.clone(), &mut stats, None)?;
+        Ok(TransformResult { kb, stats })
+    }
+
+    /// Like [`Self::apply`], but with a caller-owned chain-session slot that
+    /// survives between calls: a long-lived host (the `kbt-service` commit
+    /// pipeline) registers an expression once and re-applies it per commit,
+    /// and the persistent [`ChainSession`] then feeds only the *diff* of the
+    /// successive input databases into the live engine fixpoint instead of
+    /// re-deriving it from scratch each time.
+    ///
+    /// Results are byte-identical to [`Self::apply`]; the slot is purely a
+    /// performance carrier.  Only the most recent Horn `τ_φ` sentence is
+    /// retained in the slot (a later step with a different sentence replaces
+    /// it), so expressions whose *last* insertion is the expensive recursive
+    /// one — the common shape — benefit the most.  Callers may clear the
+    /// slot to `None` at any time.
+    pub fn apply_with_chain(
+        &self,
+        transform: &Transform,
+        kb: &Knowledgebase,
+        chain: &mut Option<ChainSession>,
+    ) -> Result<TransformResult> {
+        let mut stats = EvalStats::default();
+        let kb = self.apply_inner(transform, kb.clone(), &mut stats, Some(chain))?;
         Ok(TransformResult { kb, stats })
     }
 
@@ -72,30 +96,39 @@ impl Transformer {
         transform: &Transform,
         kb: Knowledgebase,
         stats: &mut EvalStats,
+        chain: Option<&mut Option<ChainSession>>,
     ) -> Result<Knowledgebase> {
         match transform {
             Transform::Identity => Ok(kb),
             Transform::Seq(_) => {
                 // Walk the flattened steps with a persistent chain session,
                 // so consecutive Datalog-fast-path insertions of the same
-                // sentence share one live engine fixpoint.  Building a
-                // session only pays off when a later insertion can reuse
-                // it, so chains with fewer than two `τ` steps skip it.
+                // sentence share one live engine fixpoint.  When the caller
+                // supplies a slot (apply_with_chain) it is always used —
+                // the session may pay off on a *later* call.  Otherwise a
+                // local slot is used, and building a session only pays off
+                // when a later insertion in this same walk can reuse it, so
+                // chains with fewer than two `τ` steps skip it.
                 let steps = transform.steps();
-                let mut chain: Option<ChainSession> = None;
-                let enable_chain = steps
-                    .iter()
-                    .filter(|s| matches!(s, Transform::Insert(_)))
-                    .count()
-                    >= 2;
+                let mut local: Option<ChainSession> = None;
+                let mut slot: Option<&mut Option<ChainSession>> = match chain {
+                    Some(external) => Some(external),
+                    None => {
+                        let enable = steps
+                            .iter()
+                            .filter(|s| matches!(s, Transform::Insert(_)))
+                            .count()
+                            >= 2;
+                        enable.then_some(&mut local)
+                    }
+                };
                 let mut current = kb;
                 for part in steps {
-                    let chain = enable_chain.then_some(&mut chain);
-                    current = self.apply_step(part, current, stats, chain)?;
+                    current = self.apply_step(part, current, stats, slot.as_deref_mut())?;
                 }
                 Ok(current)
             }
-            other => self.apply_step(other, kb, stats, None),
+            other => self.apply_step(other, kb, stats, chain),
         }
     }
 
@@ -111,7 +144,7 @@ impl Transformer {
     ) -> Result<Knowledgebase> {
         match step {
             Transform::Identity => Ok(kb),
-            Transform::Seq(_) => self.apply_inner(step, kb, stats),
+            Transform::Seq(_) => self.apply_inner(step, kb, stats, chain),
             Transform::Insert(phi) => {
                 stats.operators += 1;
                 let mut out = Knowledgebase::empty();
@@ -359,6 +392,53 @@ mod tests {
             "incremental ({}) must scan fewer tuples than from-scratch ({})",
             incremental.stats.tuples_scanned,
             from_scratch.stats.tuples_scanned
+        );
+    }
+
+    #[test]
+    fn external_chain_slot_reuses_engine_state_across_apply_calls() {
+        // The service commit pipeline shape: one registered expression,
+        // re-applied to a slowly growing knowledgebase, with a caller-owned
+        // chain slot.  The second application must reuse the first one's
+        // fixpoint (reused_facts > 0) and stay byte-identical to the
+        // from-scratch evaluation.
+        let tc = Sentence::new(and(
+            forall(
+                [1, 2],
+                implies(atom(1, [var(1), var(2)]), atom(2, [var(1), var(2)])),
+            ),
+            forall(
+                [1, 2, 3],
+                implies(
+                    and(atom(2, [var(1), var(2)]), atom(1, [var(2), var(3)])),
+                    atom(2, [var(1), var(3)]),
+                ),
+            ),
+        ))
+        .unwrap();
+        let expr = Transform::insert(tc).then(Transform::project([r(1), r(2)]));
+        let t = Transformer::new();
+        let mut chain = None;
+
+        let mut db = DatabaseBuilder::new()
+            .fact(r(1), [1u32, 2])
+            .fact(r(1), [2u32, 3])
+            .build()
+            .unwrap();
+        let kb1 = Knowledgebase::singleton(db.clone());
+        let first = t.apply_with_chain(&expr, &kb1, &mut chain).unwrap();
+        assert_eq!(first.kb, t.apply(&expr, &kb1).unwrap().kb);
+        assert!(chain.is_some(), "the slot must persist the session");
+
+        // commit a delta, re-apply: the chain session advances by the diff
+        db.insert_fact(r(1), kbt_data::tuple![3, 4]).unwrap();
+        let kb2 = Knowledgebase::singleton(db);
+        let second = t.apply_with_chain(&expr, &kb2, &mut chain).unwrap();
+        assert_eq!(second.kb, t.apply(&expr, &kb2).unwrap().kb);
+        assert!(
+            second.stats.reused_facts > 0,
+            "the second apply must reuse the persisted fixpoint, stats: {:?}",
+            second.stats
         );
     }
 

@@ -22,6 +22,7 @@
 pub mod builder;
 pub mod database;
 pub mod delta;
+pub mod epoch;
 pub mod error;
 pub mod knowledgebase;
 pub mod order;
@@ -34,6 +35,7 @@ pub mod vocabulary;
 pub use builder::{DatabaseBuilder, KnowledgebaseBuilder};
 pub use database::Database;
 pub use delta::DatabaseDelta;
+pub use epoch::{EpochCell, EpochId, Versioned};
 pub use error::DataError;
 pub use knowledgebase::Knowledgebase;
 pub use order::{is_minimal, minimal_elements, winslett_leq, winslett_lt};

@@ -66,13 +66,18 @@ impl Relation {
     ///
     /// Copy-on-write: if the tuple set is shared with other clones *and*
     /// the tuple is new, the set is copied first; redundant insertions
-    /// never copy.
+    /// never copy.  When the set is unshared — the common case on the
+    /// engine's hot path, where a maintained mirror absorbs every derived
+    /// fact — this is a single tree walk, not a contains-then-insert pair.
     pub fn insert(&mut self, t: Tuple) -> Result<bool> {
         if t.arity() != self.arity {
             return Err(DataError::TupleArityMismatch {
                 expected: self.arity,
                 found: t.arity(),
             });
+        }
+        if let Some(set) = Arc::get_mut(&mut self.tuples) {
+            return Ok(set.insert(t));
         }
         if self.tuples.contains(&t) {
             return Ok(false);
@@ -83,6 +88,9 @@ impl Relation {
     /// Removes a tuple; returns `true` if it was present.  Copy-on-write
     /// like [`Self::insert`]: removing an absent tuple never copies.
     pub fn remove(&mut self, t: &Tuple) -> bool {
+        if let Some(set) = Arc::get_mut(&mut self.tuples) {
+            return set.remove(t);
+        }
         if !self.tuples.contains(t) {
             return false;
         }

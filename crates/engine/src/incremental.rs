@@ -406,6 +406,14 @@ impl IncrementalSession {
         self.storage.fact_count()
     }
 
+    /// Number of times a copy-on-write mirror was found desynchronised and
+    /// rebuilt while snapshotting (zero in a correct engine; the release
+    /// build checks the invariant instead of trusting it — see
+    /// [`IndexedRelation::mirror_rebuilds`]).
+    pub fn mirror_rebuilds(&self) -> usize {
+        self.storage.mirror_rebuilds()
+    }
+
     /// Lifetime statistics: the initial evaluation plus every delta applied.
     pub fn stats(&self) -> &EngineStats {
         &self.totals

@@ -67,6 +67,11 @@ pub struct IndexedRelation {
     /// Copy-on-write materialised view, kept exactly in sync with the live
     /// tuples once it exists (see the module docs).
     mirror: Option<Relation>,
+    /// Number of times a desynchronised mirror was detected and rebuilt
+    /// (see [`Self::snapshot`]).  Always `0` unless a maintenance bug slips
+    /// in — the counter exists so a slip is *observable* instead of
+    /// silently serving wrong snapshots forever.
+    mirror_rebuilds: usize,
 }
 
 impl IndexedRelation {
@@ -257,35 +262,84 @@ impl IndexedRelation {
         self.dead
     }
 
+    /// Whether the maintained mirror can be trusted.  A full content
+    /// comparison would cost `O(n)` per snapshot, so this is the cheap
+    /// necessary condition — the live-tuple count — checked **in release
+    /// builds too**: every mirror update path (insert / remove / clear /
+    /// compaction) changes the live count in lockstep, so any maintenance
+    /// bug that adds, drops or duplicates a mirror tuple shows up here.
+    fn mirror_in_sync(&self) -> bool {
+        self.mirror
+            .as_ref()
+            .is_some_and(|m| m.len() == self.ids.len())
+    }
+
+    /// Rebuilds the live contents from the tuple store (the mirror-free
+    /// slow path, and the reference the mirror is resynced from).
+    fn rebuild_relation(&self) -> Relation {
+        Relation::from_tuples(self.arity, self.iter().cloned())
+            .expect("arities are uniform by construction")
+    }
+
     /// The live contents as a plain relation: an `O(1)` clone of the mirror
-    /// when one is maintained, otherwise a rebuild.
+    /// when one is maintained *and in sync*, otherwise a rebuild.  A
+    /// desynchronised mirror is never served — in debug builds it also
+    /// trips an assertion so the maintenance bug gets fixed rather than
+    /// papered over.
     pub fn to_relation(&self) -> Relation {
         if let Some(mirror) = &self.mirror {
             debug_assert_eq!(mirror.len(), self.ids.len(), "mirror out of sync");
-            return mirror.clone();
+            if self.mirror_in_sync() {
+                return mirror.clone();
+            }
         }
-        Relation::from_tuples(self.arity, self.iter().cloned())
-            .expect("arities are uniform by construction")
+        self.rebuild_relation()
     }
 
     /// Like [`Self::to_relation`], but enables the mirror first, so *every*
     /// later snapshot of this relation (until its contents are rebuilt
     /// wholesale) is an `O(1)` clone and only the tuples actually touched by
     /// subsequent mutations pay copy-on-write costs.
+    ///
+    /// If an existing mirror fails the release-mode sync check it is
+    /// rebuilt from the tuple store here and the event is counted in
+    /// [`Self::mirror_rebuilds`] — readers can never be handed a stale
+    /// snapshot, and operators can see that the invariant tripped.
     pub fn snapshot(&mut self) -> Relation {
-        if self.mirror.is_none() {
-            self.mirror = Some(
-                Relation::from_tuples(self.arity, self.iter().cloned())
-                    .expect("arities are uniform by construction"),
-            );
+        if self.mirror.is_some() && !self.mirror_in_sync() {
+            self.mirror = None;
+            self.mirror_rebuilds += 1;
         }
-        self.to_relation()
+        if self.mirror.is_none() {
+            self.mirror = Some(self.rebuild_relation());
+        }
+        self.mirror.clone().expect("just ensured")
+    }
+
+    /// Number of times [`Self::snapshot`] found the mirror desynchronised
+    /// and rebuilt it (zero in a correct engine).
+    pub fn mirror_rebuilds(&self) -> usize {
+        self.mirror_rebuilds
     }
 
     /// The live tuples as a hash set (used by the incremental session to
     /// snapshot a relation before a fallback recomputation).
     pub fn to_set(&self) -> HashSet<Tuple> {
         self.iter().cloned().collect()
+    }
+
+    /// Test-only: forcibly desynchronises the mirror (drops one mirror
+    /// tuple behind the store's back) so the release-mode recovery path of
+    /// [`Self::snapshot`] can be exercised.
+    #[cfg(test)]
+    fn corrupt_mirror_for_test(&mut self) {
+        let mirror = self.mirror.as_mut().expect("mirror must exist");
+        let victim = mirror
+            .iter()
+            .next()
+            .expect("mirror must be non-empty")
+            .clone();
+        mirror.remove(&victim);
     }
 }
 
@@ -446,6 +500,26 @@ mod tests {
         assert_eq!(r.tombstone_count(), 0);
         assert_eq!(r.snapshot().len(), 1);
         assert!(r.snapshot().contains(&tuple![2, 3]));
+    }
+
+    #[test]
+    fn desynced_mirror_is_rebuilt_not_served() {
+        // A maintenance bug that desynchronises the mirror must never reach
+        // readers: `snapshot` detects the length mismatch (release-mode
+        // check), rebuilds the mirror from the tuple store, and counts the
+        // event so it is observable.
+        let mut r = sample();
+        let _ = r.snapshot();
+        assert_eq!(r.mirror_rebuilds(), 0);
+        r.corrupt_mirror_for_test();
+        let snap = r.snapshot();
+        assert_eq!(r.mirror_rebuilds(), 1);
+        let rebuilt = Relation::from_tuples(r.arity(), r.iter().cloned()).unwrap();
+        assert_eq!(snap, rebuilt, "recovered snapshot must match the store");
+        // and the rebuilt mirror is maintained again from here on
+        r.insert(tuple![7, 7]);
+        assert_eq!(r.snapshot().len(), 4);
+        assert_eq!(r.mirror_rebuilds(), 1);
     }
 
     #[test]

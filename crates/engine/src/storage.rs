@@ -104,6 +104,15 @@ impl IndexStorage {
         self.relations.values().map(IndexedRelation::len).sum()
     }
 
+    /// Total number of mirror desync rebuilds across all relations (zero in
+    /// a correct engine — see [`IndexedRelation::mirror_rebuilds`]).
+    pub fn mirror_rebuilds(&self) -> usize {
+        self.relations
+            .values()
+            .map(IndexedRelation::mirror_rebuilds)
+            .sum()
+    }
+
     /// Copies the storage back into a plain database.
     pub fn to_database(&self) -> Database {
         let mut db = Database::new();

@@ -8,7 +8,17 @@ use crate::term::Term;
 /// Renders a formula as text.  When a vocabulary is supplied, relation and
 /// constant names registered there are used; otherwise the `R_i` / `a_i`
 /// fallback notation of the paper is used.  The output is re-parseable by
-/// [`crate::parser::parse_formula`] when a vocabulary is used consistently.
+/// [`crate::parser::parse_formula`] when a vocabulary is used consistently,
+/// and re-parsing yields the *same AST* — `parse(pretty(φ)) == φ` is
+/// enforced exhaustively (small depths) and by proptest (deep formulas) in
+/// `tests/roundtrip.rs`; the `kbt-service` wire format depends on it.
+///
+/// Caveat: the identity assumes vocabulary names do not collide with the
+/// grammar's keywords (`not`, `and`, `or`, `forall`, `exists`, `true`,
+/// `false`) — such names cannot be produced *through* the parser (it
+/// claims those tokens first), but a vocabulary built programmatically
+/// could contain them, and a relation literally named `not` would render
+/// as `not(…)` and re-parse as a negation.
 pub fn render(f: &Formula, vocab: Option<&Vocabulary>) -> String {
     let mut out = String::new();
     write_formula(f, vocab, 0, &mut out);

@@ -1,0 +1,173 @@
+//! The parser / pretty-printer round-trip identity: `parse(pretty(φ)) == φ`
+//! as ASTs, for every formula — not just the ones the printer happens to
+//! spell the way a human would.
+//!
+//! The service's wire format depends on this identity: `DEFINE`d
+//! transformations are stored and re-transmitted as rendered text, so a
+//! rendering that re-parses to a *different* sentence would silently serve
+//! a different transformation.  Two layers of coverage:
+//!
+//! 1. an exhaustive sweep over every AST of small depth (catches any
+//!    precedence/parenthesization slip deterministically), and
+//! 2. a randomized proptest over much deeper formulas mixing quantifier
+//!    blocks, negation, equality and all binary connectives.
+//!
+//! Relation and constant names are registered in a [`Vocabulary`] up front
+//! and the text is re-parsed against a clone of it, exactly like a service
+//! client sharing the server's vocabulary — interning order can then never
+//! shift the ids.
+
+use kbt_data::{Const, Vocabulary};
+use kbt_logic::builder::*;
+use kbt_logic::parser::parse_formula;
+use kbt_logic::pretty::render;
+use kbt_logic::{Formula, Term, Var};
+use proptest::prelude::*;
+
+/// The fixed vocabulary both sides share: relations `R0`..`R4` with arities
+/// 0..=2 (two binary ones), constants `a`, `b`.
+fn shared_vocab() -> Vocabulary {
+    let mut v = Vocabulary::new();
+    v.relation("R0", 0).unwrap();
+    v.relation("R1", 1).unwrap();
+    v.relation("R2", 2).unwrap();
+    v.relation("R3", 2).unwrap();
+    v.relation("R4", 1).unwrap();
+    v.constant("a");
+    v.constant("b");
+    v
+}
+
+/// Asserts the round-trip identity for one formula.
+fn assert_roundtrip(f: &Formula, vocab: &Vocabulary) {
+    let printed = render(f, Some(vocab));
+    let mut reparse_vocab = vocab.clone();
+    let reparsed = parse_formula(&printed, &mut reparse_vocab)
+        .unwrap_or_else(|e| panic!("rendered text must re-parse: {printed:?}: {e}"));
+    assert_eq!(
+        &reparsed, f,
+        "parse(pretty(φ)) must be φ — rendered as {printed:?}"
+    );
+}
+
+/// Every formula of the given depth over a small leaf set (depth 0 = the
+/// leaves themselves).
+fn enumerate(depth: usize) -> Vec<Formula> {
+    let leaves: Vec<Formula> = vec![
+        atom(0, []),
+        atom(1, [var(0)]),
+        eq(Term::Var(Var::new(0)), Term::Const(Const::new(7))),
+        Formula::True,
+    ];
+    let mut by_depth: Vec<Vec<Formula>> = vec![leaves];
+    for d in 1..=depth {
+        let prev: Vec<Formula> = by_depth[..d].iter().flatten().cloned().collect();
+        let mut next = Vec::new();
+        for f in &prev {
+            next.push(not(f.clone()));
+            next.push(exists([1], f.clone()));
+            next.push(forall([2], f.clone()));
+        }
+        for l in &prev {
+            for r in &prev {
+                next.push(and(l.clone(), r.clone()));
+                next.push(or(l.clone(), r.clone()));
+                next.push(implies(l.clone(), r.clone()));
+                next.push(iff(l.clone(), r.clone()));
+            }
+        }
+        by_depth.push(next);
+    }
+    by_depth.into_iter().flatten().collect()
+}
+
+#[test]
+fn roundtrip_is_exact_for_all_small_formulas() {
+    let vocab = shared_vocab();
+    let all = enumerate(2);
+    assert!(all.len() > 5_000, "the sweep must actually be exhaustive");
+    for f in &all {
+        assert_roundtrip(f, &vocab);
+    }
+}
+
+/// Builds one random formula from a code script with a little stack
+/// machine: leaves are pushed, connectives pop their operands.  Everything
+/// left on the stack at the end is conjoined, so every script yields a
+/// formula.
+fn build_formula(codes: &[(u8, u8, u8)]) -> Formula {
+    let mut stack: Vec<Formula> = Vec::new();
+    for &(op, a, b) in codes {
+        let v = |i: u8| Term::Var(Var::new(u32::from(i % 4)));
+        let c = |i: u8| {
+            // mix vocabulary-named constants (0, 1) with raw indices
+            Term::Const(Const::new(u32::from(i % 9)))
+        };
+        match op % 10 {
+            0 => stack.push(match a % 6 {
+                0 => atom(0, []),
+                1 => atom(1, [v(a)]),
+                2 => atom(2, [v(a), c(b)]),
+                3 => atom(3, [c(a), v(b)]),
+                4 => atom(4, [v(b)]),
+                _ => eq(v(a), c(b)),
+            }),
+            1 => stack.push(match a % 3 {
+                0 => Formula::True,
+                1 => Formula::False,
+                _ => eq(v(a), v(b)),
+            }),
+            2 => {
+                if let Some(f) = stack.pop() {
+                    stack.push(not(f));
+                }
+            }
+            3 => {
+                if let Some(f) = stack.pop() {
+                    stack.push(exists([u32::from(a % 4)], f));
+                }
+            }
+            4 => {
+                if let Some(f) = stack.pop() {
+                    stack.push(forall([u32::from(a % 4)], f));
+                }
+            }
+            op_code => {
+                if let (Some(r), Some(l)) = (stack.pop(), stack.pop()) {
+                    stack.push(match op_code {
+                        5 => and(l, r),
+                        6 => or(l, r),
+                        7 => implies(l, r),
+                        8 => iff(l, r),
+                        _ => and(not(l), r),
+                    });
+                }
+            }
+        }
+    }
+    stack.into_iter().reduce(and).unwrap_or(Formula::True)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    #[test]
+    fn roundtrip_is_exact_for_random_deep_formulas(
+        codes in proptest::collection::vec((0u8..10, 0u8..12, 0u8..12), 1..60)
+    ) {
+        let vocab = shared_vocab();
+        let f = build_formula(&codes);
+        let printed = render(&f, Some(&vocab));
+        let mut reparse_vocab = vocab.clone();
+        let reparsed = parse_formula(&printed, &mut reparse_vocab);
+        prop_assert!(reparsed.is_ok(), "rendered text must re-parse: {:?}", printed);
+        let reparsed = reparsed.unwrap();
+        prop_assert!(
+            reparsed == f,
+            "round-trip changed the AST: {:?} rendered as {:?} re-parsed as {:?}",
+            f,
+            printed,
+            reparsed
+        );
+    }
+}

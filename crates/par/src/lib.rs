@@ -57,21 +57,54 @@ pub use pool::{chunk_size, Scope, ThreadPool};
 
 use std::sync::OnceLock;
 
+/// Reads the `KBT_THREADS` environment variable **fresh** (no caching):
+/// `Some(n)` when it is set to a positive integer, `None` otherwise.
+///
+/// Unlike [`default_threads`], repeated calls observe environment changes.
+/// Long-lived processes that must remain reconfigurable (e.g. a service
+/// deciding its evaluation width at construction time) should read this —
+/// or take an explicit width from their own configuration — instead of
+/// relying on the frozen process default.
+pub fn env_threads() -> Option<usize> {
+    std::env::var("KBT_THREADS")
+        .ok()
+        .as_deref()
+        .and_then(parse_threads)
+}
+
+/// Parses a width setting: a positive integer (surrounding whitespace
+/// ignored); anything else — including `0` — is "unset".
+fn parse_threads(v: &str) -> Option<usize> {
+    v.trim().parse::<usize>().ok().filter(|&n| n > 0)
+}
+
+/// An **uncached** resolution of the default-width policy: `KBT_THREADS`
+/// when set to a positive integer, otherwise
+/// [`std::thread::available_parallelism`], otherwise `1`.
+///
+/// This is exactly what [`default_threads`] computes on its first call —
+/// factored out so long-lived hosts (service configuration) can apply the
+/// same policy *freshly* instead of copying it; a future change to the
+/// fallback then cannot diverge between the two.
+pub fn fresh_threads() -> usize {
+    env_threads().unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
 /// The process-wide default evaluation width: `KBT_THREADS` when set to a
 /// positive integer, otherwise [`std::thread::available_parallelism`] (and
-/// `1` if even that is unavailable).  Read once and cached.
+/// `1` if even that is unavailable).
+///
+/// **Frozen on first read.**  The value is computed once and cached in a
+/// `OnceLock` for the lifetime of the process; later changes to
+/// `KBT_THREADS` (by a test harness or a long-lived host application) are
+/// deliberately *not* observed, so that every evaluation in one process run
+/// agrees on what "the default width" means.  Callers that need a
+/// reconfigurable width must plumb an explicit `threads` value through their
+/// own configuration (as `kbt-service` does) or read [`env_threads`]
+/// themselves — nothing forces them through this cache.
 pub fn default_threads() -> usize {
     static DEFAULT: OnceLock<usize> = OnceLock::new();
-    *DEFAULT.get_or_init(|| {
-        if let Ok(v) = std::env::var("KBT_THREADS") {
-            if let Ok(n) = v.trim().parse::<usize>() {
-                if n > 0 {
-                    return n;
-                }
-            }
-        }
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    })
+    *DEFAULT.get_or_init(fresh_threads)
 }
 
 /// Resolves a caller-supplied thread count: `0` means "use the default"
@@ -100,5 +133,29 @@ mod tests {
         assert_eq!(resolve_threads(0), default_threads());
         assert_eq!(resolve_threads(1), 1);
         assert_eq!(resolve_threads(7), 7);
+    }
+
+    #[test]
+    fn parse_threads_accepts_only_positive_integers() {
+        assert_eq!(parse_threads("4"), Some(4));
+        assert_eq!(parse_threads("  2 \n"), Some(2));
+        assert_eq!(parse_threads("0"), None);
+        assert_eq!(parse_threads(""), None);
+        assert_eq!(parse_threads("-1"), None);
+        assert_eq!(parse_threads("four"), None);
+    }
+
+    #[test]
+    fn env_threads_agrees_with_the_current_environment() {
+        // No env mutation here (set_var races with concurrent readers in a
+        // multi-threaded test run); just check consistency with whatever the
+        // harness set.  The freshness of the read is by construction —
+        // `env_threads` holds no cache — and `parse_threads` is covered
+        // above.
+        let expected = std::env::var("KBT_THREADS")
+            .ok()
+            .as_deref()
+            .and_then(parse_threads);
+        assert_eq!(env_threads(), expected);
     }
 }

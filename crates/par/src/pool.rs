@@ -9,6 +9,7 @@ use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
@@ -166,9 +167,20 @@ struct PoolShared {
 }
 
 /// A pool of persistent helper threads.  See the crate docs for the design.
+///
+/// The pool serves **one scope at a time**: a scope that arrives while
+/// another is installed runs correctly but unassisted (the calling thread
+/// drains its own queue at effective width 1).  That degradation is
+/// deliberate — helpers never interleave two scopes' borrowed stacks — but
+/// it must be *observable*, so it is counted in
+/// [`ThreadPool::contended_scopes`]; a serving layer that fans out many
+/// concurrent wide evaluations can watch the counter to see how often its
+/// configured width was not actually honoured.
 pub struct ThreadPool {
     shared: Arc<PoolShared>,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    /// Scopes that wanted helpers but found the pool busy (ran caller-only).
+    contended: AtomicUsize,
 }
 
 impl ThreadPool {
@@ -186,6 +198,7 @@ impl ThreadPool {
                 cv: Condvar::new(),
             }),
             workers: Mutex::new(Vec::new()),
+            contended: AtomicUsize::new(0),
         };
         pool.ensure_workers(helpers);
         pool
@@ -201,6 +214,12 @@ impl ThreadPool {
     /// Number of helper threads currently alive.
     pub fn helpers(&self) -> usize {
         self.workers.lock().unwrap().len()
+    }
+
+    /// Number of scopes that requested helpers while another scope held
+    /// the pool and therefore ran caller-only (see the type docs).
+    pub fn contended_scopes(&self) -> usize {
+        self.contended.load(Ordering::Relaxed)
     }
 
     fn ensure_workers(&self, n: usize) {
@@ -258,7 +277,11 @@ impl ThreadPool {
         let shared = Arc::new(ScopeShared::new(helpers_wanted));
         let installed = if helpers_wanted > 0 {
             self.ensure_workers(helpers_wanted);
-            self.install(&shared)
+            let installed = self.install(&shared);
+            if !installed {
+                self.contended.fetch_add(1, Ordering::Relaxed);
+            }
+            installed
         } else {
             false
         };
@@ -574,6 +597,31 @@ mod tests {
         assert_eq!(chunk_size(1000, 1, 1), 250);
         assert!(chunk_size(1000, 4, 1) >= 1000 / (4 * CHUNKS_PER_THREAD));
         assert_eq!(chunk_size(10, 4, 64), 64);
+    }
+
+    #[test]
+    fn concurrent_scopes_run_caller_only_and_are_counted() {
+        // the pool serves one scope at a time; a second, overlapping scope
+        // must still compute correctly (caller drains alone) and the
+        // degradation must show up in the contention counter
+        let pool = ThreadPool::new(2);
+        assert_eq!(pool.contended_scopes(), 0);
+        let barrier = std::sync::Barrier::new(2);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                pool.scope(2, |sc| {
+                    sc.spawn(|| {
+                        barrier.wait(); // 1: scope A is installed and busy
+                        barrier.wait(); // 2: hold it until B has finished
+                    });
+                });
+            });
+            barrier.wait(); // 1
+            let got = pool.map(4, &[1, 2, 3], |_, &x: &i32| x * 2);
+            assert_eq!(got, vec![2, 4, 6], "contended map must still be correct");
+            assert_eq!(pool.contended_scopes(), 1);
+            barrier.wait(); // 2
+        });
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! `kbt-shell` — the service's textual frontend.
+//!
+//! * `kbt-shell script.kbt …` — batch mode: run each script through one
+//!   service instance, print every response, exit non-zero on the first
+//!   error (CI smoke-runs this on `examples/service_demo.kbt`).
+//! * `kbt-shell` — REPL mode: read commands from stdin (with a prompt when
+//!   stdin is a terminal); errors are printed and the session continues.
+//! * `--threads N` — set the evaluation width explicitly (otherwise a
+//!   fresh `KBT_THREADS` read, falling back to available parallelism).
+
+use std::io::{BufRead, IsTerminal, Write};
+use std::process::ExitCode;
+
+use kbt_service::{Response, Service, ServiceConfig};
+
+fn main() -> ExitCode {
+    let mut scripts = Vec::new();
+    let mut config = ServiceConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                // 0 is rejected rather than coerced: everywhere else in the
+                // workspace 0 means "use the default", and silently running
+                // sequentially would contradict the operator's intent
+                let Some(n) = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                else {
+                    eprintln!("--threads needs a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                config.threads = n;
+            }
+            "--help" | "-h" => {
+                println!("usage: kbt-shell [--threads N] [script …]");
+                println!("       (no scripts: interactive REPL on stdin)");
+                return ExitCode::SUCCESS;
+            }
+            _ => scripts.push(arg),
+        }
+    }
+
+    let service = Service::new(config);
+    if scripts.is_empty() {
+        repl(&service)
+    } else {
+        batch(&service, &scripts)
+    }
+}
+
+/// Runs every script through the service line by line, printing each
+/// response and stopping at the first error.
+fn batch(service: &Service, scripts: &[String]) -> ExitCode {
+    for path in scripts {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for (lineno, line) in text.lines().enumerate() {
+            match service.execute(line) {
+                Ok(Response::Ok) => {}
+                Ok(response) => println!("{response}"),
+                Err(e) => {
+                    eprintln!("{path}:{}: {e}", lineno + 1);
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Interactive loop: one command per line, errors do not end the session.
+fn repl(service: &Service) -> ExitCode {
+    let interactive = std::io::stdin().is_terminal();
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    if interactive {
+        println!(
+            "kbt-service shell — commands: LOAD, ASSERT, RETRACT, DEFINE, APPLY, QUERY, STATS"
+        );
+    }
+    loop {
+        if interactive {
+            print!("kbt> ");
+            let _ = out.flush();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => return ExitCode::SUCCESS, // EOF
+            Ok(_) => match service.execute(&line) {
+                Ok(Response::Ok) => {}
+                Ok(response) => println!("{response}"),
+                Err(e) => eprintln!("error: {e}"),
+            },
+            Err(e) => {
+                eprintln!("stdin: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! The textual command language — parsing and rendering.
+//!
+//! One command per line.  Verbs are case-insensitive; everything after the
+//! verb is parsed against a [`Vocabulary`] (the caller decides *which*
+//! vocabulary: the writer path uses the authoritative one, the query path a
+//! snapshot's clone).  Sentences inside `tau[…]` reuse
+//! [`kbt_logic::parser`] unchanged, so the wire format for transformations
+//! is exactly the parser/pretty-printer pair whose round-trip identity
+//! `parse(pretty(φ)) == φ` is enforced by `crates/logic/tests/roundtrip.rs`.
+//!
+//! ```text
+//! command  := LOAD <path>                       -- run a script file
+//!           | ASSERT <fact> ("," <fact>)*       -- commit: add facts to every world
+//!           | RETRACT <fact> ("," <fact>)*      -- commit: remove facts from every world
+//!           | DEFINE <name> := <texpr>          -- register a named transformation
+//!           | APPLY <name>                      -- commit: kb := T(kb)
+//!           | QUERY CERTAIN <relation>          -- snapshot read: facts true in every world
+//!           | QUERY POSSIBLE <relation>         -- snapshot read: facts true in some world
+//!           | QUERY <texpr>                     -- snapshot read: evaluate an expression
+//!           | STATS                             -- service counters
+//!           | "#" …                             -- comment (ignored), as are blank lines
+//!
+//! texpr    := step (";" step)*
+//! step     := "tau[" <sentence> "]"             -- τ_φ, sentence per kbt_logic::parser
+//!           | "glb" | "lub" | "id"              -- ⊓, ⊔, identity
+//!           | "project[" <relation> ("," <relation>)* "]"   -- π
+//!
+//! fact     := <relation> "(" <const> ("," <const>)* ")" | <relation> "()"
+//! const    := NUMBER | "'" chars "'"
+//! ```
+
+use kbt_core::Transform;
+use kbt_data::{RelId, Tuple, Vocabulary};
+use kbt_logic::parser::{parse_formula, parse_sentence};
+use kbt_logic::{pretty, Formula, Term};
+
+use crate::error::{Result, ServiceError};
+
+/// The verb of a command line (the payload stays unparsed until the caller
+/// supplies a vocabulary).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verb {
+    /// Blank line or comment.
+    Nop,
+    Load,
+    Assert,
+    Retract,
+    Define,
+    Apply,
+    Query,
+    Stats,
+}
+
+/// A parsed `QUERY` payload.
+#[derive(Clone, Debug)]
+pub enum QueryCmd {
+    /// Facts holding in **every** world of the knowledgebase.
+    Certain(RelId),
+    /// Facts holding in **at least one** world.
+    Possible(RelId),
+    /// A transformation expression, evaluated read-only on the snapshot.
+    Transform(Transform),
+}
+
+fn parse_err(message: impl Into<String>) -> ServiceError {
+    ServiceError::Parse {
+        message: message.into(),
+    }
+}
+
+/// Splits a command line into its verb and payload.
+pub fn split_command(line: &str) -> Result<(Verb, &str)> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok((Verb::Nop, ""));
+    }
+    let (verb, rest) = match line.find(char::is_whitespace) {
+        Some(i) => (&line[..i], line[i..].trim_start()),
+        None => (line, ""),
+    };
+    let verb = match verb.to_ascii_uppercase().as_str() {
+        "LOAD" => Verb::Load,
+        "ASSERT" => Verb::Assert,
+        "RETRACT" => Verb::Retract,
+        "DEFINE" => Verb::Define,
+        "APPLY" => Verb::Apply,
+        "QUERY" => Verb::Query,
+        "STATS" => Verb::Stats,
+        other => return Err(parse_err(format!("unknown command {other:?}"))),
+    };
+    Ok((verb, rest))
+}
+
+/// Splits `text` on `sep` at bracket/paren nesting depth 0, ignoring
+/// everything inside `'…'` quoted constants — the sentence lexer allows
+/// any character but `'` in there, so `pair('a(b', 1)` is a legal fact
+/// whose parenthesis must not desync the depth count.
+fn split_top_level(text: &str, sep: char) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut in_quote = false;
+    let mut start = 0;
+    for (i, c) in text.char_indices() {
+        match c {
+            '\'' => in_quote = !in_quote,
+            _ if in_quote => {}
+            '(' | '[' => depth += 1,
+            ')' | ']' => depth = depth.saturating_sub(1),
+            c if c == sep && depth == 0 => {
+                parts.push(&text[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&text[start..]);
+    parts
+}
+
+/// Parses a comma-separated list of ground facts, interning relation names
+/// (with the observed arities) into `vocab`.
+pub fn parse_fact_list(text: &str, vocab: &mut Vocabulary) -> Result<Vec<(RelId, Tuple)>> {
+    if text.trim().is_empty() {
+        return Err(parse_err("expected at least one fact"));
+    }
+    split_top_level(text, ',')
+        .into_iter()
+        .map(|part| parse_fact(part.trim(), vocab))
+        .collect()
+}
+
+/// Parses one ground fact `relation(constants…)` by reusing the formula
+/// parser and insisting on a ground atom.
+fn parse_fact(text: &str, vocab: &mut Vocabulary) -> Result<(RelId, Tuple)> {
+    let formula = parse_formula(text, vocab)?;
+    let Formula::Atom(rel, args) = formula else {
+        return Err(parse_err(format!(
+            "expected a fact like edge(1, 2), found {text:?}"
+        )));
+    };
+    let consts = args
+        .iter()
+        .map(|t| match t {
+            Term::Const(c) => Ok(*c),
+            Term::Var(_) => Err(parse_err(format!(
+                "facts must be ground (no variables): {text:?}"
+            ))),
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Ok((rel, Tuple::new(consts)))
+}
+
+/// Parses a `DEFINE` payload `name := texpr`.
+pub fn parse_define(text: &str, vocab: &mut Vocabulary) -> Result<(String, Transform)> {
+    let Some((name, expr)) = text.split_once(":=") else {
+        return Err(parse_err("expected DEFINE <name> := <transformation>"));
+    };
+    let name = name.trim();
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    {
+        return Err(parse_err(format!("invalid transformation name {name:?}")));
+    }
+    let transform = parse_transform(expr, vocab)?;
+    Ok((name.to_string(), transform))
+}
+
+/// Parses a transformation expression (see the grammar in the module docs).
+///
+/// Two passes: `tau[…]` sentences first (interning every relation they
+/// mention), then the remaining steps — so a `project[reach]` may name a
+/// relation that only a *later* `tau` of the same expression introduces,
+/// as in the refresh idiom `project[edge]; tau[…reach…]`.
+///
+/// The result is composed with [`Transform::then`], so degenerate forms
+/// canonicalize (`id` steps drop out, a single remaining step is itself) —
+/// rendering and re-parsing is then structurally idempotent.
+pub fn parse_transform(text: &str, vocab: &mut Vocabulary) -> Result<Transform> {
+    let parts = split_top_level(text, ';');
+    let mut steps: Vec<Option<Transform>> = vec![None; parts.len()];
+    for (slot, part) in steps.iter_mut().zip(&parts) {
+        if let Some(inner) = bracket_payload(part.trim(), "tau") {
+            *slot = Some(Transform::Insert(parse_sentence(inner, vocab)?));
+        }
+    }
+    for (slot, part) in steps.iter_mut().zip(&parts) {
+        if slot.is_none() {
+            *slot = Some(parse_plain_step(part.trim(), vocab)?);
+        }
+    }
+    Ok(steps
+        .into_iter()
+        .map(|s| s.expect("both passes fill every slot"))
+        .fold(Transform::Identity, Transform::then))
+}
+
+/// Parses a non-`tau` step (`glb`, `lub`, `id`, `project[…]`).
+fn parse_plain_step(step: &str, vocab: &mut Vocabulary) -> Result<Transform> {
+    match step.to_ascii_lowercase().as_str() {
+        "glb" => return Ok(Transform::Glb),
+        "lub" => return Ok(Transform::Lub),
+        "id" => return Ok(Transform::Identity),
+        _ => {}
+    }
+    if let Some(inner) = bracket_payload(step, "project") {
+        let rels = inner
+            .split(',')
+            .map(|name| {
+                let name = name.trim();
+                vocab
+                    .lookup_relation(name)
+                    .map(|(rel, _)| rel)
+                    .ok_or_else(|| ServiceError::UnknownRelation(name.to_string()))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        return Ok(Transform::Project(rels));
+    }
+    Err(parse_err(format!(
+        "expected tau[…], glb, lub, id or project[…], found {step:?}"
+    )))
+}
+
+/// For `keyword[payload]` returns the payload; `None` if the shape differs.
+fn bracket_payload<'a>(step: &'a str, keyword: &str) -> Option<&'a str> {
+    step.strip_prefix(keyword)
+        .map(str::trim_start)
+        .and_then(|rest| rest.strip_prefix('['))
+        .and_then(|rest| rest.strip_suffix(']'))
+}
+
+/// Parses a `QUERY` payload.
+pub fn parse_query(text: &str, vocab: &mut Vocabulary) -> Result<QueryCmd> {
+    let mut words = text.split_whitespace();
+    let first = words.next().unwrap_or("");
+    let kind = first.to_ascii_uppercase();
+    if kind == "CERTAIN" || kind == "POSSIBLE" {
+        let name = words
+            .next()
+            .ok_or_else(|| parse_err(format!("expected QUERY {kind} <relation>")))?;
+        if words.next().is_some() {
+            return Err(parse_err(format!(
+                "unexpected input after QUERY {kind} {name}"
+            )));
+        }
+        let (rel, _) = vocab
+            .lookup_relation(name)
+            .ok_or_else(|| ServiceError::UnknownRelation(name.to_string()))?;
+        return Ok(match kind.as_str() {
+            "CERTAIN" => QueryCmd::Certain(rel),
+            _ => QueryCmd::Possible(rel),
+        });
+    }
+    Ok(QueryCmd::Transform(parse_transform(text, vocab)?))
+}
+
+/// Renders a transformation in the exact surface syntax [`parse_transform`]
+/// accepts — the wire format for `DEFINE`d expressions.  Re-parsing the
+/// result against the same vocabulary reproduces the transformation
+/// structurally (`Seq` canonicalization included).
+pub fn render_transform(t: &Transform, vocab: &Vocabulary) -> String {
+    let steps = t.steps();
+    if steps.is_empty() {
+        return "id".to_string();
+    }
+    steps
+        .iter()
+        .map(|s| match s {
+            Transform::Insert(phi) => {
+                format!("tau[{}]", pretty::render(phi.formula(), Some(vocab)))
+            }
+            Transform::Glb => "glb".to_string(),
+            Transform::Lub => "lub".to_string(),
+            Transform::Project(rels) => {
+                let names: Vec<String> = rels.iter().map(|r| render_relation(*r, vocab)).collect();
+                format!("project[{}]", names.join(", "))
+            }
+            // steps() flattens Seq and drops Identity
+            Transform::Identity | Transform::Seq(_) => unreachable!("flattened by steps()"),
+        })
+        .collect::<Vec<_>>()
+        .join("; ")
+}
+
+/// A relation's surface name: the vocabulary name, or the `R<i>` fallback
+/// the sentence parser would re-intern.
+pub fn render_relation(rel: RelId, vocab: &Vocabulary) -> String {
+    vocab
+        .relation_name(rel)
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("R{}", rel.index()))
+}
+
+/// Renders one fact in re-`ASSERT`able syntax: `edge(1, 2)`,
+/// `city('Toronto')`.
+pub fn render_fact(rel: RelId, tuple: &Tuple, vocab: &Vocabulary) -> String {
+    let args: Vec<String> = tuple
+        .iter()
+        .map(|c| match vocab.constant_name(c) {
+            Some(name) => format!("'{name}'"),
+            None => format!("{}", c.index()),
+        })
+        .collect();
+    format!("{}({})", render_relation(rel, vocab), args.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verbs_are_case_insensitive_and_comments_are_nops() {
+        assert_eq!(split_command("  stats ").unwrap().0, Verb::Stats);
+        assert_eq!(split_command("Assert edge(1, 2)").unwrap().0, Verb::Assert);
+        assert_eq!(split_command("# hello").unwrap().0, Verb::Nop);
+        assert_eq!(split_command("").unwrap().0, Verb::Nop);
+        assert!(split_command("FROBNICATE x").is_err());
+    }
+
+    #[test]
+    fn facts_parse_and_render_round_trip() {
+        let mut v = Vocabulary::new();
+        let facts = parse_fact_list("edge(1, 2), city('Toronto'), flag()", &mut v).unwrap();
+        assert_eq!(facts.len(), 3);
+        let rendered: Vec<String> = facts.iter().map(|(r, t)| render_fact(*r, t, &v)).collect();
+        assert_eq!(rendered, ["edge(1, 2)", "city('Toronto')", "flag()"]);
+        // and the rendering re-parses to the same typed facts
+        let again = parse_fact_list(&rendered.join(", "), &mut v.clone()).unwrap();
+        assert_eq!(again, facts);
+    }
+
+    #[test]
+    fn quoted_constants_with_brackets_do_not_desync_splitting() {
+        // the sentence lexer allows any character but ' inside quotes, so
+        // the top-level splitters must not count bracketing in there
+        let mut v = Vocabulary::new();
+        let facts = parse_fact_list("pair('a(b', 1), pair('c]d', 2)", &mut v).unwrap();
+        assert_eq!(facts.len(), 2);
+        let rendered: Vec<String> = facts.iter().map(|(r, t)| render_fact(*r, t, &v)).collect();
+        assert_eq!(
+            parse_fact_list(&rendered.join(", "), &mut v.clone()).unwrap(),
+            facts
+        );
+        let t = parse_transform("tau[R('x]y') | R('(')]; lub", &mut v).unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn non_ground_or_non_atomic_facts_are_rejected() {
+        let mut v = Vocabulary::new();
+        assert!(parse_fact_list("edge(x, 2)", &mut v).is_err());
+        assert!(parse_fact_list("edge(1, 2) & edge(2, 3)", &mut v).is_err());
+        assert!(parse_fact_list("", &mut v).is_err());
+    }
+
+    #[test]
+    fn transform_expressions_round_trip_through_the_wire_format() {
+        let mut v = Vocabulary::new();
+        let (name, t) = parse_define(
+            "tc := tau[forall x0 x1. edge(x0, x1) -> path(x0, x1)]; \
+             tau[forall x0 x1 x2. path(x0, x1) & edge(x1, x2) -> path(x0, x2)]; \
+             project[path]",
+            &mut v,
+        )
+        .unwrap();
+        assert_eq!(name, "tc");
+        assert_eq!(t.len(), 3);
+        let text = render_transform(&t, &v);
+        let again = parse_transform(&text, &mut v.clone()).unwrap();
+        assert_eq!(again, t, "wire format must round-trip: {text:?}");
+    }
+
+    #[test]
+    fn degenerate_expressions_canonicalize() {
+        let mut v = Vocabulary::new();
+        assert_eq!(parse_transform("id", &mut v).unwrap(), Transform::Identity);
+        assert_eq!(
+            parse_transform("id; id", &mut v).unwrap(),
+            Transform::Identity
+        );
+        assert_eq!(render_transform(&Transform::Identity, &v), "id");
+        assert_eq!(
+            parse_transform("glb; id", &mut v).unwrap(),
+            Transform::Glb,
+            "singleton sequences collapse"
+        );
+    }
+
+    #[test]
+    fn project_may_reference_relations_a_later_tau_introduces() {
+        // the refresh idiom: drop the derived relation, then re-derive it
+        let mut v = Vocabulary::new();
+        let t = parse_transform(
+            "project[edge]; tau[forall x0 x1. edge(x0, x1) -> reach(x0, x1)]",
+            &mut v,
+        )
+        .unwrap();
+        assert_eq!(t.len(), 2);
+        let text = render_transform(&t, &v);
+        assert_eq!(parse_transform(&text, &mut v.clone()).unwrap(), t);
+    }
+
+    #[test]
+    fn project_requires_known_relations() {
+        let mut v = Vocabulary::new();
+        assert!(matches!(
+            parse_transform("project[nowhere]", &mut v),
+            Err(ServiceError::UnknownRelation(_))
+        ));
+        v.relation("edge", 2).unwrap();
+        assert_eq!(
+            parse_transform("project[edge]", &mut v).unwrap(),
+            Transform::Project(vec![RelId::new(0)])
+        );
+    }
+
+    #[test]
+    fn queries_parse_into_the_three_shapes() {
+        let mut v = Vocabulary::new();
+        v.relation("edge", 2).unwrap();
+        assert!(matches!(
+            parse_query("CERTAIN edge", &mut v).unwrap(),
+            QueryCmd::Certain(_)
+        ));
+        assert!(matches!(
+            parse_query("possible edge", &mut v).unwrap(),
+            QueryCmd::Possible(_)
+        ));
+        assert!(matches!(
+            parse_query("lub; project[edge]", &mut v).unwrap(),
+            QueryCmd::Transform(_)
+        ));
+        assert!(parse_query("CERTAIN nowhere", &mut v).is_err());
+        assert!(parse_query("CERTAIN", &mut v).is_err());
+    }
+}

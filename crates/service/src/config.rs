@@ -1,0 +1,92 @@
+//! Service configuration, most importantly the **explicit** evaluation
+//! width.
+//!
+//! `kbt_par::default_threads` freezes the `KBT_THREADS` environment
+//! variable on first read for the lifetime of the process — fine for a
+//! one-shot CLI, wrong for a long-lived service that must be
+//! reconfigurable.  The service therefore carries its width here: it is
+//! resolved **once, at configuration time**, from an explicit setting or a
+//! fresh (uncached) environment read, and every evaluation triggered
+//! through the service passes it down as a concrete positive number.
+//! Nothing on the serving path ever consults the frozen process default.
+
+use kbt_core::EvalOptions;
+
+/// Configuration of a [`crate::Service`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Evaluation width used for every query and commit evaluation:
+    /// always an explicit positive number (`1` = the exact sequential
+    /// path).  Defaults to a *fresh* read of `KBT_THREADS`, falling back
+    /// to the machine's available parallelism — deliberately not
+    /// `kbt_par::default_threads`, which is frozen on first read.
+    pub threads: usize,
+    /// Evaluation options for `τ_φ` (strategy selection, world and
+    /// grounding limits, chain reuse).  The `threads` field in here is
+    /// overridden by [`Self::threads`] — see [`Self::eval_options`].
+    pub options: EvalOptions,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            // same policy as the process default, but resolved freshly
+            threads: kbt_par::fresh_threads(),
+            options: EvalOptions::default(),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// The default configuration with an explicit width.  `0` follows the
+    /// workspace-wide convention and means "use the default" (a fresh
+    /// resolution of the `KBT_THREADS`/available-parallelism policy).
+    pub fn with_threads(threads: usize) -> Self {
+        ServiceConfig {
+            threads: if threads == 0 {
+                kbt_par::fresh_threads()
+            } else {
+                threads
+            },
+            ..ServiceConfig::default()
+        }
+    }
+
+    /// The options handed to every [`kbt_core::Transformer`] the service
+    /// builds: [`Self::options`] with the width forced to the explicit
+    /// [`Self::threads`] (never `0`, so the evaluator can never fall back
+    /// to the frozen process default).
+    pub fn eval_options(&self) -> EvalOptions {
+        EvalOptions {
+            threads: self.threads.max(1),
+            ..self.options
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_width_is_positive_and_explicit() {
+        let c = ServiceConfig::default();
+        assert!(c.threads >= 1);
+        assert!(
+            c.eval_options().threads >= 1,
+            "0 would mean 'frozen default'"
+        );
+    }
+
+    #[test]
+    fn explicit_width_overrides_the_options_field() {
+        let c = ServiceConfig::with_threads(3);
+        assert_eq!(c.threads, 3);
+        assert_eq!(c.eval_options().threads, 3);
+        // 0 = "use the default", per the workspace convention
+        assert_eq!(
+            ServiceConfig::with_threads(0).threads,
+            kbt_par::fresh_threads()
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Service-level errors: command parsing, name resolution, and everything
+//! the underlying layers can report.
+
+use std::fmt;
+use std::io;
+
+/// Any error a service operation can produce.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// A command line could not be parsed.
+    Parse {
+        /// What went wrong (with enough context to fix the input).
+        message: String,
+    },
+    /// `APPLY` named a transformation that was never `DEFINE`d.
+    UnknownTransform(String),
+    /// A command referenced a relation name the vocabulary does not know.
+    UnknownRelation(String),
+    /// A `RETRACT` referenced a constant name never seen before (a typo:
+    /// retracting a fact over a brand-new name is always a no-op).
+    UnknownConstant(String),
+    /// Script execution nested `LOAD`s too deeply (a cycle, most likely).
+    ScriptDepth(usize),
+    /// An error from the data layer (arities, schemas).
+    Data(kbt_data::DataError),
+    /// An error from the logic layer (sentence parsing).
+    Logic(kbt_logic::LogicError),
+    /// An error from the evaluator (strategy limits, world limits).
+    Core(kbt_core::CoreError),
+    /// A script file could not be read.
+    Io(io::Error),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Parse { message } => write!(f, "parse error: {message}"),
+            ServiceError::UnknownTransform(name) => {
+                write!(f, "unknown transformation {name:?} (DEFINE it first)")
+            }
+            ServiceError::UnknownRelation(name) => write!(f, "unknown relation {name:?}"),
+            ServiceError::UnknownConstant(name) => write!(f, "unknown constant {name:?}"),
+            ServiceError::ScriptDepth(depth) => {
+                write!(f, "LOAD nesting exceeds {depth} levels (cycle?)")
+            }
+            ServiceError::Data(e) => write!(f, "data error: {e}"),
+            ServiceError::Logic(e) => write!(f, "logic error: {e}"),
+            ServiceError::Core(e) => write!(f, "evaluation error: {e}"),
+            ServiceError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<kbt_data::DataError> for ServiceError {
+    fn from(e: kbt_data::DataError) -> Self {
+        ServiceError::Data(e)
+    }
+}
+
+impl From<kbt_logic::LogicError> for ServiceError {
+    fn from(e: kbt_logic::LogicError) -> Self {
+        ServiceError::Logic(e)
+    }
+}
+
+impl From<kbt_core::CoreError> for ServiceError {
+    fn from(e: kbt_core::CoreError) -> Self {
+        ServiceError::Core(e)
+    }
+}
+
+impl From<io::Error> for ServiceError {
+    fn from(e: io::Error) -> Self {
+        ServiceError::Io(e)
+    }
+}
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ServiceError>;

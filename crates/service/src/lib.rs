@@ -1,0 +1,93 @@
+//! # kbt-service — a concurrent MVCC knowledgebase service
+//!
+//! The paper's transformations `τ_φ`, `⊓`, `⊔`, `π` are functions
+//! `KB → KB`; this crate serves them to many concurrent sessions over one
+//! shared knowledgebase.  Everything below `kbt-service` was built for
+//! this: `kbt-data`'s relations are copy-on-write (`O(1)` clones),
+//! `kbt-engine`'s `IncrementalSession` keeps a fixpoint alive across fact
+//! deltas, and `kbt-core`'s `Transformer` can carry a persistent
+//! [`kbt_core::ChainSession`] between applications.
+//!
+//! ## The epoch / commit / snapshot contract
+//!
+//! The committed state — knowledgebase, vocabulary, transform registry,
+//! statistics — is published in a [`kbt_data::EpochCell`] under a
+//! monotonically increasing [`kbt_data::EpochId`].
+//!
+//! * **Readers never block on writers.**  [`Service::snapshot`] is an
+//!   `O(1)` `Arc` clone of the committed cell.  Query evaluation —
+//!   arbitrarily expensive transformation expressions included — runs
+//!   entirely against that immutable snapshot; the copy-on-write relations
+//!   underneath guarantee a later commit can never mutate what a snapshot
+//!   observes.  Every read names the epoch it evaluated against.
+//! * **Writers serialize; publication is atomic.**  All mutating commands
+//!   (`ASSERT`, `RETRACT`, `DEFINE`, `APPLY`) funnel through one writer
+//!   mutex: they parse against the authoritative vocabulary, compute the
+//!   next knowledgebase, and publish it with a single atomic swap.  A
+//!   reader sees epoch `n` in full or epoch `n+1` in full — never a torn
+//!   mix, never an aborted commit's partial effects.
+//! * **Registered chains are incremental across commits.**  `DEFINE`
+//!   registers a transformation once; each `APPLY` advances a persistent
+//!   chain session, so the engine re-derives only what the delta since the
+//!   previous application demands (`reused_facts` in the responses makes
+//!   the saving observable).  Results are byte-identical to from-scratch
+//!   evaluation — `tests/service_concurrent.rs` enforces this against a
+//!   sequential oracle under concurrent readers at widths 1 and 4.
+//! * **The evaluation width is explicit.**  [`ServiceConfig::threads`] is
+//!   resolved once at configuration time (fresh `KBT_THREADS` read or an
+//!   explicit value) and passed down as a concrete number — the serving
+//!   path never depends on `kbt_par::default_threads`, which freezes its
+//!   first environment read for the process lifetime.
+//!
+//! ## The command language
+//!
+//! One command per line; `#` starts a comment.  Sentences reuse
+//! [`kbt_logic::parser`] verbatim, and transformations are stored and
+//! re-transmitted in the rendering of [`command::render_transform`] — the
+//! `parse(pretty(φ)) == φ` round-trip identity (enforced in
+//! `crates/logic/tests/roundtrip.rs`) is what makes that wire format safe.
+//!
+//! ```text
+//! LOAD <path>                   run a script file
+//! ASSERT <fact>, <fact>, …      commit: add ground facts to every world
+//! RETRACT <fact>, …             commit: remove ground facts from every world
+//! DEFINE <name> := <texpr>      register a named transformation
+//! APPLY <name>                  commit: kb := T(kb), incrementally
+//! QUERY CERTAIN <relation>      snapshot read: facts true in every world
+//! QUERY POSSIBLE <relation>     snapshot read: facts true in some world
+//! QUERY <texpr>                 snapshot read: evaluate an expression
+//! STATS                         epoch, worlds, counters, registry
+//!
+//! texpr := step (";" step)*
+//! step  := tau[<sentence>] | glb | lub | id | project[<relation>, …]
+//! fact  := <relation>(<const>, …)        const := NUMBER | 'name'
+//! ```
+//!
+//! ## Example
+//!
+//! ```
+//! use kbt_service::{Service, ServiceConfig, Response};
+//!
+//! let s = Service::new(ServiceConfig::with_threads(1));
+//! s.execute("ASSERT edge(1, 2), edge(2, 3)").unwrap();
+//! s.execute("DEFINE tc := tau[(forall x0 x1. edge(x0, x1) -> path(x0, x1)) & \
+//!            (forall x0 x1 x2. path(x0, x1) & edge(x1, x2) -> path(x0, x2))]").unwrap();
+//! s.execute("APPLY tc").unwrap();
+//! match s.execute("QUERY CERTAIN path").unwrap() {
+//!     Response::Facts { facts, .. } => assert_eq!(facts.len(), 3),
+//!     _ => unreachable!(),
+//! }
+//! ```
+
+pub mod command;
+pub mod config;
+pub mod error;
+pub mod service;
+
+pub use command::{parse_transform, render_transform, QueryCmd, Verb};
+pub use config::ServiceConfig;
+pub use error::{Result, ServiceError};
+pub use service::{
+    CommittedState, QueryResult, Response, Service, ServiceStats, Snapshot, StatsReport,
+    TransformInfo,
+};

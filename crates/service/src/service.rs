@@ -1,0 +1,930 @@
+//! The service itself: MVCC snapshots, the serialized commit pipeline, and
+//! the command dispatcher.
+//!
+//! See the crate docs for the epoch/commit/snapshot contract.  The
+//! concurrency structure in one paragraph: the committed state (an epoch
+//! number, the knowledgebase, the vocabulary, the transform registry and
+//! the cumulative statistics) lives in a [`kbt_data::EpochCell`]; readers
+//! take `O(1)` snapshots of it and never block on evaluation work.  All
+//! mutation goes through one writer [`Mutex`]: a commit parses/evaluates
+//! under that lock against the writer's working state and then atomically
+//! publishes the next epoch.  Registered transformations keep a persistent
+//! [`ChainSession`] in the writer state, so re-`APPLY`ing one feeds only
+//! the *delta* since its previous application into the live engine
+//! fixpoint ([`kbt_engine::IncrementalSession`] underneath).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use kbt_core::{ChainSession, EvalStats, Transform, Transformer};
+use kbt_data::{
+    Database, EpochCell, EpochId, Knowledgebase, RelId, Relation, Versioned, Vocabulary,
+};
+
+use crate::command::{
+    parse_define, parse_fact_list, parse_query, render_fact, render_relation, render_transform,
+    split_command, QueryCmd, Verb,
+};
+use crate::config::ServiceConfig;
+use crate::error::{Result, ServiceError};
+
+/// How deep `LOAD`ed scripts may nest before the service assumes a cycle.
+const MAX_SCRIPT_DEPTH: usize = 8;
+
+/// Cumulative writer-side counters, published with every epoch (so a
+/// snapshot's statistics are consistent with its knowledgebase).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Committed epochs (every successful write command).
+    pub commits: u64,
+    /// `APPLY` commands among the commits.
+    pub applies: u64,
+    /// `DEFINE` commands processed.
+    pub defines: u64,
+    /// Cumulative evaluator statistics over all commits.
+    pub eval: EvalStats,
+}
+
+/// Registry metadata for one `DEFINE`d transformation, published with the
+/// committed state (the live [`ChainSession`] stays writer-private).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TransformInfo {
+    /// The canonical wire-format rendering of the expression (shared:
+    /// registry refreshes bump a pointer, they do not re-allocate texts).
+    pub text: Arc<str>,
+    /// How many times it has been `APPLY`ed.
+    pub applications: u64,
+}
+
+/// One committed version of the service state.
+#[derive(Clone, Debug)]
+pub struct CommittedState {
+    /// The knowledgebase — the set of possible worlds being served.
+    pub kb: Knowledgebase,
+    /// The name registry the knowledgebase and transformations speak.
+    /// Shared behind an `Arc`: commits that intern no new names publish
+    /// it in `O(1)` instead of re-cloning every registered string.
+    pub vocab: Arc<Vocabulary>,
+    /// Registered transformations (metadata only).  Shared behind an `Arc`
+    /// so fact commits — which cannot change the registry — publish it in
+    /// `O(1)` instead of re-cloning every wire-text string.
+    pub transforms: Arc<BTreeMap<String, TransformInfo>>,
+    /// Cumulative statistics as of this epoch.
+    pub stats: ServiceStats,
+}
+
+/// An immutable `O(1)` snapshot of the committed state at some epoch.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    inner: Arc<Versioned<CommittedState>>,
+}
+
+impl Snapshot {
+    /// The epoch this snapshot observes.
+    pub fn epoch(&self) -> EpochId {
+        self.inner.epoch()
+    }
+
+    /// The knowledgebase at this epoch.
+    pub fn kb(&self) -> &Knowledgebase {
+        &self.inner.value().kb
+    }
+
+    /// The vocabulary at this epoch.
+    pub fn vocab(&self) -> &Vocabulary {
+        self.inner.value().vocab.as_ref()
+    }
+
+    /// The transform registry metadata at this epoch.
+    pub fn transforms(&self) -> &BTreeMap<String, TransformInfo> {
+        self.inner.value().transforms.as_ref()
+    }
+
+    /// The cumulative statistics as of this epoch.
+    pub fn stats(&self) -> &ServiceStats {
+        &self.inner.value().stats
+    }
+}
+
+/// Writer-private state: the working copies a commit mutates before
+/// publishing.
+struct Writer {
+    kb: Knowledgebase,
+    vocab: Arc<Vocabulary>,
+    transforms: BTreeMap<String, Registered>,
+    /// The published registry view, rebuilt only when the registry changes
+    /// (`DEFINE` / `APPLY`); fact commits publish the `Arc` as-is.
+    transforms_meta: Arc<BTreeMap<String, TransformInfo>>,
+    stats: ServiceStats,
+}
+
+impl Writer {
+    /// Rebuilds the published metadata view from the live registry.
+    fn refresh_transforms_meta(&mut self) {
+        self.transforms_meta = Arc::new(
+            self.transforms
+                .iter()
+                .map(|(name, reg)| {
+                    (
+                        name.clone(),
+                        TransformInfo {
+                            text: reg.text.clone(),
+                            applications: reg.applications,
+                        },
+                    )
+                })
+                .collect(),
+        );
+    }
+}
+
+struct Registered {
+    transform: Transform,
+    text: Arc<str>,
+    /// Persistent incremental engine state, advanced per `APPLY`.
+    chain: Option<ChainSession>,
+    applications: u64,
+}
+
+/// The result of a read-only `QUERY` over a transformation expression.
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    /// The epoch the query evaluated against.
+    pub epoch: EpochId,
+    /// The resulting knowledgebase.
+    pub kb: Knowledgebase,
+    /// Evaluator statistics for this query.
+    pub stats: EvalStats,
+}
+
+/// The response to one command (see [`Service::execute`]); renders
+/// human-readably through `Display`.
+#[derive(Clone, Debug)]
+pub enum Response {
+    /// A blank line or comment.
+    Ok,
+    /// A fact commit went through.
+    Committed {
+        /// The newly published epoch.
+        epoch: EpochId,
+        /// Possible worlds after the commit.
+        worlds: usize,
+        /// Total facts across all worlds after the commit.
+        facts: usize,
+    },
+    /// A transformation was registered.
+    Defined {
+        /// The published epoch carrying the updated registry.
+        epoch: EpochId,
+        /// The registered name.
+        name: String,
+        /// The canonical wire-format text.
+        text: String,
+    },
+    /// A named transformation was applied and committed.
+    Applied {
+        /// The newly published epoch.
+        epoch: EpochId,
+        /// The applied name.
+        name: String,
+        /// Possible worlds after the commit.
+        worlds: usize,
+        /// Total facts across all worlds after the commit.
+        facts: usize,
+        /// Facts the persistent chain reused from the previous application.
+        reused_facts: usize,
+    },
+    /// A `QUERY <texpr>` result: the rendered worlds.
+    Worlds {
+        /// The epoch the query evaluated against.
+        epoch: EpochId,
+        /// One entry per world: the rendered facts, in canonical order.
+        worlds: Vec<Vec<String>>,
+    },
+    /// A `QUERY CERTAIN/POSSIBLE` result.
+    Facts {
+        /// The epoch the query evaluated against.
+        epoch: EpochId,
+        /// `"certain"` or `"possible"`.
+        kind: &'static str,
+        /// The queried relation's surface name.
+        relation: String,
+        /// The rendered facts, in canonical order.
+        facts: Vec<String>,
+    },
+    /// A `STATS` report.
+    Stats(StatsReport),
+    /// A script ran to completion.
+    Loaded {
+        /// Commands executed (nops included).
+        commands: usize,
+    },
+}
+
+/// The `STATS` payload.
+#[derive(Clone, Debug)]
+pub struct StatsReport {
+    /// The committed epoch the report describes.
+    pub epoch: EpochId,
+    /// Possible worlds at that epoch.
+    pub worlds: usize,
+    /// Total facts across all worlds.
+    pub facts: usize,
+    /// The explicit evaluation width the service runs at.
+    pub threads: usize,
+    /// Queries served so far (process lifetime, all epochs).
+    pub queries: u64,
+    /// Registered transformations: `(name, wire text, applications)`.
+    pub transforms: Vec<(String, String, u64)>,
+    /// Writer-side cumulative counters as of the epoch.
+    pub stats: ServiceStats,
+}
+
+/// A concurrent, multi-session knowledgebase service (see crate docs).
+pub struct Service {
+    config: ServiceConfig,
+    committed: EpochCell<CommittedState>,
+    writer: Mutex<Writer>,
+    /// Read-path counter (queries never take the writer lock).
+    queries: AtomicU64,
+}
+
+impl Default for Service {
+    fn default() -> Self {
+        Service::new(ServiceConfig::default())
+    }
+}
+
+impl Service {
+    /// A service over the initial knowledgebase `{∅}` — one empty world —
+    /// at [`EpochId::ZERO`].
+    pub fn new(config: ServiceConfig) -> Self {
+        let kb = Knowledgebase::singleton(Database::new());
+        let vocab = Arc::new(Vocabulary::new());
+        let empty_meta: Arc<BTreeMap<String, TransformInfo>> = Arc::new(BTreeMap::new());
+        let committed = EpochCell::new(CommittedState {
+            kb: kb.clone(),
+            vocab: vocab.clone(),
+            transforms: empty_meta.clone(),
+            stats: ServiceStats::default(),
+        });
+        Service {
+            config,
+            committed,
+            writer: Mutex::new(Writer {
+                kb,
+                vocab,
+                transforms: BTreeMap::new(),
+                transforms_meta: empty_meta,
+                stats: ServiceStats::default(),
+            }),
+            queries: AtomicU64::new(0),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// An `O(1)` MVCC snapshot of the committed state.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            inner: self.committed.load(),
+        }
+    }
+
+    /// The currently committed epoch.
+    pub fn epoch(&self) -> EpochId {
+        self.committed.epoch()
+    }
+
+    /// Parses and executes one command line (see the grammar in
+    /// [`crate::command`]).  Write commands serialize on the commit
+    /// pipeline; `QUERY`/`STATS` run against a snapshot without blocking
+    /// writers.
+    pub fn execute(&self, line: &str) -> Result<Response> {
+        self.execute_at_depth(line, 0)
+    }
+
+    /// Executes a whole script (one command per line), stopping at the
+    /// first error.
+    pub fn execute_script(&self, text: &str) -> Result<Vec<Response>> {
+        self.script_at_depth(text, 0)
+    }
+
+    fn execute_at_depth(&self, line: &str, depth: usize) -> Result<Response> {
+        let (verb, rest) = split_command(line)?;
+        match verb {
+            Verb::Nop => Ok(Response::Ok),
+            Verb::Stats => Ok(Response::Stats(self.stats_report())),
+            Verb::Query => self.query_text(rest),
+            Verb::Load => self.load(rest, depth),
+            Verb::Assert | Verb::Retract | Verb::Define | Verb::Apply => {
+                self.write_command(verb, rest)
+            }
+        }
+    }
+
+    fn script_at_depth(&self, text: &str, depth: usize) -> Result<Vec<Response>> {
+        text.lines()
+            .map(|line| self.execute_at_depth(line, depth))
+            .collect()
+    }
+
+    fn load(&self, rest: &str, depth: usize) -> Result<Response> {
+        if depth >= MAX_SCRIPT_DEPTH {
+            return Err(ServiceError::ScriptDepth(MAX_SCRIPT_DEPTH));
+        }
+        let path = rest.trim();
+        if path.is_empty() {
+            return Err(ServiceError::Parse {
+                message: "expected LOAD <path>".to_string(),
+            });
+        }
+        let text = std::fs::read_to_string(path)?;
+        let responses = self.script_at_depth(&text, depth + 1)?;
+        Ok(Response::Loaded {
+            commands: responses.len(),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Write path: the serialized commit pipeline.
+    // ------------------------------------------------------------------
+
+    fn lock_writer(&self) -> std::sync::MutexGuard<'_, Writer> {
+        self.writer.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Publishes the writer's current state as the next epoch.
+    fn publish(&self, w: &Writer) -> EpochId {
+        self.committed.publish(CommittedState {
+            kb: w.kb.clone(),
+            vocab: w.vocab.clone(),
+            transforms: w.transforms_meta.clone(),
+            stats: w.stats,
+        })
+    }
+
+    fn write_command(&self, verb: Verb, rest: &str) -> Result<Response> {
+        let mut w = self.lock_writer();
+        // Parse against a *scratch copy* of the authoritative vocabulary:
+        // a rejected command must leave no trace, and interning is only
+        // adopted once the whole commit has succeeded.  (A failed `ASSERT
+        // ghost(x)` must not make a later `QUERY CERTAIN ghost` resolve.)
+        let mut vocab = w.vocab.as_ref().clone();
+        match verb {
+            Verb::Assert => {
+                let facts = parse_fact_list(rest, &mut vocab)?;
+                self.commit_facts(&mut w, vocab, &facts, true)
+            }
+            Verb::Retract => {
+                let facts = parse_fact_list(rest, &mut vocab)?;
+                // A RETRACT must not *introduce* names: a relation or named
+                // constant first seen here cannot match any stored fact, so
+                // the command is a guaranteed no-op — almost certainly a
+                // typo — and silently committing it (and publishing the
+                // bogus name) would mask the mistake forever.
+                for (rel, _) in &facts {
+                    if rel.index() as usize >= w.vocab.relation_count() {
+                        return Err(ServiceError::UnknownRelation(
+                            vocab.relation_name(*rel).unwrap_or_default().to_string(),
+                        ));
+                    }
+                }
+                if vocab.constant_count() > w.vocab.constant_count() {
+                    let first_new = kbt_data::Const::new(w.vocab.constant_count() as u32);
+                    return Err(ServiceError::UnknownConstant(
+                        vocab
+                            .constant_name(first_new)
+                            .unwrap_or_default()
+                            .to_string(),
+                    ));
+                }
+                self.commit_facts(&mut w, vocab, &facts, false)
+            }
+            Verb::Define => {
+                let (name, transform) = parse_define(rest, &mut vocab)?;
+                let text: Arc<str> = render_transform(&transform, &vocab).into();
+                w.vocab = Arc::new(vocab);
+                // Re-registration under an existing name replaces the
+                // expression and drops the stale chain session.
+                w.transforms.insert(
+                    name.clone(),
+                    Registered {
+                        transform,
+                        text: text.clone(),
+                        chain: None,
+                        applications: 0,
+                    },
+                );
+                w.refresh_transforms_meta();
+                w.stats.defines += 1;
+                w.stats.commits += 1;
+                let epoch = self.publish(&w);
+                Ok(Response::Defined {
+                    epoch,
+                    name,
+                    text: text.to_string(),
+                })
+            }
+            Verb::Apply => self.apply_named(&mut w, rest.trim()),
+            _ => unreachable!("write_command only receives write verbs"),
+        }
+    }
+
+    /// Applies ground fact deltas to every possible world — the
+    /// Winslett-exact fast path for `τ` of a conjunction of ground
+    /// positive literals (`ASSERT`) or their retraction (`RETRACT`).
+    fn commit_facts(
+        &self,
+        w: &mut Writer,
+        vocab: Vocabulary,
+        facts: &[(RelId, kbt_data::Tuple)],
+        insert: bool,
+    ) -> Result<Response> {
+        let mut worlds = Vec::with_capacity(w.kb.len());
+        for db in w.kb.iter() {
+            let mut db = db.clone();
+            for (rel, t) in facts {
+                if insert {
+                    db.insert_fact(*rel, t.clone())?;
+                } else {
+                    db.remove_fact(*rel, t);
+                }
+            }
+            worlds.push(db);
+        }
+        // worlds that differed only in the changed facts may collapse
+        let kb = Knowledgebase::from_databases(worlds)?;
+        // every fallible step is behind us: adopt the scratch vocabulary
+        // together with the new state — but only allocate a new shared
+        // handle when this command actually interned something (interning
+        // is append-only, so equal counts mean identical content)
+        if vocab.relation_count() != w.vocab.relation_count()
+            || vocab.constant_count() != w.vocab.constant_count()
+        {
+            w.vocab = Arc::new(vocab);
+        }
+        w.kb = kb;
+        w.stats.commits += 1;
+        let epoch = self.publish(w);
+        Ok(Response::Committed {
+            epoch,
+            worlds: w.kb.len(),
+            facts: total_facts(&w.kb),
+        })
+    }
+
+    fn apply_named(&self, w: &mut Writer, name: &str) -> Result<Response> {
+        let Some(reg) = w.transforms.get_mut(name) else {
+            return Err(ServiceError::UnknownTransform(name.to_string()));
+        };
+        let transform = reg.transform.clone();
+        // take the persistent chain out so the registry borrow can end
+        // while the evaluator borrows the writer's knowledgebase
+        let mut chain = reg.chain.take();
+        let transformer = Transformer::with_options(self.config.eval_options());
+        let result = transformer.apply_with_chain(&transform, &w.kb, &mut chain);
+        let reg = w.transforms.get_mut(name).expect("present above");
+        reg.chain = chain;
+        let result = result?;
+        reg.applications += 1;
+        w.refresh_transforms_meta();
+        w.kb = result.kb;
+        w.stats.applies += 1;
+        w.stats.commits += 1;
+        w.stats.eval.absorb(&result.stats);
+        let epoch = self.publish(w);
+        Ok(Response::Applied {
+            epoch,
+            name: name.to_string(),
+            worlds: w.kb.len(),
+            facts: total_facts(&w.kb),
+            reused_facts: result.stats.reused_facts,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Read path: snapshot queries, never touching the writer lock.
+    // ------------------------------------------------------------------
+
+    /// Evaluates a transformation expression read-only against the current
+    /// snapshot (the typed counterpart of `QUERY <texpr>`).
+    pub fn query(&self, transform: &Transform) -> Result<QueryResult> {
+        let snap = self.snapshot();
+        self.query_on(&snap, transform)
+    }
+
+    /// Evaluates a transformation expression read-only against a specific
+    /// snapshot.
+    pub fn query_on(&self, snap: &Snapshot, transform: &Transform) -> Result<QueryResult> {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let transformer = Transformer::with_options(self.config.eval_options());
+        let result = transformer.apply(transform, snap.kb())?;
+        Ok(QueryResult {
+            epoch: snap.epoch(),
+            kb: result.kb,
+            stats: result.stats,
+        })
+    }
+
+    /// The facts of `rel` holding in **every** world of the snapshot.
+    pub fn certain(&self, snap: &Snapshot, rel: RelId) -> Relation {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        fold_relation(snap.kb(), rel, |a, b| {
+            a.intersection(b).expect("one schema per knowledgebase")
+        })
+    }
+
+    /// The facts of `rel` holding in **at least one** world of the
+    /// snapshot.
+    pub fn possible(&self, snap: &Snapshot, rel: RelId) -> Relation {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        fold_relation(snap.kb(), rel, |a, b| {
+            a.union(b).expect("one schema per knowledgebase")
+        })
+    }
+
+    fn query_text(&self, rest: &str) -> Result<Response> {
+        let snap = self.snapshot();
+        // parse against a clone: query-local names must not leak into (or
+        // wait on) the committed vocabulary
+        let mut vocab = snap.vocab().clone();
+        match parse_query(rest, &mut vocab)? {
+            QueryCmd::Certain(rel) => {
+                let facts = self.certain(&snap, rel);
+                Ok(Response::Facts {
+                    epoch: snap.epoch(),
+                    kind: "certain",
+                    relation: render_relation(rel, &vocab),
+                    facts: render_relation_facts(rel, &facts, &vocab),
+                })
+            }
+            QueryCmd::Possible(rel) => {
+                let facts = self.possible(&snap, rel);
+                Ok(Response::Facts {
+                    epoch: snap.epoch(),
+                    kind: "possible",
+                    relation: render_relation(rel, &vocab),
+                    facts: render_relation_facts(rel, &facts, &vocab),
+                })
+            }
+            QueryCmd::Transform(t) => {
+                let result = self.query_on(&snap, &t)?;
+                let worlds = result
+                    .kb
+                    .iter()
+                    .map(|db| {
+                        db.facts()
+                            .map(|(rel, t)| render_fact(rel, t, &vocab))
+                            .collect()
+                    })
+                    .collect();
+                Ok(Response::Worlds {
+                    epoch: result.epoch,
+                    worlds,
+                })
+            }
+        }
+    }
+
+    fn stats_report(&self) -> StatsReport {
+        let snap = self.snapshot();
+        StatsReport {
+            epoch: snap.epoch(),
+            worlds: snap.kb().len(),
+            facts: total_facts(snap.kb()),
+            threads: self.config.threads,
+            queries: self.queries.load(Ordering::Relaxed),
+            transforms: snap
+                .transforms()
+                .iter()
+                .map(|(name, info)| (name.clone(), info.text.to_string(), info.applications))
+                .collect(),
+            stats: *snap.stats(),
+        }
+    }
+}
+
+/// Total facts across all worlds.
+fn total_facts(kb: &Knowledgebase) -> usize {
+    kb.iter().map(Database::fact_count).sum()
+}
+
+/// Folds one relation across all worlds (empty-at-right-arity for worlds
+/// missing it; the empty knowledgebase yields a zero-ary empty relation).
+fn fold_relation(
+    kb: &Knowledgebase,
+    rel: RelId,
+    combine: impl Fn(&Relation, &Relation) -> Relation,
+) -> Relation {
+    let arity = kb
+        .iter()
+        .find_map(|db| db.relation(rel))
+        .map_or(0, Relation::arity);
+    let mut acc: Option<Relation> = None;
+    for db in kb.iter() {
+        let r = db
+            .relation(rel)
+            .cloned()
+            .unwrap_or_else(|| Relation::empty(arity));
+        acc = Some(match acc {
+            None => r,
+            Some(prev) => combine(&prev, &r),
+        });
+    }
+    acc.unwrap_or_else(|| Relation::empty(arity))
+}
+
+fn render_relation_facts(rel: RelId, facts: &Relation, vocab: &Vocabulary) -> Vec<String> {
+    facts.iter().map(|t| render_fact(rel, t, vocab)).collect()
+}
+
+impl fmt::Display for Response {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Response::Ok => write!(f, "ok"),
+            Response::Committed {
+                epoch,
+                worlds,
+                facts,
+            } => write!(f, "committed {epoch}: {worlds} world(s), {facts} fact(s)"),
+            Response::Defined { epoch, name, text } => {
+                write!(f, "defined {name} := {text} ({epoch})")
+            }
+            Response::Applied {
+                epoch,
+                name,
+                worlds,
+                facts,
+                reused_facts,
+            } => write!(
+                f,
+                "applied {name} at {epoch}: {worlds} world(s), {facts} fact(s), {reused_facts} reused"
+            ),
+            Response::Worlds { epoch, worlds } => {
+                write!(f, "{epoch}: {} world(s)", worlds.len())?;
+                for (i, world) in worlds.iter().enumerate() {
+                    write!(f, "\n  world {i}: {{{}}}", world.join(", "))?;
+                }
+                Ok(())
+            }
+            Response::Facts {
+                epoch,
+                kind,
+                relation,
+                facts,
+            } => write!(
+                f,
+                "{kind}({relation}) at {epoch}: {{{}}}",
+                facts.join(", ")
+            ),
+            Response::Stats(report) => {
+                write!(
+                    f,
+                    "epoch {} | {} world(s), {} fact(s) | threads {} | commits {} (applies {}, defines {}) | queries {}",
+                    report.epoch,
+                    report.worlds,
+                    report.facts,
+                    report.threads,
+                    report.stats.commits,
+                    report.stats.applies,
+                    report.stats.defines,
+                    report.queries
+                )?;
+                write!(
+                    f,
+                    "\n  eval: {} update(s), {} fixpoint round(s), {} reused, {} rederived",
+                    report.stats.eval.updates,
+                    report.stats.eval.fixpoint_iterations,
+                    report.stats.eval.reused_facts,
+                    report.stats.eval.rederived_facts
+                )?;
+                for (name, text, applications) in &report.transforms {
+                    write!(f, "\n  transform {name} := {text} (applied {applications}x)")?;
+                }
+                Ok(())
+            }
+            Response::Loaded { commands } => write!(f, "loaded: {commands} command(s)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn service() -> Service {
+        Service::new(ServiceConfig::with_threads(1))
+    }
+
+    #[test]
+    fn starts_with_one_empty_world_at_epoch_zero() {
+        let s = service();
+        let snap = s.snapshot();
+        assert_eq!(snap.epoch(), EpochId::ZERO);
+        assert_eq!(snap.kb().len(), 1);
+        assert_eq!(total_facts(snap.kb()), 0);
+    }
+
+    #[test]
+    fn asserts_commit_new_epochs_and_snapshots_stay_frozen() {
+        let s = service();
+        let before = s.snapshot();
+        let r = s.execute("ASSERT edge(1, 2), edge(2, 3)").unwrap();
+        match r {
+            Response::Committed {
+                epoch,
+                worlds,
+                facts,
+            } => {
+                assert_eq!(epoch, EpochId::new(1));
+                assert_eq!(worlds, 1);
+                assert_eq!(facts, 2);
+            }
+            other => panic!("expected Committed, got {other:?}"),
+        }
+        assert_eq!(total_facts(before.kb()), 0, "snapshot must be frozen");
+        assert_eq!(total_facts(s.snapshot().kb()), 2);
+
+        let r = s.execute("RETRACT edge(1, 2)").unwrap();
+        assert!(matches!(r, Response::Committed { facts: 1, .. }));
+    }
+
+    #[test]
+    fn define_apply_query_round_trip() {
+        let s = service();
+        s.execute("ASSERT edge(1, 2), edge(2, 3), edge(3, 4)")
+            .unwrap();
+        s.execute(
+            "DEFINE tc := tau[(forall x0 x1. edge(x0, x1) -> path(x0, x1)) & \
+             (forall x0 x1 x2. path(x0, x1) & edge(x1, x2) -> path(x0, x2))]",
+        )
+        .unwrap();
+        let r = s.execute("APPLY tc").unwrap();
+        match r {
+            Response::Applied { worlds, facts, .. } => {
+                assert_eq!(worlds, 1);
+                // 3 edges + 6 paths
+                assert_eq!(facts, 9);
+            }
+            other => panic!("expected Applied, got {other:?}"),
+        }
+        let r = s.execute("QUERY CERTAIN path").unwrap();
+        match r {
+            Response::Facts { kind, facts, .. } => {
+                assert_eq!(kind, "certain");
+                assert_eq!(facts.len(), 6);
+                assert!(facts.contains(&"path(1, 4)".to_string()));
+            }
+            other => panic!("expected Facts, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repeated_apply_reuses_the_persistent_chain() {
+        let s = service();
+        s.execute("ASSERT edge(1, 2), edge(2, 3)").unwrap();
+        s.execute(
+            "DEFINE tc := tau[(forall x0 x1. edge(x0, x1) -> path(x0, x1)) & \
+             (forall x0 x1 x2. path(x0, x1) & edge(x1, x2) -> path(x0, x2))]; project[edge]",
+        )
+        .unwrap();
+        let first = s.execute("APPLY tc").unwrap();
+        assert!(matches!(
+            first,
+            Response::Applied {
+                reused_facts: 0,
+                ..
+            }
+        ));
+        s.execute("ASSERT edge(3, 4)").unwrap();
+        let second = s.execute("APPLY tc").unwrap();
+        match second {
+            Response::Applied { reused_facts, .. } => {
+                assert!(reused_facts > 0, "the chain session must be reused");
+            }
+            other => panic!("expected Applied, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn queries_run_on_snapshots_and_count() {
+        let s = service();
+        s.execute("ASSERT edge(1, 2)").unwrap();
+        let r = s.execute("QUERY lub; project[edge]").unwrap();
+        match r {
+            Response::Worlds { epoch, worlds } => {
+                assert_eq!(epoch, EpochId::new(1));
+                assert_eq!(worlds, vec![vec!["edge(1, 2)".to_string()]]);
+            }
+            other => panic!("expected Worlds, got {other:?}"),
+        }
+        // the query committed nothing
+        assert_eq!(s.epoch(), EpochId::new(1));
+        match s.execute("STATS").unwrap() {
+            Response::Stats(report) => {
+                assert_eq!(report.queries, 1);
+                assert_eq!(report.stats.commits, 1);
+            }
+            other => panic!("expected Stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn query_transforms_can_split_worlds_without_committing() {
+        let s = service();
+        s.execute("ASSERT r(1)").unwrap();
+        let r = s.execute("QUERY tau[r(2) | r(3)]").unwrap();
+        match r {
+            Response::Worlds { worlds, .. } => assert_eq!(worlds.len(), 2),
+            other => panic!("expected Worlds, got {other:?}"),
+        }
+        // … and the committed state is untouched
+        assert_eq!(s.snapshot().kb().len(), 1);
+        assert_eq!(total_facts(s.snapshot().kb()), 1);
+    }
+
+    #[test]
+    fn errors_leave_the_committed_state_unchanged() {
+        let s = service();
+        s.execute("ASSERT edge(1, 2)").unwrap();
+        let epoch = s.epoch();
+        assert!(s.execute("APPLY missing").is_err());
+        assert!(s.execute("ASSERT edge(1, 2, 3)").is_err()); // arity conflict
+        assert!(s.execute("QUERY project[nowhere]").is_err());
+        assert!(s.execute("NONSENSE").is_err());
+        assert_eq!(s.epoch(), epoch);
+        assert_eq!(total_facts(s.snapshot().kb()), 1);
+    }
+
+    #[test]
+    fn failed_commands_leave_no_vocabulary_trace() {
+        // a rejected command's interning must not reach the committed
+        // state through a later, unrelated successful commit
+        let s = service();
+        s.execute("ASSERT edge(1, 2)").unwrap();
+        assert!(s.execute("ASSERT ghost(x)").is_err()); // non-ground → rejected
+        s.execute("ASSERT edge(2, 3)").unwrap(); // publishes the vocabulary
+        assert!(
+            matches!(
+                s.execute("QUERY CERTAIN ghost"),
+                Err(ServiceError::UnknownRelation(_))
+            ),
+            "the rejected ASSERT must not have interned 'ghost'"
+        );
+        assert!(s.snapshot().vocab().lookup_relation("ghost").is_none());
+    }
+
+    #[test]
+    fn retracts_cannot_introduce_names() {
+        let s = service();
+        s.execute("ASSERT edge(1, 2)").unwrap();
+        let epoch = s.epoch();
+        // a typo'd relation or constant is a guaranteed no-op → rejected
+        assert!(matches!(
+            s.execute("RETRACT egde(1, 2)"),
+            Err(ServiceError::UnknownRelation(_))
+        ));
+        assert!(matches!(
+            s.execute("RETRACT edge('Ghost', 1)"),
+            Err(ServiceError::UnknownConstant(_))
+        ));
+        assert_eq!(s.epoch(), epoch, "rejected retracts must not commit");
+        assert!(s.snapshot().vocab().lookup_relation("egde").is_none());
+        // retracting an *absent fact* over known names stays a legal no-op
+        s.execute("RETRACT edge(2, 1)").unwrap();
+        assert_eq!(s.epoch(), EpochId::new(epoch.get() + 1));
+    }
+
+    #[test]
+    fn named_constants_survive_the_command_round_trip() {
+        let s = service();
+        s.execute("ASSERT flight('Toronto', 'Ottawa')").unwrap();
+        match s.execute("QUERY POSSIBLE flight").unwrap() {
+            Response::Facts { facts, .. } => {
+                assert_eq!(facts, vec!["flight('Toronto', 'Ottawa')".to_string()]);
+            }
+            other => panic!("expected Facts, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn define_publishes_registry_metadata() {
+        let s = service();
+        s.execute("ASSERT edge(1, 2)").unwrap();
+        s.execute("DEFINE close := tau[forall x0 x1. edge(x0, x1) -> path(x0, x1)]")
+            .unwrap();
+        let snap = s.snapshot();
+        let info = snap.transforms().get("close").expect("registered");
+        assert_eq!(info.applications, 0);
+        // the wire text re-parses to the same transform
+        let mut vocab = snap.vocab().clone();
+        let again = crate::command::parse_transform(&info.text, &mut vocab).unwrap();
+        assert!(matches!(again, Transform::Insert(_)));
+    }
+}

@@ -55,6 +55,19 @@
 //! `chain_incremental` benchmark measures the win; `reused_facts` /
 //! `rederived_facts` in the stats records make it observable per run.
 //!
+//! ## Serving
+//!
+//! [`service`](kbt_service) turns the library into a concurrent,
+//! multi-session server: readers take `O(1)` MVCC snapshots of the
+//! committed knowledgebase (the copy-on-write relations make this free)
+//! and evaluate queries without ever blocking writers, while all mutation
+//! serializes through a commit pipeline that publishes epochs atomically
+//! and advances persistent incremental chain sessions per `APPLY`.  A
+//! textual command language (`LOAD`, `ASSERT`, `RETRACT`, `DEFINE`,
+//! `APPLY`, `QUERY`, `STATS`) fronts it, driven by the `kbt-shell` REPL /
+//! batch runner; the `service_throughput` benchmark measures concurrent
+//! readers against a committing writer.
+//!
 //! The engine's fixpoint rounds can also run **in parallel**:
 //! [`core::EvalOptions::threads`](kbt_core::EvalOptions) sets the
 //! evaluation width (`0` = the process default — `KBT_THREADS` or the
@@ -71,6 +84,7 @@ pub use kbt_engine as engine;
 pub use kbt_logic as logic;
 pub use kbt_par as par;
 pub use kbt_reductions as reductions;
+pub use kbt_service as service;
 pub use kbt_solver as solver;
 
 /// The most commonly used items, for glob import in examples and tests.
