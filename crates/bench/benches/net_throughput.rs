@@ -1,0 +1,189 @@
+//! `net_throughput` — round-trips over the TCP front, under a committing
+//! writer.
+//!
+//! The read benches run **while a background writer keeps committing over
+//! its own TCP connection** — toggling an edge and incrementally
+//! re-applying the registered closure refresh — so the numbers measure
+//! what a remote reader actually pays mid-commit-stream.  The interesting
+//! comparison is against `service_throughput`: the same operations
+//! in-process cost nanoseconds-to-microseconds; the deltas here are the
+//! price of the socket, the framing layer and a session worker.
+//!
+//! * `stats_roundtrip` — minimal request/response latency (one command,
+//!   small payload).
+//! * `query_certain_edge_roundtrip` — one QUERY with a 100-fact payload.
+//! * `pipelined_query_x64` — 64 QUERYs written back-to-back, then 64
+//!   responses read: the per-iteration time divided by 64 is the marginal
+//!   cost of a pipelined command (the protocol never blocks a batch on a
+//!   per-command round-trip).
+//! * `commit_assert_retract` — the serialized write pipeline over the
+//!   wire (two commits per iteration).
+//!
+//! Run with `KBT_BENCH_JSON=BENCH_net.json` to record the medians (CI
+//! uploads them with the bench-trajectory artifact and diffs them against
+//! the committed baselines).
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use kbt_bench::criterion::{black_box, criterion_group, criterion_main, Criterion};
+use kbt_bench::quick_criterion;
+use kbt_service::net::{Client, NetConfig, NetServer};
+use kbt_service::{Service, ServiceConfig};
+
+/// Seed chain length (the closure then holds ~EDGES²/2 reach facts).
+const EDGES: u32 = 100;
+
+const DEFINE: &str = "DEFINE refresh := project[edge]; \
+     tau[(forall x0 x1. edge(x0, x1) -> reach(x0, x1)) & \
+         (forall x0 x1 x2. reach(x0, x1) & edge(x1, x2) -> reach(x0, x2))]";
+
+/// A served network front over a chain graph and its committed closure.
+fn seeded_server() -> (NetServer, SocketAddr) {
+    let service = Arc::new(Service::new(ServiceConfig::default()));
+    service.execute(DEFINE).expect("define");
+    for i in 0..EDGES {
+        service
+            .execute(&format!("ASSERT edge({i}, {})", i + 1))
+            .expect("assert");
+    }
+    service.execute("APPLY refresh").expect("apply");
+    let server = NetServer::start(service, NetConfig::default()).expect("bind loopback");
+    let addr = server.local_addr();
+    (server, addr)
+}
+
+/// The committing writer: its own TCP client toggling one edge and
+/// re-applying the refresh until stopped.
+struct Churn {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<u64>>,
+}
+
+impl Churn {
+    fn start(addr: SocketAddr) -> Churn {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = stop.clone();
+        let handle = std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("churn connect");
+            let mut commits = 0u64;
+            let mut run = |cmd: &str| {
+                let r = client.roundtrip(cmd).expect("churn round-trip");
+                assert!(r.is_ok(), "churn command failed: {}", r.status);
+            };
+            while !flag.load(Ordering::Relaxed) {
+                run(&format!("ASSERT edge({EDGES}, {})", EDGES + 1));
+                run("APPLY refresh");
+                run(&format!("RETRACT edge({EDGES}, {})", EDGES + 1));
+                run("APPLY refresh");
+                commits += 4;
+            }
+            commits
+        });
+        Churn {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the writer and returns how many commits it made — the read
+    /// benches assert this is non-zero, so "measured under a live writer"
+    /// is a checked claim, not a hope.
+    fn finish(mut self) -> u64 {
+        self.stop.store(true, Ordering::Relaxed);
+        self.handle
+            .take()
+            .expect("finish is called once")
+            .join()
+            .expect("churn writer must not panic")
+    }
+}
+
+impl Drop for Churn {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn bench_read_path(c: &mut Criterion) {
+    let (_server, addr) = seeded_server();
+    let mut group = c.benchmark_group("net_throughput");
+
+    {
+        let churn = Churn::start(addr);
+        let mut client = Client::connect(addr).expect("connect");
+
+        group.bench_function("stats_roundtrip", |b| {
+            b.iter(|| {
+                let r = client.roundtrip("STATS").expect("round-trip");
+                assert!(r.is_ok(), "{}", r.status);
+                black_box(r.data.len())
+            })
+        });
+
+        group.bench_function("query_certain_edge_roundtrip", |b| {
+            b.iter(|| {
+                let r = client.roundtrip("QUERY CERTAIN edge").expect("round-trip");
+                assert!(r.is_ok(), "{}", r.status);
+                black_box(r.data.len())
+            })
+        });
+
+        group.bench_function("pipelined_query_x64", |b| {
+            b.iter(|| {
+                for _ in 0..64 {
+                    client.send("QUERY CERTAIN edge").expect("send");
+                }
+                let mut lines = 0usize;
+                for _ in 0..64 {
+                    let r = client.recv().expect("recv");
+                    assert!(r.is_ok(), "{}", r.status);
+                    lines += r.data.len();
+                }
+                black_box(lines)
+            })
+        });
+
+        let commits = churn.finish();
+        assert!(commits > 0, "the writer must have been committing");
+    }
+
+    group.finish();
+}
+
+fn bench_write_path(c: &mut Criterion) {
+    let (_server, addr) = seeded_server();
+    let mut group = c.benchmark_group("net_throughput");
+
+    {
+        let mut client = Client::connect(addr).expect("connect");
+        let mut i = 0u32;
+        group.bench_function("commit_assert_retract", |b| {
+            b.iter(|| {
+                i += 1;
+                let r = client
+                    .roundtrip(&format!("ASSERT probe({i})"))
+                    .expect("assert");
+                assert!(r.is_ok(), "{}", r.status);
+                let r = client
+                    .roundtrip(&format!("RETRACT probe({i})"))
+                    .expect("retract");
+                assert!(r.is_ok(), "{}", r.status);
+            })
+        });
+    }
+
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_read_path(c);
+    bench_write_path(c);
+}
+
+criterion_group!(name = net; config = quick_criterion(); targets = benches);
+criterion_main!(net);

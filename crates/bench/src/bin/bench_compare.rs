@@ -1,0 +1,308 @@
+//! `bench_compare` — diff a bench run's medians against committed
+//! baselines and emit a markdown delta table.
+//!
+//! CI's `bench-trajectory` job records fresh medians (the criterion shim's
+//! `KBT_BENCH_JSON` files) and then runs this tool against the committed
+//! `BENCH_*.json` baselines; the table goes to the job's step summary, so
+//! a perf regression surfaces *in the PR* instead of only inside an
+//! artifact nobody opens.
+//!
+//! ```text
+//! bench_compare --baseline BENCH_x.json --current out/BENCH_x.json …
+//!               [--warn-ratio 1.25] [--fail-ratio 3.0]
+//!               [--fail-on name,name,…]
+//! ```
+//!
+//! * a benchmark at `current/baseline >= warn-ratio` is flagged `warn`;
+//! * one at `>= fail-ratio` **and named in `--fail-on`** makes the tool
+//!   exit non-zero (`FAIL`) — the allowlist exists because absolute times
+//!   move between machines, so only deliberately chosen benches gate;
+//! * an allowlisted benchmark missing from the current run also fails —
+//!   silently dropping a gated bench must not pass;
+//! * everything else (improvements, new benches) is informational.
+//!
+//! The JSON format is the flat one the vendored criterion shim writes:
+//! one `"group/name": { "median_ns": … }` record per line.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// One parsed benchmark record (only the median matters here).
+#[derive(Clone, Copy, Debug, Default)]
+struct Record {
+    median_ns: f64,
+}
+
+/// Parses the flat two-level JSON the criterion shim writes (one record
+/// per line); anything unrecognised is skipped.
+fn parse_bench_json(text: &str) -> BTreeMap<String, Record> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else {
+            continue;
+        };
+        let Some((name, fields)) = rest.split_once("\": {") else {
+            continue;
+        };
+        for field in fields.trim_end_matches([' ', '}']).split(',') {
+            let Some((key, value)) = field.split_once(':') else {
+                continue;
+            };
+            if key.trim().trim_matches('"') != "median_ns" {
+                continue;
+            }
+            if let Ok(median_ns) = value.trim().parse::<f64>() {
+                out.insert(name.to_string(), Record { median_ns });
+            }
+        }
+    }
+    out
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// The verdict for one benchmark row.
+#[derive(Clone, Debug, PartialEq)]
+enum Verdict {
+    Ok,
+    Improved(f64),
+    Warn(f64),
+    Fail(f64),
+    /// Slower past the fail ratio but not allowlisted: loud, not fatal.
+    WarnHard(f64),
+    New,
+    Missing {
+        gated: bool,
+    },
+}
+
+fn judge(
+    baseline: Option<f64>,
+    current: Option<f64>,
+    warn_ratio: f64,
+    fail_ratio: f64,
+    gated: bool,
+) -> Verdict {
+    match (baseline, current) {
+        (None, Some(_)) => Verdict::New,
+        (Some(_), None) | (None, None) => Verdict::Missing { gated },
+        (Some(base), Some(cur)) => {
+            // a zero/absurd baseline would make every ratio infinite;
+            // treat it as incomparable-but-present
+            if base <= 0.0 {
+                return Verdict::New;
+            }
+            let ratio = cur / base;
+            if ratio >= fail_ratio {
+                if gated {
+                    Verdict::Fail(ratio)
+                } else {
+                    Verdict::WarnHard(ratio)
+                }
+            } else if ratio >= warn_ratio {
+                Verdict::Warn(ratio)
+            } else if ratio <= 1.0 / warn_ratio {
+                Verdict::Improved(ratio)
+            } else {
+                Verdict::Ok
+            }
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut baselines: Vec<String> = Vec::new();
+    let mut currents: Vec<String> = Vec::new();
+    let mut warn_ratio = 1.25f64;
+    let mut fail_ratio = 3.0f64;
+    let mut fail_on: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{what} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--baseline" => baselines.push(take("--baseline")),
+            "--current" => currents.push(take("--current")),
+            "--warn-ratio" => {
+                warn_ratio = take("--warn-ratio").parse().unwrap_or_else(|_| {
+                    eprintln!("--warn-ratio needs a number");
+                    std::process::exit(2);
+                })
+            }
+            "--fail-ratio" => {
+                fail_ratio = take("--fail-ratio").parse().unwrap_or_else(|_| {
+                    eprintln!("--fail-ratio needs a number");
+                    std::process::exit(2);
+                })
+            }
+            "--fail-on" => fail_on.extend(
+                take("--fail-on")
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty()),
+            ),
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench_compare --baseline FILE --current FILE … \
+                     [--warn-ratio R] [--fail-ratio R] [--fail-on a,b,…]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?} (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if baselines.len() != currents.len() || baselines.is_empty() {
+        eprintln!("need matching --baseline/--current pairs (at least one)");
+        return ExitCode::from(2);
+    }
+
+    let read_all = |paths: &[String]| -> BTreeMap<String, Record> {
+        let mut all = BTreeMap::new();
+        for path in paths {
+            match std::fs::read_to_string(path) {
+                Ok(text) => all.extend(parse_bench_json(&text)),
+                Err(e) => eprintln!("warning: cannot read {path}: {e}"),
+            }
+        }
+        all
+    };
+    let baseline = read_all(&baselines);
+    let current = read_all(&currents);
+
+    let mut names: Vec<&String> = baseline.keys().chain(current.keys()).collect();
+    names.sort();
+    names.dedup();
+
+    println!("## Bench medians vs committed baselines\n");
+    println!(
+        "warn at ≥{warn_ratio:.2}× slower, fail at ≥{fail_ratio:.2}× on the allowlist \
+         ({} gated bench(es))\n",
+        fail_on.len()
+    );
+    println!("| benchmark | baseline | current | ratio | verdict |");
+    println!("|---|---:|---:|---:|---|");
+
+    let mut failures = 0usize;
+    for name in names {
+        let base = baseline.get(name).map(|r| r.median_ns);
+        let cur = current.get(name).map(|r| r.median_ns);
+        let gated = fail_on.iter().any(|g| g == name);
+        let verdict = judge(base, cur, warn_ratio, fail_ratio, gated);
+        let ratio_text = match (base, cur) {
+            (Some(b), Some(c)) if b > 0.0 => format!("{:.2}×", c / b),
+            _ => "—".to_string(),
+        };
+        let verdict_text = match &verdict {
+            Verdict::Ok => "ok".to_string(),
+            Verdict::Improved(_) => "improved".to_string(),
+            Verdict::Warn(_) => "⚠ warn (slower)".to_string(),
+            Verdict::WarnHard(_) => "⚠ warn (past fail ratio, not gated)".to_string(),
+            Verdict::Fail(_) => {
+                failures += 1;
+                "✖ FAIL".to_string()
+            }
+            Verdict::New => "new".to_string(),
+            Verdict::Missing { gated } => {
+                if *gated {
+                    failures += 1;
+                    "✖ FAIL (gated bench missing)".to_string()
+                } else {
+                    "missing from this run".to_string()
+                }
+            }
+        };
+        let fmt = |v: Option<f64>| v.map(format_ns).unwrap_or_else(|| "—".to_string());
+        println!(
+            "| {name}{} | {} | {} | {ratio_text} | {verdict_text} |",
+            if gated { " 🔒" } else { "" },
+            fmt(base),
+            fmt(cur)
+        );
+    }
+    // gated benches absent from *both* files still have to fail: being
+    // deleted everywhere is the quietest way for a gate to rot away
+    for gate in &fail_on {
+        if !baseline.contains_key(gate) && !current.contains_key(gate) {
+            failures += 1;
+            println!("| {gate} 🔒 | — | — | — | ✖ FAIL (unknown gated bench) |");
+        }
+    }
+
+    if failures > 0 {
+        println!("\n**{failures} gated regression(s)/omission(s) — failing the job.**");
+        return ExitCode::FAILURE;
+    }
+    println!("\nNo gated regressions.");
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_shim_format() {
+        let text = r#"{
+  "g/one": { "median_ns": 1.5, "mean_ns": 2.0, "min_ns": 1.0, "max_ns": 3.0 },
+  "g/two": { "median_ns": 1000000, "mean_ns": 1.0, "min_ns": 1.0, "max_ns": 1.0 }
+}
+"#;
+        let parsed = parse_bench_json(text);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed["g/one"].median_ns, 1.5);
+        assert_eq!(parsed["g/two"].median_ns, 1_000_000.0);
+    }
+
+    #[test]
+    fn verdicts_follow_the_ratios() {
+        let j = |b, c, gated| judge(b, c, 1.25, 3.0, gated);
+        assert_eq!(j(Some(100.0), Some(100.0), false), Verdict::Ok);
+        assert!(matches!(
+            j(Some(100.0), Some(50.0), false),
+            Verdict::Improved(_)
+        ));
+        assert!(matches!(
+            j(Some(100.0), Some(150.0), false),
+            Verdict::Warn(_)
+        ));
+        assert!(matches!(
+            j(Some(100.0), Some(400.0), false),
+            Verdict::WarnHard(_)
+        ));
+        assert!(matches!(
+            j(Some(100.0), Some(400.0), true),
+            Verdict::Fail(_)
+        ));
+        assert_eq!(j(None, Some(1.0), true), Verdict::New);
+        assert_eq!(j(Some(1.0), None, true), Verdict::Missing { gated: true });
+    }
+
+    #[test]
+    fn ratio_boundaries_are_inclusive() {
+        let j = |c| judge(Some(100.0), Some(c), 1.25, 3.0, true);
+        assert!(matches!(j(125.0), Verdict::Warn(_)));
+        assert!(matches!(j(124.9), Verdict::Ok));
+        assert!(matches!(j(300.0), Verdict::Fail(_)));
+        assert!(matches!(j(299.9), Verdict::Warn(_)));
+        assert!(matches!(j(80.0), Verdict::Improved(_)));
+    }
+}

@@ -51,9 +51,22 @@
 //! of `1` never touches the pool at all — callers run their exact
 //! sequential path.
 
+//!
+//! ## Beyond scopes: bounded long-lived workers
+//!
+//! [`WorkerSet`] is the second shape this crate offers: a fixed set of
+//! named worker threads pulling independent `'static` jobs from a bounded
+//! queue, with admission control ([`WorkerSet::try_submit`] refuses work at
+//! capacity instead of growing).  Scoped fan-outs serve the evaluation
+//! engine; the worker set serves connection supervision in the network
+//! front, where a session outlives any one call stack and "reject at
+//! capacity" is the correct overload behaviour.
+
 mod pool;
+mod worker_set;
 
 pub use pool::{chunk_size, Scope, ThreadPool};
+pub use worker_set::WorkerSet;
 
 use std::sync::OnceLock;
 

@@ -1,21 +1,33 @@
-//! `kbt-shell` — the service's textual frontend.
+//! `kbt-shell` — the service's textual frontend, local or remote.
 //!
 //! * `kbt-shell script.kbt …` — batch mode: run each script through one
-//!   service instance, print every response, exit non-zero on the first
-//!   error (CI smoke-runs this on `examples/service_demo.kbt`).
+//!   in-process service instance, print every response, exit non-zero on
+//!   the first error (CI smoke-runs this on `examples/service_demo.kbt`).
+//! * `kbt-shell --connect HOST:PORT [script.kbt …]` — the same, but every
+//!   command goes to a running `kbt-serve` over TCP and the printed output
+//!   is the wire response verbatim (`= ` data lines + `OK`/`ERR` status) —
+//!   the same scripts run locally or remotely.
 //! * `kbt-shell` — REPL mode: read commands from stdin (with a prompt when
 //!   stdin is a terminal); errors are printed and the session continues.
-//! * `--threads N` — set the evaluation width explicitly (otherwise a
-//!   fresh `KBT_THREADS` read, falling back to available parallelism).
+//!   A line ending inside an open `'…'` quote continues onto the next one.
+//! * `--threads N` — set the evaluation width explicitly (local mode only;
+//!   a server's width is fixed server-side).
+//!
+//! Scripts are segmented into **logical** command lines (a quoted constant
+//! may contain newlines) by the same splitter the service and the network
+//! framer use, so a script means the same thing in every mode.
 
 use std::io::{BufRead, IsTerminal, Write};
 use std::process::ExitCode;
 
+use kbt_service::command::{quote_open, split_lines};
+use kbt_service::net::Client;
 use kbt_service::{Response, Service, ServiceConfig};
 
 fn main() -> ExitCode {
     let mut scripts = Vec::new();
     let mut config = ServiceConfig::default();
+    let mut connect: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -33,8 +45,15 @@ fn main() -> ExitCode {
                 };
                 config.threads = n;
             }
+            "--connect" => {
+                let Some(addr) = args.next() else {
+                    eprintln!("--connect needs HOST:PORT");
+                    return ExitCode::FAILURE;
+                };
+                connect = Some(addr);
+            }
             "--help" | "-h" => {
-                println!("usage: kbt-shell [--threads N] [script …]");
+                println!("usage: kbt-shell [--threads N] [--connect HOST:PORT] [script …]");
                 println!("       (no scripts: interactive REPL on stdin)");
                 return ExitCode::SUCCESS;
             }
@@ -42,17 +61,88 @@ fn main() -> ExitCode {
         }
     }
 
-    let service = Service::new(config);
+    let mut backend = match connect {
+        Some(addr) => match Client::connect(addr.as_str()) {
+            Ok(client) => Backend::Remote(client),
+            Err(e) => {
+                eprintln!("cannot connect to {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Backend::Local(Service::new(config)),
+    };
     if scripts.is_empty() {
-        repl(&service)
+        repl(&mut backend)
     } else {
-        batch(&service, &scripts)
+        batch(&mut backend, &scripts)
     }
 }
 
-/// Runs every script through the service line by line, printing each
+/// Where commands go: an in-process service or a remote `kbt-serve`.
+enum Backend {
+    Local(Service),
+    Remote(Client),
+}
+
+impl Backend {
+    /// Executes one command, prints its output, and reports whether it
+    /// succeeded (with the error already printed via `err_line`).
+    fn run(&mut self, command: &str, err_line: impl FnOnce() -> String) -> bool {
+        match self {
+            Backend::Local(service) => match service.execute(command) {
+                Ok(Response::Ok) => true,
+                Ok(response) => {
+                    println!("{response}");
+                    true
+                }
+                Err(e) => {
+                    eprintln!("{}: {e}", err_line());
+                    false
+                }
+            },
+            Backend::Remote(client) => {
+                // never put an unterminated quote on the wire: the server's
+                // framer would buffer waiting for the continuation while we
+                // block waiting for a response — a deadlock until its idle
+                // timeout.  Local mode gets an instant parse error; match it.
+                if quote_open(command) {
+                    eprintln!(
+                        "{}: unterminated quoted constant (command not sent)",
+                        err_line()
+                    );
+                    return false;
+                }
+                match client.roundtrip(command) {
+                    Ok(response) => {
+                        for line in &response.data {
+                            println!("{line}");
+                        }
+                        println!("{}", response.status);
+                        response.is_ok() || {
+                            eprintln!("{}: {}", err_line(), response.status);
+                            false
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("{}: connection error: {e}", err_line());
+                        false
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Is this line nothing but whitespace or a comment (not worth a network
+/// round-trip — and, remotely, not worth an `OK` line in the transcript)?
+fn is_nop(line: &str) -> bool {
+    let line = line.trim();
+    line.is_empty() || line.starts_with('#')
+}
+
+/// Runs every script, one logical command line at a time, printing each
 /// response and stopping at the first error.
-fn batch(service: &Service, scripts: &[String]) -> ExitCode {
+fn batch(backend: &mut Backend, scripts: &[String]) -> ExitCode {
     for path in scripts {
         let text = match std::fs::read_to_string(path) {
             Ok(text) => text,
@@ -61,22 +151,24 @@ fn batch(service: &Service, scripts: &[String]) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        for (lineno, line) in text.lines().enumerate() {
-            match service.execute(line) {
-                Ok(Response::Ok) => {}
-                Ok(response) => println!("{response}"),
-                Err(e) => {
-                    eprintln!("{path}:{}: {e}", lineno + 1);
-                    return ExitCode::FAILURE;
-                }
+        let mut lineno = 1usize;
+        for command in split_lines(&text) {
+            let at = format!("{path}:{lineno}");
+            lineno += 1 + command.matches('\n').count();
+            if is_nop(command) {
+                continue;
+            }
+            if !backend.run(command, || at) {
+                return ExitCode::FAILURE;
             }
         }
     }
     ExitCode::SUCCESS
 }
 
-/// Interactive loop: one command per line, errors do not end the session.
-fn repl(service: &Service) -> ExitCode {
+/// Interactive loop: one command per line (continued while a quote stays
+/// open), errors do not end the session.
+fn repl(backend: &mut Backend) -> ExitCode {
     let interactive = std::io::stdin().is_terminal();
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
@@ -85,23 +177,51 @@ fn repl(service: &Service) -> ExitCode {
             "kbt-service shell — commands: LOAD, ASSERT, RETRACT, DEFINE, APPLY, QUERY, STATS"
         );
     }
+    let mut pending = String::new();
     loop {
         if interactive {
-            print!("kbt> ");
+            print!("{}", if pending.is_empty() { "kbt> " } else { "...> " });
             let _ = out.flush();
         }
         let mut line = String::new();
         match stdin.lock().read_line(&mut line) {
-            Ok(0) => return ExitCode::SUCCESS, // EOF
-            Ok(_) => match service.execute(&line) {
-                Ok(Response::Ok) => {}
-                Ok(response) => println!("{response}"),
-                Err(e) => eprintln!("error: {e}"),
-            },
+            Ok(0) => {
+                // EOF with input pending: run it as-is (an open-quoted
+                // trailer errors — locally from the parser, remotely from
+                // the client-side unterminated-quote check)
+                if !pending.is_empty() && !is_nop(&pending) {
+                    backend.run(&pending, || "stdin".to_string());
+                }
+                return ExitCode::SUCCESS;
+            }
+            Ok(_) => {
+                pending.push_str(&line);
+                if quote_open(&pending) {
+                    continue; // the quoted constant continues on the next line
+                }
+                let command = std::mem::take(&mut pending);
+                let command = command.strip_suffix('\n').unwrap_or(&command);
+                if !is_nop(command) {
+                    backend.run(command, || "error".to_string());
+                }
+            }
             Err(e) => {
                 eprintln!("stdin: {e}");
                 return ExitCode::FAILURE;
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nop_lines_are_detected() {
+        assert!(is_nop(""));
+        assert!(is_nop("   "));
+        assert!(is_nop("# comment"));
+        assert!(!is_nop("STATS"));
     }
 }

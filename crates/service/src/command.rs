@@ -68,6 +68,93 @@ fn parse_err(message: impl Into<String>) -> ServiceError {
     }
 }
 
+/// Scanner state for logical-line splitting (shared by [`split_lines`] and
+/// [`quote_open`]; the byte-level twin lives in [`crate::net::LineFramer`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum LineScan {
+    /// At the start of a logical line (only ASCII whitespace seen so far).
+    Start,
+    /// Inside a `#` comment line: runs to the newline, quotes inert.
+    Comment,
+    /// Inside a command; `true` = a `'…'` constant is open.
+    Command { in_quote: bool },
+}
+
+impl LineScan {
+    /// Advances over one character; `true` means the logical line ends at
+    /// this character (an unquoted newline) and the state has reset.
+    pub(crate) fn step(&mut self, c: char) -> bool {
+        match self {
+            LineScan::Start => match c {
+                '\n' => return true,
+                ' ' | '\t' | '\r' => {}
+                '#' => *self = LineScan::Comment,
+                c => {
+                    *self = LineScan::Command {
+                        in_quote: c == '\'',
+                    }
+                }
+            },
+            LineScan::Comment => {
+                if c == '\n' {
+                    *self = LineScan::Start;
+                    return true;
+                }
+            }
+            LineScan::Command { in_quote } => match c {
+                '\'' => *in_quote = !*in_quote,
+                '\n' if !*in_quote => {
+                    *self = LineScan::Start;
+                    return true;
+                }
+                _ => {}
+            },
+        }
+        false
+    }
+}
+
+/// Splits script text into its **logical command lines**: one command per
+/// unquoted newline.  A `'…'` quoted constant may legally contain `\n` (the
+/// sentence lexer admits any character but `'` in there), so a command like
+/// `ASSERT note('line one\nline two')` spans two physical lines but is one
+/// logical command.  Comment lines — optional ASCII whitespace then `#` —
+/// are line-scoped and quote-**inert**: an apostrophe in prose (`CI's`)
+/// must not swallow the commands below it.  This is exactly the
+/// continuation rule the network framer ([`crate::net::LineFramer`])
+/// applies to its byte stream, and `tests/net_framing.rs` holds the two
+/// splitters to the same output on the same text.
+///
+/// Lines are returned as written (no trimming, terminating newline
+/// excluded); an unterminated quote runs to the end of the text.
+pub fn split_lines(text: &str) -> Vec<&str> {
+    let mut lines = Vec::new();
+    let mut scan = LineScan::Start;
+    let mut start = 0;
+    for (i, c) in text.char_indices() {
+        if scan.step(c) {
+            lines.push(&text[start..i]);
+            start = i + 1;
+        }
+    }
+    if start < text.len() {
+        lines.push(&text[start..]);
+    }
+    lines
+}
+
+/// Whether `text` ends inside an open `'…'` quote — i.e. a physical line
+/// that still needs continuation before it forms a complete command (the
+/// REPLs keep reading input until this turns false).  Quotes inside
+/// comment lines do not count (see [`split_lines`]).
+pub fn quote_open(text: &str) -> bool {
+    let mut scan = LineScan::Start;
+    for c in text.chars() {
+        scan.step(c);
+    }
+    scan == LineScan::Command { in_quote: true }
+}
+
 /// Splits a command line into its verb and payload.
 pub fn split_command(line: &str) -> Result<(Verb, &str)> {
     let line = line.trim();
@@ -308,6 +395,42 @@ pub fn render_fact(rel: RelId, tuple: &Tuple, vocab: &Vocabulary) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn split_lines_is_quote_aware() {
+        assert_eq!(split_lines("a\nb\nc"), vec!["a", "b", "c"]);
+        assert_eq!(split_lines("a\nb\n"), vec!["a", "b"]);
+        assert_eq!(split_lines(""), Vec::<&str>::new());
+        // a newline inside a quoted constant does not end the command
+        assert_eq!(
+            split_lines("ASSERT note('one\ntwo')\nSTATS"),
+            vec!["ASSERT note('one\ntwo')", "STATS"]
+        );
+        // an unterminated quote runs to the end of the text
+        assert_eq!(
+            split_lines("ASSERT r('open\nrest"),
+            vec!["ASSERT r('open\nrest"]
+        );
+        assert!(quote_open("ASSERT r('open"));
+        assert!(!quote_open("ASSERT r('closed')"));
+        // comments are line-scoped and quote-inert: an apostrophe in prose
+        // must not swallow the commands below it
+        assert_eq!(
+            split_lines("# CI's job\nASSERT edge(1, 2)\n  # isn't one either\nSTATS"),
+            vec![
+                "# CI's job",
+                "ASSERT edge(1, 2)",
+                "  # isn't one either",
+                "STATS"
+            ]
+        );
+        assert!(!quote_open("# don't continue"));
+        // …but '#' inside an open quote is payload, not a comment
+        assert_eq!(
+            split_lines("ASSERT note('x\n# quoted\ny')\nSTATS"),
+            vec!["ASSERT note('x\n# quoted\ny')", "STATS"]
+        );
+    }
 
     #[test]
     fn verbs_are_case_insensitive_and_comments_are_nops() {

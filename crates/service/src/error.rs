@@ -31,6 +31,28 @@ pub enum ServiceError {
     Io(io::Error),
 }
 
+impl ServiceError {
+    /// The stable machine-readable code this error carries on the wire
+    /// (the `<code>` of an `ERR <code> <message>` response — see the wire
+    /// protocol section of the crate docs).  Net-level conditions that
+    /// never pass through `ServiceError` (`line-too-long`, `invalid-utf8`,
+    /// `idle-timeout`, `unavailable`, `shutting-down`) have their codes
+    /// defined in [`crate::net::proto`].
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServiceError::Parse { .. } => "parse",
+            ServiceError::UnknownTransform(_) => "unknown-transform",
+            ServiceError::UnknownRelation(_) => "unknown-relation",
+            ServiceError::UnknownConstant(_) => "unknown-constant",
+            ServiceError::ScriptDepth(_) => "script-depth",
+            ServiceError::Data(_) => "data",
+            ServiceError::Logic(_) => "logic",
+            ServiceError::Core(_) => "eval",
+            ServiceError::Io(_) => "io",
+        }
+    }
+}
+
 impl fmt::Display for ServiceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -63,6 +63,54 @@
 //! fact  := <relation>(<const>, …)        const := NUMBER | 'name'
 //! ```
 //!
+//! ## The wire protocol
+//!
+//! [`net`] serves the same command language over TCP (`kbt-serve` /
+//! `kbt-shell --connect`), one session per connection, all sessions
+//! multiplexed onto one shared [`Service`] — so remote readers get the
+//! same `O(1)` epoch snapshots and remote writers the same serialized
+//! commit pipeline as in-process callers.  The protocol is plain UTF-8
+//! lines, std-only on both ends.
+//!
+//! **Requests.**  One command per *logical* line: a command ends at the
+//! first newline outside a `'…'` quoted constant (quoted constants may
+//! contain newlines — the framer treats the next physical line as a
+//! continuation), and comment lines (`#` after optional ASCII whitespace)
+//! are line-scoped with quotes inert.  [`command::split_lines`] applies
+//! exactly the same segmentation to script text, so a script means the
+//! same thing locally and over the wire.  Commands may be pipelined:
+//! responses come back in order, one per command.  A logical line is
+//! capped at [`net::MAX_LINE_BYTES`] (configurable); an overflowing or
+//! non-UTF-8 line is unrecoverable mid-stream, so the server answers
+//! `ERR line-too-long` / `ERR invalid-utf8` and closes the connection.
+//!
+//! **Responses.**  Zero or more data lines, each prefixed `= `, then
+//! exactly one status line:
+//!
+//! ```text
+//! response := ("= " data "\n")* status "\n"
+//! status   := "OK" (" " key "=" value)*     e.g.  OK epoch=7 worlds=1 facts=9
+//!           | "ERR " code " " message
+//! ```
+//!
+//! Every payload line is escaped (`\` → `\\`, newline → `\n`, CR → `\r`)
+//! so one response line is always one physical line.  Snapshot reads and
+//! commits name the epoch they speak for in `epoch=N`.  Error codes are
+//! stable: the service-level ones come from [`ServiceError::code`]
+//! (`parse`, `unknown-transform`, `unknown-relation`, `unknown-constant`,
+//! `script-depth`, `data`, `logic`, `eval`, `io`), and the net layer adds
+//! `line-too-long`, `invalid-utf8`, `idle-timeout` (session sat idle past
+//! the server's timeout), `unavailable` (all session workers busy —
+//! connections beyond [`net::NetConfig::max_sessions`] are refused, not
+//! queued unboundedly) and `shutting-down` (graceful stop: `kbt-serve`
+//! converts SIGINT/SIGTERM into a drain-and-join).  An `ERR` response
+//! never ends the session except for those five net-level conditions.
+//!
+//! CI's `e2e-net` job replays `examples/net_client_session.kbt` through a
+//! live server and diffs the transcript against
+//! `tests/golden/net_session.golden`; `tests/net_concurrent.rs` checks
+//! concurrent TCP readers against a sequential oracle byte-for-byte.
+//!
 //! ## Example
 //!
 //! ```
@@ -82,12 +130,14 @@
 pub mod command;
 pub mod config;
 pub mod error;
+pub mod net;
 pub mod service;
 
 pub use command::{parse_transform, render_transform, QueryCmd, Verb};
 pub use config::ServiceConfig;
 pub use error::{Result, ServiceError};
+pub use net::{Client, LineFramer, NetConfig, NetServer, WireResponse};
 pub use service::{
-    CommittedState, QueryResult, Response, Service, ServiceStats, Snapshot, StatsReport,
-    TransformInfo,
+    CommittedState, QueryResult, Response, Service, ServiceStats, SessionCounters, SessionSnapshot,
+    Snapshot, StatsReport, TransformInfo,
 };

@@ -1,0 +1,34 @@
+//! The network front: a std-only TCP server and client for the command
+//! language.
+//!
+//! The command language was line-oriented from the start, so the wire
+//! protocol is the thinnest possible layer over it (see the *wire
+//! protocol* section of the crate docs for the full grammar):
+//!
+//! * [`frame`] — [`LineFramer`], the request framing layer: an incremental,
+//!   quote-aware, length-capped logical-line splitter over a raw byte
+//!   stream.  It segments exactly like [`crate::command::split_lines`]
+//!   segments script text — `tests/net_framing.rs` holds the two to the
+//!   same output on the same bytes, chunked adversarially.
+//! * [`proto`] — the response encoding: zero or more `= `-prefixed data
+//!   lines followed by one `OK key=value…` / `ERR code message` status
+//!   line, with control characters escaped so every response line is
+//!   exactly one physical line.
+//! * [`server`] — [`NetServer`]: an acceptor thread plus a bounded
+//!   [`kbt_par::WorkerSet`] of session workers (connections beyond
+//!   capacity are refused with `ERR unavailable`, not queued without
+//!   bound), idle timeouts, and cooperative graceful shutdown.
+//! * [`client`] — [`Client`]: a blocking client speaking the same
+//!   protocol, with split `send`/`recv` so callers can pipeline many
+//!   commands per round-trip (`kbt-shell --connect` and the
+//!   `net_throughput` bench both use it).
+
+pub mod client;
+pub mod frame;
+pub mod proto;
+pub mod server;
+
+pub use client::Client;
+pub use frame::{FrameError, LineFramer, MAX_LINE_BYTES};
+pub use proto::WireResponse;
+pub use server::{NetConfig, NetServer};

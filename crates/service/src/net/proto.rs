@@ -1,0 +1,237 @@
+//! The response encoding: data lines plus one status line.
+//!
+//! Every command receives exactly one response:
+//!
+//! ```text
+//! response := ("= " data-line "\n")* status-line "\n"
+//! status   := "OK" (" " key "=" value)*          -- success
+//!           | "ERR " code " " message            -- failure (code is stable)
+//! ```
+//!
+//! Data lines carry the payload (one fact, one world, one stats row per
+//! line); the status line both terminates the response — a client reads
+//! lines until it sees one — and names the epoch a committed or snapshot
+//! response speaks for.  Because payloads may legally contain newlines
+//! (quoted constants admit them), every emitted line is passed through
+//! [`escape_line`], so one response line is always exactly one physical
+//! line on the wire.
+//!
+//! Error codes: [`crate::ServiceError::code`] defines the service-level
+//! codes (`parse`, `unknown-relation`, …); the net layer adds
+//! [`CODE_LINE_TOO_LONG`], [`CODE_INVALID_UTF8`], [`CODE_IDLE_TIMEOUT`],
+//! [`CODE_UNAVAILABLE`] and [`CODE_SHUTTING_DOWN`] for conditions that
+//! never pass through a [`crate::ServiceError`].
+
+use crate::error::ServiceError;
+use crate::service::Response;
+
+/// Prefix of every data line.
+pub const DATA_PREFIX: &str = "= ";
+
+/// The framer's length cap was exceeded (connection closes).
+pub const CODE_LINE_TOO_LONG: &str = "line-too-long";
+/// A command line was not valid UTF-8 (connection closes).
+pub const CODE_INVALID_UTF8: &str = "invalid-utf8";
+/// The session sat idle past the configured timeout (connection closes).
+pub const CODE_IDLE_TIMEOUT: &str = "idle-timeout";
+/// Every session worker is busy; the connection was refused.
+pub const CODE_UNAVAILABLE: &str = "unavailable";
+/// The server is shutting down; the session is being closed.
+pub const CODE_SHUTTING_DOWN: &str = "shutting-down";
+
+/// Escapes a payload so it occupies exactly one physical line: `\` → `\\`,
+/// newline → `\n`, carriage return → `\r`.
+pub fn escape_line(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Encodes one successful response as `(data_lines, status_line)` — the
+/// data lines already carry [`DATA_PREFIX`] and are escaped.
+pub fn encode_response(response: &Response) -> (Vec<String>, String) {
+    let data_line = |s: &str| format!("{DATA_PREFIX}{}", escape_line(s));
+    match response {
+        Response::Ok => (Vec::new(), "OK".to_string()),
+        Response::Committed {
+            epoch,
+            worlds,
+            facts,
+        } => (
+            Vec::new(),
+            format!("OK epoch={} worlds={worlds} facts={facts}", epoch.get()),
+        ),
+        Response::Defined { epoch, name, text } => (
+            vec![data_line(text)],
+            format!("OK epoch={} defined={name}", epoch.get()),
+        ),
+        Response::Applied {
+            epoch,
+            name,
+            worlds,
+            facts,
+            reused_facts,
+        } => (
+            Vec::new(),
+            format!(
+                "OK epoch={} applied={name} worlds={worlds} facts={facts} reused={reused_facts}",
+                epoch.get()
+            ),
+        ),
+        Response::Worlds { epoch, worlds } => (
+            worlds
+                .iter()
+                .enumerate()
+                .map(|(i, world)| data_line(&format!("world {i}: {{{}}}", world.join(", "))))
+                .collect(),
+            format!("OK epoch={} worlds={}", epoch.get(), worlds.len()),
+        ),
+        Response::Facts {
+            epoch,
+            kind,
+            relation,
+            facts,
+        } => (
+            facts.iter().map(|fact| data_line(fact)).collect(),
+            format!(
+                "OK epoch={} kind={kind} relation={relation} count={}",
+                epoch.get(),
+                facts.len()
+            ),
+        ),
+        Response::Stats(report) => (
+            response
+                .to_string()
+                .lines()
+                .map(|line| data_line(line.trim_start()))
+                .collect(),
+            format!("OK epoch={}", report.epoch.get()),
+        ),
+        Response::Loaded { commands } => (Vec::new(), format!("OK commands={commands}")),
+    }
+}
+
+/// Encodes a service error as its `ERR code message` status line.
+pub fn encode_service_error(e: &ServiceError) -> String {
+    encode_error(e.code(), &e.to_string())
+}
+
+/// Encodes an `ERR code message` status line (message escaped to one
+/// physical line).
+pub fn encode_error(code: &str, message: &str) -> String {
+    format!("ERR {code} {}", escape_line(message))
+}
+
+/// Whether a received line is a status line (terminates a response).
+pub fn is_status_line(line: &str) -> bool {
+    line == "OK" || line.starts_with("OK ") || line.starts_with("ERR ")
+}
+
+/// One decoded response: the data lines (prefix intact) and the status
+/// line, as received.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireResponse {
+    /// The `= `-prefixed data lines, in order.
+    pub data: Vec<String>,
+    /// The terminating `OK …` / `ERR …` line.
+    pub status: String,
+}
+
+impl WireResponse {
+    /// Whether the status line reports success.
+    pub fn is_ok(&self) -> bool {
+        self.status == "OK" || self.status.starts_with("OK ")
+    }
+
+    /// The `epoch=N` field of an `OK` status line, when present.
+    pub fn epoch(&self) -> Option<u64> {
+        self.status
+            .split_whitespace()
+            .find_map(|field| field.strip_prefix("epoch="))
+            .and_then(|v| v.parse().ok())
+    }
+
+    /// The error code of an `ERR` status line, when this is one.
+    pub fn err_code(&self) -> Option<&str> {
+        self.status
+            .strip_prefix("ERR ")
+            .and_then(|rest| rest.split_whitespace().next())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServiceConfig;
+    use crate::service::Service;
+
+    #[test]
+    fn escaping_keeps_every_line_physical() {
+        assert_eq!(escape_line("plain"), "plain");
+        assert_eq!(escape_line("a\nb\r\\c"), "a\\nb\\r\\\\c");
+    }
+
+    #[test]
+    fn responses_encode_with_epoch_and_terminating_status() {
+        let s = Service::new(ServiceConfig::with_threads(1));
+        let r = s.execute("ASSERT edge(1, 2), edge(2, 3)").unwrap();
+        let (data, status) = encode_response(&r);
+        assert!(data.is_empty());
+        assert_eq!(status, "OK epoch=1 worlds=1 facts=2");
+
+        let r = s.execute("QUERY CERTAIN edge").unwrap();
+        let (data, status) = encode_response(&r);
+        assert_eq!(data, ["= edge(1, 2)", "= edge(2, 3)"]);
+        assert_eq!(status, "OK epoch=1 kind=certain relation=edge count=2");
+
+        let r = s.execute("QUERY lub").unwrap();
+        let (data, status) = encode_response(&r);
+        assert_eq!(data, ["= world 0: {edge(1, 2), edge(2, 3)}"]);
+        assert_eq!(status, "OK epoch=1 worlds=1");
+    }
+
+    #[test]
+    fn facts_with_newlines_stay_one_wire_line() {
+        let s = Service::new(ServiceConfig::with_threads(1));
+        s.execute("ASSERT note('one\ntwo')").unwrap();
+        let r = s.execute("QUERY POSSIBLE note").unwrap();
+        let (data, _) = encode_response(&r);
+        assert_eq!(data, ["= note('one\\ntwo')"]);
+    }
+
+    #[test]
+    fn errors_carry_stable_codes() {
+        let s = Service::new(ServiceConfig::with_threads(1));
+        let e = s.execute("QUERY CERTAIN nowhere").unwrap_err();
+        let status = encode_service_error(&e);
+        assert!(status.starts_with("ERR unknown-relation "), "{status}");
+        let wire = WireResponse {
+            data: vec![],
+            status,
+        };
+        assert!(!wire.is_ok());
+        assert_eq!(wire.err_code(), Some("unknown-relation"));
+    }
+
+    #[test]
+    fn status_lines_are_recognised() {
+        assert!(is_status_line("OK"));
+        assert!(is_status_line("OK epoch=3"));
+        assert!(is_status_line("ERR parse bad"));
+        assert!(!is_status_line("= edge(1, 2)"));
+        assert!(!is_status_line("OKepoch=3"));
+        let wire = WireResponse {
+            data: vec![],
+            status: "OK epoch=12 worlds=1".into(),
+        };
+        assert_eq!(wire.epoch(), Some(12));
+        assert!(wire.is_ok());
+    }
+}

@@ -1,0 +1,449 @@
+//! The TCP server: an acceptor thread feeding a bounded worker set of
+//! session handlers.
+//!
+//! Concurrency shape: one acceptor thread owns the listener; each accepted
+//! connection is handed to a [`kbt_par::WorkerSet`] of long-lived session
+//! workers.  A connection that arrives while every worker is busy is
+//! answered `ERR unavailable` and closed immediately — bounded concurrency
+//! with explicit rejection, never an unbounded thread-per-connection spawn.
+//! Sessions multiplex onto the shared [`Service`]: queries evaluate against
+//! `O(1)` MVCC epoch snapshots without blocking anything, writes serialize
+//! through the service's single commit pipeline, so N concurrent
+//! connections get exactly the epoch/commit/snapshot contract of the crate
+//! docs.
+//!
+//! Sessions poll their socket on a short tick so they can notice — without
+//! a dedicated signalling channel — both the **idle timeout** (answered
+//! `ERR idle-timeout`, counted in `idle_closed`) and **graceful shutdown**
+//! (answered `ERR shutting-down`).  [`NetServer::shutdown`] stops the
+//! acceptor, lets in-flight sessions drain, and joins every thread; the
+//! `kbt-serve` binary wires SIGINT/SIGTERM to it.
+
+use std::io::{BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use kbt_par::WorkerSet;
+
+use crate::net::frame::{FrameError, LineFramer, MAX_LINE_BYTES};
+use crate::net::proto;
+use crate::service::Service;
+
+/// How often a blocked session wakes to check the idle deadline and the
+/// shutdown flag.
+const POLL_TICK: Duration = Duration::from_millis(100);
+
+/// How long the acceptor sleeps when no connection is pending.
+const ACCEPT_TICK: Duration = Duration::from_millis(25);
+
+/// Network front configuration.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Address to bind (`host:port`; port `0` picks an ephemeral port —
+    /// [`NetServer::local_addr`] reports the actual one).
+    pub addr: String,
+    /// Maximum concurrently served sessions; further connections are
+    /// refused with `ERR unavailable`.
+    pub max_sessions: usize,
+    /// Close a session after this much time without a byte from the
+    /// client.
+    pub idle_timeout: Duration,
+    /// Cap on one logical command line, in bytes.
+    pub max_line_bytes: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_sessions: 32,
+            idle_timeout: Duration::from_secs(300),
+            max_line_bytes: MAX_LINE_BYTES,
+        }
+    }
+}
+
+/// A running network front over one shared [`Service`].
+pub struct NetServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Binds `config.addr` and starts serving `service`.  Returns once the
+    /// listener is bound — connections are accepted from that point on.
+    pub fn start(service: Arc<Service>, config: NetConfig) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(resolve(&config.addr)?)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let shutdown = shutdown.clone();
+            std::thread::Builder::new()
+                .name("kbt-acceptor".to_string())
+                .spawn(move || accept_loop(listener, service, config, &shutdown))
+                .expect("spawning the acceptor thread")
+        };
+        Ok(NetServer {
+            local_addr,
+            shutdown,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (the actual port when `addr` asked for `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The flag a signal handler (or any supervisor) may set to request a
+    /// graceful stop; [`NetServer::shutdown`] / drop complete it.
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        self.shutdown.clone()
+    }
+
+    /// Graceful shutdown: stop accepting, close sessions at their next
+    /// poll tick (they answer `ERR shutting-down`), join every thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn resolve(addr: &str) -> std::io::Result<SocketAddr> {
+    addr.to_socket_addrs()?.next().ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("{addr:?} resolves to no address"),
+        )
+    })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    service: Arc<Service>,
+    config: NetConfig,
+    shutdown: &Arc<AtomicBool>,
+) {
+    let counters = service.session_counters();
+    // Dropping the set at the end joins the session workers; sessions
+    // notice the shutdown flag within one poll tick.
+    let workers = WorkerSet::new("kbt-session", config.max_sessions.max(1), 0);
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                counters.accepted.fetch_add(1, Ordering::Relaxed);
+                // a duplicate handle, because the stream itself moves into
+                // the session job: on refusal the job is dropped unrun and
+                // the rejection must still be answered on the socket
+                let reject_handle = stream.try_clone();
+                let service = service.clone();
+                let session_counters = counters.clone();
+                let session_config = config.clone();
+                let shutdown = shutdown.clone();
+                let admitted = workers.try_submit(move || {
+                    // a drop guard, not a trailing decrement: the worker set
+                    // contains session panics, and a panicking session must
+                    // not inflate the active gauge forever
+                    struct ActiveGuard(Arc<crate::service::SessionCounters>);
+                    impl Drop for ActiveGuard {
+                        fn drop(&mut self) {
+                            self.0.active.fetch_sub(1, Ordering::Relaxed);
+                        }
+                    }
+                    session_counters.active.fetch_add(1, Ordering::Relaxed);
+                    let _guard = ActiveGuard(session_counters);
+                    let _ = serve_session(&service, &session_config, &shutdown, stream);
+                });
+                if !admitted {
+                    counters.rejected.fetch_add(1, Ordering::Relaxed);
+                    if let Ok(mut s) = reject_handle {
+                        let _ = writeln!(
+                            s,
+                            "{}",
+                            proto::encode_error(
+                                proto::CODE_UNAVAILABLE,
+                                &format!("server at capacity ({} sessions)", config.max_sessions),
+                            )
+                        );
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_TICK);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => break, // listener gone; nothing sensible left to do
+        }
+    }
+}
+
+/// Serves one connection: frame commands, execute, answer — until EOF,
+/// idle timeout, frame error or shutdown.
+fn serve_session(
+    service: &Service,
+    config: &NetConfig,
+    shutdown: &AtomicBool,
+    stream: TcpStream,
+) -> std::io::Result<()> {
+    let counters = service.session_counters();
+    stream.set_nodelay(true)?;
+    // wake regularly even with no traffic: both the idle deadline and the
+    // shutdown flag are checked per tick
+    stream.set_read_timeout(Some(config.idle_timeout.min(POLL_TICK)))?;
+    let mut reader = stream.try_clone()?;
+    let mut writer = BufWriter::new(stream);
+    let mut framer = LineFramer::new(config.max_line_bytes);
+    let mut buf = [0u8; 4096];
+    let mut last_activity = Instant::now();
+    loop {
+        // drain every complete command already buffered, then flush once —
+        // pipelined commands cost one write-flush per batch, not per command
+        let mut responded = false;
+        loop {
+            match framer.next_line() {
+                Ok(Some(line)) => {
+                    respond(&mut writer, service, &line)?;
+                    responded = true;
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    writeln!(writer, "{}", frame_error_status(&e))?;
+                    return writer.flush();
+                }
+            }
+        }
+        if responded {
+            writer.flush()?;
+        }
+        if shutdown.load(Ordering::SeqCst) {
+            writeln!(
+                writer,
+                "{}",
+                proto::encode_error(proto::CODE_SHUTTING_DOWN, "server stopping")
+            )?;
+            return writer.flush();
+        }
+        match reader.read(&mut buf) {
+            Ok(0) => {
+                // EOF: a final command need not be newline-terminated
+                match framer.finish() {
+                    Ok(Some(line)) => respond(&mut writer, service, &line)?,
+                    Ok(None) => {}
+                    Err(e) => writeln!(writer, "{}", frame_error_status(&e))?,
+                }
+                return writer.flush();
+            }
+            Ok(n) => {
+                framer.push(&buf[..n]);
+                last_activity = Instant::now();
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if last_activity.elapsed() >= config.idle_timeout {
+                    counters.idle_closed.fetch_add(1, Ordering::Relaxed);
+                    writeln!(
+                        writer,
+                        "{}",
+                        proto::encode_error(
+                            proto::CODE_IDLE_TIMEOUT,
+                            &format!("session idle for {} ms", config.idle_timeout.as_millis()),
+                        )
+                    )?;
+                    return writer.flush();
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e), // peer reset or similar: just close
+        }
+    }
+}
+
+fn respond(writer: &mut impl Write, service: &Service, line: &str) -> std::io::Result<()> {
+    match service.execute(line) {
+        Ok(response) => {
+            let (data, status) = proto::encode_response(&response);
+            for line in data {
+                writeln!(writer, "{line}")?;
+            }
+            writeln!(writer, "{status}")
+        }
+        Err(e) => writeln!(writer, "{}", proto::encode_service_error(&e)),
+    }
+}
+
+fn frame_error_status(e: &FrameError) -> String {
+    let code = match e {
+        FrameError::LineTooLong { .. } => proto::CODE_LINE_TOO_LONG,
+        FrameError::InvalidUtf8 => proto::CODE_INVALID_UTF8,
+    };
+    proto::encode_error(code, &e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServiceConfig;
+    use crate::net::client::Client;
+
+    fn start(config: NetConfig) -> (NetServer, Arc<Service>) {
+        let service = Arc::new(Service::new(ServiceConfig::with_threads(1)));
+        let server = NetServer::start(service.clone(), config).expect("bind loopback");
+        (server, service)
+    }
+
+    #[test]
+    fn commands_round_trip_over_tcp() {
+        let (server, _service) = start(NetConfig::default());
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let r = client.roundtrip("ASSERT edge(1, 2), edge(2, 3)").unwrap();
+        assert_eq!(r.status, "OK epoch=1 worlds=1 facts=2");
+        let r = client.roundtrip("QUERY CERTAIN edge").unwrap();
+        assert_eq!(r.data, ["= edge(1, 2)", "= edge(2, 3)"]);
+        assert_eq!(r.epoch(), Some(1));
+        let r = client.roundtrip("QUERY CERTAIN ghost").unwrap();
+        assert_eq!(r.err_code(), Some("unknown-relation"));
+        // errors do not poison the session
+        let r = client.roundtrip("STATS").unwrap();
+        assert!(r.is_ok());
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_commands_get_one_response_each() {
+        let (server, _service) = start(NetConfig::default());
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        for i in 0..16 {
+            client
+                .send(&format!("ASSERT edge({i}, {})", i + 1))
+                .unwrap();
+        }
+        for i in 0..16 {
+            let r = client.recv().unwrap();
+            assert_eq!(r.epoch(), Some(i + 1), "{}", r.status);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn quoted_newlines_cross_the_wire() {
+        let (server, _service) = start(NetConfig::default());
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let r = client.roundtrip("ASSERT note('one\ntwo')").unwrap();
+        assert!(r.is_ok(), "{}", r.status);
+        let r = client.roundtrip("QUERY POSSIBLE note").unwrap();
+        assert_eq!(r.data, ["= note('one\\ntwo')"]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_lines_are_refused_and_the_connection_closes() {
+        let (server, _service) = start(NetConfig {
+            max_line_bytes: 64,
+            ..NetConfig::default()
+        });
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let r = client
+            .roundtrip(&format!("ASSERT edge({}, 2)", "9".repeat(100)))
+            .unwrap();
+        assert_eq!(r.err_code(), Some("line-too-long"));
+        assert!(client.recv().is_err(), "the server must have closed");
+        server.shutdown();
+    }
+
+    #[test]
+    fn sessions_beyond_capacity_are_rejected_and_counted() {
+        let (server, service) = start(NetConfig {
+            max_sessions: 1,
+            ..NetConfig::default()
+        });
+        let mut first = Client::connect(server.local_addr()).unwrap();
+        assert!(first.roundtrip("STATS").unwrap().is_ok());
+        // the second connection is refused by the supervisor with an
+        // explicit status, then closed
+        let mut second = Client::connect(server.local_addr()).unwrap();
+        let rejected = second.recv().unwrap();
+        assert_eq!(rejected.err_code(), Some("unavailable"));
+        assert!(second.recv().is_err(), "rejected session must be closed");
+        let counters = service.session_counters();
+        // the acceptor may need a moment to process the second connection
+        for _ in 0..100 {
+            if counters.rejected.load(Ordering::Relaxed) == 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(counters.rejected.load(Ordering::Relaxed), 1);
+        assert_eq!(counters.accepted.load(Ordering::Relaxed), 2);
+        // the first session is still healthy
+        assert!(first.roundtrip("STATS").unwrap().is_ok());
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_sessions_are_closed_and_counted() {
+        let (server, service) = start(NetConfig {
+            idle_timeout: Duration::from_millis(50),
+            ..NetConfig::default()
+        });
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let r = client.recv().unwrap();
+        assert_eq!(r.err_code(), Some("idle-timeout"));
+        for _ in 0..100 {
+            if service
+                .session_counters()
+                .idle_closed
+                .load(Ordering::Relaxed)
+                == 1
+            {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(
+            service
+                .session_counters()
+                .idle_closed
+                .load(Ordering::Relaxed),
+            1
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_closes_live_sessions_gracefully() {
+        let (server, _service) = start(NetConfig::default());
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        assert!(client.roundtrip("STATS").unwrap().is_ok());
+        let flag = server.shutdown_flag();
+        flag.store(true, Ordering::SeqCst);
+        let r = client.recv().unwrap();
+        assert_eq!(r.err_code(), Some("shutting-down"));
+        let addr = server.local_addr();
+        server.shutdown();
+        // the listener is gone: new connections are refused (or, at worst,
+        // accepted by a later unrelated process — so only assert that *this*
+        // server no longer answers the protocol)
+        if let Ok(mut probe) = Client::connect(addr) {
+            assert!(probe.roundtrip("STATS").is_err());
+        }
+    }
+}

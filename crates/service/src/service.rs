@@ -16,7 +16,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError, Weak};
 
 use kbt_core::{ChainSession, EvalStats, Transform, Transformer};
 use kbt_data::{
@@ -25,7 +25,7 @@ use kbt_data::{
 
 use crate::command::{
     parse_define, parse_fact_list, parse_query, render_fact, render_relation, render_transform,
-    split_command, QueryCmd, Verb,
+    split_command, split_lines, QueryCmd, Verb,
 };
 use crate::config::ServiceConfig;
 use crate::error::{Result, ServiceError};
@@ -45,6 +45,47 @@ pub struct ServiceStats {
     pub defines: u64,
     /// Cumulative evaluator statistics over all commits.
     pub eval: EvalStats,
+}
+
+/// Shared connection/session counters for a network front serving this
+/// service.  The service owns one instance (so `STATS` can always report
+/// it — all zeros when no network front is attached) and a server bumps it
+/// through [`Service::session_counters`].
+#[derive(Debug, Default)]
+pub struct SessionCounters {
+    /// Connections accepted over the lifetime of the process.
+    pub accepted: AtomicU64,
+    /// Sessions currently being served (a gauge).
+    pub active: AtomicU64,
+    /// Connections refused because the session workers were at capacity.
+    pub rejected: AtomicU64,
+    /// Sessions closed by the idle timeout.
+    pub idle_closed: AtomicU64,
+}
+
+impl SessionCounters {
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            active: self.active.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            idle_closed: self.idle_closed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`SessionCounters`], carried by [`StatsReport`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionSnapshot {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Sessions currently active.
+    pub active: u64,
+    /// Connections rejected at capacity.
+    pub rejected: u64,
+    /// Sessions closed idle.
+    pub idle_closed: u64,
 }
 
 /// Registry metadata for one `DEFINE`d transformation, published with the
@@ -240,6 +281,15 @@ pub struct StatsReport {
     pub transforms: Vec<(String, String, u64)>,
     /// Writer-side cumulative counters as of the epoch.
     pub stats: ServiceStats,
+    /// Connection/session counters of the attached network front (all
+    /// zeros when the service is used in-process only).
+    pub sessions: SessionSnapshot,
+    /// Epochs with outstanding snapshot holders, as `(epoch, holders)` —
+    /// the report's own snapshot and the cell's reference to the current
+    /// epoch are excluded, so an entry means a *reader* is genuinely
+    /// holding that version alive.  A racy gauge by nature (snapshots come
+    /// and go concurrently), which is all eviction/GC planning needs.
+    pub held_epochs: Vec<(u64, u64)>,
 }
 
 /// A concurrent, multi-session knowledgebase service (see crate docs).
@@ -249,6 +299,13 @@ pub struct Service {
     writer: Mutex<Writer>,
     /// Read-path counter (queries never take the writer lock).
     queries: AtomicU64,
+    /// Session counters a network front bumps (zeros otherwise).
+    sessions: Arc<SessionCounters>,
+    /// Weak handles to every published version still alive somewhere:
+    /// `STATS` derives per-epoch snapshot holder counts from the strong
+    /// counts.  Pruned on every publish, so it holds at most one entry per
+    /// epoch a reader is still pinning (plus the current one).
+    holders: Mutex<Vec<(EpochId, Weak<Versioned<CommittedState>>)>>,
 }
 
 impl Default for Service {
@@ -270,6 +327,7 @@ impl Service {
             transforms: empty_meta.clone(),
             stats: ServiceStats::default(),
         });
+        let holders = Mutex::new(vec![(EpochId::ZERO, Arc::downgrade(&committed.load()))]);
         Service {
             config,
             committed,
@@ -281,7 +339,15 @@ impl Service {
                 stats: ServiceStats::default(),
             }),
             queries: AtomicU64::new(0),
+            sessions: Arc::new(SessionCounters::default()),
+            holders,
         }
+    }
+
+    /// The session counters a network front attached to this service
+    /// updates; `STATS` reports them (all zeros without a network front).
+    pub fn session_counters(&self) -> Arc<SessionCounters> {
+        self.sessions.clone()
     }
 
     /// The configuration in use.
@@ -329,7 +395,11 @@ impl Service {
     }
 
     fn script_at_depth(&self, text: &str, depth: usize) -> Result<Vec<Response>> {
-        text.lines()
+        // logical lines, not physical ones: a quoted constant may contain
+        // a newline, and the net framer segments its byte stream the same
+        // way — scripts mean the same thing locally and over the wire
+        split_lines(text)
+            .into_iter()
             .map(|line| self.execute_at_depth(line, depth))
             .collect()
     }
@@ -359,14 +429,22 @@ impl Service {
         self.writer.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Publishes the writer's current state as the next epoch.
+    /// Publishes the writer's current state as the next epoch and registers
+    /// it in the holder registry (pruning versions nobody holds anymore).
     fn publish(&self, w: &Writer) -> EpochId {
-        self.committed.publish(CommittedState {
+        let epoch = self.committed.publish(CommittedState {
             kb: w.kb.clone(),
             vocab: w.vocab.clone(),
             transforms: w.transforms_meta.clone(),
             stats: w.stats,
-        })
+        });
+        // Publishes serialize on the writer lock, so this load observes the
+        // version published one line above.
+        let current = self.committed.load();
+        let mut reg = self.holders.lock().unwrap_or_else(PoisonError::into_inner);
+        reg.retain(|(_, weak)| weak.strong_count() > 0);
+        reg.push((epoch, Arc::downgrade(&current)));
+        epoch
     }
 
     fn write_command(&self, verb: Verb, rest: &str) -> Result<Response> {
@@ -594,6 +672,21 @@ impl Service {
 
     fn stats_report(&self) -> StatsReport {
         let snap = self.snapshot();
+        let held_epochs = {
+            let mut reg = self.holders.lock().unwrap_or_else(PoisonError::into_inner);
+            reg.retain(|(_, weak)| weak.strong_count() > 0);
+            reg.iter()
+                .filter_map(|(epoch, weak)| {
+                    let mut holders = weak.strong_count() as u64;
+                    if *epoch == snap.epoch() {
+                        // exclude the cell's own reference and the snapshot
+                        // this report is being built from
+                        holders = holders.saturating_sub(2);
+                    }
+                    (holders > 0).then_some((epoch.get(), holders))
+                })
+                .collect()
+        };
         StatsReport {
             epoch: snap.epoch(),
             worlds: snap.kb().len(),
@@ -606,6 +699,8 @@ impl Service {
                 .map(|(name, info)| (name.clone(), info.text.to_string(), info.applications))
                 .collect(),
             stats: *snap.stats(),
+            sessions: self.sessions.snapshot(),
+            held_epochs,
         }
     }
 }
@@ -704,6 +799,22 @@ impl fmt::Display for Response {
                     report.stats.eval.reused_facts,
                     report.stats.eval.rederived_facts
                 )?;
+                write!(
+                    f,
+                    "\n  sessions: accepted {}, active {}, rejected-at-capacity {}, idle-closed {}",
+                    report.sessions.accepted,
+                    report.sessions.active,
+                    report.sessions.rejected,
+                    report.sessions.idle_closed
+                )?;
+                if !report.held_epochs.is_empty() {
+                    let held: Vec<String> = report
+                        .held_epochs
+                        .iter()
+                        .map(|(epoch, holders)| format!("e{epoch} x{holders}"))
+                        .collect();
+                    write!(f, "\n  held epochs: {}", held.join(", "))?;
+                }
                 for (name, text, applications) in &report.transforms {
                     write!(f, "\n  transform {name} := {text} (applied {applications}x)")?;
                 }
@@ -908,6 +1019,60 @@ mod tests {
         match s.execute("QUERY POSSIBLE flight").unwrap() {
             Response::Facts { facts, .. } => {
                 assert_eq!(facts, vec!["flight('Toronto', 'Ottawa')".to_string()]);
+            }
+            other => panic!("expected Facts, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_reports_held_epochs_and_session_counters() {
+        let s = service();
+        s.execute("ASSERT edge(1, 2)").unwrap();
+        let held = s.snapshot(); // pin epoch 1
+        s.execute("ASSERT edge(2, 3)").unwrap(); // epoch 2
+        match s.execute("STATS").unwrap() {
+            Response::Stats(report) => {
+                assert_eq!(report.sessions, SessionSnapshot::default());
+                assert_eq!(
+                    report.held_epochs,
+                    vec![(1, 1)],
+                    "the pinned epoch-1 snapshot must show up as a holder"
+                );
+            }
+            other => panic!("expected Stats, got {other:?}"),
+        }
+        drop(held);
+        match s.execute("STATS").unwrap() {
+            Response::Stats(report) => {
+                assert!(
+                    report.held_epochs.is_empty(),
+                    "nothing outstanding once the snapshot is dropped: {:?}",
+                    report.held_epochs
+                );
+            }
+            other => panic!("expected Stats, got {other:?}"),
+        }
+        // the counters the network front bumps are visible through STATS
+        s.session_counters()
+            .accepted
+            .fetch_add(3, Ordering::Relaxed);
+        match s.execute("STATS").unwrap() {
+            Response::Stats(report) => assert_eq!(report.sessions.accepted, 3),
+            other => panic!("expected Stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scripts_split_on_logical_lines() {
+        // a quoted constant containing a newline is one command
+        let s = service();
+        let responses = s
+            .execute_script("ASSERT note('line one\nline two')\nQUERY POSSIBLE note")
+            .unwrap();
+        assert_eq!(responses.len(), 2);
+        match &responses[1] {
+            Response::Facts { facts, .. } => {
+                assert_eq!(facts, &["note('line one\nline two')".to_string()]);
             }
             other => panic!("expected Facts, got {other:?}"),
         }

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# e2e_net.sh — end-to-end exercise of the network front, CI's e2e-net job.
+#
+# Starts kbt-serve on loopback, waits for its readiness line (NOT a TCP
+# probe: a probe connection would inflate the session counters and make
+# the STATS golden nondeterministic), drives a scripted session through
+# kbt-shell --connect, shuts the server down with SIGTERM (exercising the
+# graceful signal path — a non-zero exit here fails the job), and diffs
+# the client transcript against the committed golden file.
+#
+# Usage: scripts/e2e_net.sh [target-dir]   (default: target)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TARGET=${1:-target}
+BIN="$TARGET/release"
+PORT=${KBT_E2E_PORT:-7341}
+WORK=$(mktemp -d)
+trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+for bin in kbt-serve kbt-shell; do
+    [ -x "$BIN/$bin" ] || { echo "missing $BIN/$bin (cargo build --release first)" >&2; exit 1; }
+done
+
+# --threads 2 pins the width the STATS line reports, keeping the
+# transcript machine-independent
+"$BIN/kbt-serve" --addr "127.0.0.1:$PORT" --threads 2 >"$WORK/serve.log" 2>&1 &
+SERVE_PID=$!
+
+for _ in $(seq 1 100); do
+    grep -q "listening on" "$WORK/serve.log" 2>/dev/null && break
+    kill -0 "$SERVE_PID" 2>/dev/null || { echo "kbt-serve died:" >&2; cat "$WORK/serve.log" >&2; exit 1; }
+    sleep 0.1
+done
+grep -q "listening on" "$WORK/serve.log" || { echo "kbt-serve never became ready" >&2; cat "$WORK/serve.log" >&2; exit 1; }
+
+"$BIN/kbt-shell" --connect "127.0.0.1:$PORT" examples/net_client_session.kbt >"$WORK/transcript.txt"
+
+# graceful shutdown on signal: SIGTERM must yield exit code 0
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+echo "--- kbt-serve log ---"
+cat "$WORK/serve.log"
+
+diff -u tests/golden/net_session.golden "$WORK/transcript.txt" || {
+    echo "transcript differs from tests/golden/net_session.golden" >&2
+    exit 1
+}
+echo "e2e-net: transcript matches the golden file"

@@ -68,6 +68,16 @@
 //! batch runner; the `service_throughput` benchmark measures concurrent
 //! readers against a committing writer.
 //!
+//! The same language travels over TCP: `kbt-serve` is a std-only network
+//! front (one session per connection, bounded session workers with
+//! explicit rejection at capacity, idle timeouts, graceful signal
+//! shutdown) and `kbt-shell --connect host:port` runs the same scripts
+//! remotely.  See the wire-protocol section of the
+//! [`service`](kbt_service) crate docs for the framing and response
+//! grammar; the `net_throughput` benchmark measures pipelined round-trips
+//! under a committing writer, and CI's `e2e-net` job replays a golden
+//! session over a live socket.
+//!
 //! The engine's fixpoint rounds can also run **in parallel**:
 //! [`core::EvalOptions::threads`](kbt_core::EvalOptions) sets the
 //! evaluation width (`0` = the process default — `KBT_THREADS` or the

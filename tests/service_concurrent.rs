@@ -75,10 +75,12 @@ fn run_differential(threads: usize) {
 
     let service = Arc::new(Service::new(ServiceConfig::with_threads(threads)));
     let done = Arc::new(AtomicBool::new(false));
+    let started = Arc::new(std::sync::atomic::AtomicUsize::new(0));
     let readers: Vec<_> = (0..READERS)
         .map(|_| {
             let service = service.clone();
             let done = done.clone();
+            let started = started.clone();
             std::thread::spawn(move || {
                 let mut observed: Vec<(u64, Knowledgebase)> = Vec::new();
                 let mut last_epoch = 0u64;
@@ -94,6 +96,9 @@ fn run_differential(threads: usize) {
                         let possible = service.possible(&snap, rel);
                         assert!(certain.is_subset(&possible));
                     }
+                    if observed.is_empty() {
+                        started.fetch_add(1, Ordering::Relaxed);
+                    }
                     observed.push((epoch, snap.kb().clone()));
                 }
                 observed
@@ -104,6 +109,16 @@ fn run_differential(threads: usize) {
     service.execute(DEFINE).unwrap();
     for op in commit_ops() {
         service.execute(&op).unwrap();
+    }
+    // On a loaded single-core machine the readers may not have had a
+    // single slice yet; hold the "done" signal until each has observed at
+    // least one snapshot, so the assertions below are never vacuous.
+    // A reader that dies early exits the wait too — its panic surfaces at
+    // the join below instead of hanging this loop forever.
+    while started.load(Ordering::Relaxed) < READERS
+        && !readers.iter().any(std::thread::JoinHandle::is_finished)
+    {
+        std::thread::yield_now();
     }
     done.store(true, Ordering::Relaxed);
 
