@@ -1,0 +1,81 @@
+//! `metrics_overhead` — what the observability layer costs on the serving
+//! read path, and what its primitives cost in isolation.
+//!
+//! The acceptance bar is that instrumentation stays under 5% on the
+//! `service_throughput` read path: `snapshot_on` / `snapshot_off` and
+//! `query_on` / `query_off` run the identical workload with the timing
+//! spans enabled (the default) and disabled, so the recorded medians make
+//! the overhead directly comparable.  Counters record in both settings by
+//! design — only clock reads are gated — which is why the `_off` variants
+//! are not a zero-instrumentation baseline but the documented
+//! "disabled" cost model (one relaxed load per span site).
+//!
+//! The primitive benches (`counter_inc`, `histogram_record`,
+//! `span_enabled`, `span_disabled`) pin the per-operation costs the crate
+//! docs of `kbt-obs` promise.
+//!
+//! Run with `KBT_BENCH_JSON=BENCH_service.json` to record the medians.
+
+use kbt_bench::criterion::{black_box, criterion_group, criterion_main, Criterion};
+use kbt_bench::quick_criterion;
+use kbt_obs::Registry;
+use kbt_service::{Service, ServiceConfig};
+
+/// Chain length of the seeded graph (same shape as `service_throughput`).
+const EDGES: u32 = 100;
+
+fn seeded_service() -> Service {
+    let service = Service::new(ServiceConfig::default());
+    for i in 0..EDGES {
+        service
+            .execute(&format!("ASSERT edge({i}, {})", i + 1))
+            .expect("assert");
+    }
+    service
+}
+
+fn set_enabled(service: &Service, enabled: bool) {
+    service.obs_registry().set_enabled(enabled);
+    Registry::global().set_enabled(enabled);
+}
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics_overhead");
+    let service = seeded_service();
+    const QUERY: &str = "QUERY CERTAIN edge";
+
+    // timing spans enabled — the default serving configuration
+    group.bench_function("snapshot_on", |b| {
+        b.iter(|| black_box(service.snapshot().epoch()))
+    });
+    group.bench_function("query_on", |b| {
+        b.iter(|| black_box(service.execute(QUERY).expect("query")))
+    });
+
+    // timing spans disabled — every span site degrades to one relaxed load
+    set_enabled(&service, false);
+    group.bench_function("snapshot_off", |b| {
+        b.iter(|| black_box(service.snapshot().epoch()))
+    });
+    group.bench_function("query_off", |b| {
+        b.iter(|| black_box(service.execute(QUERY).expect("query")))
+    });
+    set_enabled(&service, true);
+
+    // primitive costs, on a private registry
+    let registry = Registry::new();
+    let counter = registry.counter("bench_counter");
+    group.bench_function("counter_inc", |b| b.iter(|| counter.inc()));
+    let hist = registry.histogram("bench_hist_ns");
+    group.bench_function("histogram_record", |b| {
+        b.iter(|| hist.record(black_box(1234)))
+    });
+    group.bench_function("span_enabled", |b| b.iter(|| drop(hist.span())));
+    registry.set_enabled(false);
+    group.bench_function("span_disabled", |b| b.iter(|| drop(hist.span())));
+
+    group.finish();
+}
+
+criterion_group!(name = metrics; config = quick_criterion(); targets = benches);
+criterion_main!(metrics);

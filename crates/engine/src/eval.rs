@@ -100,6 +100,8 @@ pub fn evaluate_with(
     edb: &Database,
     options: EngineOptions,
 ) -> Result<(Database, EngineStats)> {
+    let metrics = crate::metrics::metrics();
+    let _eval_span = metrics.eval_ns.span();
     let width = kbt_par::resolve_threads(options.threads);
     let mut storage = IndexStorage::from_database(edb);
     for program in strata {
@@ -119,6 +121,8 @@ pub fn evaluate_with(
             }
         }
     }
+    metrics.evals_total.inc();
+    metrics.absorb_stats(&stats);
     Ok((storage.to_database(), stats))
 }
 
@@ -338,8 +342,10 @@ pub(crate) fn eval_stratum_naive(
 ) {
     let no_deltas = Deltas::new();
     let plans: Vec<(&PlannedRule, &JoinPlan)> = rules.iter().map(|r| (r, &r.full)).collect();
+    let round_ns = &crate::metrics::metrics().round_ns;
     loop {
         stats.iterations += 1;
+        let _round_span = round_ns.span();
         let pending = run_round(&plans, storage, &no_deltas, stats, width);
         if pending.is_empty() {
             break;
@@ -370,15 +376,19 @@ pub(crate) fn eval_stratum_semi_naive(
     stats: &mut EngineStats,
     width: usize,
 ) {
+    let round_ns = &crate::metrics::metrics().round_ns;
     // Seeding round: one full evaluation populates the first delta.
     stats.iterations += 1;
     let no_deltas = Deltas::new();
     let plans: Vec<(&PlannedRule, &JoinPlan)> = rules.iter().map(|r| (r, &r.full)).collect();
+    let seed_span = round_ns.span();
     let pending = run_round(&plans, storage, &no_deltas, stats, width);
     let mut delta = commit(storage, pending, stats);
+    drop(seed_span);
 
     while !delta.is_empty() {
         stats.iterations += 1;
+        let _round_span = round_ns.span();
         let plans = delta_plans(rules, &delta);
         let pending = run_round(&plans, storage, &delta, stats, width);
         delta = commit(storage, pending, stats);

@@ -91,6 +91,7 @@ impl IncrementalSession {
     /// `1` = exact sequential path).  The maintained fixpoint and all
     /// statistics are identical at every width.
     pub fn with_threads(strata: &[Program], edb: &Database, threads: usize) -> Result<Self> {
+        let _eval_span = crate::metrics::metrics().eval_ns.span();
         let width = kbt_par::resolve_threads(threads);
         let mut storage = IndexStorage::from_database(edb);
         for program in strata {
@@ -144,6 +145,9 @@ impl IncrementalSession {
                 read_rels,
             });
         }
+        let metrics = crate::metrics::metrics();
+        metrics.evals_total.inc();
+        metrics.absorb_stats(&stats);
         Ok(IncrementalSession {
             strata: planned,
             idb,
@@ -185,6 +189,8 @@ impl IncrementalSession {
             }
         }
 
+        let metrics = crate::metrics::metrics();
+        let _delta_span = metrics.delta_ns.span();
         let mut stats = EngineStats::default();
         let count_before = self.storage.fact_count();
 
@@ -371,6 +377,8 @@ impl IncrementalSession {
 
         stats.reused_facts = count_before.saturating_sub(removed + cleared);
         self.totals.absorb(&stats);
+        metrics.deltas_total.inc();
+        metrics.absorb_stats(&stats);
         Ok(stats)
     }
 

@@ -69,6 +69,7 @@ pub mod eval;
 pub mod incremental;
 pub mod index;
 pub mod ir;
+pub mod metrics;
 pub mod plan;
 pub mod stats;
 pub mod storage;
@@ -77,6 +78,7 @@ pub use error::EngineError;
 pub use eval::{evaluate, evaluate_with, EngineOptions, EvalMode};
 pub use incremental::IncrementalSession;
 pub use index::{IndexedRelation, Mask};
+pub use metrics::{metrics, EngineMetrics};
 pub use stats::EngineStats;
 pub use storage::{FactSet, IndexStorage};
 

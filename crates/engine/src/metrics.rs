@@ -1,0 +1,73 @@
+//! Engine metrics on the process-wide [`kbt_obs::Registry`].
+//!
+//! These run *alongside* [`crate::EngineStats`], never instead of it:
+//! `EngineStats` is part of the deterministic evaluation contract
+//! (byte-identical at every thread width), while these registry series
+//! aggregate across every evaluation in the process and add wall-clock
+//! timing, which is inherently nondeterministic.  Nothing here is ever
+//! read back by the evaluator, so enabling or disabling observability
+//! cannot perturb fixpoints or stats.
+//!
+//! Timing (the `_ns` histograms) is gated on the global registry's
+//! enabled flag — one relaxed load per span when off.  The counters
+//! always accumulate; they are absorbed from the final `EngineStats` in
+//! one batch per evaluation, off the round hot path.
+
+use std::sync::OnceLock;
+
+use kbt_obs::{Counter, Histogram, Registry};
+
+use crate::stats::EngineStats;
+
+/// Handles onto the engine's series in [`Registry::global`].
+pub struct EngineMetrics {
+    /// `kbt_engine_evals_total` — completed from-scratch evaluations.
+    pub evals_total: Counter,
+    /// `kbt_engine_deltas_total` — completed incremental delta applications.
+    pub deltas_total: Counter,
+    /// `kbt_engine_rounds_total` — fixpoint rounds across all evaluations.
+    pub rounds_total: Counter,
+    /// `kbt_engine_derived_facts_total` — facts newly derived.
+    pub derived_facts_total: Counter,
+    /// `kbt_engine_index_probes_total` — hash-index probes issued.
+    pub index_probes_total: Counter,
+    /// `kbt_engine_tuples_scanned_total` — tuples inspected by scans/probes.
+    pub tuples_scanned_total: Counter,
+    /// `kbt_engine_eval_ns` — whole-evaluation wall time.
+    pub eval_ns: Histogram,
+    /// `kbt_engine_round_ns` — per-fixpoint-round wall time (derive+commit).
+    pub round_ns: Histogram,
+    /// `kbt_engine_delta_ns` — per-incremental-delta wall time.
+    pub delta_ns: Histogram,
+}
+
+impl EngineMetrics {
+    /// Records the work counters of one finished evaluation or delta.
+    pub fn absorb_stats(&self, stats: &EngineStats) {
+        self.rounds_total.add(stats.iterations as u64);
+        self.derived_facts_total.add(stats.derived_facts as u64);
+        self.index_probes_total.add(stats.index_probes as u64);
+        self.tuples_scanned_total.add(stats.tuples_scanned as u64);
+    }
+}
+
+/// The engine's metric handles, registered once per process.  Calling
+/// this eagerly (e.g. at service startup) makes every engine series
+/// visible to scrapes before any evaluation has run.
+pub fn metrics() -> &'static EngineMetrics {
+    static METRICS: OnceLock<EngineMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = Registry::global();
+        EngineMetrics {
+            evals_total: r.counter("kbt_engine_evals_total"),
+            deltas_total: r.counter("kbt_engine_deltas_total"),
+            rounds_total: r.counter("kbt_engine_rounds_total"),
+            derived_facts_total: r.counter("kbt_engine_derived_facts_total"),
+            index_probes_total: r.counter("kbt_engine_index_probes_total"),
+            tuples_scanned_total: r.counter("kbt_engine_tuples_scanned_total"),
+            eval_ns: r.histogram("kbt_engine_eval_ns"),
+            round_ns: r.histogram("kbt_engine_round_ns"),
+            delta_ns: r.histogram("kbt_engine_delta_ns"),
+        }
+    })
+}

@@ -1,0 +1,263 @@
+//! Fixed-bucket log-scale histograms over `u64` samples.
+//!
+//! A [`HistogramCell`] is 64 `AtomicU64` buckets plus a running count and
+//! sum.  Bucket `i` (for `i < 63`) holds every sample whose bit length is
+//! `i`, i.e. samples in `[2^(i-1), 2^i - 1]`; bucket 0 holds exactly the
+//! sample `0`, and bucket 63 absorbs everything from `2^62` up.  Recording
+//! is one `fetch_add` per of bucket/count/sum — lock-free, wait-free on
+//! x86, and safe to call from any number of threads.
+//!
+//! [`HistogramSnapshot`] freezes a cell into plain integers.  Snapshots
+//! merge by element-wise addition, which is associative and commutative,
+//! so partial snapshots taken per-shard or per-process can be combined in
+//! any order and the result is identical — the property the service layer
+//! relies on when it merges its own registry with the process-global one.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one per possible bit length of a `u64` sample.
+pub const BUCKETS: usize = 64;
+
+/// Bucket index of a sample: its bit length, clamped to the last bucket.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        (64 - value.leading_zeros() as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `i`: `2^i - 1` (the last bucket is
+/// unbounded and reports `u64::MAX`).
+#[inline]
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// The shared, lock-free storage behind a histogram handle.
+#[derive(Debug)]
+pub struct HistogramCell {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for HistogramCell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HistogramCell {
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample (three relaxed `fetch_add`s).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Freezes the cell into plain integers.  Concurrent recording is
+    /// fine: the snapshot is some valid interleaving, and count/sum may
+    /// trail the buckets by in-flight records — never the reverse kind of
+    /// inconsistency that would make cumulative rendering go negative.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A frozen histogram: plain integers, mergeable by element-wise addition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see module docs for the bucket scheme).
+    pub buckets: [u64; BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples (wrapping add on overflow).
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Element-wise addition — associative and commutative, so any merge
+    /// order over any partition of the samples yields the same snapshot.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a = a.wrapping_add(*b);
+        }
+        self.count = self.count.wrapping_add(other.count);
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile sample
+    /// (`0.0 ..= 1.0`), or `None` when empty.  Resolution is one bucket,
+    /// i.e. a factor of two — plenty for latency triage.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return Some(bucket_upper_bound(i));
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// Index of the highest non-empty bucket, or `None` when empty.
+    pub fn max_bucket(&self) -> Option<usize> {
+        self.buckets.iter().rposition(|&b| b > 0)
+    }
+
+    /// Mean sample, or `None` when empty.
+    pub fn mean(&self) -> Option<u64> {
+        self.sum.checked_div(self.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        // 0 is alone in bucket 0.
+        assert_eq!(bucket_index(0), 0);
+        // Bucket i covers [2^(i-1), 2^i - 1]: both edges land inside.
+        for i in 1..BUCKETS - 1 {
+            let lo = 1u64 << (i - 1);
+            let hi = (1u64 << i) - 1;
+            assert_eq!(bucket_index(lo), i, "low edge of bucket {i}");
+            assert_eq!(bucket_index(hi), i, "high edge of bucket {i}");
+            assert_eq!(bucket_upper_bound(i), hi);
+        }
+        // The last bucket absorbs the top of the range.
+        assert_eq!(bucket_index(1u64 << 62), 63);
+        assert_eq!(bucket_index(u64::MAX), 63);
+        assert_eq!(bucket_upper_bound(63), u64::MAX);
+        // A sample never lands above its le bound and always lands above
+        // the previous one.
+        for v in [1u64, 2, 3, 4, 7, 8, 100, 1023, 1024, 1 << 40] {
+            let i = bucket_index(v);
+            assert!(v <= bucket_upper_bound(i));
+            assert!(i == 0 || v > bucket_upper_bound(i - 1));
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        use std::sync::Arc;
+        let cell = Arc::new(HistogramCell::new());
+        let threads = 8;
+        let per_thread = 1000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let cell = Arc::clone(&cell);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        cell.record(t as u64 * per_thread + i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = cell.snapshot();
+        assert_eq!(snap.count, threads as u64 * per_thread);
+        assert_eq!(snap.buckets.iter().sum::<u64>(), snap.count);
+        let expect_sum: u64 = (0..threads as u64 * per_thread).sum();
+        assert_eq!(snap.sum, expect_sum);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let mk = |samples: &[u64]| {
+            let c = HistogramCell::new();
+            for &s in samples {
+                c.record(s);
+            }
+            c.snapshot()
+        };
+        let a = mk(&[0, 1, 5, 1 << 20]);
+        let b = mk(&[3, 3, 3, u64::MAX]);
+        let c = mk(&[7, 1 << 40]);
+
+        // (a + b) + c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a + (b + c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+
+        // b + a == a + b
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+
+        // The merged snapshot equals one pass over all samples.
+        let all = mk(&[0, 1, 5, 1 << 20, 3, 3, 3, u64::MAX, 7, 1 << 40]);
+        assert_eq!(left, all);
+    }
+
+    #[test]
+    fn quantiles_report_bucket_upper_bounds() {
+        let c = HistogramCell::new();
+        assert_eq!(c.snapshot().quantile(0.5), None);
+        for v in [1u64, 2, 4, 8, 1000] {
+            c.record(v);
+        }
+        let s = c.snapshot();
+        assert_eq!(s.quantile(0.0), Some(1)); // 1 is in bucket 1, le=1
+        assert_eq!(s.quantile(0.5), Some(bucket_upper_bound(bucket_index(4))));
+        assert_eq!(
+            s.quantile(1.0),
+            Some(bucket_upper_bound(bucket_index(1000)))
+        );
+        assert_eq!(s.mean(), Some((1 + 2 + 4 + 8 + 1000) / 5));
+    }
+}

@@ -1,0 +1,48 @@
+//! # kbt-obs — metrics, spans, and structured logs for the kbt workspace
+//!
+//! A std-only observability layer: a [`Registry`] of named [`Counter`]s,
+//! [`Gauge`]s and fixed-bucket log-scale [`Histogram`]s (lock-free
+//! `AtomicU64` storage, mergeable snapshots), a drop-timed [`Span`] API,
+//! and pluggable structured-log [`LogSink`]s (key=value text or JSON).
+//!
+//! ## Scopes
+//!
+//! Library crates (engine, par) record into the process-wide
+//! [`Registry::global`].  The service layer gives each `Service` its own
+//! `Registry::new()` so concurrent instances never share state, and
+//! merges both snapshots when serving the `METRICS` wire command.
+//!
+//! ## Cost model
+//!
+//! * Counter/gauge update: one relaxed `fetch_add` — always on, because
+//!   `STATS`-style bookkeeping rides on them.
+//! * Histogram record: three relaxed `fetch_add`s.
+//! * Span with timing disabled ([`Registry::set_enabled`]): one relaxed
+//!   load, no clock read, nothing recorded.
+//! * Span with timing enabled: two clock reads plus one histogram record;
+//!   a sink lock is only taken for spans crossing the slow threshold.
+//!
+//! Nothing here feeds back into evaluation: enabling or disabling
+//! observability cannot perturb fixpoints or `EngineStats` (the engine's
+//! deterministic counters), which stay byte-identical at every thread
+//! width either way.
+//!
+//! ## Exposition
+//!
+//! [`RegistrySnapshot::render`] produces Prometheus-style text: a
+//! `# TYPE` line per family, `name value` samples with integer values,
+//! and histograms expanded into cumulative `_bucket{le="2^i-1"}` /
+//! `_sum` / `_count` samples.  See the grammar on
+//! [`RegistrySnapshot::render`].
+
+mod histogram;
+mod registry;
+mod sink;
+mod span;
+
+pub use histogram::{bucket_index, bucket_upper_bound, HistogramCell, HistogramSnapshot, BUCKETS};
+pub use registry::{
+    Counter, Gauge, Histogram, MetricKind, MetricSnapshot, Registry, RegistrySnapshot,
+};
+pub use sink::{format_record, LogFormat, LogSink, MemorySink, Record, StderrSink};
+pub use span::Span;

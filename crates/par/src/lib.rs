@@ -1,4 +1,4 @@
-//! # kbt-par — a dependency-free scoped thread pool
+//! # kbt-par — a std-only scoped thread pool
 //!
 //! The fixpoint engine wants to fan the independent derivations of a
 //! semi-naive round out across cores.  The usual answer is `rayon`, but this
@@ -62,9 +62,11 @@
 //! front, where a session outlives any one call stack and "reject at
 //! capacity" is the correct overload behaviour.
 
+pub mod metrics;
 mod pool;
 mod worker_set;
 
+pub use metrics::{metrics, ParMetrics};
 pub use pool::{chunk_size, Scope, ThreadPool};
 pub use worker_set::WorkerSet;
 

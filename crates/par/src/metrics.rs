@@ -1,0 +1,40 @@
+//! Pool metrics on the process-wide [`kbt_obs::Registry`].
+//!
+//! Counters only — the pool adds no spans of its own (scope latency is
+//! visible through the engine's round histograms).  Counting is one
+//! relaxed `fetch_add` per event and never influences scheduling, so the
+//! callers' determinism contract is untouched.
+
+use std::sync::OnceLock;
+
+use kbt_obs::{Counter, Registry};
+
+/// Handles onto the pool's series in [`Registry::global`].
+pub struct ParMetrics {
+    /// `kbt_par_scopes_total` — scopes opened on the shared pool.
+    pub scopes_total: Counter,
+    /// `kbt_par_contended_scopes_total` — scopes that wanted helpers while
+    /// another scope held the pool and therefore ran caller-only.
+    pub contended_scopes_total: Counter,
+    /// `kbt_par_workerset_jobs_total` — jobs admitted by a [`crate::WorkerSet`].
+    pub workerset_jobs_total: Counter,
+    /// `kbt_par_workerset_rejected_total` — jobs refused at capacity (or
+    /// during shutdown).
+    pub workerset_rejected_total: Counter,
+}
+
+/// The pool's metric handles, registered once per process.  Call eagerly
+/// (e.g. at service startup) to make the series visible to scrapes before
+/// any parallel work has run.
+pub fn metrics() -> &'static ParMetrics {
+    static METRICS: OnceLock<ParMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let r = Registry::global();
+        ParMetrics {
+            scopes_total: r.counter("kbt_par_scopes_total"),
+            contended_scopes_total: r.counter("kbt_par_contended_scopes_total"),
+            workerset_jobs_total: r.counter("kbt_par_workerset_jobs_total"),
+            workerset_rejected_total: r.counter("kbt_par_workerset_rejected_total"),
+        }
+    })
+}

@@ -273,6 +273,7 @@ impl ThreadPool {
     where
         F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> R,
     {
+        crate::metrics::metrics().scopes_total.inc();
         let helpers_wanted = width.saturating_sub(1).min(MAX_HELPERS);
         let shared = Arc::new(ScopeShared::new(helpers_wanted));
         let installed = if helpers_wanted > 0 {
@@ -280,6 +281,7 @@ impl ThreadPool {
             let installed = self.install(&shared);
             if !installed {
                 self.contended.fetch_add(1, Ordering::Relaxed);
+                crate::metrics::metrics().contended_scopes_total.inc();
             }
             installed
         } else {

@@ -96,8 +96,10 @@ impl WorkerSet {
     {
         let mut st = self.shared.lock();
         if st.shutdown || st.busy + st.queue.len() >= self.workers.len() + self.queue_cap {
+            crate::metrics::metrics().workerset_rejected_total.inc();
             return false;
         }
+        crate::metrics::metrics().workerset_jobs_total.inc();
         st.queue.push_back(Box::new(job));
         // notify_all, not notify_one: the condvar is shared with
         // `wait_idle`, and a single wakeup could land on that waiter (which

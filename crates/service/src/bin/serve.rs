@@ -8,21 +8,30 @@
 //! ```text
 //! kbt-serve [--addr HOST:PORT] [--threads N] [--max-sessions N]
 //!           [--idle-timeout-ms N] [--preload script.kbt]
+//!           [--log-format text|json] [--slow-query-ms N]
 //! ```
 //!
 //! * `--addr` defaults to `127.0.0.1:7341`; port `0` picks an ephemeral
 //!   port (the `listening on` line names the actual one).
 //! * `--preload` runs a script server-side before accepting connections —
 //!   initial state, not a client session.
+//! * `--log-format` installs a structured stderr log sink (`text` =
+//!   `key=value` lines, `json` = one object per line) for session
+//!   lifecycle events and slow spans.
+//! * `--slow-query-ms` sets the slow-span threshold: any timed span at or
+//!   over it (`slow_query` with the query text, commit phases, per-verb
+//!   command spans) is logged.  Implies `--log-format text` unless
+//!   `--log-format` says otherwise; `0` is rejected — it would log every
+//!   span and means "off" in no convention this workspace uses.
 //! * SIGINT / SIGTERM shut down gracefully: the acceptor stops, live
 //!   sessions are told `ERR shutting-down` at their next poll tick, every
 //!   thread is joined, and the process exits 0.
 
 use std::process::ExitCode;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
+use kbt_obs::{LogFormat, StderrSink};
 use kbt_service::net::{NetConfig, NetServer};
 use kbt_service::{Service, ServiceConfig};
 
@@ -33,6 +42,8 @@ fn main() -> ExitCode {
         ..NetConfig::default()
     };
     let mut preload: Option<String> = None;
+    let mut log_format: Option<LogFormat> = None;
+    let mut slow_query_ms: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -86,10 +97,32 @@ fn main() -> ExitCode {
                 };
                 preload = Some(path);
             }
+            "--log-format" => {
+                let Some(format) = args.next().as_deref().and_then(LogFormat::parse) else {
+                    eprintln!("--log-format needs 'text' or 'json'");
+                    return ExitCode::FAILURE;
+                };
+                log_format = Some(format);
+            }
+            "--slow-query-ms" => {
+                // 0 is rejected: it would log *every* span, and `0 = off`
+                // is a convention nothing else in this workspace uses —
+                // same footgun policy as --idle-timeout-ms
+                let Some(n) = args
+                    .next()
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .filter(|&n| n > 0)
+                else {
+                    eprintln!("--slow-query-ms needs a positive integer");
+                    return ExitCode::FAILURE;
+                };
+                slow_query_ms = Some(n);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: kbt-serve [--addr HOST:PORT] [--threads N] [--max-sessions N] \
-                     [--idle-timeout-ms N] [--preload script.kbt]"
+                     [--idle-timeout-ms N] [--preload script.kbt] \
+                     [--log-format text|json] [--slow-query-ms N]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -101,6 +134,18 @@ fn main() -> ExitCode {
     }
 
     let service = Arc::new(Service::new(config));
+    if log_format.is_some() || slow_query_ms.is_some() {
+        service
+            .obs_registry()
+            .set_sink(Some(Arc::new(StderrSink::new(
+                log_format.unwrap_or(LogFormat::Text),
+            ))));
+    }
+    if let Some(ms) = slow_query_ms {
+        service
+            .obs_registry()
+            .set_slow_span_ns(ms.saturating_mul(1_000_000));
+    }
     if let Some(path) = preload {
         let text = match std::fs::read_to_string(&path) {
             Ok(text) => text,
@@ -142,9 +187,9 @@ fn main() -> ExitCode {
     println!(
         "kbt-serve shut down at epoch {} ({} session(s) accepted, {} rejected, {} idle-closed)",
         service.epoch(),
-        counters.accepted.load(Ordering::Relaxed),
-        counters.rejected.load(Ordering::Relaxed),
-        counters.idle_closed.load(Ordering::Relaxed)
+        counters.accepted.get(),
+        counters.rejected.get(),
+        counters.idle_closed.get()
     );
     ExitCode::SUCCESS
 }

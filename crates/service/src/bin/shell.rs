@@ -12,6 +12,10 @@
 //!   A line ending inside an open `'…'` quote continues onto the next one.
 //! * `--threads N` — set the evaluation width explicitly (local mode only;
 //!   a server's width is fixed server-side).
+//! * `--time` — print each command's client-observed latency to **stderr**
+//!   (stdout transcripts stay byte-identical), and a summary at exit from
+//!   the same log-scale histogram the server-side metrics use.  With
+//!   `--connect` that is the full round trip over the wire.
 //!
 //! Scripts are segmented into **logical** command lines (a quoted constant
 //! may contain newlines) by the same splitter the service and the network
@@ -19,7 +23,9 @@
 
 use std::io::{BufRead, IsTerminal, Write};
 use std::process::ExitCode;
+use std::time::Instant;
 
+use kbt_obs::HistogramCell;
 use kbt_service::command::{quote_open, split_lines};
 use kbt_service::net::Client;
 use kbt_service::{Response, Service, ServiceConfig};
@@ -28,6 +34,7 @@ fn main() -> ExitCode {
     let mut scripts = Vec::new();
     let mut config = ServiceConfig::default();
     let mut connect: Option<String> = None;
+    let mut time = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -52,8 +59,11 @@ fn main() -> ExitCode {
                 };
                 connect = Some(addr);
             }
+            "--time" => time = true,
             "--help" | "-h" => {
-                println!("usage: kbt-shell [--threads N] [--connect HOST:PORT] [script …]");
+                println!(
+                    "usage: kbt-shell [--threads N] [--connect HOST:PORT] [--time] [script …]"
+                );
                 println!("       (no scripts: interactive REPL on stdin)");
                 return ExitCode::SUCCESS;
             }
@@ -61,7 +71,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let mut backend = match connect {
+    let backend = match connect {
         Some(addr) => match Client::connect(addr.as_str()) {
             Ok(client) => Backend::Remote(client),
             Err(e) => {
@@ -69,18 +79,68 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         },
-        None => Backend::Local(Service::new(config)),
+        None => Backend::Local(Box::new(Service::new(config))),
     };
-    if scripts.is_empty() {
-        repl(&mut backend)
+    let mut shell = Shell {
+        backend,
+        timing: time.then(|| Box::new(HistogramCell::new())),
+    };
+    let code = if scripts.is_empty() {
+        repl(&mut shell)
     } else {
-        batch(&mut backend, &scripts)
+        batch(&mut shell, &scripts)
+    };
+    shell.report_timing();
+    code
+}
+
+/// The backend plus the optional `--time` instrumentation around it.
+struct Shell {
+    backend: Backend,
+    /// When `--time` is set: the latency histogram every command records
+    /// into (the same log-scale cell the server-side metrics use).
+    timing: Option<Box<HistogramCell>>,
+}
+
+impl Shell {
+    /// Runs one command through the backend, timing it when `--time` is
+    /// set.  The latency line goes to stderr so stdout transcripts stay
+    /// byte-identical with and without the flag.
+    fn run(&mut self, command: &str, err_line: impl FnOnce() -> String) -> bool {
+        let Some(cell) = &self.timing else {
+            return self.backend.run(command, err_line);
+        };
+        let start = Instant::now();
+        let ok = self.backend.run(command, err_line);
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        cell.record(ns);
+        let verb = command.split_whitespace().next().unwrap_or("");
+        eprintln!("time: {:.3} ms  {verb}", ns as f64 / 1e6);
+        ok
+    }
+
+    /// The `--time` exit summary (quantiles are log-bucket upper bounds,
+    /// hence the `<=`).
+    fn report_timing(&self) {
+        let Some(cell) = &self.timing else { return };
+        let snap = cell.snapshot();
+        if snap.count == 0 {
+            return;
+        }
+        let q = |q: f64| snap.quantile(q).unwrap_or(0);
+        eprintln!(
+            "time: {} command(s), p50<={}ns p90<={}ns max<={}ns",
+            snap.count,
+            q(0.5),
+            q(0.9),
+            q(1.0)
+        );
     }
 }
 
 /// Where commands go: an in-process service or a remote `kbt-serve`.
 enum Backend {
-    Local(Service),
+    Local(Box<Service>),
     Remote(Client),
 }
 
@@ -142,7 +202,7 @@ fn is_nop(line: &str) -> bool {
 
 /// Runs every script, one logical command line at a time, printing each
 /// response and stopping at the first error.
-fn batch(backend: &mut Backend, scripts: &[String]) -> ExitCode {
+fn batch(shell: &mut Shell, scripts: &[String]) -> ExitCode {
     for path in scripts {
         let text = match std::fs::read_to_string(path) {
             Ok(text) => text,
@@ -158,7 +218,7 @@ fn batch(backend: &mut Backend, scripts: &[String]) -> ExitCode {
             if is_nop(command) {
                 continue;
             }
-            if !backend.run(command, || at) {
+            if !shell.run(command, || at) {
                 return ExitCode::FAILURE;
             }
         }
@@ -168,13 +228,14 @@ fn batch(backend: &mut Backend, scripts: &[String]) -> ExitCode {
 
 /// Interactive loop: one command per line (continued while a quote stays
 /// open), errors do not end the session.
-fn repl(backend: &mut Backend) -> ExitCode {
+fn repl(shell: &mut Shell) -> ExitCode {
     let interactive = std::io::stdin().is_terminal();
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
     if interactive {
         println!(
-            "kbt-service shell — commands: LOAD, ASSERT, RETRACT, DEFINE, APPLY, QUERY, STATS"
+            "kbt-service shell — commands: LOAD, ASSERT, RETRACT, DEFINE, APPLY, QUERY, STATS, \
+             METRICS"
         );
     }
     let mut pending = String::new();
@@ -190,7 +251,7 @@ fn repl(backend: &mut Backend) -> ExitCode {
                 // trailer errors — locally from the parser, remotely from
                 // the client-side unterminated-quote check)
                 if !pending.is_empty() && !is_nop(&pending) {
-                    backend.run(&pending, || "stdin".to_string());
+                    shell.run(&pending, || "stdin".to_string());
                 }
                 return ExitCode::SUCCESS;
             }
@@ -202,7 +263,7 @@ fn repl(backend: &mut Backend) -> ExitCode {
                 let command = std::mem::take(&mut pending);
                 let command = command.strip_suffix('\n').unwrap_or(&command);
                 if !is_nop(command) {
-                    backend.run(command, || "error".to_string());
+                    shell.run(command, || "error".to_string());
                 }
             }
             Err(e) => {

@@ -18,6 +18,7 @@
 //!           | QUERY POSSIBLE <relation>         -- snapshot read: facts true in some world
 //!           | QUERY <texpr>                     -- snapshot read: evaluate an expression
 //!           | STATS                             -- service counters
+//!           | METRICS                           -- metrics text exposition
 //!           | "#" …                             -- comment (ignored), as are blank lines
 //!
 //! texpr    := step (";" step)*
@@ -49,6 +50,9 @@ pub enum Verb {
     Apply,
     Query,
     Stats,
+    /// `METRICS` — the Prometheus-style text exposition of every metric
+    /// (see the crate-level *Observability* section).
+    Metrics,
 }
 
 /// A parsed `QUERY` payload.
@@ -173,6 +177,7 @@ pub fn split_command(line: &str) -> Result<(Verb, &str)> {
         "APPLY" => Verb::Apply,
         "QUERY" => Verb::Query,
         "STATS" => Verb::Stats,
+        "METRICS" => Verb::Metrics,
         other => return Err(parse_err(format!("unknown command {other:?}"))),
     };
     Ok((verb, rest))

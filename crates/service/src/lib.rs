@@ -57,6 +57,7 @@
 //! QUERY POSSIBLE <relation>     snapshot read: facts true in some world
 //! QUERY <texpr>                 snapshot read: evaluate an expression
 //! STATS                         epoch, worlds, counters, registry
+//! METRICS                       metrics text exposition (see Observability)
 //!
 //! texpr := step (";" step)*
 //! step  := tau[<sentence>] | glb | lub | id | project[<relation>, …]
@@ -111,6 +112,82 @@
 //! `tests/golden/net_session.golden`; `tests/net_concurrent.rs` checks
 //! concurrent TCP readers against a sequential oracle byte-for-byte.
 //!
+//! ## Observability
+//!
+//! Every serving layer records into `kbt-obs` ([`kbt_obs::Registry`]):
+//! each [`Service`] owns a **per-instance** registry (two services never
+//! share a counter — essential for tests and embedded use), while the
+//! library crates underneath (`kbt-engine`, `kbt-par`) record into the
+//! process-global one.  The `METRICS` command merges both and returns a
+//! Prometheus-style text exposition, one `= `-prefixed data line per
+//! sample over the wire:
+//!
+//! ```text
+//! exposition := family*
+//! family     := "# TYPE " base-name " " ("counter"|"gauge"|"histogram") "\n" sample*
+//! sample     := series-name " " integer "\n"
+//! ```
+//!
+//! Histograms are 64-bucket log-scale cells; they expand into cumulative
+//! `<base>_bucket{le="2^i - 1"}` samples (nanoseconds for `_ns` series), a
+//! `+Inf` bucket and `_sum` / `_count` samples.  Counters and byte-size
+//! style histograms record **always** (they are deterministic inputs and
+//! the truth `STATS` reports); only *timing spans* are gated by the
+//! registry's enabled flag — one relaxed load when disabled — and
+//! `tests/metrics_differential.rs` proves fixpoints and `EngineStats` stay
+//! byte-identical at widths 1 and 4 whether metrics are on or off.
+//!
+//! The catalogue (CI scrapes a live server and asserts every name below
+//! appears — keep this list in sync with [`metrics`]):
+//!
+//! * `kbt_service_commits_total` (counter): committed epochs.
+//! * `kbt_service_applies_total` (counter): `APPLY` commits.
+//! * `kbt_service_defines_total` (counter): `DEFINE` commands.
+//! * `kbt_service_queries_total` (counter): snapshot reads served.
+//! * `kbt_service_snapshots_total` (counter): MVCC snapshots taken.
+//! * `kbt_service_epoch` (gauge): the committed epoch.
+//! * `kbt_service_held_epochs` (gauge): past epochs still pinned by readers.
+//! * `kbt_service_held_epoch_lag` (gauge): age of the oldest pinned epoch.
+//! * `kbt_service_commit_parse_ns` (histogram): commit phase — parse.
+//! * `kbt_service_commit_apply_ns` (histogram): commit phase — apply/evaluate.
+//! * `kbt_service_commit_publish_ns` (histogram): commit phase — publish.
+//! * `kbt_service_commit_batch_facts` (histogram): facts per fact commit.
+//! * `kbt_service_query_ns` (histogram): textual `QUERY` latency (the
+//!   slow-query span).
+//! * `kbt_net_sessions_accepted_total` (counter): connections accepted.
+//! * `kbt_net_sessions_active` (gauge): sessions being served now.
+//! * `kbt_net_sessions_rejected_total` (counter): refused at capacity.
+//! * `kbt_net_sessions_idle_closed_total` (counter): closed by idle timeout.
+//! * `kbt_net_command_ns` (histogram): per-verb wire command latency,
+//!   labelled `{verb="nop"|"load"|"assert"|"retract"|"define"|"apply"|
+//!   "query"|"stats"|"metrics"|"error"}` — all pre-registered at server
+//!   start.
+//! * `kbt_net_framing_errors_total` (counter): lines the framer refused.
+//! * `kbt_engine_evals_total` (counter): from-scratch fixpoint evaluations.
+//! * `kbt_engine_deltas_total` (counter): incremental delta applications.
+//! * `kbt_engine_rounds_total` (counter): semi-naive rounds run.
+//! * `kbt_engine_derived_facts_total` (counter): facts derived.
+//! * `kbt_engine_index_probes_total` (counter): index probes.
+//! * `kbt_engine_tuples_scanned_total` (counter): tuples scanned.
+//! * `kbt_engine_eval_ns` (histogram): full evaluation latency.
+//! * `kbt_engine_round_ns` (histogram): per-round latency.
+//! * `kbt_engine_delta_ns` (histogram): per-delta latency.
+//! * `kbt_par_scopes_total` (counter): pool scopes entered.
+//! * `kbt_par_contended_scopes_total` (counter): scopes that waited.
+//! * `kbt_par_workerset_jobs_total` (counter): worker-set jobs admitted.
+//! * `kbt_par_workerset_rejected_total` (counter): jobs refused at capacity.
+//!
+//! **Span taxonomy.**  Timed spans feed the `_ns` histograms above:
+//! `eval` / `round` / `delta` (engine), `commit_parse` / `commit_apply` /
+//! `commit_publish` (the commit pipeline), `slow_query` (textual queries;
+//! carries the query text), and the per-verb net command spans.  With
+//! `kbt-serve --log-format text|json` a structured stderr sink receives
+//! session lifecycle events (`session_open` / `session_close`, with the
+//! peer address) and — with `--slow-query-ms N` — every span at or over
+//! the threshold, e.g. `event=slow_query elapsed_ns=12345678
+//! query="QUERY CERTAIN path"`.  `STATS` and `METRICS` read the same
+//! counter cells; neither ever perturbs evaluation results.
+//!
 //! ## Example
 //!
 //! ```
@@ -130,12 +207,14 @@
 pub mod command;
 pub mod config;
 pub mod error;
+pub mod metrics;
 pub mod net;
 pub mod service;
 
 pub use command::{parse_transform, render_transform, QueryCmd, Verb};
 pub use config::ServiceConfig;
 pub use error::{Result, ServiceError};
+pub use metrics::{NetMetrics, ServiceMetrics};
 pub use net::{Client, LineFramer, NetConfig, NetServer, WireResponse};
 pub use service::{
     CommittedState, QueryResult, Response, Service, ServiceStats, SessionCounters, SessionSnapshot,

@@ -1,0 +1,178 @@
+//! The service's metric handles — the one place the whole name catalogue
+//! for the serving layers is constructed.
+//!
+//! A [`crate::Service`] owns a **per-instance** [`kbt_obs::Registry`]
+//! (tests and embedded services must not share counters through process
+//! globals); the library crates underneath it (`kbt-engine`, `kbt-par`)
+//! record into [`Registry::global`].  The `METRICS` command merges both
+//! snapshots, so one scrape sees every layer.
+//!
+//! Two families live here:
+//!
+//! * [`ServiceMetrics`] — the commit pipeline, the snapshot/query read
+//!   path, and the epoch-holder gauges.  Registered by [`crate::Service::new`].
+//! * [`NetMetrics`] — the TCP front: per-verb command latency and framing
+//!   errors.  Registered when a [`crate::net::NetServer`] starts, so an
+//!   in-process service carries no network series.
+//!
+//! The full catalogue (names, types, semantics) is documented in the
+//! crate-level *Observability* section, which the CI doc-drift check
+//! asserts against a live `METRICS` scrape.
+
+use kbt_obs::{Counter, Gauge, Histogram, Registry};
+
+use crate::command::Verb;
+
+/// Metric handles for the service core (commit pipeline + read path).
+#[derive(Debug)]
+pub struct ServiceMetrics {
+    /// The per-service registry every handle below records into.
+    pub registry: Registry,
+    /// Committed epochs — mirrors `ServiceStats::commits` (one truth,
+    /// written at publish time).
+    pub commits_total: Counter,
+    /// `APPLY` commits — mirrors `ServiceStats::applies`.
+    pub applies_total: Counter,
+    /// `DEFINE` commands — mirrors `ServiceStats::defines`.
+    pub defines_total: Counter,
+    /// Snapshot reads served (`QUERY CERTAIN/POSSIBLE/<texpr>`, typed or
+    /// textual) — the counter `STATS` reports as `queries`.
+    pub queries_total: Counter,
+    /// MVCC snapshots taken ([`crate::Service::snapshot`]).
+    pub snapshots_total: Counter,
+    /// The currently committed epoch.
+    pub epoch: Gauge,
+    /// Past epochs still pinned by at least one outstanding snapshot
+    /// (the current epoch is excluded).
+    pub held_epochs: Gauge,
+    /// Age of the oldest pinned epoch, in epochs behind the current one
+    /// (`0` when nothing old is held).
+    pub held_epoch_lag: Gauge,
+    /// Commit phase: parsing the command payload (under the writer lock).
+    pub commit_parse_ns: Histogram,
+    /// Commit phase: applying the change to the working state (world
+    /// updates / fixpoint evaluation).
+    pub commit_apply_ns: Histogram,
+    /// Commit phase: publishing the next epoch and pruning holders.
+    pub commit_publish_ns: Histogram,
+    /// Facts per `ASSERT`/`RETRACT` commit (a size, not a duration).
+    pub commit_batch_facts: Histogram,
+    /// End-to-end latency of textual `QUERY` commands (parse included);
+    /// the span that feeds the slow-query log (`slow_query` events).
+    pub query_ns: Histogram,
+}
+
+impl ServiceMetrics {
+    /// Registers every service-core series in `registry` (idempotent —
+    /// re-registration returns the same cells).
+    pub fn register(registry: Registry) -> Self {
+        ServiceMetrics {
+            commits_total: registry.counter("kbt_service_commits_total"),
+            applies_total: registry.counter("kbt_service_applies_total"),
+            defines_total: registry.counter("kbt_service_defines_total"),
+            queries_total: registry.counter("kbt_service_queries_total"),
+            snapshots_total: registry.counter("kbt_service_snapshots_total"),
+            epoch: registry.gauge("kbt_service_epoch"),
+            held_epochs: registry.gauge("kbt_service_held_epochs"),
+            held_epoch_lag: registry.gauge("kbt_service_held_epoch_lag"),
+            commit_parse_ns: registry.histogram("kbt_service_commit_parse_ns"),
+            commit_apply_ns: registry.histogram("kbt_service_commit_apply_ns"),
+            commit_publish_ns: registry.histogram("kbt_service_commit_publish_ns"),
+            commit_batch_facts: registry.histogram("kbt_service_commit_batch_facts"),
+            query_ns: registry.histogram("kbt_service_query_ns"),
+            registry,
+        }
+    }
+}
+
+/// The verbs a network command line can carry, as exposition label values
+/// (plus `"error"` for lines that fail verb parsing — they are timed too).
+pub(crate) const VERB_LABELS: [&str; 10] = [
+    "nop", "load", "assert", "retract", "define", "apply", "query", "stats", "metrics", "error",
+];
+
+fn verb_slot(verb: Option<Verb>) -> usize {
+    match verb {
+        Some(Verb::Nop) => 0,
+        Some(Verb::Load) => 1,
+        Some(Verb::Assert) => 2,
+        Some(Verb::Retract) => 3,
+        Some(Verb::Define) => 4,
+        Some(Verb::Apply) => 5,
+        Some(Verb::Query) => 6,
+        Some(Verb::Stats) => 7,
+        Some(Verb::Metrics) => 8,
+        None => 9,
+    }
+}
+
+/// Metric handles for the TCP front.
+#[derive(Debug)]
+pub struct NetMetrics {
+    /// Per-verb command latency over the wire, one labelled series per
+    /// entry in [`VERB_LABELS`] — all pre-registered at server start, so a
+    /// scrape sees the full verb taxonomy before any traffic.
+    command_ns: [Histogram; VERB_LABELS.len()],
+    /// Command lines the framer refused (too long / invalid UTF-8).
+    pub framing_errors_total: Counter,
+}
+
+impl NetMetrics {
+    /// Registers every network series in `registry`.
+    pub fn register(registry: &Registry) -> Self {
+        NetMetrics {
+            command_ns: VERB_LABELS
+                .map(|label| registry.histogram_labeled("kbt_net_command_ns", "verb", label)),
+            framing_errors_total: registry.counter("kbt_net_framing_errors_total"),
+        }
+    }
+
+    /// The latency histogram for one command verb (`None` = the line
+    /// failed verb parsing and is timed under `verb="error"`).
+    pub fn command_ns(&self, verb: Option<Verb>) -> &Histogram {
+        &self.command_ns[verb_slot(verb)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_metrics_register_the_catalogue() {
+        let m = ServiceMetrics::register(Registry::new());
+        m.commits_total.inc();
+        m.query_ns.record(42);
+        let snap = m.registry.snapshot();
+        assert_eq!(snap.value("kbt_service_commits_total"), Some(1));
+        assert_eq!(snap.histogram("kbt_service_query_ns").unwrap().count, 1);
+        // registration is eager: a never-touched series still scrapes
+        assert_eq!(snap.value("kbt_service_applies_total"), Some(0));
+        assert!(snap.render().contains("kbt_service_commit_publish_ns"));
+    }
+
+    #[test]
+    fn net_metrics_cover_every_verb_label() {
+        let registry = Registry::new();
+        let m = NetMetrics::register(&registry);
+        m.command_ns(Some(Verb::Query)).record(10);
+        m.command_ns(None).record(99);
+        let snap = registry.snapshot();
+        for label in VERB_LABELS {
+            let name = format!("kbt_net_command_ns{{verb=\"{label}\"}}");
+            assert!(snap.histogram(&name).is_some(), "{name} must pre-register");
+        }
+        assert_eq!(
+            snap.histogram("kbt_net_command_ns{verb=\"query\"}")
+                .unwrap()
+                .count,
+            1
+        );
+        assert_eq!(
+            snap.histogram("kbt_net_command_ns{verb=\"error\"}")
+                .unwrap()
+                .count,
+            1
+        );
+    }
+}

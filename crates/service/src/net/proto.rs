@@ -114,6 +114,10 @@ pub fn encode_response(response: &Response) -> (Vec<String>, String) {
                 .collect(),
             format!("OK epoch={}", report.epoch.get()),
         ),
+        Response::Metrics { epoch, text } => (
+            text.lines().map(data_line).collect(),
+            format!("OK epoch={} lines={}", epoch.get(), text.lines().count()),
+        ),
         Response::Loaded { commands } => (Vec::new(), format!("OK commands={commands}")),
     }
 }

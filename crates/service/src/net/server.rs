@@ -28,6 +28,8 @@ use std::time::{Duration, Instant};
 
 use kbt_par::WorkerSet;
 
+use crate::command::split_command;
+use crate::metrics::NetMetrics;
 use crate::net::frame::{FrameError, LineFramer, MAX_LINE_BYTES};
 use crate::net::proto;
 use crate::service::Service;
@@ -80,12 +82,15 @@ impl NetServer {
         let listener = TcpListener::bind(resolve(&config.addr)?)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        // register the network series before serving: a scrape right after
+        // the readiness line must see the whole verb taxonomy, traffic or not
+        let metrics = Arc::new(NetMetrics::register(service.obs_registry()));
         let shutdown = Arc::new(AtomicBool::new(false));
         let acceptor = {
             let shutdown = shutdown.clone();
             std::thread::Builder::new()
                 .name("kbt-acceptor".to_string())
-                .spawn(move || accept_loop(listener, service, config, &shutdown))
+                .spawn(move || accept_loop(listener, service, metrics, config, &shutdown))
                 .expect("spawning the acceptor thread")
         };
         Ok(NetServer {
@@ -138,6 +143,7 @@ fn resolve(addr: &str) -> std::io::Result<SocketAddr> {
 fn accept_loop(
     listener: TcpListener,
     service: Arc<Service>,
+    metrics: Arc<NetMetrics>,
     config: NetConfig,
     shutdown: &Arc<AtomicBool>,
 ) {
@@ -147,13 +153,17 @@ fn accept_loop(
     let workers = WorkerSet::new("kbt-session", config.max_sessions.max(1), 0);
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
-            Ok((stream, _peer)) => {
-                counters.accepted.fetch_add(1, Ordering::Relaxed);
+            Ok((stream, peer)) => {
+                counters.accepted.inc();
+                service
+                    .obs_registry()
+                    .event("session_open", &[("peer", peer.to_string())]);
                 // a duplicate handle, because the stream itself moves into
                 // the session job: on refusal the job is dropped unrun and
                 // the rejection must still be answered on the socket
                 let reject_handle = stream.try_clone();
                 let service = service.clone();
+                let session_metrics = metrics.clone();
                 let session_counters = counters.clone();
                 let session_config = config.clone();
                 let shutdown = shutdown.clone();
@@ -161,18 +171,27 @@ fn accept_loop(
                     // a drop guard, not a trailing decrement: the worker set
                     // contains session panics, and a panicking session must
                     // not inflate the active gauge forever
-                    struct ActiveGuard(Arc<crate::service::SessionCounters>);
+                    struct ActiveGuard(Arc<Service>, std::net::SocketAddr);
                     impl Drop for ActiveGuard {
                         fn drop(&mut self) {
-                            self.0.active.fetch_sub(1, Ordering::Relaxed);
+                            self.0.session_counters().active.sub(1);
+                            self.0
+                                .obs_registry()
+                                .event("session_close", &[("peer", self.1.to_string())]);
                         }
                     }
-                    session_counters.active.fetch_add(1, Ordering::Relaxed);
-                    let _guard = ActiveGuard(session_counters);
-                    let _ = serve_session(&service, &session_config, &shutdown, stream);
+                    session_counters.active.add(1);
+                    let _guard = ActiveGuard(service.clone(), peer);
+                    let _ = serve_session(
+                        &service,
+                        &session_metrics,
+                        &session_config,
+                        &shutdown,
+                        stream,
+                    );
                 });
                 if !admitted {
-                    counters.rejected.fetch_add(1, Ordering::Relaxed);
+                    counters.rejected.inc();
                     if let Ok(mut s) = reject_handle {
                         let _ = writeln!(
                             s,
@@ -198,6 +217,7 @@ fn accept_loop(
 /// idle timeout, frame error or shutdown.
 fn serve_session(
     service: &Service,
+    metrics: &NetMetrics,
     config: &NetConfig,
     shutdown: &AtomicBool,
     stream: TcpStream,
@@ -219,11 +239,12 @@ fn serve_session(
         loop {
             match framer.next_line() {
                 Ok(Some(line)) => {
-                    respond(&mut writer, service, &line)?;
+                    respond(&mut writer, service, metrics, &line)?;
                     responded = true;
                 }
                 Ok(None) => break,
                 Err(e) => {
+                    metrics.framing_errors_total.inc();
                     writeln!(writer, "{}", frame_error_status(&e))?;
                     return writer.flush();
                 }
@@ -244,9 +265,12 @@ fn serve_session(
             Ok(0) => {
                 // EOF: a final command need not be newline-terminated
                 match framer.finish() {
-                    Ok(Some(line)) => respond(&mut writer, service, &line)?,
+                    Ok(Some(line)) => respond(&mut writer, service, metrics, &line)?,
                     Ok(None) => {}
-                    Err(e) => writeln!(writer, "{}", frame_error_status(&e))?,
+                    Err(e) => {
+                        metrics.framing_errors_total.inc();
+                        writeln!(writer, "{}", frame_error_status(&e))?;
+                    }
                 }
                 return writer.flush();
             }
@@ -259,7 +283,7 @@ fn serve_session(
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
                 if last_activity.elapsed() >= config.idle_timeout {
-                    counters.idle_closed.fetch_add(1, Ordering::Relaxed);
+                    counters.idle_closed.inc();
                     writeln!(
                         writer,
                         "{}",
@@ -277,7 +301,17 @@ fn serve_session(
     }
 }
 
-fn respond(writer: &mut impl Write, service: &Service, line: &str) -> std::io::Result<()> {
+fn respond(
+    writer: &mut impl Write,
+    service: &Service,
+    metrics: &NetMetrics,
+    line: &str,
+) -> std::io::Result<()> {
+    // the per-verb latency series (unparsable lines time under
+    // `verb="error"`); the verb peek re-runs in `execute`, but it is one
+    // word-split against a ~17 µs round trip
+    let verb = split_command(line).map(|(verb, _)| verb).ok();
+    let _span = metrics.command_ns(verb).span();
     match service.execute(line) {
         Ok(response) => {
             let (data, status) = proto::encode_response(&response);
@@ -386,13 +420,13 @@ mod tests {
         let counters = service.session_counters();
         // the acceptor may need a moment to process the second connection
         for _ in 0..100 {
-            if counters.rejected.load(Ordering::Relaxed) == 1 {
+            if counters.rejected.get() == 1 {
                 break;
             }
             std::thread::sleep(Duration::from_millis(5));
         }
-        assert_eq!(counters.rejected.load(Ordering::Relaxed), 1);
-        assert_eq!(counters.accepted.load(Ordering::Relaxed), 2);
+        assert_eq!(counters.rejected.get(), 1);
+        assert_eq!(counters.accepted.get(), 2);
         // the first session is still healthy
         assert!(first.roundtrip("STATS").unwrap().is_ok());
         server.shutdown();
@@ -408,22 +442,48 @@ mod tests {
         let r = client.recv().unwrap();
         assert_eq!(r.err_code(), Some("idle-timeout"));
         for _ in 0..100 {
-            if service
-                .session_counters()
-                .idle_closed
-                .load(Ordering::Relaxed)
-                == 1
-            {
+            if service.session_counters().idle_closed.get() == 1 {
                 break;
             }
             std::thread::sleep(Duration::from_millis(5));
         }
-        assert_eq!(
-            service
-                .session_counters()
-                .idle_closed
-                .load(Ordering::Relaxed),
-            1
+        assert_eq!(service.session_counters().idle_closed.get(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_scrape_over_tcp_covers_every_layer() {
+        let (server, _service) = start(NetConfig::default());
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        assert!(client.roundtrip("ASSERT edge(1, 2)").unwrap().is_ok());
+        assert!(client.roundtrip("QUERY CERTAIN edge").unwrap().is_ok());
+        let r = client.roundtrip("METRICS").unwrap();
+        assert!(r.is_ok(), "{}", r.status);
+        let text: Vec<&str> = r
+            .data
+            .iter()
+            .map(|line| line.strip_prefix("= ").unwrap())
+            .collect();
+        // one scrape sees the service core, the net front (full verb
+        // taxonomy, traffic or not), and the engine/par library series
+        for needle in [
+            "kbt_service_commits_total 1",
+            "kbt_service_queries_total 1",
+            "kbt_net_sessions_accepted_total 1",
+            "kbt_net_framing_errors_total 0",
+            "# TYPE kbt_net_command_ns histogram",
+            "kbt_engine_evals_total",
+            "kbt_par_scopes_total",
+        ] {
+            assert!(
+                text.iter().any(|line| line.contains(needle)),
+                "missing {needle:?} in scrape"
+            );
+        }
+        assert!(
+            text.iter()
+                .any(|line| line.starts_with("kbt_net_command_ns_count{verb=\"assert\"} 1")),
+            "the ASSERT round trip must have been timed"
         );
         server.shutdown();
     }

@@ -15,13 +15,13 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, Weak};
 
 use kbt_core::{ChainSession, EvalStats, Transform, Transformer};
 use kbt_data::{
     Database, EpochCell, EpochId, Knowledgebase, RelId, Relation, Versioned, Vocabulary,
 };
+use kbt_obs::{Counter, Gauge, Registry};
 
 use crate::command::{
     parse_define, parse_fact_list, parse_query, render_fact, render_relation, render_transform,
@@ -29,6 +29,7 @@ use crate::command::{
 };
 use crate::config::ServiceConfig;
 use crate::error::{Result, ServiceError};
+use crate::metrics::ServiceMetrics;
 
 /// How deep `LOAD`ed scripts may nest before the service assumes a cycle.
 const MAX_SCRIPT_DEPTH: usize = 8;
@@ -51,26 +52,42 @@ pub struct ServiceStats {
 /// service.  The service owns one instance (so `STATS` can always report
 /// it — all zeros when no network front is attached) and a server bumps it
 /// through [`Service::session_counters`].
-#[derive(Debug, Default)]
+///
+/// The cells are the service registry's `kbt_net_sessions_*` series —
+/// `STATS` and `METRICS` read the **same** storage, never two sets of
+/// books that could drift apart.
+#[derive(Clone, Debug)]
 pub struct SessionCounters {
-    /// Connections accepted over the lifetime of the process.
-    pub accepted: AtomicU64,
-    /// Sessions currently being served (a gauge).
-    pub active: AtomicU64,
-    /// Connections refused because the session workers were at capacity.
-    pub rejected: AtomicU64,
-    /// Sessions closed by the idle timeout.
-    pub idle_closed: AtomicU64,
+    /// Connections accepted over the lifetime of the process
+    /// (`kbt_net_sessions_accepted_total`).
+    pub accepted: Counter,
+    /// Sessions currently being served (`kbt_net_sessions_active`).
+    pub active: Gauge,
+    /// Connections refused because the session workers were at capacity
+    /// (`kbt_net_sessions_rejected_total`).
+    pub rejected: Counter,
+    /// Sessions closed by the idle timeout
+    /// (`kbt_net_sessions_idle_closed_total`).
+    pub idle_closed: Counter,
 }
 
 impl SessionCounters {
+    fn register(registry: &Registry) -> Self {
+        SessionCounters {
+            accepted: registry.counter("kbt_net_sessions_accepted_total"),
+            active: registry.gauge("kbt_net_sessions_active"),
+            rejected: registry.counter("kbt_net_sessions_rejected_total"),
+            idle_closed: registry.counter("kbt_net_sessions_idle_closed_total"),
+        }
+    }
+
     /// A point-in-time copy of the counters.
     pub fn snapshot(&self) -> SessionSnapshot {
         SessionSnapshot {
-            accepted: self.accepted.load(Ordering::Relaxed),
-            active: self.active.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
-            idle_closed: self.idle_closed.load(Ordering::Relaxed),
+            accepted: self.accepted.get(),
+            active: self.active.get(),
+            rejected: self.rejected.get(),
+            idle_closed: self.idle_closed.get(),
         }
     }
 }
@@ -257,6 +274,13 @@ pub enum Response {
     },
     /// A `STATS` report.
     Stats(StatsReport),
+    /// A `METRICS` scrape: the text exposition of every metric.
+    Metrics {
+        /// The committed epoch at scrape time.
+        epoch: EpochId,
+        /// The Prometheus-style exposition ([`Service::metrics_text`]).
+        text: String,
+    },
     /// A script ran to completion.
     Loaded {
         /// Commands executed (nops included).
@@ -297,8 +321,9 @@ pub struct Service {
     config: ServiceConfig,
     committed: EpochCell<CommittedState>,
     writer: Mutex<Writer>,
-    /// Read-path counter (queries never take the writer lock).
-    queries: AtomicU64,
+    /// Per-instance metric handles (and the registry they live in) — see
+    /// the crate-level *Observability* section for the catalogue.
+    metrics: ServiceMetrics,
     /// Session counters a network front bumps (zeros otherwise).
     sessions: Arc<SessionCounters>,
     /// Weak handles to every published version still alive somewhere:
@@ -318,6 +343,12 @@ impl Service {
     /// A service over the initial knowledgebase `{∅}` — one empty world —
     /// at [`EpochId::ZERO`].
     pub fn new(config: ServiceConfig) -> Self {
+        // Touch the library-level registries eagerly: every engine/par
+        // series must exist from the first scrape, not the first fixpoint.
+        kbt_engine::metrics();
+        kbt_par::metrics();
+        let metrics = ServiceMetrics::register(Registry::new());
+        let sessions = Arc::new(SessionCounters::register(&metrics.registry));
         let kb = Knowledgebase::singleton(Database::new());
         let vocab = Arc::new(Vocabulary::new());
         let empty_meta: Arc<BTreeMap<String, TransformInfo>> = Arc::new(BTreeMap::new());
@@ -338,8 +369,8 @@ impl Service {
                 transforms_meta: empty_meta,
                 stats: ServiceStats::default(),
             }),
-            queries: AtomicU64::new(0),
-            sessions: Arc::new(SessionCounters::default()),
+            metrics,
+            sessions,
             holders,
         }
     }
@@ -350,6 +381,20 @@ impl Service {
         self.sessions.clone()
     }
 
+    /// This service's metric handles (per-instance — two services never
+    /// share a counter).
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.metrics
+    }
+
+    /// The per-instance observability registry: the network front
+    /// registers its series here, hosts install log sinks / slow-span
+    /// thresholds here, and `METRICS` scrapes it (merged with
+    /// [`kbt_obs::Registry::global`], where the library crates record).
+    pub fn obs_registry(&self) -> &Registry {
+        &self.metrics.registry
+    }
+
     /// The configuration in use.
     pub fn config(&self) -> &ServiceConfig {
         &self.config
@@ -357,6 +402,7 @@ impl Service {
 
     /// An `O(1)` MVCC snapshot of the committed state.
     pub fn snapshot(&self) -> Snapshot {
+        self.metrics.snapshots_total.inc();
         Snapshot {
             inner: self.committed.load(),
         }
@@ -386,6 +432,10 @@ impl Service {
         match verb {
             Verb::Nop => Ok(Response::Ok),
             Verb::Stats => Ok(Response::Stats(self.stats_report())),
+            Verb::Metrics => Ok(Response::Metrics {
+                epoch: self.epoch(),
+                text: self.metrics_text(),
+            }),
             Verb::Query => self.query_text(rest),
             Verb::Load => self.load(rest, depth),
             Verb::Assert | Verb::Retract | Verb::Define | Verb::Apply => {
@@ -432,6 +482,7 @@ impl Service {
     /// Publishes the writer's current state as the next epoch and registers
     /// it in the holder registry (pruning versions nobody holds anymore).
     fn publish(&self, w: &Writer) -> EpochId {
+        let _span = self.metrics.commit_publish_ns.span();
         let epoch = self.committed.publish(CommittedState {
             kb: w.kb.clone(),
             vocab: w.vocab.clone(),
@@ -444,7 +495,37 @@ impl Service {
         let mut reg = self.holders.lock().unwrap_or_else(PoisonError::into_inner);
         reg.retain(|(_, weak)| weak.strong_count() > 0);
         reg.push((epoch, Arc::downgrade(&current)));
+        // Mirror the writer's cumulative totals into the registry — the
+        // writer stats stay the single source of truth (they are published
+        // with the epoch); the counters are a read-only reflection.
+        self.metrics.commits_total.set(w.stats.commits);
+        self.metrics.applies_total.set(w.stats.applies);
+        self.metrics.defines_total.set(w.stats.defines);
+        self.metrics.epoch.set(epoch.get());
+        Self::refresh_holder_gauges(&self.metrics, &reg, epoch);
         epoch
+    }
+
+    /// Recomputes the epoch-holder gauges from the (already pruned) holder
+    /// registry: how many **past** epochs readers still pin, and how far
+    /// behind the oldest of them is.
+    fn refresh_holder_gauges(
+        metrics: &ServiceMetrics,
+        reg: &[(EpochId, Weak<Versioned<CommittedState>>)],
+        current: EpochId,
+    ) {
+        let pinned = reg
+            .iter()
+            .filter(|(epoch, weak)| *epoch != current && weak.strong_count() > 0);
+        let (mut held, mut oldest) = (0u64, None::<u64>);
+        for (epoch, _) in pinned {
+            held += 1;
+            oldest = Some(oldest.map_or(epoch.get(), |o: u64| o.min(epoch.get())));
+        }
+        metrics.held_epochs.set(held);
+        metrics
+            .held_epoch_lag
+            .set(oldest.map_or(0, |o| current.get().saturating_sub(o)));
     }
 
     fn write_command(&self, verb: Verb, rest: &str) -> Result<Response> {
@@ -456,11 +537,17 @@ impl Service {
         let mut vocab = w.vocab.as_ref().clone();
         match verb {
             Verb::Assert => {
-                let facts = parse_fact_list(rest, &mut vocab)?;
+                let facts = {
+                    let _parse = self.metrics.commit_parse_ns.span();
+                    parse_fact_list(rest, &mut vocab)?
+                };
                 self.commit_facts(&mut w, vocab, &facts, true)
             }
             Verb::Retract => {
-                let facts = parse_fact_list(rest, &mut vocab)?;
+                let facts = {
+                    let _parse = self.metrics.commit_parse_ns.span();
+                    parse_fact_list(rest, &mut vocab)?
+                };
                 // A RETRACT must not *introduce* names: a relation or named
                 // constant first seen here cannot match any stored fact, so
                 // the command is a guaranteed no-op — almost certainly a
@@ -485,7 +572,10 @@ impl Service {
                 self.commit_facts(&mut w, vocab, &facts, false)
             }
             Verb::Define => {
-                let (name, transform) = parse_define(rest, &mut vocab)?;
+                let (name, transform) = {
+                    let _parse = self.metrics.commit_parse_ns.span();
+                    parse_define(rest, &mut vocab)?
+                };
                 let text: Arc<str> = render_transform(&transform, &vocab).into();
                 w.vocab = Arc::new(vocab);
                 // Re-registration under an existing name replaces the
@@ -524,6 +614,10 @@ impl Service {
         facts: &[(RelId, kbt_data::Tuple)],
         insert: bool,
     ) -> Result<Response> {
+        // batch size is a deterministic input, so it records regardless of
+        // the timing toggle (like every counter)
+        self.metrics.commit_batch_facts.record(facts.len() as u64);
+        let apply_span = self.metrics.commit_apply_ns.span();
         let mut worlds = Vec::with_capacity(w.kb.len());
         for db in w.kb.iter() {
             let mut db = db.clone();
@@ -538,6 +632,7 @@ impl Service {
         }
         // worlds that differed only in the changed facts may collapse
         let kb = Knowledgebase::from_databases(worlds)?;
+        drop(apply_span);
         // every fallible step is behind us: adopt the scratch vocabulary
         // together with the new state — but only allocate a new shared
         // handle when this command actually interned something (interning
@@ -566,7 +661,9 @@ impl Service {
         // while the evaluator borrows the writer's knowledgebase
         let mut chain = reg.chain.take();
         let transformer = Transformer::with_options(self.config.eval_options());
+        let apply_span = self.metrics.commit_apply_ns.span();
         let result = transformer.apply_with_chain(&transform, &w.kb, &mut chain);
+        drop(apply_span);
         let reg = w.transforms.get_mut(name).expect("present above");
         reg.chain = chain;
         let result = result?;
@@ -600,7 +697,7 @@ impl Service {
     /// Evaluates a transformation expression read-only against a specific
     /// snapshot.
     pub fn query_on(&self, snap: &Snapshot, transform: &Transform) -> Result<QueryResult> {
-        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.metrics.queries_total.inc();
         let transformer = Transformer::with_options(self.config.eval_options());
         let result = transformer.apply(transform, snap.kb())?;
         Ok(QueryResult {
@@ -612,7 +709,7 @@ impl Service {
 
     /// The facts of `rel` holding in **every** world of the snapshot.
     pub fn certain(&self, snap: &Snapshot, rel: RelId) -> Relation {
-        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.metrics.queries_total.inc();
         fold_relation(snap.kb(), rel, |a, b| {
             a.intersection(b).expect("one schema per knowledgebase")
         })
@@ -621,13 +718,20 @@ impl Service {
     /// The facts of `rel` holding in **at least one** world of the
     /// snapshot.
     pub fn possible(&self, snap: &Snapshot, rel: RelId) -> Relation {
-        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.metrics.queries_total.inc();
         fold_relation(snap.kb(), rel, |a, b| {
             a.union(b).expect("one schema per knowledgebase")
         })
     }
 
     fn query_text(&self, rest: &str) -> Result<Response> {
+        // the slow-query span: end-to-end latency of the textual command,
+        // emitted to the log sink (with the query text) when it crosses
+        // the registry's slow-span threshold
+        let mut span = self.metrics.query_ns.span_event("slow_query");
+        if span.enabled() {
+            span.field("query", rest.trim());
+        }
         let snap = self.snapshot();
         // parse against a clone: query-local names must not leak into (or
         // wait on) the committed vocabulary
@@ -675,6 +779,7 @@ impl Service {
         let held_epochs = {
             let mut reg = self.holders.lock().unwrap_or_else(PoisonError::into_inner);
             reg.retain(|(_, weak)| weak.strong_count() > 0);
+            Self::refresh_holder_gauges(&self.metrics, &reg, snap.epoch());
             reg.iter()
                 .filter_map(|(epoch, weak)| {
                     let mut holders = weak.strong_count() as u64;
@@ -692,7 +797,7 @@ impl Service {
             worlds: snap.kb().len(),
             facts: total_facts(snap.kb()),
             threads: self.config.threads,
-            queries: self.queries.load(Ordering::Relaxed),
+            queries: self.metrics.queries_total.get(),
             transforms: snap
                 .transforms()
                 .iter()
@@ -702,6 +807,24 @@ impl Service {
             sessions: self.sessions.snapshot(),
             held_epochs,
         }
+    }
+
+    /// The Prometheus-style text exposition behind the `METRICS` command:
+    /// this service's registry merged with the process-global one (where
+    /// `kbt-engine` / `kbt-par` record), point-in-time gauges refreshed.
+    pub fn metrics_text(&self) -> String {
+        {
+            // refresh the scrape-time gauges so a scrape between commits
+            // still reports current holder state
+            let current = self.committed.epoch();
+            self.metrics.epoch.set(current.get());
+            let mut reg = self.holders.lock().unwrap_or_else(PoisonError::into_inner);
+            reg.retain(|(_, weak)| weak.strong_count() > 0);
+            Self::refresh_holder_gauges(&self.metrics, &reg, current);
+        }
+        let mut snap = self.metrics.registry.snapshot();
+        snap.merge(&Registry::global().snapshot());
+        snap.render()
     }
 }
 
@@ -820,6 +943,7 @@ impl fmt::Display for Response {
                 }
                 Ok(())
             }
+            Response::Metrics { text, .. } => f.write_str(text.trim_end()),
             Response::Loaded { commands } => write!(f, "loaded: {commands} command(s)"),
         }
     }
@@ -1053,13 +1177,72 @@ mod tests {
             other => panic!("expected Stats, got {other:?}"),
         }
         // the counters the network front bumps are visible through STATS
-        s.session_counters()
-            .accepted
-            .fetch_add(3, Ordering::Relaxed);
+        s.session_counters().accepted.add(3);
         match s.execute("STATS").unwrap() {
             Response::Stats(report) => assert_eq!(report.sessions.accepted, 3),
             other => panic!("expected Stats, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn metrics_exposition_reflects_commits_and_queries() {
+        let s = service();
+        s.execute("ASSERT edge(1, 2)").unwrap();
+        s.execute("QUERY CERTAIN edge").unwrap();
+        let r = s.execute("METRICS").unwrap();
+        let Response::Metrics { epoch, text } = r else {
+            panic!("expected Metrics");
+        };
+        assert_eq!(epoch, EpochId::new(1));
+        assert!(text.contains("# TYPE kbt_service_commits_total counter"));
+        assert!(text.contains("kbt_service_commits_total 1\n"));
+        assert!(text.contains("kbt_service_queries_total 1\n"));
+        assert!(text.contains("kbt_service_epoch 1\n"));
+        assert!(text.contains("kbt_service_commit_batch_facts_count 1\n"));
+        // the global registry (engine/par series) is merged into the scrape
+        assert!(text.contains("kbt_engine_evals_total"));
+        assert!(text.contains("kbt_par_scopes_total"));
+        // … and registries are per-service: a fresh instance starts at zero
+        let other = service();
+        assert!(other
+            .metrics_text()
+            .contains("kbt_service_commits_total 0\n"));
+    }
+
+    #[test]
+    fn metrics_report_held_epoch_gauges() {
+        let s = service();
+        s.execute("ASSERT edge(1, 2)").unwrap();
+        let held = s.snapshot(); // pin epoch 1
+        s.execute("ASSERT edge(2, 3)").unwrap(); // epoch 2
+        let text = s.metrics_text();
+        assert!(text.contains("kbt_service_held_epochs 1\n"), "{text}");
+        assert!(text.contains("kbt_service_held_epoch_lag 1\n"), "{text}");
+        drop(held);
+        let text = s.metrics_text();
+        assert!(text.contains("kbt_service_held_epochs 0\n"), "{text}");
+        assert!(text.contains("kbt_service_held_epoch_lag 0\n"), "{text}");
+    }
+
+    #[test]
+    fn stats_and_metrics_share_one_set_of_books() {
+        let s = service();
+        s.session_counters().accepted.add(2);
+        s.session_counters().idle_closed.inc();
+        let Response::Stats(report) = s.execute("STATS").unwrap() else {
+            panic!("expected Stats");
+        };
+        assert_eq!(report.sessions.accepted, 2);
+        assert_eq!(report.sessions.idle_closed, 1);
+        let text = s.metrics_text();
+        assert!(
+            text.contains("kbt_net_sessions_accepted_total 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("kbt_net_sessions_idle_closed_total 1\n"),
+            "{text}"
+        );
     }
 
     #[test]

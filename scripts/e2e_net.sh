@@ -17,6 +17,7 @@ TARGET=${1:-target}
 BIN="$TARGET/release"
 PORT=${KBT_E2E_PORT:-7341}
 WORK=$(mktemp -d)
+SERVE_PID=""
 trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
 
 for bin in kbt-serve kbt-shell; do
@@ -24,8 +25,10 @@ for bin in kbt-serve kbt-shell; do
 done
 
 # --threads 2 pins the width the STATS line reports, keeping the
-# transcript machine-independent
-"$BIN/kbt-serve" --addr "127.0.0.1:$PORT" --threads 2 >"$WORK/serve.log" 2>&1 &
+# transcript machine-independent; --log-format json exercises the
+# structured log sink end to end (the transcript on stdout is unaffected
+# — the sink writes to stderr, i.e. serve.log)
+"$BIN/kbt-serve" --addr "127.0.0.1:$PORT" --threads 2 --log-format json >"$WORK/serve.log" 2>&1 &
 SERVE_PID=$!
 
 for _ in $(seq 1 100); do
@@ -37,11 +40,42 @@ grep -q "listening on" "$WORK/serve.log" || { echo "kbt-serve never became ready
 
 "$BIN/kbt-shell" --connect "127.0.0.1:$PORT" examples/net_client_session.kbt >"$WORK/transcript.txt"
 
+# METRICS scrape over the live socket.  The exposition is load-dependent
+# (latency histograms, session counters), so it is asserted structurally
+# rather than diffed: the scrape must parse as `= `-framed data plus an
+# OK status, and every metric name documented in the service crate's
+# Observability catalogue must actually appear — a doc-drift gate in
+# both directions (renamed metric fails here; undocumented ones are the
+# code reviewer's job).  Runs after the transcript capture so the extra
+# session never perturbs the STATS golden, and before SIGTERM because it
+# needs the live server.
+echo "METRICS" >"$WORK/metrics.kbt"
+"$BIN/kbt-shell" --connect "127.0.0.1:$PORT" "$WORK/metrics.kbt" >"$WORK/metrics.txt"
+grep -q '^OK epoch=' "$WORK/metrics.txt" || {
+    echo "METRICS did not return an OK status:" >&2; cat "$WORK/metrics.txt" >&2; exit 1
+}
+CATALOGUE=$(sed -n 's/^\/\/! \* `\(kbt_[a-z_]*\)`.*/\1/p' crates/service/src/lib.rs)
+[ -n "$CATALOGUE" ] || { echo "no metric catalogue found in crates/service/src/lib.rs" >&2; exit 1; }
+MISSING=0
+for name in $CATALOGUE; do
+    grep -q "^= .*$name" "$WORK/metrics.txt" || { echo "documented metric missing from scrape: $name" >&2; MISSING=1; }
+done
+[ "$MISSING" -eq 0 ] || { echo "--- scrape ---" >&2; cat "$WORK/metrics.txt" >&2; exit 1; }
+echo "e2e-net: METRICS scrape covers all $(echo "$CATALOGUE" | wc -l) documented metrics"
+
 # graceful shutdown on signal: SIGTERM must yield exit code 0
 kill -TERM "$SERVE_PID"
 wait "$SERVE_PID"
 echo "--- kbt-serve log ---"
 cat "$WORK/serve.log"
+
+# the JSON log sink must have recorded the session lifecycle
+grep -q '"event":"session_open"' "$WORK/serve.log" || {
+    echo "no session_open event in the JSON log" >&2; exit 1
+}
+grep -q '"event":"session_close"' "$WORK/serve.log" || {
+    echo "no session_close event in the JSON log" >&2; exit 1
+}
 
 diff -u tests/golden/net_session.golden "$WORK/transcript.txt" || {
     echo "transcript differs from tests/golden/net_session.golden" >&2

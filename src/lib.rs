@@ -86,12 +86,28 @@
 //! private per-worker buffers merged deterministically, so fixpoints *and*
 //! statistics are byte-identical at every width — the `engine_parallel`
 //! benchmark records the 1/2/4-thread scaling.
+//!
+//! ## Observability
+//!
+//! [`obs`](kbt_obs) is a std-only metrics layer: a registry of named
+//! counters, gauges and log-scale latency histograms with mergeable
+//! snapshots, a drop-timed span API, and structured text/JSON log sinks.
+//! The engine, the `kbt-par` pool and the service layer are instrumented
+//! with it; a running `kbt-serve` exposes everything through the
+//! `METRICS` wire command as Prometheus-style text exposition, and
+//! `kbt-serve --log-format {text,json} --slow-query-ms N` turns on
+//! structured logging with a slow-query log.  The "Observability" section
+//! of the [`service`](kbt_service) crate docs catalogues every metric
+//! name.  Instrumentation never feeds back into evaluation: fixpoints and
+//! `EngineStats` stay byte-identical at every width with metrics on or
+//! off.
 
 pub use kbt_core as core;
 pub use kbt_data as data;
 pub use kbt_datalog as datalog;
 pub use kbt_engine as engine;
 pub use kbt_logic as logic;
+pub use kbt_obs as obs;
 pub use kbt_par as par;
 pub use kbt_reductions as reductions;
 pub use kbt_service as service;

@@ -164,11 +164,8 @@ fn run_differential(threads: usize) {
     let stats = writer.roundtrip("STATS").expect("stats");
     assert!(stats.is_ok());
     let sessions = service.session_counters();
-    assert_eq!(
-        sessions.accepted.load(Ordering::Relaxed) as usize,
-        1 + READERS
-    );
-    assert_eq!(sessions.rejected.load(Ordering::Relaxed), 0);
+    assert_eq!(sessions.accepted.get() as usize, 1 + READERS);
+    assert_eq!(sessions.rejected.get(), 0);
 
     server.shutdown();
 }
