@@ -16,11 +16,15 @@
 //! Acceptance floor for this PR: ≥ 3× at 20 steps × 10 000 base facts.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use kbt_bench::quick_criterion;
+use kbt_bench::{alloc_counter, quick_criterion, record_alloc};
 use kbt_core::{EvalOptions, Transform, Transformer};
 use kbt_data::{DatabaseBuilder, Knowledgebase, RelId};
 use kbt_logic::builder::*;
 use kbt_logic::Sentence;
+
+/// Counts heap traffic alongside the timings (see [`bench_alloc_counts`]).
+#[global_allocator]
+static ALLOC: alloc_counter::CountingAlloc = alloc_counter::CountingAlloc;
 
 fn r(i: u32) -> RelId {
     RelId::new(i)
@@ -105,9 +109,31 @@ fn bench_incremental(c: &mut Criterion) {
     group.finish();
 }
 
+/// Records the allocation count/volume of one incremental chain run per
+/// size as `chain_incremental/alloc/incremental/{edges}/{allocs,bytes}` —
+/// the flat-row storage work shows up here as a step change, and any
+/// per-tuple boxing that sneaks back in shows up as a warn in the baseline
+/// comparison.  One warm-up run first, so lazily built engine state is not
+/// billed to the measured run.
+fn bench_alloc_counts(_c: &mut Criterion) {
+    let expr = chain_expression(STEPS);
+    let transformer = Transformer::new();
+    for (chains, edges) in edge_counts() {
+        let kb = braid(chains);
+        let _ = transformer.apply(&expr, &kb).unwrap();
+        alloc_counter::reset();
+        let result = transformer.apply(&expr, &kb).unwrap();
+        let (allocs, bytes) = alloc_counter::snapshot();
+        criterion::black_box(result);
+        let name = format!("chain_incremental/alloc/incremental/{edges}");
+        println!("{name:<60} allocs: {allocs}  bytes: {bytes}");
+        record_alloc(&name, allocs, bytes);
+    }
+}
+
 criterion_group! {
     name = benches;
     config = quick_criterion();
-    targets = bench_from_scratch, bench_incremental,
+    targets = bench_from_scratch, bench_incremental, bench_alloc_counts,
 }
 criterion_main!(benches);

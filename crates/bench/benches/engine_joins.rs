@@ -15,13 +15,17 @@
 //! finishes in seconds; the indexed path runs everywhere.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use kbt_bench::quick_criterion;
+use kbt_bench::{alloc_counter, quick_criterion, record_alloc};
 use kbt_data::{Database, DatabaseBuilder, RelId};
 use kbt_datalog::{
     naive_eval, reference_naive_eval, reference_semi_naive_eval, semi_naive_eval, DlAtom, Literal,
     Program, Rule,
 };
 use kbt_logic::builder::var;
+
+/// Counts heap traffic alongside the timings (see [`bench_alloc_counts`]).
+#[global_allocator]
+static ALLOC: alloc_counter::CountingAlloc = alloc_counter::CountingAlloc;
 
 fn r(i: u32) -> RelId {
     RelId::new(i)
@@ -119,6 +123,27 @@ fn bench_engine_indexed(c: &mut Criterion) {
     group.finish();
 }
 
+/// Records the allocation count/volume of one indexed fixpoint run per size
+/// as `engine_joins/alloc/engine_indexed/{edges}/{allocs,bytes}`.  With the
+/// flat row arenas the join inner loop allocates nothing per probe, so
+/// these counts scale with the *output* (derived facts), not with probes —
+/// a regression back to per-tuple boxing multiplies them and warns in the
+/// baseline comparison.
+fn bench_alloc_counts(_c: &mut Criterion) {
+    let program = tc_program();
+    for (chains, edges) in edge_counts() {
+        let edb = braid(chains);
+        let _ = semi_naive_eval(&program, &edb).unwrap();
+        alloc_counter::reset();
+        let result = semi_naive_eval(&program, &edb).unwrap();
+        let (allocs, bytes) = alloc_counter::snapshot();
+        criterion::black_box(result);
+        let name = format!("engine_joins/alloc/engine_indexed/{edges}");
+        println!("{name:<60} allocs: {allocs}  bytes: {bytes}");
+        record_alloc(&name, allocs, bytes);
+    }
+}
+
 criterion_group! {
     name = benches;
     config = quick_criterion();
@@ -127,5 +152,6 @@ criterion_group! {
         bench_reference_semi_naive,
         bench_engine_naive,
         bench_engine_indexed,
+        bench_alloc_counts,
 }
 criterion_main!(benches);

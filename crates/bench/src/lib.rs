@@ -24,10 +24,102 @@ pub fn quick_criterion() -> Criterion {
 
 pub use criterion;
 
+pub mod alloc_counter {
+    //! A counting global allocator for allocation-budget assertions.
+    //!
+    //! Install [`CountingAlloc`] as the `#[global_allocator]` of a bench or
+    //! test binary, then bracket the region of interest with [`reset`] /
+    //! [`snapshot`].  Counting is process-global and relaxed-atomic, so
+    //! keep measured regions single-threaded (the engine's sequential inner
+    //! loops, which is exactly what the zero-allocation probe assertions
+    //! target).  `dealloc` is deliberately not counted: the interesting
+    //! budget is *new* heap traffic per operation.
+
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    static BYTES: AtomicU64 = AtomicU64::new(0);
+
+    /// System allocator wrapper that counts allocations and allocated bytes
+    /// (`alloc`, `alloc_zeroed` and growth via `realloc`).
+    pub struct CountingAlloc;
+
+    // SAFETY: defers all allocation to `System`; the wrapper only touches
+    // two atomics.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            unsafe { System.alloc_zeroed(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(
+                new_size.saturating_sub(layout.size()) as u64,
+                Ordering::Relaxed,
+            );
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    /// Zeroes both counters.
+    pub fn reset() {
+        ALLOCS.store(0, Ordering::Relaxed);
+        BYTES.store(0, Ordering::Relaxed);
+    }
+
+    /// `(allocations, bytes)` since the last [`reset`].
+    pub fn snapshot() -> (u64, u64) {
+        (
+            ALLOCS.load(Ordering::Relaxed),
+            BYTES.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Publishes an allocation measurement into the `KBT_BENCH_JSON` report as
+/// two records, `{name}/allocs` and `{name}/bytes` (the `_ns` field names
+/// are an artifact of the shared record shape — the values are counts).
+/// They ride the same baseline-comparison pipeline as the timing medians,
+/// un-gated, so an allocation regression warns in the PR summary without
+/// failing the job on runner noise.
+pub fn record_alloc(name: &str, allocs: u64, bytes: u64) {
+    let flat = |v: u64| criterion::BenchRecord {
+        median_ns: v as f64,
+        mean_ns: v as f64,
+        min_ns: v as f64,
+        max_ns: v as f64,
+    };
+    criterion::record_external(&format!("{name}/allocs"), flat(allocs));
+    criterion::record_external(&format!("{name}/bytes"), flat(bytes));
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
     fn quick_criterion_is_constructible() {
         let _ = super::quick_criterion();
+    }
+
+    #[test]
+    fn alloc_counter_observes_heap_traffic() {
+        // The counter is attached per *binary*; in this test binary the
+        // global allocator is the plain system one, so only the counter
+        // arithmetic is checked here (the end-to-end wiring is asserted by
+        // the `zero_alloc` integration test, which installs the allocator).
+        super::alloc_counter::reset();
+        assert_eq!(super::alloc_counter::snapshot(), (0, 0));
     }
 }

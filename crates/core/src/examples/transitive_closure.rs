@@ -170,8 +170,8 @@ mod tests {
         let closure = transitive_closure(&t, &flights).unwrap();
         let reachable: Vec<u32> = closure
             .iter()
-            .filter(|t| t.get(0) == Some(kbt_data::Const::new(1)))
-            .map(|t| t.get(1).unwrap().index())
+            .filter(|row| row.first() == Some(&kbt_data::Const::new(1)))
+            .map(|row| row[1].index())
             .collect();
         assert_eq!(reachable, vec![2, 3, 4]);
     }

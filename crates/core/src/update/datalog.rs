@@ -189,17 +189,58 @@ fn diff(new: &Database, old: &Database) -> (FactList, FactList) {
     for rel in rels {
         let new_rel = new.relation(rel);
         let old_rel = old.relation(rel);
-        if let Some(nr) = new_rel {
-            for t in nr.iter() {
-                if !old_rel.is_some_and(|o| o.contains(t)) {
-                    insertions.push((rel, t.clone()));
+        match (new_rel, old_rel) {
+            // Copy-on-write fast path: a chain step leaves most relations
+            // on the very Arc the previous step produced, so the common
+            // case is a pointer check instead of a scan.
+            (Some(nr), Some(or)) if nr.shares_rows(or) => {}
+            // Same arity: one linear merge walk over the two sorted runs.
+            (Some(nr), Some(or)) if nr.arity() == or.arity() && nr.arity() > 0 => {
+                let (mut i, mut j) = (0, 0);
+                while i < nr.len() || j < or.len() {
+                    match (nr.len() - i, or.len() - j) {
+                        (0, _) => {
+                            deletions.push((rel, Tuple::from_row(or.row(j))));
+                            j += 1;
+                        }
+                        (_, 0) => {
+                            insertions.push((rel, Tuple::from_row(nr.row(i))));
+                            i += 1;
+                        }
+                        _ => match nr.row(i).cmp(or.row(j)) {
+                            std::cmp::Ordering::Equal => {
+                                i += 1;
+                                j += 1;
+                            }
+                            std::cmp::Ordering::Less => {
+                                insertions.push((rel, Tuple::from_row(nr.row(i))));
+                                i += 1;
+                            }
+                            std::cmp::Ordering::Greater => {
+                                deletions.push((rel, Tuple::from_row(or.row(j))));
+                                j += 1;
+                            }
+                        },
+                    }
                 }
             }
-        }
-        if let Some(or) = old_rel {
-            for t in or.iter() {
-                if !new_rel.is_some_and(|n| n.contains(t)) {
-                    deletions.push((rel, t.clone()));
+            // Zero arity, arity conflicts, or a one-sided relation: the
+            // generic membership formulation (a row of the wrong length is
+            // simply absent).
+            _ => {
+                if let Some(nr) = new_rel {
+                    for row in nr.iter() {
+                        if !old_rel.is_some_and(|o| o.contains_row(row)) {
+                            insertions.push((rel, Tuple::from_row(row)));
+                        }
+                    }
+                }
+                if let Some(or) = old_rel {
+                    for row in or.iter() {
+                        if !new_rel.is_some_and(|n| n.contains_row(row)) {
+                            deletions.push((rel, Tuple::from_row(row)));
+                        }
+                    }
                 }
             }
         }

@@ -43,8 +43,12 @@ pub fn quantifier_free_update(
             reason: "the sentence contains variables or quantifiers".to_string(),
         });
     }
-    let mut domain = db.constants();
-    domain.extend(phi.constants());
+    // The grounding domain only matters for quantifier expansion, and φ is
+    // ground — so the (possibly huge) database constant set is never
+    // consulted and must not be collected: τ-chains apply ground steps to
+    // databases of 10k+ facts, where a full constant scan per step would
+    // dominate the whole update.
+    let domain = phi.constants();
     let schema = db.schema().union(&phi.schema())?;
     // Grounding a ground sentence simply rewrites it over ground atoms.
     let ground = ground_sentence(phi, &domain);

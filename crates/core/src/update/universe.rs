@@ -106,7 +106,7 @@ impl UpdateContext {
     ///
     /// Grounding itself is budgeted *before* it runs: every quantifier
     /// multiplies the grounded formula's size by `|B|`, so
-    /// [`grounding_cost`] — an exact upper bound on the node count,
+    /// `grounding_cost` — an exact upper bound on the node count,
     /// computed arithmetically — is checked against a generous multiple of
     /// `max_ground_atoms` first.  Without this, a deeply quantified
     /// sentence over a large database would materialise the blown-up

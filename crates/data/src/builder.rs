@@ -15,10 +15,15 @@
 //! assert_eq!(db.fact_count(), 2);
 //! ```
 
+use std::collections::BTreeMap;
+
 use crate::database::Database;
+use crate::error::DataError;
 use crate::knowledgebase::Knowledgebase;
+use crate::relation::Relation;
 use crate::schema::RelId;
 use crate::tuple::Tuple;
+use crate::value::Const;
 use crate::Result;
 
 /// Builder for a single [`Database`].
@@ -55,13 +60,39 @@ impl DatabaseBuilder {
     }
 
     /// Builds the database, checking arity consistency.
+    ///
+    /// Facts are grouped per relation and loaded through the bulk
+    /// [`Relation::from_rows`] constructor (one sort per relation) rather
+    /// than tuple-at-a-time insertion.
     pub fn build(self) -> Result<Database> {
         let mut db = Database::new();
         for (rel, arity) in self.empty_relations {
             db.ensure_relation(rel, arity)?;
         }
+        // Group rows per relation, checking arity consistency as we go
+        // (including against declared empty relations).
+        let mut grouped: BTreeMap<RelId, (usize, Vec<Const>, usize)> = BTreeMap::new();
         for (rel, t) in self.facts {
-            db.insert_fact(rel, t)?;
+            let arity = match grouped.get(&rel) {
+                Some(&(a, ..)) => a,
+                None => match db.relation(rel) {
+                    Some(existing) => existing.arity(),
+                    None => t.arity(),
+                },
+            };
+            if t.arity() != arity {
+                return Err(DataError::ArityMismatch {
+                    rel,
+                    expected: arity,
+                    found: t.arity(),
+                });
+            }
+            let entry = grouped.entry(rel).or_insert_with(|| (arity, Vec::new(), 0));
+            entry.1.extend_from_slice(t.components());
+            entry.2 += 1;
+        }
+        for (rel, (arity, rows, count)) in grouped {
+            db.set_relation(rel, Relation::from_rows(arity, rows, count)?);
         }
         Ok(db)
     }

@@ -109,10 +109,14 @@ impl Database {
     }
 
     /// Iterates over every fact `(relation symbol, tuple)`.
-    pub fn facts(&self) -> impl Iterator<Item = (RelId, &Tuple)> + '_ {
+    ///
+    /// Tuples are materialized from the flat row storage on the fly; hot
+    /// paths should iterate [`Relation::iter`] row slices via [`Self::iter`]
+    /// instead.
+    pub fn facts(&self) -> impl Iterator<Item = (RelId, Tuple)> + '_ {
         self.relations
             .iter()
-            .flat_map(|(&r, rel)| rel.iter().map(move |t| (r, t)))
+            .flat_map(|(&r, rel)| rel.tuples().map(move |t| (r, t)))
     }
 
     /// The active domain: every constant appearing in some fact.

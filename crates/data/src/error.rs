@@ -44,6 +44,12 @@ pub enum DataError {
         /// The conflicting name.
         name: String,
     },
+    /// A buffer passed to [`crate::Relation::from_sorted_rows`] was not a
+    /// strictly ascending run of rows.
+    UnsortedRows {
+        /// Index of the first row that is ≤ its predecessor.
+        position: usize,
+    },
 }
 
 impl fmt::Display for DataError {
@@ -71,6 +77,11 @@ impl fmt::Display for DataError {
             DataError::NameConflict { name } => {
                 write!(f, "name {name:?} registered with a conflicting meaning")
             }
+            DataError::UnsortedRows { position } => write!(
+                f,
+                "row buffer is not a strictly ascending sorted run (row {position} \
+                 is not greater than its predecessor)"
+            ),
         }
     }
 }

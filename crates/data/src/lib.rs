@@ -15,9 +15,29 @@
 //!   Winslett possible-models partial order `≤_db` of Definition 2.1, which
 //!   drives the minimal-change semantics of the update operator `τ_φ`.
 //!
-//! Everything is ordered deterministically (`BTreeMap`/`BTreeSet`) so that
-//! databases and knowledgebases have a canonical form, can be compared, hashed
-//! and printed reproducibly, and so that set-of-databases semantics is exact.
+//! Everything is ordered deterministically so that databases and
+//! knowledgebases have a canonical form, can be compared, hashed and printed
+//! reproducibly, and so that set-of-databases semantics is exact.
+//!
+//! ## Storage layout
+//!
+//! Constants are interned `u32` ids ([`Const`]), and a [`Relation`] of arity
+//! `k` stores its tuples as **one flat, arity-strided sorted run**: a single
+//! `Arc<Vec<Const>>` in which row `i` occupies `rows[i*k .. (i+1)*k]`, rows
+//! sorted lexicographically and deduplicated.  There is no per-tuple
+//! allocation and no pointer tree — scans are linear walks over one
+//! contiguous buffer, membership is a binary search over fixed-width row
+//! chunks, and the set algebra runs as linear merges of sorted runs.
+//! Cloning bumps the `Arc` (copy-on-write, O(1)); mutations unshare lazily
+//! and no-op mutations never copy.  Zero-arity "flag" relations keep the
+//! run empty and track presence in a separate length field.
+//!
+//! [`Tuple`] survives as the boundary type — parsing, rendering, and the
+//! public fact APIs speak owned tuples — while hot paths (the engine's
+//! joins, diffs, and deltas) consume borrowed `&[Const]` row slices
+//! straight out of the run via [`Relation::iter`] / [`Relation::as_rows`].
+//! See the [`relation`] module docs for the full layout and
+//! copy-on-write/unsharing rules.
 
 pub mod builder;
 pub mod database;

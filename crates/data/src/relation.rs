@@ -1,5 +1,38 @@
-//! Finite relations: sets of tuples of a fixed arity.
+//! Finite relations: sets of tuples of a fixed arity, stored as flat
+//! sorted runs.
+//!
+//! # Storage layout
+//!
+//! A relation of arity `k` keeps its tuples as one arity-strided
+//! `Arc<Vec<Const>>`: row `i` occupies `rows[i*k .. (i+1)*k]`, rows are
+//! sorted lexicographically and deduplicated (a *sorted run*).  There is no
+//! per-tuple allocation and no tree of pointers — scans are linear walks
+//! over one contiguous buffer, membership is a binary search over row
+//! chunks, and the set algebra (union, intersection, difference, symmetric
+//! difference) runs as linear merges of two sorted runs.
+//!
+//! Zero-arity "flag" relations (the paper's boolean relations, e.g. `R4`
+//! in Example 3) store no row data at all: `rows` stays empty and the
+//! separate `len` field (0 or 1) says whether the empty tuple is present.
+//!
+//! # Copy-on-write and unsharing
+//!
+//! Cloning a relation bumps the `Arc`'s reference count; equality,
+//! ordering and hashing compare *contents*, so sharing is unobservable.
+//! Mutations unshare lazily:
+//!
+//! * no-op mutations (inserting a present row, removing an absent one)
+//!   never copy;
+//! * `insert`/`remove` on a shared run copy it once (`Arc::make_mut`) and
+//!   then splice in place;
+//! * the bulk merge operations always build a fresh run, so outstanding
+//!   clones are never disturbed.
+//!
+//! [`Tuple`] survives as the boundary/view type: parsing, rendering and
+//! the public fact APIs still speak tuples, while the engine's hot paths
+//! consume `&[Const]` row slices straight out of the run.
 
+use std::cmp::Ordering;
 use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
@@ -9,22 +42,22 @@ use crate::tuple::Tuple;
 use crate::value::Const;
 use crate::Result;
 
-/// A finite relation `r ⊆ A^k`.
+/// A finite relation `r ⊆ A^k`, stored as an arity-strided sorted run.
 ///
 /// The arity is fixed at construction time so that empty relations still know
-/// their arity (the paper's zero-ary "flag" relations rely on this).
-///
-/// The tuple set is **copy-on-write**: cloning a relation only bumps a
-/// reference count, and a mutation copies the underlying set only when it is
-/// actually shared.  Databases are cloned pervasively (every transformation
-/// step produces new ones), and the engine's incremental sessions hand out
-/// snapshots of maintained relations — both get `O(1)` clones this way,
-/// while equality, ordering and hashing still compare *contents* exactly as
-/// before (the `Arc` is transparent).
+/// their arity (the paper's zero-ary "flag" relations rely on this).  See the
+/// [module docs](self) for the storage layout and copy-on-write rules.
+// Field order is load-bearing: the derived `Ord` compares `arity`, then the
+// concatenated sorted rows, then `len`.  For equal arities the flat rows
+// compare exactly like the old lexicographic sequence-of-tuples order (rows
+// are fixed-width, so the element-wise walk hits the first differing tuple
+// at the same position, and a strict prefix is shorter); `len` only breaks
+// the zero-arity tie, where `rows` is empty for both operands.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Relation {
     arity: usize,
-    tuples: Arc<BTreeSet<Tuple>>,
+    rows: Arc<Vec<Const>>,
+    len: usize,
 }
 
 impl Relation {
@@ -32,7 +65,8 @@ impl Relation {
     pub fn empty(arity: usize) -> Self {
         Relation {
             arity,
-            tuples: Arc::new(BTreeSet::new()),
+            rows: Arc::new(Vec::new()),
+            len: 0,
         }
     }
 
@@ -40,11 +74,97 @@ impl Relation {
     ///
     /// Fails if any tuple has the wrong arity.
     pub fn from_tuples(arity: usize, tuples: impl IntoIterator<Item = Tuple>) -> Result<Self> {
-        let mut r = Relation::empty(arity);
+        let mut rows = Vec::new();
+        let mut count = 0usize;
         for t in tuples {
-            r.insert(t)?;
+            if t.arity() != arity {
+                return Err(DataError::TupleArityMismatch {
+                    expected: arity,
+                    found: t.arity(),
+                });
+            }
+            rows.extend_from_slice(t.components());
+            count += 1;
         }
-        Ok(r)
+        Ok(Relation::from_row_buf(arity, rows, count))
+    }
+
+    /// Bulk constructor from a flat, arity-strided row buffer in **any**
+    /// order, possibly with duplicates: sorts and deduplicates once.  Fails
+    /// if the buffer length is not a multiple of the arity (for arity 0 the
+    /// buffer must be empty and `rows_len` gives the number of empty-tuple
+    /// insertions).
+    pub fn from_rows(arity: usize, rows: Vec<Const>, rows_len: usize) -> Result<Self> {
+        if arity == 0 {
+            if !rows.is_empty() {
+                return Err(DataError::TupleArityMismatch {
+                    expected: 0,
+                    found: 1,
+                });
+            }
+        } else if rows.len() != arity * rows_len {
+            return Err(DataError::TupleArityMismatch {
+                expected: arity,
+                found: rows.len() % arity,
+            });
+        }
+        Ok(Relation::from_row_buf(arity, rows, rows_len))
+    }
+
+    /// Trusted bulk constructor: `rows` must already be a sorted,
+    /// deduplicated, arity-strided run.  This is the loaders' fast path —
+    /// the invariant is verified (cheaply, one linear scan) and violations
+    /// are reported as [`DataError::UnsortedRows`] instead of silently
+    /// corrupting the relation.
+    pub fn from_sorted_rows(arity: usize, rows: Vec<Const>) -> Result<Self> {
+        if arity == 0 {
+            if !rows.is_empty() {
+                return Err(DataError::TupleArityMismatch {
+                    expected: 0,
+                    found: 1,
+                });
+            }
+            return Ok(Relation::empty(0));
+        }
+        if !rows.len().is_multiple_of(arity) {
+            return Err(DataError::TupleArityMismatch {
+                expected: arity,
+                found: rows.len() % arity,
+            });
+        }
+        let len = rows.len() / arity;
+        for w in 1..len {
+            let prev = &rows[(w - 1) * arity..w * arity];
+            let next = &rows[w * arity..(w + 1) * arity];
+            if prev >= next {
+                return Err(DataError::UnsortedRows { position: w });
+            }
+        }
+        Ok(Relation {
+            arity,
+            rows: Arc::new(rows),
+            len,
+        })
+    }
+
+    /// Builds from an unsorted (possibly duplicated) row buffer: sort rows
+    /// as fixed-width chunks, dedup, done.
+    fn from_row_buf(arity: usize, mut rows: Vec<Const>, count: usize) -> Self {
+        if arity == 0 {
+            return Relation {
+                arity,
+                rows: Arc::new(Vec::new()),
+                len: usize::from(count > 0),
+            };
+        }
+        debug_assert_eq!(rows.len(), arity * count);
+        let sorted = sort_dedup_rows(&mut rows, arity);
+        rows.truncate(sorted * arity);
+        Relation {
+            arity,
+            rows: Arc::new(rows),
+            len: sorted,
+        }
     }
 
     /// The arity of the relation.
@@ -54,21 +174,59 @@ impl Relation {
 
     /// Number of tuples.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.len
     }
 
     /// Whether the relation contains no tuples.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.len == 0
+    }
+
+    /// The raw sorted run: `len() * arity()` constants, row-major.  Empty
+    /// for zero-arity relations regardless of [`Self::len`].
+    pub fn as_rows(&self) -> &[Const] {
+        &self.rows
+    }
+
+    /// Row `i` of the sorted run (`i < len()`); the empty slice for
+    /// zero-arity relations.
+    pub fn row(&self, i: usize) -> &[Const] {
+        if self.arity == 0 {
+            debug_assert!(i < self.len);
+            &[]
+        } else {
+            &self.rows[i * self.arity..(i + 1) * self.arity]
+        }
+    }
+
+    /// Binary search for a row: `Ok(index)` if present, `Err(insertion)` if
+    /// absent.  Zero-arity relations treat the empty row as index 0.
+    fn find_row(&self, row: &[Const]) -> std::result::Result<usize, usize> {
+        if self.arity == 0 {
+            return if self.len == 1 { Ok(0) } else { Err(0) };
+        }
+        let arity = self.arity;
+        let rows = &self.rows[..];
+        let mut lo = 0usize;
+        let mut hi = self.len;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match rows[mid * arity..(mid + 1) * arity].cmp(row) {
+                Ordering::Less => lo = mid + 1,
+                Ordering::Greater => hi = mid,
+                Ordering::Equal => return Ok(mid),
+            }
+        }
+        Err(lo)
     }
 
     /// Inserts a tuple; returns `true` if it was not already present.
     ///
-    /// Copy-on-write: if the tuple set is shared with other clones *and*
-    /// the tuple is new, the set is copied first; redundant insertions
-    /// never copy.  When the set is unshared — the common case on the
-    /// engine's hot path, where a maintained mirror absorbs every derived
-    /// fact — this is a single tree walk, not a contains-then-insert pair.
+    /// Copy-on-write: a redundant insertion never copies a shared run; a
+    /// real insertion into a shared run copies it once, then splices.  Note
+    /// the splice is `O(n)` — bulk loads should use [`Self::from_rows`] /
+    /// [`Self::from_sorted_rows`] or the merge operations instead of a loop
+    /// of single inserts.
     pub fn insert(&mut self, t: Tuple) -> Result<bool> {
         if t.arity() != self.arity {
             return Err(DataError::TupleArityMismatch {
@@ -76,66 +234,170 @@ impl Relation {
                 found: t.arity(),
             });
         }
-        if let Some(set) = Arc::get_mut(&mut self.tuples) {
-            return Ok(set.insert(t));
+        Ok(self.insert_row(t.components()))
+    }
+
+    /// [`Self::insert`] for a raw row slice (length must equal the arity,
+    /// which the caller has already checked).
+    pub fn insert_row(&mut self, row: &[Const]) -> bool {
+        debug_assert_eq!(row.len(), self.arity);
+        match self.find_row(row) {
+            Ok(_) => false,
+            Err(at) => {
+                if self.arity > 0 {
+                    let rows = Arc::make_mut(&mut self.rows);
+                    let insert_at = at * self.arity;
+                    rows.splice(insert_at..insert_at, row.iter().copied());
+                }
+                self.len += 1;
+                true
+            }
         }
-        if self.tuples.contains(&t) {
-            return Ok(false);
-        }
-        Ok(Arc::make_mut(&mut self.tuples).insert(t))
     }
 
     /// Removes a tuple; returns `true` if it was present.  Copy-on-write
     /// like [`Self::insert`]: removing an absent tuple never copies.
     pub fn remove(&mut self, t: &Tuple) -> bool {
-        if let Some(set) = Arc::get_mut(&mut self.tuples) {
-            return set.remove(t);
-        }
-        if !self.tuples.contains(t) {
+        if t.arity() != self.arity {
             return false;
         }
-        Arc::make_mut(&mut self.tuples).remove(t)
+        self.remove_row(t.components())
     }
 
-    /// Whether the tuple is present.
+    /// [`Self::remove`] for a raw row slice.
+    pub fn remove_row(&mut self, row: &[Const]) -> bool {
+        debug_assert_eq!(row.len(), self.arity);
+        match self.find_row(row) {
+            Err(_) => false,
+            Ok(at) => {
+                if self.arity > 0 {
+                    let rows = Arc::make_mut(&mut self.rows);
+                    let start = at * self.arity;
+                    rows.drain(start..start + self.arity);
+                }
+                self.len -= 1;
+                true
+            }
+        }
+    }
+
+    /// Whether the tuple is present (galloping/binary search over the run).
     pub fn contains(&self, t: &Tuple) -> bool {
-        self.tuples.contains(t)
+        t.arity() == self.arity && self.find_row(t.components()).is_ok()
     }
 
-    /// Iterates over the tuples in canonical order.
-    pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
-        self.tuples.iter()
+    /// Whether the raw row is present.  A row of the wrong length is
+    /// simply absent (mirroring [`Relation::contains`]).
+    pub fn contains_row(&self, row: &[Const]) -> bool {
+        row.len() == self.arity && self.find_row(row).is_ok()
+    }
+
+    /// Iterates over the rows in canonical (sorted) order as `&[Const]`
+    /// slices.  Zero-arity relations yield `len()` empty slices.
+    pub fn iter(&self) -> RowIter<'_> {
+        RowIter {
+            rows: &self.rows,
+            arity: self.arity,
+            remaining: self.len,
+        }
+    }
+
+    /// Iterates over the rows as owned [`Tuple`]s — the boundary
+    /// convenience for callers that render or store facts; hot paths should
+    /// iterate [`Self::iter`] rows instead.
+    pub fn tuples(&self) -> impl Iterator<Item = Tuple> + '_ {
+        self.iter().map(Tuple::from_row)
     }
 
     /// All constants occurring in the relation.
     pub fn constants(&self) -> BTreeSet<Const> {
-        self.tuples.iter().flat_map(|t| t.iter()).collect()
+        self.rows.iter().copied().collect()
     }
 
-    /// Set union (same arity assumed; checked).
+    /// Set union (same arity assumed; checked).  `O(n + m)` merge of the
+    /// two sorted runs; when one side is empty the other's run is shared,
+    /// not copied.
     pub fn union(&self, other: &Relation) -> Result<Relation> {
         self.check_same_arity(other)?;
+        if self.arity == 0 {
+            return Ok(Relation::flag(self.len.max(other.len)));
+        }
+        if self.is_empty() || Arc::ptr_eq(&self.rows, &other.rows) {
+            return Ok(other.clone());
+        }
+        if other.is_empty() {
+            return Ok(self.clone());
+        }
+        let arity = self.arity;
+        let mut out = Vec::with_capacity(self.rows.len().max(other.rows.len()));
+        let mut count = 0usize;
+        let mut merge = MergeRows::new(&self.rows, &other.rows, arity);
+        while let Some((row, _)) = merge.next() {
+            out.extend_from_slice(row);
+            count += 1;
+        }
         Ok(Relation {
-            arity: self.arity,
-            tuples: Arc::new(self.tuples.union(&other.tuples).cloned().collect()),
+            arity,
+            rows: Arc::new(out),
+            len: count,
         })
     }
 
     /// Set intersection.
     pub fn intersection(&self, other: &Relation) -> Result<Relation> {
         self.check_same_arity(other)?;
+        if self.arity == 0 {
+            return Ok(Relation::flag(self.len.min(other.len)));
+        }
+        if Arc::ptr_eq(&self.rows, &other.rows) {
+            return Ok(self.clone());
+        }
+        if self.is_empty() || other.is_empty() {
+            return Ok(Relation::empty(self.arity));
+        }
+        let arity = self.arity;
+        let mut out = Vec::new();
+        let mut count = 0usize;
+        let mut merge = MergeRows::new(&self.rows, &other.rows, arity);
+        while let Some((row, from)) = merge.next() {
+            if from == MergeSide::Both {
+                out.extend_from_slice(row);
+                count += 1;
+            }
+        }
         Ok(Relation {
-            arity: self.arity,
-            tuples: Arc::new(self.tuples.intersection(&other.tuples).cloned().collect()),
+            arity,
+            rows: Arc::new(out),
+            len: count,
         })
     }
 
     /// Set difference `self \ other`.
     pub fn difference(&self, other: &Relation) -> Result<Relation> {
         self.check_same_arity(other)?;
+        if self.arity == 0 {
+            return Ok(Relation::flag(if other.len == 0 { self.len } else { 0 }));
+        }
+        if Arc::ptr_eq(&self.rows, &other.rows) {
+            return Ok(Relation::empty(self.arity));
+        }
+        if self.is_empty() || other.is_empty() {
+            return Ok(self.clone());
+        }
+        let arity = self.arity;
+        let mut out = Vec::new();
+        let mut count = 0usize;
+        let mut merge = MergeRows::new(&self.rows, &other.rows, arity);
+        while let Some((row, from)) = merge.next() {
+            if from == MergeSide::Left {
+                out.extend_from_slice(row);
+                count += 1;
+            }
+        }
         Ok(Relation {
-            arity: self.arity,
-            tuples: Arc::new(self.tuples.difference(&other.tuples).cloned().collect()),
+            arity,
+            rows: Arc::new(out),
+            len: count,
         })
     }
 
@@ -143,25 +405,130 @@ impl Relation {
     /// the building block of the Winslett order (Definition 2.1).
     pub fn symmetric_difference(&self, other: &Relation) -> Result<Relation> {
         self.check_same_arity(other)?;
+        if self.arity == 0 {
+            return Ok(Relation::flag(self.len ^ other.len));
+        }
+        if Arc::ptr_eq(&self.rows, &other.rows) {
+            return Ok(Relation::empty(self.arity));
+        }
+        let arity = self.arity;
+        let mut out = Vec::new();
+        let mut count = 0usize;
+        let mut merge = MergeRows::new(&self.rows, &other.rows, arity);
+        while let Some((row, from)) = merge.next() {
+            if from != MergeSide::Both {
+                out.extend_from_slice(row);
+                count += 1;
+            }
+        }
         Ok(Relation {
-            arity: self.arity,
-            tuples: Arc::new(
-                self.tuples
-                    .symmetric_difference(&other.tuples)
-                    .cloned()
-                    .collect(),
-            ),
+            arity,
+            rows: Arc::new(out),
+            len: count,
         })
     }
 
-    /// Whether `self ⊆ other`.
+    /// Applies a batch update in one linear merge: returns
+    /// `(self \ dels) ∪ adds`.  Both `adds` and `dels` must be sorted,
+    /// deduplicated, arity-strided runs, and they must be disjoint from each
+    /// other; `adds ∩ self` and `dels \ self` are tolerated (redundant adds
+    /// and misses are skipped).  This is the engine mirror's flush
+    /// primitive: a whole delta's worth of mutations costs one `O(n + a +
+    /// d)` pass instead of `O(n)` per fact, and the fresh run never
+    /// disturbs outstanding copy-on-write snapshots.
+    pub fn merge_rows(&self, adds: &[Const], dels: &[Const]) -> Result<Relation> {
+        if self.arity == 0 {
+            // adds/dels are disjoint runs of the empty row: at most one of
+            // them is non-empty (len is tracked by the caller via the
+            // parity rule, so receiving both would be a caller bug).
+            debug_assert!(adds.is_empty() || dels.is_empty());
+            let len = if !adds.is_empty() {
+                1
+            } else if !dels.is_empty() {
+                0
+            } else {
+                self.len
+            };
+            return Ok(Relation::flag(len));
+        }
+        if !adds.len().is_multiple_of(self.arity) || !dels.len().is_multiple_of(self.arity) {
+            return Err(DataError::TupleArityMismatch {
+                expected: self.arity,
+                found: (adds.len().max(dels.len())) % self.arity,
+            });
+        }
+        if adds.is_empty() && dels.is_empty() {
+            return Ok(self.clone());
+        }
+        let arity = self.arity;
+        let mut out = Vec::with_capacity(self.rows.len() + adds.len());
+        let mut count = 0usize;
+        let mut dels = RowCursor::new(dels, arity);
+        // 3-way merge: walk (self ∪ adds) in order, dropping rows matched
+        // by the deletion cursor.
+        let mut merge = MergeRows::new(&self.rows, adds, arity);
+        while let Some((row, _from)) = merge.next() {
+            if dels.skip_to(row) {
+                continue;
+            }
+            out.extend_from_slice(row);
+            count += 1;
+        }
+        Ok(Relation {
+            arity,
+            rows: Arc::new(out),
+            len: count,
+        })
+    }
+
+    /// Whether both relations share the same underlying run — an `O(1)`
+    /// pointer check proving identical contents without comparing a single
+    /// row.  Copy-on-write keeps untouched relations on the same `Arc`
+    /// across database clones, so diff-style callers use this to skip
+    /// whole relations; `false` only means "unknown", never "different".
+    pub fn shares_rows(&self, other: &Relation) -> bool {
+        self.arity == other.arity && self.len == other.len && Arc::ptr_eq(&self.rows, &other.rows)
+    }
+
+    /// Whether `self ⊆ other`.  Gallops (binary-searches each of this
+    /// relation's rows) when this side is much smaller, otherwise runs a
+    /// linear merge walk.
     pub fn is_subset(&self, other: &Relation) -> bool {
-        self.arity == other.arity && self.tuples.is_subset(&other.tuples)
+        if self.arity != other.arity || self.len > other.len {
+            return false;
+        }
+        if self.arity == 0 || self.is_empty() {
+            return true;
+        }
+        if Arc::ptr_eq(&self.rows, &other.rows) {
+            return true;
+        }
+        // galloping pays off when |self| * log|other| < |self| + |other|
+        let log_other = (usize::BITS - other.len.leading_zeros()) as usize;
+        if self.len * log_other < self.len + other.len {
+            return self.iter().all(|row| other.contains_row(row));
+        }
+        let mut merge = MergeRows::new(&self.rows, &other.rows, self.arity);
+        while let Some((_, from)) = merge.next() {
+            if from == MergeSide::Left {
+                return false;
+            }
+        }
+        true
     }
 
     /// Whether `self ⊊ other`.
     pub fn is_proper_subset(&self, other: &Relation) -> bool {
-        self.is_subset(other) && self.tuples.len() < other.tuples.len()
+        self.len < other.len && self.is_subset(other)
+    }
+
+    /// A zero-arity relation holding the empty tuple iff `len > 0`.
+    fn flag(len: usize) -> Relation {
+        Relation {
+            arity: 0,
+            rows: Arc::new(Vec::new()),
+            len: usize::from(len > 0),
+        }
     }
 
     fn check_same_arity(&self, other: &Relation) -> Result<()> {
@@ -176,6 +543,177 @@ impl Relation {
     }
 }
 
+/// Sorts an arity-strided row buffer in place (as fixed-width chunks) and
+/// compacts duplicates to the front; returns the deduplicated row count
+/// (the caller truncates to `count * arity`).  `arity` must be positive.
+///
+/// This is the low-level primitive behind [`Relation::from_rows`], exposed
+/// so engines batching derived rows into strided buffers can canonicalise
+/// them without round-tripping through `Relation`.
+pub fn sort_dedup_rows(rows: &mut [Const], arity: usize) -> usize {
+    debug_assert!(arity > 0);
+    let count = rows.len() / arity;
+    if count <= 1 {
+        return count;
+    }
+    // Sort an index permutation, then apply it — avoids a chunked sort's
+    // per-comparison bounds checks and keeps the row moves to one pass.
+    let mut order: Vec<u32> = (0..count as u32).collect();
+    order.sort_unstable_by(|&a, &b| {
+        rows[a as usize * arity..(a as usize + 1) * arity]
+            .cmp(&rows[b as usize * arity..(b as usize + 1) * arity])
+    });
+    let mut out: Vec<Const> = Vec::with_capacity(rows.len());
+    let mut kept = 0usize;
+    for &idx in &order {
+        let row = &rows[idx as usize * arity..(idx as usize + 1) * arity];
+        if kept > 0 && &out[(kept - 1) * arity..kept * arity] == row {
+            continue;
+        }
+        out.extend_from_slice(row);
+        kept += 1;
+    }
+    rows[..out.len()].copy_from_slice(&out);
+    kept
+}
+
+/// Iterator over the rows of a sorted run as `&[Const]` slices.
+#[derive(Clone, Debug)]
+pub struct RowIter<'a> {
+    rows: &'a [Const],
+    arity: usize,
+    remaining: usize,
+}
+
+impl<'a> RowIter<'a> {
+    /// Iterates `len` rows of width `arity` out of a raw strided buffer:
+    /// `rows` must hold exactly `len * arity` constants (empty for arity 0,
+    /// where `len` counts empty tuples).  Companion to
+    /// [`sort_dedup_rows`] for engines working on raw row buffers.
+    pub fn over(rows: &'a [Const], arity: usize, len: usize) -> Self {
+        debug_assert_eq!(rows.len(), arity * len);
+        RowIter {
+            rows,
+            arity,
+            remaining: len,
+        }
+    }
+}
+
+impl<'a> Iterator for RowIter<'a> {
+    type Item = &'a [Const];
+
+    fn next(&mut self) -> Option<&'a [Const]> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        if self.arity == 0 {
+            return Some(&[]);
+        }
+        let (row, rest) = self.rows.split_at(self.arity);
+        self.rows = rest;
+        Some(row)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for RowIter<'_> {}
+
+/// Which side(s) of a two-run merge produced the current row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum MergeSide {
+    Left,
+    Right,
+    Both,
+}
+
+/// Linear merge over two sorted runs of the same arity, yielding each
+/// distinct row once together with the side(s) it came from.
+struct MergeRows<'a> {
+    left: RowCursor<'a>,
+    right: RowCursor<'a>,
+}
+
+impl<'a> MergeRows<'a> {
+    fn new(left: &'a [Const], right: &'a [Const], arity: usize) -> Self {
+        MergeRows {
+            left: RowCursor::new(left, arity),
+            right: RowCursor::new(right, arity),
+        }
+    }
+
+    #[allow(clippy::should_implement_trait)] // lending iterator shape
+    fn next(&mut self) -> Option<(&'a [Const], MergeSide)> {
+        match (self.left.current(), self.right.current()) {
+            (None, None) => None,
+            (Some(l), None) => {
+                self.left.advance();
+                Some((l, MergeSide::Left))
+            }
+            (None, Some(r)) => {
+                self.right.advance();
+                Some((r, MergeSide::Right))
+            }
+            (Some(l), Some(r)) => match l.cmp(r) {
+                Ordering::Less => {
+                    self.left.advance();
+                    Some((l, MergeSide::Left))
+                }
+                Ordering::Greater => {
+                    self.right.advance();
+                    Some((r, MergeSide::Right))
+                }
+                Ordering::Equal => {
+                    self.left.advance();
+                    self.right.advance();
+                    Some((l, MergeSide::Both))
+                }
+            },
+        }
+    }
+}
+
+/// A cursor over one sorted run.
+struct RowCursor<'a> {
+    rows: &'a [Const],
+    arity: usize,
+}
+
+impl<'a> RowCursor<'a> {
+    fn new(rows: &'a [Const], arity: usize) -> Self {
+        RowCursor { rows, arity }
+    }
+
+    fn current(&self) -> Option<&'a [Const]> {
+        if self.rows.is_empty() {
+            None
+        } else {
+            Some(&self.rows[..self.arity])
+        }
+    }
+
+    fn advance(&mut self) {
+        self.rows = &self.rows[self.arity..];
+    }
+
+    /// Advances past every row `< row`; returns `true` if the cursor now
+    /// sits exactly on `row`.
+    fn skip_to(&mut self, row: &[Const]) -> bool {
+        while let Some(cur) = self.current() {
+            match cur.cmp(row) {
+                Ordering::Less => self.advance(),
+                Ordering::Equal => return true,
+                Ordering::Greater => return false,
+            }
+        }
+        false
+    }
+}
+
 impl fmt::Debug for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         fmt::Display::fmt(self, f)
@@ -185,11 +723,18 @@ impl fmt::Debug for Relation {
 impl fmt::Display for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{{")?;
-        for (i, t) in self.tuples.iter().enumerate() {
+        for (i, row) in self.iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
-            write!(f, "{t}")?;
+            write!(f, "(")?;
+            for (j, c) in row.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{c}")?;
+            }
+            write!(f, ")")?;
         }
         write!(f, "}}")
     }
@@ -226,6 +771,24 @@ mod tests {
         assert!(r.insert(Tuple::empty()).unwrap());
         assert!(!r.insert(Tuple::empty()).unwrap());
         assert_eq!(r.len(), 1);
+        assert!(r.contains(&Tuple::empty()));
+        assert!(r.remove(&Tuple::empty()));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn rows_stay_sorted_and_deduplicated() {
+        let mut r = Relation::empty(2);
+        for t in [tuple![3, 1], tuple![1, 2], tuple![2, 9], tuple![1, 2]] {
+            r.insert(t).unwrap();
+        }
+        let rows: Vec<Vec<u32>> = r
+            .iter()
+            .map(|row| row.iter().map(|c| c.index()).collect())
+            .collect();
+        assert_eq!(rows, vec![vec![1, 2], vec![2, 9], vec![3, 1]]);
+        assert_eq!(r.as_rows().len(), 6);
+        assert_eq!(r.row(1), &[Const::new(2), Const::new(9)]);
     }
 
     #[test]
@@ -242,17 +805,30 @@ mod tests {
     }
 
     #[test]
+    fn zero_ary_set_operations() {
+        let on = rel(0, &[Tuple::empty()]);
+        let off = Relation::empty(0);
+        assert_eq!(on.union(&off).unwrap().len(), 1);
+        assert_eq!(on.intersection(&off).unwrap().len(), 0);
+        assert_eq!(on.difference(&off).unwrap().len(), 1);
+        assert_eq!(on.symmetric_difference(&off).unwrap().len(), 1);
+        assert_eq!(on.symmetric_difference(&on).unwrap().len(), 0);
+        assert!(off.is_subset(&on));
+        assert!(!on.is_subset(&off));
+    }
+
+    #[test]
     fn clones_share_storage_until_mutated() {
         let mut a = rel(2, &[tuple![1, 2], tuple![3, 4]]);
         let b = a.clone();
-        assert!(Arc::ptr_eq(&a.tuples, &b.tuples), "clone must share");
+        assert!(Arc::ptr_eq(&a.rows, &b.rows), "clone must share");
         // no-op mutations keep sharing
         assert!(!a.insert(tuple![1, 2]).unwrap());
         assert!(!a.remove(&tuple![9, 9]));
-        assert!(Arc::ptr_eq(&a.tuples, &b.tuples));
+        assert!(Arc::ptr_eq(&a.rows, &b.rows));
         // a real mutation unshares and leaves the clone untouched
         assert!(a.insert(tuple![5, 6]).unwrap());
-        assert!(!Arc::ptr_eq(&a.tuples, &b.tuples));
+        assert!(!Arc::ptr_eq(&a.rows, &b.rows));
         assert_eq!(a.len(), 3);
         assert_eq!(b.len(), 2);
         assert!(!b.contains(&tuple![5, 6]));
@@ -287,5 +863,60 @@ mod tests {
         let b = rel(1, &[tuple![1]]);
         assert!(a.union(&b).is_err());
         assert!(a.symmetric_difference(&b).is_err());
+    }
+
+    #[test]
+    fn ordering_matches_sequence_of_tuples() {
+        // {(5,5)} vs {(1,2),(3,4)}: the first differing row decides before
+        // the lengths do — exactly like comparing the tuple sequences.
+        let single = rel(2, &[tuple![5, 5]]);
+        let double = rel(2, &[tuple![1, 2], tuple![3, 4]]);
+        assert!(double < single);
+        // a strict prefix is smaller
+        let prefix = rel(2, &[tuple![1, 2]]);
+        assert!(prefix < double);
+        // arity dominates
+        assert!(rel(1, &[tuple![9]]) < rel(2, &[tuple![1, 1]]));
+        // zero-arity: {} < {()}
+        assert!(Relation::empty(0) < rel(0, &[Tuple::empty()]));
+    }
+
+    #[test]
+    fn from_sorted_rows_verifies_the_run() {
+        let c = Const::new;
+        let ok = Relation::from_sorted_rows(2, vec![c(1), c(2), c(3), c(4)]).unwrap();
+        assert_eq!(ok.len(), 2);
+        assert!(Relation::from_sorted_rows(2, vec![c(3), c(4), c(1), c(2)]).is_err());
+        assert!(Relation::from_sorted_rows(2, vec![c(1), c(2), c(1), c(2)]).is_err());
+        assert!(Relation::from_sorted_rows(2, vec![c(1), c(2), c(3)]).is_err());
+    }
+
+    #[test]
+    fn from_rows_sorts_and_dedups() {
+        let c = Const::new;
+        let r = Relation::from_rows(2, vec![c(3), c(4), c(1), c(2), c(3), c(4)], 3).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.row(0), &[c(1), c(2)]);
+        assert!(Relation::from_rows(2, vec![c(1)], 1).is_err());
+    }
+
+    #[test]
+    fn merge_rows_applies_batched_updates() {
+        let c = Const::new;
+        let base = rel(2, &[tuple![1, 2], tuple![3, 4], tuple![5, 6]]);
+        let adds = vec![c(2), c(2), c(4), c(4)];
+        let dels = vec![c(3), c(4)];
+        let out = base.merge_rows(&adds, &dels).unwrap();
+        assert_eq!(out.len(), 4);
+        assert!(out.contains(&tuple![2, 2]));
+        assert!(out.contains(&tuple![4, 4]));
+        assert!(!out.contains(&tuple![3, 4]));
+        // no-op merge shares storage
+        let same = base.merge_rows(&[], &[]).unwrap();
+        assert!(Arc::ptr_eq(&base.rows, &same.rows));
+        // an outstanding clone is never disturbed
+        let snapshot = base.clone();
+        let _ = base.merge_rows(&adds, &dels).unwrap();
+        assert_eq!(snapshot, base);
     }
 }

@@ -22,6 +22,12 @@ impl Tuple {
         Tuple(Box::new([]))
     }
 
+    /// Builds a tuple from a borrowed row slice — the boundary conversion
+    /// out of a [`crate::Relation`]'s flat row storage.
+    pub fn from_row(row: &[Const]) -> Self {
+        Tuple(row.into())
+    }
+
     /// Number of components.
     pub fn arity(&self) -> usize {
         self.0.len()
@@ -55,7 +61,7 @@ impl Tuple {
     /// Projects the tuple onto the given columns (in the order listed);
     /// panics if a column is out of range.
     pub fn project(&self, cols: &[usize]) -> Tuple {
-        Tuple::new(cols.iter().map(|&i| self.0[i]).collect::<Vec<_>>())
+        Tuple(cols.iter().map(|&i| self.0[i]).collect())
     }
 }
 
@@ -100,13 +106,13 @@ impl From<&[Const]> for Tuple {
 
 impl From<&[u32]> for Tuple {
     fn from(v: &[u32]) -> Self {
-        Tuple::new(v.iter().copied().map(Const).collect::<Vec<_>>())
+        Tuple(v.iter().copied().map(Const).collect())
     }
 }
 
 impl<const N: usize> From<[u32; N]> for Tuple {
     fn from(v: [u32; N]) -> Self {
-        Tuple::new(v.iter().copied().map(Const).collect::<Vec<_>>())
+        Tuple(v.iter().copied().map(Const).collect())
     }
 }
 

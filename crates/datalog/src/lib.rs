@@ -20,7 +20,7 @@
 //! engine's slot-based IR): [`semi_naive_eval`] runs delta-indexed
 //! semi-naive rounds over hash-indexed storage, [`naive_eval`] recomputes
 //! every round.  The original nested-loop evaluators survive unchanged in
-//! [`reference`] as an independent cross-check oracle.
+//! [`reference`](mod@reference) as an independent cross-check oracle.
 
 pub mod ast;
 pub mod error;

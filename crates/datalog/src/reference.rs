@@ -183,19 +183,19 @@ fn search(
         // the full relation.
         let full = db.relation(lit.atom.rel);
         let use_delta = matches!(delta_pos, Some((p, _)) if p == idx);
-        let iter: Box<dyn Iterator<Item = &Tuple>> = if use_delta {
+        let iter: Box<dyn Iterator<Item = &[Const]>> = if use_delta {
             let (_, d) = delta_pos.expect("checked");
-            Box::new(d.iter())
+            Box::new(d.iter().map(Tuple::components))
         } else {
             match full {
                 Some(rel) => Box::new(rel.iter()),
                 None => return,
             }
         };
-        for tuple in iter {
+        for row in iter {
             stats.tuples_scanned += 1;
             let mut bound: Vec<Var> = Vec::new();
-            if unify(&lit.atom, tuple, subst, &mut bound) {
+            if unify(&lit.atom, row, subst, &mut bound) {
                 search(rule, db, delta_pos, order, depth + 1, subst, out, stats);
             }
             for v in bound {
@@ -213,14 +213,14 @@ fn search(
     }
 }
 
-/// Extends `subst` so that `atom` matches `tuple`; records newly bound
+/// Extends `subst` so that `atom` matches the row; records newly bound
 /// variables in `bound`.  Returns `false` (and leaves `subst` extended with
 /// whatever was bound so far — caller unbinds) on mismatch.
-fn unify(atom: &DlAtom, tuple: &Tuple, subst: &mut Subst, bound: &mut Vec<Var>) -> bool {
-    if atom.arity() != tuple.arity() {
+fn unify(atom: &DlAtom, row: &[Const], subst: &mut Subst, bound: &mut Vec<Var>) -> bool {
+    if atom.arity() != row.len() {
         return false;
     }
-    for (term, value) in atom.terms.iter().zip(tuple.iter()) {
+    for (term, &value) in atom.terms.iter().zip(row) {
         match term {
             Term::Const(c) => {
                 if *c != value {

@@ -6,6 +6,15 @@
 //! starts, so negated literals — which stratification confines to relations
 //! of earlier strata or the EDB — always read fully computed relations.
 //!
+//! ## Row-slice evaluation
+//!
+//! The interpreter never materialises tuples while joining: scans and probes
+//! hand out `&[Const]` row slices borrowed straight from the storage's row
+//! arenas, probe keys are single `u64`s accumulated in registers (see
+//! [`crate::fx`]), and instantiated head facts go into a per-plan scratch
+//! buffer that the pending-set sink copies out of.  The inner join loops
+//! perform **zero heap allocations per probe**.
+//!
 //! ## Parallel rounds
 //!
 //! Within one fixpoint round every (rule, plan) pair reads the storage and
@@ -13,17 +22,17 @@
 //! parallel.  [`EngineOptions::threads`] > 1 fans a round out over the
 //! `kbt-par` pool:
 //!
-//! 1. the round's plans are decomposed into [`RoundTask`]s — a plan led by a
+//! 1. the round's plans are decomposed into `RoundTask`s — a plan led by a
 //!    scan contributes one task per *chunk* of the scanned relation's tuple
 //!    range, any other plan is a single task;
-//! 2. every task derives into a **private** [`Pending`] buffer with private
+//! 2. every task derives into a **private** `Pending` buffer with private
 //!    [`EngineStats`] counters — workers share nothing mutable;
 //! 3. the buffers are merged **in stable task order** (rule index first,
-//!    chunk offset second) into one sorted pending set, and the per-worker
-//!    counters are summed.
+//!    chunk offset second) and each relation's pending rows are sorted and
+//!    deduplicated once, and the per-worker counters are summed.
 //!
-//! Because the merged pending set is an order-insensitive union and commit
-//! inserts it in sorted order, the storage contents, the resulting
+//! Because the canonicalised pending set is an order-insensitive union and
+//! commit inserts it in sorted order, the storage contents, the resulting
 //! [`Database`] *and every statistics counter* are byte-identical to the
 //! sequential path — `threads = 1` runs the exact sequential code, and the
 //! differential tests hold the two paths equal.  Rounds whose driving
@@ -34,9 +43,11 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::ops::Range;
 
-use kbt_data::{Const, Database, RelId, Tuple};
+use kbt_data::relation::{sort_dedup_rows, RowIter};
+use kbt_data::{Const, Database, RelId};
 use kbt_par::ThreadPool;
 
+use crate::fx::{key_is_exact, KeyAcc};
 use crate::index::IndexedRelation;
 use crate::ir::{Program, Term};
 use crate::plan::{JoinPlan, PlannedRule, Source, Step};
@@ -155,7 +166,63 @@ pub(crate) fn plan_stratum(
     planned
 }
 
-pub(crate) type Pending = BTreeMap<RelId, BTreeSet<Tuple>>;
+/// An unsorted bag of derived head rows for one relation: an arity-strided
+/// buffer that is canonicalised (sorted, deduplicated) once per round
+/// instead of paying a tree insertion per derivation.
+#[derive(Clone, Debug)]
+pub(crate) struct RowSet {
+    arity: usize,
+    rows: Vec<Const>,
+    count: usize,
+}
+
+impl RowSet {
+    pub(crate) fn new(arity: usize) -> Self {
+        RowSet {
+            arity,
+            rows: Vec::new(),
+            count: 0,
+        }
+    }
+
+    pub(crate) fn arity(&self) -> usize {
+        self.arity
+    }
+
+    pub(crate) fn push(&mut self, row: &[Const]) {
+        debug_assert_eq!(row.len(), self.arity);
+        self.rows.extend_from_slice(row);
+        self.count += 1;
+    }
+
+    /// Appends another bag (same relation, so same arity).
+    fn absorb(&mut self, other: RowSet) {
+        debug_assert_eq!(self.arity, other.arity);
+        self.rows.extend_from_slice(&other.rows);
+        self.count += other.count;
+    }
+
+    /// Canonicalises the bag into a sorted, duplicate-free run.
+    fn sort_dedup(&mut self) {
+        if self.arity == 0 {
+            self.count = self.count.min(1);
+            return;
+        }
+        let kept = sort_dedup_rows(&mut self.rows, self.arity);
+        self.rows.truncate(kept * self.arity);
+        self.count = kept;
+    }
+
+    /// Iterates the rows (canonical order once [`Self::sort_dedup`] ran).
+    pub(crate) fn iter(&self) -> RowIter<'_> {
+        RowIter::over(&self.rows, self.arity, self.count)
+    }
+}
+
+/// Derived-but-uncommitted head facts per relation.  As returned by
+/// [`run_round_with`] the per-relation row sets are canonical (sorted,
+/// deduplicated) — entries exist only for relations with at least one row.
+pub(crate) type Pending = BTreeMap<RelId, RowSet>;
 pub(crate) type Deltas = BTreeMap<RelId, IndexedRelation>;
 
 /// Minimum number of driving tuples in a round before it is fanned out;
@@ -223,13 +290,32 @@ fn round_tasks<'a>(
     (tasks, driving)
 }
 
-/// Runs one task, feeding instantiated head facts to `sink`.
+/// Per-plan scratch space, allocated once per plan (or task) and reused by
+/// every derivation so the join loops themselves never touch the heap: the
+/// register file, one undo list per step depth, and the head-fact buffer.
+struct Scratch {
+    regs: Vec<Option<Const>>,
+    undos: Vec<Vec<usize>>,
+    head: Vec<Const>,
+}
+
+impl Scratch {
+    fn for_rule(rule: &PlannedRule, steps: usize) -> Self {
+        Scratch {
+            regs: vec![None; rule.slots],
+            undos: vec![Vec::new(); steps],
+            head: Vec::with_capacity(rule.head.terms.len()),
+        }
+    }
+}
+
+/// Runs one task, feeding instantiated head rows to `sink`.
 fn run_task(
     task: &RoundTask<'_>,
     storage: &IndexStorage,
     deltas: &Deltas,
     stats: &mut EngineStats,
-    sink: &mut dyn FnMut(Tuple),
+    sink: &mut dyn FnMut(&[Const]),
 ) {
     let Some(range) = task.range.clone() else {
         run_plan(task.rule, task.plan, storage, deltas, stats, sink);
@@ -245,24 +331,37 @@ fn run_task(
     let Some(relation) = relation else {
         return;
     };
-    let mut regs: Vec<Option<Const>> = vec![None; task.rule.slots];
-    let mut undo = Vec::new();
+    let mut scratch = Scratch::for_rule(task.rule, task.plan.steps.len());
+    let (undo, rest_undos) = scratch
+        .undos
+        .split_first_mut()
+        .expect("plans have at least the driving step");
     for id in range {
         if !relation.is_live(id) {
             continue; // tombstone from an incremental removal
         }
         stats.tuples_scanned += 1;
-        if match_cols(relation.tuple(id), cols, &mut regs, &mut undo) {
-            run_steps(task.rule, rest, storage, deltas, &mut regs, stats, sink);
+        if match_cols(relation.row(id), cols, &mut scratch.regs, undo) {
+            run_steps(
+                task.rule,
+                rest,
+                storage,
+                deltas,
+                &mut scratch.regs,
+                rest_undos,
+                &mut scratch.head,
+                stats,
+                sink,
+            );
         }
         for s in undo.drain(..) {
-            regs[s] = None;
+            scratch.regs[s] = None;
         }
     }
 }
 
 /// Runs one round — every listed plan — and returns the pending head facts
-/// that pass `keep` (called with the head relation and the candidate fact).
+/// that pass `keep` (called with the head relation and the candidate row).
 ///
 /// `width > 1` distributes the round's tasks over the global pool; private
 /// per-task buffers are merged in task order, so the result and the counters
@@ -276,46 +375,67 @@ pub(crate) fn run_round_with<K>(
     keep: &K,
 ) -> Pending
 where
-    K: Fn(RelId, &Tuple) -> bool + Sync,
+    K: Fn(RelId, &[Const]) -> bool + Sync,
 {
     let sequential = |stats: &mut EngineStats| {
         let mut pending = Pending::new();
         for &(rule, plan) in plans {
             let head_rel = rule.head.rel;
-            run_plan(rule, plan, storage, deltas, stats, &mut |fact| {
-                if keep(head_rel, &fact) {
-                    pending.entry(head_rel).or_default().insert(fact);
+            let head_arity = rule.head.terms.len();
+            run_plan(rule, plan, storage, deltas, stats, &mut |row| {
+                if keep(head_rel, row) {
+                    pending
+                        .entry(head_rel)
+                        .or_insert_with(|| RowSet::new(head_arity))
+                        .push(row);
                 }
             });
         }
         pending
     };
-    if width <= 1 {
-        return sequential(stats);
-    }
-    let (tasks, driving) = round_tasks(plans, storage, deltas, width);
-    if driving < PAR_ROUND_THRESHOLD {
-        return sequential(stats);
-    }
-    let results = ThreadPool::global().map(width, &tasks, |_, task| {
-        let mut pending = Pending::new();
-        let mut local = EngineStats::default();
-        let head_rel = task.rule.head.rel;
-        run_task(task, storage, deltas, &mut local, &mut |fact| {
-            if keep(head_rel, &fact) {
-                pending.entry(head_rel).or_default().insert(fact);
-            }
-        });
-        (pending, local)
-    });
-    // Deterministic merge: task order is rule order then chunk offset, and
-    // the per-relation sets union into one sorted pending set.
-    let mut pending = Pending::new();
-    for (part, local) in results {
-        stats.absorb(&local);
-        for (rel, facts) in part {
-            pending.entry(rel).or_default().extend(facts);
+    let mut pending = 'collected: {
+        if width <= 1 {
+            break 'collected sequential(stats);
         }
+        let (tasks, driving) = round_tasks(plans, storage, deltas, width);
+        if driving < PAR_ROUND_THRESHOLD {
+            break 'collected sequential(stats);
+        }
+        let results = ThreadPool::global().map(width, &tasks, |_, task| {
+            let mut pending = Pending::new();
+            let mut local = EngineStats::default();
+            let head_rel = task.rule.head.rel;
+            let head_arity = task.rule.head.terms.len();
+            run_task(task, storage, deltas, &mut local, &mut |row| {
+                if keep(head_rel, row) {
+                    pending
+                        .entry(head_rel)
+                        .or_insert_with(|| RowSet::new(head_arity))
+                        .push(row);
+                }
+            });
+            (pending, local)
+        });
+        // Deterministic merge: task order is rule order then chunk offset,
+        // and the canonicalisation below erases even that.
+        let mut pending = Pending::new();
+        for (part, local) in results {
+            stats.absorb(&local);
+            for (rel, rows) in part {
+                match pending.entry(rel) {
+                    std::collections::btree_map::Entry::Vacant(v) => {
+                        v.insert(rows);
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut o) => {
+                        o.get_mut().absorb(rows);
+                    }
+                }
+            }
+        }
+        pending
+    };
+    for rows in pending.values_mut() {
+        rows.sort_dedup();
     }
     pending
 }
@@ -329,8 +449,8 @@ fn run_round(
     stats: &mut EngineStats,
     width: usize,
 ) -> Pending {
-    run_round_with(plans, storage, deltas, stats, width, &|rel, fact| {
-        !storage.holds(rel, fact)
+    run_round_with(plans, storage, deltas, stats, width, &|rel, row| {
+        !storage.holds_row(rel, row)
     })
 }
 
@@ -396,29 +516,31 @@ pub(crate) fn eval_stratum_semi_naive(
 }
 
 /// Inserts the pending facts, returning the ones that were actually new as
-/// the next delta (in indexed form, ready to be scanned as drivers).
+/// the next delta (in indexed form, ready to be scanned as drivers).  The
+/// pending rows are canonical, so each delta relation is populated in
+/// sorted order.
 pub(crate) fn commit(
     storage: &mut IndexStorage,
     pending: Pending,
     stats: &mut EngineStats,
 ) -> Deltas {
     let mut delta = Deltas::new();
-    for (rel, facts) in pending {
-        for fact in facts {
-            let arity = fact.arity();
-            if storage.insert_fact(rel, fact.clone()) {
+    for (rel, rows) in &pending {
+        let arity = rows.arity();
+        for row in rows.iter() {
+            if storage.insert_row(*rel, row) {
                 stats.derived_facts += 1;
                 delta
-                    .entry(rel)
+                    .entry(*rel)
                     .or_insert_with(|| IndexedRelation::new(arity))
-                    .insert(fact);
+                    .insert_row(row);
             }
         }
     }
     delta
 }
 
-/// Runs one join plan, feeding every instantiated head fact to `sink`
+/// Runs one join plan, feeding every instantiated head row to `sink`
 /// (the incremental session's *rederivation* check needs pre-bound
 /// registers and early exit instead, which its dedicated `satisfiable`
 /// walker handles).
@@ -428,10 +550,20 @@ pub(crate) fn run_plan(
     storage: &IndexStorage,
     deltas: &Deltas,
     stats: &mut EngineStats,
-    sink: &mut dyn FnMut(Tuple),
+    sink: &mut dyn FnMut(&[Const]),
 ) {
-    let mut regs: Vec<Option<Const>> = vec![None; rule.slots];
-    run_steps(rule, &plan.steps, storage, deltas, &mut regs, stats, sink);
+    let mut scratch = Scratch::for_rule(rule, plan.steps.len());
+    run_steps(
+        rule,
+        &plan.steps,
+        storage,
+        deltas,
+        &mut scratch.regs,
+        &mut scratch.undos,
+        &mut scratch.head,
+        stats,
+        sink,
+    );
 }
 
 pub(crate) fn resolve(term: Term, regs: &[Option<Const>]) -> Const {
@@ -441,20 +573,16 @@ pub(crate) fn resolve(term: Term, regs: &[Option<Const>]) -> Const {
     }
 }
 
-pub(crate) fn instantiate(terms: &[Term], regs: &[Option<Const>]) -> Tuple {
-    Tuple::new(terms.iter().map(|&t| resolve(t, regs)).collect::<Vec<_>>())
-}
-
-/// Matches `tuple` against per-column actions, binding unbound slots.
+/// Matches a row against per-column actions, binding unbound slots.
 /// Returns `false` (after recording partial bindings in `undo`) on mismatch.
 pub(crate) fn match_cols(
-    tuple: &Tuple,
+    row: &[Const],
     cols: &[(usize, Term)],
     regs: &mut [Option<Const>],
     undo: &mut Vec<usize>,
 ) -> bool {
     for &(col, term) in cols {
-        let value = tuple.col(col);
+        let value = row[col];
         match term {
             Term::Const(c) => {
                 if c != value {
@@ -477,20 +605,109 @@ pub(crate) fn match_cols(
     true
 }
 
-/// Recursive step interpreter behind [`run_plan`].
+/// Whether `row` matches the resolved key terms on `mask`'s bound columns —
+/// the verification pass behind hashed (> 2 column) probe keys, whose
+/// buckets may contain false positives.
+#[inline]
+pub(crate) fn bound_cols_match(
+    row: &[Const],
+    mask: u32,
+    key: &[Term],
+    regs: &[Option<Const>],
+) -> bool {
+    let mut m = mask;
+    let mut k = 0;
+    while m != 0 {
+        let col = m.trailing_zeros() as usize;
+        if row[col] != resolve(key[k], regs) {
+            return false;
+        }
+        k += 1;
+        m &= m - 1;
+    }
+    true
+}
+
+/// Whether `relation` holds the fully determined row `terms` resolves to —
+/// one membership-bucket probe, no tuple materialisation.  The terms cover
+/// every column in ascending order, so the accumulated key is exactly the
+/// stored row key.
+pub(crate) fn member_holds(
+    relation: &IndexedRelation,
+    terms: &[Term],
+    regs: &[Option<Const>],
+) -> bool {
+    debug_assert_eq!(terms.len(), relation.arity());
+    let mut acc = KeyAcc::new(terms.len());
+    for &t in terms {
+        acc.push(resolve(t, regs));
+    }
+    let bucket = relation.member_bucket(acc.finish());
+    if key_is_exact(terms.len()) {
+        // packed keys are injective over the full row
+        !bucket.is_empty()
+    } else {
+        bucket.iter().any(|&id| {
+            relation
+                .row(id)
+                .iter()
+                .zip(terms)
+                .all(|(&v, &t)| v == resolve(t, regs))
+        })
+    }
+}
+
+/// [`member_holds`] for a determined `(column, term)` cover (ascending
+/// column order, every column present) — the incremental session's
+/// determined-scan degradation.
+pub(crate) fn member_holds_cols(
+    relation: &IndexedRelation,
+    cols: &[(usize, Term)],
+    regs: &[Option<Const>],
+) -> bool {
+    debug_assert_eq!(cols.len(), relation.arity());
+    let mut acc = KeyAcc::new(cols.len());
+    for &(_, t) in cols {
+        acc.push(resolve(t, regs));
+    }
+    let bucket = relation.member_bucket(acc.finish());
+    if key_is_exact(cols.len()) {
+        !bucket.is_empty()
+    } else {
+        bucket.iter().any(|&id| {
+            let row = relation.row(id);
+            cols.iter().all(|&(col, t)| row[col] == resolve(t, regs))
+        })
+    }
+}
+
+/// Recursive step interpreter behind [`run_plan`]: `undos` carries one
+/// reusable undo list per remaining step, split level by level alongside
+/// `steps` (capacity sticks across derivations, so binding bookkeeping
+/// stops allocating after the first few matches).
+#[allow(clippy::too_many_arguments)]
 fn run_steps(
     rule: &PlannedRule,
     steps: &[Step],
     storage: &IndexStorage,
     deltas: &Deltas,
     regs: &mut Vec<Option<Const>>,
+    undos: &mut [Vec<usize>],
+    head: &mut Vec<Const>,
     stats: &mut EngineStats,
-    sink: &mut dyn FnMut(Tuple),
+    sink: &mut dyn FnMut(&[Const]),
 ) {
     let Some((step, rest)) = steps.split_first() else {
-        sink(instantiate(&rule.head.terms, regs));
+        head.clear();
+        for &t in &rule.head.terms {
+            head.push(resolve(t, regs));
+        }
+        sink(head);
         return;
     };
+    let (undo, rest_undos) = undos
+        .split_first_mut()
+        .expect("one undo list per plan step");
     match step {
         Step::Scan { rel, source, cols } => {
             let relation = match source {
@@ -500,11 +717,12 @@ fn run_steps(
             let Some(relation) = relation else {
                 return;
             };
-            let mut undo = Vec::new();
-            for tuple in relation.iter() {
+            for row in relation.iter() {
                 stats.tuples_scanned += 1;
-                if match_cols(tuple, cols, regs, &mut undo) {
-                    run_steps(rule, rest, storage, deltas, regs, stats, sink);
+                if match_cols(row, cols, regs, undo) {
+                    run_steps(
+                        rule, rest, storage, deltas, regs, rest_undos, head, stats, sink,
+                    );
                 }
                 for s in undo.drain(..) {
                     regs[s] = None;
@@ -520,16 +738,25 @@ fn run_steps(
             let Some(relation) = storage.relation(*rel) else {
                 return;
             };
-            let key: Vec<Const> = key.iter().map(|&t| resolve(t, regs)).collect();
+            let mut acc = KeyAcc::new(key.len());
+            for &t in key {
+                acc.push(resolve(t, regs));
+            }
             stats.index_probes += 1;
-            let mut undo = Vec::new();
-            for &id in relation.probe(*mask, &key) {
+            let exact = key_is_exact(key.len());
+            for &id in relation.probe_bucket(*mask, acc.finish()) {
                 if !relation.is_live(id) {
                     continue; // tombstone from an incremental removal
                 }
+                let row = relation.row(id);
+                if !exact && !bound_cols_match(row, *mask, key, regs) {
+                    continue; // hash collision in a wide-key bucket
+                }
                 stats.tuples_scanned += 1;
-                if match_cols(relation.tuple(id), cols, regs, &mut undo) {
-                    run_steps(rule, rest, storage, deltas, regs, stats, sink);
+                if match_cols(row, cols, regs, undo) {
+                    run_steps(
+                        rule, rest, storage, deltas, regs, rest_undos, head, stats, sink,
+                    );
                 }
                 for s in undo.drain(..) {
                     regs[s] = None;
@@ -538,16 +765,24 @@ fn run_steps(
         }
         Step::Member { rel, terms } => {
             stats.index_probes += 1;
-            let fact = instantiate(terms, regs);
-            if storage.holds(*rel, &fact) {
-                run_steps(rule, rest, storage, deltas, regs, stats, sink);
+            let holds = storage
+                .relation(*rel)
+                .is_some_and(|r| member_holds(r, terms, regs));
+            if holds {
+                run_steps(
+                    rule, rest, storage, deltas, regs, rest_undos, head, stats, sink,
+                );
             }
         }
         Step::NegCheck { rel, terms } => {
             stats.index_probes += 1;
-            let fact = instantiate(terms, regs);
-            if !storage.holds(*rel, &fact) {
-                run_steps(rule, rest, storage, deltas, regs, stats, sink);
+            let holds = storage
+                .relation(*rel)
+                .is_some_and(|r| member_holds(r, terms, regs));
+            if !holds {
+                run_steps(
+                    rule, rest, storage, deltas, regs, rest_undos, head, stats, sink,
+                );
             }
         }
     }
@@ -707,6 +942,36 @@ mod tests {
         assert_eq!(fix.relation(r(3)).unwrap().len(), 2);
         assert!(fix.holds(r(3), &tuple![2]));
         assert!(fix.holds(r(3), &tuple![3]));
+    }
+
+    /// Wide rows exercise the hashed (> 2 column) key paths: membership,
+    /// negation and probes must all verify bucket candidates.
+    #[test]
+    fn wide_relations_join_through_hashed_keys() {
+        // w(a,b,c,d) :- e3(a,b,c), f(c,d), ~g3(a,b,d).
+        let program = Program::new(vec![Rule::new(
+            Atom::new(r(5), vec![s(0), s(1), s(2), s(3)]),
+            vec![
+                Literal::positive(Atom::new(r(1), vec![s(0), s(1), s(2)])),
+                Literal::positive(Atom::new(r(2), vec![s(2), s(3)])),
+                Literal::negative(Atom::new(r(3), vec![s(0), s(1), s(3)])),
+            ],
+        )
+        .unwrap()]);
+        let edb = DatabaseBuilder::new()
+            .fact(r(1), [1u32, 2, 3])
+            .fact(r(1), [4u32, 5, 6])
+            .fact(r(2), [3u32, 7])
+            .fact(r(2), [6u32, 8])
+            .fact(r(3), [4u32, 5, 8])
+            .build()
+            .unwrap();
+        for mode in [EvalMode::Naive, EvalMode::SemiNaive] {
+            let (fix, _) = evaluate(std::slice::from_ref(&program), &edb, mode).unwrap();
+            assert_eq!(fix.relation(r(5)).unwrap().len(), 1, "mode {mode:?}");
+            assert!(fix.holds(r(5), &tuple![1, 2, 3, 7]));
+            assert!(!fix.holds(r(5), &tuple![4, 5, 6, 8]), "negated by g3");
+        }
     }
 
     /// `chains` disjoint chains of `len` edges each — enough driving tuples

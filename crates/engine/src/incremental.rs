@@ -27,14 +27,15 @@
 //! stratum derives returns [`EngineError::IntensionalUpdate`] — intensional
 //! content is owned by the fixpoint.
 
-use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
-use kbt_data::{Const, Database, RelId, Tuple};
+use kbt_data::{Const, Database, RelId, Relation, Tuple};
 
 use crate::eval::{
-    commit, delta_plans, eval_stratum_semi_naive, instantiate, match_cols, resolve, run_round_with,
-    Deltas,
+    bound_cols_match, commit, delta_plans, eval_stratum_semi_naive, match_cols, member_holds,
+    member_holds_cols, run_round_with, Deltas,
 };
+use crate::fx::{key_is_exact, KeyAcc};
 use crate::index::IndexedRelation;
 use crate::ir::{Program, Term};
 use crate::plan::{JoinPlan, PlannedRule, Source, Step};
@@ -68,8 +69,10 @@ pub struct IncrementalSession {
     idb: BTreeSet<RelId>,
     /// Extensional facts the initial EDB stored *in head relations*.  They
     /// hold without needing a rule derivation, so DRed must never retract
-    /// them and fallback recomputations must re-seed them.
-    protected: BTreeMap<RelId, HashSet<Tuple>>,
+    /// them and fallback recomputations must re-seed them.  Stored as plain
+    /// sorted-run relations: membership is a binary search over row slices,
+    /// and capturing them at session start is an `O(1)` mirror clone.
+    protected: BTreeMap<RelId, Relation>,
     storage: IndexStorage,
     totals: EngineStats,
     /// Resolved evaluation width (see [`crate::EngineOptions::threads`]);
@@ -103,19 +106,17 @@ impl IncrementalSession {
         let mut stats = EngineStats::default();
         let mut planned = Vec::with_capacity(strata.len());
         let mut idb = BTreeSet::new();
-        let mut protected: BTreeMap<RelId, HashSet<Tuple>> = BTreeMap::new();
+        let mut protected: BTreeMap<RelId, Relation> = BTreeMap::new();
         for program in strata {
             stats.strata += 1;
             let heads = program.idb_relations();
             // facts the EDB itself stored in this stratum's head relations
             // (before any rule has fired) hold unconditionally
             for &rel in &heads {
-                let base = storage
-                    .relation(rel)
-                    .map(IndexedRelation::to_set)
-                    .unwrap_or_default();
-                if !base.is_empty() {
-                    protected.insert(rel, base);
+                if let Some(base) = storage.relation(rel) {
+                    if !base.is_empty() {
+                        protected.insert(rel, base.to_relation());
+                    }
                 }
             }
             let mut eligible = heads.clone();
@@ -198,7 +199,7 @@ impl IncrementalSession {
         let mut del_actual = Deltas::new();
         for (rel, t) in deletions {
             if self.storage.holds(*rel, t) {
-                delta_insert(&mut del_actual, *rel, t.clone());
+                delta_insert(&mut del_actual, *rel, t.components());
             }
         }
         // Relations whose content this call may change, from the input's
@@ -254,17 +255,17 @@ impl IncrementalSession {
                 &round,
                 &mut stats,
                 self.width,
-                &|rel, f: &Tuple| {
-                    storage.holds(rel, f)
-                        && !over_ref.get(&rel).is_some_and(|o| o.contains(f))
-                        && !protected.get(&rel).is_some_and(|p| p.contains(f))
+                &|rel, f: &[Const]| {
+                    storage.holds_row(rel, f)
+                        && !over_ref.get(&rel).is_some_and(|o| o.contains_row(f))
+                        && !protected.get(&rel).is_some_and(|p| p.contains_row(f))
                 },
             );
             round = Deltas::new();
-            for (rel, facts) in pending {
-                for fact in facts {
-                    if delta_insert(&mut over, rel, fact.clone()) {
-                        delta_insert(&mut round, rel, fact);
+            for (rel, rows) in &pending {
+                for fact in rows.iter() {
+                    if delta_insert(&mut over, *rel, fact) {
+                        delta_insert(&mut round, *rel, fact);
                     }
                 }
             }
@@ -273,8 +274,8 @@ impl IncrementalSession {
         // Phase B — retract the deleted facts and everything overdeleted.
         let mut removed = 0usize;
         for (rel, facts) in &over {
-            for t in facts.iter() {
-                if self.storage.remove_fact(*rel, t) {
+            for row in facts.iter() {
+                if self.storage.remove_row(*rel, row) {
                     removed += 1;
                 }
             }
@@ -287,7 +288,7 @@ impl IncrementalSession {
         for (rel, t) in insertions {
             self.storage.ensure_relation(*rel, t.arity())?;
             if self.storage.insert_fact(*rel, t.clone()) {
-                delta_insert(&mut added, *rel, t.clone());
+                delta_insert(&mut added, *rel, t.components());
             }
         }
 
@@ -301,7 +302,7 @@ impl IncrementalSession {
                     continue;
                 };
                 for fact in over_rel.iter() {
-                    if self.storage.holds(*rel, fact) {
+                    if self.storage.holds_row(*rel, fact) {
                         continue; // restored by an earlier rederivation
                     }
                     let derivable = stratum
@@ -310,9 +311,9 @@ impl IncrementalSession {
                         .filter(|r| r.head.rel == *rel)
                         .any(|r| rederivable(r, fact, &self.storage, &mut stats));
                     if derivable {
-                        self.storage.insert_fact(*rel, fact.clone());
+                        self.storage.insert_row(*rel, fact);
                         stats.rederived_facts += 1;
-                        delta_insert(&mut added, *rel, fact.clone());
+                        delta_insert(&mut added, *rel, fact);
                     }
                 }
             }
@@ -329,7 +330,7 @@ impl IncrementalSession {
                     &delta,
                     &mut stats,
                     self.width,
-                    &|rel, f: &Tuple| !storage.holds(rel, f),
+                    &|rel, f: &[Const]| !storage.holds_row(rel, f),
                 );
                 if pending.is_empty() {
                     break;
@@ -337,7 +338,7 @@ impl IncrementalSession {
                 delta = commit(&mut self.storage, pending, &mut stats);
                 for (rel, facts) in &delta {
                     for fact in facts.iter() {
-                        delta_insert(&mut added, *rel, fact.clone());
+                        delta_insert(&mut added, *rel, fact);
                     }
                 }
             }
@@ -350,20 +351,20 @@ impl IncrementalSession {
         let mut cleared = 0usize;
         for k in fallback_from..self.strata.len() {
             stats.strata += 1;
-            let mut olds: BTreeMap<RelId, HashSet<Tuple>> = BTreeMap::new();
+            let mut olds: BTreeMap<RelId, Relation> = BTreeMap::new();
             for rel in &self.strata[k].heads {
                 let old = self
                     .storage
                     .relation(*rel)
-                    .map(IndexedRelation::to_set)
-                    .unwrap_or_default();
+                    .map(IndexedRelation::to_relation)
+                    .unwrap_or_else(|| Relation::empty(0));
                 cleared += old.len();
                 olds.insert(*rel, old);
                 self.storage.clear_relation(*rel);
                 if let Some(base) = self.protected.get(rel) {
                     cleared -= base.len();
-                    for t in base {
-                        self.storage.insert_fact(*rel, t.clone());
+                    for row in base.iter() {
+                        self.storage.insert_row(*rel, row);
                     }
                 }
             }
@@ -371,7 +372,7 @@ impl IncrementalSession {
             eval_stratum_semi_naive(&stratum.rules, &mut self.storage, &mut stats, self.width);
             for (rel, old) in olds {
                 let new = self.storage.relation(rel).expect("relation ensured");
-                stats.rederived_facts += old.iter().filter(|t| new.contains(t)).count();
+                stats.rederived_facts += old.iter().filter(|row| new.contains_row(row)).count();
             }
         }
 
@@ -428,14 +429,13 @@ impl IncrementalSession {
     }
 }
 
-/// Inserts into a delta map, creating the indexed relation on first use;
-/// returns whether the fact was new.
-fn delta_insert(deltas: &mut Deltas, rel: RelId, fact: Tuple) -> bool {
-    let arity = fact.arity();
+/// Inserts a row into a delta map, creating the indexed relation on first
+/// use; returns whether the fact was new.
+fn delta_insert(deltas: &mut Deltas, rel: RelId, row: &[Const]) -> bool {
     deltas
         .entry(rel)
-        .or_insert_with(|| IndexedRelation::new(arity))
-        .insert(fact)
+        .or_insert_with(|| IndexedRelation::new(row.len()))
+        .insert_row(row)
 }
 
 /// Whether `fact` can be derived for `rule`'s head from the current storage:
@@ -444,12 +444,12 @@ fn delta_insert(deltas: &mut Deltas, rel: RelId, fact: Tuple) -> bool {
 /// overdeleted atom pre-bound).
 fn rederivable(
     rule: &PlannedRule,
-    fact: &Tuple,
+    fact: &[Const],
     storage: &IndexStorage,
     stats: &mut EngineStats,
 ) -> bool {
     let mut regs: Vec<Option<Const>> = vec![None; rule.slots];
-    for (term, &value) in rule.head.terms.iter().zip(fact.components()) {
+    for (term, &value) in rule.head.terms.iter().zip(fact) {
         match *term {
             Term::Const(c) => {
                 if c != value {
@@ -489,13 +489,13 @@ fn satisfiable(
             });
             if determined {
                 stats.index_probes += 1;
-                let fact = instantiate(&cols.iter().map(|&(_, t)| t).collect::<Vec<_>>(), regs);
-                return relation.contains(&fact) && satisfiable(rest, storage, regs, stats);
+                return member_holds_cols(relation, cols, regs)
+                    && satisfiable(rest, storage, regs, stats);
             }
             let mut undo = Vec::new();
-            for tuple in relation.iter() {
+            for row in relation.iter() {
                 stats.tuples_scanned += 1;
-                let hit = match_cols(tuple, cols, regs, &mut undo)
+                let hit = match_cols(row, cols, regs, &mut undo)
                     && satisfiable(rest, storage, regs, stats);
                 for s in undo.drain(..) {
                     regs[s] = None;
@@ -515,15 +515,23 @@ fn satisfiable(
             let Some(relation) = storage.relation(*rel) else {
                 return false;
             };
-            let key: Vec<Const> = key.iter().map(|&t| resolve(t, regs)).collect();
+            let mut acc = KeyAcc::new(key.len());
+            for &t in key {
+                acc.push(crate::eval::resolve(t, regs));
+            }
             stats.index_probes += 1;
+            let exact = key_is_exact(key.len());
             let mut undo = Vec::new();
-            for &id in relation.probe(*mask, &key) {
+            for &id in relation.probe_bucket(*mask, acc.finish()) {
                 if !relation.is_live(id) {
                     continue;
                 }
+                let row = relation.row(id);
+                if !exact && !bound_cols_match(row, *mask, key, regs) {
+                    continue; // hash collision in a wide-key bucket
+                }
                 stats.tuples_scanned += 1;
-                let hit = match_cols(relation.tuple(id), cols, regs, &mut undo)
+                let hit = match_cols(row, cols, regs, &mut undo)
                     && satisfiable(rest, storage, regs, stats);
                 for s in undo.drain(..) {
                     regs[s] = None;
@@ -536,12 +544,16 @@ fn satisfiable(
         }
         Step::Member { rel, terms } => {
             stats.index_probes += 1;
-            storage.holds(*rel, &instantiate(terms, regs))
+            storage
+                .relation(*rel)
+                .is_some_and(|r| member_holds(r, terms, regs))
                 && satisfiable(rest, storage, regs, stats)
         }
         Step::NegCheck { rel, terms } => {
             stats.index_probes += 1;
-            !storage.holds(*rel, &instantiate(terms, regs))
+            !storage
+                .relation(*rel)
+                .is_some_and(|r| member_holds(r, terms, regs))
                 && satisfiable(rest, storage, regs, stats)
         }
     }

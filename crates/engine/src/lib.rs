@@ -6,9 +6,16 @@
 //! scans whole relations per body atom; this crate supplies the substrate
 //! that makes the fast path actually fast:
 //!
-//! * [`index::IndexedRelation`] / [`storage::IndexStorage`] — relations with
-//!   hash indexes keyed by *bound-column masks*, built lazily for exactly the
-//!   `(relation, binding pattern)` pairs a rule body demands;
+//! * [`index::IndexedRelation`] / [`storage::IndexStorage`] — flat row
+//!   storage: every relation keeps its tuples in one arity-strided
+//!   `Vec<Const>` arena (slot = row id, tombstoned removals, amortised
+//!   compaction) with hash indexes keyed by *bound-column masks*, built
+//!   lazily for exactly the `(relation, binding pattern)` pairs a rule body
+//!   demands.  Keys over ≤ [`PACK_MAX`] bound columns pack injectively into
+//!   a `u64` ([`fx::KeyAcc`]); wider patterns hash with verification.  A
+//!   probe is therefore allocation-free: pack the key on the stack, borrow
+//!   the bucket's id slice, verify candidates against `&[Const]` row slices
+//!   straight out of the arena;
 //! * [`plan`] — a join planner that orders body atoms by bound-variable
 //!   count and compiles every rule into a sequence of index probes instead
 //!   of full scans;
@@ -66,6 +73,7 @@
 
 pub mod error;
 pub mod eval;
+pub mod fx;
 pub mod incremental;
 pub mod index;
 pub mod ir;
@@ -76,6 +84,7 @@ pub mod storage;
 
 pub use error::EngineError;
 pub use eval::{evaluate, evaluate_with, EngineOptions, EvalMode};
+pub use fx::{FxBuild, FxHasher, KeyAcc, PACK_MAX};
 pub use incremental::IncrementalSession;
 pub use index::{IndexedRelation, Mask};
 pub use metrics::{metrics, EngineMetrics};

@@ -2,7 +2,7 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
-use kbt_data::{DataError, Database, RelId, Tuple};
+use kbt_data::{Const, DataError, Database, RelId, Tuple};
 
 use crate::index::{IndexedRelation, Mask};
 
@@ -63,6 +63,14 @@ impl IndexStorage {
         self.relations.get(&rel).is_some_and(|r| r.contains(t))
     }
 
+    /// [`Self::holds`] for a raw row slice (the row's length must match the
+    /// relation's arity — derived head rows always do).
+    pub fn holds_row(&self, rel: RelId, row: &[Const]) -> bool {
+        self.relations
+            .get(&rel)
+            .is_some_and(|r| r.contains_row(row))
+    }
+
     /// Inserts a fact into an existing relation; returns `true` if new.
     pub fn insert_fact(&mut self, rel: RelId, t: Tuple) -> bool {
         self.relations
@@ -71,10 +79,25 @@ impl IndexStorage {
             .insert(t)
     }
 
+    /// [`Self::insert_fact`] for a raw row slice.
+    pub fn insert_row(&mut self, rel: RelId, row: &[Const]) -> bool {
+        self.relations
+            .get_mut(&rel)
+            .expect("relation ensured before evaluation")
+            .insert_row(row)
+    }
+
     /// Removes a fact, returning `true` if it was present.  Unknown
     /// relations simply report `false`.
     pub fn remove_fact(&mut self, rel: RelId, t: &Tuple) -> bool {
         self.relations.get_mut(&rel).is_some_and(|r| r.remove(t))
+    }
+
+    /// [`Self::remove_fact`] for a raw row slice.
+    pub fn remove_row(&mut self, rel: RelId, row: &[Const]) -> bool {
+        self.relations
+            .get_mut(&rel)
+            .is_some_and(|r| r.remove_row(row))
     }
 
     /// Empties a relation while keeping its demanded indexes probe-ready
@@ -135,12 +158,14 @@ pub struct FactSet {
 }
 
 impl FactSet {
-    /// Snapshots a database.
+    /// Snapshots a database (tuples are materialised from the flat row
+    /// storage once, here — the point of the snapshot is that `holds` then
+    /// never touches the sorted runs again).
     pub fn from_database(db: &Database) -> Self {
         FactSet {
             facts: db
                 .iter()
-                .map(|(rel, r)| (rel, r.iter().cloned().collect()))
+                .map(|(rel, r)| (rel, r.tuples().collect()))
                 .collect(),
         }
     }

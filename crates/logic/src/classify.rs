@@ -57,7 +57,7 @@ pub fn is_ground(f: &Formula) -> bool {
 /// Whether the formula is existential: built from atoms, equalities, `∧`,
 /// `∨` and `∃` only (no negation, no `∀`, no implications).  Positive
 /// existential sentences are the updates-with-multiple-results of
-/// [AbG85] mentioned in the introduction.
+/// \[AbG85\] mentioned in the introduction.
 pub fn is_existential(f: &Formula) -> bool {
     match f {
         Formula::True | Formula::False | Formula::Atom(_, _) | Formula::Eq(_, _) => true,

@@ -77,8 +77,8 @@ impl SoQuery {
         let mut answer = Relation::empty(self.output_arity);
         for m in &minimal {
             if let Some(rel) = m.relation(self.output) {
-                for t in rel.iter() {
-                    answer.insert(t.clone()).expect("arity");
+                for row in rel.iter() {
+                    answer.insert_row(row);
                 }
             }
         }

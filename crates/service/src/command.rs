@@ -31,7 +31,7 @@
 //! ```
 
 use kbt_core::Transform;
-use kbt_data::{RelId, Tuple, Vocabulary};
+use kbt_data::{Const, RelId, Tuple, Vocabulary};
 use kbt_logic::parser::{parse_formula, parse_sentence};
 use kbt_logic::{pretty, Formula, Term};
 
@@ -385,10 +385,12 @@ pub fn render_relation(rel: RelId, vocab: &Vocabulary) -> String {
 }
 
 /// Renders one fact in re-`ASSERT`able syntax: `edge(1, 2)`,
-/// `city('Toronto')`.
-pub fn render_fact(rel: RelId, tuple: &Tuple, vocab: &Vocabulary) -> String {
-    let args: Vec<String> = tuple
+/// `city('Toronto')`.  Takes the fact as a raw row slice so callers can
+/// feed relation rows without materialising tuples.
+pub fn render_fact(rel: RelId, row: &[Const], vocab: &Vocabulary) -> String {
+    let args: Vec<String> = row
         .iter()
+        .copied()
         .map(|c| match vocab.constant_name(c) {
             Some(name) => format!("'{name}'"),
             None => format!("{}", c.index()),
@@ -451,7 +453,10 @@ mod tests {
         let mut v = Vocabulary::new();
         let facts = parse_fact_list("edge(1, 2), city('Toronto'), flag()", &mut v).unwrap();
         assert_eq!(facts.len(), 3);
-        let rendered: Vec<String> = facts.iter().map(|(r, t)| render_fact(*r, t, &v)).collect();
+        let rendered: Vec<String> = facts
+            .iter()
+            .map(|(r, t)| render_fact(*r, t.components(), &v))
+            .collect();
         assert_eq!(rendered, ["edge(1, 2)", "city('Toronto')", "flag()"]);
         // and the rendering re-parses to the same typed facts
         let again = parse_fact_list(&rendered.join(", "), &mut v.clone()).unwrap();
@@ -465,7 +470,10 @@ mod tests {
         let mut v = Vocabulary::new();
         let facts = parse_fact_list("pair('a(b', 1), pair('c]d', 2)", &mut v).unwrap();
         assert_eq!(facts.len(), 2);
-        let rendered: Vec<String> = facts.iter().map(|(r, t)| render_fact(*r, t, &v)).collect();
+        let rendered: Vec<String> = facts
+            .iter()
+            .map(|(r, t)| render_fact(*r, t.components(), &v))
+            .collect();
         assert_eq!(
             parse_fact_list(&rendered.join(", "), &mut v.clone()).unwrap(),
             facts

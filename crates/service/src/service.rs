@@ -762,7 +762,7 @@ impl Service {
                     .iter()
                     .map(|db| {
                         db.facts()
-                            .map(|(rel, t)| render_fact(rel, t, &vocab))
+                            .map(|(rel, t)| render_fact(rel, t.components(), &vocab))
                             .collect()
                     })
                     .collect();
@@ -859,7 +859,10 @@ fn fold_relation(
 }
 
 fn render_relation_facts(rel: RelId, facts: &Relation, vocab: &Vocabulary) -> Vec<String> {
-    facts.iter().map(|t| render_fact(rel, t, vocab)).collect()
+    facts
+        .iter()
+        .map(|row| render_fact(rel, row, vocab))
+        .collect()
 }
 
 impl fmt::Display for Response {

@@ -42,9 +42,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let toronto = ids[0];
     println!("\nreachable from {}:", vocab.render_constant(toronto));
-    for tuple in closure.iter() {
-        if tuple.get(0) == Some(toronto) {
-            println!("  {}", vocab.render_constant(tuple.get(1).unwrap()));
+    for row in closure.iter() {
+        if row.first() == Some(&toronto) {
+            println!("  {}", vocab.render_constant(row[1]));
         }
     }
 

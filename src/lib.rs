@@ -33,7 +33,7 @@
 //!
 //! The "robot vehicles orbiting Venus" example (Example 1.1 / Example 4 of
 //! the paper): see `examples/quickstart.rs`, or the
-//! [`core::examples`](kbt_core::examples) module.
+//! [`core::examples`] module.
 //!
 //! ## Performance
 //!
@@ -42,13 +42,13 @@
 //! least fixpoint is computed by semi-naive rounds whose joins are hash
 //! index probes keyed by the binding patterns each rule body demands.  The
 //! `engine_joins` benchmark compares the engine against the preserved
-//! nested-loop oracle; [`core::EvalStats`](kbt_core::EvalStats) and
-//! [`datalog::EvalStats`](kbt_datalog::EvalStats) expose iterations, index
+//! nested-loop oracle; [`core::EvalStats`] and
+//! [`datalog::EvalStats`] expose iterations, index
 //! probes and tuples scanned so regressions are observable.
 //!
 //! Composition chains get a second layer: repeated Horn `τ_φ` steps inside
 //! one `Seq` share a persistent
-//! [`engine::IncrementalSession`](kbt_engine::IncrementalSession) — the
+//! [`engine::IncrementalSession`] — the
 //! diff between consecutive databases is fed into the live fixpoint
 //! (semi-naive propagation for insertions, DRed overdelete/rederive for
 //! deletions) instead of re-deriving it from scratch.  The
@@ -57,7 +57,7 @@
 //!
 //! ## Serving
 //!
-//! [`service`](kbt_service) turns the library into a concurrent,
+//! [`service`] turns the library into a concurrent,
 //! multi-session server: readers take `O(1)` MVCC snapshots of the
 //! committed knowledgebase (the copy-on-write relations make this free)
 //! and evaluate queries without ever blocking writers, while all mutation
@@ -73,13 +73,13 @@
 //! explicit rejection at capacity, idle timeouts, graceful signal
 //! shutdown) and `kbt-shell --connect host:port` runs the same scripts
 //! remotely.  See the wire-protocol section of the
-//! [`service`](kbt_service) crate docs for the framing and response
+//! [`service`] crate docs for the framing and response
 //! grammar; the `net_throughput` benchmark measures pipelined round-trips
 //! under a committing writer, and CI's `e2e-net` job replays a golden
 //! session over a live socket.
 //!
 //! The engine's fixpoint rounds can also run **in parallel**:
-//! [`core::EvalOptions::threads`](kbt_core::EvalOptions) sets the
+//! [`core::EvalOptions::threads`] sets the
 //! evaluation width (`0` = the process default — `KBT_THREADS` or the
 //! machine's available parallelism; `1` = the exact sequential path).  The
 //! rounds fan out over the vendored `kbt-par` work-sharing pool with
@@ -89,7 +89,7 @@
 //!
 //! ## Observability
 //!
-//! [`obs`](kbt_obs) is a std-only metrics layer: a registry of named
+//! [`obs`] is a std-only metrics layer: a registry of named
 //! counters, gauges and log-scale latency histograms with mergeable
 //! snapshots, a drop-timed span API, and structured text/JSON log sinks.
 //! The engine, the `kbt-par` pool and the service layer are instrumented
@@ -97,7 +97,7 @@
 //! `METRICS` wire command as Prometheus-style text exposition, and
 //! `kbt-serve --log-format {text,json} --slow-query-ms N` turns on
 //! structured logging with a slow-query log.  The "Observability" section
-//! of the [`service`](kbt_service) crate docs catalogues every metric
+//! of the [`service`] crate docs catalogues every metric
 //! name.  Instrumentation never feeds back into evaluation: fixpoints and
 //! `EngineStats` stay byte-identical at every width with metrics on or
 //! off.

@@ -221,7 +221,7 @@ fn run_random_deltas(
     for _ in 0..6 {
         let mut ins: Vec<(RelId, Tuple)> = Vec::new();
         let mut del: Vec<(RelId, Tuple)> = Vec::new();
-        let stored: Vec<Tuple> = edb.relation(r(1)).unwrap().iter().cloned().collect();
+        let stored: Vec<Tuple> = edb.relation(r(1)).unwrap().tuples().collect();
         for _ in 0..rng.random_range(1..4usize) {
             let delete = !stored.is_empty() && (delete_bias || rng.random_range(0..2u32) == 0);
             if delete {

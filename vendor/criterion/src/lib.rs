@@ -243,6 +243,19 @@ pub struct BenchRecord {
     pub max_ns: f64,
 }
 
+/// Merges one externally produced record into the `KBT_BENCH_JSON` report
+/// file (no-op when the variable is unset).  This lets harness code publish
+/// non-timing series — e.g. allocation counts — next to the timing medians,
+/// where the baseline-comparison tooling picks them up like any other
+/// record.
+pub fn record_external(name: &str, record: BenchRecord) {
+    if let Ok(path) = std::env::var("KBT_BENCH_JSON") {
+        if !path.is_empty() {
+            merge_json_record(std::path::Path::new(&path), name, record);
+        }
+    }
+}
+
 fn run_one(name: &str, config: &Criterion, routine: &mut dyn FnMut(&mut Bencher)) {
     let mut bencher = Bencher {
         warm_up_time: config.warm_up_time,
