@@ -58,11 +58,12 @@ pub mod transformer;
 pub mod update;
 
 pub use error::CoreError;
+pub use kbt_datalog::RuleProfile;
 pub use options::{EvalOptions, EvalStats, Strategy};
 pub use transform::Transform;
 pub use transformer::{TransformResult, Transformer};
 pub use update::datalog::ChainSession;
-pub use update::minimal_update;
+pub use update::{minimal_update, minimal_update_profiled, UpdateOutcome};
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

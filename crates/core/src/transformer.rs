@@ -15,13 +15,14 @@
 //! scratch.  Results are byte-identical; `EvalStats::reused_facts` shows
 //! the saving.
 
-use kbt_data::Knowledgebase;
+use kbt_data::{Knowledgebase, RelId};
+use kbt_datalog::RuleProfile;
 
 use crate::error::CoreError;
 use crate::options::{EvalOptions, EvalStats, Strategy};
 use crate::transform::Transform;
 use crate::update::datalog::{self, ChainSession};
-use crate::update::{minimal_update, UpdateOutcome};
+use crate::update::{minimal_update, minimal_update_profiled, UpdateOutcome};
 use crate::Result;
 
 /// The result of applying a transformation expression.
@@ -89,6 +90,108 @@ impl Transformer {
     /// Convenience: apply a single insertion `τ_φ`.
     pub fn insert(&self, phi: &kbt_logic::Sentence, kb: &Knowledgebase) -> Result<TransformResult> {
         self.apply(&Transform::Insert(phi.clone()), kb)
+    }
+
+    /// Like [`Self::apply`], but collects one [`RuleProfile`] per lowered
+    /// rule from every Datalog-fast-path insertion step (`namer` renders
+    /// relation identifiers in rule and plan text).
+    ///
+    /// The resulting knowledgebase is byte-identical to [`Self::apply`]'s.
+    /// The incremental chain optimisation is skipped on the profiled walk
+    /// (chain sessions are documented to be byte-identical to from-scratch
+    /// evaluation, so only the `reused_facts` saving is forgone); against a
+    /// transformer with `incremental: false` the statistics match exactly.
+    pub fn apply_profiled(
+        &self,
+        transform: &Transform,
+        kb: &Knowledgebase,
+        namer: &dyn Fn(RelId) -> String,
+    ) -> Result<(TransformResult, Vec<RuleProfile>)> {
+        let mut stats = EvalStats::default();
+        let mut profiles = Vec::new();
+        let mut current = kb.clone();
+        for step in transform.steps() {
+            current = self.apply_step_profiled(step, current, &mut stats, &mut profiles, namer)?;
+        }
+        Ok((TransformResult { kb: current, stats }, profiles))
+    }
+
+    /// Renders the evaluation plan of `transform` against `kb` without
+    /// evaluating anything.
+    ///
+    /// Datalog-fast-path insertion steps contribute one zeroed
+    /// [`RuleProfile`] per lowered rule with the full join-plan rendering;
+    /// every other operator contributes a single descriptive row (lattice
+    /// operators and non-Horn insertions have no rule plans).  Plans for
+    /// later steps are sized against the *initial* knowledgebase's first
+    /// world — EXPLAIN never runs the earlier steps, so index choices shown
+    /// for deep pipelines are representative, not exact.
+    pub fn explain(
+        &self,
+        transform: &Transform,
+        kb: &Knowledgebase,
+        namer: &dyn Fn(RelId) -> String,
+    ) -> Result<Vec<RuleProfile>> {
+        let representative = match kb.iter().next() {
+            Some(db) => db.clone(),
+            None => kbt_data::Database::new(),
+        };
+        let mut out = Vec::new();
+        for step in transform.steps() {
+            match step {
+                Transform::Identity | Transform::Seq(_) => {}
+                Transform::Insert(phi) => {
+                    if datalog::applicable(phi, &representative) {
+                        out.extend(datalog::datalog_explain(phi, &representative, namer)?);
+                    } else {
+                        let strategy = if kbt_logic::is_ground(phi.formula()) {
+                            "quantifier-free"
+                        } else {
+                            "grounding"
+                        };
+                        out.push(operator_row(format!("insert {phi}"), strategy));
+                    }
+                }
+                Transform::Glb => out.push(operator_row("glb".to_string(), "lattice")),
+                Transform::Lub => out.push(operator_row("lub".to_string(), "lattice")),
+                Transform::Project(rels) => {
+                    let names: Vec<String> = rels.iter().map(|r| namer(*r)).collect();
+                    out.push(operator_row(
+                        format!("project({})", names.join(", ")),
+                        "lattice",
+                    ));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// One step of the profiled walk: [`Self::apply_step`] without the
+    /// chain slot, routing insertions through [`minimal_update_profiled`].
+    fn apply_step_profiled(
+        &self,
+        step: &Transform,
+        kb: Knowledgebase,
+        stats: &mut EvalStats,
+        profiles: &mut Vec<RuleProfile>,
+        namer: &dyn Fn(RelId) -> String,
+    ) -> Result<Knowledgebase> {
+        match step {
+            Transform::Insert(phi) => {
+                stats.operators += 1;
+                let mut out = Knowledgebase::empty();
+                for db in kb.iter() {
+                    let mut outcome = minimal_update_profiled(phi, db, &self.options, namer)?;
+                    self.absorb_outcome(&outcome, stats);
+                    if let Some(profile) = outcome.profile.take() {
+                        profiles.extend(profile);
+                    }
+                    self.collect_worlds(outcome, &mut out)?;
+                }
+                Ok(out)
+            }
+            other => self.apply_step(other, kb, stats, None),
+        }
     }
 
     fn apply_inner(
@@ -231,6 +334,20 @@ impl Transformer {
             }
         }
         Ok(())
+    }
+}
+
+/// A descriptive EXPLAIN row for an operator that has no Datalog rule plan.
+fn operator_row(rule: String, strategy: &str) -> RuleProfile {
+    RuleProfile {
+        stratum: 0,
+        rule,
+        plan: format!("strategy: {strategy} (no rule plan)"),
+        rounds: 0,
+        derived: 0,
+        probes: 0,
+        scanned: 0,
+        elapsed_ns: 0,
     }
 }
 
@@ -440,6 +557,111 @@ mod tests {
             "the second apply must reuse the persisted fixpoint, stats: {:?}",
             second.stats
         );
+    }
+
+    fn tc_sentence() -> Sentence {
+        Sentence::new(and(
+            forall(
+                [1, 2],
+                implies(atom(1, [var(1), var(2)]), atom(2, [var(1), var(2)])),
+            ),
+            forall(
+                [1, 2, 3],
+                implies(
+                    and(atom(2, [var(1), var(2)]), atom(1, [var(2), var(3)])),
+                    atom(2, [var(1), var(3)]),
+                ),
+            ),
+        ))
+        .unwrap()
+    }
+
+    fn namer(rel: RelId) -> String {
+        match rel.index() {
+            1 => "edge".to_string(),
+            2 => "path".to_string(),
+            i => format!("R{i}"),
+        }
+    }
+
+    #[test]
+    fn profiled_apply_matches_plain_apply_and_collects_profiles() {
+        let expr = Transform::insert(tc_sentence()).then(Transform::project([r(1), r(2)]));
+        let kb = Knowledgebase::singleton(
+            DatabaseBuilder::new()
+                .fact(r(1), [1u32, 2])
+                .fact(r(1), [2u32, 3])
+                .fact(r(1), [3u32, 4])
+                .build()
+                .unwrap(),
+        );
+        let plain = Transformer::new().apply(&expr, &kb).unwrap();
+        let (profiled, profiles) = Transformer::new()
+            .apply_profiled(&expr, &kb, &namer)
+            .unwrap();
+        assert_eq!(profiled.kb, plain.kb);
+        assert_eq!(profiled.stats, plain.stats);
+        assert_eq!(profiles.len(), 2, "one profile per lowered TC rule");
+        assert!(profiles[0].rule.contains("path"));
+        assert!(profiles.iter().any(|p| p.rounds > 1), "TC must iterate");
+        let probes: usize = profiles.iter().map(|p| p.probes).sum();
+        assert_eq!(probes, plain.stats.index_probes);
+        let scanned: usize = profiles.iter().map(|p| p.scanned).sum();
+        assert_eq!(scanned, plain.stats.tuples_scanned);
+    }
+
+    #[test]
+    fn profiled_apply_skips_the_chain_but_matches_from_scratch_stats() {
+        // the chain-shaped expression of the incremental test: profiled
+        // results match the chained walk, statistics match the chain-free one.
+        let tc = tc_sentence();
+        let mut expr = Transform::Identity;
+        for i in 0..3u32 {
+            let grow = Sentence::new(atom(1, [cst(10 + i), cst(11 + i)])).unwrap();
+            expr = expr
+                .then(Transform::insert(grow))
+                .then(Transform::insert(tc.clone()))
+                .then(Transform::project([r(1)]));
+        }
+        let kb = Knowledgebase::singleton(
+            DatabaseBuilder::new()
+                .fact(r(1), [1u32, 2])
+                .build()
+                .unwrap(),
+        );
+        let chained = Transformer::new().apply(&expr, &kb).unwrap();
+        let from_scratch = Transformer::with_options(EvalOptions {
+            incremental: false,
+            ..EvalOptions::default()
+        })
+        .apply(&expr, &kb)
+        .unwrap();
+        let (profiled, profiles) = Transformer::new()
+            .apply_profiled(&expr, &kb, &namer)
+            .unwrap();
+        assert_eq!(profiled.kb, chained.kb);
+        assert_eq!(profiled.stats, from_scratch.stats);
+        assert_eq!(profiles.len(), 3 * 2, "two TC rules per profiled insert");
+    }
+
+    #[test]
+    fn explain_renders_plans_without_evaluating() {
+        let expr = Transform::insert(tc_sentence())
+            .then(Transform::Lub)
+            .then(Transform::project([r(2)]));
+        let kb = Knowledgebase::singleton(
+            DatabaseBuilder::new()
+                .fact(r(1), [1u32, 2])
+                .build()
+                .unwrap(),
+        );
+        let rows = Transformer::new().explain(&expr, &kb, &namer).unwrap();
+        assert_eq!(rows.len(), 4, "two TC rules, lub, project");
+        assert!(rows[0].plan.contains("scan"), "plan: {}", rows[0].plan);
+        assert!(rows.iter().all(|p| p.elapsed_ns == 0 && p.derived == 0));
+        assert_eq!(rows[2].rule, "lub");
+        assert_eq!(rows[3].rule, "project(path)");
+        assert_eq!(rows[3].plan, "strategy: lattice (no rule plan)");
     }
 
     #[test]

@@ -65,7 +65,59 @@ pub fn datalog_update(
         databases: vec![fixpoint],
         candidate_atoms: 0,
         fixpoint: Some(stats),
+        profile: None,
     })
+}
+
+/// [`datalog_update`] with per-rule profiling: identical databases and
+/// fixpoint statistics (see [`kbt_engine::profile`] for the determinism
+/// contract), plus the per-rule breakdown in the outcome's `profile`.
+pub fn datalog_update_profiled(
+    phi: &Sentence,
+    db: &Database,
+    options: &EvalOptions,
+    namer: &dyn Fn(RelId) -> String,
+) -> Result<UpdateOutcome> {
+    if !applicable(phi, db) {
+        return Err(CoreError::StrategyNotApplicable {
+            strategy: "Datalog",
+            reason:
+                "the sentence is not a conjunction of safe Horn clauses over fresh head relations"
+                    .to_string(),
+        });
+    }
+    let program = program_from_sentence(phi)?;
+    let schema = db.schema().union(&phi.schema())?;
+    let lifted = db.extend_schema(&schema)?;
+    let (fixpoint, stats, profile) =
+        kbt_datalog::semi_naive_eval_profiled(&program, &lifted, options.threads, namer)?;
+    Ok(UpdateOutcome {
+        databases: vec![fixpoint],
+        candidate_atoms: 0,
+        fixpoint: Some(stats),
+        profile: Some(profile),
+    })
+}
+
+/// Renders the join plans [`datalog_update`] would run for `φ` over `db`,
+/// without evaluating: one zeroed [`kbt_datalog::RuleProfile`] per rule.
+pub fn datalog_explain(
+    phi: &Sentence,
+    db: &Database,
+    namer: &dyn Fn(RelId) -> String,
+) -> Result<Vec<kbt_datalog::RuleProfile>> {
+    if !applicable(phi, db) {
+        return Err(CoreError::StrategyNotApplicable {
+            strategy: "Datalog",
+            reason:
+                "the sentence is not a conjunction of safe Horn clauses over fresh head relations"
+                    .to_string(),
+        });
+    }
+    let program = program_from_sentence(phi)?;
+    let schema = db.schema().union(&phi.schema())?;
+    let lifted = db.extend_schema(&schema)?;
+    kbt_datalog::explain_plans(&program, &lifted, namer).map_err(Into::into)
 }
 
 /// A persistent incremental evaluation of one Horn sentence across a chain
@@ -112,6 +164,7 @@ impl ChainSession {
             databases: vec![session.eval.current()],
             candidate_atoms: 0,
             fixpoint: Some(stats),
+            profile: None,
         };
         Ok((session, outcome))
     }
@@ -169,6 +222,7 @@ impl ChainSession {
             databases: vec![result],
             candidate_atoms: 0,
             fixpoint: Some(stats),
+            profile: None,
         })
     }
 }

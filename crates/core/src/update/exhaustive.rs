@@ -48,6 +48,7 @@ pub fn exhaustive_update(
         databases: minimal,
         candidate_atoms: n,
         fixpoint: None,
+        profile: None,
     })
 }
 

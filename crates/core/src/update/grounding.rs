@@ -116,6 +116,7 @@ pub fn grounding_update(
         databases: result.into_iter().collect(),
         candidate_atoms: n,
         fixpoint: None,
+        profile: None,
     })
 }
 

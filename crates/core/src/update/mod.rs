@@ -38,6 +38,11 @@ pub struct UpdateOutcome {
     /// Engine statistics of the least-fixpoint computation, when the Datalog
     /// fast path ran.
     pub fixpoint: Option<kbt_datalog::EvalStats>,
+    /// Per-rule fixpoint profiles, when profiling was requested *and* the
+    /// Datalog fast path ran ([`minimal_update_profiled`]); `None` on
+    /// every unprofiled path, so outcome equality between profiled and
+    /// plain runs is checked on the deterministic fields alone.
+    pub profile: Option<Vec<kbt_datalog::RuleProfile>>,
 }
 
 /// Computes `µ(φ, db)` with the strategy selected in `options`.
@@ -60,6 +65,31 @@ pub fn minimal_update(
                 grounding::grounding_update(phi, db, options)
             }
         }
+    }
+}
+
+/// [`minimal_update`] with per-rule profiling on the Datalog fast path.
+///
+/// When the selected strategy resolves to Datalog, the outcome's
+/// `profile` carries one [`kbt_datalog::RuleProfile`] per lowered rule
+/// (named through `namer`) and every other field — databases, candidate
+/// count, fixpoint stats — is byte-identical to [`minimal_update`]'s.
+/// Other strategies run unchanged and return `profile: None`.
+pub fn minimal_update_profiled(
+    phi: &Sentence,
+    db: &Database,
+    options: &EvalOptions,
+    namer: &dyn Fn(kbt_data::RelId) -> String,
+) -> Result<UpdateOutcome> {
+    let wants_datalog = match options.strategy {
+        Strategy::Datalog => true,
+        Strategy::Auto => datalog::applicable(phi, db),
+        _ => false,
+    };
+    if wants_datalog {
+        datalog::datalog_update_profiled(phi, db, options, namer)
+    } else {
+        minimal_update(phi, db, options)
     }
 }
 

@@ -101,6 +101,7 @@ pub fn quantifier_free_update(
         databases: minimal,
         candidate_atoms: k,
         fixpoint: None,
+        profile: None,
     })
 }
 

@@ -16,7 +16,7 @@
 //! assert byte-identical fixpoints between all four paths.
 
 use kbt_data::Database;
-use kbt_engine::{EngineOptions, EngineStats, EvalMode};
+use kbt_engine::{EngineOptions, EngineStats, EvalMode, RuleProfile};
 
 use crate::ast::Program;
 use crate::lower::lower_program;
@@ -132,6 +132,44 @@ fn eval_with(
         .collect::<Result<Vec<_>>>()?;
     let (db, stats) = kbt_engine::evaluate_with(&lowered, edb, options)?;
     Ok((db, stats.into()))
+}
+
+/// [`semi_naive_eval_threads`] with per-rule profiling: the identical
+/// fixpoint and statistics (the engine's profiled driver runs the same
+/// plans through the same round code — see [`kbt_engine::profile`]), plus
+/// one [`RuleProfile`] per lowered rule.  The lowering is the **named**
+/// one, so profiles carry each rule's source text rendered through
+/// `namer` (typically the service's relation vocabulary).
+pub fn semi_naive_eval_profiled(
+    program: &Program,
+    edb: &Database,
+    threads: usize,
+    namer: &dyn Fn(kbt_data::RelId) -> String,
+) -> Result<(Database, EvalStats, Vec<RuleProfile>)> {
+    let lowered = crate::lower::lower_strata_named(program, namer)?;
+    let (db, stats, profiles) = kbt_engine::evaluate_profiled(
+        &lowered,
+        edb,
+        EngineOptions {
+            mode: EvalMode::SemiNaive,
+            threads,
+        },
+        namer,
+    )?;
+    Ok((db, stats.into(), profiles))
+}
+
+/// Renders the join plans `semi_naive_eval` would run, without evaluating
+/// anything: one zeroed [`RuleProfile`] per rule, named through `namer`.
+/// Plans for strata after the first are sized against the extensional
+/// database only (see [`kbt_engine::profile`] for the caveat).
+pub fn explain_plans(
+    program: &Program,
+    edb: &Database,
+    namer: &dyn Fn(kbt_data::RelId) -> String,
+) -> Result<Vec<RuleProfile>> {
+    let lowered = crate::lower::lower_strata_named(program, namer)?;
+    kbt_engine::explain(&lowered, edb, namer).map_err(Into::into)
 }
 
 /// A persistent incremental evaluation of one Datalog program: the

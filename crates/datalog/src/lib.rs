@@ -33,11 +33,15 @@ pub mod stratify;
 pub use ast::{DlAtom, Literal, Program, Rule};
 pub use error::DatalogError;
 pub use eval::{
-    idb_only, naive_eval, naive_eval_threads, semi_naive_eval, semi_naive_eval_threads, EvalStats,
-    IncrementalEval,
+    explain_plans, idb_only, naive_eval, naive_eval_threads, semi_naive_eval,
+    semi_naive_eval_profiled, semi_naive_eval_threads, EvalStats, IncrementalEval,
 };
 pub use from_logic::{program_from_horn, program_from_sentence};
-pub use lower::{lower_program, lower_rule, lower_strata};
+pub use kbt_engine::RuleProfile;
+pub use lower::{
+    lower_program, lower_program_named, lower_rule, lower_rule_named, lower_strata,
+    lower_strata_named, render_rule,
+};
 pub use reference::{reference_naive_eval, reference_semi_naive_eval};
 pub use stratify::stratify;
 

@@ -8,10 +8,11 @@
 
 use std::collections::BTreeMap;
 
+use kbt_data::RelId;
 use kbt_engine::ir;
 use kbt_logic::{Term, Var};
 
-use crate::ast::{Program, Rule};
+use crate::ast::{DlAtom, Program, Rule};
 use crate::Result;
 
 /// Lowers a single rule, assigning slots by first occurrence.
@@ -47,6 +48,62 @@ pub fn lower_rule(rule: &Rule) -> Result<ir::Rule> {
         .collect();
     let head = ir::Atom::new(rule.head.rel, lower_terms(&rule.head.terms, &mut slot_of));
     ir::Rule::new(head, body).map_err(Into::into)
+}
+
+/// Renders `rule` with relation names from `namer` — the source text the
+/// named lowering attaches as provenance, so engine plans and profiles
+/// speak the user's vocabulary instead of raw relation ids.
+pub fn render_rule(rule: &Rule, namer: &dyn Fn(RelId) -> String) -> String {
+    let app = |atom: &DlAtom| {
+        let args: Vec<String> = atom.terms.iter().map(|t| t.to_string()).collect();
+        format!("{}({})", namer(atom.rel), args.join(", "))
+    };
+    let mut out = app(&rule.head);
+    if !rule.body.is_empty() {
+        out.push_str(" :- ");
+        for (i, l) in rule.body.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            if !l.positive {
+                out.push('~');
+            }
+            out.push_str(&app(&l.atom));
+        }
+    }
+    out.push('.');
+    out
+}
+
+/// [`lower_rule`] with provenance: the lowered rule carries
+/// [`render_rule`]'s text as its [`ir::Rule::name`].
+pub fn lower_rule_named(rule: &Rule, namer: &dyn Fn(RelId) -> String) -> Result<ir::Rule> {
+    Ok(lower_rule(rule)?.with_name(render_rule(rule, namer)))
+}
+
+/// [`lower_program`] with provenance on every rule.
+pub fn lower_program_named(
+    program: &Program,
+    namer: &dyn Fn(RelId) -> String,
+) -> Result<ir::Program> {
+    Ok(ir::Program::new(
+        program
+            .rules()
+            .iter()
+            .map(|rule| lower_rule_named(rule, namer))
+            .collect::<Result<Vec<_>>>()?,
+    ))
+}
+
+/// [`lower_strata`] with provenance on every rule.
+pub fn lower_strata_named(
+    program: &Program,
+    namer: &dyn Fn(RelId) -> String,
+) -> Result<Vec<ir::Program>> {
+    crate::stratify::stratify(program)?
+        .iter()
+        .map(|stratum| lower_program_named(stratum, namer))
+        .collect()
 }
 
 /// Lowers a whole program (typically one stratum).

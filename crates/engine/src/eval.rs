@@ -196,14 +196,14 @@ impl RowSet {
     }
 
     /// Appends another bag (same relation, so same arity).
-    fn absorb(&mut self, other: RowSet) {
+    pub(crate) fn absorb(&mut self, other: RowSet) {
         debug_assert_eq!(self.arity, other.arity);
         self.rows.extend_from_slice(&other.rows);
         self.count += other.count;
     }
 
     /// Canonicalises the bag into a sorted, duplicate-free run.
-    fn sort_dedup(&mut self) {
+    pub(crate) fn sort_dedup(&mut self) {
         if self.arity == 0 {
             self.count = self.count.min(1);
             return;

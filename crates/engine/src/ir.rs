@@ -132,6 +132,11 @@ pub struct Rule {
     pub body: Vec<Literal>,
     /// Number of register slots the rule uses (`0..slots` all occur).
     pub slots: usize,
+    /// Provenance: the rule's source text in the caller's vocabulary
+    /// (e.g. the `τ_φ` clause it was lowered from).  Carried into plans
+    /// and profiles so they name rules as the user wrote them; never
+    /// consulted by evaluation.
+    pub name: Option<String>,
 }
 
 impl Rule {
@@ -164,6 +169,7 @@ impl Rule {
                 head,
                 body,
                 slots: 0,
+                name: None,
             };
             return Err(EngineError::UnsafeRule {
                 rule: rule.to_string(),
@@ -174,7 +180,18 @@ impl Rule {
             .chain(needed.iter())
             .max()
             .map_or(0, |&m| m + 1);
-        Ok(Rule { head, body, slots })
+        Ok(Rule {
+            head,
+            body,
+            slots,
+            name: None,
+        })
+    }
+
+    /// Attaches a provenance name (builder style).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
     }
 
     /// The positive body literals with their body positions.

@@ -79,6 +79,7 @@ pub mod index;
 pub mod ir;
 pub mod metrics;
 pub mod plan;
+pub mod profile;
 pub mod stats;
 pub mod storage;
 
@@ -88,6 +89,7 @@ pub use fx::{FxBuild, FxHasher, KeyAcc, PACK_MAX};
 pub use incremental::IncrementalSession;
 pub use index::{IndexedRelation, Mask};
 pub use metrics::{metrics, EngineMetrics};
+pub use profile::{evaluate_profiled, explain, RuleProfile};
 pub use stats::EngineStats;
 pub use storage::{FactSet, IndexStorage};
 

@@ -58,6 +58,43 @@ pub fn metrics() -> &'static EngineMetrics {
     static METRICS: OnceLock<EngineMetrics> = OnceLock::new();
     METRICS.get_or_init(|| {
         let r = Registry::global();
+        for (name, help) in [
+            (
+                "kbt_engine_evals_total",
+                "From-scratch fixpoint evaluations completed.",
+            ),
+            (
+                "kbt_engine_deltas_total",
+                "Incremental delta applications completed.",
+            ),
+            (
+                "kbt_engine_rounds_total",
+                "Fixpoint rounds across all evaluations.",
+            ),
+            (
+                "kbt_engine_derived_facts_total",
+                "Facts newly derived by the engine.",
+            ),
+            ("kbt_engine_index_probes_total", "Hash-index probes issued."),
+            (
+                "kbt_engine_tuples_scanned_total",
+                "Tuples inspected by scans and probes.",
+            ),
+            (
+                "kbt_engine_eval_ns",
+                "Whole-evaluation wall time in nanoseconds.",
+            ),
+            (
+                "kbt_engine_round_ns",
+                "Per-fixpoint-round wall time in nanoseconds.",
+            ),
+            (
+                "kbt_engine_delta_ns",
+                "Per-incremental-delta wall time in nanoseconds.",
+            ),
+        ] {
+            r.describe(name, help);
+        }
         EngineMetrics {
             evals_total: r.counter("kbt_engine_evals_total"),
             deltas_total: r.counter("kbt_engine_deltas_total"),

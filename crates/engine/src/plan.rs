@@ -115,6 +115,9 @@ pub struct PlannedRule {
     /// One variant per positive body occurrence of an IDB relation, with
     /// that occurrence scanning the delta.
     pub deltas: Vec<(RelId, JoinPlan)>,
+    /// Provenance carried from [`Rule::name`]: the rule's source text in
+    /// the caller's vocabulary, for plans and profiles.
+    pub name: Option<String>,
 }
 
 impl PlannedRule {
@@ -139,7 +142,28 @@ impl PlannedRule {
             slots: rule.slots,
             full,
             deltas,
+            name: rule.name.clone(),
         }
+    }
+
+    /// Stable one-line rendering of the rule's plans: the head, the full
+    /// plan, then one `Δrel:` section per delta variant.  `namer` maps
+    /// relation ids into the caller's vocabulary (e.g. the service's
+    /// relation names); the output is deterministic for a given plan, so
+    /// it is safe to pin in golden tests and ship over the wire.
+    pub fn render(&self, namer: &dyn Fn(RelId) -> String) -> String {
+        let mut out = format!(
+            "{} <- {}",
+            render_app(&namer(self.head.rel), &self.head.terms),
+            self.full.render(namer)
+        );
+        for (rel, plan) in &self.deltas {
+            out.push_str(" | d");
+            out.push_str(&namer(*rel));
+            out.push_str(": ");
+            out.push_str(&plan.render(namer));
+        }
+        out
     }
 
     /// Every `(relation, mask)` index the plans demand.
@@ -153,6 +177,61 @@ impl PlannedRule {
             }
         }
         out
+    }
+}
+
+/// Renders `name(t0, t1, …)` with the ir term syntax (`s0`, constants).
+fn render_app(name: &str, terms: &[Term]) -> String {
+    let args: Vec<String> = terms.iter().map(Term::to_string).collect();
+    format!("{name}({})", args.join(", "))
+}
+
+impl JoinPlan {
+    /// Stable one-line rendering of the steps in execution order, joined
+    /// with `; `: `scan` (the driving scan, `#delta` for delta drivers),
+    /// `probe` with its bound-column mask and key, `member`, and `absent`
+    /// (negation).  Fact rules with no body render as `emit`.
+    pub fn render(&self, namer: &dyn Fn(RelId) -> String) -> String {
+        if self.steps.is_empty() {
+            return "emit".to_string();
+        }
+        let steps: Vec<String> = self
+            .steps
+            .iter()
+            .map(|step| match step {
+                Step::Scan { rel, source, cols } => {
+                    let suffix = match source {
+                        Source::Delta => "#delta",
+                        Source::Full => "",
+                    };
+                    let mut cols = cols.clone();
+                    cols.sort_by_key(|&(c, _)| c);
+                    let terms: Vec<Term> = cols.into_iter().map(|(_, t)| t).collect();
+                    format!("scan {}{suffix}{}", namer(*rel), render_app("", &terms))
+                }
+                Step::Probe {
+                    rel,
+                    mask,
+                    key,
+                    cols,
+                } => {
+                    let width = key.len() + cols.len();
+                    let keys: Vec<String> = key.iter().map(Term::to_string).collect();
+                    format!(
+                        "probe {} mask=0b{mask:0width$b} key=({})",
+                        namer(*rel),
+                        keys.join(", ")
+                    )
+                }
+                Step::Member { rel, terms } => {
+                    format!("member {}{}", namer(*rel), render_app("", terms))
+                }
+                Step::NegCheck { rel, terms } => {
+                    format!("absent {}{}", namer(*rel), render_app("", terms))
+                }
+            })
+            .collect();
+        steps.join("; ")
     }
 }
 
@@ -364,6 +443,22 @@ mod tests {
             }
         ));
         assert!(matches!(dplan.steps[1], Step::Probe { mask: 0b01, .. }));
+    }
+
+    #[test]
+    fn plans_render_stably_with_names() {
+        let idb = [r(2)].into_iter().collect();
+        let planned = PlannedRule::plan(&tc_recursive_rule(), &idb);
+        let namer = |rel: RelId| if rel == r(1) { "edge" } else { "path" }.to_string();
+        assert_eq!(
+            planned.render(&namer),
+            "path(s0, s2) <- scan path(s0, s1); probe edge mask=0b01 key=(s1) \
+             | dpath: scan path#delta(s0, s1); probe edge mask=0b01 key=(s1)"
+        );
+        // Without a vocabulary the raw relation ids appear.
+        assert!(planned
+            .render(&|rel: RelId| rel.to_string())
+            .starts_with("R2(s0, s2) <- scan R2(s0, s1)"));
     }
 
     #[test]

@@ -176,6 +176,7 @@ pub(crate) struct RegistryInner {
     pub(crate) has_sink: AtomicBool,
     pub(crate) sink: Mutex<Option<Arc<dyn LogSink>>>,
     metrics: Mutex<BTreeMap<String, Metric>>,
+    help: Mutex<BTreeMap<String, String>>,
 }
 
 impl std::fmt::Debug for dyn LogSink {
@@ -206,6 +207,7 @@ impl Registry {
                 has_sink: AtomicBool::new(false),
                 sink: Mutex::new(None),
                 metrics: Mutex::new(BTreeMap::new()),
+                help: Mutex::new(BTreeMap::new()),
             }),
         }
     }
@@ -254,6 +256,18 @@ impl Registry {
                 fields,
             });
         }
+    }
+
+    /// Attaches a one-line help text to a metric family, rendered as a
+    /// `# HELP` line in the text exposition.  Keyed by the **base** name
+    /// (labels stripped), so one call covers every series of a labelled
+    /// family.  Idempotent; a later call overwrites the text.
+    pub fn describe(&self, name: &str, help: &str) {
+        self.inner
+            .help
+            .lock()
+            .unwrap()
+            .insert(name.to_string(), help.to_string());
     }
 
     /// Gets or registers a counter.  Panics if `name` is already
@@ -318,7 +332,8 @@ impl Registry {
                 (name.clone(), snap)
             })
             .collect();
-        RegistrySnapshot { series }
+        let help = self.inner.help.lock().unwrap().clone();
+        RegistrySnapshot { series, help }
     }
 }
 
@@ -347,6 +362,8 @@ impl MetricSnapshot {
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RegistrySnapshot {
     series: BTreeMap<String, MetricSnapshot>,
+    /// Help texts by base name, rendered as `# HELP` lines.
+    help: BTreeMap<String, String>,
 }
 
 impl RegistrySnapshot {
@@ -377,6 +394,11 @@ impl RegistrySnapshot {
     /// order.  A same-name kind mismatch keeps `self`'s series (it cannot
     /// occur between registries built from this crate's catalogues).
     pub fn merge(&mut self, other: &RegistrySnapshot) {
+        for (name, help) in &other.help {
+            self.help
+                .entry(name.clone())
+                .or_insert_with(|| help.clone());
+        }
         for (name, theirs) in &other.series {
             match self.series.get_mut(name) {
                 None => {
@@ -406,9 +428,13 @@ impl RegistrySnapshot {
     ///
     /// ```text
     /// exposition := family*
-    /// family     := "# TYPE " base-name " " kind "\n" sample*
+    /// family     := help? "# TYPE " base-name " " kind "\n" sample*
+    /// help       := "# HELP " base-name " " text "\n"
     /// sample     := series-name " " integer "\n"
     /// ```
+    ///
+    /// The `# HELP` line appears when the family was described via
+    /// [`Registry::describe`], immediately before its `# TYPE` line.
     ///
     /// Histograms expand into cumulative `<base>_bucket{le="…"}` samples
     /// (bounds are exact `2^i - 1` integers, nanoseconds for `_ns`
@@ -424,6 +450,13 @@ impl RegistrySnapshot {
                 None => (name.as_str(), ""),
             };
             if last_base.as_deref() != Some(base) {
+                if let Some(help) = self.help.get(base) {
+                    out.push_str("# HELP ");
+                    out.push_str(base);
+                    out.push(' ');
+                    out.push_str(help);
+                    out.push('\n');
+                }
                 out.push_str("# TYPE ");
                 out.push_str(base);
                 out.push(' ');
@@ -569,6 +602,28 @@ mod tests {
         assert!(text.contains("kbt_c_ns_count{verb=\"stats\"} 1\n"));
         // Cumulative buckets: le="0" already counts the 0 sample.
         assert!(text.contains("kbt_c_ns_bucket{verb=\"stats\",le=\"0\"} 1\n"));
+    }
+
+    #[test]
+    fn described_families_render_help_before_type() {
+        let r = Registry::new();
+        r.counter("kbt_a_total").add(5);
+        r.describe("kbt_a_total", "things counted.");
+        r.histogram_labeled("kbt_c_ns", "verb", "query").record(3);
+        r.describe("kbt_c_ns", "latency per verb.");
+        let text = r.snapshot().render();
+        assert!(text.contains(
+            "# HELP kbt_a_total things counted.\n# TYPE kbt_a_total counter\nkbt_a_total 5\n"
+        ));
+        // One HELP line for the whole labelled family, directly above TYPE.
+        assert_eq!(text.matches("# HELP kbt_c_ns ").count(), 1);
+        assert!(text.contains("# HELP kbt_c_ns latency per verb.\n# TYPE kbt_c_ns histogram\n"));
+        // Help survives a merge into an undescribed snapshot.
+        let mut merged = Registry::new().snapshot();
+        merged.merge(&r.snapshot());
+        assert!(merged
+            .render()
+            .contains("# HELP kbt_a_total things counted.\n"));
     }
 
     #[test]

@@ -30,6 +30,23 @@ pub fn metrics() -> &'static ParMetrics {
     static METRICS: OnceLock<ParMetrics> = OnceLock::new();
     METRICS.get_or_init(|| {
         let r = Registry::global();
+        for (name, help) in [
+            ("kbt_par_scopes_total", "Scopes opened on the shared pool."),
+            (
+                "kbt_par_contended_scopes_total",
+                "Scopes that ran caller-only because the pool was held.",
+            ),
+            (
+                "kbt_par_workerset_jobs_total",
+                "Jobs admitted by a worker set.",
+            ),
+            (
+                "kbt_par_workerset_rejected_total",
+                "Jobs refused at capacity or during shutdown.",
+            ),
+        ] {
+            r.describe(name, help);
+        }
         ParMetrics {
             scopes_total: r.counter("kbt_par_scopes_total"),
             contended_scopes_total: r.counter("kbt_par_contended_scopes_total"),

@@ -13,9 +13,14 @@
 //! * `--threads N` — set the evaluation width explicitly (local mode only;
 //!   a server's width is fixed server-side).
 //! * `--time` — print each command's client-observed latency to **stderr**
-//!   (stdout transcripts stay byte-identical), and a summary at exit from
-//!   the same log-scale histogram the server-side metrics use.  With
-//!   `--connect` that is the full round trip over the wire.
+//!   (stdout transcripts stay byte-identical), and a p50/p95/p99 summary at
+//!   exit from the same log-scale histogram the server-side metrics use.
+//!   With `--connect` that is the full round trip over the wire.
+//! * `--profile` — after every successful `QUERY`, re-run it as `PROFILE`
+//!   and print the per-rule breakdown to **stderr** (stdout transcripts
+//!   stay byte-identical; `PROFILE` never commits, so state is untouched).
+//!   Implies the `--time` exit summary so the breakdown comes with
+//!   end-to-end quantiles.
 //!
 //! Scripts are segmented into **logical** command lines (a quoted constant
 //! may contain newlines) by the same splitter the service and the network
@@ -35,6 +40,7 @@ fn main() -> ExitCode {
     let mut config = ServiceConfig::default();
     let mut connect: Option<String> = None;
     let mut time = false;
+    let mut profile = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -60,9 +66,11 @@ fn main() -> ExitCode {
                 connect = Some(addr);
             }
             "--time" => time = true,
+            "--profile" => profile = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: kbt-shell [--threads N] [--connect HOST:PORT] [--time] [script …]"
+                    "usage: kbt-shell [--threads N] [--connect HOST:PORT] [--time] [--profile] \
+                     [script …]"
                 );
                 println!("       (no scripts: interactive REPL on stdin)");
                 return ExitCode::SUCCESS;
@@ -83,7 +91,9 @@ fn main() -> ExitCode {
     };
     let mut shell = Shell {
         backend,
-        timing: time.then(|| Box::new(HistogramCell::new())),
+        timing: (time || profile).then(|| Box::new(HistogramCell::new())),
+        show_time: time,
+        profile,
     };
     let code = if scripts.is_empty() {
         repl(&mut shell)
@@ -97,29 +107,48 @@ fn main() -> ExitCode {
 /// The backend plus the optional `--time` instrumentation around it.
 struct Shell {
     backend: Backend,
-    /// When `--time` is set: the latency histogram every command records
-    /// into (the same log-scale cell the server-side metrics use).
+    /// When `--time` or `--profile` is set: the latency histogram every
+    /// command records into (the same log-scale cell the server-side
+    /// metrics use).
     timing: Option<Box<HistogramCell>>,
+    /// `--time`: print each command's latency line (the exit summary is
+    /// printed whenever `timing` is live).
+    show_time: bool,
+    /// `--profile`: re-run each successful `QUERY` as `PROFILE` and print
+    /// the per-rule breakdown to stderr.
+    profile: bool,
 }
 
 impl Shell {
     /// Runs one command through the backend, timing it when `--time` is
-    /// set.  The latency line goes to stderr so stdout transcripts stay
-    /// byte-identical with and without the flag.
+    /// set.  The latency and profile lines go to stderr so stdout
+    /// transcripts stay byte-identical with and without the flags.
     fn run(&mut self, command: &str, err_line: impl FnOnce() -> String) -> bool {
-        let Some(cell) = &self.timing else {
-            return self.backend.run(command, err_line);
+        let ok = match &self.timing {
+            None => self.backend.run(command, err_line),
+            Some(cell) => {
+                let start = Instant::now();
+                let ok = self.backend.run(command, err_line);
+                let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                cell.record(ns);
+                if self.show_time {
+                    let verb = command.split_whitespace().next().unwrap_or("");
+                    eprintln!("time: {:.3} ms  {verb}", ns as f64 / 1e6);
+                }
+                ok
+            }
         };
-        let start = Instant::now();
-        let ok = self.backend.run(command, err_line);
-        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        cell.record(ns);
-        let verb = command.split_whitespace().next().unwrap_or("");
-        eprintln!("time: {:.3} ms  {verb}", ns as f64 / 1e6);
+        // the PROFILE re-run happens outside the timed window: the --time
+        // histogram keeps measuring exactly what ran without --profile
+        if ok && self.profile {
+            if let Some(rest) = query_rest(command) {
+                self.backend.profile(rest);
+            }
+        }
         ok
     }
 
-    /// The `--time` exit summary (quantiles are log-bucket upper bounds,
+    /// The timing exit summary (quantiles are log-bucket upper bounds,
     /// hence the `<=`).
     fn report_timing(&self) {
         let Some(cell) = &self.timing else { return };
@@ -129,13 +158,22 @@ impl Shell {
         }
         let q = |q: f64| snap.quantile(q).unwrap_or(0);
         eprintln!(
-            "time: {} command(s), p50<={}ns p90<={}ns max<={}ns",
+            "time: {} command(s), p50<={}ns p95<={}ns p99<={}ns",
             snap.count,
             q(0.5),
-            q(0.9),
-            q(1.0)
+            q(0.95),
+            q(0.99)
         );
     }
+}
+
+/// The query form of a `QUERY` command, when `command` is one (the part
+/// `--profile` re-runs as `PROFILE <rest>`).
+fn query_rest(command: &str) -> Option<&str> {
+    let (verb, rest) = command.trim_start().split_once(char::is_whitespace)?;
+    verb.eq_ignore_ascii_case("QUERY")
+        .then(|| rest.trim_start())
+        .filter(|rest| !rest.is_empty())
 }
 
 /// Where commands go: an in-process service or a remote `kbt-serve`.
@@ -191,6 +229,34 @@ impl Backend {
             }
         }
     }
+
+    /// `--profile`: runs `PROFILE <rest>` and prints the per-rule
+    /// breakdown to stderr.  A profile failure is reported but never fails
+    /// the command — the `QUERY` itself already succeeded.
+    fn profile(&mut self, rest: &str) {
+        let command = format!("PROFILE {rest}");
+        match self {
+            Backend::Local(service) => match service.execute(&command) {
+                Ok(Response::Profile { worlds, rows, .. }) => {
+                    eprintln!("profile: {worlds} world(s), {} row(s)", rows.len());
+                    for row in rows {
+                        eprintln!("profile: {row}");
+                    }
+                }
+                Ok(other) => eprintln!("profile: unexpected response: {other}"),
+                Err(e) => eprintln!("profile: {e}"),
+            },
+            Backend::Remote(client) => match client.roundtrip(&command) {
+                Ok(response) => {
+                    eprintln!("profile: {}", response.status);
+                    for line in &response.data {
+                        eprintln!("profile: {line}");
+                    }
+                }
+                Err(e) => eprintln!("profile: connection error: {e}"),
+            },
+        }
+    }
 }
 
 /// Is this line nothing but whitespace or a comment (not worth a network
@@ -234,8 +300,8 @@ fn repl(shell: &mut Shell) -> ExitCode {
     let mut out = std::io::stdout();
     if interactive {
         println!(
-            "kbt-service shell — commands: LOAD, ASSERT, RETRACT, DEFINE, APPLY, QUERY, STATS, \
-             METRICS"
+            "kbt-service shell — commands: LOAD, ASSERT, RETRACT, DEFINE, APPLY, QUERY, EXPLAIN, \
+             PROFILE, STATS, METRICS"
         );
     }
     let mut pending = String::new();
@@ -284,5 +350,15 @@ mod tests {
         assert!(is_nop("   "));
         assert!(is_nop("# comment"));
         assert!(!is_nop("STATS"));
+    }
+
+    #[test]
+    fn query_commands_yield_their_profile_form() {
+        assert_eq!(query_rest("QUERY CERTAIN edge"), Some("CERTAIN edge"));
+        assert_eq!(query_rest("  query   lub"), Some("lub"));
+        assert_eq!(query_rest("QUERY"), None);
+        assert_eq!(query_rest("QUERY   "), None);
+        assert_eq!(query_rest("ASSERT edge(1, 2)"), None);
+        assert_eq!(query_rest("PROFILE lub"), None);
     }
 }

@@ -17,6 +17,8 @@
 //!           | QUERY CERTAIN <relation>          -- snapshot read: facts true in every world
 //!           | QUERY POSSIBLE <relation>         -- snapshot read: facts true in some world
 //!           | QUERY <texpr>                     -- snapshot read: evaluate an expression
+//!           | EXPLAIN <query>                   -- render the query's plan, no evaluation
+//!           | PROFILE <query>                   -- evaluate + per-rule fixpoint breakdown
 //!           | STATS                             -- service counters
 //!           | METRICS                           -- metrics text exposition
 //!           | "#" …                             -- comment (ignored), as are blank lines
@@ -49,6 +51,12 @@ pub enum Verb {
     Define,
     Apply,
     Query,
+    /// `EXPLAIN <query>` — render the query's evaluation plan without
+    /// evaluating anything (see the crate-level *Observability* section).
+    Explain,
+    /// `PROFILE <query>` — evaluate the query and report a per-rule
+    /// fixpoint breakdown alongside the result summary.
+    Profile,
     Stats,
     /// `METRICS` — the Prometheus-style text exposition of every metric
     /// (see the crate-level *Observability* section).
@@ -176,6 +184,8 @@ pub fn split_command(line: &str) -> Result<(Verb, &str)> {
         "DEFINE" => Verb::Define,
         "APPLY" => Verb::Apply,
         "QUERY" => Verb::Query,
+        "EXPLAIN" => Verb::Explain,
+        "PROFILE" => Verb::Profile,
         "STATS" => Verb::Stats,
         "METRICS" => Verb::Metrics,
         other => return Err(parse_err(format!("unknown command {other:?}"))),
@@ -443,6 +453,11 @@ mod tests {
     fn verbs_are_case_insensitive_and_comments_are_nops() {
         assert_eq!(split_command("  stats ").unwrap().0, Verb::Stats);
         assert_eq!(split_command("Assert edge(1, 2)").unwrap().0, Verb::Assert);
+        assert_eq!(split_command("explain lub").unwrap().0, Verb::Explain);
+        assert_eq!(
+            split_command("Profile CERTAIN edge").unwrap().0,
+            Verb::Profile
+        );
         assert_eq!(split_command("# hello").unwrap().0, Verb::Nop);
         assert_eq!(split_command("").unwrap().0, Verb::Nop);
         assert!(split_command("FROBNICATE x").is_err());

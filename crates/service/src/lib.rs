@@ -56,9 +56,12 @@
 //! QUERY CERTAIN <relation>      snapshot read: facts true in every world
 //! QUERY POSSIBLE <relation>     snapshot read: facts true in some world
 //! QUERY <texpr>                 snapshot read: evaluate an expression
+//! EXPLAIN <query>               render the query's plan, evaluating nothing
+//! PROFILE <query>               evaluate + per-rule fixpoint breakdown
 //! STATS                         epoch, worlds, counters, registry
 //! METRICS                       metrics text exposition (see Observability)
 //!
+//! query := CERTAIN <relation> | POSSIBLE <relation> | <texpr>
 //! texpr := step (";" step)*
 //! step  := tau[<sentence>] | glb | lub | id | project[<relation>, …]
 //! fact  := <relation>(<const>, …)        const := NUMBER | 'name'
@@ -90,9 +93,20 @@
 //!
 //! ```text
 //! response := ("= " data "\n")* status "\n"
-//! status   := "OK" (" " key "=" value)*     e.g.  OK epoch=7 worlds=1 facts=9
-//!           | "ERR " code " " message
+//! status   := "OK" (" " key "=" value)* " id=" trace
+//!           | "ERR " code " " message " id=" trace
 //! ```
+//!
+//! **Trace IDs.**  Every wire command carries a trace identifier, echoed
+//! as the final `id=<trace>` field of its status line.  A client may
+//! supply one by prefixing the command with `#id=<token> ` (the `#` lead
+//! keeps traced lines inert for parsers that do not know the prefix — and
+//! a bare `#id=` with no token stays an ordinary comment); otherwise the
+//! server assigns `t1`, `t2`, … from a deterministic per-session
+//! sequence.  The same ID is attached to the command's log records — one
+//! `event=command` record per wire command (with the verb), plus the `id`
+//! field on any `slow_query` record the command produces — so wire
+//! traffic, logs and latency histograms correlate per request.
 //!
 //! Every payload line is escaped (`\` → `\\`, newline → `\n`, CR → `\r`)
 //! so one response line is always one physical line.  Snapshot reads and
@@ -124,9 +138,13 @@
 //!
 //! ```text
 //! exposition := family*
-//! family     := "# TYPE " base-name " " ("counter"|"gauge"|"histogram") "\n" sample*
+//! family     := help? "# TYPE " base-name " " ("counter"|"gauge"|"histogram") "\n" sample*
+//! help       := "# HELP " base-name " " description "\n"
 //! sample     := series-name " " integer "\n"
 //! ```
+//!
+//! Every series in the catalogue below carries a `# HELP` description
+//! (CI's doc-drift gate asserts this against a live scrape).
 //!
 //! Histograms are 64-bucket log-scale cells; they expand into cumulative
 //! `<base>_bucket{le="2^i - 1"}` samples (nanoseconds for `_ns` series), a
@@ -152,16 +170,16 @@
 //! * `kbt_service_commit_apply_ns` (histogram): commit phase — apply/evaluate.
 //! * `kbt_service_commit_publish_ns` (histogram): commit phase — publish.
 //! * `kbt_service_commit_batch_facts` (histogram): facts per fact commit.
-//! * `kbt_service_query_ns` (histogram): textual `QUERY` latency (the
-//!   slow-query span).
+//! * `kbt_service_query_ns` (histogram): textual `QUERY`/`PROFILE`
+//!   latency (the slow-query span).
 //! * `kbt_net_sessions_accepted_total` (counter): connections accepted.
 //! * `kbt_net_sessions_active` (gauge): sessions being served now.
 //! * `kbt_net_sessions_rejected_total` (counter): refused at capacity.
 //! * `kbt_net_sessions_idle_closed_total` (counter): closed by idle timeout.
 //! * `kbt_net_command_ns` (histogram): per-verb wire command latency,
 //!   labelled `{verb="nop"|"load"|"assert"|"retract"|"define"|"apply"|
-//!   "query"|"stats"|"metrics"|"error"}` — all pre-registered at server
-//!   start.
+//!   "query"|"stats"|"metrics"|"explain"|"profile"|"error"}` — all
+//!   pre-registered at server start.
 //! * `kbt_net_framing_errors_total` (counter): lines the framer refused.
 //! * `kbt_engine_evals_total` (counter): from-scratch fixpoint evaluations.
 //! * `kbt_engine_deltas_total` (counter): incremental delta applications.
@@ -180,13 +198,41 @@
 //! **Span taxonomy.**  Timed spans feed the `_ns` histograms above:
 //! `eval` / `round` / `delta` (engine), `commit_parse` / `commit_apply` /
 //! `commit_publish` (the commit pipeline), `slow_query` (textual queries;
-//! carries the query text), and the per-verb net command spans.  With
-//! `kbt-serve --log-format text|json` a structured stderr sink receives
-//! session lifecycle events (`session_open` / `session_close`, with the
-//! peer address) and — with `--slow-query-ms N` — every span at or over
-//! the threshold, e.g. `event=slow_query elapsed_ns=12345678
-//! query="QUERY CERTAIN path"`.  `STATS` and `METRICS` read the same
-//! counter cells; neither ever perturbs evaluation results.
+//! carries the query text and, over the wire, the trace `id`), and the
+//! per-verb net command spans.  With `kbt-serve --log-format text|json` a
+//! structured stderr sink receives session lifecycle events
+//! (`session_open` / `session_close`, with the peer address), one
+//! `command` event per wire command (with `id` and `verb`) and — with
+//! `--slow-query-ms N` — every span at or over the threshold, e.g.
+//! `event=slow_query elapsed_ns=12345678 query="QUERY CERTAIN path"
+//! id=t7`.  `STATS` and `METRICS` read the same counter cells; neither
+//! ever perturbs evaluation results.
+//!
+//! **EXPLAIN / PROFILE rows.**  Both answer with one data line per plan
+//! row.  An `EXPLAIN` row is fully deterministic:
+//!
+//! ```text
+//! s<stratum> <rule> :: <plan>
+//! ```
+//!
+//! where `<rule>` is the source `τ_φ` clause (user vocabulary) and
+//! `<plan>` the engine's join-plan rendering (`scan R(…)`,
+//! `probe R mask=0b… key=(…)`, `d<rel>:` for delta variants).  A
+//! `PROFILE` row inserts the rule's share of the fixpoint work between
+//! rule and plan:
+//!
+//! ```text
+//! s<stratum> <rule> | rounds=<n> derived=<n> probes=<n> scanned=<n> elapsed_ns=<n> :: <plan>
+//! ```
+//!
+//! `elapsed_ns` is wall-clock and therefore the only nondeterministic
+//! field; it appears in data rows only — status lines (`OK epoch=…
+//! rows=…` / `OK epoch=… worlds=… rows=…`) stay deterministic, and
+//! profiled evaluation returns byte-identical results, statistics and
+//! epochs to its unprofiled twin (`tests/profile_differential.rs` pins
+//! this at widths 1 and 4).  Operators without a Datalog rule plan —
+//! lattice steps, non-Horn insertions, `CERTAIN`/`POSSIBLE` folds — render
+//! a single descriptive row marked `(no rule plan)`.
 //!
 //! ## Example
 //!

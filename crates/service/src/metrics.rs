@@ -64,8 +64,66 @@ pub struct ServiceMetrics {
 
 impl ServiceMetrics {
     /// Registers every service-core series in `registry` (idempotent —
-    /// re-registration returns the same cells).
+    /// re-registration returns the same cells), with `# HELP` descriptions
+    /// for the exposition.
     pub fn register(registry: Registry) -> Self {
+        for (name, help) in [
+            (
+                "kbt_service_commits_total",
+                "Committed epochs (every successful write command).",
+            ),
+            ("kbt_service_applies_total", "APPLY commits."),
+            ("kbt_service_defines_total", "DEFINE commands processed."),
+            ("kbt_service_queries_total", "Snapshot reads served."),
+            ("kbt_service_snapshots_total", "MVCC snapshots taken."),
+            ("kbt_service_epoch", "The currently committed epoch."),
+            (
+                "kbt_service_held_epochs",
+                "Past epochs still pinned by outstanding snapshots.",
+            ),
+            (
+                "kbt_service_held_epoch_lag",
+                "Age of the oldest pinned epoch, in epochs behind current.",
+            ),
+            (
+                "kbt_service_commit_parse_ns",
+                "Commit phase: parsing the command payload.",
+            ),
+            (
+                "kbt_service_commit_apply_ns",
+                "Commit phase: applying the change to the working state.",
+            ),
+            (
+                "kbt_service_commit_publish_ns",
+                "Commit phase: publishing the next epoch.",
+            ),
+            (
+                "kbt_service_commit_batch_facts",
+                "Facts per ASSERT/RETRACT commit.",
+            ),
+            (
+                "kbt_service_query_ns",
+                "End-to-end latency of textual QUERY/PROFILE commands.",
+            ),
+            (
+                "kbt_net_sessions_accepted_total",
+                "Connections accepted over the process lifetime.",
+            ),
+            (
+                "kbt_net_sessions_active",
+                "Sessions currently being served.",
+            ),
+            (
+                "kbt_net_sessions_rejected_total",
+                "Connections refused at session capacity.",
+            ),
+            (
+                "kbt_net_sessions_idle_closed_total",
+                "Sessions closed by the idle timeout.",
+            ),
+        ] {
+            registry.describe(name, help);
+        }
         ServiceMetrics {
             commits_total: registry.counter("kbt_service_commits_total"),
             applies_total: registry.counter("kbt_service_applies_total"),
@@ -87,8 +145,9 @@ impl ServiceMetrics {
 
 /// The verbs a network command line can carry, as exposition label values
 /// (plus `"error"` for lines that fail verb parsing — they are timed too).
-pub(crate) const VERB_LABELS: [&str; 10] = [
-    "nop", "load", "assert", "retract", "define", "apply", "query", "stats", "metrics", "error",
+pub(crate) const VERB_LABELS: [&str; 12] = [
+    "nop", "load", "assert", "retract", "define", "apply", "query", "stats", "metrics", "explain",
+    "profile", "error",
 ];
 
 fn verb_slot(verb: Option<Verb>) -> usize {
@@ -102,8 +161,15 @@ fn verb_slot(verb: Option<Verb>) -> usize {
         Some(Verb::Query) => 6,
         Some(Verb::Stats) => 7,
         Some(Verb::Metrics) => 8,
-        None => 9,
+        Some(Verb::Explain) => 9,
+        Some(Verb::Profile) => 10,
+        None => 11,
     }
+}
+
+/// The exposition label value for a verb (`None` = `"error"`).
+pub(crate) fn verb_label(verb: Option<Verb>) -> &'static str {
+    VERB_LABELS[verb_slot(verb)]
 }
 
 /// Metric handles for the TCP front.
@@ -118,8 +184,17 @@ pub struct NetMetrics {
 }
 
 impl NetMetrics {
-    /// Registers every network series in `registry`.
+    /// Registers every network series in `registry`, with `# HELP`
+    /// descriptions for the exposition.
     pub fn register(registry: &Registry) -> Self {
+        registry.describe(
+            "kbt_net_command_ns",
+            "Per-verb command latency over the wire.",
+        );
+        registry.describe(
+            "kbt_net_framing_errors_total",
+            "Command lines the framer refused (too long / invalid UTF-8).",
+        );
         NetMetrics {
             command_ns: VERB_LABELS
                 .map(|label| registry.histogram_labeled("kbt_net_command_ns", "verb", label)),

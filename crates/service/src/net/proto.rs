@@ -106,6 +106,22 @@ pub fn encode_response(response: &Response) -> (Vec<String>, String) {
                 facts.len()
             ),
         ),
+        Response::Explain { epoch, rows } => (
+            rows.iter().map(|row| data_line(row)).collect(),
+            format!("OK epoch={} rows={}", epoch.get(), rows.len()),
+        ),
+        Response::Profile {
+            epoch,
+            worlds,
+            rows,
+        } => (
+            rows.iter().map(|row| data_line(row)).collect(),
+            format!(
+                "OK epoch={} worlds={worlds} rows={}",
+                epoch.get(),
+                rows.len()
+            ),
+        ),
         Response::Stats(report) => (
             response
                 .to_string()

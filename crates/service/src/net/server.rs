@@ -29,7 +29,7 @@ use std::time::{Duration, Instant};
 use kbt_par::WorkerSet;
 
 use crate::command::split_command;
-use crate::metrics::NetMetrics;
+use crate::metrics::{verb_label, NetMetrics};
 use crate::net::frame::{FrameError, LineFramer, MAX_LINE_BYTES};
 use crate::net::proto;
 use crate::service::Service;
@@ -232,6 +232,9 @@ fn serve_session(
     let mut framer = LineFramer::new(config.max_line_bytes);
     let mut buf = [0u8; 4096];
     let mut last_activity = Instant::now();
+    // per-session trace sequence: commands without a client-supplied
+    // `#id=` prefix are assigned `t1`, `t2`, … deterministically
+    let mut trace_seq = 0u64;
     loop {
         // drain every complete command already buffered, then flush once —
         // pipelined commands cost one write-flush per batch, not per command
@@ -239,7 +242,7 @@ fn serve_session(
         loop {
             match framer.next_line() {
                 Ok(Some(line)) => {
-                    respond(&mut writer, service, metrics, &line)?;
+                    respond(&mut writer, service, metrics, &mut trace_seq, &line)?;
                     responded = true;
                 }
                 Ok(None) => break,
@@ -265,7 +268,9 @@ fn serve_session(
             Ok(0) => {
                 // EOF: a final command need not be newline-terminated
                 match framer.finish() {
-                    Ok(Some(line)) => respond(&mut writer, service, metrics, &line)?,
+                    Ok(Some(line)) => {
+                        respond(&mut writer, service, metrics, &mut trace_seq, &line)?
+                    }
                     Ok(None) => {}
                     Err(e) => {
                         metrics.framing_errors_total.inc();
@@ -301,26 +306,56 @@ fn serve_session(
     }
 }
 
+/// Splits an optional `#id=<token>` trace prefix off a command line,
+/// returning `(token, command)`.  The `#` lead keeps traced lines inert
+/// for parsers that do not know the prefix (they read a comment); a bare
+/// `#id=` with no token stays an ordinary comment.
+fn client_trace(line: &str) -> Option<(&str, &str)> {
+    let rest = line.trim_start().strip_prefix("#id=")?;
+    let end = rest.find(char::is_whitespace).unwrap_or(rest.len());
+    let (id, cmd) = rest.split_at(end);
+    (!id.is_empty()).then_some((id, cmd.trim_start()))
+}
+
 fn respond(
     writer: &mut impl Write,
     service: &Service,
     metrics: &NetMetrics,
+    trace_seq: &mut u64,
     line: &str,
 ) -> std::io::Result<()> {
+    // every wire command carries a trace ID — client-supplied via the
+    // `#id=` prefix or assigned from the per-session sequence — echoed on
+    // the status line, attached to slow-query records, and logged per
+    // command, so wire traffic, logs and histograms correlate
+    let (trace, line) = match client_trace(line) {
+        Some((id, rest)) => (id.to_string(), rest),
+        None => {
+            *trace_seq += 1;
+            (format!("t{trace_seq}"), line)
+        }
+    };
     // the per-verb latency series (unparsable lines time under
     // `verb="error"`); the verb peek re-runs in `execute`, but it is one
     // word-split against a ~17 µs round trip
     let verb = split_command(line).map(|(verb, _)| verb).ok();
     let _span = metrics.command_ns(verb).span();
-    match service.execute(line) {
+    service.obs_registry().event(
+        "command",
+        &[
+            ("id", trace.clone()),
+            ("verb", verb_label(verb).to_string()),
+        ],
+    );
+    match service.execute_traced(line, Some(&trace)) {
         Ok(response) => {
             let (data, status) = proto::encode_response(&response);
             for line in data {
                 writeln!(writer, "{line}")?;
             }
-            writeln!(writer, "{status}")
+            writeln!(writer, "{status} id={trace}")
         }
-        Err(e) => writeln!(writer, "{}", proto::encode_service_error(&e)),
+        Err(e) => writeln!(writer, "{} id={trace}", proto::encode_service_error(&e)),
     }
 }
 
@@ -349,15 +384,46 @@ mod tests {
         let (server, _service) = start(NetConfig::default());
         let mut client = Client::connect(server.local_addr()).unwrap();
         let r = client.roundtrip("ASSERT edge(1, 2), edge(2, 3)").unwrap();
-        assert_eq!(r.status, "OK epoch=1 worlds=1 facts=2");
+        assert_eq!(r.status, "OK epoch=1 worlds=1 facts=2 id=t1");
         let r = client.roundtrip("QUERY CERTAIN edge").unwrap();
         assert_eq!(r.data, ["= edge(1, 2)", "= edge(2, 3)"]);
         assert_eq!(r.epoch(), Some(1));
         let r = client.roundtrip("QUERY CERTAIN ghost").unwrap();
         assert_eq!(r.err_code(), Some("unknown-relation"));
+        assert!(r.status.ends_with(" id=t3"), "{}", r.status);
         // errors do not poison the session
         let r = client.roundtrip("STATS").unwrap();
         assert!(r.is_ok());
+        server.shutdown();
+    }
+
+    #[test]
+    fn trace_ids_echo_and_client_supplied_ids_round_trip() {
+        let (server, _service) = start(NetConfig::default());
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        // server-assigned IDs count per session, client IDs pass through
+        let r = client.roundtrip("STATS").unwrap();
+        assert!(r.status.ends_with(" id=t1"), "{}", r.status);
+        let r = client.roundtrip("#id=req-42 ASSERT edge(1, 2)").unwrap();
+        assert_eq!(r.status, "OK epoch=1 worlds=1 facts=1 id=req-42");
+        // the sequence resumes after a client-supplied ID
+        let r = client.roundtrip("STATS").unwrap();
+        assert!(r.status.ends_with(" id=t2"), "{}", r.status);
+        // a bare "#id=" (no token) stays an ordinary comment
+        let r = client.roundtrip("#id= not a command").unwrap();
+        assert_eq!(r.status, "OK id=t3");
+        // EXPLAIN and PROFILE answer over the wire with deterministic
+        // status lines (timing only ever appears in data rows)
+        let r = client
+            .roundtrip("EXPLAIN tau[forall x0 x1. edge(x0, x1) -> path(x0, x1)]")
+            .unwrap();
+        assert_eq!(r.status, "OK epoch=1 rows=1 id=t4");
+        assert!(r.data[0].contains("scan"), "{:?}", r.data);
+        let r = client
+            .roundtrip("PROFILE tau[forall x0 x1. edge(x0, x1) -> path(x0, x1)]")
+            .unwrap();
+        assert_eq!(r.status, "OK epoch=1 worlds=1 rows=1 id=t5");
+        assert!(r.data[0].contains("elapsed_ns="), "{:?}", r.data);
         server.shutdown();
     }
 

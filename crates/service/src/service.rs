@@ -17,7 +17,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::{Arc, Mutex, PoisonError, Weak};
 
-use kbt_core::{ChainSession, EvalStats, Transform, Transformer};
+use kbt_core::{ChainSession, EvalStats, RuleProfile, Transform, Transformer};
 use kbt_data::{
     Database, EpochCell, EpochId, Knowledgebase, RelId, Relation, Versioned, Vocabulary,
 };
@@ -272,6 +272,26 @@ pub enum Response {
         /// The rendered facts, in canonical order.
         facts: Vec<String>,
     },
+    /// An `EXPLAIN <query>` result: the rendered evaluation plan, nothing
+    /// evaluated.
+    Explain {
+        /// The epoch the plan was rendered against.
+        epoch: EpochId,
+        /// One rendered line per plan row (see the crate-level
+        /// *Observability* section for the row format).
+        rows: Vec<String>,
+    },
+    /// A `PROFILE <query>` result: the query ran to completion and every
+    /// rule of its fixpoints reports its share of the work.
+    Profile {
+        /// The epoch the query evaluated against.
+        epoch: EpochId,
+        /// Possible worlds in the query result.
+        worlds: usize,
+        /// One rendered line per profiled rule (see the crate-level
+        /// *Observability* section for the row format).
+        rows: Vec<String>,
+    },
     /// A `STATS` report.
     Stats(StatsReport),
     /// A `METRICS` scrape: the text exposition of every metric.
@@ -418,7 +438,15 @@ impl Service {
     /// pipeline; `QUERY`/`STATS` run against a snapshot without blocking
     /// writers.
     pub fn execute(&self, line: &str) -> Result<Response> {
-        self.execute_at_depth(line, 0)
+        self.execute_traced(line, None)
+    }
+
+    /// [`Self::execute`] with a trace identifier attached: slow-query log
+    /// records carry it as an `id` field, so a wire front's per-command
+    /// trace IDs correlate with the log stream (see the crate-level
+    /// *Observability* section).  `execute` is `execute_traced(line, None)`.
+    pub fn execute_traced(&self, line: &str, trace: Option<&str>) -> Result<Response> {
+        self.execute_at_depth(line, 0, trace)
     }
 
     /// Executes a whole script (one command per line), stopping at the
@@ -427,7 +455,7 @@ impl Service {
         self.script_at_depth(text, 0)
     }
 
-    fn execute_at_depth(&self, line: &str, depth: usize) -> Result<Response> {
+    fn execute_at_depth(&self, line: &str, depth: usize, trace: Option<&str>) -> Result<Response> {
         let (verb, rest) = split_command(line)?;
         match verb {
             Verb::Nop => Ok(Response::Ok),
@@ -436,7 +464,9 @@ impl Service {
                 epoch: self.epoch(),
                 text: self.metrics_text(),
             }),
-            Verb::Query => self.query_text(rest),
+            Verb::Query => self.query_text(rest, trace),
+            Verb::Explain => self.explain_text(rest),
+            Verb::Profile => self.profile_text(rest, trace),
             Verb::Load => self.load(rest, depth),
             Verb::Assert | Verb::Retract | Verb::Define | Verb::Apply => {
                 self.write_command(verb, rest)
@@ -450,7 +480,7 @@ impl Service {
         // way — scripts mean the same thing locally and over the wire
         split_lines(text)
             .into_iter()
-            .map(|line| self.execute_at_depth(line, depth))
+            .map(|line| self.execute_at_depth(line, depth, None))
             .collect()
     }
 
@@ -724,13 +754,16 @@ impl Service {
         })
     }
 
-    fn query_text(&self, rest: &str) -> Result<Response> {
+    fn query_text(&self, rest: &str, trace: Option<&str>) -> Result<Response> {
         // the slow-query span: end-to-end latency of the textual command,
         // emitted to the log sink (with the query text) when it crosses
         // the registry's slow-span threshold
         let mut span = self.metrics.query_ns.span_event("slow_query");
         if span.enabled() {
             span.field("query", rest.trim());
+            if let Some(id) = trace {
+                span.field("id", id);
+            }
         }
         let snap = self.snapshot();
         // parse against a clone: query-local names must not leak into (or
@@ -769,6 +802,88 @@ impl Service {
                 Ok(Response::Worlds {
                     epoch: result.epoch,
                     worlds,
+                })
+            }
+        }
+    }
+
+    /// `EXPLAIN <query>`: renders the query's evaluation plan against the
+    /// current snapshot without evaluating anything (and without counting
+    /// as a served query).
+    fn explain_text(&self, rest: &str) -> Result<Response> {
+        let snap = self.snapshot();
+        let mut vocab = snap.vocab().clone();
+        let query = parse_query(rest, &mut vocab)?;
+        let namer = |rel: RelId| render_relation(rel, &vocab);
+        let rows = match query {
+            QueryCmd::Certain(rel) => vec![format!(
+                "certain({}): intersection across worlds (no rule plan)",
+                namer(rel)
+            )],
+            QueryCmd::Possible(rel) => vec![format!(
+                "possible({}): union across worlds (no rule plan)",
+                namer(rel)
+            )],
+            QueryCmd::Transform(t) => {
+                let transformer = Transformer::with_options(self.config.eval_options());
+                transformer
+                    .explain(&t, snap.kb(), &namer)?
+                    .iter()
+                    .map(render_explain_row)
+                    .collect()
+            }
+        };
+        Ok(Response::Explain {
+            epoch: snap.epoch(),
+            rows,
+        })
+    }
+
+    /// `PROFILE <query>`: evaluates the query like `QUERY` does (it counts
+    /// as a served query and feeds the slow-query span) and reports the
+    /// per-rule fixpoint breakdown alongside the result summary.
+    fn profile_text(&self, rest: &str, trace: Option<&str>) -> Result<Response> {
+        let mut span = self.metrics.query_ns.span_event("slow_query");
+        if span.enabled() {
+            span.field("query", rest.trim());
+            if let Some(id) = trace {
+                span.field("id", id);
+            }
+        }
+        let snap = self.snapshot();
+        let mut vocab = snap.vocab().clone();
+        let query = parse_query(rest, &mut vocab)?;
+        let namer = |rel: RelId| render_relation(rel, &vocab);
+        match query {
+            // certain/possible bump queries_total themselves
+            certain_or_possible @ (QueryCmd::Certain(_) | QueryCmd::Possible(_)) => {
+                let start = std::time::Instant::now();
+                let (kind, rel, facts) = match certain_or_possible {
+                    QueryCmd::Certain(rel) => ("certain", rel, self.certain(&snap, rel)),
+                    QueryCmd::Possible(rel) => ("possible", rel, self.possible(&snap, rel)),
+                    QueryCmd::Transform(_) => unreachable!("matched above"),
+                };
+                let elapsed = start.elapsed().as_nanos() as u64;
+                let rows = vec![format!(
+                    "{kind}({}): facts={} elapsed_ns={elapsed} (no rule plan)",
+                    namer(rel),
+                    facts.len()
+                )];
+                Ok(Response::Profile {
+                    epoch: snap.epoch(),
+                    worlds: snap.kb().len(),
+                    rows,
+                })
+            }
+            QueryCmd::Transform(t) => {
+                self.metrics.queries_total.inc();
+                let transformer = Transformer::with_options(self.config.eval_options());
+                let (result, profiles) = transformer.apply_profiled(&t, snap.kb(), &namer)?;
+                let rows = profiles.iter().map(render_profile_row).collect();
+                Ok(Response::Profile {
+                    epoch: snap.epoch(),
+                    worlds: result.kb.len(),
+                    rows,
                 })
             }
         }
@@ -826,6 +941,22 @@ impl Service {
         snap.merge(&Registry::global().snapshot());
         snap.render()
     }
+}
+
+/// One `EXPLAIN` row: stratum, rule provenance, and the plan rendering —
+/// fully deterministic (no counters, no timing).
+fn render_explain_row(p: &RuleProfile) -> String {
+    format!("s{} {} :: {}", p.stratum, p.rule, p.plan)
+}
+
+/// One `PROFILE` row: the `EXPLAIN` row plus the rule's share of the
+/// fixpoint work.  `elapsed_ns` is wall-clock and therefore the only
+/// nondeterministic field; it lives in data rows, never in status lines.
+fn render_profile_row(p: &RuleProfile) -> String {
+    format!(
+        "s{} {} | rounds={} derived={} probes={} scanned={} elapsed_ns={} :: {}",
+        p.stratum, p.rule, p.rounds, p.derived, p.probes, p.scanned, p.elapsed_ns, p.plan
+    )
 }
 
 /// Total facts across all worlds.
@@ -904,6 +1035,28 @@ impl fmt::Display for Response {
                 "{kind}({relation}) at {epoch}: {{{}}}",
                 facts.join(", ")
             ),
+            Response::Explain { epoch, rows } => {
+                write!(f, "explain at {epoch}: {} row(s)", rows.len())?;
+                for row in rows {
+                    write!(f, "\n  {row}")?;
+                }
+                Ok(())
+            }
+            Response::Profile {
+                epoch,
+                worlds,
+                rows,
+            } => {
+                write!(
+                    f,
+                    "profile at {epoch}: {worlds} world(s), {} row(s)",
+                    rows.len()
+                )?;
+                for row in rows {
+                    write!(f, "\n  {row}")?;
+                }
+                Ok(())
+            }
             Response::Stats(report) => {
                 write!(
                     f,

@@ -59,9 +59,38 @@ CATALOGUE=$(sed -n 's/^\/\/! \* `\(kbt_[a-z_]*\)`.*/\1/p' crates/service/src/lib
 MISSING=0
 for name in $CATALOGUE; do
     grep -q "^= .*$name" "$WORK/metrics.txt" || { echo "documented metric missing from scrape: $name" >&2; MISSING=1; }
+    # every catalogued family must carry a # HELP description in the exposition
+    grep -q "^= # HELP $name " "$WORK/metrics.txt" || { echo "documented metric has no # HELP line: $name" >&2; MISSING=1; }
 done
 [ "$MISSING" -eq 0 ] || { echo "--- scrape ---" >&2; cat "$WORK/metrics.txt" >&2; exit 1; }
-echo "e2e-net: METRICS scrape covers all $(echo "$CATALOGUE" | wc -l) documented metrics"
+echo "e2e-net: METRICS scrape covers all $(echo "$CATALOGUE" | wc -l) documented metrics (with # HELP)"
+
+# PROFILE over the live socket: per-rule rows carry an elapsed_ns field, so
+# the response is asserted structurally instead of goldened.
+echo "PROFILE project[flight]; tau[(forall x0 x1. flight(x0, x1) -> reach(x0, x1)) & (forall x0 x1 x2. reach(x0, x1) & flight(x1, x2) -> reach(x0, x2))]; lub" >"$WORK/profile.kbt"
+"$BIN/kbt-shell" --connect "127.0.0.1:$PORT" "$WORK/profile.kbt" >"$WORK/profile.txt"
+grep -q '^= .*elapsed_ns=' "$WORK/profile.txt" || {
+    echo "PROFILE returned no per-rule rows:" >&2; cat "$WORK/profile.txt" >&2; exit 1
+}
+grep -Eq '^OK epoch=[0-9]+ worlds=[0-9]+ rows=[0-9]+ id=t1$' "$WORK/profile.txt" || {
+    echo "PROFILE status line malformed:" >&2; cat "$WORK/profile.txt" >&2; exit 1
+}
+echo "e2e-net: PROFILE returns per-rule rows over the wire"
+
+# client-supplied trace IDs: a '#id=<token> ' prefix must round-trip into
+# the status line and into the JSON log's per-command event record.  The
+# shell skips comment lines client-side, so this goes over a raw socket.
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+printf '#id=ci-e2e-42 STATS\n' >&3
+TRACED=""
+while IFS= read -r line <&3; do
+    case "$line" in OK*|ERR*) TRACED="$line"; break ;; esac
+done
+exec 3<&- 3>&-
+case "$TRACED" in
+    *" id=ci-e2e-42") echo "e2e-net: client trace ID echoes on the status line" ;;
+    *) echo "client trace ID did not round-trip (got: $TRACED)" >&2; exit 1 ;;
+esac
 
 # graceful shutdown on signal: SIGTERM must yield exit code 0
 kill -TERM "$SERVE_PID"
@@ -75,6 +104,14 @@ grep -q '"event":"session_open"' "$WORK/serve.log" || {
 }
 grep -q '"event":"session_close"' "$WORK/serve.log" || {
     echo "no session_close event in the JSON log" >&2; exit 1
+}
+
+# … and correlated the client-supplied trace ID with its command record
+grep -q '"event":"command"' "$WORK/serve.log" || {
+    echo "no per-command event records in the JSON log" >&2; exit 1
+}
+grep '"event":"command"' "$WORK/serve.log" | grep -q '"id":"ci-e2e-42"' || {
+    echo "client trace ID missing from the JSON log command records" >&2; exit 1
 }
 
 diff -u tests/golden/net_session.golden "$WORK/transcript.txt" || {

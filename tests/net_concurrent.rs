@@ -26,6 +26,22 @@ const READERS: usize = 3;
 const PIPELINE: usize = 8;
 const PROBE: &str = "QUERY CERTAIN reach";
 
+/// Every status line a live server emits carries a per-session trace-ID
+/// suffix (` id=<token>`), which the in-process oracle encoding lacks and
+/// whose sequence number depends on how many commands the session has
+/// issued.  Asserts the suffix is present and well-formed, then returns
+/// the status without it for oracle comparison.
+fn strip_trace_id(status: &str) -> String {
+    let (head, id) = status
+        .rsplit_once(" id=")
+        .unwrap_or_else(|| panic!("status line lacks a trace ID: {status}"));
+    assert!(
+        !id.is_empty() && !id.contains(' '),
+        "malformed trace ID in: {status}"
+    );
+    head.to_string()
+}
+
 const DEFINE: &str = "DEFINE refresh := project[edge]; \
      tau[(forall x0 x1. edge(x0, x1) -> reach(x0, x1)) & \
          (forall x0 x1 x2. reach(x0, x1) & edge(x1, x2) -> reach(x0, x2))]";
@@ -111,7 +127,7 @@ fn run_differential(threads: usize) {
                         let epoch = r.epoch().expect("snapshot responses name epochs");
                         assert!(epoch >= last_epoch, "epochs must be monotonic per reader");
                         last_epoch = epoch;
-                        observed.push((epoch, r.data, r.status));
+                        observed.push((epoch, r.data, strip_trace_id(&r.status)));
                     }
                     if first_batch {
                         started.fetch_add(1, Ordering::Relaxed);
@@ -158,7 +174,10 @@ fn run_differential(threads: usize) {
     let tail = writer.roundtrip(PROBE).expect("final probe");
     assert_eq!(tail.epoch(), Some(final_epoch));
     let (expected_data, expected_status) = &by_epoch[&final_epoch];
-    assert_eq!((&tail.data, &tail.status), (expected_data, expected_status));
+    assert_eq!(
+        (&tail.data, &strip_trace_id(&tail.status)),
+        (expected_data, expected_status)
+    );
 
     // session accounting: 1 writer + READERS clients, nothing rejected
     let stats = writer.roundtrip("STATS").expect("stats");
