@@ -1,0 +1,120 @@
+//! Point-query strategies over a 10 000-edge transitive closure.
+//!
+//! The workload is the braid graph of `engine_parallel` (1 000 disjoint
+//! 10-edge chains), closed transitively; the query is the bound goal
+//! `path(1, x)` — one chain's worth of answers out of 55 000 derived
+//! facts.  Three strategies, matching the service's `strategy=` taxonomy:
+//!
+//! * `query_point/materialize` — the oracle: evaluate the full fixpoint,
+//!   then filter the answer relation on the bound column.  Pays for all
+//!   1 000 chains to answer about one.
+//! * `query_point/magic` — rewrite the program around the `bf` pattern
+//!   with magic sets, seed the demand, evaluate, filter.  Only the
+//!   reachable chain is ever derived, so a point query lands in
+//!   microseconds where materialization takes milliseconds — the ≥10×
+//!   separation `bench_compare` gates on.
+//! * `query_point/tabled` — the subsumptive-table hit path: the answer is
+//!   already memoized (here under the same `bf` pattern), so the query is
+//!   one packed-key lookup plus the residual filter.
+//!
+//! Set `KBT_BENCH_JSON=BENCH_engine.json` to record the medians
+//! machine-readably (CI does).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kbt_bench::quick_criterion;
+use kbt_data::{Const, Database, DatabaseBuilder, RelId, Tuple};
+use kbt_datalog::{magic_rewrite, semi_naive_eval_threads, DlAtom, Literal, Program, Rule};
+use kbt_engine::table::{filter_rows, SubsumptiveTable};
+use kbt_logic::builder::{cst, var};
+
+fn r(i: u32) -> RelId {
+    RelId::new(i)
+}
+
+/// path(x,y) :- edge(x,y).  path(x,z) :- path(x,y), edge(y,z).
+fn tc_program() -> Program {
+    let edge = |a, b| DlAtom::new(r(1), vec![a, b]);
+    let path = |a, b| DlAtom::new(r(2), vec![a, b]);
+    Program::new(vec![
+        Rule::new(
+            path(var(1), var(2)),
+            vec![Literal::positive(edge(var(1), var(2)))],
+        ),
+        Rule::new(
+            path(var(1), var(3)),
+            vec![
+                Literal::positive(path(var(1), var(2))),
+                Literal::positive(edge(var(2), var(3))),
+            ],
+        ),
+    ])
+    .unwrap()
+}
+
+/// `chains` disjoint chains of 10 edges each: `10 * chains` edges total.
+fn braid(chains: u32) -> Database {
+    let mut b = DatabaseBuilder::new().relation(r(1), 2);
+    for c in 0..chains {
+        let base = c * 11 + 1;
+        for i in 0..10 {
+            b = b.fact(r(1), [base + i, base + i + 1]);
+        }
+    }
+    b.build().unwrap()
+}
+
+fn bench_point_query(c: &mut Criterion) {
+    let program = tc_program();
+    let edb = braid(1_000); // 10 000 edges, 55 000 closure facts
+    let path = r(2);
+    let bound = [(0usize, Const::new(1))];
+    let terms = vec![cst(1), var(50)];
+
+    let mut group = c.benchmark_group("query_point");
+
+    group.bench_function("materialize", |b| {
+        b.iter(|| {
+            let (db, _) = semi_naive_eval_threads(&program, &edb, 1).unwrap();
+            filter_rows(db.relation(path).unwrap(), &bound)
+        });
+    });
+
+    group.bench_function("magic", |b| {
+        b.iter(|| {
+            let plan = magic_rewrite(&program, path, &terms, 100).unwrap();
+            let mut seeded = edb.clone();
+            for (seed_rel, consts) in &plan.seeds {
+                seeded
+                    .insert_fact(*seed_rel, Tuple::new(consts.clone()))
+                    .unwrap();
+            }
+            let (db, _) = semi_naive_eval_threads(&plan.program, &seeded, 1).unwrap();
+            filter_rows(db.relation(plan.answer).unwrap(), &bound)
+        });
+    });
+
+    // the table-hit path: memoize once, then every query is a lookup
+    let plan = magic_rewrite(&program, path, &terms, 100).unwrap();
+    let mut seeded = edb.clone();
+    for (seed_rel, consts) in &plan.seeds {
+        seeded
+            .insert_fact(*seed_rel, Tuple::new(consts.clone()))
+            .unwrap();
+    }
+    let (db, _) = semi_naive_eval_threads(&plan.program, &seeded, 1).unwrap();
+    let answer = filter_rows(db.relation(plan.answer).unwrap(), &bound);
+    let mut table = SubsumptiveTable::new();
+    table.insert(0, path.index(), &bound, answer);
+    group.bench_function("tabled", |b| {
+        b.iter(|| table.lookup(0, path.index(), &bound).unwrap());
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_point_query
+}
+criterion_main!(benches);

@@ -1,0 +1,342 @@
+//! Adornments: bound/free binding patterns for goal-directed evaluation.
+//!
+//! A query `reach('a', x)` demands only the tuples of `reach` whose first
+//! column is `'a'`.  The classical way to exploit that demand in a bottom-up
+//! engine (Bancilhon et al., *Magic Sets and Other Strange Ways to Implement
+//! Logic Programs*) starts by **adorning** the program: annotate every
+//! intensional predicate reachable from the query with the binding pattern
+//! (`b` = bound, `f` = free) under which it is called, propagating bindings
+//! through each rule body left to right (the textual sideways
+//! information-passing strategy).
+//!
+//! This module computes that adorned program.  [`crate::magic`] turns it
+//! into the rewritten (magic) program.  Both refuse — with
+//! [`DatalogError::GoalDirected`] — on program shapes the rewrite does not
+//! cover (negated intensional subgoals); callers fall back to full
+//! materialization, which is always available.
+
+use std::collections::{BTreeSet, VecDeque};
+use std::fmt;
+
+use kbt_data::RelId;
+use kbt_logic::{Term, Var};
+
+use crate::ast::{Literal, Program, Rule};
+use crate::error::DatalogError;
+use crate::Result;
+
+/// A binding pattern over the argument positions of one predicate:
+/// `true` = bound, `false` = free.  Displays as the classical `bf…` string.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Adornment(Vec<bool>);
+
+impl Adornment {
+    /// Builds an adornment from explicit per-position flags.
+    pub fn new(bound: impl Into<Vec<bool>>) -> Self {
+        Adornment(bound.into())
+    }
+
+    /// The adornment of a call with the given argument terms: constant
+    /// positions are bound, variable positions are free.
+    pub fn from_terms(terms: &[Term]) -> Self {
+        Adornment(terms.iter().map(|t| t.is_ground()).collect())
+    }
+
+    /// Number of argument positions.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the adornment covers zero positions.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Whether position `i` is bound.
+    pub fn is_bound(&self, i: usize) -> bool {
+        self.0[i]
+    }
+
+    /// Number of bound positions.
+    pub fn bound_count(&self) -> usize {
+        self.0.iter().filter(|b| **b).count()
+    }
+
+    /// Whether every position is free (the pattern of a bare query).
+    pub fn is_all_free(&self) -> bool {
+        self.bound_count() == 0
+    }
+
+    /// The per-position flags.
+    pub fn flags(&self) -> &[bool] {
+        &self.0
+    }
+}
+
+impl fmt::Display for Adornment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.0 {
+            f.write_str(if *b { "b" } else { "f" })?;
+        }
+        Ok(())
+    }
+}
+
+/// An intensional predicate together with the binding pattern under which
+/// it is called.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AdornedPred {
+    /// The relation symbol.
+    pub rel: RelId,
+    /// Its call pattern.
+    pub adornment: Adornment,
+}
+
+/// One body literal of an adorned rule.  `call` is `Some` exactly when the
+/// literal is a positive intensional subgoal (and therefore subject to
+/// renaming by the magic rewrite).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AdornedLiteral {
+    /// The original literal.
+    pub literal: Literal,
+    /// The adornment under which an intensional subgoal is called.
+    pub call: Option<Adornment>,
+}
+
+/// One rule of the adorned program: the original rule, the adornment of its
+/// head, and the per-literal call patterns derived left to right.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AdornedRule {
+    /// The head predicate with its adornment.
+    pub head: AdornedPred,
+    /// The original rule.
+    pub rule: Rule,
+    /// Body literals in original order, each with its call pattern.
+    pub body: Vec<AdornedLiteral>,
+}
+
+/// The adorned slice of a program around one query pattern: exactly the
+/// rules reachable from the query, each annotated with binding patterns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AdornedProgram {
+    /// The query predicate with the query's own adornment.
+    pub query: AdornedPred,
+    /// Adorned rules in deterministic (worklist × source) order.
+    pub rules: Vec<AdornedRule>,
+    /// Every distinct adorned predicate, in first-reached order.
+    pub preds: Vec<AdornedPred>,
+}
+
+/// Adorns `program` around a call of `rel` with binding pattern `pattern`.
+///
+/// Propagation is left to right: a body position is bound if it is a
+/// constant, a bound head variable, or a variable of an earlier *positive*
+/// body literal.  Returns [`DatalogError::GoalDirected`] if a negated
+/// intensional subgoal is reachable — the magic rewrite does not guard
+/// negated predicates, so such queries must fall back to materialization.
+pub fn adorn_program(program: &Program, rel: RelId, pattern: &Adornment) -> Result<AdornedProgram> {
+    let idb = program.idb_relations();
+    let query = AdornedPred {
+        rel,
+        adornment: pattern.clone(),
+    };
+    let mut seen: BTreeSet<AdornedPred> = BTreeSet::new();
+    let mut preds: Vec<AdornedPred> = Vec::new();
+    let mut queue: VecDeque<AdornedPred> = VecDeque::new();
+    seen.insert(query.clone());
+    preds.push(query.clone());
+    queue.push_back(query.clone());
+    let mut rules = Vec::new();
+
+    while let Some(pred) = queue.pop_front() {
+        for rule in program.rules() {
+            if rule.head.rel != pred.rel {
+                continue;
+            }
+            let adorned = adorn_rule(rule, &pred, &idb)?;
+            for lit in &adorned.body {
+                if let Some(call) = &lit.call {
+                    let callee = AdornedPred {
+                        rel: lit.literal.atom.rel,
+                        adornment: call.clone(),
+                    };
+                    if seen.insert(callee.clone()) {
+                        preds.push(callee.clone());
+                        queue.push_back(callee);
+                    }
+                }
+            }
+            rules.push(adorned);
+        }
+    }
+
+    Ok(AdornedProgram {
+        query,
+        rules,
+        preds,
+    })
+}
+
+/// Adorns one rule called under `pred`, or refuses on a negated
+/// intensional subgoal.
+fn adorn_rule(rule: &Rule, pred: &AdornedPred, idb: &BTreeSet<RelId>) -> Result<AdornedRule> {
+    debug_assert_eq!(rule.head.arity(), pred.adornment.len());
+    let mut bound: BTreeSet<Var> = rule
+        .head
+        .terms
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| pred.adornment.is_bound(*i))
+        .filter_map(|(_, t)| t.as_var())
+        .collect();
+    let mut body = Vec::with_capacity(rule.body.len());
+    for lit in &rule.body {
+        let is_idb = idb.contains(&lit.atom.rel);
+        if !lit.positive && is_idb {
+            return Err(DatalogError::GoalDirected {
+                reason: format!(
+                    "negated intensional subgoal {} is reachable from the query",
+                    lit.atom
+                ),
+            });
+        }
+        let call = if lit.positive && is_idb {
+            Some(Adornment(
+                lit.atom
+                    .terms
+                    .iter()
+                    .map(|t| match t {
+                        Term::Const(_) => true,
+                        Term::Var(v) => bound.contains(v),
+                    })
+                    .collect(),
+            ))
+        } else {
+            None
+        };
+        if lit.positive {
+            bound.extend(lit.atom.variables());
+        }
+        body.push(AdornedLiteral {
+            literal: lit.clone(),
+            call,
+        });
+    }
+    Ok(AdornedRule {
+        head: pred.clone(),
+        rule: rule.clone(),
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::DlAtom;
+    use kbt_logic::builder::{cst, var};
+
+    fn r(i: u32) -> RelId {
+        RelId::new(i)
+    }
+
+    fn tc_program() -> Program {
+        let edge = |a, b| DlAtom::new(r(1), vec![a, b]);
+        let path = |a, b| DlAtom::new(r(2), vec![a, b]);
+        Program::new(vec![
+            Rule::new(
+                path(var(1), var(2)),
+                vec![Literal::positive(edge(var(1), var(2)))],
+            ),
+            Rule::new(
+                path(var(1), var(3)),
+                vec![
+                    Literal::positive(path(var(1), var(2))),
+                    Literal::positive(edge(var(2), var(3))),
+                ],
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn adornment_displays_and_classifies() {
+        let a = Adornment::from_terms(&[cst(7), var(1)]);
+        assert_eq!(a.to_string(), "bf");
+        assert_eq!(a.bound_count(), 1);
+        assert!(a.is_bound(0) && !a.is_bound(1));
+        assert!(!a.is_all_free());
+        assert!(Adornment::from_terms(&[var(1), var(2)]).is_all_free());
+    }
+
+    #[test]
+    fn tc_bf_adorns_recursively() {
+        let p = tc_program();
+        let adorned = adorn_program(&p, r(2), &Adornment::new(vec![true, false])).unwrap();
+        // Only path^bf is reached: the recursive call keeps the first
+        // argument bound (it is a bound head variable).
+        assert_eq!(adorned.preds.len(), 1);
+        assert_eq!(adorned.preds[0].adornment.to_string(), "bf");
+        assert_eq!(adorned.rules.len(), 2);
+        let rec = &adorned.rules[1];
+        assert_eq!(
+            rec.body[0].call.as_ref().unwrap().to_string(),
+            "bf",
+            "recursive path call keeps x1 bound"
+        );
+        assert!(rec.body[1].call.is_none(), "edge is extensional");
+    }
+
+    #[test]
+    fn free_patterns_propagate_bindings_sideways() {
+        // q(x, y) :- e(x, z), p(z, y): under q^fb the call to p is p^bf —
+        // wait, z is bound by e only in the sideways sense; under q^ff the
+        // call to p is still p^bf because z flows in from e.
+        let e = |a, b| DlAtom::new(r(1), vec![a, b]);
+        let p = |a, b| DlAtom::new(r(2), vec![a, b]);
+        let q = |a, b| DlAtom::new(r(3), vec![a, b]);
+        let prog = Program::new(vec![
+            Rule::new(
+                p(var(1), var(2)),
+                vec![Literal::positive(e(var(1), var(2)))],
+            ),
+            Rule::new(
+                q(var(1), var(2)),
+                vec![
+                    Literal::positive(e(var(1), var(3))),
+                    Literal::positive(p(var(3), var(2))),
+                ],
+            ),
+        ])
+        .unwrap();
+        let adorned = adorn_program(&prog, r(3), &Adornment::new(vec![false, false])).unwrap();
+        let call = adorned.rules[0].body[1].call.as_ref().unwrap();
+        assert_eq!(call.to_string(), "bf", "z is bound sideways by e(x, z)");
+    }
+
+    #[test]
+    fn negated_idb_subgoals_refuse() {
+        let e = |a| DlAtom::new(r(1), vec![a]);
+        let p = |a| DlAtom::new(r(2), vec![a]);
+        let q = |a| DlAtom::new(r(3), vec![a]);
+        let prog = Program::new(vec![
+            Rule::new(p(var(1)), vec![Literal::positive(e(var(1)))]),
+            Rule::new(
+                q(var(1)),
+                vec![Literal::positive(e(var(1))), Literal::negative(p(var(1)))],
+            ),
+        ])
+        .unwrap();
+        let err = adorn_program(&prog, r(3), &Adornment::new(vec![true])).unwrap_err();
+        assert!(matches!(err, DatalogError::GoalDirected { .. }));
+        // Negated *extensional* literals are fine.
+        let prog2 = Program::new(vec![Rule::new(
+            q(var(1)),
+            vec![
+                Literal::positive(e(var(1))),
+                Literal::negative(DlAtom::new(r(4), vec![var(1)])),
+            ],
+        )])
+        .unwrap();
+        assert!(adorn_program(&prog2, r(3), &Adornment::new(vec![true])).is_ok());
+    }
+}

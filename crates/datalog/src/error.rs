@@ -26,6 +26,12 @@ pub enum DatalogError {
         /// Human-readable description of the limit.
         message: String,
     },
+    /// The goal-directed (magic-set) rewrite does not cover this program
+    /// shape; callers fall back to full materialization.
+    GoalDirected {
+        /// Why the rewrite refused.
+        reason: String,
+    },
 }
 
 impl fmt::Display for DatalogError {
@@ -46,6 +52,9 @@ impl fmt::Display for DatalogError {
             }
             DatalogError::Data(e) => write!(f, "{e}"),
             DatalogError::Engine { message } => write!(f, "engine limit: {message}"),
+            DatalogError::GoalDirected { reason } => {
+                write!(f, "goal-directed rewrite unavailable: {reason}")
+            }
         }
     }
 }

@@ -22,14 +22,17 @@
 //! every round.  The original nested-loop evaluators survive unchanged in
 //! [`reference`](mod@reference) as an independent cross-check oracle.
 
+pub mod adorn;
 pub mod ast;
 pub mod error;
 pub mod eval;
 pub mod from_logic;
 pub mod lower;
+pub mod magic;
 pub mod reference;
 pub mod stratify;
 
+pub use adorn::{adorn_program, AdornedProgram, Adornment};
 pub use ast::{DlAtom, Literal, Program, Rule};
 pub use error::DatalogError;
 pub use eval::{
@@ -42,6 +45,7 @@ pub use lower::{
     lower_program, lower_program_named, lower_rule, lower_rule_named, lower_strata,
     lower_strata_named, render_rule,
 };
+pub use magic::{magic_rewrite, MagicName, MagicPlan};
 pub use reference::{reference_naive_eval, reference_semi_naive_eval};
 pub use stratify::stratify;
 

@@ -82,6 +82,7 @@ pub mod plan;
 pub mod profile;
 pub mod stats;
 pub mod storage;
+pub mod table;
 
 pub use error::EngineError;
 pub use eval::{evaluate, evaluate_with, EngineOptions, EvalMode};
@@ -92,6 +93,7 @@ pub use metrics::{metrics, EngineMetrics};
 pub use profile::{evaluate_profiled, explain, RuleProfile};
 pub use stats::EngineStats;
 pub use storage::{FactSet, IndexStorage};
+pub use table::SubsumptiveTable;
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, EngineError>;

@@ -33,6 +33,15 @@ pub struct EngineMetrics {
     pub index_probes_total: Counter,
     /// `kbt_engine_tuples_scanned_total` — tuples inspected by scans/probes.
     pub tuples_scanned_total: Counter,
+    /// `kbt_engine_table_hits` — subsumptive-table lookups answered from a
+    /// memoized (exact or subsuming) call.
+    pub table_hits: Counter,
+    /// `kbt_engine_table_misses` — subsumptive-table lookups that found no
+    /// memoized call.
+    pub table_misses: Counter,
+    /// `kbt_engine_table_evictions` — memoized calls dropped when their
+    /// snapshot was superseded.
+    pub table_evictions: Counter,
     /// `kbt_engine_eval_ns` — whole-evaluation wall time.
     pub eval_ns: Histogram,
     /// `kbt_engine_round_ns` — per-fixpoint-round wall time (derive+commit).
@@ -81,6 +90,18 @@ pub fn metrics() -> &'static EngineMetrics {
                 "Tuples inspected by scans and probes.",
             ),
             (
+                "kbt_engine_table_hits",
+                "Subsumptive-table lookups answered from a memoized call.",
+            ),
+            (
+                "kbt_engine_table_misses",
+                "Subsumptive-table lookups that found no memoized call.",
+            ),
+            (
+                "kbt_engine_table_evictions",
+                "Memoized calls dropped when their snapshot was superseded.",
+            ),
+            (
                 "kbt_engine_eval_ns",
                 "Whole-evaluation wall time in nanoseconds.",
             ),
@@ -102,6 +123,9 @@ pub fn metrics() -> &'static EngineMetrics {
             derived_facts_total: r.counter("kbt_engine_derived_facts_total"),
             index_probes_total: r.counter("kbt_engine_index_probes_total"),
             tuples_scanned_total: r.counter("kbt_engine_tuples_scanned_total"),
+            table_hits: r.counter("kbt_engine_table_hits"),
+            table_misses: r.counter("kbt_engine_table_misses"),
+            table_evictions: r.counter("kbt_engine_table_evictions"),
             eval_ns: r.histogram("kbt_engine_eval_ns"),
             round_ns: r.histogram("kbt_engine_round_ns"),
             delta_ns: r.histogram("kbt_engine_delta_ns"),

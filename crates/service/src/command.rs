@@ -14,8 +14,8 @@
 //!           | RETRACT <fact> ("," <fact>)*      -- commit: remove facts from every world
 //!           | DEFINE <name> := <texpr>          -- register a named transformation
 //!           | APPLY <name>                      -- commit: kb := T(kb)
-//!           | QUERY CERTAIN <relation>          -- snapshot read: facts true in every world
-//!           | QUERY POSSIBLE <relation>         -- snapshot read: facts true in some world
+//!           | QUERY CERTAIN <goal>              -- snapshot read: facts true in every world
+//!           | QUERY POSSIBLE <goal>             -- snapshot read: facts true in some world
 //!           | QUERY <texpr>                     -- snapshot read: evaluate an expression
 //!           | EXPLAIN <query>                   -- render the query's plan, no evaluation
 //!           | PROFILE <query>                   -- evaluate + per-rule fixpoint breakdown
@@ -28,9 +28,22 @@
 //!           | "glb" | "lub" | "id"              -- ⊓, ⊔, identity
 //!           | "project[" <relation> ("," <relation>)* "]"   -- π
 //!
+//! goal     := <relation>                        -- every fact of the relation
+//!           | <relation> "(" arg ("," arg)* ")" -- goal-directed point query
+//! arg      := <const>                           -- a bound argument position
+//!           | IDENT                             -- a free argument position
+//!
 //! fact     := <relation> "(" <const> ("," <const>)* ")" | <relation> "()"
 //! const    := NUMBER | "'" chars "'"
 //! ```
+//!
+//! The bound goal form (`QUERY CERTAIN reach('a', x)`) names an existing
+//! relation with its exact arity; constants bind argument positions,
+//! identifiers leave them free.  The relation must already be known
+//! (`unknown-relation`) with the supplied argument count
+//! (`arity-mismatch`) — a bound query never interns new names, so a typo
+//! is an error rather than a silently empty answer.  Repeating a variable
+//! (`reach(x, x)`) constrains the named positions to be equal.
 
 use kbt_core::Transform;
 use kbt_data::{Const, RelId, Tuple, Vocabulary};
@@ -67,11 +80,36 @@ pub enum Verb {
 #[derive(Clone, Debug)]
 pub enum QueryCmd {
     /// Facts holding in **every** world of the knowledgebase.
-    Certain(RelId),
+    Certain(QueryGoal),
     /// Facts holding in **at least one** world.
-    Possible(RelId),
+    Possible(QueryGoal),
     /// A transformation expression, evaluated read-only on the snapshot.
     Transform(Transform),
+}
+
+/// The goal of a `CERTAIN`/`POSSIBLE` query: a bare relation (all facts) or
+/// a bound argument pattern (`reach('a', x)`) for the goal-directed path.
+#[derive(Clone, Debug)]
+pub struct QueryGoal {
+    /// The queried relation.
+    pub rel: RelId,
+    /// `None` for the bare form; `Some(args)` carries one term per argument
+    /// position — constants are bound, variables free.
+    pub terms: Option<Vec<Term>>,
+}
+
+impl QueryGoal {
+    /// A bare (all-facts) goal.
+    pub fn bare(rel: RelId) -> Self {
+        QueryGoal { rel, terms: None }
+    }
+
+    /// Whether any argument position is bound to a constant.
+    pub fn is_bound(&self) -> bool {
+        self.terms
+            .as_ref()
+            .is_some_and(|ts| ts.iter().any(|t| matches!(t, Term::Const(_))))
+    }
 }
 
 fn parse_err(message: impl Into<String>) -> ServiceError {
@@ -334,13 +372,32 @@ fn bracket_payload<'a>(step: &'a str, keyword: &str) -> Option<&'a str> {
 
 /// Parses a `QUERY` payload.
 pub fn parse_query(text: &str, vocab: &mut Vocabulary) -> Result<QueryCmd> {
-    let mut words = text.split_whitespace();
-    let first = words.next().unwrap_or("");
+    let first = text.split_whitespace().next().unwrap_or("");
     let kind = first.to_ascii_uppercase();
     if kind == "CERTAIN" || kind == "POSSIBLE" {
-        let name = words
-            .next()
-            .ok_or_else(|| parse_err(format!("expected QUERY {kind} <relation>")))?;
+        let rest = text.trim_start()[first.len()..].trim();
+        let goal = parse_goal(rest, &kind, vocab)?;
+        return Ok(match kind.as_str() {
+            "CERTAIN" => QueryCmd::Certain(goal),
+            _ => QueryCmd::Possible(goal),
+        });
+    }
+    Ok(QueryCmd::Transform(parse_transform(text, vocab)?))
+}
+
+/// Parses the goal of a `CERTAIN`/`POSSIBLE` query: a bare relation name,
+/// or the bound form `rel(arg, …)`.  The bound form resolves against the
+/// vocabulary *before* the formula parser runs, so an unknown relation or
+/// a wrong argument count is a typed error — never a silent intern that
+/// would make a typo look like an empty answer.
+fn parse_goal(rest: &str, kind: &str, vocab: &mut Vocabulary) -> Result<QueryGoal> {
+    if rest.is_empty() {
+        return Err(parse_err(format!("expected QUERY {kind} <relation>")));
+    }
+    let Some(paren) = rest.find('(') else {
+        // Bare form: exactly one relation name.
+        let mut words = rest.split_whitespace();
+        let name = words.next().expect("rest is non-empty");
         if words.next().is_some() {
             return Err(parse_err(format!(
                 "unexpected input after QUERY {kind} {name}"
@@ -349,12 +406,39 @@ pub fn parse_query(text: &str, vocab: &mut Vocabulary) -> Result<QueryCmd> {
         let (rel, _) = vocab
             .lookup_relation(name)
             .ok_or_else(|| ServiceError::UnknownRelation(name.to_string()))?;
-        return Ok(match kind.as_str() {
-            "CERTAIN" => QueryCmd::Certain(rel),
-            _ => QueryCmd::Possible(rel),
+        return Ok(QueryGoal::bare(rel));
+    };
+    let name = rest[..paren].trim();
+    let (rel, arity) = vocab
+        .lookup_relation(name)
+        .ok_or_else(|| ServiceError::UnknownRelation(name.to_string()))?;
+    let inner = rest[paren..]
+        .strip_prefix('(')
+        .and_then(|s| s.trim_end().strip_suffix(')'))
+        .ok_or_else(|| parse_err(format!("expected QUERY {kind} {name}(…)")))?;
+    let found = if inner.trim().is_empty() {
+        0
+    } else {
+        split_top_level(inner, ',').len()
+    };
+    if found != arity {
+        return Err(ServiceError::ArityMismatch {
+            relation: name.to_string(),
+            expected: arity,
+            found,
         });
     }
-    Ok(QueryCmd::Transform(parse_transform(text, vocab)?))
+    let formula = parse_formula(rest, vocab)?;
+    let Formula::Atom(parsed_rel, args) = formula else {
+        return Err(parse_err(format!(
+            "expected a goal like reach('a', x), found {rest:?}"
+        )));
+    };
+    debug_assert_eq!(parsed_rel, rel, "goal pre-check resolved the same relation");
+    Ok(QueryGoal {
+        rel,
+        terms: Some(args),
+    })
 }
 
 /// Renders a transformation in the exact surface syntax [`parse_transform`]
@@ -584,5 +668,66 @@ mod tests {
         ));
         assert!(parse_query("CERTAIN nowhere", &mut v).is_err());
         assert!(parse_query("CERTAIN", &mut v).is_err());
+    }
+
+    #[test]
+    fn bound_goals_parse_with_constants_and_free_variables() {
+        let mut v = Vocabulary::new();
+        v.relation("reach", 2).unwrap();
+        let QueryCmd::Certain(goal) = parse_query("CERTAIN reach('a', x)", &mut v).unwrap() else {
+            panic!("expected a certain goal");
+        };
+        assert!(goal.is_bound());
+        let terms = goal.terms.as_ref().unwrap();
+        assert_eq!(terms.len(), 2);
+        assert!(matches!(terms[0], Term::Const(_)));
+        assert!(matches!(terms[1], Term::Var(_)));
+
+        // All-free and fully-bound patterns are both legal goals.
+        let QueryCmd::Possible(goal) = parse_query("POSSIBLE reach(x, y)", &mut v).unwrap() else {
+            panic!("expected a possible goal");
+        };
+        assert!(!goal.is_bound());
+        assert!(goal.terms.is_some());
+        let QueryCmd::Certain(goal) = parse_query("CERTAIN reach('a', 'b')", &mut v).unwrap()
+        else {
+            panic!("expected a certain goal");
+        };
+        assert!(goal.is_bound());
+
+        // The bare form still parses as before.
+        let QueryCmd::Certain(goal) = parse_query("CERTAIN reach", &mut v).unwrap() else {
+            panic!("expected a certain goal");
+        };
+        assert!(goal.terms.is_none());
+    }
+
+    #[test]
+    fn bound_goals_reject_unknown_relations_and_wrong_arity() {
+        let mut v = Vocabulary::new();
+        v.relation("reach", 2).unwrap();
+        assert!(matches!(
+            parse_query("CERTAIN nowhere('a', x)", &mut v),
+            Err(ServiceError::UnknownRelation(_))
+        ));
+        assert!(matches!(
+            parse_query("CERTAIN reach('a')", &mut v),
+            Err(ServiceError::ArityMismatch {
+                expected: 2,
+                found: 1,
+                ..
+            })
+        ));
+        assert!(matches!(
+            parse_query("POSSIBLE reach('a', x, y)", &mut v),
+            Err(ServiceError::ArityMismatch {
+                expected: 2,
+                found: 3,
+                ..
+            })
+        ));
+        // The pre-checks never intern: the vocabulary is unchanged after
+        // a rejected goal.
+        assert_eq!(v.relation_count(), 1);
     }
 }

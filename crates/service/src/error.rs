@@ -19,6 +19,15 @@ pub enum ServiceError {
     /// A `RETRACT` referenced a constant name never seen before (a typo:
     /// retracting a fact over a brand-new name is always a no-op).
     UnknownConstant(String),
+    /// A bound query named a known relation with the wrong argument count.
+    ArityMismatch {
+        /// The relation's surface name.
+        relation: String,
+        /// The arity the vocabulary records for it.
+        expected: usize,
+        /// The number of arguments the query supplied.
+        found: usize,
+    },
     /// Script execution nested `LOAD`s too deeply (a cycle, most likely).
     ScriptDepth(usize),
     /// An error from the data layer (arities, schemas).
@@ -44,6 +53,7 @@ impl ServiceError {
             ServiceError::UnknownTransform(_) => "unknown-transform",
             ServiceError::UnknownRelation(_) => "unknown-relation",
             ServiceError::UnknownConstant(_) => "unknown-constant",
+            ServiceError::ArityMismatch { .. } => "arity-mismatch",
             ServiceError::ScriptDepth(_) => "script-depth",
             ServiceError::Data(_) => "data",
             ServiceError::Logic(_) => "logic",
@@ -62,6 +72,14 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::UnknownRelation(name) => write!(f, "unknown relation {name:?}"),
             ServiceError::UnknownConstant(name) => write!(f, "unknown constant {name:?}"),
+            ServiceError::ArityMismatch {
+                relation,
+                expected,
+                found,
+            } => write!(
+                f,
+                "relation {relation:?} has arity {expected}, query supplied {found} arguments"
+            ),
             ServiceError::ScriptDepth(depth) => {
                 write!(f, "LOAD nesting exceeds {depth} levels (cycle?)")
             }

@@ -53,19 +53,64 @@
 //! RETRACT <fact>, …             commit: remove ground facts from every world
 //! DEFINE <name> := <texpr>      register a named transformation
 //! APPLY <name>                  commit: kb := T(kb), incrementally
-//! QUERY CERTAIN <relation>      snapshot read: facts true in every world
-//! QUERY POSSIBLE <relation>     snapshot read: facts true in some world
+//! QUERY CERTAIN <goal>          snapshot read: facts true in every world
+//! QUERY POSSIBLE <goal>         snapshot read: facts true in some world
 //! QUERY <texpr>                 snapshot read: evaluate an expression
 //! EXPLAIN <query>               render the query's plan, evaluating nothing
 //! PROFILE <query>               evaluate + per-rule fixpoint breakdown
 //! STATS                         epoch, worlds, counters, registry
 //! METRICS                       metrics text exposition (see Observability)
 //!
-//! query := CERTAIN <relation> | POSSIBLE <relation> | <texpr>
+//! query := CERTAIN <goal> | POSSIBLE <goal> | <texpr>
+//! goal  := <relation> | <relation> "(" arg ("," arg)* ")"
+//! arg   := <const> | IDENT                 (IDENT names a free variable)
 //! texpr := step (";" step)*
 //! step  := tau[<sentence>] | glb | lub | id | project[<relation>, …]
 //! fact  := <relation>(<const>, …)        const := NUMBER | 'name'
 //! ```
+//!
+//! ## Goal-directed bound queries
+//!
+//! The bare form `QUERY CERTAIN path` reads the **stored** facts of a
+//! relation.  The bound form `QUERY CERTAIN path('a', x)` instead asks a
+//! *goal*: the service re-derives the fixpoint of every registered `τ`
+//! rulebase over each world — the same fixpoint `APPLY` would commit —
+//! restricted to tuples matching the goal's constants (repeated variables
+//! impose equality), and folds the worlds certain/possible as usual.  A
+//! bound goal must name an existing relation with its exact arity
+//! (`unknown-relation` / `arity-mismatch` otherwise) and never interns new
+//! symbols: an unknown constant is a legal empty answer, not an error.
+//!
+//! Three strategies serve a bound goal, reported as `strategy=` in the
+//! wire status line and counted per strategy in the metrics catalogue:
+//!
+//! * **`magic`** — the rulebase is adorned around the goal's bound/free
+//!   pattern and rewritten with magic (demand) predicates
+//!   (`kbt_datalog::magic_rewrite`), so the fixpoint only derives facts
+//!   the goal can reach.  On a 10k-edge transitive closure a point query
+//!   runs in microseconds where materialization takes milliseconds
+//!   (`query_point` in `BENCH_engine.json`).
+//! * **`tabled`** — answered from the per-epoch subsumptive table
+//!   (`kbt_engine::table::SubsumptiveTable`): a memoized call whose bound
+//!   positions are a subset of the goal's (agreeing where shared) already
+//!   contains every answer; the extra bound columns are filtered
+//!   residually.  The table is keyed by packed call patterns, shared by
+//!   the whole reader pool, and **evicted atomically on every commit** —
+//!   a memoized answer can never survive its epoch, and a reader holding
+//!   an older snapshot re-derives rather than polluting the cache
+//!   (inserts are dropped unless the snapshot still matches the cache
+//!   epoch).
+//! * **`materialize`** — the fallback: evaluate the full program (or, with
+//!   no rulebase registered, read the stored facts) and filter.  Taken
+//!   when the magic rewrite refuses — e.g. a rewrite that would break
+//!   stratification — so bound queries are *always* answerable, and
+//!   byte-identical to this oracle by construction
+//!   (`tests/magic_differential.rs` pins this at widths 1 and 4).
+//!
+//! `EXPLAIN` on a bound goal renders the adorned magic plan — the seed
+//! facts and every guarded/magic rule with `p_bf` / `m_p_bf`-style
+//! adorned names — and `PROFILE` evaluates it with the per-rule fixpoint
+//! breakdown (bypassing the table: a memo hit profiles nothing).
 //!
 //! ## The wire protocol
 //!
@@ -113,7 +158,8 @@
 //! commits name the epoch they speak for in `epoch=N`.  Error codes are
 //! stable: the service-level ones come from [`ServiceError::code`]
 //! (`parse`, `unknown-transform`, `unknown-relation`, `unknown-constant`,
-//! `script-depth`, `data`, `logic`, `eval`, `io`), and the net layer adds
+//! `arity-mismatch`, `script-depth`, `data`, `logic`, `eval`, `io`), and
+//! the net layer adds
 //! `line-too-long`, `invalid-utf8`, `idle-timeout` (session sat idle past
 //! the server's timeout), `unavailable` (all session workers busy —
 //! connections beyond [`net::NetConfig::max_sessions`] are refused, not
@@ -162,6 +208,12 @@
 //! * `kbt_service_applies_total` (counter): `APPLY` commits.
 //! * `kbt_service_defines_total` (counter): `DEFINE` commands.
 //! * `kbt_service_queries_total` (counter): snapshot reads served.
+//! * `kbt_service_queries_magic_total` (counter): bound goals answered
+//!   through the magic-set rewrite.
+//! * `kbt_service_queries_tabled_total` (counter): bound goals answered
+//!   from the subsumptive table.
+//! * `kbt_service_queries_materialize_total` (counter): bound goals
+//!   answered by full materialization plus a filter.
 //! * `kbt_service_snapshots_total` (counter): MVCC snapshots taken.
 //! * `kbt_service_epoch` (gauge): the committed epoch.
 //! * `kbt_service_held_epochs` (gauge): past epochs still pinned by readers.
@@ -187,6 +239,12 @@
 //! * `kbt_engine_derived_facts_total` (counter): facts derived.
 //! * `kbt_engine_index_probes_total` (counter): index probes.
 //! * `kbt_engine_tuples_scanned_total` (counter): tuples scanned.
+//! * `kbt_engine_table_hits` (counter): subsumptive-table lookups answered
+//!   from a memoized call.
+//! * `kbt_engine_table_misses` (counter): subsumptive-table lookups that
+//!   found no memoized call.
+//! * `kbt_engine_table_evictions` (counter): memoized calls dropped when
+//!   their snapshot was superseded.
 //! * `kbt_engine_eval_ns` (histogram): full evaluation latency.
 //! * `kbt_engine_round_ns` (histogram): per-round latency.
 //! * `kbt_engine_delta_ns` (histogram): per-delta latency.

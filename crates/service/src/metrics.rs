@@ -38,6 +38,12 @@ pub struct ServiceMetrics {
     /// Snapshot reads served (`QUERY CERTAIN/POSSIBLE/<texpr>`, typed or
     /// textual) — the counter `STATS` reports as `queries`.
     pub queries_total: Counter,
+    /// Bound goals answered through the magic-set rewrite.
+    pub queries_magic_total: Counter,
+    /// Bound goals answered from the subsumptive table.
+    pub queries_tabled_total: Counter,
+    /// Bound goals answered by full materialization plus a filter.
+    pub queries_materialize_total: Counter,
     /// MVCC snapshots taken ([`crate::Service::snapshot`]).
     pub snapshots_total: Counter,
     /// The currently committed epoch.
@@ -75,6 +81,18 @@ impl ServiceMetrics {
             ("kbt_service_applies_total", "APPLY commits."),
             ("kbt_service_defines_total", "DEFINE commands processed."),
             ("kbt_service_queries_total", "Snapshot reads served."),
+            (
+                "kbt_service_queries_magic_total",
+                "Bound goals answered through the magic-set rewrite.",
+            ),
+            (
+                "kbt_service_queries_tabled_total",
+                "Bound goals answered from the subsumptive table.",
+            ),
+            (
+                "kbt_service_queries_materialize_total",
+                "Bound goals answered by full materialization plus a filter.",
+            ),
             ("kbt_service_snapshots_total", "MVCC snapshots taken."),
             ("kbt_service_epoch", "The currently committed epoch."),
             (
@@ -129,6 +147,9 @@ impl ServiceMetrics {
             applies_total: registry.counter("kbt_service_applies_total"),
             defines_total: registry.counter("kbt_service_defines_total"),
             queries_total: registry.counter("kbt_service_queries_total"),
+            queries_magic_total: registry.counter("kbt_service_queries_magic_total"),
+            queries_tabled_total: registry.counter("kbt_service_queries_tabled_total"),
+            queries_materialize_total: registry.counter("kbt_service_queries_materialize_total"),
             snapshots_total: registry.counter("kbt_service_snapshots_total"),
             epoch: registry.gauge("kbt_service_epoch"),
             held_epochs: registry.gauge("kbt_service_held_epochs"),

@@ -98,14 +98,20 @@ pub fn encode_response(response: &Response) -> (Vec<String>, String) {
             kind,
             relation,
             facts,
-        } => (
-            facts.iter().map(|fact| data_line(fact)).collect(),
-            format!(
+            strategy,
+        } => (facts.iter().map(|fact| data_line(fact)).collect(), {
+            let mut status = format!(
                 "OK epoch={} kind={kind} relation={relation} count={}",
                 epoch.get(),
                 facts.len()
-            ),
-        ),
+            );
+            // only bound goals carry a strategy; the bare form's status
+            // line is unchanged
+            if let Some(strategy) = strategy {
+                status.push_str(&format!(" strategy={strategy}"));
+            }
+            status
+        }),
         Response::Explain { epoch, rows } => (
             rows.iter().map(|row| data_line(row)).collect(),
             format!("OK epoch={} rows={}", epoch.get(), rows.len()),

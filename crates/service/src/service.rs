@@ -17,15 +17,22 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::{Arc, Mutex, PoisonError, Weak};
 
-use kbt_core::{ChainSession, EvalStats, RuleProfile, Transform, Transformer};
+use kbt_core::{ChainSession, CoreError, EvalStats, RuleProfile, Transform, Transformer};
 use kbt_data::{
-    Database, EpochCell, EpochId, Knowledgebase, RelId, Relation, Versioned, Vocabulary,
+    Const, Database, EpochCell, EpochId, Knowledgebase, RelId, Relation, Tuple, Versioned,
+    Vocabulary,
 };
+use kbt_datalog::{
+    explain_plans, magic_rewrite, program_from_sentence, semi_naive_eval_profiled,
+    semi_naive_eval_threads, DatalogError, MagicPlan, Program,
+};
+use kbt_engine::table::{filter_rows, SubsumptiveTable};
+use kbt_logic::Term;
 use kbt_obs::{Counter, Gauge, Registry};
 
 use crate::command::{
-    parse_define, parse_fact_list, parse_query, render_fact, render_relation, render_transform,
-    split_command, split_lines, QueryCmd, Verb,
+    parse_define, parse_fact_list, parse_query, parse_transform, render_fact, render_relation,
+    render_transform, split_command, split_lines, QueryCmd, QueryGoal, Verb,
 };
 use crate::config::ServiceConfig;
 use crate::error::{Result, ServiceError};
@@ -271,6 +278,9 @@ pub enum Response {
         relation: String,
         /// The rendered facts, in canonical order.
         facts: Vec<String>,
+        /// How a *bound* goal was answered (`"magic"`, `"tabled"` or
+        /// `"materialize"`); `None` for the bare all-facts form.
+        strategy: Option<&'static str>,
     },
     /// An `EXPLAIN <query>` result: the rendered evaluation plan, nothing
     /// evaluated.
@@ -336,11 +346,31 @@ pub struct StatsReport {
     pub held_epochs: Vec<(u64, u64)>,
 }
 
+/// Per-epoch goal-directed query state: the rulebase assembled from the
+/// snapshot's transform registry (built lazily, once per epoch) and the
+/// subsumptive answer table.  The whole cache is evicted when a new epoch
+/// publishes — the table memoizes answers over one immutable snapshot, so
+/// staleness is impossible by construction.
+struct QueryCache {
+    /// The epoch the cached state speaks for.
+    epoch: EpochId,
+    /// The assembled rulebase: `None` until first needed, `Some(None)` when
+    /// the registry defines no Horn rules at all.
+    rulebase: Option<Option<Arc<Program>>>,
+    /// Memoized goal answers over this epoch's snapshot (tag 0 = certain,
+    /// tag 1 = possible).
+    table: SubsumptiveTable,
+}
+
 /// A concurrent, multi-session knowledgebase service (see crate docs).
 pub struct Service {
     config: ServiceConfig,
     committed: EpochCell<CommittedState>,
     writer: Mutex<Writer>,
+    /// Goal-directed query state, shared across the reader pool.  Readers
+    /// hold the lock only to consult/update the memo — evaluation runs
+    /// unlocked — so a long derivation never blocks the commit pipeline.
+    query_cache: Mutex<QueryCache>,
     /// Per-instance metric handles (and the registry they live in) — see
     /// the crate-level *Observability* section for the catalogue.
     metrics: ServiceMetrics,
@@ -388,6 +418,11 @@ impl Service {
                 transforms: BTreeMap::new(),
                 transforms_meta: empty_meta,
                 stats: ServiceStats::default(),
+            }),
+            query_cache: Mutex::new(QueryCache {
+                epoch: EpochId::ZERO,
+                rulebase: None,
+                table: SubsumptiveTable::new(),
             }),
             metrics,
             sessions,
@@ -509,6 +544,12 @@ impl Service {
         self.writer.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
+    fn lock_query_cache(&self) -> std::sync::MutexGuard<'_, QueryCache> {
+        self.query_cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Publishes the writer's current state as the next epoch and registers
     /// it in the holder registry (pruning versions nobody holds anymore).
     fn publish(&self, w: &Writer) -> EpochId {
@@ -519,6 +560,14 @@ impl Service {
             transforms: w.transforms_meta.clone(),
             stats: w.stats,
         });
+        // The goal-directed cache memoizes answers over the *previous*
+        // snapshot: evict it before anyone can read against the new epoch.
+        {
+            let mut cache = self.lock_query_cache();
+            cache.table.evict();
+            cache.rulebase = None;
+            cache.epoch = epoch;
+        }
         // Publishes serialize on the writer lock, so this load observes the
         // version published one line above.
         let current = self.committed.load();
@@ -754,6 +803,186 @@ impl Service {
         })
     }
 
+    /// Builds the `Response::Facts` for a `CERTAIN`/`POSSIBLE` goal: the
+    /// bare form folds the stored relation as ever (no strategy); the bound
+    /// form goes through the goal-directed planner and reports which
+    /// strategy answered it.
+    fn goal_response(
+        &self,
+        snap: &Snapshot,
+        vocab: &Vocabulary,
+        goal: &QueryGoal,
+        certain: bool,
+    ) -> Result<Response> {
+        let kind = if certain { "certain" } else { "possible" };
+        let (facts, strategy) = match &goal.terms {
+            None => {
+                let facts = if certain {
+                    self.certain(snap, goal.rel)
+                } else {
+                    self.possible(snap, goal.rel)
+                };
+                (facts, None)
+            }
+            Some(terms) => {
+                let (facts, strategy) = self.query_goal(snap, vocab, goal.rel, terms, certain)?;
+                (facts, Some(strategy))
+            }
+        };
+        Ok(Response::Facts {
+            epoch: snap.epoch(),
+            kind,
+            relation: render_relation(goal.rel, vocab),
+            facts: render_relation_facts(goal.rel, &facts, vocab),
+            strategy,
+        })
+    }
+
+    /// Answers a bound goal (`QUERY CERTAIN reach('a', x)`) goal-directedly.
+    ///
+    /// Strategy order: the per-epoch [`SubsumptiveTable`] first (`tabled` —
+    /// an exact or subsuming memoized call answers without evaluating);
+    /// then the magic-set rewrite of the registry's rulebase around the
+    /// goal's binding pattern (`magic` — only the facts the goal demands
+    /// are derived); and when the rewrite refuses (negation reached through
+    /// the goal) or no rulebase exists, full materialization plus a filter
+    /// (`materialize`).  Answers from *every* path are memoized, so a
+    /// repeated or more specific same-snapshot goal is a table hit.
+    ///
+    /// The bound form answers against the **derived** fixpoint of the
+    /// registered `tau` rules over each world (the same fixpoint `APPLY`
+    /// would commit), filtered to the goal — whereas the bare form reads
+    /// stored facts only.  Positions bound by repeated variables
+    /// (`reach(x, x)`) are equality-filtered after memo retrieval, so the
+    /// memoized answer stays reusable for other patterns.
+    fn query_goal(
+        &self,
+        snap: &Snapshot,
+        vocab: &Vocabulary,
+        rel: RelId,
+        terms: &[Term],
+        certain: bool,
+    ) -> Result<(Relation, &'static str)> {
+        self.metrics.queries_total.inc();
+        let bound: Vec<(usize, Const)> = terms
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.as_const().map(|c| (i, c)))
+            .collect();
+        let groups = var_groups(terms);
+        let tag = if certain { 0u8 } else { 1u8 };
+
+        let rulebase = {
+            let mut cache = self.lock_query_cache();
+            if cache.epoch != snap.epoch() {
+                cache.table.evict();
+                cache.rulebase = None;
+                cache.epoch = snap.epoch();
+            }
+            if let Some(answer) = cache.table.lookup(tag, rel.index(), &bound) {
+                self.metrics.queries_tabled_total.inc();
+                return Ok((filter_equal(&answer, &groups), "tabled"));
+            }
+            match &cache.rulebase {
+                Some(rb) => rb.clone(),
+                None => {
+                    let rb = build_rulebase(snap).map(Arc::new);
+                    cache.rulebase = Some(rb.clone());
+                    rb
+                }
+            }
+            // the lock drops here: evaluation must not block the commit
+            // pipeline (publish evicts this cache under the same lock)
+        };
+
+        let (answer, strategy) = match &rulebase {
+            Some(program) => {
+                match magic_rewrite(program, rel, terms, vocab.relation_count() as u32) {
+                    Ok(plan) => (
+                        self.eval_goal_plan(snap, &plan, &bound, terms.len(), certain)?,
+                        "magic",
+                    ),
+                    Err(DatalogError::GoalDirected { .. }) => (
+                        self.materialize_goal(snap, program, rel, &bound, terms.len(), certain)?,
+                        "materialize",
+                    ),
+                    Err(e) => return Err(datalog_err(e)),
+                }
+            }
+            // No rules at all: the stored relation is its own fixpoint.
+            None => {
+                let folded = fold_goal(snap.kb(), rel, certain);
+                (filter_rows(&folded, &bound), "materialize")
+            }
+        };
+        match strategy {
+            "magic" => self.metrics.queries_magic_total.inc(),
+            _ => self.metrics.queries_materialize_total.inc(),
+        }
+        let mut cache = self.lock_query_cache();
+        if cache.epoch == snap.epoch() {
+            cache.table.insert(tag, rel.index(), &bound, answer.clone());
+        }
+        Ok((filter_equal(&answer, &groups), strategy))
+    }
+
+    /// Evaluates a magic plan against every world of the snapshot and folds
+    /// the per-world answers (intersection for certain, union for
+    /// possible).  The answer predicate may also carry tuples derived for
+    /// recursive sub-calls with other bindings, so each world's answers are
+    /// filtered to the goal's own bound constants before folding.
+    fn eval_goal_plan(
+        &self,
+        snap: &Snapshot,
+        plan: &MagicPlan,
+        bound: &[(usize, Const)],
+        arity: usize,
+        certain: bool,
+    ) -> Result<Relation> {
+        let mut acc: Option<Relation> = None;
+        for db in snap.kb().iter() {
+            let mut edb = db.clone();
+            for (seed_rel, consts) in &plan.seeds {
+                edb.insert_fact(*seed_rel, Tuple::new(consts.clone()))?;
+            }
+            let (result, _stats) =
+                semi_naive_eval_threads(&plan.program, &edb, self.config.threads)
+                    .map_err(datalog_err)?;
+            let answers = result
+                .relation(plan.answer)
+                .map(|r| filter_rows(r, bound))
+                .unwrap_or_else(|| Relation::empty(arity));
+            acc = Some(fold_step(acc, answers, certain));
+        }
+        Ok(acc.unwrap_or_else(|| Relation::empty(arity)))
+    }
+
+    /// The materializing fallback: the full rulebase fixpoint over every
+    /// world, the goal relation filtered to the bound constants, folded
+    /// across worlds.  This is also the oracle the differential suite holds
+    /// the magic path to.
+    fn materialize_goal(
+        &self,
+        snap: &Snapshot,
+        program: &Program,
+        rel: RelId,
+        bound: &[(usize, Const)],
+        arity: usize,
+        certain: bool,
+    ) -> Result<Relation> {
+        let mut acc: Option<Relation> = None;
+        for db in snap.kb().iter() {
+            let (result, _stats) =
+                semi_naive_eval_threads(program, db, self.config.threads).map_err(datalog_err)?;
+            let answers = result
+                .relation(rel)
+                .map(|r| filter_rows(r, bound))
+                .unwrap_or_else(|| Relation::empty(arity));
+            acc = Some(fold_step(acc, answers, certain));
+        }
+        Ok(acc.unwrap_or_else(|| Relation::empty(arity)))
+    }
+
     fn query_text(&self, rest: &str, trace: Option<&str>) -> Result<Response> {
         // the slow-query span: end-to-end latency of the textual command,
         // emitted to the log sink (with the query text) when it crosses
@@ -770,24 +999,8 @@ impl Service {
         // wait on) the committed vocabulary
         let mut vocab = snap.vocab().clone();
         match parse_query(rest, &mut vocab)? {
-            QueryCmd::Certain(rel) => {
-                let facts = self.certain(&snap, rel);
-                Ok(Response::Facts {
-                    epoch: snap.epoch(),
-                    kind: "certain",
-                    relation: render_relation(rel, &vocab),
-                    facts: render_relation_facts(rel, &facts, &vocab),
-                })
-            }
-            QueryCmd::Possible(rel) => {
-                let facts = self.possible(&snap, rel);
-                Ok(Response::Facts {
-                    epoch: snap.epoch(),
-                    kind: "possible",
-                    relation: render_relation(rel, &vocab),
-                    facts: render_relation_facts(rel, &facts, &vocab),
-                })
-            }
+            QueryCmd::Certain(goal) => self.goal_response(&snap, &vocab, &goal, true),
+            QueryCmd::Possible(goal) => self.goal_response(&snap, &vocab, &goal, false),
             QueryCmd::Transform(t) => {
                 let result = self.query_on(&snap, &t)?;
                 let worlds = result
@@ -816,13 +1029,21 @@ impl Service {
         let query = parse_query(rest, &mut vocab)?;
         let namer = |rel: RelId| render_relation(rel, &vocab);
         let rows = match query {
-            QueryCmd::Certain(rel) => vec![format!(
+            QueryCmd::Certain(QueryGoal {
+                rel,
+                terms: Some(terms),
+            }) => self.explain_goal(&snap, &vocab, rel, &terms, true)?,
+            QueryCmd::Possible(QueryGoal {
+                rel,
+                terms: Some(terms),
+            }) => self.explain_goal(&snap, &vocab, rel, &terms, false)?,
+            QueryCmd::Certain(goal) => vec![format!(
                 "certain({}): intersection across worlds (no rule plan)",
-                namer(rel)
+                namer(goal.rel)
             )],
-            QueryCmd::Possible(rel) => vec![format!(
+            QueryCmd::Possible(goal) => vec![format!(
                 "possible({}): union across worlds (no rule plan)",
-                namer(rel)
+                namer(goal.rel)
             )],
             QueryCmd::Transform(t) => {
                 let transformer = Transformer::with_options(self.config.eval_options());
@@ -837,6 +1058,153 @@ impl Service {
             epoch: snap.epoch(),
             rows,
         })
+    }
+
+    /// `EXPLAIN` of a bound goal: the binding pattern, the invented magic
+    /// predicates with their seeds, and the join plans of the rewritten
+    /// program — all in the stable renderings the golden tests pin down.
+    /// A refused rewrite explains the fallback instead.
+    fn explain_goal(
+        &self,
+        snap: &Snapshot,
+        vocab: &Vocabulary,
+        rel: RelId,
+        terms: &[Term],
+        certain: bool,
+    ) -> Result<Vec<String>> {
+        let kind = if certain { "certain" } else { "possible" };
+        let namer = |r: RelId| render_relation(r, vocab);
+        let pattern = kbt_datalog::Adornment::from_terms(terms);
+        let Some(program) = build_rulebase(snap) else {
+            return Ok(vec![format!(
+                "{kind}({}) pattern={pattern}: no rulebase, stored facts filtered ({} across worlds)",
+                namer(rel),
+                if certain { "intersection" } else { "union" }
+            )]);
+        };
+        match magic_rewrite(&program, rel, terms, vocab.relation_count() as u32) {
+            Ok(plan) => {
+                let plan_namer = |r: RelId| plan.render_relation(r, &namer);
+                let mut rows = vec![format!(
+                    "{kind}({}) pattern={pattern}: magic plan, answer={}",
+                    namer(rel),
+                    plan_namer(plan.answer)
+                )];
+                for (seed_rel, consts) in &plan.seeds {
+                    let args: Vec<String> = consts
+                        .iter()
+                        .map(|c| match vocab.constant_name(*c) {
+                            Some(name) => format!("'{name}'"),
+                            None => format!("{}", c.index()),
+                        })
+                        .collect();
+                    rows.push(format!(
+                        "seed {}({})",
+                        plan_namer(*seed_rel),
+                        args.join(", ")
+                    ));
+                }
+                let edb = snap
+                    .kb()
+                    .iter()
+                    .next()
+                    .cloned()
+                    .unwrap_or_else(Database::new);
+                rows.extend(
+                    explain_plans(&plan.program, &edb, &plan_namer)
+                        .map_err(datalog_err)?
+                        .iter()
+                        .map(render_explain_row),
+                );
+                Ok(rows)
+            }
+            Err(e @ DatalogError::GoalDirected { .. }) => Ok(vec![format!(
+                "{kind}({}) pattern={pattern}: {e}; falling back to full materialization + filter",
+                namer(rel)
+            )]),
+            Err(e) => Err(datalog_err(e)),
+        }
+    }
+
+    /// `PROFILE` of a bound goal: runs the goal-directed evaluation with
+    /// per-rule profiling (bypassing the answer table — a memo hit would
+    /// profile nothing) and reports a summary row followed by the rewritten
+    /// program's per-rule fixpoint breakdown, merged across worlds.
+    fn profile_goal(
+        &self,
+        snap: &Snapshot,
+        vocab: &Vocabulary,
+        rel: RelId,
+        terms: &[Term],
+        certain: bool,
+    ) -> Result<Vec<String>> {
+        self.metrics.queries_total.inc();
+        let kind = if certain { "certain" } else { "possible" };
+        let namer = |r: RelId| render_relation(r, vocab);
+        let pattern = kbt_datalog::Adornment::from_terms(terms);
+        let bound: Vec<(usize, Const)> = terms
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.as_const().map(|c| (i, c)))
+            .collect();
+        let groups = var_groups(terms);
+        let start = std::time::Instant::now();
+        let Some(program) = build_rulebase(snap) else {
+            let facts = filter_equal(
+                &filter_rows(&fold_goal(snap.kb(), rel, certain), &bound),
+                &groups,
+            );
+            let elapsed = start.elapsed().as_nanos() as u64;
+            return Ok(vec![format!(
+                "{kind}({}) pattern={pattern} strategy=materialize: facts={} elapsed_ns={elapsed} (no rule plan)",
+                namer(rel),
+                facts.len()
+            )]);
+        };
+        let rewrite = magic_rewrite(&program, rel, terms, vocab.relation_count() as u32);
+        let (plan, strategy, note) = match rewrite {
+            Ok(plan) => (Some(plan), "magic", String::new()),
+            Err(e @ DatalogError::GoalDirected { .. }) => (None, "materialize", format!(" ({e})")),
+            Err(e) => return Err(datalog_err(e)),
+        };
+        let eval_program = plan.as_ref().map_or(&program, |p| &p.program);
+        let answer_rel = plan.as_ref().map_or(rel, |p| p.answer);
+        let base_namer = namer;
+        let plan_namer = |r: RelId| match &plan {
+            Some(p) => p.render_relation(r, &base_namer),
+            None => base_namer(r),
+        };
+        let mut acc: Option<Relation> = None;
+        let mut merged: Vec<RuleProfile> = Vec::new();
+        for db in snap.kb().iter() {
+            let mut edb = db.clone();
+            if let Some(p) = &plan {
+                for (seed_rel, consts) in &p.seeds {
+                    edb.insert_fact(*seed_rel, Tuple::new(consts.clone()))?;
+                }
+            }
+            let (result, _stats, profiles) =
+                semi_naive_eval_profiled(eval_program, &edb, self.config.threads, &plan_namer)
+                    .map_err(datalog_err)?;
+            let answers = result
+                .relation(answer_rel)
+                .map(|r| filter_rows(r, &bound))
+                .unwrap_or_else(|| Relation::empty(terms.len()));
+            acc = Some(fold_step(acc, answers, certain));
+            merge_profiles(&mut merged, profiles);
+        }
+        let facts = filter_equal(
+            &acc.unwrap_or_else(|| Relation::empty(terms.len())),
+            &groups,
+        );
+        let elapsed = start.elapsed().as_nanos() as u64;
+        let mut rows = vec![format!(
+            "{kind}({}) pattern={pattern} strategy={strategy}: facts={} elapsed_ns={elapsed}{note}",
+            namer(rel),
+            facts.len()
+        )];
+        rows.extend(merged.iter().map(render_profile_row));
+        Ok(rows)
     }
 
     /// `PROFILE <query>`: evaluates the query like `QUERY` does (it counts
@@ -855,12 +1223,36 @@ impl Service {
         let query = parse_query(rest, &mut vocab)?;
         let namer = |rel: RelId| render_relation(rel, &vocab);
         match query {
+            QueryCmd::Certain(QueryGoal {
+                rel,
+                terms: Some(terms),
+            }) => {
+                let rows = self.profile_goal(&snap, &vocab, rel, &terms, true)?;
+                Ok(Response::Profile {
+                    epoch: snap.epoch(),
+                    worlds: snap.kb().len(),
+                    rows,
+                })
+            }
+            QueryCmd::Possible(QueryGoal {
+                rel,
+                terms: Some(terms),
+            }) => {
+                let rows = self.profile_goal(&snap, &vocab, rel, &terms, false)?;
+                Ok(Response::Profile {
+                    epoch: snap.epoch(),
+                    worlds: snap.kb().len(),
+                    rows,
+                })
+            }
             // certain/possible bump queries_total themselves
             certain_or_possible @ (QueryCmd::Certain(_) | QueryCmd::Possible(_)) => {
                 let start = std::time::Instant::now();
                 let (kind, rel, facts) = match certain_or_possible {
-                    QueryCmd::Certain(rel) => ("certain", rel, self.certain(&snap, rel)),
-                    QueryCmd::Possible(rel) => ("possible", rel, self.possible(&snap, rel)),
+                    QueryCmd::Certain(goal) => ("certain", goal.rel, self.certain(&snap, goal.rel)),
+                    QueryCmd::Possible(goal) => {
+                        ("possible", goal.rel, self.possible(&snap, goal.rel))
+                    }
                     QueryCmd::Transform(_) => unreachable!("matched above"),
                 };
                 let elapsed = start.elapsed().as_nanos() as u64;
@@ -949,6 +1341,22 @@ fn render_explain_row(p: &RuleProfile) -> String {
     format!("s{} {} :: {}", p.stratum, p.rule, p.plan)
 }
 
+/// Merges per-world rule profiles positionally (the worlds all evaluate
+/// the same lowered program, so index `i` is the same rule everywhere).
+fn merge_profiles(acc: &mut Vec<RuleProfile>, more: Vec<RuleProfile>) {
+    if acc.is_empty() {
+        *acc = more;
+        return;
+    }
+    for (a, b) in acc.iter_mut().zip(more) {
+        a.rounds += b.rounds;
+        a.derived += b.derived;
+        a.probes += b.probes;
+        a.scanned += b.scanned;
+        a.elapsed_ns += b.elapsed_ns;
+    }
+}
+
 /// One `PROFILE` row: the `EXPLAIN` row plus the rule's share of the
 /// fixpoint work.  `elapsed_ns` is wall-clock and therefore the only
 /// nondeterministic field; it lives in data rows, never in status lines.
@@ -962,6 +1370,96 @@ fn render_profile_row(p: &RuleProfile) -> String {
 /// Total facts across all worlds.
 fn total_facts(kb: &Knowledgebase) -> usize {
     kb.iter().map(Database::fact_count).sum()
+}
+
+/// Maps a Datalog-substrate error onto the service error space (bound
+/// queries drive the evaluator directly, without going through `kbt-core`).
+fn datalog_err(e: DatalogError) -> ServiceError {
+    ServiceError::Core(CoreError::Datalog(e))
+}
+
+/// One fold step of the per-world answer combination: intersection for
+/// certain, union for possible.
+fn fold_step(acc: Option<Relation>, next: Relation, certain: bool) -> Relation {
+    match acc {
+        None => next,
+        Some(prev) if certain => prev
+            .intersection(&next)
+            .expect("one schema per knowledgebase"),
+        Some(prev) => prev.union(&next).expect("one schema per knowledgebase"),
+    }
+}
+
+/// Folds the *stored* goal relation across worlds (the no-rulebase
+/// materialization path).
+fn fold_goal(kb: &Knowledgebase, rel: RelId, certain: bool) -> Relation {
+    fold_relation(kb, rel, |a, b| {
+        if certain {
+            a.intersection(b).expect("one schema per knowledgebase")
+        } else {
+            a.union(b).expect("one schema per knowledgebase")
+        }
+    })
+}
+
+/// Position groups the goal binds to one repeated variable (`reach(x, x)`
+/// → `[[0, 1]]`): rows must carry equal constants across each group.
+fn var_groups(terms: &[Term]) -> Vec<Vec<usize>> {
+    let mut groups: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+    for (i, t) in terms.iter().enumerate() {
+        if let Term::Var(v) = t {
+            groups.entry(v.index()).or_default().push(i);
+        }
+    }
+    groups.into_values().filter(|g| g.len() > 1).collect()
+}
+
+/// Keeps the rows whose columns agree across every repeated-variable group.
+fn filter_equal(rel: &Relation, groups: &[Vec<usize>]) -> Relation {
+    if groups.is_empty() {
+        return rel.clone();
+    }
+    let mut out = Relation::empty(rel.arity());
+    for row in rel.iter() {
+        if groups
+            .iter()
+            .all(|g| g.iter().all(|&i| row[i] == row[g[0]]))
+        {
+            out.insert_row(row);
+        }
+    }
+    out
+}
+
+/// Assembles the goal-directed rulebase from a snapshot's transform
+/// registry: every `tau[…]` step whose sentence lowers to safe Horn rules
+/// contributes them.  Steps that are not Horn (disjunctive updates, say)
+/// simply contribute nothing — the goal planner only ever speaks for the
+/// Datalog-restricted fragment (Theorem 4.8), and relations those steps
+/// define fall back to stored-fact materialization.  Returns `None` when
+/// no step yields any rule.
+fn build_rulebase(snap: &Snapshot) -> Option<Program> {
+    let mut vocab = snap.vocab().clone();
+    let mut rules = Vec::new();
+    for info in snap.transforms().values() {
+        // the wire text was rendered from this vocabulary, so re-parsing
+        // interns nothing new and cannot fail — but stay defensive
+        let Ok(t) = parse_transform(&info.text, &mut vocab) else {
+            continue;
+        };
+        for step in t.steps() {
+            if let Transform::Insert(sentence) = step {
+                if let Ok(p) = program_from_sentence(sentence) {
+                    rules.extend(p.rules().iter().cloned());
+                }
+            }
+        }
+    }
+    if rules.is_empty() {
+        None
+    } else {
+        Program::new(rules).ok()
+    }
 }
 
 /// Folds one relation across all worlds (empty-at-right-arity for worlds
@@ -1030,11 +1528,18 @@ impl fmt::Display for Response {
                 kind,
                 relation,
                 facts,
-            } => write!(
-                f,
-                "{kind}({relation}) at {epoch}: {{{}}}",
-                facts.join(", ")
-            ),
+                strategy,
+            } => {
+                write!(
+                    f,
+                    "{kind}({relation}) at {epoch}: {{{}}}",
+                    facts.join(", ")
+                )?;
+                if let Some(strategy) = strategy {
+                    write!(f, " [{strategy}]")?;
+                }
+                Ok(())
+            }
             Response::Explain { epoch, rows } => {
                 write!(f, "explain at {epoch}: {} row(s)", rows.len())?;
                 for row in rows {
@@ -1415,6 +1920,195 @@ mod tests {
             }
             other => panic!("expected Facts, got {other:?}"),
         }
+    }
+
+    /// The facts and strategy of a bound goal response.
+    fn bound_facts(r: Response) -> (Vec<String>, &'static str) {
+        match r {
+            Response::Facts {
+                facts,
+                strategy: Some(strategy),
+                ..
+            } => (facts, strategy),
+            other => panic!("expected bound Facts, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bound_goals_derive_goal_directed_then_hit_the_table() {
+        let s = service();
+        s.execute("ASSERT edge(1, 2), edge(2, 3), edge(3, 4)")
+            .unwrap();
+        s.execute(
+            "DEFINE tc := tau[(forall x0 x1. edge(x0, x1) -> path(x0, x1)) & \
+             (forall x0 x1 x2. path(x0, x1) & edge(x1, x2) -> path(x0, x2))]",
+        )
+        .unwrap();
+        // no APPLY: the bound goal derives against the registered rules
+        let (facts, strategy) = bound_facts(s.execute("QUERY CERTAIN path(1, x)").unwrap());
+        assert_eq!(strategy, "magic");
+        assert_eq!(facts, ["path(1, 2)", "path(1, 3)", "path(1, 4)"]);
+        // the identical goal on the same snapshot is a table hit
+        let (facts, strategy) = bound_facts(s.execute("QUERY CERTAIN path(1, x)").unwrap());
+        assert_eq!(strategy, "tabled");
+        assert_eq!(facts.len(), 3);
+        // … and so is a *more specific* goal (subsumption)
+        let (facts, strategy) = bound_facts(s.execute("QUERY CERTAIN path(1, 4)").unwrap());
+        assert_eq!(strategy, "tabled");
+        assert_eq!(facts, ["path(1, 4)"]);
+        // a commit publishes a new epoch and evicts the memo
+        s.execute("ASSERT edge(4, 5)").unwrap();
+        let (facts, strategy) = bound_facts(s.execute("QUERY CERTAIN path(1, x)").unwrap());
+        assert_eq!(strategy, "magic");
+        assert_eq!(facts.len(), 4, "the new edge must be visible: {facts:?}");
+    }
+
+    #[test]
+    fn bound_goals_match_the_materializing_oracle() {
+        let s = service();
+        s.execute("ASSERT edge(1, 2), edge(2, 3), edge(3, 1), edge(4, 4)")
+            .unwrap();
+        s.execute(
+            "DEFINE tc := tau[(forall x0 x1. edge(x0, x1) -> path(x0, x1)) & \
+             (forall x0 x1 x2. path(x0, x1) & edge(x1, x2) -> path(x0, x2))]",
+        )
+        .unwrap();
+        s.execute("APPLY tc").unwrap();
+        // after APPLY the derived relation is stored, so the bare query is
+        // the oracle: filtering it gives the expected bound answers …
+        let Response::Facts { facts: oracle, .. } = s.execute("QUERY CERTAIN path").unwrap() else {
+            panic!("expected Facts");
+        };
+        let (from_one, strategy) = bound_facts(s.execute("QUERY CERTAIN path(1, x)").unwrap());
+        assert_eq!(strategy, "magic");
+        let expected: Vec<String> = oracle
+            .iter()
+            .filter(|f| f.starts_with("path(1,"))
+            .cloned()
+            .collect();
+        assert_eq!(from_one, expected);
+        // … and the fully-free goal re-derives the whole oracle
+        let (all, strategy) = bound_facts(s.execute("QUERY CERTAIN path(x, y)").unwrap());
+        assert_eq!(strategy, "magic");
+        assert_eq!(all, oracle);
+        // once the all-free call is memoized, it subsumes *every* pattern
+        let (from_four, strategy) = bound_facts(s.execute("QUERY CERTAIN path(4, x)").unwrap());
+        assert_eq!(strategy, "tabled");
+        assert_eq!(from_four, ["path(4, 4)"]);
+    }
+
+    #[test]
+    fn bound_goals_without_rules_materialize_stored_facts() {
+        let s = service();
+        s.execute("ASSERT edge(1, 2), edge(1, 3), edge(2, 2)")
+            .unwrap();
+        let (facts, strategy) = bound_facts(s.execute("QUERY POSSIBLE edge(1, x)").unwrap());
+        assert_eq!(strategy, "materialize");
+        assert_eq!(facts, ["edge(1, 2)", "edge(1, 3)"]);
+        let (facts, strategy) = bound_facts(s.execute("QUERY POSSIBLE edge(1, 2)").unwrap());
+        assert_eq!(strategy, "tabled", "the subsuming call must be memoized");
+        assert_eq!(facts, ["edge(1, 2)"]);
+        // repeated variables constrain positions to be equal
+        let (facts, _) = bound_facts(s.execute("QUERY POSSIBLE edge(x, x)").unwrap());
+        assert_eq!(facts, ["edge(2, 2)"]);
+    }
+
+    #[test]
+    fn bound_goals_reject_typos_with_typed_errors() {
+        let s = service();
+        s.execute("ASSERT edge(1, 2)").unwrap();
+        assert!(matches!(
+            s.execute("QUERY CERTAIN nowhere(1, x)"),
+            Err(ServiceError::UnknownRelation(_))
+        ));
+        assert!(matches!(
+            s.execute("QUERY CERTAIN edge(1)"),
+            Err(ServiceError::ArityMismatch {
+                expected: 2,
+                found: 1,
+                ..
+            })
+        ));
+        // an unknown *constant* over known names is a legal empty answer,
+        // not an error (the goal is well-formed; the fact just isn't there)
+        let (facts, _) = bound_facts(s.execute("QUERY POSSIBLE edge('ghost', x)").unwrap());
+        assert!(facts.is_empty());
+    }
+
+    #[test]
+    fn bound_goal_metrics_count_strategies_and_table_hits() {
+        let s = service();
+        s.execute("ASSERT edge(1, 2)").unwrap();
+        s.execute("DEFINE close := tau[forall x0 x1. edge(x0, x1) -> path(x0, x1)]")
+            .unwrap();
+        s.execute("QUERY CERTAIN path(1, x)").unwrap();
+        s.execute("QUERY CERTAIN path(1, x)").unwrap();
+        let text = s.metrics_text();
+        assert!(
+            text.contains("kbt_service_queries_magic_total 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("kbt_service_queries_tabled_total 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("kbt_service_queries_materialize_total 0\n"),
+            "{text}"
+        );
+        // the engine-level table counters moved too (global registry, so
+        // other tests may have bumped them — nonzero is the assertion)
+        let hits: u64 = text
+            .lines()
+            .find_map(|l| l.strip_prefix("kbt_engine_table_hits "))
+            .and_then(|v| v.trim().parse().ok())
+            .expect("table hit counter must be exposed");
+        assert!(hits >= 1);
+    }
+
+    #[test]
+    fn explain_renders_the_adorned_magic_plan() {
+        let s = service();
+        s.execute("ASSERT edge(1, 2), edge(2, 3)").unwrap();
+        s.execute(
+            "DEFINE tc := tau[(forall x0 x1. edge(x0, x1) -> path(x0, x1)) & \
+             (forall x0 x1 x2. path(x0, x1) & edge(x1, x2) -> path(x0, x2))]",
+        )
+        .unwrap();
+        let Response::Explain { rows, .. } = s.execute("EXPLAIN CERTAIN path(1, x)").unwrap()
+        else {
+            panic!("expected Explain");
+        };
+        assert_eq!(
+            rows[0],
+            "certain(path) pattern=bf: magic plan, answer=path_bf"
+        );
+        assert_eq!(rows[1], "seed m_path_bf(1)");
+        assert!(
+            rows.iter().any(|r| r.contains("m_path_bf(")),
+            "magic guards must appear in the plan rows: {rows:?}"
+        );
+        assert!(
+            rows.iter().any(|r| r.contains("path_bf(")),
+            "adorned answer predicates must appear: {rows:?}"
+        );
+        // EXPLAIN never evaluates: rendering the plan twice changes nothing
+        let Response::Explain { rows: again, .. } =
+            s.execute("EXPLAIN CERTAIN path(1, x)").unwrap()
+        else {
+            panic!("expected Explain");
+        };
+        assert_eq!(rows, again, "the rendering must be stable");
+        // PROFILE of the same goal carries the strategy and per-rule rows
+        let Response::Profile { rows, .. } = s.execute("PROFILE CERTAIN path(1, x)").unwrap()
+        else {
+            panic!("expected Profile");
+        };
+        assert!(
+            rows[0].starts_with("certain(path) pattern=bf strategy=magic: facts=2"),
+            "{rows:?}"
+        );
+        assert!(rows.len() > 1, "per-rule profile rows must follow");
     }
 
     #[test]

@@ -77,6 +77,34 @@ grep -Eq '^OK epoch=[0-9]+ worlds=[0-9]+ rows=[0-9]+ id=t1$' "$WORK/profile.txt"
 }
 echo "e2e-net: PROFILE returns per-rule rows over the wire"
 
+# goal-directed bound queries: the first bound goal must go through the
+# magic rewrite (strategy=magic on its status line), the identical repeat
+# on the same snapshot must be answered from the subsumptive table
+# (strategy=tabled), and the table hit must be visible in a METRICS
+# scrape — the observable half of the tabling contract (eviction on
+# commit is pinned by the service's unit tests).
+cat >"$WORK/bound.kbt" <<'EOF'
+ASSERT edge(1, 2), edge(2, 3)
+DEFINE tc := tau[(forall x0 x1. edge(x0, x1) -> path(x0, x1)) & (forall x0 x1 x2. path(x0, x1) & edge(x1, x2) -> path(x0, x2))]
+QUERY CERTAIN path(1, x)
+QUERY CERTAIN path(1, x)
+METRICS
+EOF
+"$BIN/kbt-shell" --connect "127.0.0.1:$PORT" "$WORK/bound.kbt" >"$WORK/bound.txt"
+grep -q 'strategy=magic' "$WORK/bound.txt" || {
+    echo "first bound query did not report strategy=magic:" >&2; cat "$WORK/bound.txt" >&2; exit 1
+}
+grep -q 'strategy=tabled' "$WORK/bound.txt" || {
+    echo "repeated bound query did not report strategy=tabled:" >&2; cat "$WORK/bound.txt" >&2; exit 1
+}
+grep -Eq '^= kbt_engine_table_hits [1-9]' "$WORK/bound.txt" || {
+    echo "subsumptive-table hit counter not visible in METRICS:" >&2; cat "$WORK/bound.txt" >&2; exit 1
+}
+grep -Eq '^= kbt_service_queries_magic_total [1-9]' "$WORK/bound.txt" || {
+    echo "per-strategy magic counter not visible in METRICS:" >&2; cat "$WORK/bound.txt" >&2; exit 1
+}
+echo "e2e-net: bound queries report their strategy and hit the subsumptive table"
+
 # client-supplied trace IDs: a '#id=<token> ' prefix must round-trip into
 # the status line and into the JSON log's per-command event record.  The
 # shell skips comment lines client-side, so this goes over a raw socket.
