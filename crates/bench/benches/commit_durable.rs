@@ -1,0 +1,134 @@
+//! `commit_durable` — the durability cost ledger for the commit pipeline.
+//!
+//! Three series, all recorded into `BENCH_service.json`:
+//!
+//! * `commit_pair_memory` — an in-memory ASSERT/RETRACT pair on a service
+//!   with **no** durability configured.  The WAL hooks sit on the hot
+//!   commit path (one `OnceLock` load when disabled), so this is the
+//!   regression guard proving durable commits cost the in-memory caller
+//!   nothing (CI gates it via `bench_compare --fail-on`).
+//! * `fsync_always_4writers` — per-commit cost with 4 concurrent writers
+//!   under [`FsyncPolicy::Always`]: every commit pays its own fsync.
+//! * `group_commit_4writers` — the same workload under group commit: one
+//!   leader flushes the whole appended tail, concurrent committers ride
+//!   along.  The run **asserts** the group-commit throughput is at least
+//!   2× the per-commit-fsync policy's — the claim that batching works is
+//!   checked here, not hoped for.
+//!
+//! Run with `KBT_BENCH_JSON=BENCH_service.json` to record the medians.
+
+use std::path::PathBuf;
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use kbt_bench::criterion::{
+    black_box, criterion_group, criterion_main, record_external, BenchRecord, Criterion,
+};
+use kbt_bench::quick_criterion;
+use kbt_service::{DurabilityConfig, FsyncPolicy, Service, ServiceConfig};
+
+const WRITERS: usize = 4;
+const COMMITS_PER_WRITER: usize = 50;
+const ROUNDS: usize = 5;
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kbt-bench-durable-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn bench_commit_pair(c: &mut Criterion) {
+    let service = Service::new(ServiceConfig::default());
+    service.execute("ASSERT edge(1, 2)").expect("seed");
+    let mut group = c.benchmark_group("commit_durable");
+    group.bench_function("commit_pair_memory", |b| {
+        b.iter(|| {
+            black_box(service.execute("ASSERT edge(2, 3)").expect("assert"));
+            black_box(service.execute("RETRACT edge(2, 3)").expect("retract"));
+        })
+    });
+    group.finish();
+}
+
+/// Runs `WRITERS` threads each committing `COMMITS_PER_WRITER` distinct
+/// facts against a fresh durable service, and returns the per-commit cost
+/// in nanoseconds for one round.
+fn writers_round(name: &str, round: usize, policy: FsyncPolicy) -> f64 {
+    let dir = scratch_dir(&format!("{name}-{round}"));
+    let service = Service::open(
+        ServiceConfig::builder()
+            .threads(1)
+            .durability(Some(DurabilityConfig {
+                data_dir: dir.clone(),
+                fsync_policy: policy,
+                checkpoint_every_n_commits: 0,
+            }))
+            .build(),
+    )
+    .expect("open durable service");
+    let service = Arc::new(service);
+    let barrier = Arc::new(Barrier::new(WRITERS + 1));
+    let workers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let service = service.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                for i in 0..COMMITS_PER_WRITER {
+                    service
+                        .execute(&format!("ASSERT edge({}, {})", w * 1000 + i, i))
+                        .expect("durable commit");
+                }
+            })
+        })
+        .collect();
+    barrier.wait();
+    let start = Instant::now();
+    for worker in workers {
+        worker.join().expect("writer must not panic");
+    }
+    let elapsed = start.elapsed().as_nanos() as f64;
+    let _ = std::fs::remove_dir_all(&dir);
+    elapsed / (WRITERS * COMMITS_PER_WRITER) as f64
+}
+
+/// Medians over `ROUNDS` rounds, published via [`record_external`].
+fn writers_series(name: &str, policy: FsyncPolicy) -> BenchRecord {
+    let mut samples: Vec<f64> = (0..ROUNDS)
+        .map(|round| writers_round(name, round, policy.clone()))
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    let record = BenchRecord {
+        median_ns: samples[samples.len() / 2],
+        mean_ns: samples.iter().sum::<f64>() / samples.len() as f64,
+        min_ns: samples[0],
+        max_ns: samples[samples.len() - 1],
+    };
+    record_external(&format!("commit_durable/{name}"), record);
+    println!(
+        "commit_durable/{name:<43} time: [{:.0} ns {:.0} ns {:.0} ns] per commit",
+        record.min_ns, record.median_ns, record.max_ns
+    );
+    record
+}
+
+fn bench_group_commit(_c: &mut Criterion) {
+    let always = writers_series("fsync_always_4writers", FsyncPolicy::Always);
+    let grouped = writers_series("group_commit_4writers", FsyncPolicy::group_commit());
+    // the batching claim, checked: 4 concurrent writers under group commit
+    // must clear at least twice the per-commit-fsync throughput
+    assert!(
+        grouped.median_ns * 2.0 <= always.median_ns,
+        "group commit under {WRITERS} writers must be >= 2x per-commit fsync \
+         (group {:.0} ns/commit vs always {:.0} ns/commit)",
+        grouped.median_ns,
+        always.median_ns
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench_commit_pair, bench_group_commit
+}
+criterion_main!(benches);

@@ -96,6 +96,15 @@ impl<T> EpochCell<T> {
         }
     }
 
+    /// A cell whose initial value is published at an arbitrary `epoch` —
+    /// the recovery path re-seeds a cell at the epoch a checkpoint + log
+    /// replay reconstructed, so epoch numbers survive a restart.
+    pub fn at(epoch: EpochId, value: T) -> Self {
+        EpochCell {
+            slot: RwLock::new(Arc::new(Versioned { epoch, value })),
+        }
+    }
+
     /// An `O(1)` snapshot of the currently published version.
     pub fn load(&self) -> Arc<Versioned<T>> {
         self.slot
@@ -144,6 +153,14 @@ mod tests {
         // the old snapshot is untouched
         assert_eq!(before.value(), &vec![1, 2]);
         assert_eq!(cell.load().value(), &vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn cells_can_start_at_a_recovered_epoch() {
+        let cell = EpochCell::at(EpochId::new(41), "recovered");
+        assert_eq!(cell.epoch(), EpochId::new(41));
+        assert_eq!(cell.load().value(), &"recovered");
+        assert_eq!(cell.publish("next"), EpochId::new(42));
     }
 
     #[test]

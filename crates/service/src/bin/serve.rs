@@ -8,6 +8,8 @@
 //! ```text
 //! kbt-serve [--addr HOST:PORT] [--threads N] [--max-sessions N]
 //!           [--idle-timeout-ms N] [--preload script.kbt]
+//!           [--data-dir DIR] [--fsync always|group|never]
+//!           [--checkpoint-every N]
 //!           [--log-format text|json] [--slow-query-ms N]
 //! ```
 //!
@@ -15,6 +17,13 @@
 //!   port (the `listening on` line names the actual one).
 //! * `--preload` runs a script server-side before accepting connections —
 //!   initial state, not a client session.
+//! * `--data-dir` makes the service durable: commits append to a
+//!   write-ahead log under the directory, `CHECKPOINT`/`WALSTAT` work,
+//!   and startup recovers the committed state (newest checkpoint + WAL
+//!   replay; the `recovered` line reports the epoch).  `--fsync` picks
+//!   the flush policy (default `group`: group-commit fsync batching) and
+//!   `--checkpoint-every` the automatic checkpoint interval in commits
+//!   (`0` = manual checkpoints only); both require `--data-dir`.
 //! * `--log-format` installs a structured stderr log sink (`text` =
 //!   `key=value` lines, `json` = one object per line) for session
 //!   lifecycle events and slow spans.
@@ -33,10 +42,12 @@ use std::time::Duration;
 
 use kbt_obs::{LogFormat, StderrSink};
 use kbt_service::net::{NetConfig, NetServer};
-use kbt_service::{Service, ServiceConfig};
+use kbt_service::{DurabilityConfig, FsyncPolicy, Service, ServiceConfig};
 
 fn main() -> ExitCode {
     let mut config = ServiceConfig::default();
+    let mut fsync: Option<FsyncPolicy> = None;
+    let mut checkpoint_every: Option<u64> = None;
     let mut net = NetConfig {
         addr: "127.0.0.1:7341".to_string(),
         ..NetConfig::default()
@@ -97,6 +108,33 @@ fn main() -> ExitCode {
                 };
                 preload = Some(path);
             }
+            "--data-dir" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("--data-dir needs a directory path");
+                    return ExitCode::FAILURE;
+                };
+                config.durability = Some(DurabilityConfig::new(dir));
+            }
+            "--fsync" => {
+                let policy = match args.next().as_deref() {
+                    Some("always") => FsyncPolicy::Always,
+                    Some("group") => FsyncPolicy::group_commit(),
+                    Some("never") => FsyncPolicy::Never,
+                    _ => {
+                        eprintln!("--fsync needs 'always', 'group' or 'never'");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                fsync = Some(policy);
+            }
+            "--checkpoint-every" => {
+                // 0 is allowed here: it means "manual checkpoints only"
+                let Some(n) = args.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    eprintln!("--checkpoint-every needs a non-negative integer");
+                    return ExitCode::FAILURE;
+                };
+                checkpoint_every = Some(n);
+            }
             "--log-format" => {
                 let Some(format) = args.next().as_deref().and_then(LogFormat::parse) else {
                     eprintln!("--log-format needs 'text' or 'json'");
@@ -122,6 +160,7 @@ fn main() -> ExitCode {
                 println!(
                     "usage: kbt-serve [--addr HOST:PORT] [--threads N] [--max-sessions N] \
                      [--idle-timeout-ms N] [--preload script.kbt] \
+                     [--data-dir DIR] [--fsync always|group|never] [--checkpoint-every N] \
                      [--log-format text|json] [--slow-query-ms N]"
                 );
                 return ExitCode::SUCCESS;
@@ -133,7 +172,39 @@ fn main() -> ExitCode {
         }
     }
 
-    let service = Arc::new(Service::new(config));
+    match (&mut config.durability, fsync, checkpoint_every) {
+        (Some(d), fsync, every) => {
+            if let Some(policy) = fsync {
+                d.fsync_policy = policy;
+            }
+            if let Some(n) = every {
+                d.checkpoint_every_n_commits = n;
+            }
+        }
+        (None, Some(_), _) | (None, _, Some(_)) => {
+            eprintln!("--fsync / --checkpoint-every require --data-dir");
+            return ExitCode::FAILURE;
+        }
+        (None, None, None) => {}
+    }
+
+    let durability = config.durability.clone();
+    let service = match Service::open(config) {
+        Ok(service) => Arc::new(service),
+        Err(e) => {
+            eprintln!("cannot open service state: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(d) = durability {
+        println!(
+            "kbt-serve recovered epoch {} from {} (fsync {}, checkpoint every {})",
+            service.epoch(),
+            d.data_dir.display(),
+            d.fsync_policy.name(),
+            d.checkpoint_every_n_commits
+        );
+    }
     if log_format.is_some() || slow_query_ms.is_some() {
         service
             .obs_registry()

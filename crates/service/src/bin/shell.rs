@@ -12,6 +12,10 @@
 //!   A line ending inside an open `'…'` quote continues onto the next one.
 //! * `--threads N` — set the evaluation width explicitly (local mode only;
 //!   a server's width is fixed server-side).
+//! * `--data-dir DIR` — local mode only: open the service durably over the
+//!   directory (recovering any existing state), so shell sessions and
+//!   `kbt-serve` runs can share one committed history.  `CHECKPOINT` and
+//!   `WALSTAT` work; commits append to the write-ahead log.
 //! * `--time` — print each command's client-observed latency to **stderr**
 //!   (stdout transcripts stay byte-identical), and a p50/p95/p99 summary at
 //!   exit from the same log-scale histogram the server-side metrics use.
@@ -65,12 +69,19 @@ fn main() -> ExitCode {
                 };
                 connect = Some(addr);
             }
+            "--data-dir" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("--data-dir needs a directory path");
+                    return ExitCode::FAILURE;
+                };
+                config.durability = Some(kbt_service::DurabilityConfig::new(dir));
+            }
             "--time" => time = true,
             "--profile" => profile = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: kbt-shell [--threads N] [--connect HOST:PORT] [--time] [--profile] \
-                     [script …]"
+                    "usage: kbt-shell [--threads N] [--connect HOST:PORT] [--data-dir DIR] \
+                     [--time] [--profile] [script …]"
                 );
                 println!("       (no scripts: interactive REPL on stdin)");
                 return ExitCode::SUCCESS;
@@ -80,14 +91,26 @@ fn main() -> ExitCode {
     }
 
     let backend = match connect {
-        Some(addr) => match Client::connect(addr.as_str()) {
-            Ok(client) => Backend::Remote(client),
+        Some(addr) => {
+            if config.durability.is_some() {
+                eprintln!("--data-dir is local-mode only (the server owns its own data dir)");
+                return ExitCode::FAILURE;
+            }
+            match Client::connect(addr.as_str()) {
+                Ok(client) => Backend::Remote(client),
+                Err(e) => {
+                    eprintln!("cannot connect to {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => match Service::open(config) {
+            Ok(service) => Backend::Local(Box::new(service)),
             Err(e) => {
-                eprintln!("cannot connect to {addr}: {e}");
+                eprintln!("cannot open service state: {e}");
                 return ExitCode::FAILURE;
             }
         },
-        None => Backend::Local(Box::new(Service::new(config))),
     };
     let mut shell = Shell {
         backend,

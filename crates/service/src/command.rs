@@ -10,6 +10,8 @@
 //!
 //! ```text
 //! command  := LOAD <path>                       -- run a script file
+//!           | CHECKPOINT                        -- durable only: snapshot the state now
+//!           | WALSTAT                           -- durable only: write-ahead-log state
 //!           | ASSERT <fact> ("," <fact>)*       -- commit: add facts to every world
 //!           | RETRACT <fact> ("," <fact>)*      -- commit: remove facts from every world
 //!           | DEFINE <name> := <texpr>          -- register a named transformation
@@ -74,6 +76,12 @@ pub enum Verb {
     /// `METRICS` — the Prometheus-style text exposition of every metric
     /// (see the crate-level *Observability* section).
     Metrics,
+    /// `CHECKPOINT` — write an epoch snapshot to the data directory now
+    /// (durable services only; see the crate-level *Durability* section).
+    Checkpoint,
+    /// `WALSTAT` — report write-ahead-log state: record/byte/fsync totals,
+    /// the durable epoch and the newest checkpoint epoch.
+    Walstat,
 }
 
 /// A parsed `QUERY` payload.
@@ -226,6 +234,8 @@ pub fn split_command(line: &str) -> Result<(Verb, &str)> {
         "PROFILE" => Verb::Profile,
         "STATS" => Verb::Stats,
         "METRICS" => Verb::Metrics,
+        "CHECKPOINT" => Verb::Checkpoint,
+        "WALSTAT" => Verb::Walstat,
         other => return Err(parse_err(format!("unknown command {other:?}"))),
     };
     Ok((verb, rest))

@@ -60,6 +60,8 @@
 //! PROFILE <query>               evaluate + per-rule fixpoint breakdown
 //! STATS                         epoch, worlds, counters, registry
 //! METRICS                       metrics text exposition (see Observability)
+//! CHECKPOINT                    durable mode: write a checkpoint now
+//! WALSTAT                       durable mode: log/checkpoint positions
 //!
 //! query := CERTAIN <goal> | POSSIBLE <goal> | <texpr>
 //! goal  := <relation> | <relation> "(" arg ("," arg)* ")"
@@ -138,9 +140,18 @@
 //!
 //! ```text
 //! response := ("= " data "\n")* status "\n"
-//! status   := "OK" (" " key "=" value)* " id=" trace
-//!           | "ERR " code " " message " id=" trace
+//! status   := "OK" (" id=" trace)? (" epoch=" N)? (" strategy=" name)?
+//!             (" durable=" bool)? (" " key "=" value)*
+//!           | "ERR " code " " message (" id=" trace)?
 //! ```
+//!
+//! **Status key order.**  `OK` status keys appear in one fixed order —
+//! the trace `id` first, then `epoch`, then `strategy` (bound goals),
+//! then `durable` (durable commits), then the command-specific keys —
+//! and every status line is produced by the one response builder in
+//! [`net::proto`], so clients may parse positionally or by key.  Over
+//! the wire the trace `id` is always present; `ERR` lines carry it
+//! trailing, after the human-readable message.
 //!
 //! **Trace IDs.**  Every wire command carries a trace identifier, echoed
 //! as the final `id=<trace>` field of its status line.  A client may
@@ -158,7 +169,10 @@
 //! commits name the epoch they speak for in `epoch=N`.  Error codes are
 //! stable: the service-level ones come from [`ServiceError::code`]
 //! (`parse`, `unknown-transform`, `unknown-relation`, `unknown-constant`,
-//! `arity-mismatch`, `script-depth`, `data`, `logic`, `eval`, `io`), and
+//! `arity-mismatch`, `script-depth`, `durability-disabled`, `wal-corrupt`,
+//! `checkpoint-corrupt`, `epoch-mismatch`, `data`, `logic`, `eval`,
+//! `io` — the consolidated table with descriptions is
+//! [`error::CODE_TABLE`], exhaustiveness-tested against the enum), and
 //! the net layer adds
 //! `line-too-long`, `invalid-utf8`, `idle-timeout` (session sat idle past
 //! the server's timeout), `unavailable` (all session workers busy —
@@ -171,6 +185,54 @@
 //! live server and diffs the transcript against
 //! `tests/golden/net_session.golden`; `tests/net_concurrent.rs` checks
 //! concurrent TCP readers against a sequential oracle byte-for-byte.
+//!
+//! ## Durability
+//!
+//! An in-memory service loses everything at process exit.  Configuring a
+//! [`DurabilityConfig`] (builder: `.durable(dir)`; `kbt-serve
+//! --data-dir DIR`) makes commits survive crashes, built from three
+//! pieces that all live off the evaluation path:
+//!
+//! * **Write-ahead log.**  Every committed command appends one record to
+//!   an append-only log (`wal.kbtl`) *before* the commit publishes:
+//!   `len:u32le crc:u32le epoch:u64le command-utf8`, where the CRC-32
+//!   covers the body and the command text is the canonical wire form the
+//!   parser itself accepts — the log replays through the ordinary command
+//!   pipeline, no second interpreter.  Appends happen under the writer
+//!   mutex, so record order **is** epoch order by construction.
+//! * **Fsync policy** ([`FsyncPolicy`]).  `Always` fsyncs every commit;
+//!   `Never` appends without flushing (the OS decides); `GroupCommit` —
+//!   the default — batches concurrent committers under one fsync: a
+//!   commit enqueues its appended epoch, one leader flushes the whole
+//!   appended tail, and every commit at or below the flushed epoch
+//!   returns together.  `N` writers pay ~1 fsync, not `N` (the
+//!   `commit_durable` bench enforces ≥2× over per-commit fsync at 4
+//!   writers).  Commit responses report the outcome as `durable=true`
+//!   (flushed before the reply) or `durable=false` (appended, not yet
+//!   flushed); the key is absent on an in-memory service.
+//! * **Epoch checkpoints.**  Every `checkpoint_every_n_commits` commits
+//!   (or on the `CHECKPOINT` command) the service captures the committed
+//!   MVCC snapshot — `O(1)`, copy-on-write, no writer stall — and a
+//!   background thread serializes it to `checkpoint-<epoch>.kbtc`
+//!   (checksummed, written tmp + fsync + rename, newest two kept).
+//!   Checkpoints only bound replay length; the WAL alone is already
+//!   complete.
+//!
+//! **Recovery** ([`Service::open`]) loads the newest valid checkpoint,
+//! scans the WAL, and replays the records after the checkpoint epoch
+//! through the normal pipeline, verifying each replayed commit produces
+//! exactly the epoch its record claims.  A *torn final* record — a crash
+//! mid-append: partial bytes or a bad checksum ending exactly at EOF —
+//! is truncated away and recovery proceeds; a corrupt *interior* record,
+//! or a checkpoint/WAL epoch gap, is damage and refuses to open with the
+//! typed `wal-corrupt` / `checkpoint-corrupt` / `epoch-mismatch` errors
+//! rather than serve a silently wrong state.  `WALSTAT` reports the log
+//! and checkpoint positions (records, bytes, fsyncs, durable epoch).
+//! `tests/durability_differential.rs` pins recovery against an in-memory
+//! oracle — randomized command streams, crashes at commit boundaries,
+//! torn-tail truncation injection, interior corruption — at widths 1
+//! and 4, and CI's `e2e-net` job SIGKILLs a durable server mid-session
+//! and asserts the restarted one serves the same answers.
 //!
 //! ## Observability
 //!
@@ -224,14 +286,22 @@
 //! * `kbt_service_commit_batch_facts` (histogram): facts per fact commit.
 //! * `kbt_service_query_ns` (histogram): textual `QUERY`/`PROFILE`
 //!   latency (the slow-query span).
+//! * `kbt_service_wal_records_total` (counter): WAL records appended.
+//! * `kbt_service_wal_bytes_total` (counter): WAL bytes appended.
+//! * `kbt_service_wal_fsyncs_total` (counter): WAL fsyncs issued.
+//! * `kbt_service_group_commit_batch` (histogram): commits made durable
+//!   per fsync (group-commit batch size).
+//! * `kbt_service_checkpoints_total` (counter): checkpoints written.
+//! * `kbt_service_recovery_replayed_total` (counter): WAL records
+//!   replayed during recovery.
 //! * `kbt_net_sessions_accepted_total` (counter): connections accepted.
 //! * `kbt_net_sessions_active` (gauge): sessions being served now.
 //! * `kbt_net_sessions_rejected_total` (counter): refused at capacity.
 //! * `kbt_net_sessions_idle_closed_total` (counter): closed by idle timeout.
 //! * `kbt_net_command_ns` (histogram): per-verb wire command latency,
 //!   labelled `{verb="nop"|"load"|"assert"|"retract"|"define"|"apply"|
-//!   "query"|"stats"|"metrics"|"explain"|"profile"|"error"}` — all
-//!   pre-registered at server start.
+//!   "query"|"stats"|"metrics"|"explain"|"profile"|"checkpoint"|
+//!   "walstat"|"error"}` — all pre-registered at server start.
 //! * `kbt_net_framing_errors_total` (counter): lines the framer refused.
 //! * `kbt_engine_evals_total` (counter): from-scratch fixpoint evaluations.
 //! * `kbt_engine_deltas_total` (counter): incremental delta applications.
@@ -297,7 +367,7 @@
 //! ```
 //! use kbt_service::{Service, ServiceConfig, Response};
 //!
-//! let s = Service::new(ServiceConfig::with_threads(1));
+//! let s = Service::new(ServiceConfig::builder().threads(1).build());
 //! s.execute("ASSERT edge(1, 2), edge(2, 3)").unwrap();
 //! s.execute("DEFINE tc := tau[(forall x0 x1. edge(x0, x1) -> path(x0, x1)) & \
 //!            (forall x0 x1 x2. path(x0, x1) & edge(x1, x2) -> path(x0, x2))]").unwrap();
@@ -308,15 +378,18 @@
 //! }
 //! ```
 
+pub mod checkpoint;
 pub mod command;
 pub mod config;
 pub mod error;
 pub mod metrics;
 pub mod net;
+pub mod recover;
 pub mod service;
+pub mod wal;
 
 pub use command::{parse_transform, render_transform, QueryCmd, Verb};
-pub use config::ServiceConfig;
+pub use config::{DurabilityConfig, FsyncPolicy, ServiceConfig, ServiceConfigBuilder};
 pub use error::{Result, ServiceError};
 pub use metrics::{NetMetrics, ServiceMetrics};
 pub use net::{Client, LineFramer, NetConfig, NetServer, WireResponse};

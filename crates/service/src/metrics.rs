@@ -66,6 +66,20 @@ pub struct ServiceMetrics {
     /// End-to-end latency of textual `QUERY` commands (parse included);
     /// the span that feeds the slow-query log (`slow_query` events).
     pub query_ns: Histogram,
+    /// WAL records appended (one per durable commit).
+    pub wal_records_total: Counter,
+    /// WAL bytes appended (frames included).
+    pub wal_bytes_total: Counter,
+    /// WAL fsyncs issued — under group commit this grows slower than
+    /// `wal_records_total`; the gap is the batching win.
+    pub wal_fsyncs_total: Counter,
+    /// Commits made durable per fsync (the group-commit batch size; always
+    /// records 1 under `FsyncPolicy::Always`).
+    pub group_commit_batch: Histogram,
+    /// Checkpoint files written (automatic and `CHECKPOINT`-commanded).
+    pub checkpoints_total: Counter,
+    /// WAL records replayed during crash recovery.
+    pub recovery_replayed_total: Counter,
 }
 
 impl ServiceMetrics {
@@ -124,6 +138,24 @@ impl ServiceMetrics {
                 "End-to-end latency of textual QUERY/PROFILE commands.",
             ),
             (
+                "kbt_service_wal_records_total",
+                "WAL records appended (one per durable commit).",
+            ),
+            (
+                "kbt_service_wal_bytes_total",
+                "WAL bytes appended (frames included).",
+            ),
+            ("kbt_service_wal_fsyncs_total", "WAL fsyncs issued."),
+            (
+                "kbt_service_group_commit_batch",
+                "Commits made durable per fsync (group-commit batch size).",
+            ),
+            ("kbt_service_checkpoints_total", "Checkpoint files written."),
+            (
+                "kbt_service_recovery_replayed_total",
+                "WAL records replayed during crash recovery.",
+            ),
+            (
                 "kbt_net_sessions_accepted_total",
                 "Connections accepted over the process lifetime.",
             ),
@@ -159,6 +191,12 @@ impl ServiceMetrics {
             commit_publish_ns: registry.histogram("kbt_service_commit_publish_ns"),
             commit_batch_facts: registry.histogram("kbt_service_commit_batch_facts"),
             query_ns: registry.histogram("kbt_service_query_ns"),
+            wal_records_total: registry.counter("kbt_service_wal_records_total"),
+            wal_bytes_total: registry.counter("kbt_service_wal_bytes_total"),
+            wal_fsyncs_total: registry.counter("kbt_service_wal_fsyncs_total"),
+            group_commit_batch: registry.histogram("kbt_service_group_commit_batch"),
+            checkpoints_total: registry.counter("kbt_service_checkpoints_total"),
+            recovery_replayed_total: registry.counter("kbt_service_recovery_replayed_total"),
             registry,
         }
     }
@@ -166,9 +204,21 @@ impl ServiceMetrics {
 
 /// The verbs a network command line can carry, as exposition label values
 /// (plus `"error"` for lines that fail verb parsing — they are timed too).
-pub(crate) const VERB_LABELS: [&str; 12] = [
-    "nop", "load", "assert", "retract", "define", "apply", "query", "stats", "metrics", "explain",
-    "profile", "error",
+pub(crate) const VERB_LABELS: [&str; 14] = [
+    "nop",
+    "load",
+    "assert",
+    "retract",
+    "define",
+    "apply",
+    "query",
+    "stats",
+    "metrics",
+    "explain",
+    "profile",
+    "checkpoint",
+    "walstat",
+    "error",
 ];
 
 fn verb_slot(verb: Option<Verb>) -> usize {
@@ -184,7 +234,9 @@ fn verb_slot(verb: Option<Verb>) -> usize {
         Some(Verb::Metrics) => 8,
         Some(Verb::Explain) => 9,
         Some(Verb::Profile) => 10,
-        None => 11,
+        Some(Verb::Checkpoint) => 11,
+        Some(Verb::Walstat) => 12,
+        None => 13,
     }
 }
 

@@ -5,7 +5,7 @@
 //! ```text
 //! response := ("= " data-line "\n")* status-line "\n"
 //! status   := "OK" (" " key "=" value)*          -- success
-//!           | "ERR " code " " message            -- failure (code is stable)
+//!           | "ERR " code " " message (" id=" trace)?   -- failure
 //! ```
 //!
 //! Data lines carry the payload (one fact, one world, one stats row per
@@ -16,11 +16,32 @@
 //! [`escape_line`], so one response line is always exactly one physical
 //! line on the wire.
 //!
+//! # Status key order
+//!
+//! `OK` keys appear in one **fixed order**, produced by a single builder
+//! (there is no second place that formats a status line):
+//!
+//! 1. `id=<trace>` — the command's trace ID, when the front attached one;
+//! 2. `epoch=<n>` — the epoch the response speaks for;
+//! 3. `strategy=<s>` — how a bound goal was answered;
+//! 4. `durable=<true|false>` — whether a commit was flushed to stable
+//!    storage before this status (present only on durable services:
+//!    `true` under `always`/`group-commit`, `false` under `never`);
+//! 5. the command-specific keys (`worlds=`, `facts=`, `applied=`, …).
+//!
+//! Keys a response does not carry are simply absent — clients parse by
+//! key, never by position, but the fixed order keeps statuses stable for
+//! golden tests and log diffing.  `ERR` lines instead carry a trailing
+//! ` id=<trace>` after the human-readable message (the message itself
+//! never contains a newline, so the last field is unambiguous).
+//!
 //! Error codes: [`crate::ServiceError::code`] defines the service-level
 //! codes (`parse`, `unknown-relation`, …); the net layer adds
 //! [`CODE_LINE_TOO_LONG`], [`CODE_INVALID_UTF8`], [`CODE_IDLE_TIMEOUT`],
 //! [`CODE_UNAVAILABLE`] and [`CODE_SHUTTING_DOWN`] for conditions that
-//! never pass through a [`crate::ServiceError`].
+//! never pass through a [`crate::ServiceError`].  The full code table
+//! lives in [`crate::error`] (`CODE_TABLE`), with an exhaustiveness test
+//! holding it to the error enum.
 
 use crate::error::ServiceError;
 use crate::service::Response;
@@ -54,23 +75,89 @@ pub fn escape_line(s: &str) -> String {
     out
 }
 
+/// The single producer of `OK` status lines, enforcing the module-level
+/// fixed key order: `id=`, `epoch=`, `strategy=`, `durable=`, then the
+/// command-specific keys in the order [`key`](StatusBuilder::key) is
+/// called.
+struct StatusBuilder {
+    line: String,
+}
+
+impl StatusBuilder {
+    fn new(trace: Option<&str>) -> Self {
+        let mut line = String::from("OK");
+        if let Some(id) = trace {
+            line.push_str(" id=");
+            line.push_str(id);
+        }
+        StatusBuilder { line }
+    }
+
+    /// Appends one `key=value` field.
+    fn key(mut self, key: &str, value: impl std::fmt::Display) -> Self {
+        use std::fmt::Write;
+        write!(self.line, " {key}={value}").expect("writing to a String cannot fail");
+        self
+    }
+
+    fn epoch(self, epoch: kbt_data::EpochId) -> Self {
+        self.key("epoch", epoch.get())
+    }
+
+    fn strategy(self, strategy: Option<&'static str>) -> Self {
+        match strategy {
+            Some(s) => self.key("strategy", s),
+            None => self,
+        }
+    }
+
+    fn durable(self, durable: Option<bool>) -> Self {
+        match durable {
+            Some(d) => self.key("durable", d),
+            None => self,
+        }
+    }
+
+    fn finish(self) -> String {
+        self.line
+    }
+}
+
 /// Encodes one successful response as `(data_lines, status_line)` — the
-/// data lines already carry [`DATA_PREFIX`] and are escaped.
-pub fn encode_response(response: &Response) -> (Vec<String>, String) {
+/// data lines already carry [`DATA_PREFIX`] and are escaped, and the
+/// status line carries `trace` as its leading `id=` key (when given) per
+/// the module-level fixed key order.
+pub fn encode_response(response: &Response, trace: Option<&str>) -> (Vec<String>, String) {
     let data_line = |s: &str| format!("{DATA_PREFIX}{}", escape_line(s));
+    let status = StatusBuilder::new(trace);
     match response {
-        Response::Ok => (Vec::new(), "OK".to_string()),
+        Response::Ok => (Vec::new(), status.finish()),
         Response::Committed {
             epoch,
             worlds,
             facts,
+            durable,
         } => (
             Vec::new(),
-            format!("OK epoch={} worlds={worlds} facts={facts}", epoch.get()),
+            status
+                .epoch(*epoch)
+                .durable(*durable)
+                .key("worlds", worlds)
+                .key("facts", facts)
+                .finish(),
         ),
-        Response::Defined { epoch, name, text } => (
+        Response::Defined {
+            epoch,
+            name,
+            text,
+            durable,
+        } => (
             vec![data_line(text)],
-            format!("OK epoch={} defined={name}", epoch.get()),
+            status
+                .epoch(*epoch)
+                .durable(*durable)
+                .key("defined", name)
+                .finish(),
         ),
         Response::Applied {
             epoch,
@@ -78,12 +165,17 @@ pub fn encode_response(response: &Response) -> (Vec<String>, String) {
             worlds,
             facts,
             reused_facts,
+            durable,
         } => (
             Vec::new(),
-            format!(
-                "OK epoch={} applied={name} worlds={worlds} facts={facts} reused={reused_facts}",
-                epoch.get()
-            ),
+            status
+                .epoch(*epoch)
+                .durable(*durable)
+                .key("applied", name)
+                .key("worlds", worlds)
+                .key("facts", facts)
+                .key("reused", reused_facts)
+                .finish(),
         ),
         Response::Worlds { epoch, worlds } => (
             worlds
@@ -91,7 +183,7 @@ pub fn encode_response(response: &Response) -> (Vec<String>, String) {
                 .enumerate()
                 .map(|(i, world)| data_line(&format!("world {i}: {{{}}}", world.join(", "))))
                 .collect(),
-            format!("OK epoch={} worlds={}", epoch.get(), worlds.len()),
+            status.epoch(*epoch).key("worlds", worlds.len()).finish(),
         ),
         Response::Facts {
             epoch,
@@ -99,22 +191,21 @@ pub fn encode_response(response: &Response) -> (Vec<String>, String) {
             relation,
             facts,
             strategy,
-        } => (facts.iter().map(|fact| data_line(fact)).collect(), {
-            let mut status = format!(
-                "OK epoch={} kind={kind} relation={relation} count={}",
-                epoch.get(),
-                facts.len()
-            );
-            // only bound goals carry a strategy; the bare form's status
-            // line is unchanged
-            if let Some(strategy) = strategy {
-                status.push_str(&format!(" strategy={strategy}"));
-            }
+        } => (
+            facts.iter().map(|fact| data_line(fact)).collect(),
             status
-        }),
+                .epoch(*epoch)
+                // only bound goals carry a strategy; the bare form's
+                // status line has no strategy key
+                .strategy(*strategy)
+                .key("kind", kind)
+                .key("relation", relation)
+                .key("count", facts.len())
+                .finish(),
+        ),
         Response::Explain { epoch, rows } => (
             rows.iter().map(|row| data_line(row)).collect(),
-            format!("OK epoch={} rows={}", epoch.get(), rows.len()),
+            status.epoch(*epoch).key("rows", rows.len()).finish(),
         ),
         Response::Profile {
             epoch,
@@ -122,11 +213,11 @@ pub fn encode_response(response: &Response) -> (Vec<String>, String) {
             rows,
         } => (
             rows.iter().map(|row| data_line(row)).collect(),
-            format!(
-                "OK epoch={} worlds={worlds} rows={}",
-                epoch.get(),
-                rows.len()
-            ),
+            status
+                .epoch(*epoch)
+                .key("worlds", worlds)
+                .key("rows", rows.len())
+                .finish(),
         ),
         Response::Stats(report) => (
             response
@@ -134,13 +225,39 @@ pub fn encode_response(response: &Response) -> (Vec<String>, String) {
                 .lines()
                 .map(|line| data_line(line.trim_start()))
                 .collect(),
-            format!("OK epoch={}", report.epoch.get()),
+            status.epoch(report.epoch).finish(),
         ),
         Response::Metrics { epoch, text } => (
             text.lines().map(data_line).collect(),
-            format!("OK epoch={} lines={}", epoch.get(), text.lines().count()),
+            status
+                .epoch(*epoch)
+                .key("lines", text.lines().count())
+                .finish(),
         ),
-        Response::Loaded { commands } => (Vec::new(), format!("OK commands={commands}")),
+        Response::Loaded { commands } => (Vec::new(), status.key("commands", commands).finish()),
+        Response::Checkpointed { epoch, file } => {
+            (Vec::new(), status.epoch(*epoch).key("file", file).finish())
+        }
+        Response::WalStat {
+            epoch,
+            policy,
+            records,
+            bytes,
+            fsyncs,
+            durable_epoch,
+            checkpoint_epoch,
+        } => (
+            Vec::new(),
+            status
+                .epoch(*epoch)
+                .key("policy", policy)
+                .key("records", records)
+                .key("bytes", bytes)
+                .key("fsyncs", fsyncs)
+                .key("synced", durable_epoch)
+                .key("checkpoint", checkpoint_epoch)
+                .finish(),
+        ),
     }
 }
 
@@ -204,37 +321,79 @@ mod tests {
         assert_eq!(escape_line("a\nb\r\\c"), "a\\nb\\r\\\\c");
     }
 
+    fn service() -> Service {
+        Service::new(ServiceConfig::builder().threads(1).build())
+    }
+
     #[test]
     fn responses_encode_with_epoch_and_terminating_status() {
-        let s = Service::new(ServiceConfig::with_threads(1));
+        let s = service();
         let r = s.execute("ASSERT edge(1, 2), edge(2, 3)").unwrap();
-        let (data, status) = encode_response(&r);
+        let (data, status) = encode_response(&r, None);
         assert!(data.is_empty());
         assert_eq!(status, "OK epoch=1 worlds=1 facts=2");
 
         let r = s.execute("QUERY CERTAIN edge").unwrap();
-        let (data, status) = encode_response(&r);
+        let (data, status) = encode_response(&r, None);
         assert_eq!(data, ["= edge(1, 2)", "= edge(2, 3)"]);
         assert_eq!(status, "OK epoch=1 kind=certain relation=edge count=2");
 
         let r = s.execute("QUERY lub").unwrap();
-        let (data, status) = encode_response(&r);
+        let (data, status) = encode_response(&r, None);
         assert_eq!(data, ["= world 0: {edge(1, 2), edge(2, 3)}"]);
         assert_eq!(status, "OK epoch=1 worlds=1");
     }
 
     #[test]
+    fn status_keys_appear_in_the_fixed_order() {
+        // id before epoch, durable before command keys — straight from
+        // the builder, for every commit shape
+        let r = Response::Committed {
+            epoch: kbt_data::EpochId::new(7),
+            worlds: 2,
+            facts: 5,
+            durable: Some(true),
+        };
+        let (_, status) = encode_response(&r, Some("req-9"));
+        assert_eq!(status, "OK id=req-9 epoch=7 durable=true worlds=2 facts=5");
+
+        let r = Response::Applied {
+            epoch: kbt_data::EpochId::new(8),
+            name: "tc".into(),
+            worlds: 1,
+            facts: 3,
+            reused_facts: 2,
+            durable: Some(false),
+        };
+        let (_, status) = encode_response(&r, Some("t4"));
+        assert_eq!(
+            status,
+            "OK id=t4 epoch=8 durable=false applied=tc worlds=1 facts=3 reused=2"
+        );
+
+        // strategy slots between epoch and the command keys
+        let s = service();
+        s.execute("ASSERT edge(1, 2)").unwrap();
+        let r = s.execute("QUERY CERTAIN edge(1, x)").unwrap();
+        let (_, status) = encode_response(&r, Some("t2"));
+        assert_eq!(
+            status,
+            "OK id=t2 epoch=1 strategy=materialize kind=certain relation=edge count=1"
+        );
+    }
+
+    #[test]
     fn facts_with_newlines_stay_one_wire_line() {
-        let s = Service::new(ServiceConfig::with_threads(1));
+        let s = service();
         s.execute("ASSERT note('one\ntwo')").unwrap();
         let r = s.execute("QUERY POSSIBLE note").unwrap();
-        let (data, _) = encode_response(&r);
+        let (data, _) = encode_response(&r, None);
         assert_eq!(data, ["= note('one\\ntwo')"]);
     }
 
     #[test]
     fn errors_carry_stable_codes() {
-        let s = Service::new(ServiceConfig::with_threads(1));
+        let s = service();
         let e = s.execute("QUERY CERTAIN nowhere").unwrap_err();
         let status = encode_service_error(&e);
         assert!(status.starts_with("ERR unknown-relation "), "{status}");

@@ -349,11 +349,13 @@ fn respond(
     );
     match service.execute_traced(line, Some(&trace)) {
         Ok(response) => {
-            let (data, status) = proto::encode_response(&response);
+            // the trace ID travels inside the status builder (leading
+            // `id=` key); ERR lines carry it trailing, after the message
+            let (data, status) = proto::encode_response(&response, Some(&trace));
             for line in data {
                 writeln!(writer, "{line}")?;
             }
-            writeln!(writer, "{status} id={trace}")
+            writeln!(writer, "{status}")
         }
         Err(e) => writeln!(writer, "{} id={trace}", proto::encode_service_error(&e)),
     }
@@ -374,7 +376,7 @@ mod tests {
     use crate::net::client::Client;
 
     fn start(config: NetConfig) -> (NetServer, Arc<Service>) {
-        let service = Arc::new(Service::new(ServiceConfig::with_threads(1)));
+        let service = Arc::new(Service::new(ServiceConfig::builder().threads(1).build()));
         let server = NetServer::start(service.clone(), config).expect("bind loopback");
         (server, service)
     }
@@ -384,7 +386,7 @@ mod tests {
         let (server, _service) = start(NetConfig::default());
         let mut client = Client::connect(server.local_addr()).unwrap();
         let r = client.roundtrip("ASSERT edge(1, 2), edge(2, 3)").unwrap();
-        assert_eq!(r.status, "OK epoch=1 worlds=1 facts=2 id=t1");
+        assert_eq!(r.status, "OK id=t1 epoch=1 worlds=1 facts=2");
         let r = client.roundtrip("QUERY CERTAIN edge").unwrap();
         assert_eq!(r.data, ["= edge(1, 2)", "= edge(2, 3)"]);
         assert_eq!(r.epoch(), Some(1));
@@ -403,12 +405,12 @@ mod tests {
         let mut client = Client::connect(server.local_addr()).unwrap();
         // server-assigned IDs count per session, client IDs pass through
         let r = client.roundtrip("STATS").unwrap();
-        assert!(r.status.ends_with(" id=t1"), "{}", r.status);
+        assert!(r.status.starts_with("OK id=t1 "), "{}", r.status);
         let r = client.roundtrip("#id=req-42 ASSERT edge(1, 2)").unwrap();
-        assert_eq!(r.status, "OK epoch=1 worlds=1 facts=1 id=req-42");
+        assert_eq!(r.status, "OK id=req-42 epoch=1 worlds=1 facts=1");
         // the sequence resumes after a client-supplied ID
         let r = client.roundtrip("STATS").unwrap();
-        assert!(r.status.ends_with(" id=t2"), "{}", r.status);
+        assert!(r.status.starts_with("OK id=t2 "), "{}", r.status);
         // a bare "#id=" (no token) stays an ordinary comment
         let r = client.roundtrip("#id= not a command").unwrap();
         assert_eq!(r.status, "OK id=t3");
@@ -417,12 +419,12 @@ mod tests {
         let r = client
             .roundtrip("EXPLAIN tau[forall x0 x1. edge(x0, x1) -> path(x0, x1)]")
             .unwrap();
-        assert_eq!(r.status, "OK epoch=1 rows=1 id=t4");
+        assert_eq!(r.status, "OK id=t4 epoch=1 rows=1");
         assert!(r.data[0].contains("scan"), "{:?}", r.data);
         let r = client
             .roundtrip("PROFILE tau[forall x0 x1. edge(x0, x1) -> path(x0, x1)]")
             .unwrap();
-        assert_eq!(r.status, "OK epoch=1 worlds=1 rows=1 id=t5");
+        assert_eq!(r.status, "OK id=t5 epoch=1 worlds=1 rows=1");
         assert!(r.data[0].contains("elapsed_ns="), "{:?}", r.data);
         server.shutdown();
     }

@@ -15,7 +15,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::{Arc, Mutex, PoisonError, Weak};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError, Weak};
 
 use kbt_core::{ChainSession, CoreError, EvalStats, RuleProfile, Transform, Transformer};
 use kbt_data::{
@@ -30,6 +30,7 @@ use kbt_engine::table::{filter_rows, SubsumptiveTable};
 use kbt_logic::Term;
 use kbt_obs::{Counter, Gauge, Registry};
 
+use crate::checkpoint::CheckpointManager;
 use crate::command::{
     parse_define, parse_fact_list, parse_query, parse_transform, render_fact, render_relation,
     render_transform, split_command, split_lines, QueryCmd, QueryGoal, Verb,
@@ -37,6 +38,8 @@ use crate::command::{
 use crate::config::ServiceConfig;
 use crate::error::{Result, ServiceError};
 use crate::metrics::ServiceMetrics;
+use crate::recover;
+use crate::wal::{Wal, WalMetrics, WAL_FILE};
 
 /// How deep `LOAD`ed scripts may nest before the service assumes a cycle.
 const MAX_SCRIPT_DEPTH: usize = 8;
@@ -238,6 +241,10 @@ pub enum Response {
         worlds: usize,
         /// Total facts across all worlds after the commit.
         facts: usize,
+        /// Whether the commit was flushed to stable storage before this
+        /// response: `Some(true)` under `always`/`group-commit`,
+        /// `Some(false)` under `never`, `None` without durability.
+        durable: Option<bool>,
     },
     /// A transformation was registered.
     Defined {
@@ -247,6 +254,8 @@ pub enum Response {
         name: String,
         /// The canonical wire-format text.
         text: String,
+        /// Durability of the commit (see [`Response::Committed::durable`]).
+        durable: Option<bool>,
     },
     /// A named transformation was applied and committed.
     Applied {
@@ -260,6 +269,8 @@ pub enum Response {
         facts: usize,
         /// Facts the persistent chain reused from the previous application.
         reused_facts: usize,
+        /// Durability of the commit (see [`Response::Committed::durable`]).
+        durable: Option<bool>,
     },
     /// A `QUERY <texpr>` result: the rendered worlds.
     Worlds {
@@ -316,6 +327,30 @@ pub enum Response {
         /// Commands executed (nops included).
         commands: usize,
     },
+    /// A `CHECKPOINT` command wrote an epoch snapshot.
+    Checkpointed {
+        /// The epoch the checkpoint captured.
+        epoch: EpochId,
+        /// The checkpoint file name inside the data directory.
+        file: String,
+    },
+    /// A `WALSTAT` report: write-ahead-log state.
+    WalStat {
+        /// The committed epoch at report time.
+        epoch: EpochId,
+        /// The configured fsync policy (`always`/`group-commit`/`never`).
+        policy: &'static str,
+        /// Records appended over the log's lifetime.
+        records: u64,
+        /// Bytes appended over the log's lifetime.
+        bytes: u64,
+        /// Fsyncs issued over the log's lifetime.
+        fsyncs: u64,
+        /// Highest epoch known flushed to stable storage.
+        durable_epoch: u64,
+        /// Epoch of the newest checkpoint (0 = none yet).
+        checkpoint_epoch: u64,
+    },
 }
 
 /// The `STATS` payload.
@@ -362,6 +397,15 @@ struct QueryCache {
     table: SubsumptiveTable,
 }
 
+/// The durability machinery of one durable service: the open write-ahead
+/// log and the checkpoint scheduler.  Installed **after** recovery replay
+/// ([`Service::open`]), so replayed commands never re-append to the log
+/// they are being read from.
+struct DurabilityState {
+    wal: Wal,
+    checkpoints: CheckpointManager,
+}
+
 /// A concurrent, multi-session knowledgebase service (see crate docs).
 pub struct Service {
     config: ServiceConfig,
@@ -381,6 +425,9 @@ pub struct Service {
     /// counts.  Pruned on every publish, so it holds at most one entry per
     /// epoch a reader is still pinning (plus the current one).
     holders: Mutex<Vec<(EpochId, Weak<Versioned<CommittedState>>)>>,
+    /// Durability, when configured — empty until [`Service::open`] finishes
+    /// recovery replay, and always empty for [`Service::new`] services.
+    durability: OnceLock<Arc<DurabilityState>>,
 }
 
 impl Default for Service {
@@ -391,43 +438,172 @@ impl Default for Service {
 
 impl Service {
     /// A service over the initial knowledgebase `{∅}` — one empty world —
-    /// at [`EpochId::ZERO`].
+    /// at [`EpochId::ZERO`].  Any durability in `config` is **ignored**
+    /// here: the durable entry point is [`Service::open`], which must be
+    /// fallible (it touches the filesystem and replays the log).
     pub fn new(config: ServiceConfig) -> Self {
+        Service::from_parts(
+            config,
+            EpochId::ZERO,
+            Knowledgebase::singleton(Database::new()),
+            Arc::new(Vocabulary::new()),
+            BTreeMap::new(),
+            ServiceStats::default(),
+        )
+    }
+
+    /// Assembles a service around an arbitrary committed state — the shared
+    /// constructor behind [`Service::new`] (the empty state at epoch zero)
+    /// and [`Service::open`] (a checkpoint-recovered state).
+    fn from_parts(
+        config: ServiceConfig,
+        epoch: EpochId,
+        kb: Knowledgebase,
+        vocab: Arc<Vocabulary>,
+        transforms: BTreeMap<String, Registered>,
+        stats: ServiceStats,
+    ) -> Self {
         // Touch the library-level registries eagerly: every engine/par
         // series must exist from the first scrape, not the first fixpoint.
         kbt_engine::metrics();
         kbt_par::metrics();
         let metrics = ServiceMetrics::register(Registry::new());
+        metrics.registry.set_enabled(config.metrics_timing);
         let sessions = Arc::new(SessionCounters::register(&metrics.registry));
-        let kb = Knowledgebase::singleton(Database::new());
-        let vocab = Arc::new(Vocabulary::new());
-        let empty_meta: Arc<BTreeMap<String, TransformInfo>> = Arc::new(BTreeMap::new());
-        let committed = EpochCell::new(CommittedState {
+        let mut writer = Writer {
             kb: kb.clone(),
             vocab: vocab.clone(),
-            transforms: empty_meta.clone(),
-            stats: ServiceStats::default(),
-        });
-        let holders = Mutex::new(vec![(EpochId::ZERO, Arc::downgrade(&committed.load()))]);
+            transforms,
+            transforms_meta: Arc::new(BTreeMap::new()),
+            stats,
+        };
+        writer.refresh_transforms_meta();
+        let committed = EpochCell::at(
+            epoch,
+            CommittedState {
+                kb,
+                vocab,
+                transforms: writer.transforms_meta.clone(),
+                stats,
+            },
+        );
+        metrics.epoch.set(epoch.get());
+        metrics.commits_total.set(stats.commits);
+        metrics.applies_total.set(stats.applies);
+        metrics.defines_total.set(stats.defines);
+        let holders = Mutex::new(vec![(epoch, Arc::downgrade(&committed.load()))]);
         Service {
             config,
             committed,
-            writer: Mutex::new(Writer {
-                kb,
-                vocab,
-                transforms: BTreeMap::new(),
-                transforms_meta: empty_meta,
-                stats: ServiceStats::default(),
-            }),
+            writer: Mutex::new(writer),
             query_cache: Mutex::new(QueryCache {
-                epoch: EpochId::ZERO,
+                epoch,
                 rulebase: None,
                 table: SubsumptiveTable::new(),
             }),
             metrics,
             sessions,
             holders,
+            durability: OnceLock::new(),
         }
+    }
+
+    /// Opens a service with the durability described by `config`: loads the
+    /// newest valid checkpoint, replays the write-ahead-log tail through
+    /// the normal commit pipeline, truncates a torn final record, and
+    /// starts logging new commits.  Without a [`crate::DurabilityConfig`]
+    /// this is [`Service::new`] (and always succeeds).
+    ///
+    /// Refuses — with a typed error, never a silent partial state — on a
+    /// corrupt checkpoint, a corrupt *interior* WAL record, or any epoch
+    /// disagreement between the checkpoint and the log (see the crate-level
+    /// *Durability* section).
+    pub fn open(config: ServiceConfig) -> Result<Self> {
+        let Some(dur_config) = config.durability.clone() else {
+            return Ok(Service::new(config));
+        };
+        let plan = recover::plan(&dur_config.data_dir)?;
+        let checkpoint_epoch = plan.checkpoint.as_ref().map_or(0, |c| c.epoch);
+        let service =
+            match plan.checkpoint {
+                None => Service::new(config),
+                Some(data) => {
+                    let vocab = Arc::new(data.vocab);
+                    let mut transforms = BTreeMap::new();
+                    for (name, applications, text) in data.transforms {
+                        // the text was rendered from this vocabulary, so
+                        // re-parsing interns nothing — failure means the file
+                        // lies about its own vocabulary
+                        let transform = parse_transform(&text, &mut vocab.as_ref().clone())
+                            .map_err(|e| ServiceError::CheckpointCorrupt {
+                                path: crate::checkpoint::checkpoint_file_name(data.epoch),
+                                detail: format!("transform {name:?} does not re-parse: {e}"),
+                            })?;
+                        transforms.insert(
+                            name,
+                            Registered {
+                                transform,
+                                text: text.into(),
+                                chain: None,
+                                applications,
+                            },
+                        );
+                    }
+                    let kb = Knowledgebase::from_databases(data.worlds)?;
+                    Service::from_parts(
+                        config,
+                        EpochId::new(data.epoch),
+                        kb,
+                        vocab,
+                        transforms,
+                        data.stats,
+                    )
+                }
+            };
+        // Replay the tail through the normal pipeline.  Durability is not
+        // installed yet, so nothing re-appends to the log; each command
+        // must commit exactly the epoch its record claims.
+        for record in &plan.tail {
+            let response = service.execute(&record.command)?;
+            let produced = commit_epoch(&response).ok_or_else(|| ServiceError::WalCorrupt {
+                offset: 0,
+                detail: format!(
+                    "replayed record e{} is not a write command: {:?}",
+                    record.epoch, record.command
+                ),
+            })?;
+            if produced.get() != record.epoch {
+                return Err(ServiceError::EpochMismatch {
+                    expected: record.epoch,
+                    found: produced.get(),
+                });
+            }
+            service.metrics.recovery_replayed_total.inc();
+        }
+        let wal = Wal::open(
+            dur_config.data_dir.join(WAL_FILE),
+            dur_config.fsync_policy.clone(),
+            plan.wal_valid_len,
+            service.epoch().get(),
+            WalMetrics {
+                records_total: service.metrics.wal_records_total.clone(),
+                bytes_total: service.metrics.wal_bytes_total.clone(),
+                fsyncs_total: service.metrics.wal_fsyncs_total.clone(),
+                batch: service.metrics.group_commit_batch.clone(),
+            },
+        )?;
+        let checkpoints = CheckpointManager::new(
+            dur_config.data_dir.clone(),
+            dur_config.checkpoint_every_n_commits,
+            checkpoint_epoch,
+            service.metrics.checkpoints_total.clone(),
+        );
+        let installed = service
+            .durability
+            .set(Arc::new(DurabilityState { wal, checkpoints }))
+            .is_ok();
+        debug_assert!(installed, "open() owns the only handle before here");
+        Ok(service)
     }
 
     /// The session counters a network front attached to this service
@@ -503,6 +679,8 @@ impl Service {
             Verb::Explain => self.explain_text(rest),
             Verb::Profile => self.profile_text(rest, trace),
             Verb::Load => self.load(rest, depth),
+            Verb::Checkpoint => self.checkpoint_now(),
+            Verb::Walstat => self.walstat(),
             Verb::Assert | Verb::Retract | Verb::Define | Verb::Apply => {
                 self.write_command(verb, rest)
             }
@@ -607,80 +785,168 @@ impl Service {
             .set(oldest.map_or(0, |o| current.get().saturating_sub(o)));
     }
 
+    /// Appends `command` to the WAL as the record of the epoch the writer
+    /// is about to publish.  A no-op without durability — which includes
+    /// recovery replay, where durability is installed only *after* the
+    /// tail has been replayed (so a replayed command never re-appends to
+    /// the log it came from).  Must run under the writer lock: the lock
+    /// pins the next epoch to `committed + 1` and makes record order equal
+    /// epoch order.
+    fn wal_append(&self, command: &str) -> Result<()> {
+        if let Some(dur) = self.durability.get() {
+            dur.wal
+                .append(self.committed.epoch().next().get(), command)?;
+        }
+        Ok(())
+    }
+
+    /// The post-publish durability step, run *outside* the writer lock so
+    /// fsync waits never serialize unrelated commits: waits until the
+    /// commit's WAL record is durable per the fsync policy, stamps the
+    /// response's `durable` field, and hands the committed state to the
+    /// checkpoint scheduler when the interval has elapsed.
+    fn finish_commit(&self, response: &mut Response) -> Result<()> {
+        let Some(dur) = self.durability.get() else {
+            return Ok(());
+        };
+        let (epoch, durable) = match response {
+            Response::Committed { epoch, durable, .. }
+            | Response::Defined { epoch, durable, .. }
+            | Response::Applied { epoch, durable, .. } => (*epoch, durable),
+            _ => return Ok(()),
+        };
+        *durable = Some(dur.wal.sync(epoch.get())?);
+        if dur.checkpoints.note_commit() {
+            // re-load rather than reuse: another commit may have published
+            // since we dropped the writer lock, and the scheduler needs an
+            // (epoch, state) pair that actually belong together
+            let snap = self.committed.load();
+            dur.checkpoints
+                .trigger(snap.epoch().get(), snap.value().clone());
+        }
+        Ok(())
+    }
+
+    /// `CHECKPOINT`: synchronously writes an epoch snapshot of the current
+    /// committed state into the data directory.
+    fn checkpoint_now(&self) -> Result<Response> {
+        let dur = self
+            .durability
+            .get()
+            .ok_or(ServiceError::DurabilityDisabled)?;
+        let snap = self.committed.load();
+        let file = dur
+            .checkpoints
+            .write_now(snap.epoch().get(), snap.value())?;
+        Ok(Response::Checkpointed {
+            epoch: snap.epoch(),
+            file,
+        })
+    }
+
+    /// `WALSTAT`: reports the write-ahead log's point-in-time counters.
+    fn walstat(&self) -> Result<Response> {
+        let dur = self
+            .durability
+            .get()
+            .ok_or(ServiceError::DurabilityDisabled)?;
+        let stat = dur.wal.stat();
+        Ok(Response::WalStat {
+            epoch: self.epoch(),
+            policy: dur.wal.policy().name(),
+            records: stat.records,
+            bytes: stat.bytes,
+            fsyncs: stat.fsyncs,
+            durable_epoch: stat.durable_epoch,
+            checkpoint_epoch: dur.checkpoints.last_epoch(),
+        })
+    }
+
     fn write_command(&self, verb: Verb, rest: &str) -> Result<Response> {
-        let mut w = self.lock_writer();
-        // Parse against a *scratch copy* of the authoritative vocabulary:
-        // a rejected command must leave no trace, and interning is only
-        // adopted once the whole commit has succeeded.  (A failed `ASSERT
-        // ghost(x)` must not make a later `QUERY CERTAIN ghost` resolve.)
-        let mut vocab = w.vocab.as_ref().clone();
-        match verb {
-            Verb::Assert => {
-                let facts = {
-                    let _parse = self.metrics.commit_parse_ns.span();
-                    parse_fact_list(rest, &mut vocab)?
-                };
-                self.commit_facts(&mut w, vocab, &facts, true)
-            }
-            Verb::Retract => {
-                let facts = {
-                    let _parse = self.metrics.commit_parse_ns.span();
-                    parse_fact_list(rest, &mut vocab)?
-                };
-                // A RETRACT must not *introduce* names: a relation or named
-                // constant first seen here cannot match any stored fact, so
-                // the command is a guaranteed no-op — almost certainly a
-                // typo — and silently committing it (and publishing the
-                // bogus name) would mask the mistake forever.
-                for (rel, _) in &facts {
-                    if rel.index() as usize >= w.vocab.relation_count() {
-                        return Err(ServiceError::UnknownRelation(
-                            vocab.relation_name(*rel).unwrap_or_default().to_string(),
+        let mut response = {
+            let mut w = self.lock_writer();
+            // Parse against a *scratch copy* of the authoritative
+            // vocabulary: a rejected command must leave no trace, and
+            // interning is only adopted once the whole commit has
+            // succeeded.  (A failed `ASSERT ghost(x)` must not make a
+            // later `QUERY CERTAIN ghost` resolve.)
+            let mut vocab = w.vocab.as_ref().clone();
+            match verb {
+                Verb::Assert => {
+                    let facts = {
+                        let _parse = self.metrics.commit_parse_ns.span();
+                        parse_fact_list(rest, &mut vocab)?
+                    };
+                    self.commit_facts(&mut w, vocab, &facts, true)
+                }
+                Verb::Retract => {
+                    let facts = {
+                        let _parse = self.metrics.commit_parse_ns.span();
+                        parse_fact_list(rest, &mut vocab)?
+                    };
+                    // A RETRACT must not *introduce* names: a relation or named
+                    // constant first seen here cannot match any stored fact, so
+                    // the command is a guaranteed no-op — almost certainly a
+                    // typo — and silently committing it (and publishing the
+                    // bogus name) would mask the mistake forever.
+                    for (rel, _) in &facts {
+                        if rel.index() as usize >= w.vocab.relation_count() {
+                            return Err(ServiceError::UnknownRelation(
+                                vocab.relation_name(*rel).unwrap_or_default().to_string(),
+                            ));
+                        }
+                    }
+                    if vocab.constant_count() > w.vocab.constant_count() {
+                        let first_new = kbt_data::Const::new(w.vocab.constant_count() as u32);
+                        return Err(ServiceError::UnknownConstant(
+                            vocab
+                                .constant_name(first_new)
+                                .unwrap_or_default()
+                                .to_string(),
                         ));
                     }
+                    self.commit_facts(&mut w, vocab, &facts, false)
                 }
-                if vocab.constant_count() > w.vocab.constant_count() {
-                    let first_new = kbt_data::Const::new(w.vocab.constant_count() as u32);
-                    return Err(ServiceError::UnknownConstant(
-                        vocab
-                            .constant_name(first_new)
-                            .unwrap_or_default()
-                            .to_string(),
-                    ));
+                Verb::Define => {
+                    let (name, transform) = {
+                        let _parse = self.metrics.commit_parse_ns.span();
+                        parse_define(rest, &mut vocab)?
+                    };
+                    let text: Arc<str> = render_transform(&transform, &vocab).into();
+                    // log the *canonical* rendering, not the user's spelling:
+                    // replay must re-intern names in exactly this order
+                    self.wal_append(&format!("DEFINE {name} := {text}"))?;
+                    w.vocab = Arc::new(vocab);
+                    // Re-registration under an existing name replaces the
+                    // expression and drops the stale chain session.
+                    w.transforms.insert(
+                        name.clone(),
+                        Registered {
+                            transform,
+                            text: text.clone(),
+                            chain: None,
+                            applications: 0,
+                        },
+                    );
+                    w.refresh_transforms_meta();
+                    w.stats.defines += 1;
+                    w.stats.commits += 1;
+                    let epoch = self.publish(&w);
+                    Ok(Response::Defined {
+                        epoch,
+                        name,
+                        text: text.to_string(),
+                        durable: None,
+                    })
                 }
-                self.commit_facts(&mut w, vocab, &facts, false)
+                Verb::Apply => self.apply_named(&mut w, rest.trim()),
+                _ => unreachable!("write_command only receives write verbs"),
             }
-            Verb::Define => {
-                let (name, transform) = {
-                    let _parse = self.metrics.commit_parse_ns.span();
-                    parse_define(rest, &mut vocab)?
-                };
-                let text: Arc<str> = render_transform(&transform, &vocab).into();
-                w.vocab = Arc::new(vocab);
-                // Re-registration under an existing name replaces the
-                // expression and drops the stale chain session.
-                w.transforms.insert(
-                    name.clone(),
-                    Registered {
-                        transform,
-                        text: text.clone(),
-                        chain: None,
-                        applications: 0,
-                    },
-                );
-                w.refresh_transforms_meta();
-                w.stats.defines += 1;
-                w.stats.commits += 1;
-                let epoch = self.publish(&w);
-                Ok(Response::Defined {
-                    epoch,
-                    name,
-                    text: text.to_string(),
-                })
-            }
-            Verb::Apply => self.apply_named(&mut w, rest.trim()),
-            _ => unreachable!("write_command only receives write verbs"),
-        }
+            // the writer guard drops here: durability waits below never
+            // block the next commit's evaluation work
+        }?;
+        self.finish_commit(&mut response)?;
+        Ok(response)
     }
 
     /// Applies ground fact deltas to every possible world — the
@@ -712,10 +978,18 @@ impl Service {
         // worlds that differed only in the changed facts may collapse
         let kb = Knowledgebase::from_databases(worlds)?;
         drop(apply_span);
-        // every fallible step is behind us: adopt the scratch vocabulary
-        // together with the new state — but only allocate a new shared
-        // handle when this command actually interned something (interning
-        // is append-only, so equal counts mean identical content)
+        // every fallible step is behind us: log the commit (canonical
+        // rendering against the scratch vocabulary, which has every name
+        // this command interned), then adopt the state
+        let rendered: Vec<String> = facts
+            .iter()
+            .map(|(rel, t)| render_fact(*rel, t.components(), &vocab))
+            .collect();
+        let verb = if insert { "ASSERT" } else { "RETRACT" };
+        self.wal_append(&format!("{verb} {}", rendered.join(", ")))?;
+        // only allocate a new shared vocabulary handle when this command
+        // actually interned something (interning is append-only, so equal
+        // counts mean identical content)
         if vocab.relation_count() != w.vocab.relation_count()
             || vocab.constant_count() != w.vocab.constant_count()
         {
@@ -728,6 +1002,7 @@ impl Service {
             epoch,
             worlds: w.kb.len(),
             facts: total_facts(&w.kb),
+            durable: None,
         })
     }
 
@@ -746,6 +1021,14 @@ impl Service {
         let reg = w.transforms.get_mut(name).expect("present above");
         reg.chain = chain;
         let result = result?;
+        if let Err(e) = self.wal_append(&format!("APPLY {name}")) {
+            // the chain session already consumed this application's delta;
+            // restoring it against an *unpublished* commit would desync it
+            // from the committed knowledgebase — drop it and rebuild fresh
+            // on the next successful APPLY
+            reg.chain = None;
+            return Err(e);
+        }
         reg.applications += 1;
         w.refresh_transforms_meta();
         w.kb = result.kb;
@@ -759,6 +1042,7 @@ impl Service {
             worlds: w.kb.len(),
             facts: total_facts(&w.kb),
             reused_facts: result.stats.reused_facts,
+            durable: None,
         })
     }
 
@@ -1372,6 +1656,18 @@ fn total_facts(kb: &Knowledgebase) -> usize {
     kb.iter().map(Database::fact_count).sum()
 }
 
+/// The epoch a *commit* response published (`None` for read responses) —
+/// recovery replay uses it to hold each replayed command to the epoch its
+/// WAL record claims.
+fn commit_epoch(response: &Response) -> Option<EpochId> {
+    match response {
+        Response::Committed { epoch, .. }
+        | Response::Defined { epoch, .. }
+        | Response::Applied { epoch, .. } => Some(*epoch),
+        _ => None,
+    }
+}
+
 /// Maps a Datalog-substrate error onto the service error space (bound
 /// queries drive the evaluator directly, without going through `kbt-core`).
 fn datalog_err(e: DatalogError) -> ServiceError {
@@ -1498,12 +1794,21 @@ impl fmt::Display for Response {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Response::Ok => write!(f, "ok"),
+            // `durable` stays out of the human rendering: scripts and the
+            // shell read the same lines durable or not (the wire status is
+            // where the flag travels)
             Response::Committed {
                 epoch,
                 worlds,
                 facts,
+                durable: _,
             } => write!(f, "committed {epoch}: {worlds} world(s), {facts} fact(s)"),
-            Response::Defined { epoch, name, text } => {
+            Response::Defined {
+                epoch,
+                name,
+                text,
+                durable: _,
+            } => {
                 write!(f, "defined {name} := {text} ({epoch})")
             }
             Response::Applied {
@@ -1512,6 +1817,7 @@ impl fmt::Display for Response {
                 worlds,
                 facts,
                 reused_facts,
+                durable: _,
             } => write!(
                 f,
                 "applied {name} at {epoch}: {worlds} world(s), {facts} fact(s), {reused_facts} reused"
@@ -1606,6 +1912,22 @@ impl fmt::Display for Response {
             }
             Response::Metrics { text, .. } => f.write_str(text.trim_end()),
             Response::Loaded { commands } => write!(f, "loaded: {commands} command(s)"),
+            Response::Checkpointed { epoch, file } => {
+                write!(f, "checkpointed {epoch}: {file}")
+            }
+            Response::WalStat {
+                epoch,
+                policy,
+                records,
+                bytes,
+                fsyncs,
+                durable_epoch,
+                checkpoint_epoch,
+            } => write!(
+                f,
+                "wal at {epoch}: policy {policy}, {records} record(s), {bytes} byte(s), \
+                 {fsyncs} fsync(s), durable e{durable_epoch}, checkpoint e{checkpoint_epoch}"
+            ),
         }
     }
 }
@@ -1615,7 +1937,7 @@ mod tests {
     use super::*;
 
     fn service() -> Service {
-        Service::new(ServiceConfig::with_threads(1))
+        Service::new(ServiceConfig::builder().threads(1).build())
     }
 
     #[test]
@@ -1637,10 +1959,12 @@ mod tests {
                 epoch,
                 worlds,
                 facts,
+                durable,
             } => {
                 assert_eq!(epoch, EpochId::new(1));
                 assert_eq!(worlds, 1);
                 assert_eq!(facts, 2);
+                assert_eq!(durable, None, "no durability configured");
             }
             other => panic!("expected Committed, got {other:?}"),
         }
@@ -2124,5 +2448,140 @@ mod tests {
         let mut vocab = snap.vocab().clone();
         let again = crate::command::parse_transform(&info.text, &mut vocab).unwrap();
         assert!(matches!(again, Transform::Insert(_)));
+    }
+
+    // ------------------------------------------------------------------
+    // Durability.
+    // ------------------------------------------------------------------
+
+    fn scratch_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("kbt-service-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn durable_config(dir: &std::path::Path) -> ServiceConfig {
+        ServiceConfig::builder()
+            .threads(1)
+            .durable(dir)
+            .fsync_policy(crate::config::FsyncPolicy::Always)
+            .checkpoint_every_n_commits(0)
+            .build()
+    }
+
+    #[test]
+    fn commits_survive_a_reopen_via_wal_replay() {
+        let dir = scratch_dir("reopen");
+        {
+            let s = Service::open(durable_config(&dir)).unwrap();
+            let r = s.execute("ASSERT edge(1, 2), edge(2, 3)").unwrap();
+            assert!(
+                matches!(
+                    r,
+                    Response::Committed {
+                        durable: Some(true),
+                        ..
+                    }
+                ),
+                "Always must flush before responding: {r:?}"
+            );
+            s.execute("DEFINE close := tau[forall x0 x1. edge(x0, x1) -> path(x0, x1)]")
+                .unwrap();
+            s.execute("APPLY close").unwrap();
+            s.execute("RETRACT edge(2, 3)").unwrap();
+        }
+        let s = Service::open(durable_config(&dir)).unwrap();
+        assert_eq!(s.epoch(), EpochId::new(4));
+        assert_eq!(s.metrics().recovery_replayed_total.get(), 4);
+        let snap = s.snapshot();
+        let (path, _) = snap.vocab().lookup_relation("path").expect("replayed");
+        assert_eq!(self::total_facts(snap.kb()), 3, "edge(1,2) + 2 paths");
+        assert_eq!(s.certain(&snap, path).len(), 2);
+        assert_eq!(snap.stats().commits, 4);
+        // the chain session rebuilds transparently after recovery
+        s.execute("ASSERT edge(5, 6)").unwrap();
+        let r = s.execute("APPLY close").unwrap();
+        assert!(matches!(r, Response::Applied { .. }));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoints_shorten_replay_and_walstat_reports() {
+        let dir = scratch_dir("checkpoint");
+        {
+            let s = Service::open(durable_config(&dir)).unwrap();
+            s.execute("ASSERT edge(1, 2)").unwrap();
+            s.execute("ASSERT edge(2, 3)").unwrap();
+            let r = s.execute("CHECKPOINT").unwrap();
+            match r {
+                Response::Checkpointed { epoch, ref file } => {
+                    assert_eq!(epoch, EpochId::new(2));
+                    assert!(file.starts_with("checkpoint-"), "{file}");
+                }
+                ref other => panic!("expected Checkpointed, got {other:?}"),
+            }
+            s.execute("ASSERT edge(3, 4)").unwrap();
+            match s.execute("WALSTAT").unwrap() {
+                Response::WalStat {
+                    policy,
+                    records,
+                    durable_epoch,
+                    checkpoint_epoch,
+                    ..
+                } => {
+                    assert_eq!(policy, "always");
+                    assert_eq!(records, 3);
+                    assert_eq!(durable_epoch, 3);
+                    assert_eq!(checkpoint_epoch, 2);
+                }
+                other => panic!("expected WalStat, got {other:?}"),
+            }
+        }
+        let s = Service::open(durable_config(&dir)).unwrap();
+        assert_eq!(s.epoch(), EpochId::new(3));
+        // only the post-checkpoint tail replays
+        assert_eq!(s.metrics().recovery_replayed_total.get(), 1);
+        assert_eq!(total_facts(s.snapshot().kb()), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durability_commands_refuse_on_an_in_memory_service() {
+        let s = service();
+        for cmd in ["CHECKPOINT", "WALSTAT"] {
+            match s.execute(cmd) {
+                Err(ServiceError::DurabilityDisabled) => {}
+                other => panic!("{cmd}: expected DurabilityDisabled, got {other:?}"),
+            }
+        }
+        // and in-memory commits carry no durability claim
+        let r = s.execute("ASSERT edge(1, 2)").unwrap();
+        assert!(matches!(r, Response::Committed { durable: None, .. }));
+    }
+
+    #[test]
+    fn never_policy_reports_not_durable_but_still_replays() {
+        let dir = scratch_dir("never");
+        let config = || {
+            ServiceConfig::builder()
+                .threads(1)
+                .durable(&dir)
+                .fsync_policy(crate::config::FsyncPolicy::Never)
+                .build()
+        };
+        {
+            let s = Service::open(config()).unwrap();
+            let r = s.execute("ASSERT edge(1, 2)").unwrap();
+            assert!(matches!(
+                r,
+                Response::Committed {
+                    durable: Some(false),
+                    ..
+                }
+            ));
+        }
+        let s = Service::open(config()).unwrap();
+        assert_eq!(s.epoch(), EpochId::new(1));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

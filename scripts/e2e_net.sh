@@ -18,7 +18,8 @@ BIN="$TARGET/release"
 PORT=${KBT_E2E_PORT:-7341}
 WORK=$(mktemp -d)
 SERVE_PID=""
-trap 'kill "$SERVE_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+DURABLE_PID=""
+trap 'kill "$SERVE_PID" "$DURABLE_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
 
 for bin in kbt-serve kbt-shell; do
     [ -x "$BIN/$bin" ] || { echo "missing $BIN/$bin (cargo build --release first)" >&2; exit 1; }
@@ -51,7 +52,7 @@ grep -q "listening on" "$WORK/serve.log" || { echo "kbt-serve never became ready
 # needs the live server.
 echo "METRICS" >"$WORK/metrics.kbt"
 "$BIN/kbt-shell" --connect "127.0.0.1:$PORT" "$WORK/metrics.kbt" >"$WORK/metrics.txt"
-grep -q '^OK epoch=' "$WORK/metrics.txt" || {
+grep -q '^OK id=t1 epoch=' "$WORK/metrics.txt" || {
     echo "METRICS did not return an OK status:" >&2; cat "$WORK/metrics.txt" >&2; exit 1
 }
 CATALOGUE=$(sed -n 's/^\/\/! \* `\(kbt_[a-z_]*\)`.*/\1/p' crates/service/src/lib.rs)
@@ -72,7 +73,7 @@ echo "PROFILE project[flight]; tau[(forall x0 x1. flight(x0, x1) -> reach(x0, x1
 grep -q '^= .*elapsed_ns=' "$WORK/profile.txt" || {
     echo "PROFILE returned no per-rule rows:" >&2; cat "$WORK/profile.txt" >&2; exit 1
 }
-grep -Eq '^OK epoch=[0-9]+ worlds=[0-9]+ rows=[0-9]+ id=t1$' "$WORK/profile.txt" || {
+grep -Eq '^OK id=t1 epoch=[0-9]+ worlds=[0-9]+ rows=[0-9]+$' "$WORK/profile.txt" || {
     echo "PROFILE status line malformed:" >&2; cat "$WORK/profile.txt" >&2; exit 1
 }
 echo "e2e-net: PROFILE returns per-rule rows over the wire"
@@ -115,10 +116,71 @@ while IFS= read -r line <&3; do
     case "$line" in OK*|ERR*) TRACED="$line"; break ;; esac
 done
 exec 3<&- 3>&-
+# OK lines lead with the trace ID (fixed key order); ERR lines trail it
 case "$TRACED" in
-    *" id=ci-e2e-42") echo "e2e-net: client trace ID echoes on the status line" ;;
+    "OK id=ci-e2e-42"*|*" id=ci-e2e-42") echo "e2e-net: client trace ID echoes on the status line" ;;
     *) echo "client trace ID did not round-trip (got: $TRACED)" >&2; exit 1 ;;
 esac
+
+# kill-and-recover: a durable server is SIGKILLed mid-session — no
+# graceful path, no checkpoint-on-exit — and a restart on the same
+# --data-dir must recover the committed epoch and serve the same answers.
+DPORT=$((PORT + 1))
+DDIR="$WORK/data"
+"$BIN/kbt-serve" --addr "127.0.0.1:$DPORT" --threads 2 \
+    --data-dir "$DDIR" --fsync always --checkpoint-every 3 >"$WORK/durable.log" 2>&1 &
+DURABLE_PID=$!
+for _ in $(seq 1 100); do
+    grep -q "listening on" "$WORK/durable.log" 2>/dev/null && break
+    kill -0 "$DURABLE_PID" 2>/dev/null || { echo "durable kbt-serve died:" >&2; cat "$WORK/durable.log" >&2; exit 1; }
+    sleep 0.1
+done
+cat >"$WORK/durable.kbt" <<'EOF'
+ASSERT edge(1, 2), edge(2, 3)
+DEFINE tc := tau[(forall x0 x1. edge(x0, x1) -> path(x0, x1)) & (forall x0 x1 x2. path(x0, x1) & edge(x1, x2) -> path(x0, x2))]
+APPLY tc
+ASSERT edge(3, 4)
+APPLY tc
+CHECKPOINT
+WALSTAT
+QUERY CERTAIN path
+EOF
+"$BIN/kbt-shell" --connect "127.0.0.1:$DPORT" "$WORK/durable.kbt" >"$WORK/durable1.txt"
+grep -q 'durable=true' "$WORK/durable1.txt" || {
+    echo "fsync-always commits did not report durable=true:" >&2; cat "$WORK/durable1.txt" >&2; exit 1
+}
+grep -Eq '^OK id=t[0-9]+ epoch=5 file=checkpoint-' "$WORK/durable1.txt" || {
+    echo "CHECKPOINT did not report its file:" >&2; cat "$WORK/durable1.txt" >&2; exit 1
+}
+grep -Eq '^OK id=t[0-9]+ epoch=5 policy=always records=5 ' "$WORK/durable1.txt" || {
+    echo "WALSTAT status malformed:" >&2; cat "$WORK/durable1.txt" >&2; exit 1
+}
+kill -KILL "$DURABLE_PID"
+wait "$DURABLE_PID" 2>/dev/null || true
+"$BIN/kbt-serve" --addr "127.0.0.1:$DPORT" --threads 2 \
+    --data-dir "$DDIR" --fsync always --checkpoint-every 3 >"$WORK/durable2.log" 2>&1 &
+DURABLE_PID=$!
+for _ in $(seq 1 100); do
+    grep -q "listening on" "$WORK/durable2.log" 2>/dev/null && break
+    kill -0 "$DURABLE_PID" 2>/dev/null || { echo "restarted kbt-serve died:" >&2; cat "$WORK/durable2.log" >&2; exit 1; }
+    sleep 0.1
+done
+grep -q "recovered epoch e5 from" "$WORK/durable2.log" || {
+    echo "restart did not recover epoch 5:" >&2; cat "$WORK/durable2.log" >&2; exit 1
+}
+printf 'QUERY CERTAIN path\n' >"$WORK/durable-check.kbt"
+"$BIN/kbt-shell" --connect "127.0.0.1:$DPORT" "$WORK/durable-check.kbt" >"$WORK/durable2.txt"
+# the recovered answers must be byte-identical to the pre-kill query
+# (data lines + epoch/count status; only the trace sequence differs)
+tail -n +"$(($(wc -l <"$WORK/durable1.txt") - $(wc -l <"$WORK/durable2.txt") + 1))" "$WORK/durable1.txt" \
+    | sed 's/ id=t[0-9]*//' >"$WORK/expect-path.txt"
+sed 's/ id=t[0-9]*//' "$WORK/durable2.txt" >"$WORK/got-path.txt"
+diff -u "$WORK/expect-path.txt" "$WORK/got-path.txt" || {
+    echo "recovered QUERY CERTAIN path differs from the pre-kill answer" >&2; exit 1
+}
+kill -TERM "$DURABLE_PID"
+wait "$DURABLE_PID"
+echo "e2e-net: SIGKILL + restart recovers the committed epoch and answers"
 
 # graceful shutdown on signal: SIGTERM must yield exit code 0
 kill -TERM "$SERVE_PID"

@@ -1,0 +1,259 @@
+//! Crash-recovery differential for the durable service: a randomized
+//! command stream is committed against a durable service, the process
+//! "crashes" (the service is dropped without any shutdown step — with the
+//! `Never` fsync policy nothing special has been flushed, exactly like a
+//! SIGKILL after the OS absorbed the writes), and recovery must rebuild
+//! **exactly** the state an in-memory oracle reaches by replaying the same
+//! command prefix: same epoch, same knowledgebase, same commit counters.
+//!
+//! Three crash shapes are exercised, at evaluation widths 1 and 4:
+//!
+//! * a drop at a random **commit boundary** (the WAL ends on a record
+//!   boundary; recovery replays everything),
+//! * a **torn final record** injected by truncating the log mid-record
+//!   (recovery truncates the tear and recovers the previous commit),
+//! * a corrupt **interior** record (a flipped body byte with valid records
+//!   following), which recovery must refuse with the typed
+//!   `WalCorrupt` error rather than serve a silently wrong state.
+//!
+//! Evaluator statistics are deliberately excluded from the comparison:
+//! recovery replays through fresh chain sessions, so `reused_facts` /
+//! `rederived_facts` legitimately differ from the oracle's warm chains.
+//! Everything the paper's semantics speaks about — the knowledgebase, the
+//! vocabulary, the registry, the epoch — must be identical.
+
+use std::fs::OpenOptions;
+use std::path::{Path, PathBuf};
+
+use rand::prelude::*;
+
+use kbt::service::checkpoint::KEEP_CHECKPOINTS;
+use kbt::service::wal::{Wal, WAL_FILE};
+use kbt::service::{DurabilityConfig, FsyncPolicy, Response, Service, ServiceConfig, ServiceError};
+
+const DEFINE: &str = "DEFINE refresh := project[edge]; \
+     tau[(forall x0 x1. edge(x0, x1) -> reach(x0, x1)) & \
+         (forall x0 x1 x2. reach(x0, x1) & edge(x1, x2) -> reach(x0, x2))]";
+
+/// A deterministic pseudo-random commit stream: inserts, retractions of
+/// *previously asserted* edges (a retract may not introduce names), and
+/// incremental `APPLY`s of the registered closure refresh.
+fn command_stream(seed: u64, len: usize) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ops = vec![format!("ASSERT edge(0, 1)"), DEFINE.to_string()];
+    let mut asserted: Vec<(u32, u32)> = vec![(0, 1)];
+    while ops.len() < len {
+        match rng.random_range(0..6u32) {
+            0..=2 => {
+                let a = rng.random_range(0..8u32);
+                let b = rng.random_range(0..8u32);
+                asserted.push((a, b));
+                ops.push(format!("ASSERT edge({a}, {b})"));
+            }
+            3 => {
+                let (a, b) = asserted[rng.random_range(0..asserted.len())];
+                ops.push(format!("RETRACT edge({a}, {b})"));
+            }
+            _ => ops.push("APPLY refresh".to_string()),
+        }
+    }
+    ops
+}
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("kbt-durability-diff-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn durable_config(dir: &Path, threads: usize, checkpoint_every: u64) -> ServiceConfig {
+    ServiceConfig::builder()
+        .threads(threads)
+        .durability(Some(DurabilityConfig {
+            data_dir: dir.to_path_buf(),
+            // Never: drop-without-flush is then exactly what a SIGKILL
+            // leaves behind once the OS has absorbed the writes
+            fsync_policy: FsyncPolicy::Never,
+            checkpoint_every_n_commits: checkpoint_every,
+        }))
+        .build()
+}
+
+/// The in-memory oracle: the same prefix replayed on a fresh service.
+fn oracle(prefix: &[String], threads: usize) -> Service {
+    let service = Service::new(ServiceConfig::builder().threads(threads).build());
+    for op in prefix {
+        service.execute(op).expect("oracle replay");
+    }
+    service
+}
+
+/// The differential assertion: everything semantics-bearing must match
+/// (evaluator statistics excluded — see module docs).
+fn assert_equivalent(recovered: &Service, oracle: &Service, context: &str) {
+    assert_eq!(recovered.epoch(), oracle.epoch(), "{context}: epoch");
+    let r = recovered.snapshot();
+    let o = oracle.snapshot();
+    assert_eq!(r.kb(), o.kb(), "{context}: knowledgebase");
+    assert_eq!(
+        r.stats().commits,
+        o.stats().commits,
+        "{context}: commit count"
+    );
+    assert_eq!(r.stats().applies, o.stats().applies, "{context}: applies");
+    assert_eq!(r.stats().defines, o.stats().defines, "{context}: defines");
+    assert_eq!(
+        r.transforms().keys().collect::<Vec<_>>(),
+        o.transforms().keys().collect::<Vec<_>>(),
+        "{context}: registry"
+    );
+    // the queryable surface agrees too (certain folds across worlds)
+    if let Some((rel, _)) = r.vocab().lookup_relation("reach") {
+        let (orel, _) = o.vocab().lookup_relation("reach").expect("same vocab");
+        assert_eq!(
+            recovered.certain(&r, rel),
+            oracle.certain(&o, orel),
+            "{context}: certain(reach)"
+        );
+    }
+}
+
+#[test]
+fn crashes_at_commit_boundaries_recover_the_oracle_state() {
+    for threads in [1usize, 4] {
+        for (trial, checkpoint_every) in [(0u64, 0u64), (1, 5), (2, 0), (3, 3)] {
+            let seed = 0xD1FF + trial + threads as u64 * 101;
+            let ops = command_stream(seed, 30);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+            let cut = rng.random_range(2..ops.len() + 1);
+            let dir = scratch_dir(&format!("boundary-{threads}-{trial}"));
+            let context = format!("threads={threads} trial={trial} cut={cut}");
+
+            {
+                let s = Service::open(durable_config(&dir, threads, checkpoint_every)).unwrap();
+                for op in &ops[..cut] {
+                    let r = s.execute(op).expect(&context);
+                    // Never policy: committed but explicitly not flushed
+                    match r {
+                        Response::Committed { durable, .. }
+                        | Response::Defined { durable, .. }
+                        | Response::Applied { durable, .. } => {
+                            assert_eq!(durable, Some(false), "{context}");
+                        }
+                        other => panic!("{context}: unexpected {other:?}"),
+                    }
+                }
+                // crash: dropped without checkpoint or shutdown
+            }
+            if checkpoint_every > 0 {
+                let checkpoints = std::fs::read_dir(&dir)
+                    .unwrap()
+                    .filter_map(|e| e.ok())
+                    .filter(|e| e.file_name().to_string_lossy().starts_with("checkpoint-"))
+                    .count();
+                assert!(checkpoints >= 1, "{context}: a checkpoint must exist");
+                assert!(checkpoints <= KEEP_CHECKPOINTS, "{context}: pruned");
+            }
+
+            let recovered = Service::open(durable_config(&dir, threads, checkpoint_every))
+                .unwrap_or_else(|e| panic!("{context}: recovery failed: {e}"));
+            assert_equivalent(&recovered, &oracle(&ops[..cut], threads), &context);
+
+            // and the recovered service keeps committing durably
+            recovered.execute("ASSERT edge(6, 7)").expect(&context);
+            assert_eq!(recovered.epoch().get(), cut as u64 + 1, "{context}");
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+#[test]
+fn torn_final_records_recover_to_the_previous_commit() {
+    for threads in [1usize, 4] {
+        for trial in 0..3u64 {
+            let seed = 0x70A2 + trial * 7 + threads as u64;
+            let ops = command_stream(seed, 20);
+            let dir = scratch_dir(&format!("torn-{threads}-{trial}"));
+            let context = format!("threads={threads} trial={trial}");
+
+            {
+                let s = Service::open(durable_config(&dir, threads, 0)).unwrap();
+                for op in &ops {
+                    s.execute(op).expect(&context);
+                }
+            }
+            // tear the final record: cut the log mid-record, at a random
+            // byte strictly inside the last frame
+            let wal_path = dir.join(WAL_FILE);
+            let scan = Wal::scan(&wal_path).unwrap();
+            assert!(!scan.torn_tail, "{context}: clean log before injection");
+            let last = scan.records.last().expect("non-empty stream");
+            let frame_len = (16 + last.command.len()) as u64;
+            let last_start = scan.valid_len - frame_len;
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x7EA2);
+            let cut = last_start + rng.random_range(1..frame_len);
+            OpenOptions::new()
+                .write(true)
+                .open(&wal_path)
+                .unwrap()
+                .set_len(cut)
+                .unwrap();
+
+            let recovered = Service::open(durable_config(&dir, threads, 0))
+                .unwrap_or_else(|e| panic!("{context}: torn tail must recover: {e}"));
+            assert_equivalent(
+                &recovered,
+                &oracle(&ops[..ops.len() - 1], threads),
+                &context,
+            );
+            // the tear is gone from disk: a second recovery sees a clean log
+            let rescan = Wal::scan(&wal_path).unwrap();
+            assert!(!rescan.torn_tail, "{context}: tear truncated on open");
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+#[test]
+fn interior_corruption_is_refused_with_the_typed_error() {
+    let ops = command_stream(0x1B7E, 12);
+    let dir = scratch_dir("interior");
+    {
+        let s = Service::open(durable_config(&dir, 1, 0)).unwrap();
+        for op in &ops {
+            s.execute(op).unwrap();
+        }
+    }
+    // flip one byte inside the *first* record's body — valid records
+    // follow, so this is damage, not crash debris
+    let wal_path = dir.join(WAL_FILE);
+    let mut bytes = std::fs::read(&wal_path).unwrap();
+    bytes[20] ^= 0xFF;
+    std::fs::write(&wal_path, &bytes).unwrap();
+    match Service::open(durable_config(&dir, 1, 0)) {
+        Err(ServiceError::WalCorrupt { offset: 0, .. }) => {}
+        Err(other) => panic!("expected WalCorrupt at offset 0, got {other}"),
+        Ok(_) => panic!("corrupt interior record must refuse to open"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_checkpoint_alone_recovers_when_the_wal_tail_is_empty() {
+    // checkpoint at the final epoch, then lose the whole WAL: recovery
+    // must come back from the checkpoint with nothing to replay
+    let ops = command_stream(0xCE0, 15);
+    let dir = scratch_dir("checkpoint-only");
+    {
+        let s = Service::open(durable_config(&dir, 1, 0)).unwrap();
+        for op in &ops {
+            s.execute(op).unwrap();
+        }
+        s.execute("CHECKPOINT").unwrap();
+    }
+    std::fs::remove_file(dir.join(WAL_FILE)).unwrap();
+    let recovered = Service::open(durable_config(&dir, 1, 0)).unwrap();
+    assert_equivalent(&recovered, &oracle(&ops, 1), "checkpoint-only");
+    let _ = std::fs::remove_dir_all(&dir);
+}

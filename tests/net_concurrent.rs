@@ -27,19 +27,21 @@ const PIPELINE: usize = 8;
 const PROBE: &str = "QUERY CERTAIN reach";
 
 /// Every status line a live server emits carries a per-session trace-ID
-/// suffix (` id=<token>`), which the in-process oracle encoding lacks and
-/// whose sequence number depends on how many commands the session has
-/// issued.  Asserts the suffix is present and well-formed, then returns
+/// field (` id=<token>` — leading on `OK` lines per the fixed key order,
+/// trailing on `ERR` lines), which the in-process oracle encoding lacks
+/// and whose sequence number depends on how many commands the session has
+/// issued.  Asserts the field is present and well-formed, then returns
 /// the status without it for oracle comparison.
 fn strip_trace_id(status: &str) -> String {
-    let (head, id) = status
-        .rsplit_once(" id=")
+    let (head, rest) = status
+        .split_once(" id=")
         .unwrap_or_else(|| panic!("status line lacks a trace ID: {status}"));
-    assert!(
-        !id.is_empty() && !id.contains(' '),
-        "malformed trace ID in: {status}"
-    );
-    head.to_string()
+    let (id, tail) = match rest.split_once(' ') {
+        Some((id, tail)) => (id, format!(" {tail}")),
+        None => (rest, String::new()),
+    };
+    assert!(!id.is_empty(), "malformed trace ID in: {status}");
+    format!("{head}{tail}")
 }
 
 const DEFINE: &str = "DEFINE refresh := project[edge]; \
@@ -74,11 +76,11 @@ fn commit_ops() -> Vec<String> {
 /// and record, per epoch, the **exact wire encoding** the probe query
 /// must produce at that epoch (data lines + status line).
 fn oracle(threads: usize) -> BTreeMap<u64, (Vec<String>, String)> {
-    let service = Service::new(ServiceConfig::with_threads(threads));
+    let service = Service::new(ServiceConfig::builder().threads(threads).build());
     let mut by_epoch = BTreeMap::new();
     let mut probe = |service: &Service| {
         let response = service.execute(PROBE).expect("probe after DEFINE");
-        let (data, status) = proto::encode_response(&response);
+        let (data, status) = proto::encode_response(&response, None);
         let epoch = service.epoch().get();
         by_epoch.insert(epoch, (data, status));
     };
@@ -95,7 +97,9 @@ fn run_differential(threads: usize) {
     let by_epoch = oracle(threads);
     let final_epoch = *by_epoch.keys().last().unwrap();
 
-    let service = Arc::new(Service::new(ServiceConfig::with_threads(threads)));
+    let service = Arc::new(Service::new(
+        ServiceConfig::builder().threads(threads).build(),
+    ));
     let server = NetServer::start(service.clone(), NetConfig::default()).expect("bind loopback");
     let addr = server.local_addr();
 

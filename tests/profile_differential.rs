@@ -99,7 +99,7 @@ fn run(
     String,
     String,
 ) {
-    let service = Service::new(ServiceConfig::with_threads(threads));
+    let service = Service::new(ServiceConfig::builder().threads(threads).build());
     let read = if profile {
         format!("PROFILE {READ}")
     } else {
@@ -220,7 +220,7 @@ fn core_apply_profiled_is_invisible_at_widths_1_and_4() {
 
 #[test]
 fn explain_renders_the_section3_closure_golden() {
-    let s = Service::new(ServiceConfig::with_threads(1));
+    let s = Service::new(ServiceConfig::builder().threads(1).build());
     s.execute("ASSERT edge(1, 2), edge(2, 3), edge(3, 1), edge(3, 4)")
         .unwrap();
     let r = s.execute(&format!("EXPLAIN {TC}; lub")).unwrap();

@@ -53,7 +53,7 @@ fn commit_ops() -> Vec<String> {
 /// Sequential oracle: replay `DEFINE` + the ops on a fresh service,
 /// recording the knowledgebase at every epoch (index = epoch number).
 fn oracle(threads: usize) -> Vec<Knowledgebase> {
-    let service = Service::new(ServiceConfig::with_threads(threads));
+    let service = Service::new(ServiceConfig::builder().threads(threads).build());
     let mut by_epoch = vec![service.snapshot().kb().clone()];
     service.execute(DEFINE).unwrap();
     by_epoch.push(service.snapshot().kb().clone());
@@ -73,7 +73,9 @@ fn oracle(threads: usize) -> Vec<Knowledgebase> {
 fn run_differential(threads: usize) {
     let by_epoch = oracle(threads);
 
-    let service = Arc::new(Service::new(ServiceConfig::with_threads(threads)));
+    let service = Arc::new(Service::new(
+        ServiceConfig::builder().threads(threads).build(),
+    ));
     let done = Arc::new(AtomicBool::new(false));
     let started = Arc::new(std::sync::atomic::AtomicUsize::new(0));
     let readers: Vec<_> = (0..READERS)
@@ -159,11 +161,11 @@ fn wire_format_round_trip_preserves_service_behaviour() {
     // *that* rendering (one full parse → pretty → parse cycle) must drive
     // it to byte-identical committed states.  This is the service-level
     // consequence of the `parse(pretty(φ)) == φ` identity.
-    let original = Service::new(ServiceConfig::with_threads(1));
+    let original = Service::new(ServiceConfig::builder().threads(1).build());
     original.execute(DEFINE).unwrap();
     let wire_text = original.snapshot().transforms()["refresh"].text.clone();
 
-    let replayed = Service::new(ServiceConfig::with_threads(1));
+    let replayed = Service::new(ServiceConfig::builder().threads(1).build());
     replayed
         .execute(&format!("DEFINE refresh := {wire_text}"))
         .unwrap();
